@@ -1,0 +1,1 @@
+bench/harness.ml: Array Bench_progs Chimera Float Fmt Hashtbl Instrument Interp List Minic String

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Bench_progs Benchmark Chimera Fmt Harness Hashtbl Instrument Interp List Minic Pointer Profiling Relay Staged String Sys Test Time Toolkit

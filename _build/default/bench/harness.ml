@@ -1,0 +1,130 @@
+(** Shared machinery for the experiment harness: per-benchmark pipeline
+    runs with caching, multi-trial averaging, and the measurement record
+    each table/figure selects from. *)
+
+type measurement = {
+  m_name : string;
+  m_kind : Bench_progs.Registry.kind;
+  m_workers : int;
+  (* static *)
+  m_races : int;
+  m_loc : int;
+  (* DRF logs (Table 2 left) *)
+  m_syscalls : float;
+  m_syncops : float;
+  (* weak-lock logs by granularity: func, loop, bb, instr *)
+  m_weak : float array;
+  (* performance *)
+  m_native : float;
+  m_record : float;
+  m_replay : float;
+  (* log sizes, compressed bytes *)
+  m_input_log : float;
+  m_order_log : float;
+  (* dynamic memory operations + weak ops (Fig. 6) *)
+  m_memops : float;
+  (* cost decomposition (Fig. 7), in ticks *)
+  m_weak_op_ticks : float;
+  m_log_ticks : float;
+  m_contention : float array;  (* blocked ticks per granularity *)
+  m_forced : int;
+}
+
+let record_ov (m : measurement) = m.m_record /. m.m_native
+let replay_ov (m : measurement) = m.m_replay /. m.m_native
+let weak_total (m : measurement) = Array.fold_left ( +. ) 0. m.m_weak
+
+(* analysis cache: (bench, workers, scale, opts-tag) *)
+let analysis_cache : (string, Chimera.Pipeline.analysis) Hashtbl.t =
+  Hashtbl.create 32
+
+let opts_tag (o : Instrument.Plan.options) =
+  Fmt.str "%b%b%b%b" o.opt_funcs o.opt_loops o.opt_bb o.opt_masks
+
+let analyze (b : Bench_progs.Registry.bench) ~opts ~workers ~scale =
+  let key = Fmt.str "%s/%d/%d/%s" b.b_name workers scale (opts_tag opts) in
+  match Hashtbl.find_opt analysis_cache key with
+  | Some an -> an
+  | None ->
+      let src = b.b_source ~workers ~scale in
+      let an =
+        Chimera.Pipeline.analyze ~opts ~profile_runs:12
+          ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+          (Minic.Parser.parse ~file:b.b_name src)
+      in
+      Hashtbl.replace analysis_cache key an;
+      an
+
+(** Measure one benchmark: [trials] seeds, averaged (the paper reports the
+    mean of five trials, Section 7.1). *)
+let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
+    ?(scale = -1) ?(trials = 3) (b : Bench_progs.Registry.bench) : measurement
+    =
+  let scale = if scale < 0 then b.b_eval_scale else scale in
+  let an = analyze b ~opts ~workers ~scale in
+  let io = b.b_io ~seed:42 ~scale in
+  let acc = ref [] in
+  for t = 1 to trials do
+    let config =
+      { Interp.Engine.default_config with seed = 1 + (t * 13); cores }
+    in
+    let native = Chimera.Runner.native ~config ~io an.an_prog in
+    let r = Chimera.Runner.record ~config ~io an.an_instrumented in
+    let replay =
+      Chimera.Runner.replay
+        ~config:{ config with seed = config.seed + 7919 }
+        ~io an.an_instrumented r.rc_log
+    in
+    (match Chimera.Runner.same_execution r.rc_outcome replay with
+    | Ok () -> ()
+    | Error d ->
+        Fmt.failwith "%s: replay diverged during benchmarking: %a" b.b_name
+          Chimera.Runner.pp_divergence d);
+    acc := (native, r, replay) :: !acc
+  done;
+  let n = float_of_int trials in
+  let avg f = List.fold_left (fun a x -> a +. f x) 0. !acc /. n in
+  let s_of (_, (r : Chimera.Runner.recorded), _) = r.rc_outcome.o_stats in
+  let rc = List.hd !acc in
+  let rec_stats (_, (r : Chimera.Runner.recorded), _) = r in
+  ignore (rec_stats rc);
+  {
+    m_name = b.b_name;
+    m_kind = b.b_kind;
+    m_workers = workers;
+    m_races = List.length an.an_report.races;
+    m_loc = Bench_progs.Registry.loc b ~workers;
+    m_syscalls = avg (fun x -> float_of_int (s_of x).n_syscalls);
+    m_syncops = avg (fun x -> float_of_int (s_of x).n_sync_ops);
+    m_weak =
+      Array.init 4 (fun i -> avg (fun x -> float_of_int (s_of x).n_weak_acq.(i)));
+    m_native = avg (fun (nat, _, _) -> float_of_int nat.Interp.Engine.o_ticks);
+    m_record =
+      avg (fun (_, r, _) -> float_of_int r.Chimera.Runner.rc_outcome.o_ticks);
+    m_replay = avg (fun (_, _, rp) -> float_of_int rp.Interp.Engine.o_ticks);
+    m_input_log = avg (fun (_, r, _) -> float_of_int r.Chimera.Runner.rc_input_log_z);
+    m_order_log = avg (fun (_, r, _) -> float_of_int r.Chimera.Runner.rc_order_log_z);
+    m_memops = avg (fun x -> float_of_int (s_of x).n_mem_ops);
+    m_weak_op_ticks = avg (fun x -> float_of_int (s_of x).weak_op_ticks);
+    m_log_ticks =
+      avg (fun x ->
+          float_of_int
+            ((s_of x).log_ticks_sync + (s_of x).log_ticks_weak
+            + (s_of x).log_ticks_input));
+    m_contention =
+      Array.init 4 (fun i ->
+          avg (fun x -> float_of_int (s_of x).weak_block_ticks.(i)));
+    m_forced =
+      List.fold_left (fun a x -> a + (s_of x).n_forced) 0 !acc;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* table formatting *)
+
+let hr width = print_endline (String.make width '-')
+
+let section title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let fnum ppf v =
+  if Float.abs v >= 1000. then Fmt.pf ppf "%.0f" v else Fmt.pf ppf "%.4g" v

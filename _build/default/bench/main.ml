@@ -1,0 +1,412 @@
+(** The experiment harness: regenerates every table and figure of the
+    paper's evaluation (Section 7).
+
+      dune exec bench/main.exe            — everything
+      dune exec bench/main.exe -- table2  — a single experiment
+
+    Experiments: table1 table2 fig5 fig6 fig7 fig8 sensitivity ablation
+    micro. Numbers are simulated-makespan ratios (see DESIGN.md): absolute
+    values differ from the authors' Xeon; the shapes are the reproduction
+    target and EXPERIMENTS.md records paper-vs-measured for each. *)
+
+open Harness
+
+let benches = Bench_progs.Registry.all
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: benchmarks, LOC, profile and evaluation environments";
+  Fmt.pr "%-10s %-11s %5s  %-34s %s@." "app" "class" "LOC" "profile env"
+    "evaluation env";
+  hr 108;
+  List.iter
+    (fun (b : Bench_progs.Registry.bench) ->
+      let profile_env =
+        Fmt.str "2 workers, 12 runs, scale %d" b.b_profile_scale
+      in
+      let eval_env = Fmt.str "2,4,8 workers, scale %d" b.b_eval_scale in
+      Fmt.pr "%-10s %-11s %5d  %-34s %s@." b.b_name
+        (Fmt.str "%a" Bench_progs.Registry.pp_kind b.b_kind)
+        (Bench_progs.Registry.loc b ~workers:4)
+        profile_env eval_env)
+    benches;
+  Fmt.pr "(LOC measured on the MiniC front-end representation, 4 workers, \
+          libc included)@."
+
+let table2 () =
+  section
+    "Table 2: record and replay performance (4 workers, mean of 3 trials)";
+  Fmt.pr "%-10s | %9s %9s | %6s %6s %6s %6s | %7s %7s | %8s %8s@." "app"
+    "syscalls" "syncops" "instr" "bb" "loop" "func" "rec-ov" "rep-ov"
+    "in-log B" "ord-logB";
+  hr 112;
+  List.iter
+    (fun b ->
+      let m = measure b in
+      Fmt.pr
+        "%-10s | %9.0f %9.0f | %6.0f %6.0f %6.0f %6.0f | %6.2fx %6.2fx | %8.0f %8.0f@."
+        m.m_name m.m_syscalls m.m_syncops m.m_weak.(3) m.m_weak.(2)
+        m.m_weak.(1) m.m_weak.(0) (record_ov m) (replay_ov m) m.m_input_log
+        m.m_order_log)
+    benches;
+  Fmt.pr "@.(paper: desktop/server 1.01-1.04x record; apache 2.40x on the \
+          paper's heavier request mix; scientific 1.21-2.40x; average \
+          1.40x)@."
+
+(* Figure 5 / 6 share the per-configuration sweep. Smaller inputs keep the
+   naive (instruction-granularity) configuration tractable — its overhead
+   ratio is scale-insensitive because every racy statement pays the same
+   per-statement price. *)
+let fig_configs =
+  [
+    ("instr", Instrument.Plan.naive);
+    ("inst+func", Instrument.Plan.funcs_only);
+    ("inst+loop", Instrument.Plan.loops_only);
+    ("inst+bb+loop+func", Instrument.Plan.all_opts);
+  ]
+
+let fig5 () =
+  section "Figure 5: normalized recording overhead per optimization set";
+  Fmt.pr "%-10s" "app";
+  List.iter (fun (n, _) -> Fmt.pr " %18s" n) fig_configs;
+  Fmt.pr "@.";
+  hr 90;
+  let sums = Array.make (List.length fig_configs) 0. in
+  List.iter
+    (fun (b : Bench_progs.Registry.bench) ->
+      Fmt.pr "%-10s" b.b_name;
+      List.iteri
+        (fun i (_, opts) ->
+          let m = measure b ~opts ~scale:b.b_profile_scale ~trials:1 in
+          let ov = record_ov m in
+          sums.(i) <- sums.(i) +. ov;
+          Fmt.pr " %17.2fx" ov)
+        fig_configs;
+      Fmt.pr "@.")
+    benches;
+  hr 90;
+  Fmt.pr "%-10s" "mean";
+  Array.iter
+    (fun s -> Fmt.pr " %17.2fx" (s /. float_of_int (List.length benches)))
+    sums;
+  Fmt.pr "@.(paper: instr 53x -> inst+func 27x -> inst+loop 33x -> all \
+          1.39x)@."
+
+let fig6 () =
+  section "Figure 6: weak-lock operations as % of dynamic memory operations";
+  Fmt.pr "%-10s %10s" "app" "dyn-detect";
+  List.iter (fun (n, _) -> Fmt.pr " %18s" n) fig_configs;
+  Fmt.pr "@.";
+  hr 100;
+  List.iter
+    (fun (b : Bench_progs.Registry.bench) ->
+      Fmt.pr "%-10s %9.0f%%" b.b_name 100.;
+      List.iter
+        (fun (_, opts) ->
+          let m = measure b ~opts ~scale:b.b_profile_scale ~trials:1 in
+          Fmt.pr " %17.3f%%" (100. *. weak_total m /. m.m_memops))
+        fig_configs;
+      Fmt.pr "@.")
+    benches;
+  Fmt.pr "(paper: naive ~14%% of memory ops; all optimizations ~0.02%%; a \
+          dynamic detector instruments 100%%)@."
+
+let fig7 () =
+  section "Figure 7: sources of recording overhead (fraction of native time)";
+  Fmt.pr "%-10s %8s %9s %9s %11s %11s %8s@." "app" "base" "weak-ops"
+    "logging" "loop-cont." "other-cont." "total";
+  hr 76;
+  List.iter
+    (fun b ->
+      let m = measure b in
+      let per_thread v = v /. float_of_int m.m_workers /. m.m_native in
+      Fmt.pr "%-10s %7.2fx %8.2fx %8.2fx %10.2fx %10.2fx %7.2fx@." m.m_name
+        1.0
+        (per_thread m.m_weak_op_ticks)
+        (per_thread m.m_log_ticks)
+        (per_thread m.m_contention.(1))
+        (per_thread
+           (m.m_contention.(0) +. m.m_contention.(2) +. m.m_contention.(3)))
+        (record_ov m))
+    benches;
+  Fmt.pr
+    "(weak-op / logging / contention ticks are per-thread sums divided by \
+     worker count; as in the paper's Fig. 7, loop-lock contention dominates \
+     the scientific applications)@."
+
+let fig8 () =
+  section "Figure 8: scalability — recording overhead at 2, 4, 8 threads";
+  Fmt.pr "%-10s %12s %12s %12s@." "app" "2 threads" "4 threads" "8 threads";
+  hr 52;
+  List.iter
+    (fun b ->
+      Fmt.pr "%-10s" b.Bench_progs.Registry.b_name;
+      List.iter
+        (fun w ->
+          let m = measure b ~workers:w ~cores:w ~trials:1 in
+          Fmt.pr " %11.2fx" (record_ov m))
+        [ 2; 4; 8 ];
+      Fmt.pr "@.")
+    benches;
+  Fmt.pr "(paper: overhead grows with threads for loop-lock-contended \
+          scientific apps)@."
+
+let sensitivity () =
+  section
+    "Profile sensitivity (Sec 7.3): concurrent pairs vs number of profile runs";
+  let apps = [ "pfscan"; "water" ] in
+  Fmt.pr "%-10s" "runs";
+  List.iter (fun a -> Fmt.pr " %8s" a) apps;
+  Fmt.pr "@.";
+  hr 30;
+  List.iter
+    (fun runs ->
+      Fmt.pr "%-10d" runs;
+      List.iter
+        (fun name ->
+          let b = Bench_progs.Registry.by_name name in
+          let prof =
+            Profiling.Profile.profile_many
+              ~io_of:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+              ~runs
+              (Minic.Typecheck.parse_and_check
+                 (b.b_source ~workers:4 ~scale:b.b_profile_scale))
+          in
+          Fmt.pr " %8d" (Profiling.Profile.n_concurrent_pairs prof))
+        apps;
+      Fmt.pr "@.")
+    [ 1; 2; 3; 5; 8; 12; 16; 20 ];
+  Fmt.pr "(paper: saturates after ~5 runs for pfscan, ~3 for water)@."
+
+let ablation () =
+  section
+    "Ablation (extension beyond the paper): mask ranges in the bounds \
+     analysis";
+  Fmt.pr
+    "The paper treats bitwise masks as unsupported arithmetic (Sec 5.2), so \
+     radix's counting loop gets a -INF..+INF loop-lock (Fig 4). Modeling \
+     [e & c] as the range [0, c] instead:@.@.";
+  Fmt.pr "%-10s %14s %14s@." "app" "paper rules" "with masks";
+  hr 42;
+  List.iter
+    (fun name ->
+      let b = Bench_progs.Registry.by_name name in
+      let m1 = measure b ~trials:1 in
+      let m2 = measure b ~opts:Instrument.Plan.with_masks ~trials:1 in
+      Fmt.pr "%-10s %13.2fx %13.2fx@." name (record_ov m1) (record_ov m2))
+    [ "radix"; "fft"; "ocean"; "water" ];
+  Fmt.pr "@."
+
+let timeout_ablation () =
+  section "Weak-lock timeout sensitivity (Section 2.3's trade-off)";
+  Fmt.pr
+    "A weak lock held across program synchronization deadlocks against its \
+     waiters until the timeout preempts the owner (forced release + \
+     reacquire). Shorter timeouts resolve such stalls faster but preempt \
+     more; every choice must still replay deterministically. Workload: two \
+     workers whose shared function-lock spans a mutex critical section \
+     (3 trials).@.@.";
+  let src =
+    {|int g0; int g1; int a0[16]; int a1[16]; int m0; int ids[2];
+void w0(int *idp) {
+  int t0; int t1; int id;
+  id = *idp;
+  t1 = a1[(id & 15)];
+  t1 = ((t1 | 0) | (9 * 2));
+  lock(&m0); g1 = t0; a0[(id & 15)] = (8 - 0); unlock(&m0);
+  g0 = (g1 * 5);
+}
+int main() { int t[2]; int i0; int t0;
+  for (i0 = 0; i0 < 16; i0++) { a0[i0] = i0 * 3; }
+  for (i0 = 0; i0 < 16; i0++) { a1[i0] = i0 * 4; }
+  ids[0] = 1; t[0] = spawn(w0, &ids[0]);
+  ids[1] = 2; t[1] = spawn(w0, &ids[1]);
+  join(t[0]); join(t[1]);
+  output(g0); output(g1);
+  t0 = 0; for (i0 = 0; i0 < 16; i0++) { t0 = t0 + a0[i0]; } output(t0);
+  return 0; }|}
+  in
+  let an =
+    Chimera.Pipeline.analyze ~profile_runs:4
+      ~profile_io:(fun i -> Interp.Iomodel.random ~seed:(700 + i))
+      (Minic.Parser.parse ~file:"timeout.mc" src)
+  in
+  let io = Interp.Iomodel.random ~seed:42 in
+  Fmt.pr "%-12s %10s %12s %14s@." "timeout" "rec-ov" "forced/run" "ord-log B";
+  hr 52;
+  List.iter
+    (fun wt ->
+      let trials = 3 in
+      let tot_native = ref 0 and tot_rec = ref 0 in
+      let tot_forced = ref 0 and tot_log = ref 0 in
+      for t = 1 to trials do
+        let config =
+          {
+            Interp.Engine.default_config with
+            seed = 1 + (t * 13);
+            cores = 4;
+            weak_timeout = wt;
+          }
+        in
+        let native = Chimera.Runner.native ~config ~io an.an_prog in
+        let r = Chimera.Runner.record ~config ~io an.an_instrumented in
+        let replay =
+          Chimera.Runner.replay
+            ~config:{ config with seed = config.seed + 7919 }
+            ~io an.an_instrumented r.rc_log
+        in
+        (match Chimera.Runner.same_execution r.rc_outcome replay with
+        | Ok () -> ()
+        | Error d ->
+            Fmt.failwith "timeout ablation: replay diverged (wt=%d): %a" wt
+              Chimera.Runner.pp_divergence d);
+        tot_native := !tot_native + native.o_ticks;
+        tot_rec := !tot_rec + r.rc_outcome.o_ticks;
+        tot_forced := !tot_forced + r.rc_outcome.o_stats.n_forced;
+        tot_log := !tot_log + r.rc_order_log_z
+      done;
+      Fmt.pr "%-12d %9.2fx %12.1f %14d@." wt
+        (float_of_int !tot_rec /. float_of_int !tot_native)
+        (float_of_int !tot_forced /. float_of_int trials)
+        (!tot_log / trials))
+    [ 500; 2_000; 10_000; 50_000; 100_000 ];
+  Fmt.pr
+    "(every row replays deterministically; the paper picks a fixed timeout \
+     and reports zero timeouts on its benchmarks — the trade-off only \
+     appears when a weak lock spans blocking synchronization)@."
+
+let detexec () =
+  section
+    "Deterministic execution (extension; the paper's future-work \
+     direction)";
+  Fmt.pr
+    "The transformed program is data-race-free, so Kendo-style logical-time \
+     arbitration of synchronization makes execution a function of program + \
+     inputs alone — no recording. Outcomes across 4 scheduler seeds:@.@.";
+  Fmt.pr "%-10s %22s %22s@." "app" "original (native)" "transformed (det)";
+  hr 58;
+  List.iter
+    (fun (b : Bench_progs.Registry.bench) ->
+      let an =
+        analyze b ~opts:Instrument.Plan.all_opts ~workers:4
+          ~scale:b.b_profile_scale
+      in
+      let io = b.b_io ~seed:42 ~scale:b.b_profile_scale in
+      let outcomes mode prog =
+        List.map
+          (fun seed ->
+            let o =
+              Interp.Engine.run
+                ~config:{ Interp.Engine.default_config with seed; cores = 4 }
+                ~mode ~io prog
+            in
+            (o.Interp.Engine.o_timed_out, List.map snd o.o_outputs,
+             o.o_final_hash))
+          [ 1; 7; 19; 42 ]
+        |> List.sort_uniq compare |> List.length
+      in
+      let orig = outcomes Interp.Engine.Native an.Chimera.Pipeline.an_prog in
+      let det = outcomes Interp.Engine.Deterministic an.an_instrumented in
+      Fmt.pr "%-10s %15d outcomes %15d outcome%s@." b.b_name orig det
+        (if det = 1 then "" else "s"))
+    benches;
+  Fmt.pr "(1 outcome = deterministic; the racy originals may vary)@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock microbenchmarks of the pipeline stages *)
+
+let micro () =
+  section "Microbenchmarks (Bechamel, wall-clock)";
+  let open Bechamel in
+  let b = Bench_progs.Registry.by_name "radix" in
+  let src = b.b_source ~workers:4 ~scale:2 in
+  let prog = Minic.Typecheck.parse_and_check src in
+  let an =
+    Chimera.Pipeline.analyze ~profile_runs:2
+      ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:2)
+      (Minic.Parser.parse src)
+  in
+  let io = b.b_io ~seed:42 ~scale:2 in
+  let config = { Interp.Engine.default_config with seed = 1; cores = 4 } in
+  let tests =
+    Test.make_grouped ~name:"chimera"
+      [
+        Test.make ~name:"parse+typecheck-radix"
+          (Staged.stage (fun () ->
+               ignore (Minic.Typecheck.parse_and_check src)));
+        Test.make ~name:"andersen"
+          (Staged.stage (fun () ->
+               ignore (Pointer.Andersen.solve (Pointer.Constr.gen prog))));
+        Test.make ~name:"steensgaard"
+          (Staged.stage (fun () ->
+               ignore (Pointer.Steensgaard.solve (Pointer.Constr.gen prog))));
+        Test.make ~name:"relay-races"
+          (Staged.stage (fun () -> ignore (Relay.Detect.analyze prog)));
+        Test.make ~name:"simulate-native"
+          (Staged.stage (fun () ->
+               ignore
+                 (Interp.Engine.run ~config ~mode:Interp.Engine.Native ~io
+                    an.an_prog)));
+        Test.make ~name:"simulate-record"
+          (Staged.stage (fun () ->
+               ignore
+                 (Interp.Engine.run ~config ~mode:Interp.Engine.Record ~io
+                    an.an_instrumented)));
+      ]
+  in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let raw =
+    Benchmark.all
+      (Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None ())
+      [ clock ] tests
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+      clock raw
+  in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Bechamel.Analyze.OLS.estimates r with
+      | Some [ est ] -> Fmt.pr "%-36s %14.0f ns/run@." name est
+      | _ -> Fmt.pr "%-36s (no estimate)@." name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  table1 ();
+  table2 ();
+  fig5 ();
+  fig6 ();
+  fig7 ();
+  fig8 ();
+  sensitivity ();
+  ablation ();
+  timeout_ablation ();
+  detexec ()
+
+let () =
+  let experiments =
+    [
+      ("table1", table1); ("table2", table2); ("fig5", fig5); ("fig6", fig6);
+      ("fig7", fig7); ("fig8", fig8); ("sensitivity", sensitivity);
+      ("ablation", ablation); ("timeout", timeout_ablation);
+      ("detexec", detexec); ("micro", micro);
+      ("all", all);
+    ]
+  in
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as args) ->
+      List.iter
+        (fun a ->
+          match List.assoc_opt a experiments with
+          | Some f -> f ()
+          | None ->
+              Fmt.epr "unknown experiment %s (have: %s)@." a
+                (String.concat " " (List.map fst experiments));
+              exit 1)
+        args
+  | _ -> all ()

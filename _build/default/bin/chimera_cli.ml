@@ -1,0 +1,229 @@
+(** The chimera command-line tool.
+
+    Subcommands mirror the pipeline stages:
+
+    - [races FILE]      — run RELAY and print the static race report
+    - [plan FILE]       — print the weak-lock instrumentation plan
+    - [instrument FILE] — print the instrumented program
+    - [run FILE]        — execute natively (prints outputs)
+    - [record FILE]     — analyze, instrument, record; write logs
+    - [replay FILE]     — replay from recorded logs and verify determinism
+    - [bench NAME]      — the same pipeline on a built-in benchmark
+
+    MiniC sources are C-subset files (see README); built-in benchmark
+    names: aget pfscan pbzip2 knot apache ocean water fft radix. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path = Minic.Typecheck.parse_and_check ~file:path (read_file path)
+
+let config_of seed cores =
+  { Interp.Engine.default_config with seed; cores }
+
+(* common args *)
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed")
+
+let cores_arg =
+  Arg.(value & opt int 4 & info [ "cores" ] ~doc:"Simulated cores")
+
+let io_seed_arg =
+  Arg.(value & opt int 42 & info [ "io-seed" ] ~doc:"Input-model seed")
+
+let profile_runs_arg =
+  Arg.(value & opt int 8 & info [ "profile-runs" ] ~doc:"Profiling runs")
+
+let opts_arg =
+  let opts_conv =
+    Arg.enum
+      [
+        ("all", Instrument.Plan.all_opts);
+        ("naive", Instrument.Plan.naive);
+        ("func", Instrument.Plan.funcs_only);
+        ("loop", Instrument.Plan.loops_only);
+      ]
+  in
+  Arg.(value & opt opts_conv Instrument.Plan.all_opts
+       & info [ "opts" ] ~doc:"Optimization set: all | naive | func | loop")
+
+let analyze_file ?opts ~profile_runs path =
+  Chimera.Pipeline.analyze ?opts ~profile_runs (Minic.Parser.parse ~file:path (read_file path))
+
+(* ------------------------------------------------------------------ *)
+
+let races_cmd =
+  let run file =
+    let _, report = Relay.Detect.analyze (load file) in
+    Fmt.pr "%a@." Relay.Detect.pp_report report
+  in
+  Cmd.v (Cmd.info "races" ~doc:"Static data-race report (RELAY)")
+    Term.(const run $ file_arg)
+
+let plan_cmd =
+  let run file profile_runs opts =
+    let an = analyze_file ~opts ~profile_runs file in
+    Fmt.pr "%a@.@." Instrument.Plan.pp_summary an.an_plan;
+    List.iter
+      (fun (pd : Instrument.Plan.pair_decision) ->
+        Fmt.pr "%a@.  lock %a@.  side1 %a (%s)@.  side2 %a (%s)@."
+          Relay.Detect.pp_race_pair pd.pd_pair Minic.Ast.pp_weak_lock pd.pd_lock
+          Instrument.Plan.pp_region pd.pd_s1.sd_region pd.pd_s1.sd_reason
+          Instrument.Plan.pp_region pd.pd_s2.sd_region pd.pd_s2.sd_reason)
+      an.an_plan.pl_decisions
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Weak-lock granularity plan (profiling + bounds)")
+    Term.(const run $ file_arg $ profile_runs_arg $ opts_arg)
+
+let instrument_cmd =
+  let run file profile_runs opts =
+    let an = analyze_file ~opts ~profile_runs file in
+    print_string (Minic.Pretty.program_to_string an.an_instrumented)
+  in
+  Cmd.v (Cmd.info "instrument" ~doc:"Print the weak-lock-instrumented program")
+    Term.(const run $ file_arg $ profile_runs_arg $ opts_arg)
+
+let print_outcome (o : Interp.Engine.outcome) =
+  List.iter (fun (_, v) -> Fmt.pr "%d@." v) o.o_outputs;
+  List.iter
+    (fun (p, m) -> Fmt.epr "fault in %a: %s@." Runtime.Key.pp_tid_path p m)
+    o.o_faults;
+  Fmt.epr "[%d simulated ticks, %d statements, %d threads]@." o.o_ticks
+    o.o_stats.n_stmts
+    (List.length o.o_steps)
+
+let run_cmd =
+  let run file seed cores io_seed =
+    let o =
+      Chimera.Runner.native ~config:(config_of seed cores)
+        ~io:(Interp.Iomodel.random ~seed:io_seed) (load file)
+    in
+    print_outcome o
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a MiniC program natively")
+    Term.(const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg)
+
+let det_cmd =
+  let run file seed cores io_seed profile_runs opts =
+    let an = analyze_file ~opts ~profile_runs file in
+    let o =
+      Chimera.Runner.deterministic ~config:(config_of seed cores)
+        ~io:(Interp.Iomodel.random ~seed:io_seed) an.an_instrumented
+    in
+    print_outcome o
+  in
+  Cmd.v
+    (Cmd.info "det"
+       ~doc:
+         "Instrument and run under deterministic logical-time arbitration \
+          (same output for every --seed, no logs)")
+    Term.(
+      const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
+      $ profile_runs_arg $ opts_arg)
+
+let record_cmd =
+  let run file seed cores io_seed profile_runs opts out =
+    let an = analyze_file ~opts ~profile_runs file in
+    let r =
+      Chimera.Runner.record ~config:(config_of seed cores)
+        ~io:(Interp.Iomodel.random ~seed:io_seed) an.an_instrumented
+    in
+    print_outcome r.rc_outcome;
+    let write name s =
+      let oc = open_out_bin name in
+      output_string oc s;
+      close_out oc
+    in
+    write (out ^ ".input.log") (Replay.Log.encode_input_log r.rc_log);
+    write (out ^ ".order.log") (Replay.Log.encode_order_log r.rc_log);
+    Fmt.epr "[logs: input %dB (%dB gz), order %dB (%dB gz)]@."
+      r.rc_input_log_raw r.rc_input_log_z r.rc_order_log_raw r.rc_order_log_z
+  in
+  let out_arg =
+    Arg.(value & opt string "chimera" & info [ "o" ] ~doc:"Log file prefix")
+  in
+  Cmd.v (Cmd.info "record" ~doc:"Instrument and record an execution")
+    Term.(
+      const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
+      $ profile_runs_arg $ opts_arg $ out_arg)
+
+let replay_cmd =
+  let run file seed cores io_seed profile_runs opts logs =
+    let an = analyze_file ~opts ~profile_runs file in
+    let log =
+      Replay.Log.decode
+        (read_file (logs ^ ".input.log"))
+        (read_file (logs ^ ".order.log"))
+    in
+    let o =
+      Chimera.Runner.replay ~config:(config_of seed cores)
+        ~io:(Interp.Iomodel.random ~seed:io_seed) an.an_instrumented log
+    in
+    print_outcome o
+  in
+  let logs_arg =
+    Arg.(value & opt string "chimera" & info [ "logs" ] ~doc:"Log file prefix")
+  in
+  Cmd.v (Cmd.info "replay" ~doc:"Replay a recorded execution")
+    Term.(
+      const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
+      $ profile_runs_arg $ opts_arg $ logs_arg)
+
+let bench_cmd =
+  let run name seed cores workers =
+    let b = Bench_progs.Registry.by_name name in
+    let src = b.b_source ~workers ~scale:b.b_eval_scale in
+    let an =
+      Chimera.Pipeline.analyze ~profile_runs:8
+        ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+        (Minic.Parser.parse ~file:name src)
+    in
+    let io = b.b_io ~seed:42 ~scale:b.b_eval_scale in
+    let config = config_of seed cores in
+    let ov, r = Chimera.Runner.measure ~config ~io ~original:an.an_prog
+        ~instrumented:an.an_instrumented () in
+    Fmt.pr "%s: %d races, %a@." name
+      (List.length an.an_report.races)
+      Instrument.Plan.pp_summary an.an_plan;
+    Fmt.pr "native %d ticks | record %d ticks (%.2fx) | replay %d ticks (%.2fx)@."
+      ov.ov_native_ticks ov.ov_record_ticks ov.ov_record ov.ov_replay_ticks
+      ov.ov_replay;
+    Fmt.pr "logs: input %dB gz | order %dB gz@." r.rc_input_log_z r.rc_order_log_z;
+    match
+      Chimera.Runner.same_execution r.rc_outcome
+        (Chimera.Runner.replay
+           ~config:{ config with seed = config.seed + 7919 }
+           ~io an.an_instrumented r.rc_log)
+    with
+    | Ok () -> Fmt.pr "replay (different scheduler seed): DETERMINISTIC@."
+    | Error d -> Fmt.pr "replay DIVERGED: %a@." Chimera.Runner.pp_divergence d
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some (Arg.enum (List.map (fun n -> (n, n)) Bench_progs.Registry.names))) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker threads")
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Run the full pipeline on a built-in benchmark")
+    Term.(const run $ name_arg $ seed_arg $ cores_arg $ workers_arg)
+
+let () =
+  let doc = "Chimera: hybrid program analysis for deterministic replay" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "chimera" ~version:"1.0.0" ~doc)
+          [ races_cmd; plan_cmd; instrument_cmd; run_cmd; det_cmd;
+            record_cmd; replay_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/deterministic.ml: Chimera Fmt Instrument Interp List Minic

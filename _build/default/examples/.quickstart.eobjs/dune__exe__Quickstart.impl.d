@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chimera Fmt Instrument Interp List Minic Relay

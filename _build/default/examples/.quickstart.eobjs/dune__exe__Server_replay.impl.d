@@ -1,0 +1,1 @@
+examples/server_replay.ml: Array Bench_progs Chimera Fmt Instrument Interp List Minic

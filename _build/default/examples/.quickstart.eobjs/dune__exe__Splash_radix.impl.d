@@ -1,0 +1,1 @@
+examples/splash_radix.ml: Bench_progs Chimera Fmt Instrument Interp List Minic

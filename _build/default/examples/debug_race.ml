@@ -1,0 +1,93 @@
+(** Why Chimera exists: replaying a racy program from sync-only logs does
+    not work — Chimera's weak locks make it work.
+
+    Run with: dune exec examples/debug_race.exe
+
+    This is the paper's motivating scenario (Section 1): a program with a
+    heisenbug that only appears under some interleavings. Without Chimera
+    the bug cannot be reproduced from a recording; with Chimera, every
+    replay reproduces the recorded execution — including the buggy one —
+    and the developer can then inspect it deterministically. *)
+
+(* A bank-account "deposit" with a read-modify-write race: under unlucky
+   schedules deposits are lost and the final balance is short. *)
+let source =
+  {|
+int balance = 0;
+
+void depositor(int *amount) {
+  int i; int snapshot;
+  for (i = 0; i < 40; i++) {
+    snapshot = balance;      // racy read
+    balance = snapshot + *amount;   // racy write: deposits get lost
+  }
+}
+
+int main() {
+  int t1; int t2; int a1; int a2;
+  a1 = 1; a2 = 1;
+  t1 = spawn(depositor, &a1);
+  t2 = spawn(depositor, &a2);
+  join(t1);
+  join(t2);
+  output(balance);           // should be 80; races lose deposits
+  return 0;
+}
+|}
+
+let io = Interp.Iomodel.random ~seed:5
+
+let config seed = { Interp.Engine.default_config with seed; cores = 4 }
+
+let () =
+  let program = Minic.Typecheck.parse_and_check ~file:"bank.mc" source in
+
+  Fmt.pr "=== The heisenbug: final balance across schedules ===@.";
+  List.iter
+    (fun seed ->
+      let o = Chimera.Runner.native ~config:(config seed) ~io program in
+      let v = List.hd (List.map snd o.o_outputs) in
+      Fmt.pr "  seed %2d -> balance = %d%s@." seed v
+        (if v < 80 then "   <- lost deposits!" else ""))
+    [ 1; 2; 3; 4; 5; 6 ];
+
+  Fmt.pr "@.=== Naive replay (sync logs only, no weak locks) ===@.";
+  let tried = ref 0 and diverged = ref 0 in
+  List.iter
+    (fun seed ->
+      incr tried;
+      let r = Chimera.Runner.record ~config:(config seed) ~io program in
+      let o =
+        Chimera.Runner.replay ~config:(config (seed + 7919)) ~io program r.rc_log
+      in
+      match Chimera.Runner.same_execution r.rc_outcome o with
+      | Ok () -> ()
+      | Error _ -> incr diverged)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  Fmt.pr "  %d of %d replays reproduced a DIFFERENT execution.@." !diverged
+    !tried;
+  Fmt.pr "  (Racy programs cannot be replayed from input+sync logs alone.)@.";
+
+  Fmt.pr "@.=== With Chimera ===@.";
+  let an = Chimera.Pipeline.analyze ~profile_runs:6 (Minic.Parser.parse source) in
+  Fmt.pr "  RELAY found %d race pairs; instrumented with %d weak locks.@."
+    (List.length an.an_report.races)
+    an.an_plan.pl_n_locks;
+  let ok = ref 0 in
+  List.iter
+    (fun seed ->
+      match
+        Chimera.Runner.record_replay_check ~config:(config seed) ~io
+          an.an_instrumented
+      with
+      | Ok (r, _) ->
+          incr ok;
+          let v = List.hd (List.map snd r.rc_outcome.o_outputs) in
+          Fmt.pr "  seed %2d -> recorded balance %d, replay identical ✓@." seed v
+      | Error d ->
+          Fmt.pr "  seed %2d -> DIVERGED: %a@." seed Chimera.Runner.pp_divergence d)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  Fmt.pr "  %d/8 recordings replayed deterministically.@." !ok;
+  Fmt.pr
+    "@.Every recorded execution — including ones that exhibit the lost-update \
+     bug — can now be replayed and debugged deterministically.@."

@@ -1,0 +1,1 @@
+lib/bench_progs/desktop.ml: Interp Libc Template

@@ -1,0 +1,1 @@
+lib/bench_progs/registry.ml: Desktop Fmt Interp List Server Splash String

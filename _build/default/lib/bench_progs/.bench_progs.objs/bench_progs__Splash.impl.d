@@ -1,0 +1,1 @@
+lib/bench_progs/splash.ml: Interp Libc Template

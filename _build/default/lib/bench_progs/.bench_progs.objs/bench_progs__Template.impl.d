@@ -1,0 +1,1 @@
+lib/bench_progs/template.ml: Buffer Fmt List String

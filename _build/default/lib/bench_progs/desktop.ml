@@ -1,0 +1,305 @@
+(** The three desktop applications of Table 1: aget, pfscan, pbzip2 —
+    MiniC re-implementations with the concurrency structure of the
+    originals.
+
+    - {b aget}: multi-threaded download accelerator. Each worker
+      [net_read]s chunks into its own disjoint segment of a shared buffer
+      (work partitioning the symbolic bounds analysis can prove) and
+      racily bumps the shared progress counter [bwritten] (aget's
+      well-known benign race). Network latency dominates, so recording
+      overlaps with I/O wait — the paper's explanation for aget's ~1.0x
+      recording overhead.
+    - {b pfscan}: parallel file scanner. [main] fills a work queue before
+      starting workers; workers pull files under a mutex and scan
+      [file_read] content. The hot inner loop has an if-guarded racy
+      update — the paper's Section 7.3 example of instruction- vs
+      loop-granularity trade-offs — and its main↔worker races are
+      fork-ordered, so function-locks win.
+    - {b pbzip2}: pipeline-parallel block compressor. A producer reads
+      blocks into a bounded queue guarded by mutex + condition variables;
+      workers run-length-compress blocks into per-block output slots
+      (disjoint — loop-lock territory); fan-in totals are mutex-protected,
+      and the racy [files_done] style counter survives as in the
+      original. *)
+
+let sub = Template.subst
+
+(* RLE worst case doubles a block, so output slots are 2*BLK + 8 *)
+let blk = 160
+let oslot = (2 * blk) + 8
+
+let aget ~workers ~scale =
+  sub
+    [ ("W", workers); ("PER", scale); ("BUF", workers * scale) ]
+    {|
+int buf[${BUF}];
+int seg_done[${W}];
+int bwritten = 0;
+
+struct seg { int id; int lo; int hi; };
+struct seg segs[${W}];
+
+void worker(struct seg *sp) {
+  int chunk[32];
+  int got; int pos; int k; int want;
+  pos = sp->lo;
+  while (pos < sp->hi) {
+    want = sp->hi - pos;
+    if (want > 32) { want = 32; }
+    got = net_read(chunk, want);
+    if (got == 0) { break; }
+    for (k = 0; k < got; k++) {
+      buf[pos + k] = chunk[k];
+    }
+    pos = pos + got;
+    bwritten = bwritten + got;
+  }
+  seg_done[sp->id] = 1;
+}
+
+int main() {
+  int tids[${W}];
+  int i; int n; int per; int sum;
+  n = ${W};
+  per = ${PER};
+  for (i = 0; i < n; i++) {
+    segs[i].id = i;
+    segs[i].lo = i * per;
+    segs[i].hi = i * per + per;
+  }
+  for (i = 0; i < n; i++) {
+    tids[i] = spawn(worker, &segs[i]);
+  }
+  for (i = 0; i < n; i++) {
+    join(tids[i]);
+  }
+  sum = checksum_w(buf, n * per);
+  output(bwritten);
+  output(sum);
+  for (i = 0; i < n; i++) {
+    output(seg_done[i]);
+  }
+  return 0;
+}
+|}
+  ^ Libc.all
+
+let aget_io ~seed ~scale:_ = Interp.Iomodel.random ~seed
+
+let pfscan ~workers ~scale =
+  let chunk = min 256 (32 * scale) in
+  sub
+    [
+      ("W", workers);
+      ("CHUNK", chunk);
+      ("NFILES", min 60 (2 * workers));
+    ]
+    {|
+int queue[64];
+int qhead = 0;
+int qtail = 0;
+int qlock;
+int matches = 0;
+int mlock;
+int files_scanned = 0;
+int target = 7;
+
+void scan_file(int fid) {
+  int data[8192];
+  int got; int k; int local; int total;
+  local = 0;
+  total = 0;
+  got = file_read(&data[0], ${CHUNK});
+  while (got > 0) {
+    total = total + got;
+    if (total > 8192 - ${CHUNK}) { break; }
+    got = file_read(&data[total], ${CHUNK});
+  }
+  for (k = 0; k < total; k++) {
+    if (data[k] % 256 == target) {
+      local = local + 1;
+    }
+  }
+  lock(&mlock);
+  matches = matches + local;
+  unlock(&mlock);
+  files_scanned = files_scanned + 1;
+}
+
+void worker(int *unused) {
+  int fid; int again;
+  again = 1;
+  while (again) {
+    fid = 0 - 1;
+    lock(&qlock);
+    if (qhead < qtail) {
+      fid = queue[qhead];
+      qhead = qhead + 1;
+    }
+    unlock(&qlock);
+    if (fid < 0) {
+      again = 0;
+    } else {
+      scan_file(fid);
+    }
+  }
+}
+
+int main() {
+  int tids[${W}];
+  int i; int nfiles;
+  nfiles = ${NFILES};
+  for (i = 0; i < nfiles; i++) {
+    queue[qtail] = i;
+    qtail = qtail + 1;
+  }
+  for (i = 0; i < ${W}; i++) {
+    tids[i] = spawn(worker, &qlock);
+  }
+  for (i = 0; i < ${W}; i++) {
+    join(tids[i]);
+  }
+  output(matches);
+  output(files_scanned);
+  return 0;
+}
+|}
+  ^ Libc.all
+
+let pfscan_io ~seed ~scale =
+  Interp.Iomodel.stream ~seed ~chunks:scale ~chunk_size:256 ~input_range:256
+
+let pbzip2 ~workers ~scale =
+  let nblocks = min 16 (max 4 (2 * scale)) in
+  sub
+    [
+      ("W", workers);
+      ("BLK", blk);
+      ("OSLOT", oslot);
+      ("NBLK", nblocks);
+      ("BLKCAP", nblocks * blk);
+      ("OUTCAP", nblocks * oslot);
+    ]
+    {|
+int inq[32];
+int inq_head = 0;
+int inq_tail = 0;
+int inq_lock;
+int inq_nonempty;
+int inq_nonfull;
+int producer_done = 0;
+
+int blocks[${BLKCAP}];
+int outbuf[${OUTCAP}];
+int outlen[${NBLK}];
+int written = 0;
+int wlock;
+
+void compress_block(int b) {
+  int scratch[${OSLOT}];
+  int i; int run; int prev; int cur; int o; int len;
+  o = b * ${OSLOT};
+  prev = 0 - 1;
+  run = 0;
+  len = 0;
+  for (i = 0; i < ${BLK}; i++) {
+    cur = blocks[b * ${BLK} + i];
+    if (cur == prev) {
+      run = run + 1;
+    } else {
+      if (run > 0) {
+        scratch[len] = prev;
+        scratch[len + 1] = run;
+        len = len + 2;
+      }
+      prev = cur;
+      run = 1;
+    }
+  }
+  if (run > 0) {
+    scratch[len] = prev;
+    scratch[len + 1] = run;
+    len = len + 2;
+  }
+  for (i = 0; i < len; i++) {
+    outbuf[o + i] = scratch[i];
+  }
+  outlen[b] = len;
+}
+
+void worker(int *unused) {
+  int b; int more;
+  more = 1;
+  while (more) {
+    b = 0 - 1;
+    lock(&inq_lock);
+    while (inq_head == inq_tail && producer_done == 0) {
+      cond_wait(&inq_nonempty, &inq_lock);
+    }
+    if (inq_head < inq_tail) {
+      b = inq[inq_head % 32];
+      inq_head = inq_head + 1;
+      cond_signal(&inq_nonfull);
+    }
+    unlock(&inq_lock);
+    if (b < 0) {
+      more = 0;
+    } else {
+      compress_block(b);
+      lock(&wlock);
+      written = written + outlen[b];
+      unlock(&wlock);
+    }
+  }
+}
+
+void producer(int *count) {
+  int tmp[${BLK}];
+  int b; int i; int got;
+  for (b = 0; b < *count; b++) {
+    got = file_read(tmp, ${BLK});
+    for (i = 0; i < ${BLK}; i++) {
+      if (i < got) {
+        blocks[b * ${BLK} + i] = tmp[i] % 16;
+      } else {
+        blocks[b * ${BLK} + i] = 0;
+      }
+    }
+    lock(&inq_lock);
+    while (inq_tail - inq_head >= 32) {
+      cond_wait(&inq_nonfull, &inq_lock);
+    }
+    inq[inq_tail % 32] = b;
+    inq_tail = inq_tail + 1;
+    cond_signal(&inq_nonempty);
+    unlock(&inq_lock);
+  }
+  lock(&inq_lock);
+  producer_done = 1;
+  cond_broadcast(&inq_nonempty);
+  unlock(&inq_lock);
+}
+
+int main() {
+  int tids[${W}];
+  int i; int count; int ptid; int sum;
+  count = ${NBLK};
+  ptid = spawn(producer, &count);
+  for (i = 0; i < ${W}; i++) {
+    tids[i] = spawn(worker, &i);
+  }
+  join(ptid);
+  for (i = 0; i < ${W}; i++) {
+    join(tids[i]);
+  }
+  sum = checksum_w(outbuf, ${OUTCAP});
+  output(written);
+  output(sum);
+  return 0;
+}
+|}
+  ^ Libc.all
+
+let pbzip2_io ~seed ~scale =
+  Interp.Iomodel.stream ~seed ~chunks:(max 4 (2 * scale)) ~chunk_size:blk
+    ~input_range:16

@@ -1,0 +1,16 @@
+(** The three desktop applications of Table 1: aget, pfscan, pbzip2 —
+    MiniC re-implementations with the concurrency structure of the
+    originals (see the implementation header for the per-app stories).
+
+    Each [~scale] has the app's own meaning: aget's download size in
+    chunks per worker, pfscan's files-to-scan count, pbzip2's blocks to
+    compress. Sources include the {!Libc} routines. *)
+
+val aget : workers:int -> scale:int -> string
+val aget_io : seed:int -> scale:int -> Interp.Iomodel.t
+
+val pfscan : workers:int -> scale:int -> string
+val pfscan_io : seed:int -> scale:int -> Interp.Iomodel.t
+
+val pbzip2 : workers:int -> scale:int -> string
+val pbzip2_io : seed:int -> scale:int -> Interp.Iomodel.t

@@ -1,0 +1,43 @@
+(** MiniC stand-ins for the C-library routines the benchmarks use.
+
+    The paper includes uClibc in its static analysis (Section 6.2) so
+    that library code — notably apache's hot [memset] loop, the paper's
+    flagship loop-lock example — is analyzed and instrumented like
+    application code. These definitions are appended to each benchmark's
+    source for the same reason: races through [memset]/[memcpy] must be
+    visible to RELAY and guardable by loop-locks with symbolic bounds. *)
+
+let memset =
+  {|
+void memset_w(int *dst, int val, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    dst[i] = val;
+  }
+}
+|}
+
+let memcpy =
+  {|
+void memcpy_w(int *dst, int *src, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    dst[i] = src[i];
+  }
+}
+|}
+
+let checksum =
+  {|
+int checksum_w(int *buf, int n) {
+  int i; int sum;
+  sum = 0;
+  for (i = 0; i < n; i++) {
+    sum = sum + buf[i];
+    sum = sum % 1000003;
+  }
+  return sum;
+}
+|}
+
+let all = memset ^ memcpy ^ checksum

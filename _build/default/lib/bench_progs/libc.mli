@@ -1,0 +1,18 @@
+(** MiniC stand-ins for the C-library routines the benchmarks use.
+
+    The paper includes uClibc in its static analysis (Section 6.2) so
+    that library code — notably apache's hot [memset] loop, the paper's
+    flagship loop-lock example — is analyzed and instrumented like
+    application code. These definitions are appended to each benchmark's
+    source for the same reason: races through [memset_w]/[memcpy_w] must
+    be visible to RELAY and guardable by loop-locks with symbolic
+    bounds. *)
+
+val memset : string   (** [memset_w(dst, val, n)] *)
+
+val memcpy : string   (** [memcpy_w(dst, src, n)] *)
+
+val checksum : string (** [checksum_w(buf, n)] — result verification *)
+
+(** All three concatenated, ready to append to a benchmark source. *)
+val all : string

@@ -1,0 +1,119 @@
+(** The benchmark registry: the nine applications of Table 1 with their
+    profile and evaluation environments.
+
+    Paper inputs scale to hours of Xeon time; the simulator equivalents
+    keep the paper's {e structure} — profile inputs are smaller than and
+    different from evaluation inputs, scientific kernels take no runtime
+    input, network applications are I/O-bound — at simulator-friendly
+    sizes. [b_profile_scale]/[b_eval_scale] parameterize input size;
+    worker counts come from the caller (the paper records with 4 worker
+    threads and scales 2/4/8 in Figure 8). *)
+
+type kind = Desktop | Server | Scientific
+
+let pp_kind ppf k =
+  Fmt.string ppf
+    (match k with
+    | Desktop -> "desktop"
+    | Server -> "server"
+    | Scientific -> "scientific")
+
+type bench = {
+  b_name : string;
+  b_kind : kind;
+  b_source : workers:int -> scale:int -> string;
+  b_io : seed:int -> scale:int -> Interp.Iomodel.t;
+  b_profile_scale : int;
+  b_eval_scale : int;
+}
+
+let all : bench list =
+  [
+    {
+      b_name = "aget";
+      b_kind = Desktop;
+      b_source = Desktop.aget;
+      b_io = Desktop.aget_io;
+      b_profile_scale = 64;
+      b_eval_scale = 256;
+    };
+    {
+      b_name = "pfscan";
+      b_kind = Desktop;
+      b_source = Desktop.pfscan;
+      b_io = Desktop.pfscan_io;
+      b_profile_scale = 4;
+      b_eval_scale = 28;
+    };
+    {
+      b_name = "pbzip2";
+      b_kind = Desktop;
+      b_source = Desktop.pbzip2;
+      b_io = Desktop.pbzip2_io;
+      b_profile_scale = 2;
+      b_eval_scale = 6;
+    };
+    {
+      b_name = "knot";
+      b_kind = Server;
+      b_source = Server.knot;
+      b_io = Server.knot_io;
+      b_profile_scale = 2;
+      b_eval_scale = 10;
+    };
+    {
+      b_name = "apache";
+      b_kind = Server;
+      b_source = Server.apache;
+      b_io = Server.apache_io;
+      b_profile_scale = 2;
+      b_eval_scale = 8;
+    };
+    {
+      b_name = "ocean";
+      b_kind = Scientific;
+      b_source = Splash.ocean;
+      b_io = Splash.scientific_io;
+      b_profile_scale = 2;
+      b_eval_scale = 6;
+    };
+    {
+      b_name = "water";
+      b_kind = Scientific;
+      b_source = Splash.water;
+      b_io = Splash.scientific_io;
+      b_profile_scale = 2;
+      b_eval_scale = 6;
+    };
+    {
+      b_name = "fft";
+      b_kind = Scientific;
+      b_source = Splash.fft;
+      b_io = Splash.scientific_io;
+      b_profile_scale = 3;
+      b_eval_scale = 10;
+    };
+    {
+      b_name = "radix";
+      b_kind = Scientific;
+      b_source = Splash.radix;
+      b_io = Splash.scientific_io;
+      b_profile_scale = 2;
+      b_eval_scale = 8;
+    };
+  ]
+
+let by_name name =
+  match List.find_opt (fun b -> b.b_name = name) all with
+  | Some b -> b
+  | None -> Fmt.invalid_arg "unknown benchmark %s" name
+
+let names = List.map (fun b -> b.b_name) all
+
+(** Lines of MiniC source (Table 1's LOC column, measured like the paper
+    on the front-end representation, excluding blank lines). *)
+let loc (b : bench) ~workers : int =
+  let src = b.b_source ~workers ~scale:b.b_eval_scale in
+  String.split_on_char '\n' src
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

@@ -1,0 +1,39 @@
+(** The benchmark registry: the nine applications of the paper's Table 1
+    with their profile and evaluation environments.
+
+    The paper's inputs scale to hours of Xeon time; the simulator
+    equivalents keep the paper's {e structure} — profile inputs are
+    smaller than and different from evaluation inputs, scientific
+    kernels take no runtime input, network applications are I/O-bound —
+    at simulator-friendly sizes. *)
+
+type kind = Desktop | Server | Scientific
+
+val pp_kind : kind Fmt.t
+
+type bench = {
+  b_name : string;
+  b_kind : kind;
+  b_source : workers:int -> scale:int -> string;
+      (** MiniC source, parameterized by worker-thread count and input
+          scale (the per-app meaning of [scale] is documented in the
+          source module) *)
+  b_io : seed:int -> scale:int -> Interp.Iomodel.t;
+      (** the app's environment model — request streams, file contents,
+          download bytes — as a pure function of [seed] *)
+  b_profile_scale : int;  (** input scale used for the profile runs *)
+  b_eval_scale : int;     (** input scale used for the evaluation runs *)
+}
+
+(** All nine, in Table 1 order:
+    aget, pfscan, pbzip2, knot, apache, ocean, water, fft, radix. *)
+val all : bench list
+
+(** @raise Invalid_argument on an unknown name. *)
+val by_name : string -> bench
+
+val names : string list
+
+(** Lines of MiniC source (Table 1's LOC column, measured like the paper
+    on the front-end representation, excluding blank lines). *)
+val loc : bench -> workers:int -> int

@@ -1,0 +1,227 @@
+(** The two server applications of Table 1: knot and apache.
+
+    - {b knot}: a small thread-per-pool web server. [main] accepts
+      requests ([net_read]) and hands them to workers through a bounded
+      queue (mutex + condition variables); workers serve pages from an
+      in-memory cache and racily bump hit/miss statistics. Network wait
+      dominates, so recording overhead hides under I/O as in the paper.
+    - {b apache}: a larger worker-pool server. Each worker accepts under
+      an accept mutex, parses the request, and builds the response in its
+      own slice of a shared response arena by calling [memset_w] — the
+      paper's flagship example (Section 7.3): RELAY reports a false race
+      inside the hot memset loop because the per-worker slices are one
+      abstract object, and only the symbolic-bounds loop-lock
+      ([&dst\[0\] .. &dst\[n-1\]], disjoint per worker) avoids
+      serializing it. A racy scoreboard and a mutex-protected cache round
+      out the sharing mix. *)
+
+let sub = Template.subst
+
+let knot ~workers ~scale =
+  let nreq = max 4 (4 * scale) in
+  sub
+    [
+      ("W", workers);
+      ("NREQ", nreq);
+      ("NPAGES", 8);
+      ("PAGESZ", 16);
+    ]
+    {|
+int pages[128];
+int queue[16];
+int qhead = 0;
+int qtail = 0;
+int qlock;
+int qfill;
+int qspace;
+int accepting = 1;
+int hits = 0;
+int served = 0;
+int servelock;
+
+void handle(int req) {
+  int page; int k; int sum;
+  page = req % ${NPAGES};
+  sum = 0;
+  for (k = 0; k < ${PAGESZ}; k++) {
+    sum = sum + pages[page * ${PAGESZ} + k];
+  }
+  hits = hits + 1;
+  lock(&servelock);
+  served = served + 1;
+  unlock(&servelock);
+  output(sum % 1000);
+}
+
+void worker(int *unused) {
+  int req; int more;
+  more = 1;
+  while (more) {
+    req = 0 - 1;
+    lock(&qlock);
+    while (qhead == qtail && accepting == 1) {
+      cond_wait(&qfill, &qlock);
+    }
+    if (qhead < qtail) {
+      req = queue[qhead % 16];
+      qhead = qhead + 1;
+      cond_signal(&qspace);
+    }
+    unlock(&qlock);
+    if (req < 0) {
+      more = 0;
+    } else {
+      handle(req);
+    }
+  }
+}
+
+int main() {
+  int tids[${W}];
+  int i; int n; int got; int buf[4];
+  for (i = 0; i < 128; i++) {
+    pages[i] = (i * 31 + 17) % 256;
+  }
+  for (i = 0; i < ${W}; i++) {
+    tids[i] = spawn(worker, &qlock);
+  }
+  for (n = 0; n < ${NREQ}; n++) {
+    got = net_read(buf, 1);
+    if (got == 0) { break; }
+    lock(&qlock);
+    while (qtail - qhead >= 16) {
+      cond_wait(&qspace, &qlock);
+    }
+    queue[qtail % 16] = buf[0];
+    qtail = qtail + 1;
+    cond_signal(&qfill);
+    unlock(&qlock);
+  }
+  lock(&qlock);
+  accepting = 0;
+  cond_broadcast(&qfill);
+  unlock(&qlock);
+  for (i = 0; i < ${W}; i++) {
+    join(tids[i]);
+  }
+  output(hits);
+  output(served);
+  return 0;
+}
+|}
+  ^ Libc.all
+
+let knot_io ~seed ~scale =
+  Interp.Iomodel.stream ~seed ~chunks:(max 4 (4 * scale)) ~chunk_size:1
+    ~input_range:256
+
+let apache ~workers ~scale =
+  let nreq_per = max 2 (2 * scale) in
+  let bufsz = 24 in
+  sub
+    [
+      ("W", workers);
+      ("RPW", nreq_per);
+      ("BUFSZ", bufsz);
+      ("ARENA", workers * bufsz);
+      ("NCACHE", 8);
+      ("CACHESZ", 8);
+    ]
+    {|
+struct wstate { int id; int done; };
+
+int arena[${ARENA}];
+int cache_tag[${NCACHE}];
+int cache_data[64];
+int cache_lock;
+int accept_lock;
+int next_req = 0;
+int scoreboard[${W}];
+int total_served = 0;
+struct wstate states[${W}];
+
+int cache_lookup(int key) {
+  int slot; int v; int k;
+  slot = key % ${NCACHE};
+  lock(&cache_lock);
+  if (cache_tag[slot] != key) {
+    cache_tag[slot] = key;
+    for (k = 0; k < ${CACHESZ}; k++) {
+      cache_data[slot * ${CACHESZ} + k] = key * 7 + k;
+    }
+  }
+  v = cache_data[slot * ${CACHESZ}];
+  unlock(&cache_lock);
+  return v;
+}
+
+int parse_request(int *req, int len) {
+  int i; int h;
+  h = 0;
+  for (i = 0; i < len; i++) {
+    h = h * 31 + req[i];
+    h = h % 65536;
+  }
+  return h;
+}
+
+void build_response(int id, int key, int body) {
+  int i; int base;
+  base = id * ${BUFSZ};
+  memset_w(&arena[base], 0, ${BUFSZ});
+  arena[base] = key % 256;
+  arena[base + 1] = body % 256;
+  for (i = 2; i < ${BUFSZ}; i++) {
+    arena[base + i] = (key + i * body) % 256;
+  }
+}
+
+void worker(struct wstate *st) {
+  int req[8];
+  int r; int got; int key; int body; int sum; int id;
+  id = st->id;
+  for (r = 0; r < ${RPW}; r++) {
+    lock(&accept_lock);
+    got = net_read(req, 8);
+    next_req = next_req + 1;
+    unlock(&accept_lock);
+    if (got == 0) { break; }
+    key = parse_request(req, got);
+    body = cache_lookup(key);
+    build_response(id, key, body);
+    sum = checksum_w(&arena[id * ${BUFSZ}], ${BUFSZ});
+    scoreboard[id] = scoreboard[id] + 1;
+    total_served = total_served + 1;
+    output(sum);
+  }
+  st->done = 1;
+}
+
+int main() {
+  int tids[${W}];
+  int i;
+  for (i = 0; i < ${NCACHE}; i++) {
+    cache_tag[i] = 0 - 1;
+  }
+  for (i = 0; i < ${W}; i++) {
+    states[i].id = i;
+    states[i].done = 0;
+    scoreboard[i] = 0;
+    tids[i] = spawn(worker, &states[i]);
+  }
+  for (i = 0; i < ${W}; i++) {
+    join(tids[i]);
+  }
+  output(total_served);
+  output(next_req);
+  for (i = 0; i < ${W}; i++) {
+    output(scoreboard[i]);
+  }
+  return 0;
+}
+|}
+  ^ Libc.all
+
+let apache_io ~seed ~scale =
+  Interp.Iomodel.stream ~seed ~chunks:(max 2 (2 * scale)) ~chunk_size:8
+    ~input_range:256

@@ -1,0 +1,13 @@
+(** The two server applications of Table 1: knot and apache — MiniC
+    re-implementations with the concurrency structure of the originals
+    (see the implementation header for the per-app stories, including
+    apache's flagship hot-memset loop-lock example).
+
+    [~scale] is the number of requests served. Sources include the
+    {!Libc} routines. *)
+
+val knot : workers:int -> scale:int -> string
+val knot_io : seed:int -> scale:int -> Interp.Iomodel.t
+
+val apache : workers:int -> scale:int -> string
+val apache_io : seed:int -> scale:int -> Interp.Iomodel.t

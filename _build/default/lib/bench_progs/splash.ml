@@ -1,0 +1,389 @@
+(** The four SPLASH-2 kernels of Table 1: ocean, water, fft, radix —
+    MiniC versions with the sharing and synchronization patterns that
+    drive the paper's results.
+
+    - {b ocean}: red-black grid relaxation. Threads own row strips of the
+      grid (affine partitioning — loop-locks with precise bounds), but
+      each sweep reads one neighbor row across the strip boundary, which
+      a lockset analysis flags as racy against the neighbor's writes.
+      Phases are separated by barriers RELAY ignores.
+    - {b water} (n-squared): barrier-phased force computation. [interf]
+      and [bndry] never overlap thanks to barriers — this is exactly the
+      Figure 2 example, so its races are recovered by function-locks —
+      and the force-accumulation phase updates a per-thread slice plus a
+      global reduction under a real lock.
+    - {b fft}: barrier-separated butterfly stages over a partitioned
+      array, plus a transpose whose strided accesses defeat the symbolic
+      bounds analysis (the paper's loop-lock contention case).
+    - {b radix}: the paper's Figure 4 program. Per-thread [rank] slices
+      are zeroed with affine bounds (precise loop-locks); the counting
+      loop indexes [rank] with a value loaded from [key_from] (my_key),
+      which is statically unbounded — the [-INF..+INF] loop-lock of
+      Figure 4. *)
+
+let sub = Template.subst
+
+let ocean ~workers ~scale =
+  let rows_per = max 2 (2 * scale) in
+  let rows = (workers * rows_per) + 2 in
+  let cols = 8 + (2 * scale) in
+  sub
+    [
+      ("W", workers);
+      ("ROWS", rows);
+      ("COLS", cols);
+      ("RP", rows_per);
+      ("CELLS", rows * cols);
+      ("ITERS", 4);
+    ]
+    {|
+int grid[${CELLS}];
+int newg[${CELLS}];
+int residual = 0;
+int reslock;
+int iterbar;
+int ids[${W}];
+
+void relax(int id) {
+  int r; int c; int lo; int hi; int acc;
+  lo = id * ${RP} + 1;
+  hi = lo + ${RP};
+  for (r = lo; r < hi; r++) {
+    for (c = 1; c < ${COLS} - 1; c++) {
+      acc = grid[r * ${COLS} + c];
+      acc = acc + grid[(r - 1) * ${COLS} + c];
+      acc = acc + grid[(r + 1) * ${COLS} + c];
+      acc = acc + grid[r * ${COLS} + c - 1];
+      acc = acc + grid[r * ${COLS} + c + 1];
+      newg[r * ${COLS} + c] = acc / 5;
+    }
+  }
+}
+
+void copyback(int id) {
+  int r; int c; int lo; int hi; int diff; int local;
+  lo = id * ${RP} + 1;
+  hi = lo + ${RP};
+  local = 0;
+  for (r = lo; r < hi; r++) {
+    for (c = 1; c < ${COLS} - 1; c++) {
+      diff = newg[r * ${COLS} + c] - grid[r * ${COLS} + c];
+      if (diff < 0) { diff = 0 - diff; }
+      local = local + diff;
+      grid[r * ${COLS} + c] = newg[r * ${COLS} + c];
+    }
+  }
+  lock(&reslock);
+  residual = residual + local;
+  unlock(&reslock);
+}
+
+void worker(int *idp) {
+  int it; int id;
+  id = *idp;
+  for (it = 0; it < ${ITERS}; it++) {
+    relax(id);
+    barrier_wait(&iterbar);
+    copyback(id);
+    barrier_wait(&iterbar);
+  }
+}
+
+int main() {
+  int tids[${W}];
+  int i; int cs;
+  for (i = 0; i < ${CELLS}; i++) {
+    grid[i] = (i * 37 + 11) % 100;
+    newg[i] = 0;
+  }
+  barrier_init(&iterbar, ${W});
+  for (i = 0; i < ${W}; i++) {
+    ids[i] = i;
+    tids[i] = spawn(worker, &ids[i]);
+  }
+  for (i = 0; i < ${W}; i++) {
+    join(tids[i]);
+  }
+  output(residual);
+  cs = checksum_w(grid, ${CELLS});
+  output(cs);
+  return 0;
+}
+|}
+  ^ Libc.all
+
+let water ~workers ~scale =
+  let mols_per = max 2 (4 * scale) in
+  let mols = workers * mols_per in
+  sub
+    [
+      ("W", workers);
+      ("MOLS", mols);
+      ("MP", mols_per);
+      ("STEPS", 3);
+    ]
+    {|
+int pos[${MOLS}];
+int vel[${MOLS}];
+int forces[${MOLS}];
+int potential = 0;
+int plock;
+int phasebar;
+int ids[${W}];
+
+void interf(int id) {
+  int i; int j; int lo; int hi; int f; int local;
+  lo = id * ${MP};
+  hi = lo + ${MP};
+  local = 0;
+  for (i = lo; i < hi; i++) {
+    f = 0;
+    for (j = 0; j < ${MOLS}; j++) {
+      f = f + (pos[j] - pos[i]) / (1 + (i - j) * (i - j));
+    }
+    forces[i] = f;
+    local = local + f * f;
+  }
+  lock(&plock);
+  potential = potential + local;
+  unlock(&plock);
+}
+
+void bndry(int id) {
+  int i; int lo; int hi;
+  lo = id * ${MP};
+  hi = lo + ${MP};
+  for (i = lo; i < hi; i++) {
+    if (pos[i] > 1000) { pos[i] = pos[i] - 2000; }
+    if (pos[i] < 0 - 1000) { pos[i] = pos[i] + 2000; }
+  }
+}
+
+void kineti(int id) {
+  int i; int lo; int hi;
+  lo = id * ${MP};
+  hi = lo + ${MP};
+  for (i = lo; i < hi; i++) {
+    vel[i] = vel[i] + forces[i] / 16;
+    pos[i] = pos[i] + vel[i] / 4;
+  }
+}
+
+void worker(int *idp) {
+  int s; int id;
+  id = *idp;
+  for (s = 0; s < ${STEPS}; s++) {
+    interf(id);
+    barrier_wait(&phasebar);
+    kineti(id);
+    barrier_wait(&phasebar);
+    bndry(id);
+    barrier_wait(&phasebar);
+  }
+}
+
+int main() {
+  int tids[${W}];
+  int i; int cs;
+  for (i = 0; i < ${MOLS}; i++) {
+    pos[i] = (i * 53 + 7) % 500;
+    vel[i] = (i * 19) % 9 - 4;
+    forces[i] = 0;
+  }
+  barrier_init(&phasebar, ${W});
+  for (i = 0; i < ${W}; i++) {
+    ids[i] = i;
+    tids[i] = spawn(worker, &ids[i]);
+  }
+  for (i = 0; i < ${W}; i++) {
+    join(tids[i]);
+  }
+  output(potential);
+  cs = checksum_w(pos, ${MOLS});
+  output(cs);
+  cs = checksum_w(vel, ${MOLS});
+  output(cs);
+  return 0;
+}
+|}
+  ^ Libc.all
+
+let fft ~workers ~scale =
+  let per = max 4 (8 * scale) in
+  let n = workers * per in
+  sub
+    [ ("W", workers); ("N", n); ("PER", per); ("STAGES", 3) ]
+    {|
+int re[${N}];
+int im[${N}];
+int tmp[${N}];
+int stagebar;
+int ids[${W}];
+
+void butterfly(int id, int stage) {
+  int i; int lo; int hi; int stride; int partner; int a; int b;
+  lo = id * ${PER};
+  hi = lo + ${PER};
+  stride = stage * 2 + 1;
+  for (i = lo; i < hi; i++) {
+    partner = (i + stride) % ${N};
+    a = re[i] + re[partner];
+    b = im[i] - im[partner];
+    tmp[i] = a / 2 + b / 3;
+  }
+}
+
+void scatter(int id) {
+  int i; int lo; int hi;
+  lo = id * ${PER};
+  hi = lo + ${PER};
+  for (i = lo; i < hi; i++) {
+    re[i] = tmp[i];
+    im[i] = tmp[i] / 2 - im[i];
+  }
+}
+
+void worker(int *idp) {
+  int s; int id;
+  id = *idp;
+  for (s = 0; s < ${STAGES}; s++) {
+    butterfly(id, s);
+    barrier_wait(&stagebar);
+    scatter(id);
+    barrier_wait(&stagebar);
+  }
+}
+
+int main() {
+  int tids[${W}];
+  int i; int cs;
+  for (i = 0; i < ${N}; i++) {
+    re[i] = (i * 91 + 3) % 256;
+    im[i] = (i * 57 + 5) % 256;
+    tmp[i] = 0;
+  }
+  barrier_init(&stagebar, ${W});
+  for (i = 0; i < ${W}; i++) {
+    ids[i] = i;
+    tids[i] = spawn(worker, &ids[i]);
+  }
+  for (i = 0; i < ${W}; i++) {
+    join(tids[i]);
+  }
+  cs = checksum_w(re, ${N});
+  output(cs);
+  cs = checksum_w(im, ${N});
+  output(cs);
+  return 0;
+}
+|}
+  ^ Libc.all
+
+let radix ~workers ~scale =
+  let radix_n = 8 in
+  let keys_per = max 8 (50 * scale) in
+  let nkeys = workers * keys_per in
+  sub
+    [
+      ("W", workers);
+      ("RADIX", radix_n);
+      ("KEYS", nkeys);
+      ("KP", keys_per);
+      ("RANKCAP", workers * radix_n);
+      ("MASK", radix_n - 1);
+      ("DIGITS", 2);
+    ]
+    {|
+int key_from[${KEYS}];
+int key_to[${KEYS}];
+int rank[${RANKCAP}];
+int global_hist[${RADIX}];
+int offsets[${RANKCAP}];
+int histlock;
+int digitbar;
+int ids[${W}];
+
+void slave_sort(int id) {
+  int i; int j; int d; int my_key; int base; int start; int stop;
+  int offset; int divisor; int t;
+  base = id * ${RADIX};
+  start = id * ${KP};
+  stop = start + ${KP};
+  divisor = 1;
+  for (d = 0; d < ${DIGITS}; d++) {
+    for (j = 0; j < ${RADIX}; j++) {
+      rank[base + j] = 0;
+    }
+    for (j = start; j < stop; j++) {
+      my_key = (key_from[j] / divisor) & ${MASK};
+      rank[base + my_key] = rank[base + my_key] + 1;
+    }
+    lock(&histlock);
+    for (j = 0; j < ${RADIX}; j++) {
+      global_hist[j] = global_hist[j] + rank[base + j];
+    }
+    unlock(&histlock);
+    barrier_wait(&digitbar);
+    if (id == 0) {
+      offset = 0;
+      for (j = 0; j < ${RADIX}; j++) {
+        for (i = 0; i < ${W}; i++) {
+          offsets[i * ${RADIX} + j] = offset;
+          offset = offset + rank[i * ${RADIX} + j];
+        }
+      }
+    }
+    barrier_wait(&digitbar);
+    for (j = start; j < stop; j++) {
+      my_key = (key_from[j] / divisor) & ${MASK};
+      t = offsets[base + my_key];
+      offsets[base + my_key] = t + 1;
+      key_to[t] = key_from[j];
+    }
+    barrier_wait(&digitbar);
+    for (j = start; j < stop; j++) {
+      key_from[j] = key_to[j];
+    }
+    barrier_wait(&digitbar);
+    if (id == 0) {
+      for (j = 0; j < ${RADIX}; j++) {
+        global_hist[j] = 0;
+      }
+    }
+    barrier_wait(&digitbar);
+    divisor = divisor * ${RADIX};
+  }
+}
+
+void worker(int *idp) {
+  slave_sort(*idp);
+}
+
+int main() {
+  int tids[${W}];
+  int i; int cs;
+  for (i = 0; i < ${KEYS}; i++) {
+    key_from[i] = (i * 7919 + 13) % 4096;
+    key_to[i] = 0;
+  }
+  for (i = 0; i < ${RADIX}; i++) {
+    global_hist[i] = 0;
+  }
+  barrier_init(&digitbar, ${W});
+  for (i = 0; i < ${W}; i++) {
+    ids[i] = i;
+    tids[i] = spawn(worker, &ids[i]);
+  }
+  for (i = 0; i < ${W}; i++) {
+    join(tids[i]);
+  }
+  cs = checksum_w(key_from, ${KEYS});
+  output(cs);
+  return 0;
+}
+|}
+  ^ Libc.all
+
+let scientific_io ~seed ~scale:_ =
+  (* SPLASH kernels take no runtime input; the model is unused *)
+  Interp.Iomodel.random ~seed

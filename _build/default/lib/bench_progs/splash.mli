@@ -1,0 +1,17 @@
+(** The four SPLASH-2 kernels of Table 1: ocean, water, fft, radix —
+    MiniC versions with the sharing and synchronization patterns that
+    drive the paper's results (barrier phases RELAY deliberately
+    ignores, affine partitionings the bounds analysis proves disjoint,
+    and radix's statically-unbounded counting loop of Figure 4 — see
+    the implementation header).
+
+    [~scale] multiplies the problem size (grid rows, molecules, points,
+    keys). The kernels take no runtime input; {!scientific_io} exists
+    only to satisfy the registry interface. *)
+
+val ocean : workers:int -> scale:int -> string
+val water : workers:int -> scale:int -> string
+val fft : workers:int -> scale:int -> string
+val radix : workers:int -> scale:int -> string
+
+val scientific_io : seed:int -> scale:int -> Interp.Iomodel.t

@@ -1,0 +1,25 @@
+(** Tiny named-placeholder templating for benchmark sources:
+    [${NAME}] is replaced by the integer bound to NAME. Fails loudly on
+    unresolved placeholders so a typo cannot silently produce wrong
+    MiniC code. *)
+
+let subst (bindings : (string * int) list) (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '$' && s.[!i + 1] = '{' then begin
+      let close = String.index_from s (!i + 2) '}' in
+      let name = String.sub s (!i + 2) (close - !i - 2) in
+      (match List.assoc_opt name bindings with
+      | Some v -> Buffer.add_string buf (string_of_int v)
+      | None -> Fmt.invalid_arg "Template.subst: unbound placeholder %s" name);
+      i := close + 1
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  let out = Buffer.contents buf in
+  out

@@ -1,0 +1,8 @@
+(** Tiny named-placeholder templating for benchmark sources. *)
+
+(** [subst bindings s] replaces every [${NAME}] in [s] with the integer
+    bound to [NAME].
+
+    @raise Invalid_argument on an unbound placeholder, so a typo cannot
+    silently produce wrong MiniC code. *)
+val subst : (string * int) list -> string -> string

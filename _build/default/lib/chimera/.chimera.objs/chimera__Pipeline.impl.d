@@ -1,0 +1,1 @@
+lib/chimera/pipeline.ml: Instrument Interp Minic Profiling Relay

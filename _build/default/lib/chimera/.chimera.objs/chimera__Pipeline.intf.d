@@ -1,0 +1,1 @@
+lib/chimera/pipeline.mli: Instrument Interp Minic Profiling Relay

@@ -1,0 +1,1 @@
+lib/chimera/runner.ml: Engine Fmt Interp List Minic Replay Runtime String Zcompress

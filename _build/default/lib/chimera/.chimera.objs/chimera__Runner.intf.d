@@ -1,0 +1,1 @@
+lib/chimera/runner.mli: Engine Fmt Interp Iomodel Minic Replay Runtime

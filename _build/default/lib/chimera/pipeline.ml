@@ -1,0 +1,54 @@
+(** The end-to-end Chimera pipeline (Figure 1 of the paper):
+
+    source → RELAY static race detection → off-line profiling →
+    clique + symbolic-bounds granularity planning → weak-lock
+    instrumentation → record / replay.
+
+    {!analyze} runs the static and profiling stages and produces the
+    instrumented program; {!Runner} (sibling module) executes programs in
+    native/record/replay modes and checks replay determinism. *)
+
+open Minic.Ast
+
+type analysis = {
+  an_prog : program;              (** original program, type-checked *)
+  an_summaries : Relay.Summary.t;
+  an_report : Relay.Detect.report;
+  an_profile : Profiling.Profile.t;
+  an_plan : Instrument.Plan.t;
+  an_instrumented : program;      (** the data-race-free transformed program *)
+}
+
+let default_profile_io i = Interp.Iomodel.random ~seed:(1000 + (i * 37))
+
+(** Run the full static + profiling pipeline.
+
+    [profile_runs] defaults to 20 (as in the paper, Section 7.1);
+    [profile_io] supplies per-run input models (profiling inputs should
+    differ from evaluation inputs); [opts] selects the optimization set
+    (Figure 5's configurations live in {!Instrument.Plan}). *)
+let analyze ?(opts = Instrument.Plan.all_opts) ?(profile_runs = 20)
+    ?(profile_io = default_profile_io)
+    ?(profile_config = Interp.Engine.default_config) (prog : program) :
+    analysis =
+  let prog = Minic.Typecheck.check prog in
+  let summaries, report = Relay.Detect.analyze prog in
+  let profile =
+    Profiling.Profile.profile_many ~config:profile_config
+      ~io_of:profile_io ~runs:profile_runs prog
+  in
+  let plan = Instrument.Plan.compute ~opts prog report profile in
+  let instrumented = Instrument.Transform.apply prog plan in
+  {
+    an_prog = prog;
+    an_summaries = summaries;
+    an_report = report;
+    an_profile = profile;
+    an_plan = plan;
+    an_instrumented = instrumented;
+  }
+
+(** Convenience: parse, check, analyze. *)
+let analyze_source ?opts ?profile_runs ?profile_io ?profile_config ?file src =
+  analyze ?opts ?profile_runs ?profile_io ?profile_config
+    (Minic.Parser.parse ?file src)

@@ -1,0 +1,35 @@
+(** The end-to-end Chimera pipeline (paper Figure 1): source → RELAY →
+    profiling → clique + bounds planning → weak-lock instrumentation.
+    Execution lives in {!Runner}. *)
+
+type analysis = {
+  an_prog : Minic.Ast.program;       (** original, type-checked *)
+  an_summaries : Relay.Summary.t;
+  an_report : Relay.Detect.report;
+  an_profile : Profiling.Profile.t;
+  an_plan : Instrument.Plan.t;
+  an_instrumented : Minic.Ast.program;
+      (** the data-race-free transformed program *)
+}
+
+(** Run the static + profiling pipeline. [profile_runs] defaults to 20
+    (paper Section 7.1); [profile_io] supplies per-run input models
+    (profiling inputs should differ from evaluation inputs); [opts]
+    selects the optimization set (Figure 5's configurations live in
+    {!Instrument.Plan}). *)
+val analyze :
+  ?opts:Instrument.Plan.options ->
+  ?profile_runs:int ->
+  ?profile_io:(int -> Interp.Iomodel.t) ->
+  ?profile_config:Interp.Engine.config ->
+  Minic.Ast.program ->
+  analysis
+
+val analyze_source :
+  ?opts:Instrument.Plan.options ->
+  ?profile_runs:int ->
+  ?profile_io:(int -> Interp.Iomodel.t) ->
+  ?profile_config:Interp.Engine.config ->
+  ?file:string ->
+  string ->
+  analysis

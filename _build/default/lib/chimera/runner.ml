@@ -1,0 +1,131 @@
+(** Execution drivers: native / record / replay runs, log-size accounting,
+    and the determinism check used throughout the tests and benchmarks.
+
+    Overheads are ratios of simulated makespan (ticks): the paper's
+    "recording overhead" is record-run ticks on the {e instrumented}
+    program over native ticks on the {e original} program with the same
+    inputs and thread count. *)
+
+open Interp
+
+type recorded = {
+  rc_outcome : Engine.outcome;
+  rc_log : Replay.Log.t;
+  rc_input_log_raw : int;     (** bytes before compression *)
+  rc_order_log_raw : int;
+  rc_input_log_z : int;       (** compressed bytes *)
+  rc_order_log_z : int;
+}
+
+let native ?(config = Engine.default_config) ~io prog : Engine.outcome =
+  Engine.run ~config ~mode:Engine.Native ~io prog
+
+let deterministic ?(config = Engine.default_config) ~io prog : Engine.outcome =
+  Engine.run ~config ~mode:Engine.Deterministic ~io prog
+
+let record ?(config = Engine.default_config) ?hooks ~io prog : recorded =
+  let outcome = Engine.run ~config ?hooks ~mode:Engine.Record ~io prog in
+  let rc =
+    match outcome.Engine.o_recorder with
+    | Some rc -> rc
+    | None -> invalid_arg "record: engine returned no recorder"
+  in
+  let log = rc.Replay.Recorder.log in
+  let input_raw = Replay.Log.encode_input_log log in
+  let order_raw = Replay.Log.encode_order_log log in
+  {
+    rc_outcome = outcome;
+    rc_log = log;
+    rc_input_log_raw = String.length input_raw;
+    rc_order_log_raw = String.length order_raw;
+    rc_input_log_z = Zcompress.compressed_size input_raw;
+    rc_order_log_z = Zcompress.compressed_size order_raw;
+  }
+
+let replay ?(config = Engine.default_config) ?hooks ~io prog
+    (log : Replay.Log.t) : Engine.outcome =
+  Engine.run ~config ?hooks ~mode:(Engine.Replay log) ~io prog
+
+(* ------------------------------------------------------------------ *)
+(* Determinism comparison *)
+
+type divergence =
+  | Outputs of (Runtime.Key.tid_path * int) list * (Runtime.Key.tid_path * int) list
+  | Final_state of int * int
+  | Steps of (Runtime.Key.tid_path * int) list * (Runtime.Key.tid_path * int) list
+  | Faults of (Runtime.Key.tid_path * string) list * (Runtime.Key.tid_path * string) list
+  | Timed_out
+
+let pp_divergence ppf = function
+  | Outputs (a, b) ->
+      Fmt.pf ppf "outputs differ: [%a] vs [%a]"
+        Fmt.(list ~sep:comma int)
+        (List.map snd a)
+        Fmt.(list ~sep:comma int)
+        (List.map snd b)
+  | Final_state (a, b) -> Fmt.pf ppf "final memory differs: %d vs %d" a b
+  | Steps (a, b) ->
+      Fmt.pf ppf "per-thread step counts differ: [%a] vs [%a]"
+        Fmt.(list ~sep:comma int)
+        (List.map snd a)
+        Fmt.(list ~sep:comma int)
+        (List.map snd b)
+  | Faults (a, b) ->
+      Fmt.pf ppf "faults differ: %d vs %d" (List.length a) (List.length b)
+  | Timed_out -> Fmt.string ppf "a run timed out / deadlocked"
+
+(** Is [b] the same execution as [a]? Compares the output trace, the
+    final shared-memory hash, per-thread instruction counts, and faults —
+    the strongest observable-equality check the simulator offers. *)
+let same_execution (a : Engine.outcome) (b : Engine.outcome) :
+    (unit, divergence) result =
+  if a.o_timed_out || b.o_timed_out then Error Timed_out
+  else if a.o_outputs <> b.o_outputs then Error (Outputs (a.o_outputs, b.o_outputs))
+  else if a.o_faults <> b.o_faults then Error (Faults (a.o_faults, b.o_faults))
+  else if a.o_final_hash <> b.o_final_hash then
+    Error (Final_state (a.o_final_hash, b.o_final_hash))
+  else if a.o_steps <> b.o_steps then Error (Steps (a.o_steps, b.o_steps))
+  else Ok ()
+
+(** Record the instrumented program with [record_seed], then replay it
+    under a different scheduler seed and check the executions match. *)
+let record_replay_check ?(config = Engine.default_config) ~io
+    ?(replay_seed_delta = 7919) (instrumented : Minic.Ast.program) :
+    (recorded * Engine.outcome, divergence) result =
+  let r = record ~config ~io instrumented in
+  let replay_config =
+    { config with Engine.seed = config.Engine.seed + replay_seed_delta }
+  in
+  let o = replay ~config:replay_config ~io instrumented r.rc_log in
+  match same_execution r.rc_outcome o with
+  | Ok () -> Ok (r, o)
+  | Error d -> Error d
+
+(* ------------------------------------------------------------------ *)
+(* Overhead measurement *)
+
+type overhead = {
+  ov_native_ticks : int;
+  ov_record_ticks : int;
+  ov_replay_ticks : int;
+  ov_record : float;  (** record / native *)
+  ov_replay : float;
+}
+
+(** Measure recording and replay overhead of [instrumented] against the
+    native run of [original], with identical inputs and configuration. *)
+let measure ?(config = Engine.default_config) ~io
+    ~(original : Minic.Ast.program) ~(instrumented : Minic.Ast.program) () :
+    overhead * recorded =
+  let n = native ~config ~io original in
+  let r = record ~config ~io instrumented in
+  let rp = replay ~config ~io instrumented r.rc_log in
+  let ratio a b = float_of_int a /. float_of_int (max 1 b) in
+  ( {
+      ov_native_ticks = n.o_ticks;
+      ov_record_ticks = r.rc_outcome.o_ticks;
+      ov_replay_ticks = rp.o_ticks;
+      ov_record = ratio r.rc_outcome.o_ticks n.o_ticks;
+      ov_replay = ratio rp.o_ticks n.o_ticks;
+    },
+    r )

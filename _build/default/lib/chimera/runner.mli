@@ -1,0 +1,83 @@
+(** Execution drivers: native / record / replay runs, log-size
+    accounting, determinism checking, and overhead measurement
+    (record-run ticks on the instrumented program over native ticks on
+    the original, with identical inputs). *)
+
+open Interp
+
+type recorded = {
+  rc_outcome : Engine.outcome;
+  rc_log : Replay.Log.t;
+  rc_input_log_raw : int;
+  rc_order_log_raw : int;
+  rc_input_log_z : int;   (** compressed bytes *)
+  rc_order_log_z : int;
+}
+
+val native :
+  ?config:Engine.config -> io:Iomodel.t -> Minic.Ast.program -> Engine.outcome
+
+(** Run under deterministic (Kendo-style logical-time) arbitration: on a
+    Chimera-transformed (hence data-race-free) program the outcome —
+    outputs, final memory, per-thread instruction counts — is identical
+    for every scheduler seed, with no recording (the paper's future-work
+    direction; see DESIGN.md). *)
+val deterministic :
+  ?config:Engine.config -> io:Iomodel.t -> Minic.Ast.program -> Engine.outcome
+
+val record :
+  ?config:Engine.config ->
+  ?hooks:Engine.hooks ->
+  io:Iomodel.t ->
+  Minic.Ast.program ->
+  recorded
+
+val replay :
+  ?config:Engine.config ->
+  ?hooks:Engine.hooks ->
+  io:Iomodel.t ->
+  Minic.Ast.program ->
+  Replay.Log.t ->
+  Engine.outcome
+
+type divergence =
+  | Outputs of
+      (Runtime.Key.tid_path * int) list * (Runtime.Key.tid_path * int) list
+  | Final_state of int * int
+  | Steps of
+      (Runtime.Key.tid_path * int) list * (Runtime.Key.tid_path * int) list
+  | Faults of
+      (Runtime.Key.tid_path * string) list
+      * (Runtime.Key.tid_path * string) list
+  | Timed_out
+
+val pp_divergence : divergence Fmt.t
+
+(** Strong observable equality: output trace, faults, final
+    shared-memory hash, per-thread instruction counts. *)
+val same_execution :
+  Engine.outcome -> Engine.outcome -> (unit, divergence) result
+
+(** Record, then replay under a different scheduler seed, and compare. *)
+val record_replay_check :
+  ?config:Engine.config ->
+  io:Iomodel.t ->
+  ?replay_seed_delta:int ->
+  Minic.Ast.program ->
+  (recorded * Engine.outcome, divergence) result
+
+type overhead = {
+  ov_native_ticks : int;
+  ov_record_ticks : int;
+  ov_replay_ticks : int;
+  ov_record : float;
+  ov_replay : float;
+}
+
+val measure :
+  ?config:Engine.config ->
+  io:Iomodel.t ->
+  original:Minic.Ast.program ->
+  instrumented:Minic.Ast.program ->
+  unit ->
+  overhead * recorded

@@ -1,0 +1,47 @@
+(** Vector-clock dynamic data-race detector (FastTrack-style). Two roles
+    (paper Sections 1, 7.3): test oracle — every dynamically observed
+    race must be covered by RELAY's static report, and Chimera-transformed
+    programs must be race-free when weak locks count as synchronization —
+    and the 100%-of-memory-ops baseline of Figure 6. *)
+
+module Vc : sig
+  type t
+
+  val empty : t
+  val get : int -> t -> int
+  val tick : int -> t -> t
+  val join : t -> t -> t
+
+  (** epoch (tid, clock) happens-before vc? *)
+  val epoch_le : int * int -> t -> bool
+
+  val pp : t Fmt.t
+end
+
+type race = {
+  dr_addr : Runtime.Key.addr;
+  dr_sid1 : int;   (** earlier access *)
+  dr_sid2 : int;   (** later access *)
+  dr_write1 : bool;
+  dr_write2 : bool;
+}
+
+val pp_race : race Fmt.t
+
+type t
+
+(** [track_weak] treats weak-lock operations as synchronization (true
+    when checking transformed programs for race-freedom). *)
+val create : ?track_weak:bool -> unit -> t
+
+(** Memory operations examined so far (the Figure 6 100%% baseline). *)
+val n_checks : t -> int
+
+val on_mem : t -> int -> Runtime.Key.addr -> write:bool -> sid:int -> unit
+val on_sync : t -> int -> Interp.Engine.sync_event -> unit
+
+(** Wire the detector into engine hooks (returns them). *)
+val attach : t -> Interp.Engine.hooks -> Interp.Engine.hooks
+
+val races : t -> race list
+val n_races : t -> int

@@ -1,0 +1,1 @@
+lib/instrument/clique.ml: Array Fmt Hashtbl List Set String

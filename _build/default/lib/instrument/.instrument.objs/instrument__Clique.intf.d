@@ -1,0 +1,1 @@
+lib/instrument/clique.mli: Fmt

@@ -1,0 +1,1 @@
+lib/instrument/plan.ml: Clique Fmt Hashtbl List Minic Option Profiling Relay Symbolic

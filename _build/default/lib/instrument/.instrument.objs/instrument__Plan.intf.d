@@ -1,0 +1,1 @@
+lib/instrument/plan.mli: Clique Fmt Hashtbl Minic Profiling Relay

@@ -1,0 +1,1 @@
+lib/instrument/transform.ml: Fmt Fresh Hashtbl List Minic Option Plan

@@ -1,0 +1,1 @@
+lib/instrument/transform.mli: Minic Plan

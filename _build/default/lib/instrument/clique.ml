@@ -1,0 +1,137 @@
+(** Clique analysis over the non-concurrent-function graph (Section 4.2).
+
+    Racy function pairs that profiling never saw concurrent can share a
+    single function-lock, provided the set of functions is {e mutually}
+    non-concurrent — a clique in the non-concurrent graph. Chimera finds
+    maximal cliques greedily and assigns each non-concurrent racy pair
+    the function-lock of the clique covering it; a pair in several
+    cliques takes the clique containing the most racy pairs (so e.g.
+    [alice] in Figure 3 acquires one shared lock f0 instead of two). *)
+
+module Ss = Set.Make (String)
+
+type pair = string * string
+
+let norm (a, b) : pair = if a <= b then (a, b) else (b, a)
+
+type t = {
+  cliques : string list array;           (** clique index -> members *)
+  assignment : (pair, int) Hashtbl.t;    (** racy pair -> clique index *)
+}
+
+let clique_of (t : t) (p : pair) : int option =
+  Hashtbl.find_opt t.assignment (norm p)
+
+let members (t : t) i = t.cliques.(i)
+
+let n_cliques (t : t) = Array.length t.cliques
+
+(** [compute ~non_concurrent ~racy] — [non_concurrent] are edges of the
+    graph (pairs profiling never saw overlap; self-pairs allowed for
+    functions non-concurrent with themselves), [racy] the racy function
+    pairs to cover. Only racy pairs that are also non-concurrent edges
+    get covered. *)
+let compute ~(non_concurrent : pair list) ~(racy : pair list) : t =
+  let nc = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace nc (norm p) ()) non_concurrent;
+  (* NB: no special case for a = b — a function spawned in several
+     threads is concurrent with itself unless profiling says otherwise *)
+  let edge a b = Hashtbl.mem nc (norm (a, b)) in
+  let racy = List.sort_uniq compare (List.map norm racy) in
+  let to_cover =
+    List.filter (fun (a, b) -> edge a b) racy
+  in
+  let racy_tbl = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace racy_tbl p ()) racy;
+  let nodes =
+    List.concat_map (fun (a, b) -> [ a; b ]) to_cover |> List.sort_uniq compare
+  in
+  let covered = Hashtbl.create 64 in
+  let cliques = ref [] in
+  List.iter
+    (fun (a, b) ->
+      if not (Hashtbl.mem covered (a, b)) then begin
+        (* grow a maximal clique from the edge (a, b): repeatedly add the
+           candidate adjacent to all members that covers the most
+           still-uncovered racy pairs *)
+        let clique = ref (Ss.add b (Ss.singleton a)) in
+        let adjacent_to_all n =
+          (not (Ss.mem n !clique)) && Ss.for_all (fun m -> edge n m) !clique
+        in
+        let uncovered_gain n =
+          Ss.fold
+            (fun m acc ->
+              let p = norm (n, m) in
+              if Hashtbl.mem racy_tbl p && not (Hashtbl.mem covered p) then
+                acc + 1
+              else acc)
+            !clique 0
+        in
+        let rec grow () =
+          let candidates = List.filter adjacent_to_all nodes in
+          match candidates with
+          | [] -> ()
+          | _ ->
+              let best =
+                List.fold_left
+                  (fun best n ->
+                    match best with
+                    | None -> Some (n, uncovered_gain n)
+                    | Some (_, g) when uncovered_gain n > g ->
+                        Some (n, uncovered_gain n)
+                    | _ -> best)
+                  None candidates
+              in
+              (match best with
+              | Some (n, _) ->
+                  clique := Ss.add n !clique;
+                  grow ()
+              | None -> ())
+        in
+        grow ();
+        (* mark racy pairs inside the clique covered *)
+        Ss.iter
+          (fun x ->
+            Ss.iter
+              (fun y ->
+                let p = norm (x, y) in
+                if Hashtbl.mem racy_tbl p then Hashtbl.replace covered p ())
+              !clique)
+          !clique;
+        (* self-races: a function racy with itself joins when
+           non-concurrent with itself *)
+        cliques := Ss.elements !clique :: !cliques
+      end)
+    to_cover;
+  let cliques = Array.of_list (List.rev !cliques) in
+  (* assignment: racy non-concurrent pair -> clique with the most racy
+     pairs among those containing both endpoints *)
+  let racy_pairs_in members =
+    let ms = Ss.of_list members in
+    List.length
+      (List.filter (fun (a, b) -> Ss.mem a ms && Ss.mem b ms) racy)
+  in
+  let assignment = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      let a, b = p in
+      let best = ref None in
+      Array.iteri
+        (fun i ms ->
+          if List.mem a ms && List.mem b ms then
+            let score = racy_pairs_in ms in
+            match !best with
+            | Some (_, s) when s >= score -> ()
+            | _ -> best := Some (i, score))
+        cliques;
+      match !best with
+      | Some (i, _) -> Hashtbl.replace assignment p i
+      | None -> ())
+    to_cover;
+  { cliques; assignment }
+
+let pp ppf (t : t) =
+  Array.iteri
+    (fun i ms ->
+      Fmt.pf ppf "clique %d: {%a}@\n" i Fmt.(list ~sep:comma string) ms)
+    t.cliques

@@ -1,0 +1,22 @@
+(** Clique analysis over the non-concurrent-function graph (paper
+    Section 4.2): groups of mutually non-concurrent racy functions share
+    one function-lock (Figure 3), found by greedy maximal-clique growth;
+    a pair in several cliques takes the clique containing the most racy
+    pairs. *)
+
+type pair = string * string
+
+type t
+
+(** [compute ~non_concurrent ~racy]: [non_concurrent] are the graph's
+    edges (pairs profiling never saw overlap, self-pairs allowed), [racy]
+    the racy function pairs to cover. Only racy pairs that are also edges
+    get covered. *)
+val compute : non_concurrent:pair list -> racy:pair list -> t
+
+(** Clique index assigned to a racy pair, if covered. *)
+val clique_of : t -> pair -> int option
+
+val members : t -> int -> string list
+val n_cliques : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,14 @@
+(** Source-to-source weak-lock instrumentation (the CIL pass of paper
+    Section 6.1): bracket every planned region with
+    [WeakEnter]/[WeakExit]. Racy call arguments / return values and racy
+    while/if conditions are hoisted into guarded temporaries so no weak
+    lock is held across a call, a loop body, or a branch (see DESIGN.md
+    §6). *)
+
+(** Instrument the program; fresh statement ids continue after the
+    highest existing id, fresh temporaries join the functions' locals. *)
+val apply : Minic.Ast.program -> Plan.t -> Minic.Ast.program
+
+(** Static instrumentation sites per granularity:
+    (func, loop, bb, instr). *)
+val site_counts : Plan.t -> int * int * int * int

@@ -1,0 +1,1 @@
+lib/interp/engine.ml: Array Cost Effect Fmt Fun Hashtbl Iomodel List Mem Minic Option Printexc Replay Runtime String Sys Value

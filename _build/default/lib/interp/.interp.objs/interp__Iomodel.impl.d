@@ -1,0 +1,1 @@
+lib/interp/iomodel.ml: Hashtbl List Runtime

@@ -1,0 +1,1 @@
+lib/interp/iomodel.mli: Runtime

@@ -1,0 +1,1 @@
+lib/interp/mem.ml: Array Fmt Hashtbl Key List Runtime String Value

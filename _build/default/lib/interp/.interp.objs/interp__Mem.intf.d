@@ -1,0 +1,1 @@
+lib/interp/mem.mli: Hashtbl Runtime Value

@@ -1,0 +1,46 @@
+(** Cost model for the multiprocessor simulator.
+
+    The paper measures wall-clock overhead on an 8-core Xeon; we measure
+    simulated makespan (ticks) on N simulated cores. Each micro-operation
+    charges its core a number of ticks. The constants below set the
+    {e relative} prices that drive the paper's shapes: weak-lock
+    operations and log appends are expensive relative to ordinary
+    statements (tens-to-hundreds of cycles of locked bus traffic and
+    buffer writes vs. an ALU op), system calls more so, and network I/O
+    blocks for a long latency that recording can hide under (why aget /
+    knot / apache record at ~1x, Section 7.3). *)
+
+type t = {
+  c_stmt : int;        (** ordinary statement execution *)
+  c_sync : int;        (** mutex/barrier/cond operation *)
+  c_syscall : int;     (** base syscall cost *)
+  c_weak_op : int;     (** weak-lock acquire or release *)
+  c_range : int;       (** evaluating + checking one address range *)
+  c_log_sync : int;    (** recording one sync HB entry *)
+  c_log_weak : int;    (** recording one weak-lock entry *)
+  c_log_input : int;   (** recording four syscall result words (the input
+                           log is a straight buffer copy, far cheaper per
+                           word than the structured sync/weak entries) *)
+  l_net : int;         (** net_read blocking latency (ticks) *)
+  l_file : int;        (** file_read blocking latency (ticks) *)
+  l_spawn : int;       (** thread creation cost *)
+}
+
+(** Defaults calibrated so the uninstrumented-vs-naive-instrumentation
+    ratio lands in the paper's ~50x region when ~14% of dynamic memory
+    operations carry an instruction-granularity weak lock
+    (2 weak ops + 2 log writes ≈ 350 ticks vs. ~1-tick statements). *)
+let default =
+  {
+    c_stmt = 1;
+    c_sync = 12;
+    c_syscall = 60;
+    c_weak_op = 110;
+    c_range = 8;
+    c_log_sync = 12;
+    c_log_weak = 65;
+    c_log_input = 1;
+    l_net = 12000;
+    l_file = 150;
+    l_spawn = 80;
+  }

@@ -1,0 +1,21 @@
+(** Cost model for the multiprocessor simulator. The paper measures
+    wall-clock on an 8-core Xeon; we measure simulated makespan with
+    these relative prices (see DESIGN.md). *)
+
+type t = {
+  c_stmt : int;        (** ordinary statement execution *)
+  c_sync : int;        (** mutex/barrier/cond operation *)
+  c_syscall : int;     (** base syscall cost *)
+  c_weak_op : int;     (** weak-lock acquire or release *)
+  c_range : int;       (** evaluating + checking one address range *)
+  c_log_sync : int;    (** recording one sync HB entry *)
+  c_log_weak : int;    (** recording one weak-lock entry *)
+  c_log_input : int;   (** recording four syscall result words *)
+  l_net : int;         (** net_read blocking latency (ticks) *)
+  l_file : int;        (** file_read blocking latency (ticks) *)
+  l_spawn : int;       (** thread creation cost *)
+}
+
+(** Calibrated so naive instruction-granularity instrumentation of ~14%
+    of memory operations lands in the paper's ~50x region. *)
+val default : t

@@ -1,0 +1,1949 @@
+(** The multiprocessor simulator: a MiniC interpreter whose threads run as
+    OCaml effect-based coroutines over a tick-based multicore scheduler.
+
+    This is the project's substitute for the paper's modified Linux
+    kernel + pthreads runtime on an 8-core Xeon (Section 6.1). The
+    simulator exposes the same phenomena the paper's system does:
+
+    - instruction-granularity preemption: every statement (and the gap
+      between a racy read and its write) is a scheduling point, so data
+      races produce schedule-dependent outcomes;
+    - parallel makespan on N cores with per-core run queues, quanta, and
+      work stealing — simulated time (ticks) plays the role of wall-clock
+      time in the evaluation;
+    - a recording mode that logs nondeterministic inputs, the per-object
+      synchronization order, the weak-lock acquisition order, and the
+      per-core schedule, charging the cost model for every log append;
+    - a replay mode that feeds back inputs and enforces the recorded
+      orders (blocking threads whose operation is not next), without
+      gating data accesses — deterministic replay therefore {e depends}
+      on the program being data-race-free under its (weak-)lock
+      synchronization, which is exactly Chimera's transformation
+      guarantee;
+    - the weak-lock runtime: ordered acquisition, release of outer
+      regions around inner regions, range-claimed loop-locks, and
+      timeout-preemption with forced release/reacquire (Section 2.3). *)
+
+open Minic.Ast
+module K = Runtime.Key
+module WL = Runtime.Weaklock
+
+(* ------------------------------------------------------------------ *)
+(* Effects *)
+
+type _ Effect.t +=
+  | E_step : int -> unit Effect.t
+      (** scheduling point; the argument is the tick cost *)
+  | E_block : unit Effect.t
+      (** the thread marked itself blocked; resumes when woken *)
+
+let step cost = Effect.perform (E_step cost)
+let block_here () = Effect.perform E_block
+
+(* ------------------------------------------------------------------ *)
+(* Threads *)
+
+type block_reason =
+  | BMutex of K.addr
+  | BBarrier of K.addr
+  | BCond of K.addr
+  | BJoin of int
+  | BWeak of weak_lock * WL.claim
+  | BReacq  (** holds no locks; must reacquire [th.reacquire] to resume *)
+  | BTurn of string  (** what turn we are waiting for (diagnostics) *)
+  | BIO of int  (** wake tick *)
+
+let pp_block_reason ppf = function
+  | BMutex a -> Fmt.pf ppf "mutex %a" K.pp_addr a
+  | BBarrier a -> Fmt.pf ppf "barrier %a" K.pp_addr a
+  | BCond a -> Fmt.pf ppf "cond %a" K.pp_addr a
+  | BJoin t -> Fmt.pf ppf "join %d" t
+  | BWeak (w, _) -> Fmt.pf ppf "weak %a" pp_weak_lock w
+  | BReacq -> Fmt.string ppf "forced-reacquire"
+  | BTurn what -> Fmt.pf ppf "replay-turn for %s" what
+  | BIO t -> Fmt.pf ppf "io until %d" t
+
+type status = Runnable | Blocked of block_reason | Done
+
+type region = { rg_acqs : (weak_lock * WL.claim) list }
+
+type thread = {
+  tid : int;  (** schedule-independent: encodes the tid path *)
+  path : K.tid_path;
+  mutable status : status;
+  mutable resume : (unit, unit) Effect.Deep.continuation option;
+  mutable body : (unit -> unit) option;  (** before first scheduling *)
+  mutable steps : int;
+  mutable stall : int;
+  mutable core : int;
+  mutable spawn_seq : int;
+  mutable frame_seq : int;
+  mutable alloc_seq : int;
+  mutable io_seq : int;
+  mutable call_stack : string list;
+  mutable regions : region list;  (** innermost first *)
+  mutable reacquire : (weak_lock * WL.claim) list;
+      (** locks stripped by timeout-preemption, to reacquire before
+          resuming *)
+  mutable force_now : weak_lock list;
+      (** forced releases to apply at this thread's next step *)
+  mutable turn_check : (unit -> bool) option;
+  mutable blocked_since : int;
+  mutable fault : string option;
+  mutable det_clock : int;
+      (** deterministic logical time (Deterministic mode): advances with
+          executed work and with deterministic retry bumps while
+          contending, never with wall/scheduler time *)
+  mutable det_excluded : bool;
+      (** deterministically parked (cond/join/barrier/IO wait after a
+          committed gate): not considered in the global-minimum rule *)
+  mutable det_immune : weak_lock list;
+      (** locks reacquired after a deterministic preemption: immune to
+          further preemption until released, so the recovering owner can
+          finish its region (prevents preemption ping-pong) *)
+  mutable det_reacquiring : bool;  (** recursion guard for det_gate *)
+  mutable det_doomed : weak_lock list;
+      (** locks this thread must strip itself of at its next gate/park —
+          a contender demanded them; self-stripping keeps the preemption
+          point inside the owner's deterministic instruction stream *)
+}
+
+let stable_tid (path : K.tid_path) : int =
+  List.fold_left (fun acc k -> (acc * 1024) + k + 1) 0 path
+
+(* ------------------------------------------------------------------ *)
+(* Hooks for profilers / dynamic analyses *)
+
+type sync_event =
+  | SyAcquire of K.addr
+  | SyRelease of K.addr
+  | SyBarrierArrive of K.addr
+  | SyBarrier of K.addr
+  | SyCondSignal of K.addr
+  | SyCondWake of K.addr
+  | SySpawn of int   (** child tid *)
+  | SyThreadStart    (** first event in a spawned thread *)
+  | SyJoin of int    (** joined child tid *)
+  | SyWeakAcq of weak_lock
+  | SyWeakRel of weak_lock
+
+type hooks = {
+  mutable on_enter_fun : (int -> string -> unit) option;
+  mutable on_exit_fun : (int -> string -> unit) option;
+  mutable on_mem : (int -> K.addr -> write:bool -> sid:int -> unit) option;
+  mutable on_sync : (int -> sync_event -> unit) option;
+  mutable on_loop_iter : (int -> int -> unit) option;  (** tid, lid *)
+  mutable on_loop_enter : (int -> int -> unit) option; (** tid, lid *)
+  mutable on_loop_exit : (int -> int -> unit) option;  (** tid, lid *)
+  mutable on_stmt : (int -> int -> unit) option;       (** tid, sid *)
+}
+
+let no_hooks () =
+  {
+    on_enter_fun = None;
+    on_exit_fun = None;
+    on_mem = None;
+    on_sync = None;
+    on_loop_iter = None;
+    on_loop_enter = None;
+    on_loop_exit = None;
+    on_stmt = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+type stats = {
+  mutable n_stmts : int;
+  mutable n_mem_ops : int;
+  mutable n_sync_ops : int;
+  mutable n_syscalls : int;
+  n_weak_acq : int array;          (** by granularity rank *)
+  weak_block_ticks : int array;    (** contention, by granularity rank *)
+  mutable n_forced : int;
+  mutable log_ticks_sync : int;
+  mutable log_ticks_weak : int;
+  mutable log_ticks_input : int;
+  mutable weak_op_ticks : int;     (** acquire/release + range eval cost *)
+}
+
+let new_stats () =
+  {
+    n_stmts = 0;
+    n_mem_ops = 0;
+    n_sync_ops = 0;
+    n_syscalls = 0;
+    n_weak_acq = Array.make 4 0;
+    weak_block_ticks = Array.make 4 0;
+    n_forced = 0;
+    log_ticks_sync = 0;
+    log_ticks_weak = 0;
+    log_ticks_input = 0;
+    weak_op_ticks = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+type mode =
+  | Native
+  | Record
+  | Replay of Replay.Log.t
+  | Deterministic
+      (** Kendo-style deterministic execution — the paper's future-work
+          direction: since the Chimera-transformed program is
+          data-race-free, arbitrating every synchronization operation by
+          deterministic logical time makes the whole execution a function
+          of the program and its inputs, independent of the scheduler, with
+          no logging at all. *)
+
+type config = {
+  cores : int;
+  seed : int;
+  quantum : int;
+  weak_timeout : int;
+  max_ticks : int;
+  cost : Cost.t;
+}
+
+let default_config =
+  {
+    cores = 4;
+    seed = 1;
+    quantum = 50;
+    weak_timeout = 100_000;
+    max_ticks = 400_000_000;
+    cost = Cost.default;
+  }
+
+exception Program_exit of int
+exception Stuck of string
+
+type frame = {
+  fr_fd : fundec;
+  fr_block : int;
+  fr_offsets : (string, int * ty) Hashtbl.t;
+  fr_env : Minic.Typecheck.env;
+}
+
+type t = {
+  prog : program;
+  tenv : Minic.Typecheck.env;
+  cfg : config;
+  mode : mode;
+  io : Iomodel.t;
+  hooks : hooks;
+  mem : Mem.t;
+  mutexes : Runtime.Sync.Mutex.t;
+  barriers : Runtime.Sync.Barrier.t;
+  conds : Runtime.Sync.Cond.t;
+  weak : WL.t;
+  threads : (int, thread) Hashtbl.t;
+  mutable thread_order : int list;  (** creation order, reversed *)
+  queues : int list ref array;      (** per-core run queues *)
+  quanta : int array;
+  globals : (string, int) Hashtbl.t;  (** global name -> block id *)
+  recorder : Replay.Recorder.t option;
+  replayer : Replay.Replayer.t option;
+  stats : stats;
+  mutable ticks : int;
+  mutable outputs : (K.tid_path * int) list;  (** reversed *)
+  mutable live : int;
+  mutable exit_code : int option;
+  mutable rng : int;
+  mutable main_done : bool;
+}
+
+let trace_enabled =
+  match Sys.getenv_opt "CHIMERA_TRACE" with Some ("1" | "true") -> true | _ -> false
+
+let trace eng fmt =
+  if trace_enabled then
+    Fmt.kstr (fun m -> Fmt.epr "[%d] %s@." eng.ticks m) fmt
+  else Fmt.kstr (fun _ -> ()) fmt
+
+let rng_next (eng : t) =
+  let x = eng.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  eng.rng <- (if x = 0 then 0x2545F491 else x);
+  eng.rng
+
+let frame_env_cache : (string, Minic.Typecheck.env) Hashtbl.t =
+  Hashtbl.create 64
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+let elem_size_of_lval eng fr (base : lval) : int =
+  match Minic.Typecheck.type_of_lval fr.fr_env base with
+  | Tarray (t, _) | Tptr t -> Minic.Ast.sizeof eng.prog.p_structs t
+  | _ -> 1
+
+let on_mem eng (th : thread) (p : Value.ptr) ~write ~sid =
+  eng.stats.n_mem_ops <- eng.stats.n_mem_ops + 1;
+  match eng.hooks.on_mem with
+  | Some f -> f th.tid (Mem.addr_key eng.mem p) ~write ~sid
+  | None -> ()
+
+let rec eval eng th fr ~sid (e : exp) : Value.t =
+  match e with
+  | Const n -> VInt n
+  | Lval (Var v) when Minic.Ast.find_fun eng.prog v <> None
+                      && not (Hashtbl.mem fr.fr_offsets v) ->
+      VFun v
+  | Lval lv -> (
+      (* arrays decay to their address in expression position *)
+      match Minic.Typecheck.type_of_lval fr.fr_env lv with
+      | Tarray _ -> VPtr (lval_addr eng th fr ~sid lv)
+      | _ ->
+          let p = lval_addr eng th fr ~sid lv in
+          on_mem eng th p ~write:false ~sid;
+          Mem.load eng.mem p)
+  | AddrOf (Var v) when Minic.Ast.find_fun eng.prog v <> None
+                        && not (Hashtbl.mem fr.fr_offsets v) ->
+      VFun v
+  | AddrOf lv -> VPtr (lval_addr eng th fr ~sid lv)
+  | Unop (op, e) -> (
+      let v = eval eng th fr ~sid e in
+      match op with
+      | Neg -> VInt (-Value.to_int v)
+      | LNot -> VInt (if Value.truthy v then 0 else 1)
+      | BNot -> VInt (lnot (Value.to_int v)))
+  | Binop (LAnd, a, b) ->
+      if Value.truthy (eval eng th fr ~sid a) then
+        VInt (if Value.truthy (eval eng th fr ~sid b) then 1 else 0)
+      else VInt 0
+  | Binop (LOr, a, b) ->
+      if Value.truthy (eval eng th fr ~sid a) then VInt 1
+      else VInt (if Value.truthy (eval eng th fr ~sid b) then 1 else 0)
+  | Binop (op, a, b) -> binop eng op (eval eng th fr ~sid a) (eval eng th fr ~sid b)
+
+and binop eng op (va : Value.t) (vb : Value.t) : Value.t =
+  ignore eng;
+  let open Value in
+  let bool b = VInt (if b then 1 else 0) in
+  match (op, va, vb) with
+  (* cell-granular pointer arithmetic *)
+  | Add, VPtr p, VInt n | Add, VInt n, VPtr p ->
+      VPtr { p with p_off = p.p_off + n }
+  | Sub, VPtr p, VInt n -> VPtr { p with p_off = p.p_off - n }
+  | Sub, VPtr a, VPtr b when a.p_block = b.p_block -> VInt (a.p_off - b.p_off)
+  | Eq, a, b -> bool (equal_value a b)
+  | Ne, a, b -> bool (not (equal_value a b))
+  | Lt, VPtr a, VPtr b when a.p_block = b.p_block -> bool (a.p_off < b.p_off)
+  | Le, VPtr a, VPtr b when a.p_block = b.p_block -> bool (a.p_off <= b.p_off)
+  | Gt, VPtr a, VPtr b when a.p_block = b.p_block -> bool (a.p_off > b.p_off)
+  | Ge, VPtr a, VPtr b when a.p_block = b.p_block -> bool (a.p_off >= b.p_off)
+  | _, VInt x, VInt y -> (
+      match op with
+      | Add -> VInt (x + y)
+      | Sub -> VInt (x - y)
+      | Mul -> VInt (x * y)
+      | Div -> if y = 0 then fault "division by zero" else VInt (x / y)
+      | Mod -> if y = 0 then fault "modulo by zero" else VInt (x mod y)
+      | BAnd -> VInt (x land y)
+      | BOr -> VInt (x lor y)
+      | BXor -> VInt (x lxor y)
+      | Shl -> VInt (x lsl (y land 62))
+      | Shr -> VInt (x asr (y land 62))
+      | Lt -> bool (x < y)
+      | Le -> bool (x <= y)
+      | Gt -> bool (x > y)
+      | Ge -> bool (x >= y)
+      | Eq -> bool (x = y)
+      | Ne -> bool (x <> y)
+      | LAnd | LOr -> assert false)
+  | _ -> Value.fault "ill-typed binary operation"
+
+and lval_addr eng th fr ~sid (lv : lval) : Value.ptr =
+  match lv with
+  | Var v -> (
+      match Hashtbl.find_opt fr.fr_offsets v with
+      | Some (off, _) -> { p_block = fr.fr_block; p_off = off }
+      | None -> (
+          match Hashtbl.find_opt eng.globals v with
+          | Some bid -> { p_block = bid; p_off = 0 }
+          | None -> Value.fault "unbound variable %s" v))
+  | Deref e -> (
+      match eval eng th fr ~sid e with
+      | VPtr p -> p
+      | v -> Value.fault "dereference of non-pointer %a" Value.pp v)
+  | Index (base, idx) ->
+      let p = lval_addr eng th fr ~sid base in
+      let p =
+        (* indexing through a pointer variable loads the pointer first *)
+        match Minic.Typecheck.type_of_lval fr.fr_env base with
+        | Tptr _ -> (
+            on_mem eng th p ~write:false ~sid;
+            match Mem.load eng.mem p with
+            | VPtr q -> q
+            | v -> Value.fault "indexing non-pointer %a" Value.pp v)
+        | _ -> p
+      in
+      let i = Value.to_int (eval eng th fr ~sid idx) in
+      let es = elem_size_of_lval eng fr base in
+      { p with p_off = p.p_off + (i * es) }
+  | Field (base, f) ->
+      let p = lval_addr eng th fr ~sid base in
+      let sname =
+        match Minic.Typecheck.type_of_lval fr.fr_env base with
+        | Tstruct s -> s
+        | t -> Value.fault "field access on %a" Minic.Ast.pp_ty t
+      in
+      let off, _ = Minic.Ast.field_offset eng.prog.p_structs sname f in
+      { p with p_off = p.p_off + off }
+  | Arrow (e, f) -> (
+      match eval eng th fr ~sid e with
+      | VPtr p ->
+          let sname =
+            match Minic.Typecheck.type_of_exp fr.fr_env e with
+            | Tptr (Tstruct s) -> s
+            | t -> Value.fault "-> on %a" Minic.Ast.pp_ty t
+          in
+          let off, _ = Minic.Ast.field_offset eng.prog.p_structs sname f in
+          { p with p_off = p.p_off + off }
+      | v -> Value.fault "-> on non-pointer %a" Value.pp v)
+
+(* ------------------------------------------------------------------ *)
+(* Record / replay plumbing *)
+
+let charge_log_sync eng =
+  match eng.recorder with
+  | Some _ ->
+      eng.stats.log_ticks_sync <- eng.stats.log_ticks_sync + eng.cfg.cost.c_log_sync;
+      eng.cfg.cost.c_log_sync
+  | None -> 0
+
+let charge_log_weak eng =
+  match eng.recorder with
+  | Some _ ->
+      eng.stats.log_ticks_weak <- eng.stats.log_ticks_weak + eng.cfg.cost.c_log_weak;
+      eng.cfg.cost.c_log_weak
+  | None -> 0
+
+let charge_log_input eng words =
+  match eng.recorder with
+  | Some _ ->
+      (* c_log_input ticks per four words, at least one tick *)
+      let c = max 1 (eng.cfg.cost.c_log_input * words / 4) in
+      eng.stats.log_ticks_input <- eng.stats.log_ticks_input + c;
+      c
+  | None -> 0
+
+(* Block this thread until [check] holds (replay-turn gating). *)
+let wait_turn ~what (th : thread) (check : unit -> bool) =
+  while not (check ()) do
+    th.status <- Blocked (BTurn what);
+    th.turn_check <- Some check;
+    block_here ();
+    th.turn_check <- None
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic-execution arbitration (Kendo-style; see the mode's doc) *)
+
+let det_mode eng = eng.mode = Deterministic
+
+(* [th] holds the deterministic turn iff its (det_clock, tid) is the
+   strict global minimum among non-excluded live threads. At most one
+   thread holds the turn, so gated operations commit in a total order
+   that is a function of the deterministic logical clocks only. *)
+let det_min eng (th : thread) =
+  Hashtbl.fold
+    (fun _ (th' : thread) acc ->
+      acc
+      && (th' == th || th'.status = Done || th'.det_excluded
+         || (th.det_clock, th.tid) < (th'.det_clock, th'.tid)))
+    eng.threads true
+
+(* forward references, tied after their definitions below *)
+let det_ensure_reacquired_ref : (t -> thread -> unit) ref =
+  ref (fun _ _ -> ())
+
+let det_ensure_reacquired_fwd eng th = !det_ensure_reacquired_ref eng th
+
+let det_process_dooms_ref : (t -> thread -> unit) ref = ref (fun _ _ -> ())
+let det_process_dooms_fwd eng th = !det_process_dooms_ref eng th
+
+let det_gate ?(reacquire = true) eng (th : thread) =
+  if det_mode eng then begin
+    while not (det_min eng th) do
+      th.status <- Blocked (BTurn "det");
+      th.turn_check <- Some (fun () -> det_min eng th);
+      block_here ();
+      th.turn_check <- None
+    done;
+    (* this thread now holds the strict-minimum turn; only here may it
+       change lock state. Stripping doomed locks at gate *entry* instead
+       would release them at an arbitrary physical moment inside the
+       contenders' retry window, making the next owner a race on the
+       host schedule. *)
+    det_process_dooms_fwd eng th;
+    (* a preemption can strip this thread's lock while it is parked at
+       the gate; no thread leaves a gate without its locks, so plain
+       code never runs unprotected. [reacquire:false] (a mutex spin)
+       defers this: taking the locks back mid-spin would hand them
+       straight back to a thread that cannot use them — the spinner's
+       clock trails the bumped contender's, so it would win every turn
+       and ping-pong the lock forever *)
+    if reacquire && th.reacquire <> [] then
+      det_ensure_reacquired_fwd eng th
+  end
+
+(* a failed acquisition attempt under the turn bumps the logical clock by
+   a fixed amount and yields — the retry count, and hence the final
+   clock, is a deterministic function of the contending clocks *)
+let det_retry_bump eng (th : thread) =
+  th.det_clock <- th.det_clock + eng.cfg.cost.c_sync;
+  step 1
+
+(* deterministically park / unpark a thread around an intrinsic wait
+   (cond/join/barrier/IO): parked threads leave the global-minimum rule *)
+let det_park (th : thread) = th.det_excluded <- true
+
+let det_unpark (th : thread) = th.det_excluded <- false
+
+
+(* Wait for my turn for a sync op on [obj] during replay; no-op otherwise. *)
+let gate_sync eng th (obj : K.addr) (op : Replay.Log.sync_op) =
+  match eng.replayer with
+  | None -> ()
+  | Some r ->
+      wait_turn th
+        ~what:(Fmt.str "sync %a %a" K.pp_addr obj Replay.Log.pp_sync_op op)
+        (fun () ->
+          match Replay.Replayer.peek_sync r obj with
+          | Some (op', p) -> op' = op && p = th.path
+          | None -> true (* beyond the log: unconstrained *))
+
+let record_sync eng th (obj : K.addr) (op : Replay.Log.sync_op) =
+  eng.stats.n_sync_ops <- eng.stats.n_sync_ops + 1;
+  (match eng.recorder with
+  | Some rc -> Replay.Recorder.rec_sync rc ~obj ~op ~tp:th.path
+  | None -> ());
+  match eng.replayer with
+  | Some r -> Replay.Replayer.advance_sync r obj
+  | None -> ()
+
+let gate_weak eng th (lock : weak_lock) =
+  match eng.replayer with
+  | None -> ()
+  | Some r ->
+      wait_turn th
+        ~what:(Fmt.str "weak %a" pp_weak_lock lock)
+        (fun () -> Replay.Replayer.weak_turn r lock ~tp:th.path)
+
+let record_weak eng th (lock : weak_lock) ~(claim : Replay.Log.sclaim) =
+  let rank = granularity_rank lock.wl_gran in
+  eng.stats.n_weak_acq.(rank) <- eng.stats.n_weak_acq.(rank) + 1;
+  (match eng.recorder with
+  | Some rc -> Replay.Recorder.rec_weak rc ~lock ~tp:th.path ~claim
+  | None -> ());
+  match eng.replayer with
+  | Some r -> Replay.Replayer.consume_weak r lock ~tp:th.path
+  | None -> ()
+
+(** The schedule-independent (origin-space) view of a claim, for logs. *)
+let stable_claim eng (claim : WL.claim) : Replay.Log.sclaim =
+  List.filter_map
+    (fun (r : WL.range) ->
+      match Hashtbl.find_opt eng.mem.Mem.blocks r.WL.rg_block with
+      | Some b ->
+          Some
+            {
+              Replay.Log.sr_origin = b.Mem.b_origin;
+              sr_lo = r.WL.rg_lo;
+              sr_hi = r.WL.rg_hi;
+              sr_write = r.WL.rg_write;
+            }
+      | None -> None)
+    claim
+
+let gate_syscall eng th =
+  det_ensure_reacquired_fwd eng th;
+  det_gate eng th;
+  match eng.replayer with
+  | None -> ()
+  | Some r ->
+      wait_turn th ~what:"syscall" (fun () ->
+          match Replay.Replayer.peek_syscall r with
+          | Some p -> p = th.path
+          | None -> true)
+
+let record_syscall eng th (values : int list) =
+  trace eng "%a syscall [%a]" K.pp_tid_path th.path
+    Fmt.(list ~sep:comma int)
+    (List.filteri (fun i _ -> i < 4) values);
+  eng.stats.n_syscalls <- eng.stats.n_syscalls + 1;
+  (match eng.recorder with
+  | Some rc -> Replay.Recorder.rec_input rc ~tp:th.path values
+  | None -> ());
+  match eng.replayer with
+  | Some r -> Replay.Replayer.advance_syscall r
+  | None -> ()
+
+let fire_sync eng th ev =
+  match eng.hooks.on_sync with Some f -> f th.tid ev | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Wake management *)
+
+let enqueue eng (th : thread) =
+  (* shortest queue; ties broken by lowest core id *)
+  let best = ref 0 in
+  for c = 1 to eng.cfg.cores - 1 do
+    if List.length !(eng.queues.(c)) < List.length !(eng.queues.(!best)) then
+      best := c
+  done;
+  th.core <- !best;
+  eng.queues.(!best) := !(eng.queues.(!best)) @ [ th.tid ]
+
+let wake eng (th : thread) =
+  match th.status with
+  | Blocked r ->
+      (* accumulate weak-lock contention time *)
+      (match r with
+      | BWeak (l, _) ->
+          let rank = granularity_rank l.wl_gran in
+          eng.stats.weak_block_ticks.(rank) <-
+            eng.stats.weak_block_ticks.(rank) + (eng.ticks - th.blocked_since)
+      | _ -> ());
+      if th.reacquire <> [] && not (det_mode eng) then
+        (* a preempted owner resumes only after reacquiring its lock; in
+           deterministic mode the owner reacquires in its own execution
+           stream (det_ensure_reacquired) so it wakes normally *)
+        th.status <- Blocked BReacq
+      else begin
+        th.status <- Runnable;
+        enqueue eng th
+      end
+  | _ -> ()
+
+let wake_tid eng tid =
+  match Hashtbl.find_opt eng.threads tid with
+  | Some th -> wake eng th
+  | None -> ()
+
+let self_block eng (th : thread) (reason : block_reason) =
+  th.status <- Blocked reason;
+  th.blocked_since <- eng.ticks;
+  block_here ()
+
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization builtins *)
+
+let ptr_of eng th fr ~sid e =
+  match eval eng th fr ~sid e with
+  | Value.VPtr p -> p
+  | v -> Value.fault "expected pointer argument, got %a" Value.pp v
+
+let rec mutex_lock ?(spin = false) eng th (key : K.addr) =
+  gate_sync eng th key SMutexAcq;
+  if not spin then det_ensure_reacquired_fwd eng th;
+  det_gate ~reacquire:(not spin) eng th;
+  match Runtime.Sync.Mutex.acquire eng.mutexes key ~tid:th.tid with
+  | `Acquired ->
+      (* if a preemption stripped our region locks mid-spin, take them
+         back before the code behind the mutex touches shared state *)
+      det_ensure_reacquired_fwd eng th;
+      trace eng "%a acq-mutex %a" K.pp_tid_path th.path K.pp_addr key;
+      record_sync eng th key SMutexAcq;
+      fire_sync eng th (SyAcquire key)
+  | `Blocked when det_mode eng ->
+      (* deterministic bump-and-retry (never a wake-list wait); the spin
+         defers reacquisition of stripped locks — a spinner cannot use
+         them, and holding them here deadlocks against the mutex owner *)
+      det_retry_bump eng th;
+      mutex_lock ~spin:true eng th key
+  | `Blocked ->
+      self_block eng th (BMutex key);
+      mutex_lock eng th key
+
+let mutex_unlock eng th (key : K.addr) =
+  gate_sync eng th key SMutexRel;
+  (* the release must land under the deterministic turn, like every
+     other lock-state change (see [weak_enter]) *)
+  det_ensure_reacquired_fwd eng th;
+  det_gate eng th;
+  (match Runtime.Sync.Mutex.release eng.mutexes key ~tid:th.tid with
+  | `Released waiters -> List.iter (wake_tid eng) waiters
+  | `Not_owner -> () (* unlocking a free/foreign mutex: tolerated, as glibc *));
+  trace eng "%a rel-mutex %a" K.pp_tid_path th.path K.pp_addr key;
+  record_sync eng th key SMutexRel;
+  fire_sync eng th (SyRelease key)
+
+let barrier_wait eng th (key : K.addr) =
+  gate_sync eng th key SBarrierWait;
+  det_ensure_reacquired_fwd eng th;
+  det_gate eng th;
+  record_sync eng th key SBarrierWait;
+  fire_sync eng th (SyBarrierArrive key);
+  match Runtime.Sync.Barrier.wait eng.barriers key ~tid:th.tid with
+  | `Released tids ->
+      fire_sync eng th (SyBarrier key);
+      List.iter
+        (fun tid ->
+          if tid <> th.tid then begin
+            (match Hashtbl.find_opt eng.threads tid with
+            | Some t' -> fire_sync eng t' (SyBarrier key)
+            | None -> ());
+            (match Hashtbl.find_opt eng.threads tid with
+            | Some t' -> det_unpark t'
+            | None -> ());
+            wake_tid eng tid
+          end)
+        tids
+  | `Blocked ->
+      det_process_dooms_fwd eng th;
+      det_park th;
+      self_block eng th (BBarrier key);
+      det_unpark th;
+      det_ensure_reacquired_fwd eng th
+
+let rec cond_wait eng th (ckey : K.addr) (mkey : K.addr) =
+  gate_sync eng th ckey SCondWait;
+  det_ensure_reacquired_fwd eng th;
+  det_gate eng th;
+  record_sync eng th ckey SCondWait;
+  (* release the mutex *)
+  (match Runtime.Sync.Mutex.release eng.mutexes mkey ~tid:th.tid with
+  | `Released waiters -> List.iter (wake_tid eng) waiters
+  | `Not_owner -> ());
+  fire_sync eng th (SyRelease mkey);
+  Runtime.Sync.Cond.wait eng.conds ckey ~tid:th.tid;
+  det_process_dooms_fwd eng th;
+  det_park th;
+  self_block eng th (BCond ckey);
+  det_unpark th;
+  det_ensure_reacquired_fwd eng th;
+  fire_sync eng th (SyCondWake ckey);
+  (* reacquire the mutex (recorded as a mutex acquisition) *)
+  mutex_relock eng th mkey
+
+and mutex_relock ?(spin = false) eng th (key : K.addr) =
+  gate_sync eng th key SMutexAcq;
+  if not spin then det_ensure_reacquired_fwd eng th;
+  det_gate ~reacquire:(not spin) eng th;
+  match Runtime.Sync.Mutex.acquire eng.mutexes key ~tid:th.tid with
+  | `Acquired ->
+      det_ensure_reacquired_fwd eng th;
+      record_sync eng th key SMutexAcq;
+      fire_sync eng th (SyAcquire key)
+  | `Blocked when det_mode eng ->
+      det_retry_bump eng th;
+      mutex_relock ~spin:true eng th key
+  | `Blocked ->
+      self_block eng th (BMutex key);
+      mutex_relock eng th key
+
+let cond_signal eng th (key : K.addr) ~broadcast =
+  let op : Replay.Log.sync_op =
+    if broadcast then SCondBroadcast else SCondSignal
+  in
+  gate_sync eng th key op;
+  det_ensure_reacquired_fwd eng th;
+  det_gate eng th;
+  record_sync eng th key op;
+  fire_sync eng th (SyCondSignal key);
+  if broadcast then
+    List.iter (wake_tid eng) (Runtime.Sync.Cond.broadcast eng.conds key)
+  else
+    match Runtime.Sync.Cond.signal eng.conds key with
+    | Some tid -> wake_tid eng tid
+    | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Weak-lock regions (Section 2.3) *)
+
+let claim_of_ranges eng th fr ~sid (ranges : warange list) : WL.claim =
+  if ranges = [] then []
+  else
+    let rs =
+      List.filter_map
+        (fun (r : warange) ->
+          match (eval eng th fr ~sid r.wr_lo, eval eng th fr ~sid r.wr_hi) with
+          | Value.VPtr lo, Value.VPtr hi when lo.p_block = hi.p_block ->
+              Some
+                {
+                  WL.rg_block = lo.p_block;
+                  rg_lo = min lo.p_off hi.p_off;
+                  rg_hi = max lo.p_off hi.p_off;
+                  rg_write = r.wr_write;
+                }
+          | _ -> None)
+        ranges
+    in
+    (* if any range failed to evaluate to a same-block pair, fall back to
+       the total claim (sound) *)
+    if List.length rs = List.length ranges then rs else []
+
+(* forward reference: [apply_forced_release] is defined below but the
+   deterministic acquire path needs to preempt conflicting owners *)
+let forced_release_fwd : (t -> thread -> weak_lock -> unit) ref =
+  ref (fun _ _ _ -> ())
+
+let rec weak_acquire_one ?(det_retries = 0) eng th (lock : weak_lock)
+    (claim : WL.claim) =
+  gate_weak eng th lock;
+  det_gate eng th;
+  match WL.acquire eng.weak lock ~tid:th.tid ~claim with
+  | `Acquired ->
+      trace eng "%a acq %a clk=%d" K.pp_tid_path th.path pp_weak_lock lock
+        th.det_clock;
+      record_weak eng th lock ~claim:(stable_claim eng claim);
+      fire_sync eng th (SyWeakAcq lock)
+  | `Blocked owners when det_mode eng ->
+      (* Deterministic bump-and-retry; after a fixed number of failed
+         turns the conflicting owner is preempted — the deterministic
+         analogue of the timeout of Section 2.3. A deterministically
+         parked (excluded) owner is stripped immediately; a running or
+         gate-parked one is "doomed" and strips itself at its next gate,
+         keeping the preemption point inside the owner's own
+         deterministic instruction stream. Immune (recovering) owners are
+         left alone at first — but only up to a second, larger threshold:
+         an immune owner that still holds the lock after that many turns
+         is almost certainly blocked on program synchronization (a mutex)
+         that this contender transitively holds, and will never release
+         voluntarily — e.g. T1 holds m, wants L; T2 immune-holds L, spins
+         on m. Breaking the immunity there restores liveness while still
+         letting normal recoveries finish undisturbed. *)
+      if det_retries >= 50 then
+        List.iter
+          (fun otid ->
+            if otid <> th.tid then
+              match Hashtbl.find_opt eng.threads otid with
+              | Some owner ->
+                  let immune = List.mem lock owner.det_immune in
+                  if (not immune) || det_retries >= 300 then begin
+                    if immune then
+                      owner.det_immune <-
+                        List.filter (fun l -> l <> lock) owner.det_immune;
+                    if owner.det_excluded then
+                      !forced_release_fwd eng owner lock
+                    else if not (List.mem lock owner.det_doomed) then
+                      owner.det_doomed <- lock :: owner.det_doomed
+                  end
+              | None -> ())
+          owners;
+      det_retry_bump eng th;
+      weak_acquire_one ~det_retries:(det_retries + 1) eng th lock claim
+  | `Blocked _owners ->
+      trace eng "%a blocked-on %a" K.pp_tid_path th.path pp_weak_lock lock;
+      self_block eng th (BWeak (lock, claim));
+      weak_acquire_one eng th lock claim
+
+(* Deterministic reacquisition in the owner's own execution stream: a
+   preempted owner takes its lock back through the same turn-gated,
+   retry-bumped protocol as any acquisition, so the whole recovery is a
+   function of the logical clocks (never of wall ticks). Call on every
+   det-mode resume path and before gated operations. *)
+let det_ensure_reacquired eng th =
+  (* the guard makes this reentrant-safe: the acquisition below passes a
+     det gate whose exit would otherwise call back in here (the entry is
+     still listed) and take the same lock a second time — a double hold
+     under two claims that can then block against itself forever *)
+  if det_mode eng && not th.det_reacquiring then begin
+    th.det_reacquiring <- true;
+    Fun.protect
+      ~finally:(fun () -> th.det_reacquiring <- false)
+      (fun () ->
+        while th.reacquire <> [] do
+          match th.reacquire with
+          | [] -> ()
+          | (lock, claim) :: rest ->
+              if not (WL.holds eng.weak lock ~tid:th.tid) then
+                weak_acquire_one eng th lock claim;
+              th.det_immune <- lock :: th.det_immune;
+              th.reacquire <- rest
+        done)
+  end
+
+let () = det_ensure_reacquired_ref := det_ensure_reacquired
+
+let weak_release_one eng th (lock : weak_lock) =
+  trace eng "%a rel %a clk=%d" K.pp_tid_path th.path pp_weak_lock lock
+    th.det_clock;
+  th.det_immune <- List.filter (fun l -> l <> lock) th.det_immune;
+  List.iter (wake_tid eng) (WL.release eng.weak lock ~tid:th.tid);
+  fire_sync eng th (SyWeakRel lock)
+
+(* Release a batch of region locks: charge all step costs first, then
+   perform the releases with no step in between. In deterministic mode
+   the whole batch lands under one strict-minimum turn — a release that
+   landed at an arbitrary physical point inside the contenders' retry
+   window would hand the lock to whichever spinner's attempt physically
+   follows it, a race on the host schedule. *)
+let release_batch eng th (ls : weak_lock list) =
+  let cost = eng.cfg.cost in
+  List.iter
+    (fun _ ->
+      eng.stats.weak_op_ticks <- eng.stats.weak_op_ticks + cost.c_weak_op;
+      step cost.c_weak_op)
+    ls;
+  if ls <> [] then begin
+    det_gate ~reacquire:false eng th;
+    (* a doom processed at this very gate may have stripped one of the
+       locks we are about to release; cancel its reacquisition — we were
+       freeing it anyway, and a stale entry would be reacquired at a
+       later gate, outside the region, and then never released *)
+    th.reacquire <-
+      List.filter (fun (l, _) -> not (List.mem l ls)) th.reacquire;
+    List.iter (fun l -> weak_release_one eng th l) ls
+  end
+
+(* enter an instrumented region: suspend the enclosing region's locks,
+   acquire ours in canonical order.
+
+   The deterministic gate covers the *releases* (the suspension of the
+   outer region), not just the acquisitions: in deterministic mode every
+   lock-state change must land while its thread holds the strict
+   global-minimum turn, or the winner of a freed lock becomes whichever
+   spinner's retry physically follows the release — a race on the host
+   schedule, not a function of the logical clocks. *)
+let weak_enter eng th fr ~sid (acqs : weak_acq list) =
+  let cost = eng.cfg.cost in
+  (match th.regions with
+  | { rg_acqs = _ :: _ } :: _ -> det_ensure_reacquired eng th
+  | _ -> ());
+  (* suspend outer region *)
+  (match th.regions with
+  | { rg_acqs } :: _ -> release_batch eng th (List.map fst rg_acqs)
+  | [] -> ());
+  let resolved =
+    List.map (fun a -> (a.wa_lock, claim_of_ranges eng th fr ~sid a.wa_ranges)) acqs
+    |> List.sort (fun (a, _) (b, _) -> compare_weak_lock a b)
+  in
+  List.iter
+    (fun ((l : weak_lock), claim) ->
+      let c =
+        cost.c_weak_op + (List.length claim * cost.c_range) + charge_log_weak eng
+      in
+      eng.stats.weak_op_ticks <-
+        eng.stats.weak_op_ticks + cost.c_weak_op
+        + (List.length claim * cost.c_range);
+      step c;
+      weak_acquire_one eng th l claim)
+    resolved;
+  th.regions <- { rg_acqs = resolved } :: th.regions
+
+(* exit a region: release our locks, reacquire the suspended outer ones.
+   Gated for the same reason as [weak_enter]: the releases must happen
+   under the deterministic turn. *)
+let weak_exit eng th (locks : weak_lock list) =
+  let cost = eng.cfg.cost in
+  (* a lock stripped from the exiting region and not yet reacquired is
+     no longer needed: drop the pending reacquisition rather than taking
+     the lock back only to free it — a stale entry that survived the
+     exit would later be reacquired outside any region and never
+     released (strips only ever target held, i.e. innermost-region,
+     locks, so membership in the exiting region is the precise test) *)
+  (match th.regions with
+  | { rg_acqs } :: _ ->
+      th.reacquire <-
+        List.filter
+          (fun (l, _) -> not (List.mem_assoc l rg_acqs))
+          th.reacquire
+  | [] ->
+      th.reacquire <-
+        List.filter (fun (l, _) -> not (List.mem l locks)) th.reacquire);
+  det_ensure_reacquired eng th;
+  (match th.regions with
+  | { rg_acqs } :: rest ->
+      release_batch eng th (List.map fst rg_acqs);
+      th.regions <- rest;
+      (* reacquire the now-innermost region's locks *)
+      (match th.regions with
+      | { rg_acqs } :: _ ->
+          List.iter
+            (fun (l, claim) ->
+              let c = cost.c_weak_op + charge_log_weak eng in
+              eng.stats.weak_op_ticks <- eng.stats.weak_op_ticks + cost.c_weak_op;
+              step c;
+              weak_acquire_one eng th l claim)
+            rg_acqs
+      | [] -> ())
+  | [] ->
+      (* unbalanced exit: tolerate (can happen via break/return paths if
+         the instrumenter missed a path; release defensively) *)
+      if locks <> [] then begin
+        det_gate ~reacquire:false eng th;
+        List.iter (fun l -> weak_release_one eng th l) locks
+      end)
+
+(* Forced release (timeout-preemption or replayed forced event), applied
+   engine-side: strip [lock] from [owner], remember it for reacquisition. *)
+let apply_forced_release eng (owner : thread) (lock : weak_lock) =
+  if WL.holds eng.weak lock ~tid:owner.tid then begin
+    trace eng "forced-release %a from %a at steps=%d" pp_weak_lock lock
+      K.pp_tid_path owner.path owner.steps;
+    eng.stats.n_forced <- eng.stats.n_forced + 1;
+    (match eng.recorder with
+    | Some rc ->
+        Replay.Recorder.rec_forced rc ~owner:owner.path ~steps:owner.steps ~lock
+    | None -> ());
+    (* the stripped owner's work so far happens-before the next
+       acquisition: emit the release edge for dynamic analyses *)
+    fire_sync eng owner (SyWeakRel lock);
+    let woken =
+      (* handoff orders recovery while recording; replay follows the log
+         and deterministic mode follows the global-minimum turn instead *)
+      WL.force_release
+        ~handoff:(eng.replayer = None && not (det_mode eng))
+        eng.weak lock ~owner:owner.tid
+    in
+    (* find the claim in the owner's regions so reacquisition matches *)
+    let claim =
+      List.fold_left
+        (fun acc r ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              List.find_opt (fun (l, _) -> l = lock) r.rg_acqs
+              |> Option.map snd)
+        None owner.regions
+      |> Option.value ~default:[]
+    in
+    if not (List.exists (fun (l, _) -> l = lock) owner.reacquire) then
+      owner.reacquire <- owner.reacquire @ [ (lock, claim) ];
+    (* a running owner parks until it has the lock back; one blocked on
+       program synchronization keeps waiting there and reacquires when
+       woken (see [wake]). In deterministic mode the owner stripped
+       itself at one of its own gates and reacquires at that gate's exit
+       — parking it here would orphan it (no maintenance path wakes a
+       det-mode BReacq). *)
+    if owner.status = Runnable && not (det_mode eng) then begin
+      owner.status <- Blocked BReacq;
+      owner.blocked_since <- eng.ticks
+    end;
+    List.iter (wake_tid eng) woken
+  end
+
+let () = forced_release_fwd := apply_forced_release
+
+(* self-strip doomed locks at a deterministic point in this thread's own
+   instruction stream (det_gate entry / park); the gate-exit
+   reacquisition then restores them with immunity *)
+let det_process_dooms eng (th : thread) =
+  if th.det_doomed <> [] then begin
+    let dooms = th.det_doomed in
+    th.det_doomed <- [];
+    List.iter
+      (fun lock ->
+        if
+          WL.holds eng.weak lock ~tid:th.tid
+          && not (List.mem lock th.det_immune)
+        then apply_forced_release eng th lock)
+      dooms
+  end
+
+let () = det_process_dooms_ref := det_process_dooms
+
+
+(* ------------------------------------------------------------------ *)
+(* System calls *)
+
+exception Return_value of Value.t
+exception Brk
+exception Cnt
+
+let next_io_req (th : thread) ~max =
+  let seq = th.io_seq in
+  th.io_seq <- seq + 1;
+  { Iomodel.rq_tid_path = th.path; rq_seq = seq; rq_max = max }
+
+(* [input()] *)
+let sys_input eng th : Value.t =
+  gate_syscall eng th;
+  let v =
+    match eng.replayer with
+    | Some r -> (
+        match Replay.Replayer.take_input r th.path with
+        | Some [ v ] -> v
+        | Some _ | None -> eng.io.io_input (next_io_req th ~max:0))
+    | None -> eng.io.io_input (next_io_req th ~max:0)
+  in
+  record_syscall eng th [ v ];
+  step (eng.cfg.cost.c_syscall + charge_log_input eng 1);
+  VInt v
+
+(* [output(v)] *)
+let sys_output eng th (v : int) : unit =
+  gate_syscall eng th;
+  (* every syscall records one burst (empty for output) — replay must
+     consume it to keep the per-thread input stream aligned *)
+  (match eng.replayer with
+  | Some r -> ignore (Replay.Replayer.take_input r th.path)
+  | None -> ());
+  record_syscall eng th [];
+  eng.outputs <- (th.path, v) :: eng.outputs;
+  step (eng.cfg.cost.c_syscall + charge_log_input eng 0)
+
+(* [net_read(buf, max)] / [file_read(buf, max)] *)
+let sys_read eng th fr ~sid ~(net : bool) (buf_e : exp) (max_e : exp) : Value.t
+    =
+  let buf = ptr_of eng th fr ~sid buf_e in
+  let maxn = Value.to_int (eval eng th fr ~sid max_e) in
+  (* latency: only when not replaying (replay feeds input directly) *)
+  let latency = if net then eng.cfg.cost.l_net else eng.cfg.cost.l_file in
+  (* Latency is wall-time emulation: replay feeds recorded input
+     directly, and deterministic execution must not let real time
+     influence gate ordering (a thread parked in I/O leaves the
+     global-minimum rule, so its return must not race the clock). *)
+  (if eng.replayer = None && not (det_mode eng) then begin
+     th.status <- Blocked (BIO (eng.ticks + latency));
+     block_here ()
+   end);
+  gate_syscall eng th;
+  let bytes =
+    match eng.replayer with
+    | Some r -> (
+        match Replay.Replayer.take_input r th.path with
+        | Some vs -> vs
+        | None -> [])
+    | None -> eng.io.io_read (next_io_req th ~max:maxn)
+  in
+  let bytes =
+    if List.length bytes > maxn then List.filteri (fun i _ -> i < maxn) bytes
+    else bytes
+  in
+  record_syscall eng th bytes;
+  step (eng.cfg.cost.c_syscall + charge_log_input eng (List.length bytes));
+  List.iteri
+    (fun i b ->
+      let p = { buf with Value.p_off = buf.Value.p_off + i } in
+      on_mem eng th p ~write:true ~sid;
+      Mem.store eng.mem p (VInt b))
+    bytes;
+  VInt (List.length bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Function & statement execution *)
+
+let layout_of (eng : t) (fd : fundec) :
+    (string, int * ty) Hashtbl.t * int =
+  let offsets = Hashtbl.create 8 in
+  let off = ref 0 in
+  List.iter
+    (fun (v : var_decl) ->
+      Hashtbl.replace offsets v.v_name (!off, v.v_ty);
+      off := !off + max 1 (Minic.Ast.sizeof eng.prog.p_structs v.v_ty))
+    (fd.f_params @ fd.f_locals);
+  (offsets, !off)
+
+let fun_env_of eng (fd : fundec) =
+  match Hashtbl.find_opt frame_env_cache fd.f_name with
+  | Some e -> e
+  | None ->
+      let e = Minic.Typecheck.fun_env eng.tenv fd in
+      Hashtbl.replace frame_env_cache fd.f_name e;
+      e
+
+let rec exec_fun eng th (fname : string) (args : Value.t list) : Value.t =
+  let fd =
+    match Minic.Ast.find_fun eng.prog fname with
+    | Some fd -> fd
+    | None -> Value.fault "call to undefined function %s" fname
+  in
+  (match eng.hooks.on_enter_fun with Some f -> f th.tid fname | None -> ());
+  th.call_stack <- fname :: th.call_stack;
+  let offsets, size = layout_of eng fd in
+  let origin = K.OFrame (th.path, th.frame_seq) in
+  th.frame_seq <- th.frame_seq + 1;
+  let blk = Mem.alloc eng.mem origin size in
+  let fr =
+    { fr_fd = fd; fr_block = blk.Mem.b_id; fr_offsets = offsets;
+      fr_env = fun_env_of eng fd }
+  in
+  List.iteri
+    (fun i (p : var_decl) ->
+      match (List.nth_opt args i, Hashtbl.find_opt offsets p.v_name) with
+      | Some v, Some (off, _) ->
+          Mem.store eng.mem { Value.p_block = blk.Mem.b_id; p_off = off } v
+      | _ -> ())
+    fd.f_params;
+  let region_depth = List.length th.regions in
+  let ret =
+    try
+      exec_block eng th fr fd.f_body;
+      Value.zero
+    with Return_value v -> v
+  in
+  (* unwind instrumented regions opened in this frame (a [return] inside a
+     weak-lock region skips the WeakExit statements): release the
+     innermost region's locks, drop this frame's regions, and restore the
+     caller's suspended region if any was uncovered *)
+  if List.length th.regions > region_depth then begin
+    (match th.regions with
+    | { rg_acqs } :: _ ->
+        List.iter (fun (l, _) -> weak_release_one eng th l) rg_acqs
+    | [] -> ());
+    let rec drop rs =
+      if List.length rs > region_depth then drop (List.tl rs) else rs
+    in
+    th.regions <- drop th.regions;
+    match th.regions with
+    | { rg_acqs } :: _ ->
+        List.iter
+          (fun (l, claim) ->
+            let c = eng.cfg.cost.c_weak_op + charge_log_weak eng in
+            eng.stats.weak_op_ticks <-
+              eng.stats.weak_op_ticks + eng.cfg.cost.c_weak_op;
+            step c;
+            weak_acquire_one eng th l claim)
+          rg_acqs
+    | [] -> ()
+  end;
+  Mem.free eng.mem blk.Mem.b_id;
+  th.call_stack <- List.tl th.call_stack;
+  (match eng.hooks.on_exit_fun with Some f -> f th.tid fname | None -> ());
+  ret
+
+and exec_block eng th fr (b : block) : unit =
+  List.iter (exec_stmt eng th fr) b
+
+and exec_stmt eng th fr (s : stmt) : unit =
+  let cost = eng.cfg.cost in
+  (match eng.hooks.on_stmt with Some f -> f th.tid s.sid | None -> ());
+  match s.skind with
+  | Assign (lv, e) ->
+      eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+      step cost.c_stmt;
+      let v = eval eng th fr ~sid:s.sid e in
+      (* separate scheduling point between the read(s) and the write: this
+         is what makes load-store races observable *)
+      step 1;
+      let p = lval_addr eng th fr ~sid:s.sid lv in
+      on_mem eng th p ~write:true ~sid:s.sid;
+      Mem.store eng.mem p v
+  | Call (ret, tgt, args) ->
+      eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+      step cost.c_stmt;
+      let fname =
+        match tgt with
+        | Direct f -> f
+        | ViaPtr e -> (
+            match eval eng th fr ~sid:s.sid e with
+            | Value.VFun f -> f
+            | Value.VPtr _ | Value.VInt _ ->
+                Value.fault "indirect call through non-function value")
+      in
+      let argv = List.map (eval eng th fr ~sid:s.sid) args in
+      let v = exec_fun eng th fname argv in
+      Option.iter
+        (fun lv ->
+          let p = lval_addr eng th fr ~sid:s.sid lv in
+          on_mem eng th p ~write:true ~sid:s.sid;
+          Mem.store eng.mem p v)
+        ret
+  | Builtin (ret, b, args) ->
+      eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+      exec_builtin eng th fr s ret b args
+  | If (c, b1, b2) ->
+      eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+      step cost.c_stmt;
+      if Value.truthy (eval eng th fr ~sid:s.sid c) then
+        exec_block eng th fr b1
+      else exec_block eng th fr b2
+  | While (c, body, li) ->
+      eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+      (match eng.hooks.on_loop_enter with
+      | Some f -> f th.tid li.lid
+      | None -> ());
+      (try
+         while
+           step cost.c_stmt;
+           Value.truthy (eval eng th fr ~sid:s.sid c)
+         do
+           (match eng.hooks.on_loop_iter with
+           | Some f -> f th.tid li.lid
+           | None -> ());
+           try exec_block eng th fr body
+           with Cnt ->
+             (* continue in a for-loop still executes the increment *)
+             Option.iter (exec_stmt eng th fr) li.l_step
+         done
+       with Brk -> ());
+      (match eng.hooks.on_loop_exit with
+      | Some f -> f th.tid li.lid
+      | None -> ())
+  | Return e ->
+      eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+      step cost.c_stmt;
+      let v =
+        match e with
+        | Some e -> eval eng th fr ~sid:s.sid e
+        | None -> Value.zero
+      in
+      (* leaving the function must close any open instrumented regions
+         belonging to this frame; the instrumenter guards returns, but be
+         defensive about regions opened in this frame *)
+      raise (Return_value v)
+  | Break -> step 1; raise Brk
+  | Continue -> step 1; raise Cnt
+  | WeakEnter acqs -> weak_enter eng th fr ~sid:s.sid acqs
+  | WeakExit locks -> weak_exit eng th locks
+
+and exec_builtin eng th fr (s : stmt) ret (b : builtin) (args : exp list) :
+    unit =
+  let cost = eng.cfg.cost in
+  let sid = s.sid in
+  let store_ret v =
+    Option.iter
+      (fun lv ->
+        let p = lval_addr eng th fr ~sid lv in
+        on_mem eng th p ~write:true ~sid;
+        Mem.store eng.mem p v)
+      ret
+  in
+  let sync_key e = Mem.addr_key eng.mem (ptr_of eng th fr ~sid e) in
+  match (b, args) with
+  | Spawn, target :: rest ->
+      step cost.l_spawn;
+      let fname =
+        match eval eng th fr ~sid target with
+        | Value.VFun f -> f
+        | _ -> Value.fault "spawn of non-function"
+      in
+      let argv = List.map (eval eng th fr ~sid) rest in
+      let child_path = th.path @ [ th.spawn_seq ] in
+      th.spawn_seq <- th.spawn_seq + 1;
+      let child = new_thread eng child_path in
+      child.det_clock <- th.det_clock;
+      child.body <-
+        Some
+          (fun () ->
+            fire_sync eng child SyThreadStart;
+            ignore (exec_fun eng child fname argv));
+      fire_sync eng th (SySpawn child.tid);
+      enqueue eng child;
+      store_ret (VInt child.tid)
+  | Join, [ e ] ->
+      step cost.c_sync;
+      let target = Value.to_int (eval eng th fr ~sid e) in
+      let rec wait () =
+        match Hashtbl.find_opt eng.threads target with
+        | Some t' when t'.status <> Done ->
+            det_process_dooms_fwd eng th;
+            det_park th;
+            self_block eng th (BJoin target);
+            det_unpark th;
+            det_ensure_reacquired_fwd eng th;
+            wait ()
+        | _ -> ()
+      in
+      wait ();
+      fire_sync eng th (SyJoin target)
+  | MutexLock, [ e ] ->
+      step (cost.c_sync + charge_log_sync eng);
+      mutex_lock eng th (sync_key e)
+  | MutexUnlock, [ e ] ->
+      step (cost.c_sync + charge_log_sync eng);
+      mutex_unlock eng th (sync_key e)
+  | BarrierInit, [ e; n ] ->
+      step (cost.c_sync + charge_log_sync eng);
+      let key = sync_key e in
+      gate_sync eng th key SBarrierInit;
+      record_sync eng th key SBarrierInit;
+      Runtime.Sync.Barrier.init eng.barriers key
+        ~count:(Value.to_int (eval eng th fr ~sid n))
+  | BarrierWait, [ e ] ->
+      step (cost.c_sync + charge_log_sync eng);
+      barrier_wait eng th (sync_key e)
+  | CondWait, [ c; m ] ->
+      step (cost.c_sync + charge_log_sync eng);
+      cond_wait eng th (sync_key c) (sync_key m)
+  | CondSignal, [ c ] ->
+      step (cost.c_sync + charge_log_sync eng);
+      cond_signal eng th (sync_key c) ~broadcast:false
+  | CondBroadcast, [ c ] ->
+      step (cost.c_sync + charge_log_sync eng);
+      cond_signal eng th (sync_key c) ~broadcast:true
+  | Input, [] -> store_ret (sys_input eng th)
+  | Output, [ e ] ->
+      let v = Value.to_int (eval eng th fr ~sid e) in
+      sys_output eng th v
+  | NetRead, [ buf; maxn ] ->
+      store_ret (sys_read eng th fr ~sid ~net:true buf maxn)
+  | FileRead, [ buf; maxn ] ->
+      store_ret (sys_read eng th fr ~sid ~net:false buf maxn)
+  | Malloc, [ n ] ->
+      step cost.c_stmt;
+      let size = Value.to_int (eval eng th fr ~sid n) in
+      let origin = K.OHeap (th.path, th.alloc_seq) in
+      th.alloc_seq <- th.alloc_seq + 1;
+      let blk = Mem.alloc eng.mem origin (max 1 size) in
+      store_ret (VPtr { Value.p_block = blk.Mem.b_id; p_off = 0 })
+  | Free, [ e ] ->
+      step cost.c_stmt;
+      (match eval eng th fr ~sid e with
+      | Value.VPtr p -> Mem.free eng.mem p.Value.p_block
+      | _ -> ())
+  | Yield, [] -> step 1
+  | Exit, [ e ] ->
+      step cost.c_stmt;
+      raise (Program_exit (Value.to_int (eval eng th fr ~sid e)))
+  | _ ->
+      Value.fault "builtin %s: bad arity" (builtin_name b)
+
+(* ------------------------------------------------------------------ *)
+(* Thread lifecycle *)
+
+and new_thread eng (path : K.tid_path) : thread =
+  let th =
+    {
+      tid = stable_tid path;
+      path;
+      status = Runnable;
+      resume = None;
+      body = None;
+      steps = 0;
+      stall = 0;
+      core = 0;
+      spawn_seq = 0;
+      frame_seq = 0;
+      alloc_seq = 0;
+      io_seq = 0;
+      call_stack = [];
+      regions = [];
+      reacquire = [];
+      force_now = [];
+      turn_check = None;
+      blocked_since = 0;
+      fault = None;
+      det_clock = 0;
+      det_excluded = false;
+      det_immune = [];
+      det_reacquiring = false;
+      det_doomed = [];
+    }
+  in
+  Hashtbl.replace eng.threads th.tid th;
+  eng.thread_order <- th.tid :: eng.thread_order;
+  eng.live <- eng.live + 1;
+  th
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let finish_thread eng (th : thread) =
+  (* release anything still held *)
+  List.iter
+    (fun r -> List.iter (fun (l, _) -> weak_release_one eng th l) r.rg_acqs)
+    th.regions;
+  th.regions <- [];
+  th.status <- Done;
+  eng.live <- eng.live - 1;
+  if th.path = [] then eng.main_done <- true;
+  (* wake joiners *)
+  Hashtbl.iter
+    (fun _ (t' : thread) ->
+      match t'.status with
+      | Blocked (BJoin target) when target = th.tid -> wake eng t'
+      | _ -> ())
+    eng.threads
+
+(* Run (or resume) one micro-op of [th]. Returns after the thread performs
+   its next effect, blocks, or terminates. *)
+let resume_thread eng (th : thread) =
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> finish_thread eng th);
+      exnc =
+        (fun e ->
+          (match e with
+          | Program_exit code -> eng.exit_code <- Some code
+          | Value.Fault msg -> th.fault <- Some msg
+          | Stuck msg -> th.fault <- Some msg
+          | e -> th.fault <- Some (Printexc.to_string e));
+          finish_thread eng th);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_step cost ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  th.steps <- th.steps + 1;
+                  if det_mode eng then
+                    th.det_clock <- th.det_clock + cost;
+                  th.stall <- max 0 (cost - 1);
+                  th.resume <- Some k;
+                  (* apply pending forced releases at this step boundary *)
+                  List.iter (fun l -> apply_forced_release eng th l) th.force_now;
+                  th.force_now <- [];
+                  (* replayed forced events keyed by step count *)
+                  (match eng.replayer with
+                  | Some r -> (
+                      match
+                        Replay.Replayer.pending_forced r th.path
+                          ~steps:th.steps
+                          ~holds:(fun l -> WL.holds eng.weak l ~tid:th.tid)
+                      with
+                      | Some lock -> apply_forced_release eng th lock
+                      | None -> ())
+                  | None -> ()))
+          | E_block ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  th.resume <- Some k)
+          | _ -> None);
+    }
+  in
+  match th.resume with
+  | Some k ->
+      th.resume <- None;
+      Effect.Deep.continue k ()
+  | None -> (
+      match th.body with
+      | Some body ->
+          th.body <- None;
+          Effect.Deep.match_with body () handler
+      | None -> ())
+
+(* Periodic maintenance: IO wakeups, replay-turn checks, replayed forced
+   releases for blocked owners, forced reacquisitions. *)
+let maintenance eng =
+  Hashtbl.iter
+    (fun _ (th : thread) ->
+      match th.status with
+      | Blocked (BIO t) when eng.ticks >= t -> wake eng th
+      | Blocked (BTurn _) -> (
+          (* a recording-mode thread with a pending reacquisition stays
+             parked (maintenance reacquires on its behalf); in
+             deterministic mode the gate-exit path reacquires, so it must
+             be woken normally *)
+          match th.turn_check with
+          | Some check when (th.reacquire = [] || det_mode eng) && check () ->
+              wake eng th
+          | _ -> ())
+      | Blocked BReacq when th.reacquire = [] ->
+          th.status <- Runnable;
+          enqueue eng th
+      | _ -> ())
+    eng.threads;
+  (* replayed forced events can target an owner that is blocked on
+     program synchronization (and therefore passes no step boundary) *)
+  (match eng.replayer with
+  | Some r ->
+      Hashtbl.iter
+        (fun _ (th : thread) ->
+          match th.status with
+          | Blocked _ -> (
+              (* the owner may be parked on program sync or on a replay
+                 gate; either way it passes no step boundary of its own *)
+              match
+                Replay.Replayer.pending_forced r th.path ~steps:th.steps
+                  ~holds:(fun l -> WL.holds eng.weak l ~tid:th.tid)
+              with
+              | Some lock -> apply_forced_release eng th lock
+              | None -> ())
+          | _ -> ())
+        eng.threads
+  | None -> ());
+  (* forced-reacquire: threads whose lock was stripped must get it back
+     before doing anything else; try on their behalf. Under replay the
+     reacquisition is an acquisition like any other and must wait for its
+     recorded turn. *)
+  Hashtbl.iter
+    (fun _ (th : thread) ->
+      (* During recording, reacquire only for threads parked in BReacq: a
+         preempted owner still blocked on program synchronization must
+         not take the lock back while it cannot make progress — that
+         would recreate the very deadlock the timeout broke. During
+         replay the recorded acquisition order is feasible by
+         construction, so the reacquisition (itself a recorded event) is
+         performed as soon as its turn comes, wherever the owner is
+         parked. *)
+      let eligible =
+        (* deterministic mode reacquires in the owner's own execution
+           stream (det_ensure_reacquired), never here *)
+        (not (det_mode eng))
+        &&
+        match th.status with
+        | Blocked BReacq -> true
+        | Blocked _ -> eng.replayer <> None
+        | _ -> false
+      in
+      if th.reacquire <> [] && eligible then begin
+        let my_turn lock =
+          match eng.replayer with
+          | None -> true
+          | Some r -> Replay.Replayer.weak_turn r lock ~tp:th.path
+        in
+        let rec go () =
+          match th.reacquire with
+          | [] -> ()
+          | (lock, claim) :: rest ->
+              if my_turn lock then
+                match WL.acquire eng.weak lock ~tid:th.tid ~claim with
+                | `Acquired ->
+                    trace eng "%a reacq %a" K.pp_tid_path th.path
+                      pp_weak_lock lock;
+                    record_weak eng th lock ~claim:(stable_claim eng claim);
+                    fire_sync eng th (SyWeakAcq lock);
+                    if det_mode eng then
+                      th.det_immune <- lock :: th.det_immune;
+                    th.reacquire <- rest;
+                    go ()
+                | `Blocked owners ->
+                    trace eng "%a reacq-blocked %a holders=%a claim=%a"
+                      K.pp_tid_path th.path pp_weak_lock lock
+                      Fmt.(list ~sep:comma int) owners
+                      Fmt.(list ~sep:comma Runtime.Weaklock.pp_range) claim
+              else trace eng "%a reacq-not-my-turn %a" K.pp_tid_path th.path pp_weak_lock lock
+        in
+        go ();
+        if th.reacquire = [] then begin
+          th.status <- Runnable;
+          enqueue eng th
+        end
+      end)
+    eng.threads
+
+(* Weak-lock timeout: preempt the conflicting owner of the longest-stalled
+   waiter (Section 2.3). During replay, timeouts never initiate
+   preemption — forced releases are re-applied from the log instead. *)
+let check_weak_timeouts eng =
+  (* replay re-applies forced releases from the log; deterministic mode
+     preempts by retry-count dooming — a wall-tick timeout would make
+     the preemption point a function of the host schedule *)
+  if eng.replayer <> None || det_mode eng then ()
+  else
+  Hashtbl.iter
+    (fun _ (th : thread) ->
+      match th.status with
+      | Blocked BReacq
+        when eng.ticks - th.blocked_since > eng.cfg.weak_timeout ->
+          (* a reacquiring thread stalled this long means the handoff
+             reservation is stale (its beneficiary is parked elsewhere) or
+             the lock is held by another stuck owner: expire reservations
+             and preempt holders *)
+          List.iter
+            (fun ((lock : weak_lock), _) ->
+              WL.clear_pending eng.weak lock;
+              List.iter
+                (fun otid ->
+                  if otid <> th.tid then
+                    match Hashtbl.find_opt eng.threads otid with
+                    | Some owner -> apply_forced_release eng owner lock
+                    | None -> ())
+                (WL.holders eng.weak lock))
+            th.reacquire;
+          th.blocked_since <- eng.ticks
+      | Blocked (BWeak (lock, _claim))
+        when eng.ticks - th.blocked_since > eng.cfg.weak_timeout ->
+          let owners = WL.holders eng.weak lock in
+          List.iter
+            (fun otid ->
+              if otid <> th.tid then
+                match Hashtbl.find_opt eng.threads otid with
+                | Some owner -> (
+                    match owner.status with
+                    | Blocked (BMutex _ | BBarrier _ | BCond _ | BJoin _ | BIO _)
+                      ->
+                        (* owner is itself waiting on program synchronization:
+                           apply the forced release immediately *)
+                        apply_forced_release eng owner lock
+                    | Runnable | Blocked _ ->
+                        (* preempt at the owner's next step boundary *)
+                        if not (List.mem lock owner.force_now) then
+                          owner.force_now <- owner.force_now @ [ lock ]
+                    | Done -> ())
+                | None -> ())
+            owners;
+          th.blocked_since <- eng.ticks (* restart the clock *)
+      | _ -> ())
+    eng.threads
+
+let can_run (th : thread) = th.status = Runnable
+
+(* one scheduling tick for core [c] *)
+let tick_core eng c =
+  let q = eng.queues.(c) in
+  (* drop finished/blocked threads from the head *)
+  let rec clean () =
+    match !q with
+    | tid :: rest -> (
+        match Hashtbl.find_opt eng.threads tid with
+        | Some th when can_run th -> Some th
+        | Some th when th.status = Done ->
+            q := rest;
+            clean ()
+        | Some _ ->
+            (* blocked: remove; it will be re-enqueued on wake *)
+            q := rest;
+            clean ()
+        | None ->
+            q := rest;
+            clean ())
+    | [] -> None
+  in
+  match clean () with
+  | None ->
+      (* work stealing: take from the longest other queue *)
+      let best = ref (-1) and best_len = ref 1 in
+      for c' = 0 to eng.cfg.cores - 1 do
+        if c' <> c then begin
+          let len = List.length !(eng.queues.(c')) in
+          if len > !best_len then begin
+            best := c';
+            best_len := len
+          end
+        end
+      done;
+      if !best >= 0 then begin
+        match !(eng.queues.(!best)) with
+        | x :: rest ->
+            (* steal the tail element to keep the victim's head running *)
+            let stolen = List.nth (x :: rest) (List.length rest) in
+            eng.queues.(!best) <-
+              ref (List.filter (fun t -> t <> stolen) (x :: rest));
+            (match Hashtbl.find_opt eng.threads stolen with
+            | Some th -> th.core <- c
+            | None -> ());
+            q := [ stolen ]
+        | [] -> ()
+      end
+  | Some th ->
+      if th.stall > 0 then th.stall <- th.stall - 1
+      else begin
+        (match eng.recorder with
+        | Some rc -> Replay.Recorder.rec_sched rc ~core:c ~tp:th.path ~ticks:1
+        | None -> ());
+        resume_thread eng th
+      end;
+      (* quantum accounting *)
+      eng.quanta.(c) <- eng.quanta.(c) - 1;
+      if eng.quanta.(c) <= 0 then begin
+        eng.quanta.(c) <- (eng.cfg.quantum / 2) + (rng_next eng mod eng.cfg.quantum);
+        match !q with
+        | head :: rest when rest <> [] -> q := rest @ [ head ]
+        | _ -> ()
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Entry point *)
+
+type outcome = {
+  o_outputs : (K.tid_path * int) list;
+  o_final_hash : int;
+  o_ticks : int;
+  o_steps : (K.tid_path * int) list;
+  o_faults : (K.tid_path * string) list;
+  o_exit : int option;
+  o_stats : stats;
+  o_recorder : Replay.Recorder.t option;
+  o_timed_out : bool;
+  o_stuck : string list;
+      (** per-thread status dump when the run timed out / deadlocked *)
+}
+
+let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ~mode ~io
+    (prog : program) : t =
+  Hashtbl.reset frame_env_cache;
+  let recorder =
+    match mode with Record -> Some (Replay.Recorder.create ()) | _ -> None
+  in
+  let replayer =
+    match mode with
+    | Replay log -> Some (Replay.Replayer.of_log log)
+    | _ -> None
+  in
+  let eng =
+    {
+      prog;
+      tenv = Minic.Typecheck.env_of_program prog;
+      cfg = config;
+      mode;
+      io;
+      hooks;
+      mem = Mem.create ();
+      mutexes = Runtime.Sync.Mutex.create ();
+      barriers = Runtime.Sync.Barrier.create ();
+      conds = Runtime.Sync.Cond.create ();
+      weak = WL.create ();
+      threads = Hashtbl.create 16;
+      thread_order = [];
+      queues = Array.init config.cores (fun _ -> ref []);
+      quanta = Array.make config.cores config.quantum;
+      globals = Hashtbl.create 64;
+      recorder;
+      replayer;
+      stats = new_stats ();
+      ticks = 0;
+      outputs = [];
+      live = 0;
+      exit_code = None;
+      rng = (config.seed * 2) + 1;
+      main_done = false;
+    }
+  in
+  (* allocate and initialize globals *)
+  List.iter
+    (fun (g : global) ->
+      let size = max 1 (Minic.Ast.sizeof prog.p_structs g.g_ty) in
+      let blk = Mem.alloc eng.mem (K.OGlobal g.g_name) size in
+      (match g.g_init with
+      | Some vals ->
+          List.iteri
+            (fun i v ->
+              if i < size then
+                Mem.store eng.mem
+                  { Value.p_block = blk.Mem.b_id; p_off = i }
+                  (VInt v))
+            vals
+      | None -> ());
+      Hashtbl.replace eng.globals g.g_name blk.Mem.b_id)
+    prog.p_globals;
+  eng
+
+let run_engine (eng : t) : outcome =
+  (* main thread *)
+  let main = new_thread eng [] in
+  main.body <- Some (fun () -> ignore (exec_fun eng main "main" []));
+  enqueue eng main;
+  let timed_out = ref false in
+  (try
+     while eng.live > 0 && eng.exit_code = None && not eng.main_done do
+       eng.ticks <- eng.ticks + 1;
+       if eng.ticks >= eng.cfg.max_ticks then begin
+         timed_out := true;
+         raise Exit
+       end;
+       if eng.ticks land 15 = 0 then maintenance eng;
+       if eng.ticks land 255 = 0 then check_weak_timeouts eng;
+       (* rotate the starting core each tick to vary cross-core order *)
+       let start = rng_next eng mod eng.cfg.cores in
+       for i = 0 to eng.cfg.cores - 1 do
+         tick_core eng ((start + i) mod eng.cfg.cores)
+       done;
+       (* fast-forward idle periods (everything blocked on IO/turn) *)
+       if
+         Array.for_all (fun q -> !q = []) eng.queues
+         && eng.live > 0
+       then begin
+         maintenance eng;
+         if Array.for_all (fun q -> !q = []) eng.queues then begin
+           (* all blocked: jump to the next wake-up — an IO completion or
+              a weak-lock timeout deadline (the escape hatch that resolves
+              weak-lock-vs-program-sync deadlocks, Section 2.3) *)
+           let next_wake = ref max_int in
+           Hashtbl.iter
+             (fun _ (th : thread) ->
+               match th.status with
+               | Blocked (BIO t) -> if t < !next_wake then next_wake := t
+               | Blocked (BWeak _ | BReacq) ->
+                   (* both resolve through the weak-lock timeout *)
+                   let deadline =
+                     th.blocked_since + eng.cfg.weak_timeout + 1
+                   in
+                   if deadline < !next_wake then next_wake := deadline
+               | _ -> ())
+             eng.threads;
+           if !next_wake < max_int then begin
+             if !next_wake > eng.ticks then eng.ticks <- !next_wake;
+             check_weak_timeouts eng;
+             maintenance eng;
+             if Array.for_all (fun q -> !q = []) eng.queues then begin
+               (* the wake-up resolved nothing: genuinely stuck *)
+               timed_out := true;
+               raise Exit
+             end
+           end
+           else if
+             det_mode eng
+             && Hashtbl.fold
+                  (fun _ (th : thread) acc ->
+                    acc
+                    || th.reacquire <> []
+                    || match th.status with
+                       | Blocked (BTurn _) -> true
+                       | _ -> false)
+                  eng.threads false
+           then begin
+             (* deterministic arbitration progresses through repeated
+                maintenance passes (cede bumps, gated reacquisitions);
+                advance time and keep going — max_ticks bounds a true
+                livelock *)
+             eng.ticks <- eng.ticks + 16;
+             maintenance eng
+           end
+           else begin
+             (* deadlock or replay stall *)
+             check_weak_timeouts eng;
+             maintenance eng;
+             if Array.for_all (fun q -> !q = []) eng.queues then begin
+               timed_out := true;
+               raise Exit
+             end
+           end
+         end
+       end
+     done
+   with Exit -> ());
+  let paths_steps =
+    List.rev_map
+      (fun tid ->
+        let th = Hashtbl.find eng.threads tid in
+        (th.path, th.steps))
+      eng.thread_order
+    |> List.sort compare
+  in
+  let faults =
+    List.filter_map
+      (fun tid ->
+        let th = Hashtbl.find eng.threads tid in
+        Option.map (fun m -> (th.path, m)) th.fault)
+      eng.thread_order
+    |> List.sort compare
+  in
+  let stuck =
+    if not !timed_out then []
+    else
+      (match eng.replayer with
+       | Some r -> Replay.Replayer.dump_remaining r
+       | None -> [])
+      @
+      List.rev_map
+        (fun tid ->
+          let th = Hashtbl.find eng.threads tid in
+          let status =
+            match th.status with
+            | Runnable -> "runnable"
+            | Done -> "done"
+            | Blocked r -> Fmt.str "blocked on %a" pp_block_reason r
+          in
+          let queued =
+            Array.exists (fun q -> List.mem th.tid !q) eng.queues
+          in
+          Fmt.str "%a: %s, steps=%d, stall=%d, regions=%d, queued=%b, \
+                   has-cont=%b, reacquire=[%s]"
+            K.pp_tid_path th.path status th.steps th.stall
+            (List.length th.regions) queued
+            (th.resume <> None || th.body <> None)
+            (String.concat ","
+               (List.map
+                  (fun (l, _) -> Fmt.str "%a" pp_weak_lock l)
+                  th.reacquire)))
+        eng.thread_order
+  in
+  {
+    o_outputs = List.rev eng.outputs;
+    o_final_hash = Mem.state_hash eng.mem;
+    o_ticks = eng.ticks;
+    o_steps = paths_steps;
+    o_faults = faults;
+    o_exit = eng.exit_code;
+    o_stats = eng.stats;
+    o_recorder = eng.recorder;
+    o_timed_out = !timed_out;
+    o_stuck = stuck;
+  }
+
+(** Run [prog] to completion under [mode]. *)
+let run ?config ?hooks ~mode ~io (prog : program) : outcome =
+  let eng = make_engine ?config ?hooks ~mode ~io prog in
+  run_engine eng

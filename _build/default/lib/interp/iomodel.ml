@@ -1,0 +1,59 @@
+(** Models of the nondeterministic environment: what [input()],
+    [net_read(buf, n)] and [file_read(buf, n)] return during a recorded
+    (or native) run.
+
+    Each benchmark configures a model matching its workload (download
+    sizes for aget, request streams for the servers, file contents for
+    pfscan/pbzip2). Values are drawn from a splitmix-style PRNG seeded per
+    (thread, call-sequence) so that the environment itself is a fixed
+    function of the seed — runs differ only through scheduling. *)
+
+type request = {
+  rq_tid_path : Runtime.Key.tid_path;
+  rq_seq : int;          (** per-thread syscall sequence number *)
+  rq_max : int;          (** buffer capacity for reads; 0 for [input] *)
+}
+
+type t = {
+  io_input : request -> int;
+      (** result of [input()] *)
+  io_read : request -> int list;
+      (** bytes returned by [net_read]/[file_read]; [] = EOF *)
+}
+
+(* splitmix64-ish mixing, truncated to 62 bits to stay in OCaml int *)
+let mix seed k =
+  let z = ref (seed + (k * 0x1E3779B97F4A7C15)) in
+  z := (!z lxor (!z lsr 30)) * 0x3F58476D1CE4E5B9;
+  z := (!z lxor (!z lsr 27)) * 0x14D049BB133111EB;
+  (!z lxor (!z lsr 31)) land max_int
+
+let hash_request seed (r : request) =
+  mix seed (Hashtbl.hash (r.rq_tid_path, r.rq_seq))
+
+(** Uniform random ints; reads return full buffers of pseudorandom bytes
+    forever (callers decide when to stop). *)
+let random ~seed : t =
+  {
+    io_input = (fun r -> hash_request seed r mod 1000);
+    io_read =
+      (fun r ->
+        let h = hash_request seed r in
+        List.init (max 1 r.rq_max) (fun i -> mix h i mod 256));
+  }
+
+(** A stream model: each thread reads [chunks] bursts of [chunk_size]
+    pseudorandom bytes, then EOF. [input()] returns values in
+    [0, input_range). *)
+let stream ~seed ~chunks ~chunk_size ~input_range : t =
+  {
+    io_input =
+      (fun r -> hash_request seed r mod max 1 input_range);
+    io_read =
+      (fun r ->
+        if r.rq_seq >= chunks then []
+        else
+          let h = hash_request seed r in
+          let n = min chunk_size (max 1 r.rq_max) in
+          List.init n (fun i -> mix h i mod 256));
+  }

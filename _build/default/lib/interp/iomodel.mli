@@ -1,0 +1,22 @@
+(** Models of the nondeterministic environment: what [input()],
+    [net_read] and [file_read] return during a native/recorded run.
+    Values are a fixed function of the seed and the (thread,
+    call-sequence) pair, so runs differ only through scheduling. *)
+
+type request = {
+  rq_tid_path : Runtime.Key.tid_path;
+  rq_seq : int;  (** per-thread syscall sequence number *)
+  rq_max : int;  (** buffer capacity; 0 for [input] *)
+}
+
+type t = {
+  io_input : request -> int;
+  io_read : request -> int list;  (** [] = EOF *)
+}
+
+(** Uniform ints; reads return full pseudorandom buffers forever. *)
+val random : seed:int -> t
+
+(** Each thread reads [chunks] bursts of [chunk_size] bytes, then EOF;
+    [input()] ranges over [0, input_range). *)
+val stream : seed:int -> chunks:int -> chunk_size:int -> input_range:int -> t

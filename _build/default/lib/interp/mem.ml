@@ -1,0 +1,93 @@
+(** Simulated shared memory: a table of blocks (globals, stack frames,
+    heap allocations) of value cells.
+
+    Every block carries a schedule-independent {!Runtime.Key.origin} so
+    that log events and the final-state hash are comparable between a
+    recording and a replay that allocated blocks in a different global
+    order. *)
+
+open Runtime
+
+type block = {
+  b_id : int;
+  b_origin : Key.origin;
+  cells : Value.t array;
+  mutable b_freed : bool;
+}
+
+type t = {
+  blocks : (int, block) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () = { blocks = Hashtbl.create 256; next_id = 1 }
+
+let alloc (m : t) (origin : Key.origin) (size : int) : block =
+  let b =
+    {
+      b_id = m.next_id;
+      b_origin = origin;
+      cells = Array.make (max size 0) Value.zero;
+      b_freed = false;
+    }
+  in
+  m.next_id <- m.next_id + 1;
+  Hashtbl.replace m.blocks b.b_id b;
+  b
+
+let free (m : t) (id : int) =
+  match Hashtbl.find_opt m.blocks id with
+  | Some b -> b.b_freed <- true
+  | None -> ()
+
+let block (m : t) (id : int) : block =
+  match Hashtbl.find_opt m.blocks id with
+  | Some b when not b.b_freed -> b
+  | Some _ -> Value.fault "use of freed block b%d" id
+  | None -> Value.fault "invalid block b%d" id
+
+let load (m : t) (p : Value.ptr) : Value.t =
+  let b = block m p.p_block in
+  if p.p_off < 0 || p.p_off >= Array.length b.cells then
+    Value.fault "out-of-bounds load at %a+%d (size %d)" Key.pp_origin
+      b.b_origin p.p_off (Array.length b.cells)
+  else b.cells.(p.p_off)
+
+let store (m : t) (p : Value.ptr) (v : Value.t) : unit =
+  let b = block m p.p_block in
+  if p.p_off < 0 || p.p_off >= Array.length b.cells then
+    Value.fault "out-of-bounds store at %a+%d (size %d)" Key.pp_origin
+      b.b_origin p.p_off (Array.length b.cells)
+  else b.cells.(p.p_off) <- v
+
+(** Stable address of a pointer, for log keys. *)
+let addr_key (m : t) (p : Value.ptr) : Key.addr =
+  let b = block m p.p_block in
+  { Key.a_origin = b.b_origin; a_off = p.p_off }
+
+(** Deterministic hash of all live global and heap memory, with pointer
+    values canonicalized through their origins. Frames are excluded (they
+    belong to still-running threads only at non-quiescent points; at
+    program end all frames are gone anyway). *)
+let state_hash (m : t) : int =
+  let canon_value (v : Value.t) =
+    match v with
+    | Value.VPtr p -> (
+        match Hashtbl.find_opt m.blocks p.p_block with
+        | Some b -> Fmt.str "ptr(%a+%d)" Key.pp_origin b.b_origin p.p_off
+        | None -> "ptr(dead)")
+    | Value.VInt n -> string_of_int n
+    | Value.VFun f -> "&" ^ f
+  in
+  let entries = ref [] in
+  Hashtbl.iter
+    (fun _ b ->
+      match b.b_origin with
+      | Key.OGlobal _ | Key.OHeap _ when not b.b_freed ->
+          entries :=
+            Fmt.str "%a=%s" Key.pp_origin b.b_origin
+              (String.concat "," (Array.to_list (Array.map canon_value b.cells)))
+            :: !entries
+      | _ -> ())
+    m.blocks;
+  Hashtbl.hash (List.sort compare !entries)

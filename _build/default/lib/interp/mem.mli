@@ -1,0 +1,35 @@
+(** Simulated shared memory: blocks (globals, frames, heap allocations)
+    of value cells. Every block carries a schedule-independent
+    {!Runtime.Key.origin} so log events and the final-state hash are
+    comparable across runs with different allocation orders. *)
+
+type block = {
+  b_id : int;
+  b_origin : Runtime.Key.origin;
+  cells : Value.t array;
+  mutable b_freed : bool;
+}
+
+type t = {
+  blocks : (int, block) Hashtbl.t;
+  mutable next_id : int;
+}
+
+val create : unit -> t
+val alloc : t -> Runtime.Key.origin -> int -> block
+val free : t -> int -> unit
+
+(** Raises {!Value.Fault} on a freed or unknown block. *)
+val block : t -> int -> block
+
+(** Bounds-checked; raise {!Value.Fault}. *)
+val load : t -> Value.ptr -> Value.t
+
+val store : t -> Value.ptr -> Value.t -> unit
+
+(** Stable address for log keys. *)
+val addr_key : t -> Value.ptr -> Runtime.Key.addr
+
+(** Deterministic hash of live global + heap memory with pointers
+    canonicalized through origins (the determinism-check state hash). *)
+val state_hash : t -> int

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Ast Fmt Fresh Lexer List Option

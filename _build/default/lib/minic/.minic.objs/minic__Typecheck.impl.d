@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Fmt Hashtbl List Option Parser

@@ -1,0 +1,180 @@
+(** Call graph for MiniC programs.
+
+    Direct calls resolve trivially. Calls and [spawn]s through function
+    pointers resolve via a caller-supplied [resolve] oracle (in the full
+    pipeline this is Andersen's points-to analysis; the sound default
+    returns every address-taken function). The graph also records thread
+    entry points ([spawn] targets) and whether each spawn site can execute
+    more than once (inside a loop or in a function called more than once),
+    which the race detector needs to decide if a single thread root can
+    race with itself. *)
+
+open Ast
+
+type spawn_site = {
+  sp_sid : int;
+  sp_caller : string;
+  sp_targets : string list;
+  sp_in_loop : bool;
+}
+
+type t = {
+  cg_calls : (string, string list) Hashtbl.t;  (** caller -> callees *)
+  cg_callers : (string, string list) Hashtbl.t;
+  cg_spawns : spawn_site list;
+  cg_roots : string list;  (** thread entry points: main + spawn targets *)
+}
+
+let add_multi tbl k v =
+  let cur = Option.value (Hashtbl.find_opt tbl k) ~default:[] in
+  if not (List.mem v cur) then Hashtbl.replace tbl k (v :: cur)
+
+(** Functions whose address is taken anywhere in the program (the sound
+    default resolution set for indirect calls). *)
+let address_taken_funs (p : program) : string list =
+  let fnames = List.map (fun f -> f.f_name) p.p_funs in
+  let taken = Hashtbl.create 8 in
+  let rec scan_exp = function
+    | Const _ -> ()
+    | Lval lv -> scan_lval lv
+    | AddrOf (Var v) when List.mem v fnames -> Hashtbl.replace taken v ()
+    | AddrOf lv -> scan_lval lv
+    | Unop (_, e) -> scan_exp e
+    | Binop (_, a, b) -> scan_exp a; scan_exp b
+  and scan_lval = function
+    | Var v -> if List.mem v fnames then Hashtbl.replace taken v ()
+    | Deref e -> scan_exp e
+    | Index (lv, e) -> scan_lval lv; scan_exp e
+    | Field (lv, _) -> scan_lval lv
+    | Arrow (e, _) -> scan_exp e
+  in
+  iter_program_stmts
+    (fun s ->
+      match s.skind with
+      | Assign (_, e) -> scan_exp e
+      | Call (_, tgt, args) ->
+          (match tgt with ViaPtr e -> scan_exp e | Direct _ -> ());
+          List.iter scan_exp args
+      | Builtin (_, _, args) -> List.iter scan_exp args
+      | If (e, _, _) | While (e, _, _) -> scan_exp e
+      | Return (Some e) -> scan_exp e
+      | _ -> ())
+    p;
+  List.of_seq (Hashtbl.to_seq_keys taken)
+
+(** Extract the function names an expression used as a spawn/call target can
+    denote, syntactically (direct name or address-of). *)
+let syntactic_targets (p : program) (e : exp) : string list option =
+  match e with
+  | Lval (Var v) | AddrOf (Var v) ->
+      if find_fun p v <> None then Some [ v ] else None
+  | _ -> None
+
+(** Build the call graph. [resolve] maps a function-pointer expression
+    (evaluated in [caller]) to candidate function names. *)
+let build ?(resolve : (string -> exp -> string list) option) (p : program) : t
+    =
+  let default_targets = address_taken_funs p in
+  let resolve caller e =
+    match resolve with
+    | Some r -> r caller e
+    | None -> (
+        match syntactic_targets p e with
+        | Some ts -> ts
+        | None -> default_targets)
+  in
+  let calls = Hashtbl.create 64 in
+  let callers = Hashtbl.create 64 in
+  let spawns = ref [] in
+  List.iter
+    (fun (f : fundec) ->
+      (* ensure every function has an entry *)
+      if not (Hashtbl.mem calls f.f_name) then Hashtbl.replace calls f.f_name [];
+      (* track loop nesting while walking *)
+      let rec walk in_loop (b : block) =
+        List.iter
+          (fun s ->
+            match s.skind with
+            | Call (_, Direct g, _) ->
+                add_multi calls f.f_name g;
+                add_multi callers g f.f_name
+            | Call (_, ViaPtr e, _) ->
+                List.iter
+                  (fun g ->
+                    add_multi calls f.f_name g;
+                    add_multi callers g f.f_name)
+                  (resolve f.f_name e)
+            | Builtin (_, Spawn, target :: _) ->
+                let tgts =
+                  match syntactic_targets p target with
+                  | Some ts -> ts
+                  | None -> resolve f.f_name target
+                in
+                spawns :=
+                  {
+                    sp_sid = s.sid;
+                    sp_caller = f.f_name;
+                    sp_targets = tgts;
+                    sp_in_loop = in_loop;
+                  }
+                  :: !spawns
+            | If (_, b1, b2) -> walk in_loop b1; walk in_loop b2
+            | While (_, body, _) -> walk true body
+            | _ -> ())
+          b
+      in
+      walk false f.f_body)
+    p.p_funs;
+  let roots =
+    "main"
+    :: List.concat_map (fun sp -> sp.sp_targets) !spawns
+    |> List.sort_uniq compare
+  in
+  { cg_calls = calls; cg_callers = callers; cg_spawns = !spawns; cg_roots = roots }
+
+let callees (cg : t) f = Option.value (Hashtbl.find_opt cg.cg_calls f) ~default:[]
+
+(** Transitive closure of callees from [f], including [f]. *)
+let reachable_from (cg : t) (f : string) : string list =
+  let seen = Hashtbl.create 16 in
+  let rec go f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      List.iter go (callees cg f)
+    end
+  in
+  go f;
+  List.sort compare (List.of_seq (Hashtbl.to_seq_keys seen))
+
+(** Bottom-up order: callees before callers. Cycles (recursion) are broken
+    arbitrarily; the summary computation iterates to a fixpoint anyway. *)
+let bottom_up_order (cg : t) (p : program) : string list =
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec visit f =
+    if not (Hashtbl.mem visited f) then begin
+      Hashtbl.replace visited f ();
+      List.iter
+        (fun g -> if find_fun p g <> None then visit g)
+        (callees cg f);
+      order := f :: !order
+    end
+  in
+  List.iter (fun (f : fundec) -> visit f.f_name) p.p_funs;
+  List.rev !order
+
+(** Can two dynamic instances of root [r] exist concurrently? True if some
+    spawn site targeting [r] sits in a loop, appears more than once, or is
+    in a function reachable from multiple spawn sites. Conservative. *)
+let root_multiply_spawned (cg : t) (r : string) : bool =
+  let sites = List.filter (fun sp -> List.mem r sp.sp_targets) cg.cg_spawns in
+  match sites with
+  | [] -> false
+  | [ sp ] ->
+      sp.sp_in_loop
+      || (* the spawning function itself runs in several threads *)
+      List.exists
+        (fun root ->
+          root <> "main" && List.mem sp.sp_caller (reachable_from cg root))
+        cg.cg_roots
+  | _ -> true

@@ -1,0 +1,42 @@
+(** Call graph for MiniC programs, with thread-root bookkeeping.
+
+    Indirect calls and [spawn] targets resolve through a caller-supplied
+    oracle (the full pipeline passes Andersen's points-to); the sound
+    default is every address-taken function. *)
+
+type spawn_site = {
+  sp_sid : int;
+  sp_caller : string;
+  sp_targets : string list;
+  sp_in_loop : bool;
+}
+
+type t = {
+  cg_calls : (string, string list) Hashtbl.t;
+  cg_callers : (string, string list) Hashtbl.t;
+  cg_spawns : spawn_site list;
+  cg_roots : string list;  (** thread entry points: main + spawn targets *)
+}
+
+(** Functions whose address is taken anywhere (the default resolution
+    set for indirect calls). *)
+val address_taken_funs : Ast.program -> string list
+
+(** Function names an expression used as a call/spawn target denotes
+    syntactically, if it does. *)
+val syntactic_targets : Ast.program -> Ast.exp -> string list option
+
+val build :
+  ?resolve:(string -> Ast.exp -> string list) -> Ast.program -> t
+
+val callees : t -> string -> string list
+
+(** Transitive callees, including the function itself. *)
+val reachable_from : t -> string -> string list
+
+(** Callees before callers; recursion broken arbitrarily. *)
+val bottom_up_order : t -> Ast.program -> string list
+
+(** Can two dynamic instances of this thread root exist concurrently
+    (spawned in a loop / at several sites / from a spawned thread)? *)
+val root_multiply_spawned : t -> string -> bool

@@ -1,0 +1,196 @@
+(** Control-flow graphs for MiniC functions, with dominator computation
+    (Cooper–Harvey–Kennedy) and natural-loop detection.
+
+    MiniC is fully structured, so loops found via back edges coincide with
+    syntactic [While] loops; the CFG view is used by the analyses that need
+    flow information (the symbolic bounds analysis's invariance checks) and
+    validated against the syntax in the test suite. *)
+
+open Ast
+
+type node = {
+  n_id : int;
+  mutable n_stmts : int list;      (** sids of simple statements, in order *)
+  mutable n_succs : int list;
+  mutable n_preds : int list;
+  mutable n_loop : int option;     (** lid of the loop this node heads *)
+}
+
+type t = {
+  c_fun : string;
+  c_nodes : node array;
+  c_entry : int;
+  c_exit : int;
+}
+
+type builder = { mutable nodes : node list; mutable count : int }
+
+let new_node b =
+  let n = { n_id = b.count; n_stmts = []; n_succs = []; n_preds = []; n_loop = None } in
+  b.count <- b.count + 1;
+  b.nodes <- n :: b.nodes;
+  n
+
+let add_edge a b =
+  if not (List.mem b.n_id a.n_succs) then begin
+    a.n_succs <- a.n_succs @ [ b.n_id ];
+    b.n_preds <- b.n_preds @ [ a.n_id ]
+  end
+
+(** Build the CFG of [f]. Every [While] gets a dedicated header node. *)
+let build (f : fundec) : t =
+  let b = { nodes = []; count = 0 } in
+  let entry = new_node b in
+  let exit_ = new_node b in
+  (* [go cur block ~brk ~cont] threads statements through [cur], returning
+     the node where control ends up (None if the block always transfers
+     away). *)
+  let rec go (cur : node) (blk : block) ~(brk : node option)
+      ~(cont : node option) : node option =
+    match blk with
+    | [] -> Some cur
+    | s :: rest -> (
+        match s.skind with
+        | Assign _ | Call _ | Builtin _ | WeakEnter _ | WeakExit _ ->
+            cur.n_stmts <- cur.n_stmts @ [ s.sid ];
+            go cur rest ~brk ~cont
+        | Return _ ->
+            cur.n_stmts <- cur.n_stmts @ [ s.sid ];
+            add_edge cur exit_;
+            None
+        | Break -> (
+            match brk with
+            | Some t -> add_edge cur t; None
+            | None -> None (* malformed; drop *))
+        | Continue -> (
+            match cont with
+            | Some t -> add_edge cur t; None
+            | None -> None)
+        | If (_, tb, eb) -> (
+            let tn = new_node b and en = new_node b in
+            add_edge cur tn;
+            add_edge cur en;
+            let t_end = go tn tb ~brk ~cont in
+            let e_end = go en eb ~brk ~cont in
+            match (t_end, e_end) with
+            | None, None -> None
+            | _ ->
+                let join = new_node b in
+                Option.iter (fun n -> add_edge n join) t_end;
+                Option.iter (fun n -> add_edge n join) e_end;
+                go join rest ~brk ~cont)
+        | While (_, body, li) ->
+            let header = new_node b in
+            header.n_loop <- Some li.lid;
+            header.n_stmts <- [ s.sid ];
+            add_edge cur header;
+            let body_n = new_node b in
+            let after = new_node b in
+            add_edge header body_n;
+            add_edge header after;
+            (match go body_n body ~brk:(Some after) ~cont:(Some header) with
+            | Some last -> add_edge last header
+            | None -> ());
+            go after rest ~brk ~cont)
+  in
+  (match go entry f.f_body ~brk:None ~cont:None with
+  | Some last -> add_edge last exit_
+  | None -> ());
+  let nodes = Array.make b.count entry in
+  List.iter (fun n -> nodes.(n.n_id) <- n) b.nodes;
+  { c_fun = f.f_name; c_nodes = nodes; c_entry = entry.n_id; c_exit = exit_.n_id }
+
+(* ------------------------------------------------------------------ *)
+(* Dominators (Cooper–Harvey–Kennedy) *)
+
+(** [idom cfg] returns the immediate-dominator array; [idom.(entry) = entry]
+    and unreachable nodes map to [-1]. *)
+let idom (cfg : t) : int array =
+  let n = Array.length cfg.c_nodes in
+  (* reverse postorder *)
+  let order = Array.make n (-1) in
+  let rpo = ref [] in
+  let visited = Array.make n false in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs cfg.c_nodes.(i).n_succs;
+      rpo := i :: !rpo
+    end
+  in
+  dfs cfg.c_entry;
+  List.iteri (fun k i -> order.(i) <- k) !rpo;
+  let doms = Array.make n (-1) in
+  doms.(cfg.c_entry) <- cfg.c_entry;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while order.(!a) > order.(!b) do a := doms.(!a) done;
+      while order.(!b) > order.(!a) do b := doms.(!b) done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        if i <> cfg.c_entry then begin
+          let preds =
+            List.filter (fun p -> doms.(p) <> -1) cfg.c_nodes.(i).n_preds
+          in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if doms.(i) <> new_idom then begin
+                doms.(i) <- new_idom;
+                changed := true
+              end
+        end)
+      !rpo
+  done;
+  doms
+
+(** [dominates doms a b] iff node [a] dominates node [b]. *)
+let dominates (doms : int array) a b =
+  let rec up x = if x = a then true else if x = doms.(x) || doms.(x) = -1 then false else up doms.(x) in
+  up b
+
+(** Back edges [(tail, head)] where head dominates tail. *)
+let back_edges (cfg : t) : (int * int) list =
+  let doms = idom cfg in
+  let acc = ref [] in
+  Array.iter
+    (fun nd ->
+      List.iter
+        (fun s -> if doms.(nd.n_id) <> -1 && dominates doms s nd.n_id then acc := (nd.n_id, s) :: !acc)
+        nd.n_succs)
+    cfg.c_nodes;
+  !acc
+
+(** Natural loop of a back edge: all nodes that reach [tail] without going
+    through [head], plus [head]. *)
+let natural_loop (cfg : t) (tail, head) : int list =
+  let in_loop = Hashtbl.create 8 in
+  Hashtbl.replace in_loop head ();
+  let rec add n =
+    if not (Hashtbl.mem in_loop n) then begin
+      Hashtbl.replace in_loop n ();
+      List.iter add cfg.c_nodes.(n).n_preds
+    end
+  in
+  add tail;
+  List.sort compare (List.of_seq (Hashtbl.to_seq_keys in_loop))
+
+(** All natural loops keyed by the syntactic loop id of their header. *)
+let loops (cfg : t) : (int * int list) list =
+  back_edges cfg
+  |> List.filter_map (fun (t, h) ->
+         match cfg.c_nodes.(h).n_loop with
+         | Some lid -> Some (lid, natural_loop cfg (t, h))
+         | None -> None)
+
+(** Sids contained in a node set. *)
+let sids_of_nodes (cfg : t) (ns : int list) : int list =
+  List.concat_map (fun i -> cfg.c_nodes.(i).n_stmts) ns

@@ -1,0 +1,37 @@
+(** Control-flow graphs for MiniC functions, with dominators
+    (Cooper–Harvey–Kennedy) and natural-loop detection. MiniC is fully
+    structured, so natural loops coincide with syntactic [While]s — the
+    test suite checks exactly that. *)
+
+type node = {
+  n_id : int;
+  mutable n_stmts : int list;   (** sids of simple statements, in order *)
+  mutable n_succs : int list;
+  mutable n_preds : int list;
+  mutable n_loop : int option;  (** lid of the loop this node heads *)
+}
+
+type t = {
+  c_fun : string;
+  c_nodes : node array;
+  c_entry : int;
+  c_exit : int;
+}
+
+val build : Ast.fundec -> t
+
+(** Immediate dominators; [idom.(entry) = entry], unreachable nodes map
+    to [-1]. *)
+val idom : t -> int array
+
+val dominates : int array -> int -> int -> bool
+
+(** Back edges [(tail, head)] where head dominates tail. *)
+val back_edges : t -> (int * int) list
+
+val natural_loop : t -> int * int -> int list
+
+(** Natural loops keyed by the syntactic loop id of their header. *)
+val loops : t -> (int * int list) list
+
+val sids_of_nodes : t -> int list -> int list

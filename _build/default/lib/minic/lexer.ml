@@ -1,0 +1,144 @@
+(** Hand-written lexer for MiniC. Produces a token stream with line
+    information; the parser consumes it via a peekable cursor. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string          (* only in annotations / char data, cells *)
+  (* keywords *)
+  | KW_INT | KW_VOID | KW_STRUCT | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | EQ | PLUSEQ | MINUSEQ
+  | EQEQ | NEQ | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let pp_token ppf t =
+  Fmt.string ppf
+    (match t with
+    | INT n -> string_of_int n
+    | IDENT s -> s
+    | STRING s -> Printf.sprintf "%S" s
+    | KW_INT -> "int" | KW_VOID -> "void" | KW_STRUCT -> "struct"
+    | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while"
+    | KW_FOR -> "for" | KW_RETURN -> "return"
+    | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+    | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+    | LBRACKET -> "[" | RBRACKET -> "]"
+    | SEMI -> ";" | COMMA -> "," | DOT -> "." | ARROW -> "->"
+    | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/"
+    | PERCENT -> "%" | AMP -> "&" | PIPE -> "|" | CARET -> "^"
+    | TILDE -> "~" | SHL -> "<<" | SHR -> ">>"
+    | EQ -> "=" | PLUSEQ -> "+=" | MINUSEQ -> "-="
+    | EQEQ -> "==" | NEQ -> "!=" | LT -> "<" | LE -> "<="
+    | GT -> ">" | GE -> ">="
+    | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+    | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+    | EOF -> "<eof>")
+
+exception Lex_error of string * int (* message, line *)
+
+let keyword = function
+  | "int" -> Some KW_INT
+  | "void" -> Some KW_VOID
+  | "struct" -> Some KW_STRUCT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize [src]; returns tokens paired with their 1-based line numbers. *)
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | ' ' | '\t' | '\r' -> incr i
+    | '\n' -> incr line; incr i
+    | '/' when peek 1 = Some '/' ->
+        while !i < n && src.[!i] <> '\n' do incr i done
+    | '/' when peek 1 = Some '*' ->
+        i := !i + 2;
+        let fin = ref false in
+        while not !fin do
+          if !i + 1 >= n then raise (Lex_error ("unterminated comment", !line))
+          else if src.[!i] = '*' && src.[!i + 1] = '/' then (i := !i + 2; fin := true)
+          else (if src.[!i] = '\n' then incr line; incr i)
+        done
+    | '"' ->
+        let b = Buffer.create 16 in
+        incr i;
+        let fin = ref false in
+        while not !fin do
+          if !i >= n then raise (Lex_error ("unterminated string", !line))
+          else
+            match src.[!i] with
+            | '"' -> incr i; fin := true
+            | '\\' when !i + 1 < n ->
+                (match src.[!i + 1] with
+                | 'n' -> Buffer.add_char b '\n'
+                | 't' -> Buffer.add_char b '\t'
+                | c -> Buffer.add_char b c);
+                i := !i + 2
+            | c -> Buffer.add_char b c; incr i
+        done;
+        emit (STRING (Buffer.contents b))
+    | c when is_digit c ->
+        let j = ref !i in
+        while !j < n && is_digit src.[!j] do incr j done;
+        emit (INT (int_of_string (String.sub src !i (!j - !i))));
+        i := !j
+    | c when is_ident_start c ->
+        let j = ref !i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        let s = String.sub src !i (!j - !i) in
+        emit (match keyword s with Some k -> k | None -> IDENT s);
+        i := !j
+    | _ ->
+        let two a b t =
+          if c = a && peek 1 = Some b then (emit t; i := !i + 2; true) else false
+        in
+        if
+          two '-' '>' ARROW || two '<' '<' SHL || two '>' '>' SHR
+          || two '=' '=' EQEQ || two '!' '=' NEQ || two '<' '=' LE
+          || two '>' '=' GE || two '&' '&' ANDAND || two '|' '|' OROR
+          || two '+' '=' PLUSEQ || two '-' '=' MINUSEQ
+          || two '+' '+' PLUSPLUS || two '-' '-' MINUSMINUS
+        then ()
+        else begin
+          (match c with
+          | '(' -> emit LPAREN | ')' -> emit RPAREN
+          | '{' -> emit LBRACE | '}' -> emit RBRACE
+          | '[' -> emit LBRACKET | ']' -> emit RBRACKET
+          | ';' -> emit SEMI | ',' -> emit COMMA | '.' -> emit DOT
+          | '+' -> emit PLUS | '-' -> emit MINUS | '*' -> emit STAR
+          | '/' -> emit SLASH | '%' -> emit PERCENT
+          | '&' -> emit AMP | '|' -> emit PIPE | '^' -> emit CARET
+          | '~' -> emit TILDE | '=' -> emit EQ
+          | '<' -> emit LT | '>' -> emit GT | '!' -> emit BANG
+          | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)));
+          incr i
+        end)
+  done;
+  emit EOF;
+  List.rev !toks

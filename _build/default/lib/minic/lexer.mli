@@ -1,0 +1,25 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | KW_INT | KW_VOID | KW_STRUCT | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | EQ | PLUSEQ | MINUSEQ
+  | EQEQ | NEQ | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+val pp_token : token Fmt.t
+
+exception Lex_error of string * int  (** message, 1-based line *)
+
+(** Tokens paired with their 1-based line numbers; always ends with
+    [EOF]. Raises {!Lex_error}. *)
+val tokenize : string -> (token * int) list

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for MiniC (a C89-flavoured subset; see
+    README). [for] loops are lowered to [while] with their induction
+    pattern and step statement preserved in {!Ast.loop_info}; calls are
+    statements. *)
+
+exception Parse_error of string * int  (** message, 1-based line *)
+
+(** Parse a complete program. Statement and loop ids are assigned from
+    the global {!Ast.Fresh} counters, which this function resets.
+    Raises {!Parse_error} / {!Lexer.Lex_error}. *)
+val parse : ?file:string -> string -> Ast.program

@@ -1,0 +1,171 @@
+(** Pretty-printer for MiniC programs. Emits valid MiniC surface syntax for
+    uninstrumented programs (used by the parse/print roundtrip property
+    tests); weak-lock regions inserted by the instrumenter print as
+    [__weak_enter]/[__weak_exit] pseudo-calls for human inspection. *)
+
+open Ast
+
+let unop_str = function Neg -> "-" | LNot -> "!" | BNot -> "~"
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | LAnd -> "&&" | LOr -> "||"
+
+let binop_prec = function
+  | Mul | Div | Mod -> 10
+  | Add | Sub -> 9
+  | Shl | Shr -> 8
+  | Lt | Le | Gt | Ge -> 7
+  | Eq | Ne -> 6
+  | BAnd -> 5
+  | BXor -> 4
+  | BOr -> 3
+  | LAnd -> 2
+  | LOr -> 1
+
+let rec pp_exp_prec prec ppf e =
+  match e with
+  | Const n ->
+      if n < 0 then Fmt.pf ppf "(%d)" n else Fmt.int ppf n
+  | Lval lv -> pp_lval ppf lv
+  | AddrOf lv -> Fmt.pf ppf "&%a" pp_lval_atom lv
+  | Unop (op, e) -> Fmt.pf ppf "%s%a" (unop_str op) (pp_exp_prec 11) e
+  | Binop (op, a, b) ->
+      let p = binop_prec op in
+      let body ppf () =
+        Fmt.pf ppf "%a %s %a" (pp_exp_prec p) a (binop_str op)
+          (pp_exp_prec (p + 1)) b
+      in
+      if p < prec then Fmt.pf ppf "(%a)" body () else body ppf ()
+
+and pp_exp ppf e = pp_exp_prec 0 ppf e
+
+and pp_lval ppf = function
+  | Var v -> Fmt.string ppf v
+  | Deref e -> Fmt.pf ppf "*%a" (pp_exp_prec 11) e
+  | Index (lv, e) -> Fmt.pf ppf "%a[%a]" pp_lval_atom lv pp_exp e
+  | Field (lv, f) -> Fmt.pf ppf "%a.%s" pp_lval_atom lv f
+  | Arrow (e, f) -> Fmt.pf ppf "%a->%s" (pp_exp_prec 11) e f
+
+(* lvalue in a position that binds tighter than postfix: parenthesize
+   derefs *)
+and pp_lval_atom ppf lv =
+  match lv with
+  | Deref _ -> Fmt.pf ppf "(%a)" pp_lval lv
+  | _ -> pp_lval ppf lv
+
+let pp_ty_decl ppf (ty, name) =
+  (* prints "int x", "int *p", "int a[10]", "int (*fp)(int)" *)
+  let rec base = function
+    | Tarray (t, _) -> base t
+    | Tptr (Tfun _) as t -> t
+    | Tptr t -> base t
+    | t -> t
+  in
+  let rec dims ppf = function
+    | Tarray (t, n) ->
+        (* innermost dim prints last *)
+        Fmt.pf ppf "[%d]%a" n dims t
+    | _ -> ()
+  in
+  let rec stars ppf = function
+    | Tptr (Tfun _) -> ()
+    | Tptr t -> Fmt.pf ppf "%a*" stars t
+    | _ -> ()
+  in
+  match ty with
+  | Tptr (Tfun (r, args)) ->
+      Fmt.pf ppf "%a (*%s)(%a)" pp_ty r name Fmt.(list ~sep:comma pp_ty) args
+  | _ ->
+      let rec outer_dims ppf t =
+        match t with Tarray (t', n) -> Fmt.pf ppf "[%d]%a" n outer_dims t' | _ -> ()
+      in
+      ignore dims;
+      Fmt.pf ppf "%a %a%s%a" pp_ty (base ty) stars ty name outer_dims ty
+
+let rec pp_stmt ind ppf (s : stmt) =
+  let pad = String.make ind ' ' in
+  match s.skind with
+  | Assign (lv, e) -> Fmt.pf ppf "%s%a = %a;" pad pp_lval lv pp_exp e
+  | Call (ret, tgt, args) ->
+      let pp_tgt ppf = function
+        | Direct f -> Fmt.string ppf f
+        | ViaPtr e -> Fmt.pf ppf "(*%a)" pp_exp e
+      in
+      (match ret with
+      | None -> Fmt.pf ppf "%s%a(%a);" pad pp_tgt tgt Fmt.(list ~sep:comma pp_exp) args
+      | Some lv ->
+          Fmt.pf ppf "%s%a = %a(%a);" pad pp_lval lv pp_tgt tgt
+            Fmt.(list ~sep:comma pp_exp) args)
+  | Builtin (ret, b, args) -> (
+      match ret with
+      | None ->
+          Fmt.pf ppf "%s%s(%a);" pad (builtin_name b)
+            Fmt.(list ~sep:comma pp_exp) args
+      | Some lv ->
+          Fmt.pf ppf "%s%a = %s(%a);" pad pp_lval lv (builtin_name b)
+            Fmt.(list ~sep:comma pp_exp) args)
+  | If (c, t, []) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_exp c (pp_block (ind + 2)) t pad
+  | If (c, t, e) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_exp c
+        (pp_block (ind + 2)) t pad (pp_block (ind + 2)) e pad
+  | While (c, b, li) ->
+      Fmt.pf ppf "%swhile (%a) { /* loop %d */@\n%a@\n%s}" pad pp_exp c li.lid
+        (pp_block (ind + 2)) b pad
+  | Return None -> Fmt.pf ppf "%sreturn;" pad
+  | Return (Some e) -> Fmt.pf ppf "%sreturn %a;" pad pp_exp e
+  | Break -> Fmt.pf ppf "%sbreak;" pad
+  | Continue -> Fmt.pf ppf "%scontinue;" pad
+  | WeakEnter acqs ->
+      let pp_range ppf (r : warange) =
+        Fmt.pf ppf "[%a..%a]%s" pp_exp r.wr_lo pp_exp r.wr_hi
+          (if r.wr_write then "w" else "r")
+      in
+      let pp_acq ppf a =
+        match a.wa_ranges with
+        | [] -> pp_weak_lock ppf a.wa_lock
+        | rs ->
+            Fmt.pf ppf "%a:%a" pp_weak_lock a.wa_lock
+              Fmt.(list ~sep:(any "+") pp_range)
+              rs
+      in
+      Fmt.pf ppf "%s__weak_enter(%a);" pad Fmt.(list ~sep:comma pp_acq) acqs
+  | WeakExit locks ->
+      Fmt.pf ppf "%s__weak_exit(%a);" pad
+        Fmt.(list ~sep:comma pp_weak_lock) locks
+
+and pp_block ind ppf (b : block) =
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any "@\n") (pp_stmt ind)) b
+
+let pp_fundec ppf (f : fundec) =
+  let pp_param ppf vd = pp_ty_decl ppf (vd.v_ty, vd.v_name) in
+  Fmt.pf ppf "%a %s(%a) {@\n" pp_ty f.f_ret f.f_name
+    Fmt.(list ~sep:comma pp_param)
+    f.f_params;
+  List.iter (fun vd -> Fmt.pf ppf "  %a;@\n" pp_ty_decl (vd.v_ty, vd.v_name)) f.f_locals;
+  Fmt.pf ppf "%a@\n}@\n" (pp_block 2) f.f_body
+
+let pp_global ppf (g : global) =
+  match g.g_init with
+  | None -> Fmt.pf ppf "%a;@\n" pp_ty_decl (g.g_ty, g.g_name)
+  | Some [ v ] -> Fmt.pf ppf "%a = %d;@\n" pp_ty_decl (g.g_ty, g.g_name) v
+  | Some vs ->
+      Fmt.pf ppf "%a = {%a};@\n" pp_ty_decl (g.g_ty, g.g_name)
+        Fmt.(list ~sep:comma int)
+        vs
+
+let pp_struct ppf (s : struct_decl) =
+  Fmt.pf ppf "struct %s {@\n" s.s_name;
+  List.iter (fun (f, t) -> Fmt.pf ppf "  %a;@\n" pp_ty_decl (t, f)) s.s_fields;
+  Fmt.pf ppf "};@\n"
+
+let pp_program ppf (p : program) =
+  List.iter (pp_struct ppf) p.p_structs;
+  List.iter (pp_global ppf) p.p_globals;
+  Fmt.pf ppf "@\n";
+  List.iter (fun f -> Fmt.pf ppf "%a@\n" pp_fundec f) p.p_funs
+
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,19 @@
+(** Pretty-printer for MiniC. Output of uninstrumented programs is valid
+    MiniC (parse/print roundtrip is property-tested); weak-lock regions
+    print as [__weak_enter]/[__weak_exit] pseudo-calls for human
+    inspection. *)
+
+open Ast
+
+val pp_exp : exp Fmt.t
+val pp_lval : lval Fmt.t
+
+val pp_stmt : int -> stmt Fmt.t
+(** Statement at the given indentation. *)
+
+val pp_block : int -> block Fmt.t
+val pp_fundec : fundec Fmt.t
+val pp_global : global Fmt.t
+val pp_struct : struct_decl Fmt.t
+val pp_program : program Fmt.t
+val program_to_string : program -> string

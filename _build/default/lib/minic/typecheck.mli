@@ -1,0 +1,37 @@
+(** Type resolution and light checking for MiniC: builds symbol tables,
+    types every expression (needed by the interpreter for
+    pointer-arithmetic scaling and by the analyses for object
+    resolution), rewrites direct calls through function-pointer
+    variables into [ViaPtr], and rejects unbound names / bad arities /
+    duplicate definitions / missing [main]. *)
+
+open Ast
+
+exception Type_error of string * loc
+
+type env = {
+  prog : program;
+  structs : (string, struct_decl) Hashtbl.t;
+  globals : (string, ty) Hashtbl.t;
+  funs : (string, fundec) Hashtbl.t;
+  locals : (string, ty) Hashtbl.t;  (** current function's params+locals *)
+  fname : string;
+}
+
+val env_of_program : program -> env
+
+(** Environment for a function body (params + locals in scope). *)
+val fun_env : env -> fundec -> env
+
+val lookup_var : env -> string -> ty option
+val type_of_lval : env -> lval -> ty
+val type_of_exp : env -> exp -> ty
+
+(** Element size in cells for indexing through a value of this type. *)
+val elem_size : env -> ty -> int
+
+(** Check and rewrite a program. Raises {!Type_error}. *)
+val check : program -> program
+
+(** [parse_and_check src] — the front-end entry point. *)
+val parse_and_check : ?file:string -> string -> program

@@ -1,0 +1,1 @@
+lib/pointer/absloc.ml: Fmt Map Set Stdlib

@@ -1,0 +1,1 @@
+lib/pointer/absloc.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/pointer/analysis.ml: Absloc Andersen Constr Hashtbl List Minic Steensgaard

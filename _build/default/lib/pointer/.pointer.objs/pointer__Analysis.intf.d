@@ -1,0 +1,1 @@
+lib/pointer/analysis.mli: Absloc Andersen Minic Steensgaard

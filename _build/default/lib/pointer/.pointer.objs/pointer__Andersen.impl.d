@@ -1,0 +1,1 @@
+lib/pointer/andersen.ml: Absloc Constr Hashtbl List Queue

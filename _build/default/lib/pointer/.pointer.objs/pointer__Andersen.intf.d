@@ -1,0 +1,1 @@
+lib/pointer/andersen.mli: Absloc Constr Hashtbl

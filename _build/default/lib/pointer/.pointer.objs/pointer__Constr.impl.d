@@ -1,0 +1,1 @@
+lib/pointer/constr.ml: Absloc Fmt Hashtbl List Minic Option

@@ -1,0 +1,1 @@
+lib/pointer/constr.mli: Absloc Fmt Minic

@@ -1,0 +1,1 @@
+lib/pointer/steensgaard.ml: Absloc Constr Hashtbl List

@@ -1,0 +1,1 @@
+lib/pointer/steensgaard.mli: Absloc Constr

@@ -1,0 +1,48 @@
+(** Abstract memory locations.
+
+    Pointer analysis (and everything built on it: RELAY's shared-object
+    sets and locksets, the escape filter, loop-lock address ranges) works
+    over a finite set of abstract locations: one per global, one per
+    function local (RELAY "heapifies" address-taken locals — our [ALocal]
+    plays that role; the escape filter decides which of them can really be
+    shared), one per malloc site, one per function (for function
+    pointers), and anonymous temporaries introduced when normalizing
+    nested dereferences into three-address constraints. *)
+
+type t =
+  | AGlobal of string
+  | ALocal of string * string  (** function, variable *)
+  | AHeap of int               (** allocation-site statement id *)
+  | AFun of string             (** function address *)
+  | ATemp of int               (** constraint-normalization temporary *)
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | AGlobal g -> Fmt.string ppf g
+  | ALocal (f, v) -> Fmt.pf ppf "%s::%s" f v
+  | AHeap sid -> Fmt.pf ppf "heap@%d" sid
+  | AFun f -> Fmt.pf ppf "&%s" f
+  | ATemp i -> Fmt.pf ppf "$t%d" i
+
+let to_string l = Fmt.str "%a" pp l
+
+(** Is this a location a program access can touch (i.e. not a temp or a
+    function body)? *)
+let is_memory = function
+  | AGlobal _ | ALocal _ | AHeap _ -> true
+  | AFun _ | ATemp _ -> false
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+let pp_set ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma pp) (Set.elements s)

@@ -1,0 +1,29 @@
+(** Abstract memory locations — the currency of pointer analysis and
+    everything built on it (RELAY's shared-object sets and locksets, the
+    escape filter, loop-lock address ranges).
+
+    The abstraction is allocation-site based and field-/element-
+    insensitive: one location per global, per function local, per malloc
+    site, per function (for function pointers), plus anonymous
+    temporaries introduced by constraint normalization. *)
+
+type t =
+  | AGlobal of string
+  | ALocal of string * string  (** function, variable *)
+  | AHeap of int               (** allocation-site statement id *)
+  | AFun of string             (** function address *)
+  | ATemp of int               (** constraint-normalization temporary *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** Is this a location a program access can touch (i.e. not a temporary
+    or a function body)? *)
+val is_memory : t -> bool
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val pp_set : Set.t Fmt.t

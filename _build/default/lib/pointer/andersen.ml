@@ -1,0 +1,79 @@
+(** Andersen's inclusion-based points-to analysis.
+
+    Worklist solver over a constraint graph: copy edges propagate whole
+    points-to sets; load/store constraints add new copy edges as pointees
+    are discovered. More precise than Steensgaard (subset- rather than
+    equality-based), used by RELAY to resolve function pointers. *)
+
+module A = Absloc
+
+type t = {
+  pts : (A.t, A.Set.t ref) Hashtbl.t;
+  succs : (A.t, A.Set.t ref) Hashtbl.t;   (* copy edges: src -> dsts *)
+  loads : (A.t, A.Set.t ref) Hashtbl.t;   (* s -> ds for d = *s *)
+  stores : (A.t, A.Set.t ref) Hashtbl.t;  (* d -> ss for *d = s *)
+}
+
+let get tbl k =
+  match Hashtbl.find_opt tbl k with
+  | Some r -> r
+  | None ->
+      let r = ref A.Set.empty in
+      Hashtbl.replace tbl k r;
+      r
+
+let solve (constraints : Constr.t list) : t =
+  let st =
+    {
+      pts = Hashtbl.create 256;
+      succs = Hashtbl.create 256;
+      loads = Hashtbl.create 64;
+      stores = Hashtbl.create 64;
+    }
+  in
+  let work = Queue.create () in
+  let add_pts n l =
+    let r = get st.pts n in
+    if not (A.Set.mem l !r) then begin
+      r := A.Set.add l !r;
+      Queue.push (n, l) work
+    end
+  in
+  let add_edge s d =
+    let r = get st.succs s in
+    if not (A.Set.mem d !r) then begin
+      r := A.Set.add d !r;
+      (* propagate existing pts of s to d *)
+      A.Set.iter (fun l -> add_pts d l) !(get st.pts s)
+    end
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | Constr.Addr (d, a) -> add_pts d a
+      | Constr.Copy (d, s) -> add_edge s d
+      | Constr.Load (d, s) ->
+          let r = get st.loads s in
+          r := A.Set.add d !r;
+          A.Set.iter (fun o -> add_edge o d) !(get st.pts s)
+      | Constr.Store (d, s) ->
+          let r = get st.stores d in
+          r := A.Set.add s !r;
+          A.Set.iter (fun o -> add_edge s o) !(get st.pts d))
+    constraints;
+  (* fixpoint *)
+  while not (Queue.is_empty work) do
+    let n, l = Queue.pop work in
+    (* copy successors receive l *)
+    A.Set.iter (fun d -> add_pts d l) !(get st.succs n);
+    (* new pointee l of n activates load/store rules *)
+    A.Set.iter (fun d -> add_edge l d) !(get st.loads n);
+    A.Set.iter (fun s -> add_edge s l) !(get st.stores n)
+  done;
+  st
+
+let points_to (st : t) (l : A.t) : A.Set.t =
+  match Hashtbl.find_opt st.pts l with Some r -> !r | None -> A.Set.empty
+
+let may_alias (st : t) (a : A.t) (b : A.t) : bool =
+  A.equal a b || not (A.Set.is_empty (A.Set.inter (points_to st a) (points_to st b)))

@@ -1,0 +1,17 @@
+(** Andersen's inclusion-based points-to analysis (PhD thesis, 1994).
+
+    Worklist solver over a constraint graph: copy edges propagate whole
+    points-to sets; load/store constraints add new copy edges as pointees
+    are discovered. Subset-based, hence more precise than
+    {!Steensgaard}; used to resolve function pointers. *)
+
+type t = {
+  pts : (Absloc.t, Absloc.Set.t ref) Hashtbl.t;
+  succs : (Absloc.t, Absloc.Set.t ref) Hashtbl.t;
+  loads : (Absloc.t, Absloc.Set.t ref) Hashtbl.t;
+  stores : (Absloc.t, Absloc.Set.t ref) Hashtbl.t;
+}
+
+val solve : Constr.t list -> t
+val points_to : t -> Absloc.t -> Absloc.Set.t
+val may_alias : t -> Absloc.t -> Absloc.t -> bool

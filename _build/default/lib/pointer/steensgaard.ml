@@ -1,0 +1,120 @@
+(** Steensgaard's unification-based points-to analysis.
+
+    Almost-linear time via union-find: every abstract location has a node;
+    each equivalence class has at most one pointee class; assignments
+    unify pointee classes, and unification cascades recursively (POPL'96).
+    Coarser than Andersen but very fast — RELAY uses it for lvalue
+    aliasing; we expose both and the test suite checks Andersen refines
+    Steensgaard. *)
+
+module A = Absloc
+
+type node = {
+  id : int;
+  mutable parent : int;            (* union-find *)
+  mutable rank : int;
+  mutable pointee : int option;    (* class this class points to *)
+  mutable members : A.t list;      (* abslocs living in this class *)
+}
+
+type t = {
+  nodes : (int, node) Hashtbl.t;
+  index : (A.t, int) Hashtbl.t;
+  mutable next : int;
+}
+
+let create () = { nodes = Hashtbl.create 256; index = Hashtbl.create 256; next = 0 }
+
+let new_node ?(members = []) st =
+  let id = st.next in
+  st.next <- id + 1;
+  let n = { id; parent = id; rank = 0; pointee = None; members } in
+  Hashtbl.replace st.nodes id n;
+  n
+
+let node_of st l =
+  match Hashtbl.find_opt st.index l with
+  | Some id -> Hashtbl.find st.nodes id
+  | None ->
+      let n = new_node ~members:[ l ] st in
+      Hashtbl.replace st.index l n.id;
+      n
+
+let rec find st id =
+  let n = Hashtbl.find st.nodes id in
+  if n.parent = id then n
+  else begin
+    let root = find st n.parent in
+    n.parent <- root.id;
+    root
+  end
+
+(* pointee class of class [n], creating a fresh one if absent *)
+let pts st n =
+  let n = find st n.id in
+  match n.pointee with
+  | Some p -> find st p
+  | None ->
+      let fresh = new_node st in
+      n.pointee <- Some fresh.id;
+      fresh
+
+let rec union st a b =
+  let ra = find st a.id and rb = find st b.id in
+  if ra.id = rb.id then ra
+  else begin
+    let parent, child =
+      if ra.rank >= rb.rank then (ra, rb) else (rb, ra)
+    in
+    child.parent <- parent.id;
+    if parent.rank = child.rank then parent.rank <- parent.rank + 1;
+    parent.members <- List.rev_append child.members parent.members;
+    (* merge pointees recursively (cjoin) *)
+    let pp = child.pointee in
+    child.pointee <- None;
+    (match (parent.pointee, pp) with
+    | None, Some p -> parent.pointee <- Some (find st p).id
+    | Some p1, Some p2 ->
+        let merged = union st (find st p1) (find st p2) in
+        parent.pointee <- Some merged.id
+    | _, None -> ());
+    find st parent.id
+  end
+
+let solve (constraints : Constr.t list) : t =
+  let st = create () in
+  List.iter
+    (fun c ->
+      match c with
+      | Constr.Addr (d, a) ->
+          (* pts(d) must contain a: unify pts(d) with a's class *)
+          ignore (union st (pts st (node_of st d)) (node_of st a))
+      | Constr.Copy (d, s) ->
+          ignore (union st (pts st (node_of st d)) (pts st (node_of st s)))
+      | Constr.Load (d, s) ->
+          let ps = pts st (node_of st s) in
+          ignore (union st (pts st (node_of st d)) (pts st ps))
+      | Constr.Store (d, s) ->
+          let pd = pts st (node_of st d) in
+          ignore (union st (pts st pd) (pts st (node_of st s))))
+    constraints;
+  st
+
+(** Points-to set of [l]: members of the pointee class. Empty if [l] was
+    never constrained. *)
+let points_to (st : t) (l : A.t) : A.Set.t =
+  match Hashtbl.find_opt st.index l with
+  | None -> A.Set.empty
+  | Some id -> (
+      let n = find st id in
+      match n.pointee with
+      | None -> A.Set.empty
+      | Some p ->
+          let pc = find st p in
+          A.Set.of_list pc.members)
+
+(** Do [a] and [b] possibly alias, i.e. share an equivalence class? *)
+let may_alias (st : t) (a : A.t) (b : A.t) : bool =
+  match (Hashtbl.find_opt st.index a, Hashtbl.find_opt st.index b) with
+  | Some ia, Some ib -> (find st ia).id = (find st ib).id
+  | _ -> A.equal a b

@@ -1,0 +1,18 @@
+(** Steensgaard's unification-based points-to analysis (POPL 1996).
+
+    Almost-linear time via union-find: every abstract location has a
+    node; each equivalence class has at most one pointee class;
+    assignments unify pointee classes and unification cascades
+    recursively. Coarser than {!Andersen} but very fast. *)
+
+type t
+
+(** Solve a constraint system. *)
+val solve : Constr.t list -> t
+
+(** Points-to set of a location: the members of its pointee class.
+    Empty if the location was never constrained. *)
+val points_to : t -> Absloc.t -> Absloc.Set.t
+
+(** Do two locations possibly alias (share an equivalence class)? *)
+val may_alias : t -> Absloc.t -> Absloc.t -> bool

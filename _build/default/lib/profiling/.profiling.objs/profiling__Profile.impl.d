@@ -1,0 +1,1 @@
+lib/profiling/profile.ml: Fmt Hashtbl Interp List Minic Option Set

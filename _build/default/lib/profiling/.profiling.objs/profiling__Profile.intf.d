@@ -1,0 +1,1 @@
+lib/profiling/profile.mli: Fmt Hashtbl Interp Minic Set

@@ -1,0 +1,141 @@
+(** Off-line profiling (Section 4 of the paper).
+
+    Chimera runs the program over a set of representative inputs and
+    observes:
+
+    - which {e function pairs ever execute concurrently}: a pair (f, g)
+      is concurrent if an invocation of f in one thread overlaps in time
+      with an invocation of g in another (either function may be anywhere
+      on its thread's call stack). Racy function pairs never observed
+      concurrent become candidates for coarse function-locks;
+    - the {e average instructions per iteration} of each loop, used by
+      the instrumenter to decide whether an imprecisely-bounded racy loop
+      is cheap enough to serialize whole (Section 5.3's
+      loop-body-threshold).
+
+    Profiles from multiple runs aggregate by union / weighted mean. *)
+
+module Pairset = Set.Make (struct
+  type t = string * string
+  let compare = compare
+end)
+
+type t = {
+  mutable concurrent_pairs : Pairset.t;
+  loop_iters : (int, int) Hashtbl.t;   (** lid -> total iterations *)
+  loop_insns : (int, int) Hashtbl.t;   (** lid -> total statements executed *)
+  mutable runs : int;
+}
+
+let create () =
+  {
+    concurrent_pairs = Pairset.empty;
+    loop_iters = Hashtbl.create 32;
+    loop_insns = Hashtbl.create 32;
+    runs = 0;
+  }
+
+let norm_pair f g = if f <= g then (f, g) else (g, f)
+
+let concurrent (t : t) f g = Pairset.mem (norm_pair f g) t.concurrent_pairs
+
+(** Average executed statements per iteration of loop [lid]; [None] if the
+    loop never ran in any profile run. *)
+let avg_loop_body (t : t) (lid : int) : float option =
+  match (Hashtbl.find_opt t.loop_insns lid, Hashtbl.find_opt t.loop_iters lid) with
+  | Some insns, Some iters when iters > 0 ->
+      Some (float_of_int insns /. float_of_int iters)
+  | _ -> None
+
+(** Instrument [hooks] so that one engine run feeds this profile. Returns
+    the hooks for convenience. *)
+let attach (t : t) (hooks : Interp.Engine.hooks) : Interp.Engine.hooks =
+  (* per-thread call stacks as multisets (recursion-safe) *)
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace stacks tid r;
+        r
+  in
+  (* per-thread loop stacks for statement attribution *)
+  let loop_stacks : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let loop_stack tid =
+    match Hashtbl.find_opt loop_stacks tid with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace loop_stacks tid r;
+        r
+  in
+  hooks.on_enter_fun <-
+    Some
+      (fun tid f ->
+        (* every function live on any *other* thread's stack overlaps the
+           new invocation of f *)
+        Hashtbl.iter
+          (fun tid' st ->
+            if tid' <> tid then
+              List.iter
+                (fun g ->
+                  t.concurrent_pairs <-
+                    Pairset.add (norm_pair f g) t.concurrent_pairs)
+                (List.sort_uniq compare !st))
+          stacks;
+        let st = stack tid in
+        st := f :: !st);
+  hooks.on_exit_fun <-
+    Some
+      (fun tid _f ->
+        let st = stack tid in
+        match !st with [] -> () | _ :: rest -> st := rest);
+  hooks.on_loop_enter <-
+    Some
+      (fun tid lid ->
+        let ls = loop_stack tid in
+        ls := lid :: !ls);
+  hooks.on_loop_exit <-
+    Some
+      (fun tid _lid ->
+        let ls = loop_stack tid in
+        match !ls with [] -> () | _ :: rest -> ls := rest);
+  hooks.on_loop_iter <-
+    Some
+      (fun _tid lid ->
+        Hashtbl.replace t.loop_iters lid
+          (1 + Option.value (Hashtbl.find_opt t.loop_iters lid) ~default:0));
+  hooks.on_stmt <-
+    Some
+      (fun tid _sid ->
+        match !(loop_stack tid) with
+        | lid :: _ ->
+            Hashtbl.replace t.loop_insns lid
+              (1 + Option.value (Hashtbl.find_opt t.loop_insns lid) ~default:0)
+        | [] -> ());
+  hooks
+
+(** Profile [prog] once under the given seed/io. *)
+let profile_run ?(config = Interp.Engine.default_config) ~io (t : t)
+    (prog : Minic.Ast.program) : Interp.Engine.outcome =
+  let hooks = attach t (Interp.Engine.no_hooks ()) in
+  t.runs <- t.runs + 1;
+  Interp.Engine.run ~config ~hooks ~mode:Interp.Engine.Native ~io prog
+
+(** Profile over [runs] seeds (the paper uses 20 runs with varied inputs;
+    inputs vary through the io-model seed here). *)
+let profile_many ?(config = Interp.Engine.default_config) ~(io_of : int -> Interp.Iomodel.t)
+    ?(runs = 20) (prog : Minic.Ast.program) : t =
+  let t = create () in
+  for i = 1 to runs do
+    let config = { config with Interp.Engine.seed = config.Interp.Engine.seed + (i * 7919) } in
+    ignore (profile_run ~config ~io:(io_of i) t prog)
+  done;
+  t
+
+let n_concurrent_pairs t = Pairset.cardinal t.concurrent_pairs
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "profile: %d runs, %d concurrent pairs" t.runs
+    (Pairset.cardinal t.concurrent_pairs)

@@ -1,0 +1,47 @@
+(** Off-line profiling (paper Section 4): which function pairs ever
+    execute concurrently (an invocation of one overlapping an invocation
+    of the other in another thread — either may be anywhere on its
+    thread's stack), and the average statements per loop iteration (the
+    loop-body-threshold input of Section 5.3). Profiles union across
+    runs. *)
+
+module Pairset : Set.S with type elt = string * string
+
+type t = {
+  mutable concurrent_pairs : Pairset.t;
+  loop_iters : (int, int) Hashtbl.t;
+  loop_insns : (int, int) Hashtbl.t;
+  mutable runs : int;
+}
+
+val create : unit -> t
+
+(** Were the two functions (order-insensitive) ever observed
+    concurrent? *)
+val concurrent : t -> string -> string -> bool
+
+(** Average executed statements per iteration; [None] if never run. *)
+val avg_loop_body : t -> int -> float option
+
+(** Wire the profiler into engine hooks (returns them). *)
+val attach : t -> Interp.Engine.hooks -> Interp.Engine.hooks
+
+(** One profiled native run. *)
+val profile_run :
+  ?config:Interp.Engine.config ->
+  io:Interp.Iomodel.t ->
+  t ->
+  Minic.Ast.program ->
+  Interp.Engine.outcome
+
+(** [runs] profiled runs with per-run input models (the paper uses 20
+    runs with varied inputs). *)
+val profile_many :
+  ?config:Interp.Engine.config ->
+  io_of:(int -> Interp.Iomodel.t) ->
+  ?runs:int ->
+  Minic.Ast.program ->
+  t
+
+val n_concurrent_pairs : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/relay/detect.ml: Array Fmt Hashtbl List Minic Option Pointer Summary

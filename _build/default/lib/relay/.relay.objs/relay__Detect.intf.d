@@ -1,0 +1,1 @@
+lib/relay/detect.mli: Fmt Hashtbl Minic Pointer Summary

@@ -1,0 +1,1 @@
+lib/relay/summary.ml: Fmt Hashtbl List Map Minic Option Pointer String

@@ -1,0 +1,1 @@
+lib/relay/summary.mli: Fmt Hashtbl Map Minic Pointer

@@ -1,0 +1,231 @@
+(** Static data-race detection from RELAY summaries.
+
+    A {e race pair} is a pair of static statements (identified by sid)
+    that may access the same abstract object from two concurrently-running
+    thread roots, with disjoint locksets, at least one side writing
+    (Section 2.1 of the paper).
+
+    As in RELAY, non-mutex happens-before (fork/join, barriers, condition
+    variables) is ignored, so e.g. initialization code in [main] is
+    considered concurrent with every spawned thread — a deliberate
+    imprecision that Chimera's profiling optimization later exploits.
+
+    The one post-filter we apply is the paper's sound heapified-local
+    filter (Section 6.2): a race on a function local is dropped unless the
+    local {e escapes} its function (its address is reachable from a
+    global, the heap, or another function's frame in the points-to
+    solution). *)
+
+open Minic.Ast
+module A = Pointer.Absloc
+module Aset = Pointer.Absloc.Set
+
+type site = {
+  st_sid : int;
+  st_fname : string;
+  st_line : int;
+  st_write : bool;
+}
+
+let pp_site ppf s =
+  Fmt.pf ppf "%s:%d(sid %d)%s" s.st_fname s.st_line s.st_sid
+    (if s.st_write then "[W]" else "[R]")
+
+type race_pair = {
+  rp_s1 : site;   (** site with the smaller sid *)
+  rp_s2 : site;
+  rp_objs : A.t list;  (** abstract objects the pair races on *)
+}
+
+let pp_race_pair ppf rp =
+  Fmt.pf ppf "%a <-> %a on {%a}" pp_site rp.rp_s1 pp_site rp.rp_s2
+    Fmt.(list ~sep:comma A.pp)
+    rp.rp_objs
+
+type report = {
+  races : race_pair list;
+  racy_sids : (int, unit) Hashtbl.t;       (** sids appearing in any pair *)
+  racy_fun_pairs : (string * string) list; (** deduped function pairs *)
+  roots : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Escape analysis for the heapified-local filter *)
+
+(** Does local [l = ALocal (f, v)] escape [f]? True iff its address
+    appears in the points-to set of some location outside [f]'s frame
+    (global, heap object, or another function's local/param). *)
+let escapes (pa : Pointer.Analysis.t) (l : A.t) : bool =
+  match l with
+  | A.ALocal (f, _) ->
+      let pts = Pointer.Analysis.points_to pa in
+      let holders = ref [] in
+      (* candidate holders: all globals, heap sites, and locals of other
+         functions in the program *)
+      let p = pa.Pointer.Analysis.prog in
+      List.iter (fun (g : global) -> holders := A.AGlobal g.g_name :: !holders) p.p_globals;
+      List.iter
+        (fun (fd : fundec) ->
+          List.iter
+            (fun (v : var_decl) ->
+              if fd.f_name <> f then
+                holders := A.ALocal (fd.f_name, v.v_name) :: !holders)
+            (fd.f_params @ fd.f_locals))
+        p.p_funs;
+      iter_program_stmts
+        (fun s ->
+          match s.skind with
+          | Builtin (_, Malloc, _) -> holders := A.AHeap s.sid :: !holders
+          | _ -> ())
+        p;
+      List.exists (fun h -> Aset.mem l (pts h)) !holders
+      (* transitively: address stored inside a heap/global object that
+         itself holds it *)
+      || List.exists
+           (fun h ->
+             Aset.exists
+               (fun o -> (not (A.equal o l)) && Aset.mem l (pts o))
+               (pts h))
+           !holders
+  | _ -> true
+
+(* ------------------------------------------------------------------ *)
+
+(** Which roots can a function's code run under? A function reachable from
+    root r (per the pointer-resolved call graph) runs in r's thread. *)
+let roots_of_fun (cg : Minic.Callgraph.t) (roots : string list) :
+    (string, string list) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun f ->
+          let cur = Option.value (Hashtbl.find_opt tbl f) ~default:[] in
+          Hashtbl.replace tbl f (r :: cur))
+        (Minic.Callgraph.reachable_from cg r))
+    roots;
+  tbl
+
+(** Two accesses can be concurrent if reachable from two different roots,
+    or from one root that can have multiple live instances. *)
+let concurrent_roots (cg : Minic.Callgraph.t) roots_a roots_b : bool =
+  List.exists
+    (fun ra ->
+      List.exists
+        (fun rb ->
+          ra <> rb || Minic.Callgraph.root_multiply_spawned cg ra)
+        roots_b)
+    roots_a
+
+(** Run race detection over computed summaries. *)
+let detect (sm : Summary.t) : report =
+  let cg = sm.Summary.cg in
+  let roots = cg.Minic.Callgraph.cg_roots in
+  let fun_roots = roots_of_fun cg roots in
+  let roots_of f = Option.value (Hashtbl.find_opt fun_roots f) ~default:[] in
+  (* collect root-level accesses: for each root, its composed summary *)
+  let accesses : Summary.gaccess list =
+    List.concat_map (fun r -> (Summary.summary sm r).Summary.sm_accesses) roots
+    (* dedupe by (sid, obj, write), intersecting locksets *)
+    |> List.fold_left
+         (fun m (a : Summary.gaccess) -> Summary.merge_access m a)
+         Summary.AccMap.empty
+    |> Summary.AccMap.bindings |> List.map snd
+  in
+  (* index by object *)
+  let by_obj : (A.t, Summary.gaccess list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Summary.gaccess) ->
+      let cur = Option.value (Hashtbl.find_opt by_obj a.ga_obj) ~default:[] in
+      Hashtbl.replace by_obj a.ga_obj (a :: cur))
+    accesses;
+  (* escape cache *)
+  let esc_cache : (A.t, bool) Hashtbl.t = Hashtbl.create 64 in
+  let escapes_c l =
+    match Hashtbl.find_opt esc_cache l with
+    | Some b -> b
+    | None ->
+        let b = escapes sm.Summary.pa l in
+        Hashtbl.replace esc_cache l b;
+        b
+  in
+  let pairs : (int * int, site * site * A.t list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  Hashtbl.iter
+    (fun obj accs ->
+      let shareable =
+        match obj with
+        | A.ALocal _ -> escapes_c obj
+        | A.AGlobal _ | A.AHeap _ -> true
+        | _ -> false
+      in
+      if shareable then
+        let arr = Array.of_list accs in
+        let n = Array.length arr in
+        for i = 0 to n - 1 do
+          for j = i to n - 1 do
+            let a : Summary.gaccess = arr.(i)
+            and b : Summary.gaccess = arr.(j) in
+            if
+              (a.ga_write || b.ga_write)
+              && (a.ga_sid <> b.ga_sid || a.ga_write = b.ga_write)
+              && Aset.is_empty (Aset.inter a.ga_held b.ga_held)
+              && concurrent_roots cg (roots_of a.ga_fname) (roots_of b.ga_fname)
+            then begin
+              let s1, s2 =
+                if a.ga_sid <= b.ga_sid then (a, b) else (b, a)
+              in
+              let key = (s1.ga_sid, s2.ga_sid) in
+              let site_of (x : Summary.gaccess) =
+                {
+                  st_sid = x.ga_sid;
+                  st_fname = x.ga_fname;
+                  st_line = x.ga_line;
+                  st_write = x.ga_write;
+                }
+              in
+              match Hashtbl.find_opt pairs key with
+              | None ->
+                  Hashtbl.replace pairs key (site_of s1, site_of s2, [ obj ])
+              | Some (x, y, objs) ->
+                  if not (List.exists (A.equal obj) objs) then
+                    Hashtbl.replace pairs key (x, y, obj :: objs)
+            end
+          done
+        done)
+    by_obj;
+  let races =
+    Hashtbl.fold
+      (fun _ (s1, s2, objs) acc -> { rp_s1 = s1; rp_s2 = s2; rp_objs = objs } :: acc)
+      pairs []
+    |> List.sort (fun a b ->
+           compare (a.rp_s1.st_sid, a.rp_s2.st_sid) (b.rp_s1.st_sid, b.rp_s2.st_sid))
+  in
+  let racy_sids = Hashtbl.create 64 in
+  List.iter
+    (fun rp ->
+      Hashtbl.replace racy_sids rp.rp_s1.st_sid ();
+      Hashtbl.replace racy_sids rp.rp_s2.st_sid ())
+    races;
+  let racy_fun_pairs =
+    List.map
+      (fun rp ->
+        let f1 = rp.rp_s1.st_fname and f2 = rp.rp_s2.st_fname in
+        if f1 <= f2 then (f1, f2) else (f2, f1))
+      races
+    |> List.sort_uniq compare
+  in
+  { races; racy_sids; racy_fun_pairs; roots }
+
+(** Convenience: full static analysis pipeline from a program. *)
+let analyze (p : program) : Summary.t * report =
+  let pa = Pointer.Analysis.run p in
+  let sm = Summary.compute p pa in
+  (sm, detect sm)
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "roots: %a@\n%d race pairs:@\n%a" Fmt.(list ~sep:comma string)
+    r.roots (List.length r.races)
+    Fmt.(list ~sep:(any "@\n") pp_race_pair)
+    r.races

@@ -1,0 +1,46 @@
+(** Static race detection from RELAY summaries.
+
+    A race pair is a pair of statements that may access the same abstract
+    object from two concurrently-runnable thread roots, with disjoint
+    locksets, at least one side writing. Fork/join and barrier ordering
+    are ignored (RELAY's deliberate imprecision, recovered by Chimera's
+    profiling); races on function locals are dropped unless the local
+    escapes its frame (the paper's sound heapified-local filter,
+    Section 6.2). *)
+
+type site = {
+  st_sid : int;
+  st_fname : string;
+  st_line : int;
+  st_write : bool;
+}
+
+val pp_site : site Fmt.t
+
+type race_pair = {
+  rp_s1 : site;  (** site with the smaller sid *)
+  rp_s2 : site;
+  rp_objs : Pointer.Absloc.t list;  (** objects the pair races on *)
+}
+
+val pp_race_pair : race_pair Fmt.t
+
+type report = {
+  races : race_pair list;
+  racy_sids : (int, unit) Hashtbl.t;
+  racy_fun_pairs : (string * string) list;  (** deduped, ordered pairs *)
+  roots : string list;  (** thread entry points considered *)
+}
+
+(** Does the local escape its function (address reachable from a global,
+    the heap, or another frame in the points-to solution)? Non-local
+    locations trivially "escape". *)
+val escapes : Pointer.Analysis.t -> Pointer.Absloc.t -> bool
+
+(** Race detection over computed summaries. *)
+val detect : Summary.t -> report
+
+(** Full static pipeline: pointer analysis, summaries, detection. *)
+val analyze : Minic.Ast.program -> Summary.t * report
+
+val pp_report : report Fmt.t

@@ -1,0 +1,51 @@
+(** RELAY-style function summaries (Voung, Jhala, Lerner — FSE 2007):
+    per-function guarded accesses with entry-relative locksets, composed
+    bottom-up over the call graph so that thread-root summaries carry
+    absolute locksets.
+
+    Soundness choices (paper Section 3): locksets under-approximate
+    (an unresolvable [lock(e)] acquires nothing), object sets
+    over-approximate (points-to), and non-mutex synchronization
+    contributes no ordering — deliberately, as in RELAY. *)
+
+module Aset = Pointer.Absloc.Set
+
+type gaccess = {
+  ga_sid : int;       (** statement id of the access *)
+  ga_fname : string;  (** function containing the statement *)
+  ga_line : int;
+  ga_obj : Pointer.Absloc.t;
+  ga_write : bool;
+  ga_held : Aset.t;      (** locks definitely held (entry-relative) *)
+  ga_released : Aset.t;  (** entry locks released before this access *)
+}
+
+val pp_gaccess : gaccess Fmt.t
+
+type summary = {
+  sm_accesses : gaccess list;
+  sm_acquired : Aset.t;  (** net locks held at exit *)
+  sm_released : Aset.t;  (** entry locks released *)
+}
+
+val empty_summary : summary
+
+type t = {
+  summaries : (string, summary) Hashtbl.t;
+  prog : Minic.Ast.program;
+  pa : Pointer.Analysis.t;
+  cg : Minic.Callgraph.t;
+}
+
+(** Access-map keyed by (sid, object, write); merging intersects held
+    locksets (sound: a lock protects an access only if held on every
+    path). *)
+module AccMap : Map.S with type key = int * Pointer.Absloc.t * bool
+
+val merge_access : gaccess AccMap.t -> gaccess -> gaccess AccMap.t
+
+(** Compute all summaries bottom-up over the (pointer-resolved) call
+    graph; recursion iterates to a fixpoint. *)
+val compute : Minic.Ast.program -> Pointer.Analysis.t -> t
+
+val summary : t -> string -> summary

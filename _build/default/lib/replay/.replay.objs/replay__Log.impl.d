@@ -1,0 +1,1 @@
+lib/replay/log.ml: Buffer Char Fmt Hashtbl Key List Minic Runtime String

@@ -1,0 +1,1 @@
+lib/replay/log.mli: Fmt Hashtbl Key Minic Runtime

@@ -1,0 +1,1 @@
+lib/replay/recorder.ml: Array Hashtbl Key Log Minic Option Runtime

@@ -1,0 +1,1 @@
+lib/replay/recorder.mli: Key Log Minic Runtime

@@ -1,0 +1,1 @@
+lib/replay/replayer.ml: Fmt Hashtbl Key List Log Minic Runtime

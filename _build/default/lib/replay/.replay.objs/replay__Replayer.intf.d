@@ -1,0 +1,1 @@
+lib/replay/replayer.mli: Key Log Minic Runtime

@@ -1,0 +1,325 @@
+(** Record/replay log structures and their binary serialization.
+
+    Following the paper's recorder, a recording is split into:
+
+    - the {e input log}: results of nondeterministic system calls
+      ([input], [net_read], [file_read]) in per-thread order, plus the
+      global serialization order of system calls;
+    - the {e order log}: the happens-before order of original
+      synchronization operations (per-object operation order), the
+      per-weak-lock acquisition order, forced-release (timeout) events,
+      and the per-core thread schedule segments (informational).
+
+    Threads are named by schedule-independent {!Runtime.Key.tid_path}s and
+    objects by {!Runtime.Key.addr} / weak-lock ids, so a replayer running
+    under a different scheduler still matches events.
+
+    Serialization uses a simple varint-based binary format; reported log
+    sizes (Table 2) are the compressed sizes of these encodings. *)
+
+open Runtime
+
+type sync_op =
+  | SMutexAcq
+  | SMutexRel
+  | SBarrierInit
+  | SBarrierWait
+  | SCondWait
+  | SCondSignal
+  | SCondBroadcast
+
+let sync_op_code = function
+  | SMutexAcq -> 0 | SMutexRel -> 1 | SBarrierInit -> 2 | SBarrierWait -> 3
+  | SCondWait -> 4 | SCondSignal -> 5 | SCondBroadcast -> 6
+
+let sync_op_of_code = function
+  | 0 -> SMutexAcq | 1 -> SMutexRel | 2 -> SBarrierInit | 3 -> SBarrierWait
+  | 4 -> SCondWait | 5 -> SCondSignal | 6 -> SCondBroadcast
+  | n -> Fmt.invalid_arg "sync_op_of_code %d" n
+
+let pp_sync_op ppf op =
+  Fmt.string ppf
+    (match op with
+    | SMutexAcq -> "lock" | SMutexRel -> "unlock"
+    | SBarrierInit -> "barrier_init" | SBarrierWait -> "barrier_wait"
+    | SCondWait -> "cond_wait" | SCondSignal -> "cond_signal"
+    | SCondBroadcast -> "cond_broadcast")
+
+(** A stable (origin-space) address range claimed by a weak-lock
+    acquisition; the empty claim list means "protects everything"
+    ([-INF..+INF] in Figure 4). Two acquisitions of the same weak lock
+    conflict unless both carry claims and all range pairs are disjoint —
+    replay enforces the recorded order only between {e conflicting}
+    acquisitions, because disjoint-range loop-lock holders legitimately
+    overlap (that is the whole point of Section 5). *)
+type srange = {
+  sr_origin : Key.origin;
+  sr_lo : int;
+  sr_hi : int;
+  sr_write : bool;
+}
+
+type sclaim = srange list
+
+let sclaims_conflict (a : sclaim) (b : sclaim) : bool =
+  match (a, b) with
+  | [], _ | _, [] -> true
+  | _ ->
+      List.exists
+        (fun ra ->
+          List.exists
+            (fun rb ->
+              (ra.sr_write || rb.sr_write)
+              && ra.sr_origin = rb.sr_origin
+              && ra.sr_lo <= rb.sr_hi && rb.sr_lo <= ra.sr_hi)
+            b)
+        a
+
+type forced_event = {
+  fe_owner : Key.tid_path;
+  fe_steps : int;          (** owner's per-thread step count at preemption *)
+  fe_lock : Minic.Ast.weak_lock;
+}
+
+type sched_segment = { sg_core : int; sg_tid : Key.tid_path; sg_ticks : int }
+
+type t = {
+  (* input log *)
+  inputs : (Key.tid_path, int list list) Hashtbl.t;
+      (** per-thread recorded syscall result bursts, newest first (each
+          burst is the word list one syscall returned, in order) *)
+  mutable syscall_order : Key.tid_path list;  (** global order, reversed *)
+  (* order log *)
+  sync_order : (Key.addr, (sync_op * Key.tid_path) list) Hashtbl.t;
+      (** per-object op sequence, reversed *)
+  weak_order : (Minic.Ast.weak_lock, (Key.tid_path * sclaim) list) Hashtbl.t;
+      (** per-lock acquisition sequence with claimed ranges, reversed *)
+  mutable forced : forced_event list;  (** reversed *)
+  mutable sched : sched_segment list;  (** reversed *)
+}
+
+let create () =
+  {
+    inputs = Hashtbl.create 16;
+    syscall_order = [];
+    sync_order = Hashtbl.create 64;
+    weak_order = Hashtbl.create 64;
+    forced = [];
+    sched = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Binary encoding *)
+
+module Enc = struct
+  let varint b n =
+    (* zigzag for negatives *)
+    let n = if n >= 0 then n lsl 1 else ((-n) lsl 1) lor 1 in
+    let rec go n =
+      if n < 0x80 then Buffer.add_char b (Char.chr n)
+      else begin
+        Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  let string b s =
+    varint b (String.length s);
+    Buffer.add_string b s
+
+  let list b f xs =
+    varint b (List.length xs);
+    List.iter (f b) xs
+
+  let tid_path b (p : Key.tid_path) = list b varint p
+
+  let origin b = function
+    | Key.OGlobal g -> varint b 0; string b g
+    | Key.OFrame (p, n) -> varint b 1; tid_path b p; varint b n
+    | Key.OHeap (p, n) -> varint b 2; tid_path b p; varint b n
+
+  let addr b (a : Key.addr) =
+    origin b a.a_origin;
+    varint b a.a_off
+
+  let weak_lock b (w : Minic.Ast.weak_lock) =
+    varint b (Minic.Ast.granularity_rank w.wl_gran);
+    varint b w.wl_id
+end
+
+module Dec = struct
+  type cursor = { s : string; mutable pos : int }
+
+  let varint c =
+    let rec go shift acc =
+      let byte = Char.code c.s.[c.pos] in
+      c.pos <- c.pos + 1;
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    let z = go 0 0 in
+    if z land 1 = 0 then z lsr 1 else -(z lsr 1)
+
+  let string c =
+    let n = varint c in
+    let s = String.sub c.s c.pos n in
+    c.pos <- c.pos + n;
+    s
+
+  let list c f =
+    let n = varint c in
+    List.init n (fun _ -> f c)
+
+  let tid_path c : Key.tid_path = list c varint
+
+  let origin c =
+    match varint c with
+    | 0 -> Key.OGlobal (string c)
+    | 1 ->
+        let p = tid_path c in
+        let n = varint c in
+        Key.OFrame (p, n)
+    | 2 ->
+        let p = tid_path c in
+        let n = varint c in
+        Key.OHeap (p, n)
+    | n -> Fmt.invalid_arg "Log.Dec.origin: tag %d" n
+
+  let addr c : Key.addr =
+    let o = origin c in
+    let off = varint c in
+    { a_origin = o; a_off = off }
+
+  let weak_lock c : Minic.Ast.weak_lock =
+    let g =
+      match varint c with
+      | 0 -> Minic.Ast.Gfunc | 1 -> Gloop | 2 -> Gbb | 3 -> Ginstr
+      | n -> Fmt.invalid_arg "weak_lock gran %d" n
+    in
+    let id = varint c in
+    { wl_gran = g; wl_id = id }
+end
+
+(** Serialize the input log (syscall values + global syscall order). *)
+let encode_input_log (t : t) : string =
+  let b = Buffer.create 1024 in
+  let bindings =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.inputs []
+    |> List.sort compare
+  in
+  Enc.varint b (List.length bindings);
+  List.iter
+    (fun (p, bursts) ->
+      Enc.tid_path b p;
+      Enc.list b (fun b vs -> Enc.list b Enc.varint vs) (List.rev bursts))
+    bindings;
+  Enc.list b Enc.tid_path (List.rev t.syscall_order);
+  Buffer.contents b
+
+(** Serialize the order log (sync + weak + forced + schedule). *)
+let encode_order_log (t : t) : string =
+  let b = Buffer.create 1024 in
+  let sync =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sync_order []
+    |> List.sort compare
+  in
+  Enc.varint b (List.length sync);
+  List.iter
+    (fun (a, ops) ->
+      Enc.addr b a;
+      Enc.list b
+        (fun b (op, p) ->
+          Enc.varint b (sync_op_code op);
+          Enc.tid_path b p)
+        (List.rev ops))
+    sync;
+  let weak =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.weak_order []
+    |> List.sort compare
+  in
+  Enc.varint b (List.length weak);
+  List.iter
+    (fun (w, ps) ->
+      Enc.weak_lock b w;
+      Enc.list b
+        (fun b (p, (claim : sclaim)) ->
+          Enc.tid_path b p;
+          Enc.list b
+            (fun b sr ->
+              Enc.origin b sr.sr_origin;
+              Enc.varint b sr.sr_lo;
+              Enc.varint b sr.sr_hi;
+              Enc.varint b (if sr.sr_write then 1 else 0))
+            claim)
+        (List.rev ps))
+    weak;
+  Enc.list b
+    (fun b fe ->
+      Enc.tid_path b fe.fe_owner;
+      Enc.varint b fe.fe_steps;
+      Enc.weak_lock b fe.fe_lock)
+    (List.rev t.forced);
+  Enc.list b
+    (fun b sg ->
+      Enc.varint b sg.sg_core;
+      Enc.tid_path b sg.sg_tid;
+      Enc.varint b sg.sg_ticks)
+    (List.rev t.sched);
+  Buffer.contents b
+
+let decode (input_log : string) (order_log : string) : t =
+  let t = create () in
+  let c = { Dec.s = input_log; pos = 0 } in
+  let n = Dec.varint c in
+  for _ = 1 to n do
+    let p = Dec.tid_path c in
+    let bursts = Dec.list c (fun c -> Dec.list c Dec.varint) in
+    Hashtbl.replace t.inputs p (List.rev bursts)
+  done;
+  t.syscall_order <- List.rev (Dec.list c Dec.tid_path);
+  let c = { Dec.s = order_log; pos = 0 } in
+  let nsync = Dec.varint c in
+  for _ = 1 to nsync do
+    let a = Dec.addr c in
+    let ops =
+      Dec.list c (fun c ->
+          let op = sync_op_of_code (Dec.varint c) in
+          let p = Dec.tid_path c in
+          (op, p))
+    in
+    Hashtbl.replace t.sync_order a (List.rev ops)
+  done;
+  let nweak = Dec.varint c in
+  for _ = 1 to nweak do
+    let w = Dec.weak_lock c in
+    let ps =
+      Dec.list c (fun c ->
+          let p = Dec.tid_path c in
+          let claim =
+            Dec.list c (fun c ->
+                let o = Dec.origin c in
+                let lo = Dec.varint c in
+                let hi = Dec.varint c in
+                let w = Dec.varint c in
+                { sr_origin = o; sr_lo = lo; sr_hi = hi; sr_write = w <> 0 })
+          in
+          (p, claim))
+    in
+    Hashtbl.replace t.weak_order w (List.rev ps)
+  done;
+  t.forced <-
+    List.rev
+      (Dec.list c (fun c ->
+           let owner = Dec.tid_path c in
+           let steps = Dec.varint c in
+           let lock = Dec.weak_lock c in
+           { fe_owner = owner; fe_steps = steps; fe_lock = lock }));
+  t.sched <-
+    List.rev
+      (Dec.list c (fun c ->
+           let core = Dec.varint c in
+           let tid = Dec.tid_path c in
+           let ticks = Dec.varint c in
+           { sg_core = core; sg_tid = tid; sg_ticks = ticks }));
+  t

@@ -1,0 +1,69 @@
+(** Record/replay log structures and their binary serialization.
+
+    A recording splits, as in the paper, into the {e input log} (syscall
+    results in per-thread order + the global syscall serialization) and
+    the {e order log} (per-object synchronization order, per-weak-lock
+    acquisition order with claimed address ranges, forced-release events,
+    per-core schedule segments). Threads are named by
+    {!Runtime.Key.tid_path}s and objects by stable {!Runtime.Key.addr}s
+    so a replayer under a different scheduler still matches events. *)
+
+open Runtime
+
+type sync_op =
+  | SMutexAcq
+  | SMutexRel
+  | SBarrierInit
+  | SBarrierWait
+  | SCondWait
+  | SCondSignal
+  | SCondBroadcast
+
+val sync_op_code : sync_op -> int
+val sync_op_of_code : int -> sync_op
+val pp_sync_op : sync_op Fmt.t
+
+type srange = {
+  sr_origin : Key.origin;
+  sr_lo : int;
+  sr_hi : int;
+  sr_write : bool;
+}
+(** A claimed address range in stable origin coordinates. *)
+
+type sclaim = srange list
+(** Empty = total claim. *)
+
+(** Do two claims conflict (overlap with at least one writer, or either
+    total)? Replay enforces recorded order only between conflicting
+    acquisitions. *)
+val sclaims_conflict : sclaim -> sclaim -> bool
+
+type forced_event = {
+  fe_owner : Key.tid_path;
+  fe_steps : int;  (** owner's step count at preemption *)
+  fe_lock : Minic.Ast.weak_lock;
+}
+
+type sched_segment = { sg_core : int; sg_tid : Key.tid_path; sg_ticks : int }
+
+type t = {
+  inputs : (Key.tid_path, int list list) Hashtbl.t;
+      (** per-thread recorded syscall bursts, newest first *)
+  mutable syscall_order : Key.tid_path list;  (** global order, reversed *)
+  sync_order : (Key.addr, (sync_op * Key.tid_path) list) Hashtbl.t;
+      (** per-object op sequence, reversed *)
+  weak_order : (Minic.Ast.weak_lock, (Key.tid_path * sclaim) list) Hashtbl.t;
+      (** per-lock acquisition sequence with claims, reversed *)
+  mutable forced : forced_event list;  (** reversed *)
+  mutable sched : sched_segment list;  (** reversed *)
+}
+
+val create : unit -> t
+
+(** Varint-based binary encodings; reported log sizes are these strings,
+    compressed. [decode input order] inverts both. *)
+val encode_input_log : t -> string
+
+val encode_order_log : t -> string
+val decode : string -> string -> t

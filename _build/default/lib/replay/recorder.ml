@@ -1,0 +1,59 @@
+(** The recorder: appends events to a {!Log.t} during a recorded run and
+    keeps the per-category counters reported in Table 2 of the paper. *)
+
+open Runtime
+
+type t = {
+  log : Log.t;
+  (* Table 2 counters *)
+  mutable n_syscalls : int;        (** DRF input-log entries *)
+  mutable n_sync_ops : int;        (** original synchronization HB entries *)
+  mutable n_weak : int array;      (** weak-lock log entries, by granularity
+                                       rank: func, loop, bb, instr *)
+  mutable n_forced : int;
+}
+
+let create () =
+  {
+    log = Log.create ();
+    n_syscalls = 0;
+    n_sync_ops = 0;
+    n_weak = Array.make 4 0;
+    n_forced = 0;
+  }
+
+let rec_input (t : t) ~(tp : Key.tid_path) (values : int list) =
+  t.n_syscalls <- t.n_syscalls + 1;
+  let cur = Option.value (Hashtbl.find_opt t.log.inputs tp) ~default:[] in
+  Hashtbl.replace t.log.inputs tp (values :: cur);
+  t.log.syscall_order <- tp :: t.log.syscall_order
+
+let rec_sync (t : t) ~(obj : Key.addr) ~(op : Log.sync_op) ~(tp : Key.tid_path)
+    =
+  t.n_sync_ops <- t.n_sync_ops + 1;
+  let cur = Option.value (Hashtbl.find_opt t.log.sync_order obj) ~default:[] in
+  Hashtbl.replace t.log.sync_order obj ((op, tp) :: cur)
+
+let rec_weak (t : t) ~(lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path)
+    ~(claim : Log.sclaim) =
+  let rank = Minic.Ast.granularity_rank lock.wl_gran in
+  t.n_weak.(rank) <- t.n_weak.(rank) + 1;
+  let cur = Option.value (Hashtbl.find_opt t.log.weak_order lock) ~default:[] in
+  Hashtbl.replace t.log.weak_order lock ((tp, claim) :: cur)
+
+let rec_forced (t : t) ~(owner : Key.tid_path) ~(steps : int)
+    ~(lock : Minic.Ast.weak_lock) =
+  t.n_forced <- t.n_forced + 1;
+  t.log.forced <- { fe_owner = owner; fe_steps = steps; fe_lock = lock } :: t.log.forced
+
+let rec_sched (t : t) ~(core : int) ~(tp : Key.tid_path) ~(ticks : int) =
+  (* merge with previous segment when the same thread stays on the core *)
+  match t.log.sched with
+  | sg :: rest when sg.sg_core = core && sg.sg_tid = tp ->
+      t.log.sched <- { sg with sg_ticks = sg.sg_ticks + ticks } :: rest
+  | _ -> t.log.sched <- { sg_core = core; sg_tid = tp; sg_ticks = ticks } :: t.log.sched
+
+(** Number of weak-lock log entries per granularity:
+    (func, loop, bb, instr). *)
+let weak_counts (t : t) =
+  (t.n_weak.(0), t.n_weak.(1), t.n_weak.(2), t.n_weak.(3))

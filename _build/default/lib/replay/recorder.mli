@@ -1,0 +1,32 @@
+(** The recorder: appends events to a {!Log.t} during a recorded run and
+    keeps the per-category counters reported in Table 2. *)
+
+open Runtime
+
+type t = {
+  log : Log.t;
+  mutable n_syscalls : int;   (** input-log entries *)
+  mutable n_sync_ops : int;   (** original-synchronization HB entries *)
+  mutable n_weak : int array; (** weak-lock entries by granularity rank *)
+  mutable n_forced : int;
+}
+
+val create : unit -> t
+
+(** Record one syscall: its result burst (possibly empty, e.g. for
+    [output]) and its slot in the global syscall order. *)
+val rec_input : t -> tp:Key.tid_path -> int list -> unit
+
+val rec_sync : t -> obj:Key.addr -> op:Log.sync_op -> tp:Key.tid_path -> unit
+
+val rec_weak :
+  t -> lock:Minic.Ast.weak_lock -> tp:Key.tid_path -> claim:Log.sclaim -> unit
+
+val rec_forced :
+  t -> owner:Key.tid_path -> steps:int -> lock:Minic.Ast.weak_lock -> unit
+
+(** Adjacent segments of the same thread on the same core merge. *)
+val rec_sched : t -> core:int -> tp:Key.tid_path -> ticks:int -> unit
+
+(** Weak-lock log entries per granularity: (func, loop, bb, instr). *)
+val weak_counts : t -> int * int * int * int

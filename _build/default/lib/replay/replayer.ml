@@ -1,0 +1,185 @@
+(** The replayer: cursors over a {!Log.t} that the engine consults to gate
+    execution.
+
+    Replay enforces exactly the orders the paper's replayer enforces:
+    per-thread syscall results are fed back from the input log; the global
+    syscall order, the per-object synchronization-operation order, and
+    the per-weak-lock acquisition order are enforced by blocking a thread
+    whose operation is not next in its object's recorded sequence; forced
+    weak-lock releases are re-applied at the recorded owner step count.
+    Data accesses are not gated: the instrumented program is data-race
+    free under its (weak-)lock synchronization, so these orders determine
+    the execution. *)
+
+open Runtime
+
+type t = {
+  log : Log.t;
+  mutable syscall_cursor : Key.tid_path list;
+  sync_cursors : (Key.addr, (Log.sync_op * Key.tid_path) list ref) Hashtbl.t;
+  weak_cursors :
+    (Minic.Ast.weak_lock, (Key.tid_path * Log.sclaim) list ref) Hashtbl.t;
+  input_cursors : (Key.tid_path, int list list ref) Hashtbl.t;
+      (** remaining bursts, oldest first *)
+  forced_by_owner : (Key.tid_path, (int * Minic.Ast.weak_lock) list ref) Hashtbl.t;
+}
+
+let of_log (log : Log.t) : t =
+  let sync_cursors = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun k v -> Hashtbl.replace sync_cursors k (ref (List.rev v)))
+    log.sync_order;
+  let weak_cursors = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun k v -> Hashtbl.replace weak_cursors k (ref (List.rev v)))
+    log.weak_order;
+  let input_cursors = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun k bursts -> Hashtbl.replace input_cursors k (ref (List.rev bursts)))
+    log.inputs;
+  let forced_by_owner = Hashtbl.create 4 in
+  List.iter
+    (fun (fe : Log.forced_event) ->
+      let r =
+        match Hashtbl.find_opt forced_by_owner fe.fe_owner with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.replace forced_by_owner fe.fe_owner r;
+            r
+      in
+      r := !r @ [ (fe.fe_steps, fe.fe_lock) ])
+    (List.rev log.forced);
+  {
+    log;
+    syscall_cursor = List.rev log.syscall_order;
+    sync_cursors;
+    weak_cursors;
+    input_cursors;
+    forced_by_owner;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Gating queries: [peek] tells whose turn it is; [advance] consumes. *)
+
+let peek_syscall (t : t) : Key.tid_path option =
+  match t.syscall_cursor with [] -> None | p :: _ -> Some p
+
+let advance_syscall (t : t) =
+  match t.syscall_cursor with [] -> () | _ :: rest -> t.syscall_cursor <- rest
+
+let peek_sync (t : t) (obj : Key.addr) : (Log.sync_op * Key.tid_path) option =
+  match Hashtbl.find_opt t.sync_cursors obj with
+  | None -> None
+  | Some r -> ( match !r with [] -> None | x :: _ -> Some x)
+
+let advance_sync (t : t) (obj : Key.addr) =
+  match Hashtbl.find_opt t.sync_cursors obj with
+  | None -> ()
+  | Some r -> ( match !r with [] -> () | _ :: rest -> r := rest)
+
+(** May thread [tp] perform its next recorded acquisition of [lock]?
+    True when no {e earlier} unconsumed acquisition of the same lock
+    conflicts (range-overlaps) with [tp]'s next recorded claim —
+    disjoint-range loop-lock acquisitions legitimately overlap in the
+    recording, so only the order of conflicting pairs is enforced.
+    Also true when [tp] has no remaining entry (execution ran beyond the
+    log). *)
+let weak_turn (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path) : bool
+    =
+  match Hashtbl.find_opt t.weak_cursors lock with
+  | None -> true
+  | Some r ->
+      let rec scan earlier = function
+        | [] -> true
+        | (p, claim) :: rest ->
+            if p = tp then
+              not
+                (List.exists
+                   (fun (_, c') -> Log.sclaims_conflict claim c')
+                   earlier)
+            else scan ((p, claim) :: earlier) rest
+      in
+      scan [] !r
+
+(** Consume [tp]'s earliest remaining acquisition entry for [lock]. *)
+let consume_weak (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path) =
+  match Hashtbl.find_opt t.weak_cursors lock with
+  | None -> ()
+  | Some r ->
+      let rec remove acc = function
+        | [] -> List.rev acc
+        | (p, _) :: rest when p = tp -> List.rev_append acc rest
+        | e :: rest -> remove (e :: acc) rest
+      in
+      r := remove [] !r
+
+(** Pop the next recorded input burst for thread [tp]. *)
+let take_input (t : t) (tp : Key.tid_path) : int list option =
+  match Hashtbl.find_opt t.input_cursors tp with
+  | None -> None
+  | Some r -> (
+      match !r with
+      | [] -> None
+      | burst :: rest ->
+          r := rest;
+          Some burst)
+
+(** Forced release pending for [owner] at (or before) step count [steps].
+    The entry is consumed only when [holds lock] — the owner may not have
+    (re)acquired the lock yet at the moment the step threshold is first
+    crossed (recordings can carry several forced events at the same owner
+    step count when the owner was parked). *)
+let pending_forced (t : t) (owner : Key.tid_path) ~(steps : int)
+    ~(holds : Minic.Ast.weak_lock -> bool) : Minic.Ast.weak_lock option =
+  match Hashtbl.find_opt t.forced_by_owner owner with
+  | None -> None
+  | Some r -> (
+      match !r with
+      | (s, lock) :: rest when steps >= s && holds lock ->
+          r := rest;
+          Some lock
+      | _ -> None)
+
+(** Human-readable dump of the first few remaining entries of every
+    cursor — the deadlock-diagnosis view. *)
+let dump_remaining (t : t) : string list =
+  let acc = ref [] in
+  (match t.syscall_cursor with
+  | [] -> ()
+  | ps ->
+      acc :=
+        Fmt.str "syscall next: %a (%d left)"
+          Fmt.(list ~sep:sp Key.pp_tid_path)
+          (List.filteri (fun i _ -> i < 4) ps)
+          (List.length ps)
+        :: !acc);
+  Hashtbl.iter
+    (fun obj r ->
+      match !r with
+      | [] -> ()
+      | (op, p) :: _ ->
+          acc :=
+            Fmt.str "sync %a next: %a by %a (%d left)" Key.pp_addr obj
+              Log.pp_sync_op op Key.pp_tid_path p (List.length !r)
+            :: !acc)
+    t.sync_cursors;
+  Hashtbl.iter
+    (fun lock r ->
+      match !r with
+      | [] -> ()
+      | entries ->
+          acc :=
+            Fmt.str "weak %a next: %a (%d left)" Minic.Ast.pp_weak_lock lock
+              Fmt.(list ~sep:sp Key.pp_tid_path)
+              (List.filteri (fun i _ -> i < 4) (List.map fst entries))
+              (List.length entries)
+            :: !acc)
+    t.weak_cursors;
+  List.sort compare !acc
+
+(** Is the next forced event for [owner] exactly at [steps]? (peek) *)
+let peek_forced (t : t) (owner : Key.tid_path) : int option =
+  match Hashtbl.find_opt t.forced_by_owner owner with
+  | None -> None
+  | Some r -> ( match !r with (s, _) :: _ -> Some s | [] -> None)

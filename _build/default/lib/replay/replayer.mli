@@ -1,0 +1,50 @@
+(** The replayer: cursors over a {!Log.t} the engine consults to gate
+    execution. Data accesses are never gated — the instrumented program
+    is race-free under its (weak-)lock synchronization, so the recorded
+    orders of inputs, sync operations, and conflicting weak-lock
+    acquisitions determine the execution. *)
+
+open Runtime
+
+type t
+
+val of_log : Log.t -> t
+
+(** Whose syscall comes next, globally? [None] past the end of the log
+    (unconstrained). *)
+val peek_syscall : t -> Key.tid_path option
+
+val advance_syscall : t -> unit
+
+val peek_sync : t -> Key.addr -> (Log.sync_op * Key.tid_path) option
+val advance_sync : t -> Key.addr -> unit
+
+(** May the thread perform its next recorded acquisition of the lock?
+    True when no earlier unconsumed acquisition of the same lock
+    conflicts with the thread's next recorded claim (disjoint-range
+    holders legitimately overlap), or when the thread has no entry
+    left. *)
+val weak_turn : t -> Minic.Ast.weak_lock -> tp:Key.tid_path -> bool
+
+(** Consume the thread's earliest remaining acquisition entry. *)
+val consume_weak : t -> Minic.Ast.weak_lock -> tp:Key.tid_path -> unit
+
+(** Pop the next recorded input burst for the thread. *)
+val take_input : t -> Key.tid_path -> int list option
+
+(** Forced release due for the owner at (or before) the given step
+    count; consumed only when [holds lock] — the owner may not have
+    reacquired yet when the threshold is first crossed. *)
+val pending_forced :
+  t ->
+  Key.tid_path ->
+  steps:int ->
+  holds:(Minic.Ast.weak_lock -> bool) ->
+  Minic.Ast.weak_lock option
+
+(** Step count of the owner's next forced event, if any. *)
+val peek_forced : t -> Key.tid_path -> int option
+
+(** Human-readable first entries of every remaining cursor (deadlock
+    diagnosis). *)
+val dump_remaining : t -> string list

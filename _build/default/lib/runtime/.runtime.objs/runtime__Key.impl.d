@@ -1,0 +1,1 @@
+lib/runtime/key.ml: Fmt Hashtbl Map Stdlib

@@ -1,0 +1,1 @@
+lib/runtime/key.mli: Fmt Hashtbl Map

@@ -1,0 +1,1 @@
+lib/runtime/sync.ml: Key List

@@ -1,0 +1,1 @@
+lib/runtime/weaklock.ml: Fmt Hashtbl List Minic

@@ -1,0 +1,1 @@
+lib/runtime/weaklock.mli: Fmt Hashtbl Minic

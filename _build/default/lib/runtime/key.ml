@@ -1,0 +1,49 @@
+(** Schedule-independent identities for threads and memory objects.
+
+    Record/replay logs must name threads and synchronization objects in a
+    way that is stable across executions with different schedules (the
+    replayer may run under a different scheduler seed than the recorder).
+    Run-local thread ids and block ids are allocated in schedule-dependent
+    order, so logs key on:
+
+    - {e thread paths}: the root thread is [[]]; the k-th thread spawned
+      by a thread with path [p] is [p @ [k]]. Per-thread spawn counters
+      are deterministic given deterministic per-thread execution, which
+      replay enforcement guarantees inductively.
+    - {e object origins}: a global by name; a stack frame by (spawning
+      thread path, per-thread frame counter); a heap block by (thread
+      path, per-thread allocation counter). *)
+
+type tid_path = int list
+
+let pp_tid_path ppf p =
+  if p = [] then Fmt.string ppf "T0"
+  else Fmt.pf ppf "T0.%a" Fmt.(list ~sep:(any ".") int) p
+
+type origin =
+  | OGlobal of string
+  | OFrame of tid_path * int  (** thread, per-thread frame sequence *)
+  | OHeap of tid_path * int   (** thread, per-thread allocation sequence *)
+
+let pp_origin ppf = function
+  | OGlobal g -> Fmt.string ppf g
+  | OFrame (p, n) -> Fmt.pf ppf "frame(%a,%d)" pp_tid_path p n
+  | OHeap (p, n) -> Fmt.pf ppf "heap(%a,%d)" pp_tid_path p n
+
+(** A stable memory address: origin + cell offset. *)
+type addr = { a_origin : origin; a_off : int }
+
+let pp_addr ppf a = Fmt.pf ppf "%a+%d" pp_origin a.a_origin a.a_off
+
+let compare_addr = Stdlib.compare
+
+module Addr_map = Map.Make (struct
+  type t = addr
+  let compare = compare_addr
+end)
+
+module Addr_tbl = Hashtbl.Make (struct
+  type t = addr
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)

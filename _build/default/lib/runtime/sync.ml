@@ -1,0 +1,123 @@
+(** Pthread-like synchronization primitives as pure state machines.
+
+    The simulator engine drives these: every operation returns what
+    happened and which threads should be woken; the engine owns actual
+    thread states, scheduling, and logging. Objects are identified by
+    stable {!Key.addr} values (the address the program passes to
+    [lock]/[barrier_wait]/...). State is created lazily on first use. *)
+
+type tid = int
+
+(* ------------------------------------------------------------------ *)
+
+module Mutex = struct
+  type state = { mutable owner : tid option; mutable waiters : tid list }
+
+  type t = state Key.Addr_tbl.t
+
+  let create () : t = Key.Addr_tbl.create 16
+
+  let get (t : t) k =
+    match Key.Addr_tbl.find_opt t k with
+    | Some s -> s
+    | None ->
+        let s = { owner = None; waiters = [] } in
+        Key.Addr_tbl.add t k s;
+        s
+
+  let acquire (t : t) k ~tid : [ `Acquired | `Blocked ] =
+    let s = get t k in
+    match s.owner with
+    | None ->
+        s.owner <- Some tid;
+        `Acquired
+    | Some o when o = tid -> `Acquired (* re-entrant self-acquire: no-op *)
+    | Some _ ->
+        if not (List.mem tid s.waiters) then s.waiters <- s.waiters @ [ tid ];
+        `Blocked
+
+  (** Release; returns threads to wake (they will retry [acquire]). *)
+  let release (t : t) k ~tid : [ `Released of tid list | `Not_owner ] =
+    let s = get t k in
+    match s.owner with
+    | Some o when o = tid ->
+        s.owner <- None;
+        let w = s.waiters in
+        s.waiters <- [];
+        `Released w
+    | _ -> `Not_owner
+
+  let owner (t : t) k = (get t k).owner
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Barrier = struct
+  type state = {
+    mutable needed : int;
+    mutable arrived : tid list;
+    mutable generation : int;
+  }
+
+  type t = state Key.Addr_tbl.t
+
+  let create () : t = Key.Addr_tbl.create 16
+
+  let get (t : t) k =
+    match Key.Addr_tbl.find_opt t k with
+    | Some s -> s
+    | None ->
+        let s = { needed = 0; arrived = []; generation = 0 } in
+        Key.Addr_tbl.add t k s;
+        s
+
+  let init (t : t) k ~count = (get t k).needed <- count
+
+  (** A thread arrives at the barrier. [`Released tids] means the barrier
+      tripped and all of [tids] (including the caller) proceed. *)
+  let wait (t : t) k ~tid : [ `Blocked | `Released of tid list ] =
+    let s = get t k in
+    s.arrived <- s.arrived @ [ tid ];
+    if s.needed > 0 && List.length s.arrived >= s.needed then begin
+      let woken = s.arrived in
+      s.arrived <- [];
+      s.generation <- s.generation + 1;
+      `Released woken
+    end
+    else `Blocked
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Cond = struct
+  type state = { mutable waiters : tid list }
+
+  type t = state Key.Addr_tbl.t
+
+  let create () : t = Key.Addr_tbl.create 16
+
+  let get (t : t) k =
+    match Key.Addr_tbl.find_opt t k with
+    | Some s -> s
+    | None ->
+        let s = { waiters = [] } in
+        Key.Addr_tbl.add t k s;
+        s
+
+  let wait (t : t) k ~tid = (get t k).waiters <- (get t k).waiters @ [ tid ]
+
+  (** Wake at most one waiter. *)
+  let signal (t : t) k : tid option =
+    let s = get t k in
+    match s.waiters with
+    | [] -> None
+    | w :: rest ->
+        s.waiters <- rest;
+        Some w
+
+  let broadcast (t : t) k : tid list =
+    let s = get t k in
+    let ws = s.waiters in
+    s.waiters <- [];
+    ws
+end

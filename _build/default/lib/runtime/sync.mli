@@ -1,0 +1,44 @@
+(** Pthread-like synchronization primitives as pure state machines,
+    driven by the simulator engine (which owns thread states, wake-ups,
+    and logging). Objects are keyed by the stable address the program
+    passes to the operation; state is created lazily. *)
+
+type tid = int
+
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+
+  (** Re-entrant self-acquire is a no-op success. *)
+  val acquire : t -> Key.addr -> tid:tid -> [ `Acquired | `Blocked ]
+
+  (** Returns the waiters to wake (they retry [acquire]). *)
+  val release : t -> Key.addr -> tid:tid -> [ `Released of tid list | `Not_owner ]
+
+  val owner : t -> Key.addr -> tid option
+end
+
+module Barrier : sig
+  type t
+
+  val create : unit -> t
+  val init : t -> Key.addr -> count:int -> unit
+
+  (** Arrive; [`Released tids] means the barrier tripped and all of
+      [tids] (including the caller) proceed; the next generation starts
+      empty. *)
+  val wait : t -> Key.addr -> tid:tid -> [ `Blocked | `Released of tid list ]
+end
+
+module Cond : sig
+  type t
+
+  val create : unit -> t
+  val wait : t -> Key.addr -> tid:tid -> unit
+
+  (** FIFO: wakes the earliest waiter. *)
+  val signal : t -> Key.addr -> tid option
+
+  val broadcast : t -> Key.addr -> tid list
+end

@@ -1,0 +1,175 @@
+(** The weak-lock manager (Section 2.3 of the paper).
+
+    Weak locks are the synchronization Chimera adds around potential
+    data-races. Differences from ordinary mutexes:
+
+    - {e Ranges}: a loop-lock acquisition carries the address ranges the
+      loop will touch (from the symbolic bounds analysis). Two holders of
+      the {e same} weak lock coexist iff both carry ranges and every pair
+      of ranges is disjoint — this is what lets radix's workers process
+      disjoint array slices in parallel (Figure 4).
+    - {e Region stacking}: when a thread enters an inner instrumented
+      region, the runtime releases the outer region's weak locks first
+      and reacquires them when the inner region exits (deadlock-freedom
+      rule of Section 2.3). That logic lives in the engine's region
+      stack; this module only tracks per-lock ownership.
+    - {e Timeouts}: a thread stalled longer than a threshold triggers
+      {!force_release} of the conflicting owner, which must reacquire
+      before continuing. The single-owner-per-lock invariant (at most one
+      holder per conflicting range) is never violated, so recording the
+      per-lock acquisition order suffices for deterministic replay.
+
+    The manager is a pure state machine: the engine owns thread states,
+    wake-ups, timeout detection, and logging. *)
+
+open Minic.Ast
+
+type tid = int
+
+(** An address range in run-local block coordinates, with an access mode:
+    two overlapping ranges conflict only when at least one writes. A
+    total claim (the empty range list) means "-INF to +INF" (Figure 4)
+    and conflicts with everything. *)
+type range = { rg_block : int; rg_lo : int; rg_hi : int; rg_write : bool }
+
+let pp_range ppf r =
+  Fmt.pf ppf "b%d[%d..%d]%s" r.rg_block r.rg_lo r.rg_hi
+    (if r.rg_write then "w" else "r")
+
+(** Ranges of one acquisition: empty list = total. *)
+type claim = range list
+
+let ranges_disjoint (a : claim) (b : claim) : bool =
+  match (a, b) with
+  | [], _ | _, [] -> false (* a total claim conflicts with everything *)
+  | _ ->
+      List.for_all
+        (fun ra ->
+          List.for_all
+            (fun rb ->
+              (not (ra.rg_write || rb.rg_write))
+              || ra.rg_block <> rb.rg_block
+              || ra.rg_hi < rb.rg_lo || rb.rg_hi < ra.rg_lo)
+            b)
+        a
+
+type holder = { h_tid : tid; h_claim : claim }
+
+type lock_state = {
+  mutable holders : holder list;
+  mutable waiters : (tid * claim) list;  (* FIFO *)
+  mutable acq_count : int;               (* total acquisitions, for stats *)
+  mutable pending : tid list;
+      (* handoff after a timeout-preemption: while non-empty, only these
+         threads may acquire — the paper's "allows the stalled thread to
+         acquire the weak-lock and proceed" (Section 2.3) *)
+}
+
+module Wl_tbl = Hashtbl.Make (struct
+  type t = weak_lock
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  locks : lock_state Wl_tbl.t;
+  mutable total_acquires : int;
+  mutable total_releases : int;
+  mutable total_timeouts : int;
+}
+
+let create () =
+  {
+    locks = Wl_tbl.create 64;
+    total_acquires = 0;
+    total_releases = 0;
+    total_timeouts = 0;
+  }
+
+let get t (l : weak_lock) =
+  match Wl_tbl.find_opt t.locks l with
+  | Some s -> s
+  | None ->
+      let s = { holders = []; waiters = []; acq_count = 0; pending = [] } in
+      Wl_tbl.add t.locks l s;
+      s
+
+let compatible (s : lock_state) (tid : tid) (c : claim) : bool =
+  List.for_all
+    (fun h -> h.h_tid = tid || ranges_disjoint h.h_claim c)
+    s.holders
+
+(** Try to acquire [l] with [claim]. [`Blocked owners] reports the
+    currently-conflicting owners (for timeout-preemption targeting). *)
+let acquire t (l : weak_lock) ~tid ~(claim : claim) :
+    [ `Acquired | `Blocked of tid list ] =
+  let s = get t l in
+  if
+    compatible s tid claim
+    && (match s.pending with [] -> true | h :: _ -> h = tid)
+  then begin
+    (match s.pending with h :: rest when h = tid -> s.pending <- rest | _ -> ());
+    s.holders <- { h_tid = tid; h_claim = claim } :: s.holders;
+    s.acq_count <- s.acq_count + 1;
+    t.total_acquires <- t.total_acquires + 1;
+    `Acquired
+  end
+  else begin
+    if not (List.exists (fun (w, _) -> w = tid) s.waiters) then
+      s.waiters <- s.waiters @ [ (tid, claim) ];
+    let conflicting =
+      List.filter_map
+        (fun h ->
+          if h.h_tid <> tid && not (ranges_disjoint h.h_claim claim) then
+            Some h.h_tid
+          else None)
+        s.holders
+    in
+    `Blocked conflicting
+  end
+
+(** Release [tid]'s hold on [l]; returns waiting threads that may now be
+    able to acquire (the engine wakes them; they retry). *)
+let release t (l : weak_lock) ~tid : tid list =
+  let s = get t l in
+  let before = List.length s.holders in
+  s.holders <- List.filter (fun h -> h.h_tid <> tid) s.holders;
+  if List.length s.holders < before then
+    t.total_releases <- t.total_releases + 1;
+  let woken = List.map fst s.waiters in
+  s.waiters <- [];
+  woken
+
+(** Forcibly strip [owner]'s hold on [l] (timeout-preemption). Returns the
+    waiters to wake. The caller must arrange for [owner] to reacquire
+    before it continues its region. With [handoff] (the default during
+    recording), the threads waiting at preemption time get priority over
+    the owner's reacquisition — otherwise the owner can immediately
+    re-win the lock and the preemption resolves nothing. *)
+let force_release ?(handoff = true) t (l : weak_lock) ~owner : tid list =
+  t.total_timeouts <- t.total_timeouts + 1;
+  let s = get t l in
+  if handoff then
+    s.pending <-
+      List.filter (fun w -> w <> owner) (List.map fst s.waiters);
+  release t l ~tid:owner
+
+(** Expire a stale handoff reservation (the reserved thread cannot come
+    back for the lock soon — e.g. it is parked at a barrier the
+    reservation itself prevents from tripping). *)
+let clear_pending t (l : weak_lock) = (get t l).pending <- []
+
+let holds t (l : weak_lock) ~tid =
+  List.exists (fun h -> h.h_tid = tid) (get t l).holders
+
+let holders t (l : weak_lock) = List.map (fun h -> h.h_tid) (get t l).holders
+
+(** Current holders with their claims (inspection / invariant checks). *)
+let holder_claims t (l : weak_lock) : (tid * claim) list =
+  List.map (fun h -> (h.h_tid, h.h_claim)) (get t l).holders
+
+(** Drop [tid] from the waiter queue of [l] (used when a waiter is
+    re-routed by the replayer or dies). *)
+let cancel_wait t (l : weak_lock) ~tid =
+  let s = get t l in
+  s.waiters <- List.filter (fun (w, _) -> w <> tid) s.waiters

@@ -1,0 +1,69 @@
+(** The weak-lock manager (paper Section 2.3).
+
+    Weak locks are the synchronization Chimera adds around potential
+    data-races. Beyond a mutex:
+
+    - {e range claims}: a loop-lock acquisition carries the address
+      ranges (with read/write mode) the guarded loop will touch; two
+      acquisitions of the same lock coexist iff every range pair is
+      disjoint or read/read — disjoint radix workers and water's
+      concurrent readers stay parallel;
+    - {e timeouts}: a stalled waiter triggers {!force_release} of the
+      conflicting owner, with FIFO handoff so the stalled thread gets
+      the lock before the owner's reacquisition;
+    - the single-conflicting-holder invariant always holds, so recording
+      the per-lock order of conflicting acquisitions suffices for
+      deterministic replay.
+
+    Pure state machine: the engine owns thread states, wake-ups, timeout
+    detection, and logging. *)
+
+type tid = int
+
+type range = { rg_block : int; rg_lo : int; rg_hi : int; rg_write : bool }
+(** Run-local block coordinates; overlapping ranges conflict only when
+    at least one side writes. *)
+
+val pp_range : range Fmt.t
+
+type claim = range list
+(** Empty = total ("-INF to +INF" in Figure 4): conflicts with every
+    other acquisition of the lock. *)
+
+val ranges_disjoint : claim -> claim -> bool
+
+module Wl_tbl : Hashtbl.S with type key = Minic.Ast.weak_lock
+
+type lock_state
+
+type t = {
+  locks : lock_state Wl_tbl.t;
+  mutable total_acquires : int;
+  mutable total_releases : int;
+  mutable total_timeouts : int;
+}
+
+val create : unit -> t
+
+(** [`Blocked owners] reports the currently conflicting holders (for
+    timeout-preemption targeting). *)
+val acquire :
+  t -> Minic.Ast.weak_lock -> tid:tid -> claim:claim ->
+  [ `Acquired | `Blocked of tid list ]
+
+(** Returns waiting threads to wake (they retry). *)
+val release : t -> Minic.Ast.weak_lock -> tid:tid -> tid list
+
+(** Timeout-preemption: strip the owner's hold. With [handoff] (default,
+    used when recording) the threads waiting at preemption time get FIFO
+    priority over the owner's reacquisition. *)
+val force_release :
+  ?handoff:bool -> t -> Minic.Ast.weak_lock -> owner:tid -> tid list
+
+(** Expire a stale handoff reservation. *)
+val clear_pending : t -> Minic.Ast.weak_lock -> unit
+
+val holds : t -> Minic.Ast.weak_lock -> tid:tid -> bool
+val holders : t -> Minic.Ast.weak_lock -> tid list
+val holder_claims : t -> Minic.Ast.weak_lock -> (tid * claim) list
+val cancel_wait : t -> Minic.Ast.weak_lock -> tid:tid -> unit

@@ -1,0 +1,1 @@
+lib/symbolic/bounds.ml: Fm Fmt Hashtbl Linexp List Minic Option

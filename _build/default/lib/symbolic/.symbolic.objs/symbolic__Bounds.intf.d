@@ -1,0 +1,1 @@
+lib/symbolic/bounds.mli: Fmt Minic

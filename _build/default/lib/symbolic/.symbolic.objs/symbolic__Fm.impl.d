@@ -1,0 +1,1 @@
+lib/symbolic/fm.ml: Fmt Linexp List

@@ -1,0 +1,1 @@
+lib/symbolic/fm.mli: Fmt Linexp

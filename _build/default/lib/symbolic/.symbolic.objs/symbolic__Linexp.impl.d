@@ -1,0 +1,1 @@
+lib/symbolic/linexp.ml: Fmt Int List Map Minic Option String

@@ -1,0 +1,1 @@
+lib/symbolic/linexp.mli: Fmt Minic

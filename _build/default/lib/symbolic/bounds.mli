@@ -1,0 +1,42 @@
+(** Symbolic address-bounds analysis for racy loops (paper Section 5,
+    after Rugina–Rinard): derive, for every memory access of the racy
+    statements inside a loop, an address range [lo .. hi] whose symbols
+    are invariant in the target loop — so the instrumenter can guard the
+    loop with a single loop-lock protecting just that range (Figure 4).
+
+    Intraprocedural: a loop body containing a call (or builtin — in C
+    these are library calls) is rejected. Offsets must be affine in the
+    induction variables of the enclosing nest; loaded indices and
+    unsupported arithmetic yield imprecision, the paper's two sources
+    (Section 5.2). *)
+
+type reason =
+  | Has_call       (** loop body calls a function: intraprocedural bail *)
+  | No_induction   (** offset depends on a loop without a recognized IV *)
+  | Non_affine     (** offset not affine (loaded index, modulo, ...) *)
+  | Unbounded      (** FM produced no finite symbolic bound *)
+  | Not_invariant  (** base pointer or bound symbol assigned in the loop *)
+
+val pp_reason : reason Fmt.t
+
+type result =
+  | Precise of Minic.Ast.warange list
+      (** inclusive address ranges with access mode, evaluable at the
+          target loop's entry *)
+  | Imprecise of reason
+
+(** [analyze_loop p fd ~enclosing ~racy_sids ()] — [enclosing] is the
+    chain of [While] statements from outermost to the loop directly
+    containing the racy statements; [target_idx] selects the loop to
+    guard (the planner tries 0, the outermost, first — paper
+    Section 5.3). [allow_masks] enables the sound [e & c ∈ [0,c]]
+    extension (off by default; the paper treats masks as unsupported). *)
+val analyze_loop :
+  Minic.Ast.program ->
+  Minic.Ast.fundec ->
+  ?target_idx:int ->
+  ?allow_masks:bool ->
+  enclosing:Minic.Ast.stmt list ->
+  racy_sids:int list ->
+  unit ->
+  result

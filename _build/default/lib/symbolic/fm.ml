@@ -1,0 +1,99 @@
+(** Fourier–Motzkin elimination over affine inequalities.
+
+    This is the project's substitute for the paper's use of lpsolve
+    (Section 6.1): Chimera reduces symbolic-bounds questions to small
+    linear programs; the systems involved are tiny (a handful of induction
+    variables and loop-invariant symbols), for which exact FM elimination
+    is both simpler and complete.
+
+    An inequality is represented as an affine expression [e] meaning
+    [e >= 0]. Eliminating variable [x] combines every pair of a lower
+    bound ([a*x <= e], a > 0 appearing as [e - a*x >= 0]... in our
+    encoding an inequality with positive coefficient on [x] is a lower
+    bound on [x], negative is an upper bound) and produces the implied
+    [x]-free consequences. Over the integers FM is an over-approximation
+    of the projection, which is the sound direction for address ranges. *)
+
+type ineq = Linexp.t (* meaning: e >= 0 *)
+
+let pp_ineq ppf e = Fmt.pf ppf "%a >= 0" Linexp.pp e
+
+(** [eliminate x ineqs]: project out [x]. *)
+let eliminate (x : string) (ineqs : ineq list) : ineq list =
+  let lowers, uppers, rest =
+    List.fold_left
+      (fun (lo, up, rest) e ->
+        let c = Linexp.coeff_of x e in
+        if c > 0 then (e :: lo, up, rest)
+        else if c < 0 then (lo, e :: up, rest)
+        else (lo, up, e :: rest))
+      ([], [], []) ineqs
+  in
+  (* lower: a*x + f >= 0  (a>0)  =>  x >= -f/a
+     upper: -b*x + g >= 0 (b>0)  =>  x <= g/b
+     combine: a*g - (-b)*(-f) ... cross-multiply: b*f + a*g >= 0 *)
+  let combos =
+    List.concat_map
+      (fun lo_e ->
+        let a = Linexp.coeff_of x lo_e in
+        let f = Linexp.sub lo_e (Linexp.var ~coeff:a x) in
+        List.map
+          (fun up_e ->
+            let b = -Linexp.coeff_of x up_e in
+            let g = Linexp.add up_e (Linexp.var ~coeff:b x) in
+            Linexp.add (Linexp.scale b f) (Linexp.scale a g))
+          uppers)
+      lowers
+  in
+  List.sort_uniq Linexp.compare (combos @ rest)
+
+let eliminate_all (xs : string list) (ineqs : ineq list) : ineq list =
+  List.fold_left (fun acc x -> eliminate x acc) ineqs xs
+
+(** Detect a trivially false system (constant inequality [c >= 0] with
+    [c < 0]) after full elimination — used to recognize empty loop
+    ranges. *)
+let infeasible (ineqs : ineq list) : bool =
+  List.exists
+    (fun e ->
+      match Linexp.const_value e with Some c -> c < 0 | None -> false)
+    ineqs
+
+(** Symbolic bounds of expression [target] subject to [ineqs], eliminating
+    [elim] (the induction variables). Returns (lowers, uppers): affine
+    expressions L, U over the remaining symbols with L <= target <= U.
+
+    Implementation: introduce a fresh symbol [t = target] (as two
+    inequalities), eliminate [elim], then read off bounds on [t] whose
+    coefficient divides exactly. *)
+let bounds_of ~(elim : string list) (ineqs : ineq list) (target : Linexp.t) :
+    Linexp.t list * Linexp.t list =
+  let tsym = "$target" in
+  let t = Linexp.var tsym in
+  let sys =
+    Linexp.sub t target (* t - target >= 0 *)
+    :: Linexp.sub target t (* target - t >= 0 *)
+    :: ineqs
+  in
+  let projected = eliminate_all elim sys in
+  let lowers = ref [] and uppers = ref [] in
+  List.iter
+    (fun e ->
+      let c = Linexp.coeff_of tsym e in
+      if c > 0 then begin
+        (* c*t + f >= 0 => t >= -f/c *)
+        let f = Linexp.sub e (Linexp.var ~coeff:c tsym) in
+        match Linexp.div_exact (Linexp.neg f) c with
+        | Some b -> lowers := b :: !lowers
+        | None -> ()
+      end
+      else if c < 0 then begin
+        (* -b*t + g >= 0 => t <= g/b *)
+        let b = -c in
+        let g = Linexp.add e (Linexp.var ~coeff:b tsym) in
+        match Linexp.div_exact g b with
+        | Some u -> uppers := u :: !uppers
+        | None -> ()
+      end)
+    projected;
+  (List.sort_uniq Linexp.compare !lowers, List.sort_uniq Linexp.compare !uppers)

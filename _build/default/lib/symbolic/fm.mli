@@ -1,0 +1,24 @@
+(** Fourier–Motzkin elimination over affine inequalities — the project's
+    substitute for the paper's use of lpsolve (Section 6.1). An
+    inequality is an affine expression [e] meaning [e >= 0]. *)
+
+type ineq = Linexp.t
+
+val pp_ineq : ineq Fmt.t
+
+(** Project out one variable. Over the integers FM over-approximates the
+    projection — the sound direction for address ranges. *)
+val eliminate : string -> ineq list -> ineq list
+
+val eliminate_all : string list -> ineq list -> ineq list
+
+(** Detect a trivially false system (a negative constant inequality)
+    after elimination. *)
+val infeasible : ineq list -> bool
+
+(** Symbolic bounds of [target] subject to the system, eliminating the
+    variables in [elim]. Returns (lowers, uppers): affine expressions L,
+    U over the remaining symbols with L <= target <= U. Bounds whose
+    coefficient does not divide exactly are dropped (conservative). *)
+val bounds_of :
+  elim:string list -> ineq list -> Linexp.t -> Linexp.t list * Linexp.t list

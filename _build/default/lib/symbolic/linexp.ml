@@ -1,0 +1,121 @@
+(** Affine (linear + constant) symbolic expressions over named program
+    variables: [c0 + c1*x1 + ... + cn*xn].
+
+    These are the currency of the symbolic bounds analysis (Section 5 of
+    the paper, after Rugina–Rinard): loop bounds, induction-variable
+    ranges, and accessed-address offsets are all affine forms whose
+    symbols are loop-invariant variables. *)
+
+module Smap = Map.Make (String)
+
+type t = { const : int; terms : int Smap.t }
+(* invariant: no zero coefficients in [terms] *)
+
+let const c = { const = c; terms = Smap.empty }
+let zero = const 0
+let var ?(coeff = 1) x =
+  if coeff = 0 then zero else { const = 0; terms = Smap.singleton x coeff }
+
+let is_const t = Smap.is_empty t.terms
+let const_value t = if is_const t then Some t.const else None
+
+let coeff_of x t = Option.value (Smap.find_opt x t.terms) ~default:0
+
+let symbols t = List.map fst (Smap.bindings t.terms)
+
+let norm terms = Smap.filter (fun _ c -> c <> 0) terms
+
+let add a b =
+  {
+    const = a.const + b.const;
+    terms =
+      norm
+        (Smap.union (fun _ c1 c2 -> Some (c1 + c2)) a.terms b.terms);
+  }
+
+let neg a = { const = -a.const; terms = Smap.map (fun c -> -c) a.terms }
+let sub a b = add a (neg b)
+
+let scale k a =
+  if k = 0 then zero
+  else { const = k * a.const; terms = Smap.map (fun c -> k * c) a.terms }
+
+(** Multiplication is defined only when one operand is constant. *)
+let mul a b =
+  match (const_value a, const_value b) with
+  | Some k, _ -> Some (scale k b)
+  | _, Some k -> Some (scale k a)
+  | None, None -> None
+
+(** Exact division by a positive constant; defined only when every
+    coefficient (and the constant) is divisible. *)
+let div_exact a k =
+  if k = 0 then None
+  else if
+    a.const mod k = 0 && Smap.for_all (fun _ c -> c mod k = 0) a.terms
+  then Some { const = a.const / k; terms = Smap.map (fun c -> c / k) a.terms }
+  else None
+
+let equal a b = a.const = b.const && Smap.equal Int.equal a.terms b.terms
+let compare a b =
+  match Int.compare a.const b.const with
+  | 0 -> Smap.compare Int.compare a.terms b.terms
+  | c -> c
+
+(** Substitute [x := e] in [t]. *)
+let subst x e t =
+  let c = coeff_of x t in
+  if c = 0 then t
+  else add { t with terms = Smap.remove x t.terms } (scale c e)
+
+(** Evaluate under a full environment; [None] if a symbol is unbound. *)
+let eval env t =
+  Smap.fold
+    (fun x c acc ->
+      match (acc, env x) with
+      | Some a, Some v -> Some (a + (c * v))
+      | _ -> None)
+    t.terms (Some t.const)
+
+let pp ppf t =
+  let terms = Smap.bindings t.terms in
+  if terms = [] then Fmt.int ppf t.const
+  else begin
+    let first = ref true in
+    List.iter
+      (fun (x, c) ->
+        if !first then begin
+          first := false;
+          if c = 1 then Fmt.string ppf x
+          else if c = -1 then Fmt.pf ppf "-%s" x
+          else Fmt.pf ppf "%d*%s" c x
+        end
+        else if c >= 0 then
+          if c = 1 then Fmt.pf ppf " + %s" x else Fmt.pf ppf " + %d*%s" c x
+        else if c = -1 then Fmt.pf ppf " - %s" x
+        else Fmt.pf ppf " - %d*%s" (-c) x)
+      terms;
+    if t.const > 0 then Fmt.pf ppf " + %d" t.const
+    else if t.const < 0 then Fmt.pf ppf " - %d" (-t.const)
+  end
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Convert to a MiniC expression (symbols become variable reads). *)
+let to_exp t : Minic.Ast.exp =
+  let open Minic.Ast in
+  let term x c : exp =
+    if c = 1 then Lval (Var x)
+    else Binop (Mul, Const c, Lval (Var x))
+  in
+  let e =
+    Smap.fold
+      (fun x c acc ->
+        match acc with
+        | None -> Some (term x c)
+        | Some a -> Some (Binop (Add, a, term x c)))
+      t.terms None
+  in
+  match e with
+  | None -> Const t.const
+  | Some e -> if t.const = 0 then e else Binop (Add, e, Const t.const)

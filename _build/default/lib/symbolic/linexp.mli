@@ -1,0 +1,41 @@
+(** Affine symbolic expressions [c0 + c1*x1 + ... + cn*xn] over named
+    program variables — the currency of the symbolic bounds analysis
+    (paper Section 5, after Rugina–Rinard). *)
+
+type t
+
+val const : int -> t
+val zero : t
+val var : ?coeff:int -> string -> t
+
+val is_const : t -> bool
+val const_value : t -> int option
+val coeff_of : string -> t -> int
+val symbols : t -> string list
+
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+
+(** Defined only when one operand is constant. *)
+val mul : t -> t -> t option
+
+(** Exact division by a positive constant; defined only when every
+    coefficient (and the constant) divides. *)
+val div_exact : t -> int -> t option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Substitute [x := e]. *)
+val subst : string -> t -> t -> t
+
+(** Evaluate under an environment; [None] if a symbol is unbound. *)
+val eval : (string -> int option) -> t -> int option
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** Convert to a MiniC expression (symbols become variable reads). *)
+val to_exp : t -> Minic.Ast.exp

@@ -1,0 +1,6 @@
+(** A small LZ77 compressor, standing in for gzip when reporting
+    compressed log sizes (Table 2). Round-trips exactly. *)
+
+val compress : string -> string
+val decompress : string -> string
+val compressed_size : string -> int

@@ -1,0 +1,1 @@
+test/proggen.ml: Fmt List QCheck String

@@ -1,0 +1,1 @@
+test/test_detexec.ml: Alcotest Bench_progs Chimera Interp List Minic Proggen QCheck QCheck_alcotest Random

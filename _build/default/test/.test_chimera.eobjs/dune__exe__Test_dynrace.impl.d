@@ -1,0 +1,1 @@
+test/test_dynrace.ml: Alcotest Dynrace Interp List Minic Runtime

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Bench_progs Chimera Dynrace Hashtbl Instrument Interp List Minic Replay Runtime

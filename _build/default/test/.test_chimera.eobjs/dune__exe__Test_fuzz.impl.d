@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Chimera Dynrace Hashtbl Interp List Minic Out_channel Printexc Proggen QCheck QCheck_alcotest Random Runtime Sys

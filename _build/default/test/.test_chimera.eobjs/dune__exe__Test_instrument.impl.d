@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Bench_progs Chimera Hashtbl Instrument Interp List Minic Option

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Fmt Interp List Minic Runtime Testutil

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Ast Bench_progs Callgraph Cfg Fmt Hashtbl Lexer List Minic Option Parser Pretty Printexc String Typecheck

@@ -1,0 +1,1 @@
+test/test_pointer.ml: Alcotest Bench_progs Fmt List Minic Option Pointer

@@ -1,0 +1,1 @@
+test/test_profiling.ml: Alcotest Fmt Interp Minic Option Profiling

@@ -1,0 +1,1 @@
+test/test_relay.ml: Alcotest Hashtbl List Minic Pointer Relay

@@ -1,0 +1,1 @@
+test/test_replay_log.ml: Alcotest Gen Key List Minic QCheck QCheck_alcotest Replay Runtime Test

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Fmt Gen Key List Minic QCheck QCheck_alcotest Runtime Sync Test Weaklock

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Bounds Fm Interp Linexp List Minic Option QCheck QCheck_alcotest Runtime Symbolic

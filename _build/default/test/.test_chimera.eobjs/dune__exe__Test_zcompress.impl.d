@@ -1,0 +1,1 @@
+test/test_zcompress.ml: Alcotest Char Fmt Gen List QCheck QCheck_alcotest String Zcompress

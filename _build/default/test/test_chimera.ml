@@ -1,0 +1,20 @@
+(** Test runner: aggregates all suites. *)
+
+let () =
+  Alcotest.run "chimera"
+    [
+      ("minic", Test_minic.suite);
+      ("pointer", Test_pointer.suite);
+      ("relay", Test_relay.suite);
+      ("symbolic", Test_symbolic.suite);
+      ("runtime", Test_runtime.suite);
+      ("replay-log", Test_replay_log.suite);
+      ("zcompress", Test_zcompress.suite);
+      ("interp", Test_interp.suite);
+      ("dynrace", Test_dynrace.suite);
+      ("profiling", Test_profiling.suite);
+      ("instrument", Test_instrument.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("detexec", Test_detexec.suite);
+      ("e2e", Test_e2e.suite);
+    ]

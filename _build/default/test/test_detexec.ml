@@ -1,0 +1,239 @@
+(** Deterministic execution (the paper's future-work direction, realized
+    as {!Interp.Engine.Deterministic} mode): because the
+    Chimera-transformed program is data-race-free, arbitrating every
+    synchronization operation by deterministic logical time (Kendo-style
+    global-minimum turns) makes the whole execution a function of the
+    program and its inputs — same output under every scheduler seed,
+    with no recording at all. *)
+
+let parse src = Minic.Typecheck.parse_and_check ~file:"det.mc" src
+
+let run_det ?(cores = 4) ~seed ~io p =
+  (* through the public API; the tick cap fails fast if an arbitration
+     livelock would otherwise grind to the default 400M-tick cap *)
+  Chimera.Runner.deterministic
+    ~config:
+      { Interp.Engine.default_config with seed; cores; max_ticks = 5_000_000 }
+    ~io p
+
+(* every lock-state change commits under the strict-minimum logical
+   turn, so the whole execution — including per-thread instruction
+   counts, arbitration retries and all — is a function of program and
+   inputs *)
+let observable (o : Interp.Engine.outcome) =
+  (o.o_timed_out, List.map snd o.o_outputs, o.o_final_hash, o.o_steps)
+
+let check_det ?(seeds = [ 1; 7; 19; 42 ]) ~io name p =
+  let outs = List.map (fun seed -> observable (run_det ~seed ~io p)) seeds in
+  (match outs with
+  | (timed_out, _, _, _) :: _ ->
+      Alcotest.(check bool) (name ^ ": completes") false timed_out
+  | [] -> ());
+  Alcotest.(check int)
+    (name ^ ": one outcome across seeds")
+    1
+    (List.length (List.sort_uniq compare outs))
+
+let test_drf_program_directly_deterministic () =
+  (* an already-DRF program needs no transformation *)
+  let p =
+    parse
+      {|int counter = 0; int m;
+        void w(int *u) {
+          int i;
+          for (i = 0; i < 25; i++) { lock(&m); counter = counter + 1; unlock(&m); }
+        }
+        int main() { int t1; int t2;
+          t1 = spawn(w, &counter); t2 = spawn(w, &counter);
+          join(t1); join(t2);
+          output(counter);
+          return 0; }|}
+  in
+  check_det ~io:(Interp.Iomodel.random ~seed:3) "locked counter" p
+
+let transformed name src =
+  Chimera.Pipeline.analyze ~profile_runs:4
+    ~profile_io:(fun i -> Interp.Iomodel.random ~seed:(900 + i))
+    (Minic.Parser.parse ~file:name src)
+
+let racy_src =
+  {|int counter = 0;
+    void w(int *u) {
+      int i; int tmp;
+      for (i = 0; i < 30; i++) { tmp = counter; counter = tmp + 1; }
+    }
+    int main() { int t1; int t2;
+      t1 = spawn(w, &counter); t2 = spawn(w, &counter);
+      join(t1); join(t2);
+      output(counter);
+      return 0; }|}
+
+let test_transformed_racy_program_deterministic () =
+  (* the headline: transform + deterministic arbitration = deterministic
+     execution of a RACY program, no logs *)
+  let an = transformed "racy" racy_src in
+  check_det ~io:(Interp.Iomodel.random ~seed:3) "transformed racy counter"
+    an.an_instrumented
+
+let test_untransformed_racy_program_varies () =
+  (* without the transformation, data races stay unordered: the same
+     deterministic arbitration of sync ops does NOT determinize the racy
+     program (showing the transformation is what carries the property) *)
+  let p = parse racy_src in
+  let io = Interp.Iomodel.random ~seed:3 in
+  let outs =
+    List.map
+      (fun seed -> observable (run_det ~seed ~io p))
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Alcotest.(check bool) "racy program still varies" true
+    (List.length (List.sort_uniq compare outs) > 1)
+
+let test_benchmarks_deterministic () =
+  List.iter
+    (fun name ->
+      let b = Bench_progs.Registry.by_name name in
+      let an =
+        Chimera.Pipeline.analyze ~profile_runs:4
+          ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+          (Minic.Parser.parse ~file:name
+             (b.b_source ~workers:4 ~scale:b.b_profile_scale))
+      in
+      check_det ~seeds:[ 1; 9; 27 ]
+        ~io:(b.b_io ~seed:42 ~scale:b.b_profile_scale)
+        name an.an_instrumented)
+    Bench_progs.Registry.names
+
+(* regression: the first fuzz counterexample of the mutex/weak-lock
+   interaction — T1 holds the mutex and needs the function-lock; T2
+   holds the function-lock (possibly with reacquisition immunity) and
+   spins on the mutex. Resolved by the second doom threshold that breaks
+   immunity, plus spin-deferred reacquisition (see weak_acquire_one /
+   mutex_lock in the engine). *)
+let test_mutex_weak_cycle () =
+  let an =
+    transformed "cycle"
+      {|int g0; int g1; int a0[16]; int a1[16]; int m0; int ids[2];
+        void w0(int *idp) {
+          int t0; int t1; int id;
+          id = *idp;
+          t1 = a1[(id & 15)];
+          t1 = ((t1 | 0) | (9 * 2));
+          lock(&m0); g1 = t0; a0[(id & 15)] = (8 - 0); unlock(&m0);
+          g0 = (g1 * 5);
+        }
+        int main() { int t[2]; int i0; int t0;
+          for (i0 = 0; i0 < 16; i0++) { a0[i0] = i0 * 3; }
+          for (i0 = 0; i0 < 16; i0++) { a1[i0] = i0 * 4; }
+          ids[0] = 1; t[0] = spawn(w0, &ids[0]);
+          ids[1] = 2; t[1] = spawn(w0, &ids[1]);
+          join(t[0]); join(t[1]);
+          output(g0); output(g1);
+          t0 = 0; for (i0 = 0; i0 < 16; i0++) { t0 = t0 + a0[i0]; } output(t0);
+          t0 = 0; for (i0 = 0; i0 < 16; i0++) { t0 = t0 + a1[i0]; } output(t0);
+          return 0; }|}
+  in
+  check_det ~seeds:[ 2; 11; 23 ]
+    ~io:(Interp.Iomodel.random ~seed:33)
+    "mutex/weak cycle" an.an_instrumented
+
+(* regression: the second fuzz counterexample — three contenders on one
+   function-lock. The *release* must commit under the deterministic turn
+   too: gating only acquisitions hands the freed lock to whichever
+   spinner's retry physically follows the release. *)
+let test_release_serialization () =
+  let an =
+    transformed "release"
+      {|int g0; int g1; int g2; int a0[8]; int m0; int ids[3];
+        void w0(int *idp) {
+          int t0; int t1; int id; int i0;
+          id = *idp;
+          a0[5] = g1;
+          a0[3] = id;
+          lock(&m0); g1 = g1; g1 = ((id * 4) - (t1 | g0)); unlock(&m0);
+          for (i0 = 0; i0 < 3; i0++) { t0 = ((1 * 3) + 5); g1 = a0[(id & 7)]; }
+        }
+        int main() { int t[3]; int i0; int t0;
+          for (i0 = 0; i0 < 8; i0++) { a0[i0] = i0 * 3; }
+          ids[0] = 1; t[0] = spawn(w0, &ids[0]);
+          ids[1] = 2; t[1] = spawn(w0, &ids[1]);
+          ids[2] = 3; t[2] = spawn(w0, &ids[2]);
+          join(t[0]); join(t[1]); join(t[2]);
+          output(g0); output(g1); output(g2);
+          t0 = 0; for (i0 = 0; i0 < 8; i0++) { t0 = t0 + a0[i0]; } output(t0);
+          return 0; }|}
+  in
+  check_det ~seeds:[ 2; 11; 23 ]
+    ~io:(Interp.Iomodel.random ~seed:33)
+    "release serialization" an.an_instrumented
+
+let test_cond_and_barrier_deterministic () =
+  let p =
+    parse
+      {|int q[8]; int head = 0; int tail = 0; int qlock; int nonempty;
+        int done_flag = 0; int total = 0; int bar;
+        void consumer(int *u) {
+          int more; int v;
+          more = 1;
+          while (more) {
+            v = 0 - 1;
+            lock(&qlock);
+            while (head == tail && done_flag == 0) { cond_wait(&nonempty, &qlock); }
+            if (head < tail) { v = q[head % 8]; head = head + 1; }
+            unlock(&qlock);
+            if (v < 0) { more = 0; } else { total = total + v; }
+          }
+          barrier_wait(&bar);
+        }
+        int main() { int t1; int t2; int i;
+          barrier_init(&bar, 2);
+          t1 = spawn(consumer, &total);
+          for (i = 1; i <= 10; i++) {
+            lock(&qlock);
+            q[tail % 8] = i; tail = tail + 1;
+            cond_signal(&nonempty);
+            unlock(&qlock);
+          }
+          lock(&qlock); done_flag = 1; cond_broadcast(&nonempty); unlock(&qlock);
+          barrier_wait(&bar);
+          join(t1);
+          output(total);
+          return 0; }|}
+  in
+  check_det ~io:(Interp.Iomodel.random ~seed:3) "producer/consumer" p
+
+let fuzz_det =
+  QCheck.Test.make ~name:"fuzz: transformed programs det-execute identically"
+    ~count:25 Proggen.arbitrary_program (fun src ->
+      let an =
+        Chimera.Pipeline.analyze ~profile_runs:3
+          ~profile_io:(fun i -> Interp.Iomodel.random ~seed:(500 + i))
+          (Minic.Parser.parse ~file:"fuzz.mc" src)
+      in
+      let io = Interp.Iomodel.random ~seed:33 in
+      let outs =
+        List.map
+          (fun seed -> observable (run_det ~seed ~io an.an_instrumented))
+          [ 2; 11; 23 ]
+      in
+      match List.sort_uniq compare outs with
+      | [ (false, _, _, _) ] -> true
+      | [ (true, _, _, _) ] -> QCheck.Test.fail_reportf "det execution stuck"
+      | _ -> QCheck.Test.fail_reportf "outcomes differ across seeds")
+
+let suite =
+  [
+    Alcotest.test_case "DRF program" `Quick test_drf_program_directly_deterministic;
+    Alcotest.test_case "transformed racy program" `Quick
+      test_transformed_racy_program_deterministic;
+    Alcotest.test_case "untransformed racy program varies" `Quick
+      test_untransformed_racy_program_varies;
+    Alcotest.test_case "benchmarks" `Slow test_benchmarks_deterministic;
+    Alcotest.test_case "mutex/weak-lock cycle" `Quick test_mutex_weak_cycle;
+    Alcotest.test_case "release serialization" `Quick
+      test_release_serialization;
+    Alcotest.test_case "cond + barrier" `Quick test_cond_and_barrier_deterministic;
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| 0xDE7EC |])
+      fuzz_det;
+  ]

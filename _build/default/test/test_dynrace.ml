@@ -1,0 +1,178 @@
+(** Tests for the vector-clock dynamic race detector: true positives on
+    seeded races, true negatives across every synchronization primitive's
+    happens-before edges, and weak-lock-aware tracking. *)
+
+let parse src = Minic.Typecheck.parse_and_check ~file:"test.mc" src
+
+let detect ?(seed = 3) ?(track_weak = true) src =
+  let dr = Dynrace.create ~track_weak () in
+  let hooks = Dynrace.attach dr (Interp.Engine.no_hooks ()) in
+  let config = { Interp.Engine.default_config with seed; cores = 4 } in
+  let io = Interp.Iomodel.random ~seed:7 in
+  let o = Interp.Engine.run ~config ~hooks ~mode:Interp.Engine.Native ~io (parse src) in
+  (dr, o)
+
+let test_detects_unprotected () =
+  let dr, _ =
+    detect
+      {|int g;
+        void w(int *u) { g = g + 1; }
+        int main() { int t1; int t2;
+          t1 = spawn(w, &g); t2 = spawn(w, &g);
+          join(t1); join(t2); return g; }|}
+  in
+  Alcotest.(check bool) "race found" true (Dynrace.n_races dr > 0)
+
+let test_mutex_hb () =
+  let dr, _ =
+    detect
+      {|int g; int m;
+        void w(int *u) { lock(&m); g = g + 1; unlock(&m); }
+        int main() { int t1; int t2;
+          t1 = spawn(w, &g); t2 = spawn(w, &g);
+          join(t1); join(t2); return g; }|}
+  in
+  Alcotest.(check int) "mutex orders accesses" 0 (Dynrace.n_races dr)
+
+let test_fork_join_hb () =
+  let dr, _ =
+    detect
+      {|int g;
+        void w(int *u) { g = g + 1; }
+        int main() { int t;
+          g = 1;
+          t = spawn(w, &g);
+          join(t);
+          g = g + 1;
+          return g; }|}
+  in
+  Alcotest.(check int) "spawn/join order accesses" 0 (Dynrace.n_races dr)
+
+let test_barrier_hb () =
+  let dr, _ =
+    detect
+      {|int a[2]; int b[2]; int bar;
+        int ids[2];
+        void w(int *idp) {
+          int id; id = *idp;
+          a[id] = id + 1;
+          barrier_wait(&bar);
+          b[id] = a[1 - id];
+          barrier_wait(&bar);
+        }
+        int main() { int t1; int t2;
+          barrier_init(&bar, 2);
+          ids[0] = 0; ids[1] = 1;
+          t1 = spawn(w, &ids[0]); t2 = spawn(w, &ids[1]);
+          join(t1); join(t2); return b[0] + b[1]; }|}
+  in
+  Alcotest.(check int) "barrier orders cross-phase accesses" 0
+    (Dynrace.n_races dr)
+
+let test_cond_hb () =
+  let dr, _ =
+    detect
+      {|int data; int ready = 0; int m; int cv;
+        void consumer(int *u) {
+          lock(&m);
+          while (ready == 0) { cond_wait(&cv, &m); }
+          unlock(&m);
+          data = data + 1;
+        }
+        int main() { int t;
+          t = spawn(consumer, &data);
+          data = 42;
+          lock(&m); ready = 1; cond_signal(&cv); unlock(&m);
+          join(t);
+          return data; }|}
+  in
+  Alcotest.(check int) "cond signal orders data" 0 (Dynrace.n_races dr)
+
+let test_weak_lock_hb () =
+  (* hand-instrumented: a weak lock ordering otherwise-racy accesses is
+     counted as synchronization when track_weak is on, and ignored when
+     off *)
+  let src =
+    {|int g;
+      void w(int *u) { g = g + 1; }
+      int main() { int t1; int t2;
+        t1 = spawn(w, &g); t2 = spawn(w, &g);
+        join(t1); join(t2); return g; }|}
+  in
+  let p = parse src in
+  Minic.Ast.Fresh.reset_from p;
+  let wlock = { Minic.Ast.wl_id = 0; wl_gran = Minic.Ast.Gbb } in
+  let wrap (fd : Minic.Ast.fundec) =
+    if fd.f_name = "w" then
+      {
+        fd with
+        f_body =
+          Minic.Ast.Fresh.stmt
+            (WeakEnter [ { wa_lock = wlock; wa_ranges = [] } ])
+          :: fd.f_body
+          @ [ Minic.Ast.Fresh.stmt (WeakExit [ wlock ]) ];
+      }
+    else fd
+  in
+  let p = { p with p_funs = List.map wrap p.p_funs } in
+  let run track_weak =
+    let dr = Dynrace.create ~track_weak () in
+    let hooks = Dynrace.attach dr (Interp.Engine.no_hooks ()) in
+    let config = { Interp.Engine.default_config with seed = 3; cores = 4 } in
+    let io = Interp.Iomodel.random ~seed:7 in
+    ignore (Interp.Engine.run ~config ~hooks ~mode:Interp.Engine.Native ~io p);
+    Dynrace.n_races dr
+  in
+  Alcotest.(check int) "weak lock counts as sync" 0 (run true);
+  Alcotest.(check bool) "ignored when track_weak=false" true (run false > 0)
+
+let test_write_write_and_read_write () =
+  let dr, _ =
+    detect
+      {|int g; int sink1; int sink2;
+        void writer(int *u) { g = 1; }
+        void reader(int *u) { sink1 = g; }
+        int main() { int t1; int t2;
+          t1 = spawn(writer, &g); t2 = spawn(reader, &g);
+          join(t1); join(t2);
+          sink2 = 0;
+          return g; }|}
+  in
+  let races = Dynrace.races dr in
+  Alcotest.(check bool) "read-write race found" true
+    (List.exists
+       (fun (r : Dynrace.race) ->
+         r.dr_addr.Runtime.Key.a_origin = Runtime.Key.OGlobal "g")
+       races)
+
+let test_vc_epoch_ordering () =
+  let open Dynrace.Vc in
+  let vc = tick 1 (tick 1 (tick 2 empty)) in
+  Alcotest.(check bool) "epoch le" true (epoch_le (1, 2) vc);
+  Alcotest.(check bool) "epoch not le" false (epoch_le (1, 3) vc);
+  let joined = join vc (tick 3 empty) in
+  Alcotest.(check bool) "join keeps max" true (epoch_le (3, 1) joined)
+
+let test_counts_all_memops () =
+  (* the Figure 6 baseline: the dynamic detector instruments every memory
+     operation *)
+  let dr, o =
+    detect
+      {|int a[10];
+        int main() { int i; for (i = 0; i < 10; i++) { a[i] = i; } return a[5]; }|}
+  in
+  Alcotest.(check int) "checked = engine memory ops" o.o_stats.n_mem_ops
+    (Dynrace.n_checks dr)
+
+let suite =
+  [
+    Alcotest.test_case "detects unprotected race" `Quick test_detects_unprotected;
+    Alcotest.test_case "mutex HB" `Quick test_mutex_hb;
+    Alcotest.test_case "fork/join HB" `Quick test_fork_join_hb;
+    Alcotest.test_case "barrier HB" `Quick test_barrier_hb;
+    Alcotest.test_case "cond HB" `Quick test_cond_hb;
+    Alcotest.test_case "weak-lock HB" `Quick test_weak_lock_hb;
+    Alcotest.test_case "read/write race" `Quick test_write_write_and_read_write;
+    Alcotest.test_case "vector clock epochs" `Quick test_vc_epoch_ordering;
+    Alcotest.test_case "100% memop coverage" `Quick test_counts_all_memops;
+  ]

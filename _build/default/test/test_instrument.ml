@@ -1,0 +1,327 @@
+(** Tests for the instrumentation side: clique analysis, granularity
+    planning (function / loop / bb / instruction decisions on crafted
+    programs reproducing the paper's Figures 2–4), and well-formedness of
+    the transformed AST. *)
+
+open Minic.Ast
+
+let parse src = Minic.Typecheck.parse_and_check ~file:"test.mc" src
+
+(* ------------------------------------------------------------------ *)
+(* Clique analysis *)
+
+let test_clique_figure3 () =
+  (* Figure 3: alice–bob and alice–carol racy and non-concurrent;
+     bob–carol non-concurrent but race-free; all three mutually
+     non-concurrent -> one clique, one shared lock *)
+  let t =
+    Instrument.Clique.compute
+      ~non_concurrent:
+        [ ("alice", "bob"); ("alice", "carol"); ("bob", "carol") ]
+      ~racy:[ ("alice", "bob"); ("alice", "carol") ]
+  in
+  let c1 = Instrument.Clique.clique_of t ("alice", "bob") in
+  let c2 = Instrument.Clique.clique_of t ("alice", "carol") in
+  Alcotest.(check bool) "both pairs covered" true (c1 <> None && c2 <> None);
+  Alcotest.(check (option int)) "shared clique (single lock for alice)" c1 c2
+
+let test_clique_concurrent_pair_uncovered () =
+  (* bob–dave race but run concurrently: no function lock *)
+  let t =
+    Instrument.Clique.compute
+      ~non_concurrent:[ ("alice", "bob") ]
+      ~racy:[ ("alice", "bob"); ("bob", "dave") ]
+  in
+  Alcotest.(check bool) "non-concurrent pair covered" true
+    (Instrument.Clique.clique_of t ("alice", "bob") <> None);
+  Alcotest.(check (option int)) "concurrent pair uncovered" None
+    (Instrument.Clique.clique_of t ("bob", "dave"))
+
+let test_clique_prefers_larger () =
+  (* a pair in two cliques takes the one with the most racy pairs *)
+  let t =
+    Instrument.Clique.compute
+      ~non_concurrent:
+        [
+          ("a", "b"); ("b", "c"); ("a", "c");  (* triangle {a,b,c} *)
+          ("c", "d");                          (* edge {c,d} *)
+        ]
+      ~racy:[ ("a", "b"); ("b", "c"); ("a", "c"); ("c", "d") ]
+  in
+  let tri = Instrument.Clique.clique_of t ("a", "c") in
+  Alcotest.(check bool) "triangle covered" true (tri <> None);
+  let members = Instrument.Clique.members t (Option.get tri) in
+  Alcotest.(check int) "triangle clique size" 3 (List.length members)
+
+let test_clique_self_pair () =
+  let t =
+    Instrument.Clique.compute
+      ~non_concurrent:[ ("f", "f") ]
+      ~racy:[ ("f", "f") ]
+  in
+  Alcotest.(check bool) "self-race in non-concurrent function covered" true
+    (Instrument.Clique.clique_of t ("f", "f") <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Planning *)
+
+let analyze ?(opts = Instrument.Plan.all_opts) ?(profile_runs = 6) src =
+  Chimera.Pipeline.analyze ~opts ~profile_runs (Minic.Parser.parse src)
+
+let test_plan_radix_loop_ranges () =
+  (* Figure 4: the rank-zeroing loop gets a loop-lock with precise
+     per-thread ranges *)
+  let an =
+    analyze
+      {|int rank[32];
+        int ids[4];
+        void w(int *idp) {
+          int j; int base;
+          base = *idp * 8;
+          for (j = 0; j < 8; j++) { rank[base + j] = 0; }
+        }
+        int main() { int t[4]; int i;
+          for (i = 0; i < 4; i++) { ids[i] = i; t[i] = spawn(w, &ids[i]); }
+          for (i = 0; i < 4; i++) { join(t[i]); }
+          return rank[0]; }|}
+  in
+  let loop_regions = Hashtbl.length an.an_plan.Instrument.Plan.pl_loop in
+  Alcotest.(check bool) "at least one loop region" true (loop_regions > 0);
+  let has_ranged_acq =
+    Hashtbl.fold
+      (fun _ acqs acc ->
+        acc || List.exists (fun a -> a.wa_ranges <> []) acqs)
+      an.an_plan.Instrument.Plan.pl_loop false
+  in
+  Alcotest.(check bool) "loop-lock carries symbolic ranges" true has_ranged_acq
+
+let test_plan_function_lock_for_fork_ordered () =
+  (* init-vs-reader: never concurrent (fork-ordered); reader runs in a
+     single thread -> function lock *)
+  let an =
+    analyze
+      {|int table[16];
+        int sum = 0;
+        void reader(int *u) {
+          int i;
+          for (i = 0; i < 16; i++) { sum = sum + table[i]; }
+        }
+        void init() {
+          int i;
+          for (i = 0; i < 16; i++) { table[i] = i; }
+        }
+        int main() { int t;
+          init();
+          t = spawn(reader, &sum);
+          join(t);
+          return sum; }|}
+  in
+  Alcotest.(check bool) "function regions exist" true
+    (Hashtbl.length an.an_plan.Instrument.Plan.pl_func > 0)
+
+let test_plan_no_func_lock_for_self_concurrent () =
+  (* a worker spawned twice is concurrent with itself: no function lock
+     even though main-vs-worker races are fork-ordered *)
+  let an =
+    analyze
+      {|int g;
+        void w(int *u) {
+          int i;
+          for (i = 0; i < 60; i++) { g = g + 1; }
+        }
+        int main() { int t1; int t2;
+          g = 1;
+          t1 = spawn(w, &g); t2 = spawn(w, &g);
+          join(t1); join(t2);
+          return g; }|}
+  in
+  Alcotest.(check int) "no function regions" 0
+    (Hashtbl.length an.an_plan.Instrument.Plan.pl_func)
+
+let test_plan_figure5_config_naive () =
+  (* the naive configuration uses only instruction/bb-free regions *)
+  let src =
+    {|int g;
+      void w(int *u) { int i; for (i = 0; i < 4; i++) { g = g + 1; } }
+      int main() { int t1; int t2;
+        t1 = spawn(w, &g); t2 = spawn(w, &g);
+        join(t1); join(t2); return g; }|}
+  in
+  let an = analyze ~opts:Instrument.Plan.naive src in
+  Alcotest.(check int) "naive: no func regions" 0
+    (Hashtbl.length an.an_plan.Instrument.Plan.pl_func);
+  Alcotest.(check int) "naive: no loop regions" 0
+    (Hashtbl.length an.an_plan.Instrument.Plan.pl_loop);
+  Alcotest.(check int) "naive: no bb regions" 0
+    (Hashtbl.length an.an_plan.Instrument.Plan.pl_run);
+  Alcotest.(check bool) "naive: instruction regions" true
+    (Hashtbl.length an.an_plan.Instrument.Plan.pl_stmt > 0)
+
+let test_plan_pair_shares_lock () =
+  let an =
+    analyze
+      {|int g;
+        void a(int *u) { g = g + 1; }
+        void b(int *u) { g = g * 2; }
+        int main() { int t1; int t2;
+          t1 = spawn(a, &g); t2 = spawn(b, &g);
+          join(t1); join(t2); return g; }|}
+  in
+  List.iter
+    (fun (pd : Instrument.Plan.pair_decision) ->
+      ignore pd.pd_lock (* same lock object by construction *))
+    an.an_plan.Instrument.Plan.pl_decisions;
+  (* a-vs-b pair: both sides' acquisitions reference the same lock id *)
+  let pairs =
+    List.filter
+      (fun (pd : Instrument.Plan.pair_decision) ->
+        pd.pd_pair.rp_s1.st_fname <> pd.pd_pair.rp_s2.st_fname)
+      an.an_plan.Instrument.Plan.pl_decisions
+  in
+  Alcotest.(check bool) "cross-function pairs exist" true (pairs <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Transform well-formedness *)
+
+let enters_and_exits (p : program) =
+  let enters = ref 0 and exits = ref 0 in
+  iter_program_stmts
+    (fun s ->
+      match s.skind with
+      | WeakEnter _ -> incr enters
+      | WeakExit _ -> incr exits
+      | _ -> ())
+    p;
+  (!enters, !exits)
+
+let test_transform_balanced () =
+  List.iter
+    (fun (b : Bench_progs.Registry.bench) ->
+      let an =
+        Chimera.Pipeline.analyze ~profile_runs:4
+          ~profile_io:(fun i -> b.b_io ~seed:(50 + i) ~scale:b.b_profile_scale)
+          (Minic.Parser.parse (b.b_source ~workers:3 ~scale:2))
+      in
+      let e, x = enters_and_exits an.an_instrumented in
+      Alcotest.(check int) (b.b_name ^ ": enter/exit balance") e x)
+    Bench_progs.Registry.all
+
+let test_transform_sorted_acquisitions () =
+  (* every WeakEnter lists its locks in canonical order *)
+  List.iter
+    (fun (b : Bench_progs.Registry.bench) ->
+      let an =
+        Chimera.Pipeline.analyze ~profile_runs:4
+          ~profile_io:(fun i -> b.b_io ~seed:(50 + i) ~scale:b.b_profile_scale)
+          (Minic.Parser.parse (b.b_source ~workers:3 ~scale:2))
+      in
+      iter_program_stmts
+        (fun s ->
+          match s.skind with
+          | WeakEnter acqs ->
+              let locks = List.map (fun a -> a.wa_lock) acqs in
+              let sorted = List.sort compare_weak_lock locks in
+              Alcotest.(check bool)
+                (b.b_name ^ ": acquisitions sorted")
+                true (locks = sorted)
+          | _ -> ())
+        an.an_instrumented)
+    Bench_progs.Registry.all
+
+let test_transform_instrumented_reexecutes () =
+  (* the instrumented program still computes the same DRF results *)
+  let src =
+    {|int a[16]; int total = 0; int m;
+      int ids[2];
+      void w(int *idp) {
+        int i; int id; int local;
+        id = *idp; local = 0;
+        for (i = id * 8; i < id * 8 + 8; i++) { a[i] = i; local = local + i; }
+        lock(&m); total = total + local; unlock(&m);
+      }
+      int main() { int t[2]; int i;
+        for (i = 0; i < 2; i++) { ids[i] = i; t[i] = spawn(w, &ids[i]); }
+        for (i = 0; i < 2; i++) { join(t[i]); }
+        output(total);
+        return 0; }|}
+  in
+  let an = analyze src in
+  let io = Interp.Iomodel.random ~seed:1 in
+  let config = { Interp.Engine.default_config with seed = 2; cores = 4 } in
+  let o1 = Interp.Engine.run ~config ~mode:Interp.Engine.Native ~io an.an_prog in
+  let o2 =
+    Interp.Engine.run ~config ~mode:Interp.Engine.Native ~io an.an_instrumented
+  in
+  Alcotest.(check (list int)) "same output" (List.map snd o1.o_outputs)
+    (List.map snd o2.o_outputs);
+  Alcotest.(check int) "sum of 0..15" 120 (List.hd (List.map snd o2.o_outputs))
+
+let test_hoisted_calls_have_no_guarded_calls () =
+  (* after instrumentation, no WeakEnter region may bracket a call
+     statement directly (arguments are hoisted instead) *)
+  List.iter
+    (fun (b : Bench_progs.Registry.bench) ->
+      let an =
+        Chimera.Pipeline.analyze ~profile_runs:4
+          ~profile_io:(fun i -> b.b_io ~seed:(50 + i) ~scale:b.b_profile_scale)
+          (Minic.Parser.parse (b.b_source ~workers:3 ~scale:2))
+      in
+      (* scan every block: between WeakEnter and its matching WeakExit at
+         the same nesting depth, no Call/Builtin that can block. Function
+         regions are exempt: function-locks legitimately span blocking
+         operations (that is what the timeout of Section 2.3 is for). *)
+      let is_func_only locks =
+        List.for_all (fun (l : weak_lock) -> l.wl_gran = Gfunc) locks
+      in
+      let rec scan_block (blk : block) =
+        let depth = ref 0 in
+        List.iter
+          (fun (s : stmt) ->
+            (match s.skind with
+            | WeakEnter acqs
+              when not (is_func_only (List.map (fun a -> a.wa_lock) acqs)) ->
+                incr depth
+            | WeakEnter _ -> ()
+            | WeakExit locks when not (is_func_only locks) -> decr depth
+            | WeakExit _ -> ()
+            | Call _ when !depth > 0 ->
+                Alcotest.failf "%s: call guarded by weak region" b.b_name
+            | Builtin (_, (MutexLock | MutexUnlock | BarrierWait | CondWait
+                          | Join | NetRead | FileRead), _)
+              when !depth > 0 ->
+                Alcotest.failf "%s: blocking builtin guarded by weak region"
+                  b.b_name
+            | _ -> ());
+            match s.skind with
+            | If (_, b1, b2) -> scan_block b1; scan_block b2
+            | While (_, body, _) -> scan_block body
+            | _ -> ())
+          blk
+      in
+      List.iter (fun (fd : fundec) -> scan_block fd.f_body) an.an_instrumented.p_funs)
+    Bench_progs.Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "clique: Figure 3" `Quick test_clique_figure3;
+    Alcotest.test_case "clique: concurrent uncovered" `Quick
+      test_clique_concurrent_pair_uncovered;
+    Alcotest.test_case "clique: prefers larger" `Quick test_clique_prefers_larger;
+    Alcotest.test_case "clique: self pair" `Quick test_clique_self_pair;
+    Alcotest.test_case "plan: radix loop ranges (Fig 4)" `Quick
+      test_plan_radix_loop_ranges;
+    Alcotest.test_case "plan: function lock for fork-ordered" `Quick
+      test_plan_function_lock_for_fork_ordered;
+    Alcotest.test_case "plan: no func lock when self-concurrent" `Quick
+      test_plan_no_func_lock_for_self_concurrent;
+    Alcotest.test_case "plan: naive config" `Quick test_plan_figure5_config_naive;
+    Alcotest.test_case "plan: pairs share locks" `Quick test_plan_pair_shares_lock;
+    Alcotest.test_case "transform: enter/exit balanced" `Slow
+      test_transform_balanced;
+    Alcotest.test_case "transform: sorted acquisitions" `Slow
+      test_transform_sorted_acquisitions;
+    Alcotest.test_case "transform: reexecutes correctly" `Quick
+      test_transform_instrumented_reexecutes;
+    Alcotest.test_case "transform: no guarded blocking ops" `Slow
+      test_hoisted_calls_have_no_guarded_calls;
+  ]

@@ -1,0 +1,454 @@
+(** Tests for the simulator engine: MiniC semantics (arithmetic, arrays,
+    structs, pointers, recursion, control flow), scheduling determinism
+    for a fixed seed, racy-outcome divergence across seeds, I/O latency
+    hiding, fault detection, and the weak-lock timeout escape hatch. *)
+
+let parse src = Minic.Typecheck.parse_and_check ~file:"test.mc" src
+
+let run ?(seed = 1) ?(cores = 4) ?config src =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { Interp.Engine.default_config with seed; cores }
+  in
+  let io = Interp.Iomodel.random ~seed:99 in
+  Interp.Engine.run ~config ~mode:Interp.Engine.Native ~io (parse src)
+
+let outputs o = List.map snd o.Interp.Engine.o_outputs
+
+let check_outputs name expected src =
+  let o = run src in
+  List.iter
+    (fun (p, m) ->
+      Alcotest.failf "fault in %a: %s" Runtime.Key.pp_tid_path p m)
+    o.o_faults;
+  Alcotest.(check (list int)) name expected (outputs o)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential semantics *)
+
+let test_arith () =
+  check_outputs "arith" [ 14; 1; 6; -3; 1; 0; 12 ]
+    {|int main() {
+        output(2 + 3 * 4);
+        output(7 % 2);
+        output(25 / 4);
+        output(0 - 3);
+        output(5 > 4 && 2 < 3);
+        output(!7);
+        output(4 | 8);
+        return 0;
+      }|}
+
+let test_shortcut_eval () =
+  check_outputs "shortcut && avoids division by zero" [ 0; 1 ]
+    {|int main() {
+        int z; z = 0;
+        output(z != 0 && 10 / z > 1);
+        output(z == 0 || 10 / z > 1);
+        return 0;
+      }|}
+
+let test_arrays () =
+  check_outputs "array sum" [ 45 ]
+    {|int a[10];
+      int main() {
+        int i; int s; s = 0;
+        for (i = 0; i < 10; i++) { a[i] = i; }
+        for (i = 0; i < 10; i++) { s = s + a[i]; }
+        output(s);
+        return 0;
+      }|}
+
+let test_2d_arrays () =
+  check_outputs "2d array" [ 7 ]
+    {|int m[3][4];
+      int main() {
+        m[2][3] = 7;
+        output(m[2][3]);
+        return 0;
+      }|}
+
+let test_structs () =
+  check_outputs "struct fields + arrow" [ 5; 11 ]
+    {|struct pt { int x; int y; };
+      struct pt g;
+      int main() {
+        struct pt *p;
+        g.x = 5;
+        p = &g;
+        p->y = p->x + 6;
+        output(g.x);
+        output(g.y);
+        return 0;
+      }|}
+
+let test_pointers () =
+  check_outputs "pointer arithmetic over array" [ 30 ]
+    {|int a[4] = {1, 2, 3, 24};
+      int main() {
+        int *p; int s; int i;
+        p = a; s = 0;
+        for (i = 0; i < 4; i++) { s = s + *(p + i); }
+        output(s);
+        return 0;
+      }|}
+
+let test_recursion () =
+  check_outputs "factorial" [ 120 ]
+    {|int fact(int n) {
+        int rest;
+        if (n <= 1) { return 1; }
+        rest = fact(n - 1);
+        return n * rest;
+      }
+      int main() { int r; r = fact(5); output(r); return 0; }|}
+
+let test_break_continue () =
+  check_outputs "break/continue" [ 16 ]
+    {|int main() {
+        int i; int s; s = 0;
+        for (i = 0; i < 100; i++) {
+          if (i % 2 == 0) { continue; }
+          if (i > 7) { break; }
+          s = s + i;
+        }
+        output(s);
+        return 0;
+      }|}
+
+let test_globals_initialized () =
+  check_outputs "global initializers" [ 10; 0 ]
+    {|int g = 10;
+      int z;
+      int main() { output(g); output(z); return 0; }|}
+
+let test_malloc () =
+  check_outputs "heap blocks" [ 5; 9 ]
+    {|int main() {
+        int *p; int *q;
+        p = malloc(2);
+        q = malloc(3);
+        p[0] = 5; p[1] = 4;
+        q[0] = p[0] + p[1];
+        output(p[0]);
+        output(q[0]);
+        free(p);
+        return 0;
+      }|}
+
+let test_fault_oob () =
+  let o = run {|int a[2]; int main() { a[5] = 1; return 0; }|} in
+  Alcotest.(check int) "one fault" 1 (List.length o.o_faults);
+  Alcotest.(check bool) "out-of-bounds message" true
+    (match o.o_faults with
+    | [ (_, m) ] ->
+        Testutil.contains m "out-of-bounds"
+    | _ -> false)
+
+let test_fault_div0 () =
+  let o = run {|int main() { int z; z = 0; output(1 / z); return 0; }|} in
+  Alcotest.(check int) "one fault" 1 (List.length o.o_faults)
+
+let test_fault_use_after_free () =
+  let o =
+    run {|int main() { int *p; p = malloc(1); free(p); *p = 1; return 0; }|}
+  in
+  Alcotest.(check int) "one fault" 1 (List.length o.o_faults)
+
+let test_exit_builtin () =
+  let o =
+    run {|int main() { output(1); exit(3); output(2); return 0; }|}
+  in
+  Alcotest.(check (option int)) "exit code" (Some 3) o.o_exit;
+  Alcotest.(check (list int)) "stops at exit" [ 1 ] (outputs o)
+
+(* ------------------------------------------------------------------ *)
+(* Threads & scheduling *)
+
+let racy_src =
+  {|int counter = 0;
+    void w(int *u) {
+      int i; int tmp;
+      for (i = 0; i < 30; i++) { tmp = counter; counter = tmp + 1; }
+    }
+    int main() {
+      int t1; int t2;
+      t1 = spawn(w, &counter); t2 = spawn(w, &counter);
+      join(t1); join(t2);
+      output(counter);
+      return 0;
+    }|}
+
+let test_same_seed_same_outcome () =
+  let a = run ~seed:5 racy_src and b = run ~seed:5 racy_src in
+  Alcotest.(check (list int)) "identical seeds identical runs" (outputs a)
+    (outputs b);
+  Alcotest.(check int) "same ticks" a.o_ticks b.o_ticks
+
+let test_races_diverge_across_seeds () =
+  let results =
+    List.map (fun seed -> outputs (run ~seed racy_src)) [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let distinct = List.sort_uniq compare results in
+  Alcotest.(check bool) "racy counter varies with schedule" true
+    (List.length distinct > 1);
+  (* lost updates only: every outcome is between 30 and 60 *)
+  List.iter
+    (fun r ->
+      match r with
+      | [ v ] ->
+          Alcotest.(check bool) (Fmt.str "outcome %d in range" v) true
+            (v >= 30 && v <= 60)
+      | _ -> Alcotest.fail "expected one output")
+    results
+
+let test_mutex_protects () =
+  let src =
+    {|int counter = 0; int m;
+      void w(int *u) {
+        int i; int tmp;
+        for (i = 0; i < 30; i++) {
+          lock(&m); tmp = counter; counter = tmp + 1; unlock(&m);
+        }
+      }
+      int main() {
+        int t1; int t2;
+        t1 = spawn(w, &counter); t2 = spawn(w, &counter);
+        join(t1); join(t2);
+        output(counter);
+        return 0;
+      }|}
+  in
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list int))
+        (Fmt.str "locked counter exact (seed %d)" seed)
+        [ 60 ] (outputs (run ~seed src)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_barrier_phases () =
+  let src =
+    {|int a[4]; int b[4]; int bar;
+      int ids[4];
+      void w(int *idp) {
+        int id; int left;
+        id = *idp;
+        a[id] = id + 1;
+        barrier_wait(&bar);
+        left = (id + 3) % 4;
+        b[id] = a[left];
+        barrier_wait(&bar);
+      }
+      int main() {
+        int t[4]; int i; int s;
+        barrier_init(&bar, 4);
+        for (i = 0; i < 4; i++) { ids[i] = i; t[i] = spawn(w, &ids[i]); }
+        for (i = 0; i < 4; i++) { join(t[i]); }
+        s = 0;
+        for (i = 0; i < 4; i++) { s = s * 10 + b[i]; }
+        output(s);
+        return 0;
+      }|}
+  in
+  (* b[i] = a[(i+3) mod 4] = ((i+3) mod 4) + 1: [4;1;2;3] -> 4123 *)
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list int))
+        (Fmt.str "barrier ordering (seed %d)" seed)
+        [ 4123 ] (outputs (run ~seed src)))
+    [ 1; 5; 9 ]
+
+let test_cond_producer_consumer () =
+  let src =
+    {|int q[8]; int head = 0; int tail = 0;
+      int qlock; int nonempty;
+      int done_flag = 0;
+      int total = 0;
+      void consumer(int *u) {
+        int more; int v;
+        more = 1;
+        while (more) {
+          v = 0 - 1;
+          lock(&qlock);
+          while (head == tail && done_flag == 0) { cond_wait(&nonempty, &qlock); }
+          if (head < tail) { v = q[head % 8]; head = head + 1; }
+          unlock(&qlock);
+          if (v < 0) { more = 0; } else { total = total + v; }
+        }
+      }
+      int main() {
+        int t; int i;
+        t = spawn(consumer, &total);
+        for (i = 1; i <= 10; i++) {
+          lock(&qlock);
+          q[tail % 8] = i;
+          tail = tail + 1;
+          cond_signal(&nonempty);
+          unlock(&qlock);
+        }
+        lock(&qlock);
+        done_flag = 1;
+        cond_broadcast(&nonempty);
+        unlock(&qlock);
+        join(t);
+        output(total);
+        return 0;
+      }|}
+  in
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list int))
+        (Fmt.str "producer/consumer sum (seed %d)" seed)
+        [ 55 ] (outputs (run ~seed src)))
+    [ 2; 4; 6 ]
+
+let test_spawn_arg_and_tids () =
+  check_outputs "spawn passes pointer; join works" [ 3 ]
+    {|void child(int *p) { *p = *p + 1; }
+      int main() {
+        int v; int t1; int t2; int t3;
+        v = 0;
+        t1 = spawn(child, &v); join(t1);
+        t2 = spawn(child, &v); join(t2);
+        t3 = spawn(child, &v); join(t3);
+        output(v);
+        return 0;
+      }|}
+
+let test_more_threads_than_cores () =
+  let src =
+    {|int done_count = 0; int m;
+      void w(int *u) {
+        int i; int x; x = 0;
+        for (i = 0; i < 20; i++) { x = x + i; }
+        lock(&m); done_count = done_count + 1; unlock(&m);
+      }
+      int main() {
+        int t[8]; int i;
+        for (i = 0; i < 8; i++) { t[i] = spawn(w, &m); }
+        for (i = 0; i < 8; i++) { join(t[i]); }
+        output(done_count);
+        return 0;
+      }|}
+  in
+  let o = run ~cores:2 src in
+  Alcotest.(check (list int)) "8 threads on 2 cores" [ 8 ] (outputs o)
+
+let test_parallel_speedup () =
+  (* embarrassingly parallel work must get faster with more cores *)
+  let src =
+    {|int sink[4];
+      int ids[4];
+      void w(int *idp) {
+        int i; int x; int id;
+        id = *idp; x = 0;
+        for (i = 0; i < 200; i++) { x = x + i; }
+        sink[id] = x;
+      }
+      int main() {
+        int t[4]; int i;
+        for (i = 0; i < 4; i++) { ids[i] = i; t[i] = spawn(w, &ids[i]); }
+        for (i = 0; i < 4; i++) { join(t[i]); }
+        output(sink[0] + sink[3]);
+        return 0;
+      }|}
+  in
+  let one = run ~cores:1 src and four = run ~cores:4 src in
+  Alcotest.(check (list int)) "same result" (outputs one) (outputs four);
+  Alcotest.(check bool)
+    (Fmt.str "4 cores faster: %d vs %d" four.o_ticks one.o_ticks)
+    true
+    (float_of_int four.o_ticks < 0.45 *. float_of_int one.o_ticks)
+
+let test_io_latency_overlap () =
+  (* a compute thread should hide a network wait *)
+  let src =
+    {|int buf[8];
+      int out = 0;
+      void reader(int *u) { int got; got = net_read(buf, 8); out = got; }
+      int main() {
+        int t; int i; int x; x = 0;
+        t = spawn(reader, &out);
+        for (i = 0; i < 50; i++) { x = x + i; }
+        join(t);
+        output(out);
+        output(x);
+        return 0;
+      }|}
+  in
+  let o = run src in
+  Alcotest.(check bool) "read returned data" true
+    (match outputs o with got :: _ -> got > 0 | [] -> false);
+  (* total time ≈ network latency, not latency + compute *)
+  Alcotest.(check bool) "latency dominates" true
+    (o.o_ticks < Interp.Engine.default_config.cost.l_net + 2500)
+
+let test_weak_timeout_breaks_deadlock () =
+  (* hand-instrumented program: a weak lock held across a mutex acquire
+     that another thread owns while wanting the weak lock — the paper's
+     deadlock case, resolved by timeout-preemption *)
+  let p =
+    parse
+      {|int m; int x; int y;
+        void a(int *u) { lock(&m); x = 1; unlock(&m); }
+        void b(int *u) { lock(&m); y = 1; unlock(&m); }
+        int main() { int t1; int t2;
+          t1 = spawn(a, &x); t2 = spawn(b, &y);
+          join(t1); join(t2);
+          output(x + y);
+          return 0; }|}
+  in
+  (* wrap each worker body in a total weak-lock region by hand *)
+  let wlock = { Minic.Ast.wl_id = 0; wl_gran = Minic.Ast.Gbb } in
+  let wrap (fd : Minic.Ast.fundec) =
+    if fd.f_name = "a" || fd.f_name = "b" then
+      {
+        fd with
+        f_body =
+          Minic.Ast.Fresh.stmt (WeakEnter [ { wa_lock = wlock; wa_ranges = [] } ])
+          :: fd.f_body
+          @ [ Minic.Ast.Fresh.stmt (WeakExit [ wlock ]) ];
+      }
+    else fd
+  in
+  Minic.Ast.Fresh.reset_from p;
+  let p = { p with p_funs = List.map wrap p.p_funs } in
+  let config =
+    { Interp.Engine.default_config with seed = 3; cores = 4; weak_timeout = 500 }
+  in
+  let io = Interp.Iomodel.random ~seed:1 in
+  let o = Interp.Engine.run ~config ~mode:Interp.Engine.Record ~io p in
+  Alcotest.(check bool) "completes despite weak/mutex interleaving" false
+    o.o_timed_out;
+  Alcotest.(check (list int)) "result" [ 2 ] (outputs o)
+
+let suite =
+  [
+    Alcotest.test_case "arith" `Quick test_arith;
+    Alcotest.test_case "shortcut eval" `Quick test_shortcut_eval;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "2d arrays" `Quick test_2d_arrays;
+    Alcotest.test_case "structs" `Quick test_structs;
+    Alcotest.test_case "pointer arithmetic" `Quick test_pointers;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "break/continue" `Quick test_break_continue;
+    Alcotest.test_case "global init" `Quick test_globals_initialized;
+    Alcotest.test_case "malloc/free" `Quick test_malloc;
+    Alcotest.test_case "fault: out of bounds" `Quick test_fault_oob;
+    Alcotest.test_case "fault: div by zero" `Quick test_fault_div0;
+    Alcotest.test_case "fault: use after free" `Quick test_fault_use_after_free;
+    Alcotest.test_case "exit" `Quick test_exit_builtin;
+    Alcotest.test_case "determinism per seed" `Quick test_same_seed_same_outcome;
+    Alcotest.test_case "racy divergence across seeds" `Quick
+      test_races_diverge_across_seeds;
+    Alcotest.test_case "mutex protects" `Quick test_mutex_protects;
+    Alcotest.test_case "barrier phases" `Quick test_barrier_phases;
+    Alcotest.test_case "cond producer/consumer" `Quick test_cond_producer_consumer;
+    Alcotest.test_case "spawn/join" `Quick test_spawn_arg_and_tids;
+    Alcotest.test_case "threads > cores" `Quick test_more_threads_than_cores;
+    Alcotest.test_case "parallel speedup" `Quick test_parallel_speedup;
+    Alcotest.test_case "io latency overlap" `Quick test_io_latency_overlap;
+    Alcotest.test_case "weak timeout breaks deadlock" `Quick
+      test_weak_timeout_breaks_deadlock;
+  ]

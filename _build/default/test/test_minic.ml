@@ -1,0 +1,348 @@
+(** Tests for the MiniC front end: lexer, parser, pretty-printer
+    roundtrip, typechecker, CFG/dominators/loops, call graph. *)
+
+open Minic
+
+let parse src = Typecheck.parse_and_check ~file:"test.mc" src
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "int x = 40 + 2; // comment\nx += 1;" in
+  let kinds = List.map fst toks in
+  Alcotest.(check int) "token count" 12 (List.length kinds);
+  Alcotest.(check bool) "starts with int" true (List.hd kinds = Lexer.KW_INT)
+
+let test_lexer_operators () =
+  let toks = Lexer.tokenize "-> << >> == != <= >= && || ++ --" in
+  let kinds = List.map fst toks in
+  Alcotest.(check int) "11 operators + eof" 12 (List.length kinds);
+  Alcotest.(check bool) "arrow first" true (List.hd kinds = Lexer.ARROW)
+
+let test_lexer_comments () =
+  let toks = Lexer.tokenize "/* multi \n line */ x // rest\n y" in
+  Alcotest.(check int) "two idents + eof" 3 (List.length toks)
+
+let test_lexer_line_numbers () =
+  let toks = Lexer.tokenize "a\nb\n\nc" in
+  let lines = List.map snd toks in
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 4; 4 ] lines
+
+let test_lexer_error () =
+  Alcotest.check_raises "unexpected char"
+    (Lexer.Lex_error ("unexpected character '@'", 1))
+    (fun () -> ignore (Lexer.tokenize "@"))
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_minimal () =
+  let p = parse "int main() { return 0; }" in
+  Alcotest.(check int) "one function" 1 (List.length p.Ast.p_funs)
+
+let test_parse_globals () =
+  let p =
+    parse
+      "int g = 5; int arr[10]; int init[3] = {1, 2, 3};\nint main() { return g; }"
+  in
+  Alcotest.(check int) "three globals" 3 (List.length p.Ast.p_globals);
+  let init = Option.get (Ast.find_global p "init") in
+  Alcotest.(check (option (list int))) "initializer" (Some [ 1; 2; 3 ]) init.g_init
+
+let test_parse_struct () =
+  let p =
+    parse
+      {|struct pair { int a; int b; };
+        struct pair g;
+        int main() { g.a = 1; g.b = g.a + 2; return g.b; }|}
+  in
+  let s = Option.get (Ast.find_struct p "pair") in
+  Alcotest.(check int) "two fields" 2 (List.length s.s_fields);
+  Alcotest.(check int) "struct size" 2 (Ast.sizeof p.p_structs (Tstruct "pair"))
+
+let test_parse_for_induction () =
+  let p = parse "int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) { s = s + i; } return s; }" in
+  let main = Option.get (Ast.find_fun p "main") in
+  let found = ref None in
+  Ast.iter_stmts
+    (fun s ->
+      match s.skind with
+      | While (_, _, li) -> found := li.l_induction
+      | _ -> ())
+    main.f_body;
+  match !found with
+  | Some ind ->
+      Alcotest.(check string) "iv var" "i" ind.iv_var;
+      Alcotest.(check bool) "strict" true ind.iv_strict
+  | None -> Alcotest.fail "for loop lost its induction info"
+
+let test_parse_fn_ptr () =
+  let p =
+    parse
+      {|int twice(int x) { return x + x; }
+        int main() { int (*fp)(int); int r; fp = twice; r = fp(21); return r; }|}
+  in
+  let main = Option.get (Ast.find_fun p "main") in
+  (* the typechecker must rewrite fp(21) into a ViaPtr call *)
+  let has_viaptr = ref false in
+  Ast.iter_stmts
+    (fun s ->
+      match s.skind with
+      | Call (_, ViaPtr _, _) -> has_viaptr := true
+      | _ -> ())
+    main.f_body;
+  Alcotest.(check bool) "indirect call resolved" true !has_viaptr
+
+let test_parse_precedence () =
+  let p = parse "int main() { int x; x = 2 + 3 * 4; return x; }" in
+  let main = Option.get (Ast.find_fun p "main") in
+  let ok = ref false in
+  Ast.iter_stmts
+    (fun s ->
+      match s.skind with
+      | Assign (Var "x", Binop (Add, Const 2, Binop (Mul, Const 3, Const 4))) ->
+          ok := true
+      | _ -> ())
+    main.f_body;
+  Alcotest.(check bool) "mul binds tighter" true !ok
+
+let test_parse_error_reports_line () =
+  match Parser.parse ~file:"t" "int main() {\n  return 0\n}" with
+  | exception Parser.Parse_error (_, line) ->
+      Alcotest.(check int) "error line" 3 line
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_unique_sids () =
+  let src = (Bench_progs.Registry.by_name "radix").b_source ~workers:2 ~scale:2 in
+  let p = Minic.Parser.parse src in
+  let seen = Hashtbl.create 64 in
+  Ast.iter_program_stmts
+    (fun s ->
+      Alcotest.(check bool)
+        (Fmt.str "sid %d unique" s.sid)
+        false (Hashtbl.mem seen s.sid);
+      Hashtbl.replace seen s.sid ())
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer roundtrip *)
+
+let roundtrip_ok src =
+  let p1 = parse src in
+  let printed = Pretty.program_to_string p1 in
+  let p2 =
+    try Typecheck.check (Parser.parse ~file:"printed" printed)
+    with e ->
+      Alcotest.failf "reparse failed: %s@.--- printed:@.%s" (Printexc.to_string e)
+        printed
+  in
+  (* compare structure after erasing sids/locs *)
+  let norm p = Pretty.program_to_string p in
+  Alcotest.(check string) "print . parse . print stable" printed (norm p2)
+
+let test_roundtrip_benchmarks () =
+  List.iter
+    (fun (b : Bench_progs.Registry.bench) ->
+      roundtrip_ok (b.b_source ~workers:3 ~scale:2))
+    Bench_progs.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Typechecker *)
+
+let test_typecheck_rejects_unbound () =
+  match parse "int main() { x = 1; return 0; }" with
+  | exception Typecheck.Type_error _ -> ()
+  | _ -> Alcotest.fail "unbound variable accepted"
+
+let test_typecheck_rejects_bad_arity () =
+  match
+    parse "void f(int a, int b) { } int main() { f(1); return 0; }"
+  with
+  | exception Typecheck.Type_error _ -> ()
+  | _ -> Alcotest.fail "bad arity accepted"
+
+let test_typecheck_rejects_missing_main () =
+  match parse "int f() { return 1; }" with
+  | exception Typecheck.Type_error _ -> ()
+  | _ -> Alcotest.fail "missing main accepted"
+
+let test_typecheck_rejects_unknown_field () =
+  match
+    parse
+      "struct s { int a; }; struct s g; int main() { g.b = 1; return 0; }"
+  with
+  | exception Typecheck.Type_error _ -> ()
+  | _ -> Alcotest.fail "unknown field accepted"
+
+let test_typecheck_types () =
+  let p =
+    parse
+      {|struct s { int a; int b; };
+        struct s arr[4];
+        int main() { int *p; p = &arr[1].b; return *p; }|}
+  in
+  let env = Typecheck.env_of_program p in
+  let main = Option.get (Ast.find_fun p "main") in
+  let fenv = Typecheck.fun_env env main in
+  Alcotest.(check bool) "p : int*" true
+    (Typecheck.type_of_lval fenv (Var "p") = Tptr Tint);
+  Alcotest.(check int) "field offset b" 1
+    (fst (Ast.field_offset p.p_structs "s" "b"))
+
+(* ------------------------------------------------------------------ *)
+(* CFG *)
+
+let cfg_of src fname =
+  let p = parse src in
+  Cfg.build (Option.get (Ast.find_fun p fname))
+
+let test_cfg_linear () =
+  let cfg = cfg_of "int main() { int x; x = 1; x = 2; return x; }" "main" in
+  Alcotest.(check (list int)) "no loops" []
+    (List.map fst (Cfg.loops cfg))
+
+let test_cfg_loop_detected () =
+  let cfg =
+    cfg_of "int main() { int i; for (i = 0; i < 3; i++) { i = i; } return i; }"
+      "main"
+  in
+  Alcotest.(check int) "one natural loop" 1 (List.length (Cfg.loops cfg))
+
+let test_cfg_nested_loops () =
+  let cfg =
+    cfg_of
+      {|int main() {
+          int i; int j; int s; s = 0;
+          for (i = 0; i < 3; i++) { for (j = 0; j < 3; j++) { s = s + 1; } }
+          return s;
+        }|}
+      "main"
+  in
+  let loops = Cfg.loops cfg in
+  Alcotest.(check int) "two natural loops" 2 (List.length loops);
+  (* the outer loop body contains the inner loop's nodes *)
+  let sizes = List.sort compare (List.map (fun (_, ns) -> List.length ns) loops) in
+  Alcotest.(check bool) "outer strictly larger" true
+    (List.nth sizes 0 < List.nth sizes 1)
+
+let test_cfg_dominators () =
+  let cfg =
+    cfg_of
+      {|int main() {
+          int x; x = 0;
+          if (x) { x = 1; } else { x = 2; }
+          return x;
+        }|}
+      "main"
+  in
+  let doms = Cfg.idom cfg in
+  (* entry dominates everything reachable *)
+  Array.iteri
+    (fun i d ->
+      if d >= 0 then
+        Alcotest.(check bool)
+          (Fmt.str "entry dominates %d" i)
+          true
+          (Cfg.dominates doms cfg.c_entry i))
+    doms
+
+let test_cfg_break_exits_loop () =
+  let cfg =
+    cfg_of
+      {|int main() {
+          int i; i = 0;
+          while (1) { i = i + 1; if (i > 3) { break; } }
+          return i;
+        }|}
+      "main"
+  in
+  (* loop must still be found, and the exit node reachable *)
+  Alcotest.(check int) "loop found" 1 (List.length (Cfg.loops cfg))
+
+(* ------------------------------------------------------------------ *)
+(* Call graph *)
+
+let test_callgraph_direct () =
+  let p =
+    parse
+      {|void a() { }
+        void b() { a(); }
+        int main() { b(); return 0; }|}
+  in
+  let cg = Callgraph.build p in
+  Alcotest.(check (list string)) "main reaches all" [ "a"; "b"; "main" ]
+    (Callgraph.reachable_from cg "main")
+
+let test_callgraph_spawn_roots () =
+  let p =
+    parse
+      {|void w(int *x) { *x = 1; }
+        int main() { int v; int t; t = spawn(w, &v); join(t); return v; }|}
+  in
+  let cg = Callgraph.build p in
+  Alcotest.(check (list string)) "roots" [ "main"; "w" ] cg.cg_roots;
+  Alcotest.(check bool) "w spawned once" false
+    (Callgraph.root_multiply_spawned cg "w")
+
+let test_callgraph_multi_spawn () =
+  let p =
+    parse
+      {|void w(int *x) { *x = 1; }
+        int main() {
+          int v; int i; int t;
+          for (i = 0; i < 2; i++) { t = spawn(w, &v); }
+          join(t);
+          return v;
+        }|}
+  in
+  let cg = Callgraph.build p in
+  Alcotest.(check bool) "w spawned in loop" true
+    (Callgraph.root_multiply_spawned cg "w")
+
+let test_callgraph_bottom_up () =
+  let p =
+    parse
+      {|void leaf() { }
+        void mid() { leaf(); }
+        int main() { mid(); return 0; }|}
+  in
+  let cg = Callgraph.build p in
+  let order = Callgraph.bottom_up_order cg p in
+  let pos f = Option.get (List.find_index (String.equal f) order) in
+  Alcotest.(check bool) "leaf before mid" true (pos "leaf" < pos "mid");
+  Alcotest.(check bool) "mid before main" true (pos "mid" < pos "main")
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "lexer: tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer: operators" `Quick test_lexer_operators;
+    Alcotest.test_case "lexer: comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer: line numbers" `Quick test_lexer_line_numbers;
+    Alcotest.test_case "lexer: error" `Quick test_lexer_error;
+    Alcotest.test_case "parser: minimal" `Quick test_parse_minimal;
+    Alcotest.test_case "parser: globals" `Quick test_parse_globals;
+    Alcotest.test_case "parser: struct" `Quick test_parse_struct;
+    Alcotest.test_case "parser: for induction" `Quick test_parse_for_induction;
+    Alcotest.test_case "parser: fn pointer" `Quick test_parse_fn_ptr;
+    Alcotest.test_case "parser: precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parser: error line" `Quick test_parse_error_reports_line;
+    Alcotest.test_case "parser: unique sids" `Quick test_unique_sids;
+    Alcotest.test_case "pretty: benchmark roundtrips" `Quick test_roundtrip_benchmarks;
+    Alcotest.test_case "typecheck: unbound var" `Quick test_typecheck_rejects_unbound;
+    Alcotest.test_case "typecheck: arity" `Quick test_typecheck_rejects_bad_arity;
+    Alcotest.test_case "typecheck: missing main" `Quick test_typecheck_rejects_missing_main;
+    Alcotest.test_case "typecheck: unknown field" `Quick test_typecheck_rejects_unknown_field;
+    Alcotest.test_case "typecheck: types" `Quick test_typecheck_types;
+    Alcotest.test_case "cfg: linear" `Quick test_cfg_linear;
+    Alcotest.test_case "cfg: loop detection" `Quick test_cfg_loop_detected;
+    Alcotest.test_case "cfg: nested loops" `Quick test_cfg_nested_loops;
+    Alcotest.test_case "cfg: dominators" `Quick test_cfg_dominators;
+    Alcotest.test_case "cfg: break" `Quick test_cfg_break_exits_loop;
+    Alcotest.test_case "callgraph: direct" `Quick test_callgraph_direct;
+    Alcotest.test_case "callgraph: spawn roots" `Quick test_callgraph_spawn_roots;
+    Alcotest.test_case "callgraph: multi spawn" `Quick test_callgraph_multi_spawn;
+    Alcotest.test_case "callgraph: bottom-up order" `Quick test_callgraph_bottom_up;
+  ]

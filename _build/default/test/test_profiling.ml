@@ -1,0 +1,123 @@
+(** Tests for the off-line profiler: concurrent-function-pair detection
+    and loop body-size measurement. *)
+
+let parse src = Minic.Typecheck.parse_and_check ~file:"test.mc" src
+
+let profile ?(runs = 5) src =
+  Profiling.Profile.profile_many
+    ~io_of:(fun i -> Interp.Iomodel.random ~seed:(20 + i))
+    ~runs (parse src)
+
+let test_workers_concurrent () =
+  let prof =
+    profile
+      {|int g;
+        void w(int *u) { int i; for (i = 0; i < 40; i++) { g = g + 1; } }
+        int main() { int t1; int t2;
+          t1 = spawn(w, &g); t2 = spawn(w, &g);
+          join(t1); join(t2); return g; }|}
+  in
+  Alcotest.(check bool) "(w,w) observed concurrent" true
+    (Profiling.Profile.concurrent prof "w" "w");
+  Alcotest.(check bool) "(main,w) observed concurrent" true
+    (Profiling.Profile.concurrent prof "main" "w")
+
+let test_fork_ordered_never_concurrent () =
+  let prof =
+    profile
+      {|int g;
+        void before() { g = 1; }
+        void after() { g = g + 1; }
+        void w(int *u) { g = g * 2; }
+        int main() { int t;
+          before();
+          t = spawn(w, &g);
+          join(t);
+          after();
+          return g; }|}
+  in
+  Alcotest.(check bool) "(before,w) never concurrent" false
+    (Profiling.Profile.concurrent prof "before" "w");
+  Alcotest.(check bool) "(after,w) never concurrent" false
+    (Profiling.Profile.concurrent prof "after" "w")
+
+let test_barrier_phases_never_concurrent () =
+  (* the water pattern: interf and bndry are barrier-separated *)
+  let prof =
+    profile
+      {|int x; int bar;
+        void interf(int id) { int i; for (i = 0; i < 20; i++) { x = x + i; } }
+        void bndry(int id) { int i; for (i = 0; i < 20; i++) { x = x - i; } }
+        void w(int *idp) {
+          interf(*idp);
+          barrier_wait(&bar);
+          bndry(*idp);
+        }
+        int main() { int t1; int t2; int i1; int i2;
+          i1 = 1; i2 = 2;
+          barrier_init(&bar, 2);
+          t1 = spawn(w, &i1); t2 = spawn(w, &i2);
+          join(t1); join(t2); return x; }|}
+  in
+  Alcotest.(check bool) "(interf,interf) concurrent" true
+    (Profiling.Profile.concurrent prof "interf" "interf");
+  Alcotest.(check bool) "(interf,bndry) never concurrent" false
+    (Profiling.Profile.concurrent prof "interf" "bndry")
+
+let test_loop_body_size () =
+  let src =
+    {|int a[100];
+      int main() {
+        int i;
+        for (i = 0; i < 50; i++) { a[i] = i; a[i] = a[i] * 2; }
+        return a[0];
+      }|}
+  in
+  let p = parse src in
+  let prof = Profiling.Profile.create () in
+  let _ =
+    Profiling.Profile.profile_run ~io:(Interp.Iomodel.random ~seed:1) prof p
+  in
+  (* the single loop: body executes 2 assignments + the increment *)
+  let lid =
+    let found = ref None in
+    Minic.Ast.iter_program_stmts
+      (fun s ->
+        match s.skind with
+        | Minic.Ast.While (_, _, li) -> found := Some li.lid
+        | _ -> ())
+      p;
+    Option.get !found
+  in
+  match Profiling.Profile.avg_loop_body prof lid with
+  | Some avg ->
+      Alcotest.(check bool) (Fmt.str "avg body %.1f in [2,5]" avg) true
+        (avg >= 2. && avg <= 5.)
+  | None -> Alcotest.fail "loop never profiled"
+
+let test_saturation () =
+  (* the Section 7.3 sensitivity property: pairs saturate after few runs *)
+  let src =
+    {|int g;
+      void a(int *u) { int i; for (i = 0; i < 30; i++) { g = g + 1; } }
+      void b(int *u) { int i; for (i = 0; i < 30; i++) { g = g - 1; } }
+      int main() { int t1; int t2;
+        t1 = spawn(a, &g); t2 = spawn(b, &g);
+        join(t1); join(t2); return g; }|}
+  in
+  let after n =
+    Profiling.Profile.n_concurrent_pairs (profile ~runs:n src)
+  in
+  let p3 = after 3 and p10 = after 10 in
+  Alcotest.(check int) "saturated by run 3" p3 p10
+
+let suite =
+  [
+    Alcotest.test_case "workers concurrent" `Quick test_workers_concurrent;
+    Alcotest.test_case "fork-ordered non-concurrent" `Quick
+      test_fork_ordered_never_concurrent;
+    Alcotest.test_case "barrier phases non-concurrent (Fig 2)" `Quick
+      test_barrier_phases_never_concurrent;
+    Alcotest.test_case "loop body size" `Quick test_loop_body_size;
+    Alcotest.test_case "profile saturation" `Quick test_saturation;
+  ]

@@ -1,0 +1,248 @@
+(** Tests for the RELAY static race detector: lockset reasoning, summary
+    composition, thread-root logic, the heapified-local escape filter, and
+    the deliberate sources of imprecision the paper's optimizations
+    target. *)
+
+let parse src = Minic.Typecheck.parse_and_check ~file:"test.mc" src
+
+let report src = snd (Relay.Detect.analyze (parse src))
+
+let race_between (r : Relay.Detect.report) f g =
+  List.exists
+    (fun (rp : Relay.Detect.race_pair) ->
+      (rp.rp_s1.st_fname = f && rp.rp_s2.st_fname = g)
+      || (rp.rp_s1.st_fname = g && rp.rp_s2.st_fname = f))
+    r.races
+
+let test_unprotected_counter_races () =
+  let r =
+    report
+      {|int counter;
+        void w(int *u) { counter = counter + 1; }
+        int main() { int t1; int t2;
+          t1 = spawn(w, &counter); t2 = spawn(w, &counter);
+          join(t1); join(t2); return counter; }|}
+  in
+  Alcotest.(check bool) "w races with itself" true (race_between r "w" "w")
+
+let test_locked_counter_no_self_race () =
+  let r =
+    report
+      {|int counter; int m;
+        void w(int *u) { lock(&m); counter = counter + 1; unlock(&m); }
+        int main() { int t1; int t2;
+          t1 = spawn(w, &counter); t2 = spawn(w, &counter);
+          join(t1); join(t2); return counter; }|}
+  in
+  Alcotest.(check bool) "consistently locked: no w-w race" false
+    (race_between r "w" "w")
+
+let test_different_locks_race () =
+  let r =
+    report
+      {|int counter; int m1; int m2;
+        void a(int *u) { lock(&m1); counter = counter + 1; unlock(&m1); }
+        void b(int *u) { lock(&m2); counter = counter + 1; unlock(&m2); }
+        int main() { int t1; int t2;
+          t1 = spawn(a, &counter); t2 = spawn(b, &counter);
+          join(t1); join(t2); return counter; }|}
+  in
+  Alcotest.(check bool) "disjoint locksets race" true (race_between r "a" "b")
+
+let test_lock_through_callee () =
+  (* summary composition: the callee's accesses inherit the caller's
+     lockset *)
+  let r =
+    report
+      {|int counter; int m;
+        void bump() { counter = counter + 1; }
+        void w(int *u) { lock(&m); bump(); unlock(&m); }
+        int main() { int t1; int t2;
+          t1 = spawn(w, &counter); t2 = spawn(w, &counter);
+          join(t1); join(t2); return counter; }|}
+  in
+  Alcotest.(check bool) "callee protected by caller's lock" false
+    (race_between r "bump" "bump")
+
+let test_lock_acquired_in_callee () =
+  (* the callee's lock effect must flow back to the caller *)
+  let r =
+    report
+      {|int counter; int m;
+        void take() { lock(&m); }
+        void drop() { unlock(&m); }
+        void w(int *u) { take(); counter = counter + 1; drop(); }
+        int main() { int t1; int t2;
+          t1 = spawn(w, &counter); t2 = spawn(w, &counter);
+          join(t1); join(t2); return counter; }|}
+  in
+  Alcotest.(check bool) "lock effect composes bottom-up" false
+    (race_between r "w" "w")
+
+let test_fork_join_false_positive () =
+  (* RELAY ignores fork/join: init-vs-worker is reported even though it is
+     ordered — the deliberate imprecision profiling later recovers *)
+  let r =
+    report
+      {|int data;
+        void w(int *u) { data = data + 1; }
+        int main() { int t;
+          data = 5;
+          t = spawn(w, &data);
+          join(t);
+          return data; }|}
+  in
+  Alcotest.(check bool) "fork-ordered write still reported" true
+    (race_between r "main" "w")
+
+let test_barrier_false_positive () =
+  (* the water pattern of Figure 2: barrier-separated phases still race
+     statically *)
+  let r =
+    report
+      {|int x; int bar;
+        void interf(int id) { x = x + id; }
+        void bndry(int id) { x = x / 2; }
+        void w(int *idp) { interf(*idp); barrier_wait(&bar); bndry(*idp); }
+        int main() { int t1; int t2; int i1; int i2;
+          i1 = 1; i2 = 2;
+          barrier_init(&bar, 2);
+          t1 = spawn(w, &i1); t2 = spawn(w, &i2);
+          join(t1); join(t2); return x; }|}
+  in
+  Alcotest.(check bool) "barrier-separated functions reported racy" true
+    (race_between r "interf" "bndry")
+
+let test_single_thread_no_race () =
+  let r =
+    report
+      {|int g;
+        void f() { g = g + 1; }
+        int main() { f(); f(); return g; }|}
+  in
+  Alcotest.(check int) "no threads, no races" 0 (List.length r.races)
+
+let test_escape_filter () =
+  (* locals that never escape cannot race even when the function runs in
+     many threads *)
+  let r =
+    report
+      {|int sink;
+        void w(int *u) { int local; local = 1; local = local + 1; sink = local; }
+        int main() { int t1; int t2;
+          t1 = spawn(w, &sink); t2 = spawn(w, &sink);
+          join(t1); join(t2); return sink; }|}
+  in
+  let local_race =
+    List.exists
+      (fun (rp : Relay.Detect.race_pair) ->
+        List.exists
+          (function
+            | Pointer.Absloc.ALocal (_, "local") -> true
+            | _ -> false)
+          rp.rp_objs)
+      r.races
+  in
+  Alcotest.(check bool) "non-escaping local filtered" false local_race;
+  Alcotest.(check bool) "sink still races" true
+    (List.exists
+       (fun (rp : Relay.Detect.race_pair) ->
+         List.exists (( = ) (Pointer.Absloc.AGlobal "sink")) rp.rp_objs)
+       r.races)
+
+let test_escaped_local_races () =
+  (* a local whose address escapes through the spawn argument must be
+     reported *)
+  let r =
+    report
+      {|void w(int *p) { *p = *p + 1; }
+        int main() { int shared; int t1; int t2;
+          shared = 0;
+          t1 = spawn(w, &shared); t2 = spawn(w, &shared);
+          join(t1); join(t2);
+          return shared; }|}
+  in
+  let shared_race =
+    List.exists
+      (fun (rp : Relay.Detect.race_pair) ->
+        List.exists
+          (function
+            | Pointer.Absloc.ALocal ("main", "shared") -> true
+            | _ -> false)
+          rp.rp_objs)
+      r.races
+  in
+  Alcotest.(check bool) "escaped local reported" true shared_race
+
+let test_read_read_no_race () =
+  let r =
+    report
+      {|int g = 7;
+        int out1; int out2;
+        void w1(int *u) { out1 = g; }
+        void w2(int *u) { out2 = g; }
+        int main() { int t1; int t2;
+          t1 = spawn(w1, &g); t2 = spawn(w2, &g);
+          join(t1); join(t2); return out1 + out2; }|}
+  in
+  let g_race =
+    List.exists
+      (fun (rp : Relay.Detect.race_pair) ->
+        List.exists (( = ) (Pointer.Absloc.AGlobal "g")) rp.rp_objs)
+      r.races
+  in
+  Alcotest.(check bool) "read-read not a race" false g_race
+
+let test_racy_sids_cover_pairs () =
+  let r =
+    report
+      {|int a; int b;
+        void w(int *u) { a = a + 1; b = b + 1; }
+        int main() { int t1; int t2;
+          t1 = spawn(w, &a); t2 = spawn(w, &a);
+          join(t1); join(t2); return a + b; }|}
+  in
+  List.iter
+    (fun (rp : Relay.Detect.race_pair) ->
+      Alcotest.(check bool) "s1 in racy_sids" true
+        (Hashtbl.mem r.racy_sids rp.rp_s1.st_sid);
+      Alcotest.(check bool) "s2 in racy_sids" true
+        (Hashtbl.mem r.racy_sids rp.rp_s2.st_sid))
+    r.races
+
+let test_netread_buffer_write_detected () =
+  (* net_read writes its buffer: two workers reading into one shared
+     buffer must race *)
+  let r =
+    report
+      {|int buf[64];
+        void w(int *u) { int got; got = net_read(buf, 32); }
+        int main() { int t1; int t2;
+          t1 = spawn(w, &buf[0]); t2 = spawn(w, &buf[0]);
+          join(t1); join(t2); return buf[0]; }|}
+  in
+  let buf_race =
+    List.exists
+      (fun (rp : Relay.Detect.race_pair) ->
+        List.exists (( = ) (Pointer.Absloc.AGlobal "buf")) rp.rp_objs)
+      r.races
+  in
+  Alcotest.(check bool) "syscall buffer write races" true buf_race
+
+let suite =
+  [
+    Alcotest.test_case "unprotected counter" `Quick test_unprotected_counter_races;
+    Alcotest.test_case "locked counter" `Quick test_locked_counter_no_self_race;
+    Alcotest.test_case "different locks" `Quick test_different_locks_race;
+    Alcotest.test_case "lock through callee" `Quick test_lock_through_callee;
+    Alcotest.test_case "lock acquired in callee" `Quick test_lock_acquired_in_callee;
+    Alcotest.test_case "fork-join false positive" `Quick test_fork_join_false_positive;
+    Alcotest.test_case "barrier false positive (Fig 2)" `Quick
+      test_barrier_false_positive;
+    Alcotest.test_case "single thread" `Quick test_single_thread_no_race;
+    Alcotest.test_case "escape filter" `Quick test_escape_filter;
+    Alcotest.test_case "escaped local races" `Quick test_escaped_local_races;
+    Alcotest.test_case "read-read" `Quick test_read_read_no_race;
+    Alcotest.test_case "racy sids cover pairs" `Quick test_racy_sids_cover_pairs;
+    Alcotest.test_case "syscall buffer write" `Quick test_netread_buffer_write_detected;
+  ]

@@ -1,0 +1,184 @@
+(** Tests for log serialization (roundtrip, including a qcheck property),
+    the recorder counters, replayer cursors, and the conflicting-order
+    gating rule for range-claimed weak locks. *)
+
+open Runtime
+
+let wl id gran = { Minic.Ast.wl_id = id; wl_gran = gran }
+
+let addr name off = { Key.a_origin = Key.OGlobal name; a_off = off }
+
+let sr ?(write = true) name lo hi =
+  { Replay.Log.sr_origin = Key.OGlobal name; sr_lo = lo; sr_hi = hi;
+    sr_write = write }
+
+(* ------------------------------------------------------------------ *)
+
+let build_sample () =
+  let rc = Replay.Recorder.create () in
+  Replay.Recorder.rec_input rc ~tp:[] [ 1; 2; 3 ];
+  Replay.Recorder.rec_input rc ~tp:[ 0 ] [];
+  Replay.Recorder.rec_input rc ~tp:[] [ 42 ];
+  Replay.Recorder.rec_sync rc ~obj:(addr "m" 0) ~op:Replay.Log.SMutexAcq ~tp:[ 0 ];
+  Replay.Recorder.rec_sync rc ~obj:(addr "m" 0) ~op:Replay.Log.SMutexRel ~tp:[ 0 ];
+  Replay.Recorder.rec_sync rc ~obj:(addr "b" 2) ~op:Replay.Log.SBarrierWait ~tp:[ 1 ];
+  Replay.Recorder.rec_weak rc ~lock:(wl 3 Gloop) ~tp:[ 0 ]
+    ~claim:[ sr "rank" 0 7 ];
+  Replay.Recorder.rec_weak rc ~lock:(wl 3 Gloop) ~tp:[ 1 ]
+    ~claim:[ sr "rank" 8 15 ];
+  Replay.Recorder.rec_weak rc ~lock:(wl 0 Gfunc) ~tp:[] ~claim:[];
+  Replay.Recorder.rec_forced rc ~owner:[ 1 ] ~steps:777 ~lock:(wl 3 Gloop);
+  Replay.Recorder.rec_sched rc ~core:0 ~tp:[] ~ticks:5;
+  Replay.Recorder.rec_sched rc ~core:0 ~tp:[] ~ticks:3;
+  Replay.Recorder.rec_sched rc ~core:1 ~tp:[ 0 ] ~ticks:2;
+  rc
+
+let test_roundtrip () =
+  let rc = build_sample () in
+  let log = rc.Replay.Recorder.log in
+  let i = Replay.Log.encode_input_log log in
+  let o = Replay.Log.encode_order_log log in
+  let log' = Replay.Log.decode i o in
+  let i' = Replay.Log.encode_input_log log' in
+  let o' = Replay.Log.encode_order_log log' in
+  Alcotest.(check string) "input log stable" i i';
+  Alcotest.(check string) "order log stable" o o'
+
+let test_counters () =
+  let rc = build_sample () in
+  Alcotest.(check int) "syscalls" 3 rc.Replay.Recorder.n_syscalls;
+  Alcotest.(check int) "sync ops" 3 rc.Replay.Recorder.n_sync_ops;
+  let f, l, b, i = Replay.Recorder.weak_counts rc in
+  Alcotest.(check (list int)) "weak by gran" [ 1; 2; 0; 0 ] [ f; l; b; i ];
+  Alcotest.(check int) "forced" 1 rc.Replay.Recorder.n_forced
+
+let test_sched_merge () =
+  let rc = build_sample () in
+  Alcotest.(check int) "adjacent same-core segments merged" 2
+    (List.length rc.Replay.Recorder.log.sched)
+
+let test_replayer_inputs () =
+  let rc = build_sample () in
+  let r = Replay.Replayer.of_log rc.Replay.Recorder.log in
+  Alcotest.(check (option (list int))) "first burst" (Some [ 1; 2; 3 ])
+    (Replay.Replayer.take_input r []);
+  Alcotest.(check (option (list int))) "second burst" (Some [ 42 ])
+    (Replay.Replayer.take_input r []);
+  Alcotest.(check (option (list int))) "exhausted" None
+    (Replay.Replayer.take_input r []);
+  Alcotest.(check (option (list int))) "other thread empty burst" (Some [])
+    (Replay.Replayer.take_input r [ 0 ])
+
+let test_replayer_sync_order () =
+  let rc = build_sample () in
+  let r = Replay.Replayer.of_log rc.Replay.Recorder.log in
+  (match Replay.Replayer.peek_sync r (addr "m" 0) with
+  | Some (Replay.Log.SMutexAcq, [ 0 ]) -> ()
+  | _ -> Alcotest.fail "wrong head");
+  Replay.Replayer.advance_sync r (addr "m" 0);
+  (match Replay.Replayer.peek_sync r (addr "m" 0) with
+  | Some (Replay.Log.SMutexRel, [ 0 ]) -> ()
+  | _ -> Alcotest.fail "wrong second");
+  Alcotest.(check bool) "unknown object unconstrained" true
+    (Replay.Replayer.peek_sync r (addr "zzz" 0) = None)
+
+let test_weak_turn_conflict_rules () =
+  let rc = Replay.Recorder.create () in
+  let l = wl 5 Gloop in
+  (* order: A[0..7], B[8..15], C total, A[0..7] *)
+  Replay.Recorder.rec_weak rc ~lock:l ~tp:[ 0 ] ~claim:[ sr "a" 0 7 ];
+  Replay.Recorder.rec_weak rc ~lock:l ~tp:[ 1 ] ~claim:[ sr "a" 8 15 ];
+  Replay.Recorder.rec_weak rc ~lock:l ~tp:[ 2 ] ~claim:[];
+  Replay.Recorder.rec_weak rc ~lock:l ~tp:[ 0 ] ~claim:[ sr "a" 0 7 ];
+  let r = Replay.Replayer.of_log rc.Replay.Recorder.log in
+  (* B's disjoint-range acquisition may proceed before A's *)
+  Alcotest.(check bool) "B allowed out of order" true
+    (Replay.Replayer.weak_turn r l ~tp:[ 1 ]);
+  (* C's total claim conflicts with both A and B: blocked *)
+  Alcotest.(check bool) "C blocked" false (Replay.Replayer.weak_turn r l ~tp:[ 2 ]);
+  Alcotest.(check bool) "A allowed" true (Replay.Replayer.weak_turn r l ~tp:[ 0 ]);
+  (* consume A and B; C unblocks *)
+  Replay.Replayer.consume_weak r l ~tp:[ 0 ];
+  Replay.Replayer.consume_weak r l ~tp:[ 1 ];
+  Alcotest.(check bool) "C allowed after A,B" true
+    (Replay.Replayer.weak_turn r l ~tp:[ 2 ]);
+  (* A's second acquisition is behind C: blocked until C consumed *)
+  Alcotest.(check bool) "A2 blocked behind C" false
+    (Replay.Replayer.weak_turn r l ~tp:[ 0 ]);
+  Replay.Replayer.consume_weak r l ~tp:[ 2 ];
+  Alcotest.(check bool) "A2 allowed" true (Replay.Replayer.weak_turn r l ~tp:[ 0 ])
+
+let test_forced_pop_requires_holding () =
+  let rc = Replay.Recorder.create () in
+  Replay.Recorder.rec_forced rc ~owner:[ 1 ] ~steps:10 ~lock:(wl 7 Gbb);
+  Replay.Recorder.rec_forced rc ~owner:[ 1 ] ~steps:10 ~lock:(wl 7 Gbb);
+  let r = Replay.Replayer.of_log rc.Replay.Recorder.log in
+  Alcotest.(check bool) "not popped when not holding" true
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:50 ~holds:(fun _ -> false)
+    = None);
+  Alcotest.(check bool) "not popped before steps" true
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:5 ~holds:(fun _ -> true)
+    = None);
+  Alcotest.(check bool) "popped when due and holding" true
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:10 ~holds:(fun _ -> true)
+    <> None);
+  Alcotest.(check bool) "second event still there" true
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:10 ~holds:(fun _ -> true)
+    <> None);
+  Alcotest.(check bool) "then drained" true
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:99 ~holds:(fun _ -> true)
+    = None)
+
+(* qcheck: encode/decode roundtrip over random logs *)
+let prop_log_roundtrip =
+  let open QCheck in
+  let gen_path = Gen.(list_size (int_range 0 2) (int_range 0 3)) in
+  let gen_burst = Gen.(list_size (int_range 0 5) (int_range (-300) 300)) in
+  let gen =
+    Gen.(
+      list_size (int_range 0 30)
+        (oneof
+           [
+             map2 (fun p b -> `Input (p, b)) gen_path gen_burst;
+             map2
+               (fun p o -> `Sync (p, o))
+               gen_path (int_range 0 6);
+             map3
+               (fun p id lo -> `Weak (p, id, lo))
+               gen_path (int_range 0 5) (int_range 0 50);
+           ]))
+  in
+  Test.make ~name:"log encode/decode roundtrip" ~count:100 (make gen)
+    (fun events ->
+      let rc = Replay.Recorder.create () in
+      List.iter
+        (fun ev ->
+          match ev with
+          | `Input (p, b) -> Replay.Recorder.rec_input rc ~tp:p b
+          | `Sync (p, o) ->
+              Replay.Recorder.rec_sync rc ~obj:(addr "x" o)
+                ~op:(Replay.Log.sync_op_of_code o) ~tp:p
+          | `Weak (p, id, lo) ->
+              Replay.Recorder.rec_weak rc ~lock:(wl id Gbb) ~tp:p
+                ~claim:[ sr "y" lo (lo + 3) ])
+        events;
+      let log = rc.Replay.Recorder.log in
+      let i = Replay.Log.encode_input_log log in
+      let o = Replay.Log.encode_order_log log in
+      let log' = Replay.Log.decode i o in
+      Replay.Log.encode_input_log log' = i
+      && Replay.Log.encode_order_log log' = o)
+
+let suite =
+  [
+    Alcotest.test_case "log roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "recorder counters" `Quick test_counters;
+    Alcotest.test_case "sched segments merge" `Quick test_sched_merge;
+    Alcotest.test_case "replayer inputs" `Quick test_replayer_inputs;
+    Alcotest.test_case "replayer sync order" `Quick test_replayer_sync_order;
+    Alcotest.test_case "weak turn conflict rules" `Quick
+      test_weak_turn_conflict_rules;
+    Alcotest.test_case "forced pop discipline" `Quick
+      test_forced_pop_requires_holding;
+    QCheck_alcotest.to_alcotest prop_log_roundtrip;
+  ]

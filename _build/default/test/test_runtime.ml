@@ -1,0 +1,213 @@
+(** Tests for the runtime substrate: sync primitive state machines, the
+    weak-lock manager (range compatibility, single-conflicting-holder
+    invariant, timeout handoff), and qcheck properties over random
+    acquisition sequences. *)
+
+open Runtime
+open Minic.Ast
+
+let addr name = { Key.a_origin = Key.OGlobal name; a_off = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Mutex / barrier / cond *)
+
+let test_mutex_basic () =
+  let m = Sync.Mutex.create () in
+  let k = addr "m" in
+  Alcotest.(check bool) "acquire free" true
+    (Sync.Mutex.acquire m k ~tid:1 = `Acquired);
+  Alcotest.(check bool) "second blocks" true
+    (Sync.Mutex.acquire m k ~tid:2 = `Blocked);
+  (match Sync.Mutex.release m k ~tid:1 with
+  | `Released [ 2 ] -> ()
+  | _ -> Alcotest.fail "waiter not returned");
+  Alcotest.(check bool) "waiter acquires" true
+    (Sync.Mutex.acquire m k ~tid:2 = `Acquired)
+
+let test_mutex_not_owner () =
+  let m = Sync.Mutex.create () in
+  let k = addr "m" in
+  ignore (Sync.Mutex.acquire m k ~tid:1);
+  Alcotest.(check bool) "foreign release rejected" true
+    (Sync.Mutex.release m k ~tid:2 = `Not_owner)
+
+let test_barrier_trip () =
+  let b = Sync.Barrier.create () in
+  let k = addr "b" in
+  Sync.Barrier.init b k ~count:3;
+  Alcotest.(check bool) "1st blocks" true (Sync.Barrier.wait b k ~tid:1 = `Blocked);
+  Alcotest.(check bool) "2nd blocks" true (Sync.Barrier.wait b k ~tid:2 = `Blocked);
+  (match Sync.Barrier.wait b k ~tid:3 with
+  | `Released tids ->
+      Alcotest.(check (list int)) "all released" [ 1; 2; 3 ] (List.sort compare tids)
+  | `Blocked -> Alcotest.fail "barrier failed to trip");
+  (* next generation starts fresh *)
+  Alcotest.(check bool) "gen 2 blocks again" true
+    (Sync.Barrier.wait b k ~tid:1 = `Blocked)
+
+let test_cond_fifo () =
+  let c = Sync.Cond.create () in
+  let k = addr "c" in
+  Sync.Cond.wait c k ~tid:5;
+  Sync.Cond.wait c k ~tid:6;
+  Alcotest.(check (option int)) "signal wakes FIFO head" (Some 5)
+    (Sync.Cond.signal c k);
+  Alcotest.(check (list int)) "broadcast drains" [ 6 ] (Sync.Cond.broadcast c k);
+  Alcotest.(check (option int)) "empty signal" None (Sync.Cond.signal c k)
+
+(* ------------------------------------------------------------------ *)
+(* Weak locks *)
+
+let wl id = { wl_id = id; wl_gran = Gloop }
+let range ?(write = true) b lo hi =
+  { Weaklock.rg_block = b; rg_lo = lo; rg_hi = hi; rg_write = write }
+
+let test_weak_total_excludes () =
+  let t = Weaklock.create () in
+  Alcotest.(check bool) "t1 total acquires" true
+    (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[] = `Acquired);
+  (match Weaklock.acquire t (wl 1) ~tid:2 ~claim:[] with
+  | `Blocked [ 1 ] -> ()
+  | _ -> Alcotest.fail "total claims must conflict");
+  ignore (Weaklock.release t (wl 1) ~tid:1);
+  Alcotest.(check bool) "after release" true
+    (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[] = `Acquired)
+
+let test_weak_disjoint_ranges_parallel () =
+  let t = Weaklock.create () in
+  Alcotest.(check bool) "t1 [0..7]" true
+    (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[ range 1 0 7 ] = `Acquired);
+  Alcotest.(check bool) "t2 [8..15] concurrent" true
+    (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[ range 1 8 15 ] = `Acquired);
+  Alcotest.(check bool) "t3 [4..9] conflicts with both" true
+    (match Weaklock.acquire t (wl 1) ~tid:3 ~claim:[ range 1 4 9 ] with
+    | `Blocked owners -> List.sort compare owners = [ 1; 2 ]
+    | `Acquired -> false)
+
+let test_weak_ranges_different_blocks () =
+  let t = Weaklock.create () in
+  ignore (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[ range 1 0 100 ]);
+  Alcotest.(check bool) "other block is disjoint" true
+    (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[ range 2 0 100 ] = `Acquired)
+
+let test_weak_readers_share () =
+  let t = Weaklock.create () in
+  Alcotest.(check bool) "reader 1" true
+    (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[ range ~write:false 1 0 50 ]
+    = `Acquired);
+  Alcotest.(check bool) "overlapping reader 2 shares" true
+    (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[ range ~write:false 1 10 60 ]
+    = `Acquired);
+  Alcotest.(check bool) "overlapping writer blocks" true
+    (match Weaklock.acquire t (wl 1) ~tid:3 ~claim:[ range 1 20 30 ] with
+    | `Blocked _ -> true
+    | `Acquired -> false);
+  Alcotest.(check bool) "disjoint writer shares" true
+    (Weaklock.acquire t (wl 1) ~tid:4 ~claim:[ range 1 70 80 ] = `Acquired)
+
+let test_weak_total_vs_range () =
+  let t = Weaklock.create () in
+  ignore (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[ range 1 0 7 ]);
+  Alcotest.(check bool) "total conflicts with any range" true
+    (match Weaklock.acquire t (wl 1) ~tid:2 ~claim:[] with
+    | `Blocked _ -> true
+    | `Acquired -> false)
+
+let test_weak_force_release_handoff () =
+  let t = Weaklock.create () in
+  ignore (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[]);
+  ignore (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[]) |> ignore;
+  (* tid 2 is waiting; preempt tid 1 with handoff *)
+  let woken = Weaklock.force_release t (wl 1) ~owner:1 in
+  Alcotest.(check (list int)) "waiter woken" [ 2 ] woken;
+  (* the preempted owner must NOT re-win before the waiter *)
+  Alcotest.(check bool) "owner blocked by handoff" true
+    (match Weaklock.acquire t (wl 1) ~tid:1 ~claim:[] with
+    | `Blocked _ -> true
+    | `Acquired -> false);
+  Alcotest.(check bool) "waiter acquires" true
+    (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[] = `Acquired);
+  ignore (Weaklock.release t (wl 1) ~tid:2);
+  Alcotest.(check bool) "owner reacquires after handoff served" true
+    (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[] = `Acquired)
+
+let test_weak_clear_pending () =
+  let t = Weaklock.create () in
+  ignore (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[]);
+  ignore (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[]);
+  ignore (Weaklock.force_release t (wl 1) ~owner:1);
+  Weaklock.clear_pending t (wl 1);
+  Alcotest.(check bool) "reservation expired" true
+    (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[] = `Acquired)
+
+let test_weak_stats () =
+  let t = Weaklock.create () in
+  ignore (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[]);
+  ignore (Weaklock.release t (wl 1) ~tid:1);
+  ignore (Weaklock.acquire t (wl 2) ~tid:1 ~claim:[]);
+  Alcotest.(check int) "acquires" 2 t.Weaklock.total_acquires;
+  Alcotest.(check int) "releases" 1 t.Weaklock.total_releases
+
+(* property: after any random sequence of acquire/release, the holders of
+   every lock are pairwise compatible (no two conflicting holders) *)
+let prop_weak_no_conflicting_holders =
+  let open QCheck in
+  let gen_op =
+    Gen.(
+      oneof
+        [
+          map3
+            (fun tid lo len -> `Acq (tid, [ range 1 lo (lo + len) ]))
+            (Gen.int_range 1 4) (Gen.int_range 0 20) (Gen.int_range 0 10);
+          map (fun tid -> `Acq (tid, [])) (Gen.int_range 1 4);
+          map (fun tid -> `Rel tid) (Gen.int_range 1 4);
+        ])
+  in
+  Test.make ~name:"weak locks: holders pairwise compatible" ~count:300
+    (make Gen.(list_size (int_range 1 40) gen_op))
+    (fun ops ->
+      let t = Weaklock.create () in
+      let l = wl 9 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Acq (tid, claim) -> ignore (Weaklock.acquire t l ~tid ~claim)
+          | `Rel tid -> ignore (Weaklock.release t l ~tid))
+        ops;
+      (* holders of different threads must be pairwise range-disjoint *)
+      let hs = Weaklock.holder_claims t l in
+      List.for_all
+        (fun (tid1, c1) ->
+          List.for_all
+            (fun (tid2, c2) ->
+              tid1 = tid2 || Weaklock.ranges_disjoint c1 c2)
+            hs)
+        hs)
+
+(* ------------------------------------------------------------------ *)
+(* Keys *)
+
+let test_key_paths () =
+  Alcotest.(check string) "root" "T0" (Fmt.str "%a" Key.pp_tid_path []);
+  Alcotest.(check string) "child" "T0.0.2"
+    (Fmt.str "%a" Key.pp_tid_path [ 0; 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "mutex: basic" `Quick test_mutex_basic;
+    Alcotest.test_case "mutex: not owner" `Quick test_mutex_not_owner;
+    Alcotest.test_case "barrier: trip + generations" `Quick test_barrier_trip;
+    Alcotest.test_case "cond: FIFO" `Quick test_cond_fifo;
+    Alcotest.test_case "weak: total excludes" `Quick test_weak_total_excludes;
+    Alcotest.test_case "weak: disjoint ranges parallel" `Quick
+      test_weak_disjoint_ranges_parallel;
+    Alcotest.test_case "weak: blocks distinguish" `Quick
+      test_weak_ranges_different_blocks;
+    Alcotest.test_case "weak: readers share" `Quick test_weak_readers_share;
+    Alcotest.test_case "weak: total vs range" `Quick test_weak_total_vs_range;
+    Alcotest.test_case "weak: handoff" `Quick test_weak_force_release_handoff;
+    Alcotest.test_case "weak: clear pending" `Quick test_weak_clear_pending;
+    Alcotest.test_case "weak: stats" `Quick test_weak_stats;
+    QCheck_alcotest.to_alcotest prop_weak_no_conflicting_holders;
+    Alcotest.test_case "key: tid paths" `Quick test_key_paths;
+  ]

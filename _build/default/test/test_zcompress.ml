@@ -1,0 +1,51 @@
+(** Tests for the LZ77 compressor used for log-size reporting. *)
+
+let test_roundtrip_simple () =
+  let s = "hello hello hello hello world world world" in
+  Alcotest.(check string) "roundtrip" s (Zcompress.decompress (Zcompress.compress s))
+
+let test_empty () =
+  Alcotest.(check string) "empty" "" (Zcompress.decompress (Zcompress.compress ""))
+
+let test_compresses_repetition () =
+  let s = String.concat "" (List.init 200 (fun _ -> "abcdefgh")) in
+  let z = Zcompress.compress s in
+  Alcotest.(check bool)
+    (Fmt.str "1600 bytes -> %d" (String.length z))
+    true
+    (String.length z < String.length s / 8)
+
+let test_incompressible_bounded_expansion () =
+  let s = String.init 1000 (fun i -> Char.chr ((i * 137 + (i * i * 7)) land 0xff)) in
+  let z = Zcompress.compress s in
+  Alcotest.(check string) "roundtrip random" s (Zcompress.decompress z);
+  Alcotest.(check bool) "expansion bounded" true
+    (String.length z <= String.length s + (String.length s / 64) + 16)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"zcompress roundtrip" ~count:300
+    QCheck.(string_gen_of_size (Gen.int_range 0 2000) Gen.printable)
+    (fun s -> Zcompress.decompress (Zcompress.compress s) = s)
+
+let prop_roundtrip_binary =
+  QCheck.Test.make ~name:"zcompress roundtrip (binary)" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_range 0 500) (Gen.map Char.chr (Gen.int_range 0 255)))
+    (fun s -> Zcompress.decompress (Zcompress.compress s) = s)
+
+let prop_repetitive_shrinks =
+  QCheck.Test.make ~name:"zcompress shrinks repetitive input" ~count:50
+    QCheck.(pair (string_gen_of_size (Gen.int_range 4 20) Gen.printable) (int_range 20 100))
+    (fun (unit_s, reps) ->
+      let s = String.concat "" (List.init reps (fun _ -> unit_s)) in
+      String.length (Zcompress.compress s) < String.length s)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "compresses repetition" `Quick test_compresses_repetition;
+    Alcotest.test_case "bounded expansion" `Quick test_incompressible_bounded_expansion;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip_binary;
+    QCheck_alcotest.to_alcotest prop_repetitive_shrinks;
+  ]

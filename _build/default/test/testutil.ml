@@ -1,0 +1,13 @@
+(** Small shared helpers for the test suites. *)
+
+(** [contains s sub]: naive substring search. *)
+let contains (s : string) (sub : string) : bool =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to n - m do
+      if (not !found) && String.sub s i m = sub then found := true
+    done;
+    !found
+  end
