@@ -1,0 +1,24 @@
+# Tier-1 verification plus the MHP soundness cross-check. The cross-check
+# is part of the test suite: the fuzz/e2e properties run dynrace over
+# instrumented programs (zero races allowed) and assert that statically
+# pruned pairs are never observed racing dynamically.
+.PHONY: all build test check bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check:
+	dune build && dune runtest
+
+# machine-readable pruning counters (static_pairs / pruned_pairs /
+# runtime_acquisitions per benchmark)
+bench-json:
+	dune exec bench/main.exe -- json
+
+clean:
+	dune clean

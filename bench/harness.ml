@@ -7,7 +7,9 @@ type measurement = {
   m_kind : Bench_progs.Registry.kind;
   m_workers : int;
   (* static *)
-  m_races : int;
+  m_races : int;          (* pairs kept after MHP pruning *)
+  m_static_pairs : int;   (* RELAY candidate pairs before pruning *)
+  m_pruned_pairs : int;   (* pairs removed by the MHP pass *)
   m_loc : int;
   (* DRF logs (Table 2 left) *)
   m_syscalls : float;
@@ -32,7 +34,12 @@ type measurement = {
 
 let record_ov (m : measurement) = m.m_record /. m.m_native
 let replay_ov (m : measurement) = m.m_replay /. m.m_native
+
+(** Mean weak-lock acquisitions per recorded run, all granularities. *)
 let weak_total (m : measurement) = Array.fold_left ( +. ) 0. m.m_weak
+
+(** Alias for the bench JSON: the runtime cost the pruning saves. *)
+let runtime_acquisitions = weak_total
 
 (* analysis cache: (bench, workers, scale, opts-tag) *)
 let analysis_cache : (string, Chimera.Pipeline.analysis) Hashtbl.t =
@@ -93,6 +100,8 @@ let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
     m_kind = b.b_kind;
     m_workers = workers;
     m_races = List.length an.an_report.races;
+    m_static_pairs = an.an_report.n_candidates;
+    m_pruned_pairs = List.length an.an_report.pruned;
     m_loc = Bench_progs.Registry.loc b ~workers;
     m_syscalls = avg (fun x -> float_of_int (s_of x).n_syscalls);
     m_syncops = avg (fun x -> float_of_int (s_of x).n_sync_ops);

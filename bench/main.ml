@@ -376,6 +376,22 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(** Machine-readable counters for tracking the MHP pruning win across
+    PRs: candidate race pairs, statically pruned pairs, and the weak-lock
+    acquisitions the surviving pairs cost at record time. Hand-rolled
+    JSON on stdout (one object per benchmark, newline-free values). *)
+let json () =
+  let one (b : Bench_progs.Registry.bench) =
+    let m = measure ~trials:1 b in
+    Fmt.str
+      {|    {"name": "%s", "workers": %d, "static_pairs": %d, "pruned_pairs": %d, "kept_pairs": %d, "runtime_acquisitions": %.1f, "record_overhead": %.3f}|}
+      m.m_name m.m_workers m.m_static_pairs m.m_pruned_pairs m.m_races
+      (runtime_acquisitions m) (record_ov m)
+  in
+  Fmt.pr {|{"benches": [@.%s@.]}@.|}
+    (String.concat ",
+" (List.map one benches))
+
 let all () =
   table1 ();
   table2 ();
@@ -394,7 +410,7 @@ let () =
       ("table1", table1); ("table2", table2); ("fig5", fig5); ("fig6", fig6);
       ("fig7", fig7); ("fig8", fig8); ("sensitivity", sensitivity);
       ("ablation", ablation); ("timeout", timeout_ablation);
-      ("detexec", detexec); ("micro", micro);
+      ("detexec", detexec); ("micro", micro); ("json", json);
       ("all", all);
     ]
   in

@@ -62,12 +62,31 @@ let analyze_file ?opts ~profile_runs path =
 (* ------------------------------------------------------------------ *)
 
 let races_cmd =
-  let run file =
-    let _, report = Relay.Detect.analyze (load file) in
-    Fmt.pr "%a@." Relay.Detect.pp_report report
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain-races" ]
+          ~doc:
+            "List every candidate pair with its provenance: kept, \
+             pruned:mhp (sites can never run concurrently), or \
+             pruned:escape (every raced-on object is confined by \
+             fork/join ordering)")
   in
-  Cmd.v (Cmd.info "races" ~doc:"Static data-race report (RELAY)")
-    Term.(const run $ file_arg)
+  let no_mhp_arg =
+    Arg.(
+      value & flag
+      & info [ "no-mhp" ]
+          ~doc:"Disable MHP pruning and print raw RELAY output")
+  in
+  let run file explain no_mhp =
+    let _, report = Relay.Detect.analyze ~mhp:(not no_mhp) (load file) in
+    if explain then Fmt.pr "%a@." Relay.Detect.pp_report_explain report
+    else Fmt.pr "%a@." Relay.Detect.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:"Static data-race report (RELAY + MHP fork/join pruning)")
+    Term.(const run $ file_arg $ explain_arg $ no_mhp_arg)
 
 let plan_cmd =
   let run file profile_runs opts =

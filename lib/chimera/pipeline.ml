@@ -29,10 +29,10 @@ let default_profile_io i = Interp.Iomodel.random ~seed:(1000 + (i * 37))
     (Figure 5's configurations live in {!Instrument.Plan}). *)
 let analyze ?(opts = Instrument.Plan.all_opts) ?(profile_runs = 20)
     ?(profile_io = default_profile_io)
-    ?(profile_config = Interp.Engine.default_config) (prog : program) :
+    ?(profile_config = Interp.Engine.default_config) ?mhp (prog : program) :
     analysis =
   let prog = Minic.Typecheck.check prog in
-  let summaries, report = Relay.Detect.analyze prog in
+  let summaries, report = Relay.Detect.analyze ?mhp prog in
   let profile =
     Profiling.Profile.profile_many ~config:profile_config
       ~io_of:profile_io ~runs:profile_runs prog
@@ -49,6 +49,7 @@ let analyze ?(opts = Instrument.Plan.all_opts) ?(profile_runs = 20)
   }
 
 (** Convenience: parse, check, analyze. *)
-let analyze_source ?opts ?profile_runs ?profile_io ?profile_config ?file src =
-  analyze ?opts ?profile_runs ?profile_io ?profile_config
+let analyze_source ?opts ?profile_runs ?profile_io ?profile_config ?mhp ?file
+    src =
+  analyze ?opts ?profile_runs ?profile_io ?profile_config ?mhp
     (Minic.Parser.parse ?file src)

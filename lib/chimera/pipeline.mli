@@ -16,12 +16,14 @@ type analysis = {
     (paper Section 7.1); [profile_io] supplies per-run input models
     (profiling inputs should differ from evaluation inputs); [opts]
     selects the optimization set (Figure 5's configurations live in
-    {!Instrument.Plan}). *)
+    {!Instrument.Plan}); [mhp] (default on) statically prunes race pairs
+    that fork/join ordering serializes (see {!Mhp}). *)
 val analyze :
   ?opts:Instrument.Plan.options ->
   ?profile_runs:int ->
   ?profile_io:(int -> Interp.Iomodel.t) ->
   ?profile_config:Interp.Engine.config ->
+  ?mhp:bool ->
   Minic.Ast.program ->
   analysis
 
@@ -30,6 +32,7 @@ val analyze_source :
   ?profile_runs:int ->
   ?profile_io:(int -> Interp.Iomodel.t) ->
   ?profile_config:Interp.Engine.config ->
+  ?mhp:bool ->
   ?file:string ->
   string ->
   analysis

@@ -155,6 +155,8 @@ type t = {
   pl_decisions : pair_decision list;
   pl_cliques : Clique.t;
   pl_n_locks : int;
+  pl_static_pairs : int;  (** RELAY candidate pairs before MHP pruning *)
+  pl_pruned_pairs : int;  (** pairs the MHP pass removed statically *)
 }
 
 type options = {
@@ -447,11 +449,14 @@ let compute ?(opts = all_opts) (p : program) (report : Relay.Detect.report)
     pl_decisions = decisions;
     pl_cliques = cliques;
     pl_n_locks = !next_id;
+    pl_static_pairs = report.Relay.Detect.n_candidates;
+    pl_pruned_pairs = List.length report.Relay.Detect.pruned;
   }
 
 let pp_summary ppf (t : t) =
   let count tbl = Hashtbl.length tbl in
   Fmt.pf ppf
-    "plan: %d locks, %d func regions, %d loop regions, %d bb regions, %d instr regions"
+    "plan: %d locks, %d func regions, %d loop regions, %d bb regions, %d \
+     instr regions (%d static pairs, %d pruned)"
     t.pl_n_locks (count t.pl_func) (count t.pl_loop) (count t.pl_run)
-    (count t.pl_stmt)
+    (count t.pl_stmt) t.pl_static_pairs t.pl_pruned_pairs

@@ -50,6 +50,8 @@ type t = {
   pl_decisions : pair_decision list;
   pl_cliques : Clique.t;
   pl_n_locks : int;
+  pl_static_pairs : int;  (** RELAY candidate pairs before MHP pruning *)
+  pl_pruned_pairs : int;  (** pairs the MHP pass removed statically *)
 }
 
 type options = {

@@ -1,0 +1,698 @@
+(** May-happen-in-parallel analysis. See the interface for the model.
+
+    Soundness invariant maintained throughout: a spawn site's state is in
+    {Unspawned, Joined} only if no un-joined thread spawned at that site
+    can exist at that program point, on every execution reaching it. All
+    transfers that cannot maintain the invariant go to LiveMany. *)
+
+open Minic.Ast
+module A = Pointer.Absloc
+module SS = Set.Make (String)
+
+type liveness = Unspawned | LiveOne | LiveMany | Joined
+
+let pp_liveness ppf l =
+  Fmt.string ppf
+    (match l with
+    | Unspawned -> "unspawned"
+    | LiveOne -> "live1"
+    | LiveMany -> "live*"
+    | Joined -> "joined")
+
+(** Pointwise lattice join. [Unspawned] and [Joined] both mean "no live
+    thread from this site", so their mix stays provably-not-live; any mix
+    involving a live state must go to top ([LiveMany]) because a later
+    [join] may only clear [LiveOne] when the handle is exact. *)
+let lub a b =
+  match (a, b) with
+  | x, y when x = y -> x
+  | Unspawned, Joined | Joined, Unspawned -> Joined
+  | _ -> LiveMany
+
+let not_live = function Unspawned | Joined -> true | LiveOne | LiveMany -> false
+
+(* ------------------------------------------------------------------ *)
+(* Handle shapes: how a spawn stores, and a join reads, a thread id *)
+
+type hform =
+  | Hscalar  (** [t = spawn(...)] *)
+  | Hconst of int  (** [t[3] = spawn(...)] *)
+  | Hvar of string  (** [t[i] = spawn(...)] inside a for-loop over [i] *)
+
+(** One spawn site of a spawner's universe. *)
+type usite = {
+  us_idx : int;  (** index into state vectors *)
+  us_site : Minic.Callgraph.spawn_site;
+  us_handle : (A.t * hform) option;  (** handle absloc + shape, if parsed *)
+}
+
+(** How joins can retire a handle group (sites sharing a handle absloc). *)
+type jmode =
+  | Jscalar of int  (** singleton scalar site: [join(t)] retires it *)
+  | Jconst of (int * int) list  (** distinct consts: [join(t[k])] *)
+  | Jloop of int * induction  (** singleton loop site + its induction *)
+
+type group = { gr_loc : A.t; gr_mode : jmode }
+
+type universe = {
+  u_root : string;
+  u_funs : SS.t;  (** functions exclusive to this root *)
+  u_sites : usite array;
+  u_sid_idx : (int, int) Hashtbl.t;  (** spawn sid -> state index *)
+  u_groups : group list;
+  u_phase : (int, liveness array) Hashtbl.t;  (** stmt sid -> pre-state *)
+  mutable u_poisoned : SS.t;  (** funs whose walk hit recursion *)
+}
+
+type t = {
+  prog : program;
+  cg : Minic.Callgraph.t;
+  universes : universe list;
+  fun_roots : (string, string list) Hashtbl.t;
+  stmt_fun : (int, string) Hashtbl.t;  (** sid -> containing function *)
+}
+
+let spawner_roots t = List.map (fun u -> u.u_root) t.universes
+
+(* ------------------------------------------------------------------ *)
+(* Prescan: universes, handle groups, join-loop candidates *)
+
+let stmt_fun_index (p : program) =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (fd : fundec) ->
+      iter_stmts (fun s -> Hashtbl.replace tbl s.sid fd.f_name) fd.f_body)
+    p.p_funs;
+  tbl
+
+(** Functions reachable (by calls) from exactly this root and no other. *)
+let exclusive_funs (cg : Minic.Callgraph.t) fun_roots r =
+  List.filter
+    (fun f -> Hashtbl.find_opt fun_roots f = Some [ r ])
+    (Minic.Callgraph.reachable_from cg r)
+  |> SS.of_list
+
+(** Thread roots with provably at most one live instance over the whole
+    execution, whose body we can therefore flow-analyze as a single
+    thread: [main], plus roots spawned at exactly one site that sits
+    directly in [main] outside any loop. *)
+let single_instance_roots (cg : Minic.Callgraph.t) =
+  "main"
+  :: List.filter_map
+       (fun r ->
+         if r = "main" then None
+         else
+           match
+             List.filter
+               (fun (sp : Minic.Callgraph.spawn_site) ->
+                 List.mem r sp.sp_targets)
+               cg.cg_spawns
+           with
+           | [ sp ]
+             when sp.sp_caller = "main" && (not sp.sp_in_loop)
+                  && not (Minic.Callgraph.root_multiply_spawned cg r) ->
+               Some r
+           | _ -> None)
+       cg.cg_roots
+
+(** Parse the destination a spawn writes its thread id to. *)
+let handle_of_ret (pa : Pointer.Analysis.t) fname (ret : lval option) :
+    (A.t * hform) option =
+  match ret with
+  | Some (Var v) -> Some (Pointer.Analysis.var_loc pa fname v, Hscalar)
+  | Some (Index (Var v, Const k)) ->
+      Some (Pointer.Analysis.var_loc pa fname v, Hconst k)
+  | Some (Index (Var v, Lval (Var i))) ->
+      Some (Pointer.Analysis.var_loc pa fname v, Hvar i)
+  | _ -> None
+
+(** Is [loc] written by any statement outside [allowed] (a set of sids)?
+    Uses the points-to solution on every write destination, so writes
+    through pointers count. *)
+let written_outside (p : program) (pa : Pointer.Analysis.t) stmt_fun loc
+    allowed =
+  let hit = ref false in
+  iter_program_stmts
+    (fun s ->
+      if not (List.mem s.sid allowed) then
+        let dest =
+          match s.skind with
+          | Assign (lv, _) | Call (Some lv, _, _) | Builtin (Some lv, _, _) ->
+              Some lv
+          | _ -> None
+        in
+        match dest with
+        | None -> ()
+        | Some lv -> (
+            match Hashtbl.find_opt stmt_fun s.sid with
+            | None -> ()
+            | Some f ->
+                if A.Set.mem loc (Pointer.Analysis.lval_objects pa f lv) then
+                  hit := true))
+    p;
+  !hit
+
+(** No [Break]/[Continue] anywhere in the block (conservative: even ones
+    targeting a nested loop disqualify a matched spawn/join loop). *)
+let rec no_break_continue (b : block) =
+  List.for_all
+    (fun s ->
+      match s.skind with
+      | Break | Continue -> false
+      | If (_, b1, b2) -> no_break_continue b1 && no_break_continue b2
+      | While (_, body, _) -> no_break_continue body
+      | _ -> true)
+    b
+
+(** Does any statement of [b] other than [except] assign variable [v]
+    directly? (Address-taken aliasing is covered separately by the
+    single-writer check on the handle; the induction variable of a
+    matchable loop must additionally never have its address taken.) *)
+let assigns_var_outside (b : block) (v : string) (except : int option) =
+  let hit = ref false in
+  iter_stmts
+    (fun s ->
+      if Some s.sid <> except then
+        match s.skind with
+        | Assign (Var x, _) | Call (Some (Var x), _, _)
+        | Builtin (Some (Var x), _, _) ->
+            if x = v then hit := true
+        | _ -> ())
+    b;
+  !hit
+
+let addr_taken_anywhere (p : program) (v : string) =
+  let hit = ref false in
+  let rec scan_exp = function
+    | Const _ -> ()
+    | Lval lv -> scan_lval lv
+    | AddrOf (Var x) -> if x = v then hit := true
+    | AddrOf lv -> scan_lval lv
+    | Unop (_, e) -> scan_exp e
+    | Binop (_, a, b) -> scan_exp a; scan_exp b
+  and scan_lval = function
+    | Var _ -> ()
+    | Deref e -> scan_exp e
+    | Index (lv, e) -> scan_lval lv; scan_exp e
+    | Field (lv, _) -> scan_lval lv
+    | Arrow (e, _) -> scan_exp e
+  in
+  iter_program_stmts
+    (fun s ->
+      match s.skind with
+      | Assign (lv, e) -> scan_lval lv; scan_exp e
+      | Call (r, tgt, args) ->
+          Option.iter scan_lval r;
+          (match tgt with ViaPtr e -> scan_exp e | Direct _ -> ());
+          List.iter scan_exp args
+      | Builtin (r, _, args) -> Option.iter scan_lval r; List.iter scan_exp args
+      | If (e, _, _) | While (e, _, _) -> scan_exp e
+      | Return (Some e) -> scan_exp e
+      | _ -> ())
+    p;
+  !hit
+
+let const_exp = function Const _ -> true | _ -> false
+
+let pos_const_exp = function Const k -> k > 0 | _ -> false
+
+(** A well-behaved counted loop: constant bounds and positive constant
+    step, induction variable written only by the step statement and never
+    address-taken, no break/continue. Such a loop visits exactly the
+    index sequence its {!induction} record describes. *)
+let counted_loop (p : program) (body : block) (li : loop_info) =
+  match (li.l_induction, li.l_step) with
+  | Some ind, Some step ->
+      const_exp ind.iv_init && const_exp ind.iv_limit
+      && pos_const_exp ind.iv_step && no_break_continue body
+      && (not (assigns_var_outside body ind.iv_var (Some step.sid)))
+      && not (addr_taken_anywhere p ind.iv_var)
+  | _ -> false
+
+let same_range (a : induction) (b : induction) =
+  a.iv_init = b.iv_init && a.iv_limit = b.iv_limit
+  && a.iv_strict = b.iv_strict && a.iv_step = b.iv_step
+
+(** The spawn-loop validity for a [t[i] = spawn(...)] site: the site is a
+    direct child of a counted loop over [i], so every iteration spawns
+    exactly once and records the thread id at a distinct index. Returns
+    the loop's induction. *)
+let spawn_loop_induction (p : program) fname sid ivar : induction option =
+  match find_fun p fname with
+  | None -> None
+  | Some fd ->
+      let found = ref None in
+      let rec walk (b : block) =
+        List.iter
+          (fun s ->
+            match s.skind with
+            | If (_, b1, b2) -> walk b1; walk b2
+            | While (_, body, li) ->
+                if List.exists (fun c -> c.sid = sid) body then begin
+                  match li.l_induction with
+                  | Some ind
+                    when ind.iv_var = ivar && counted_loop p body li ->
+                      found := Some ind
+                  | _ -> ()
+                end
+                else walk body
+            | _ -> ())
+          b
+      in
+      walk fd.f_body;
+      !found
+
+(** Group universe spawn sites by handle absloc and decide how joins can
+    retire each group. A group is trackable only if the handle location
+    is written by nothing but the group's own spawns (single-writer), and
+    its shape is uniform: one scalar site, distinct constant indices, or
+    one loop-indexed site under a valid counted spawn loop. *)
+let build_groups (p : program) (pa : Pointer.Analysis.t) stmt_fun
+    (sites : usite array) : group list =
+  let by_loc : (A.t, usite list) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun us ->
+      match us.us_handle with
+      | None -> ()
+      | Some (loc, _) ->
+          let cur = Option.value (Hashtbl.find_opt by_loc loc) ~default:[] in
+          Hashtbl.replace by_loc loc (us :: cur))
+    sites;
+  Hashtbl.fold
+    (fun loc members acc ->
+      let sids = List.map (fun us -> us.us_site.sp_sid) members in
+      if written_outside p pa stmt_fun loc sids then acc
+      else
+        let mode =
+          match members with
+          | [ ({ us_handle = Some (_, Hscalar); _ } as us) ] ->
+              Some (Jscalar us.us_idx)
+          | [ ({ us_handle = Some (_, Hvar iv); _ } as us) ] -> (
+              match
+                spawn_loop_induction p us.us_site.sp_caller us.us_site.sp_sid
+                  iv
+              with
+              | Some ind -> Some (Jloop (us.us_idx, ind))
+              | None -> None)
+          | _ -> (
+              let consts =
+                List.filter_map
+                  (fun us ->
+                    match us.us_handle with
+                    | Some (_, Hconst k) -> Some (k, us.us_idx)
+                    | _ -> None)
+                  members
+              in
+              if
+                List.length consts = List.length members
+                && List.length (List.sort_uniq compare (List.map fst consts))
+                   = List.length consts
+              then Some (Jconst consts)
+              else None)
+        in
+        match mode with
+        | None -> acc
+        | Some gr_mode -> { gr_loc = loc; gr_mode } :: acc)
+    by_loc []
+
+(* ------------------------------------------------------------------ *)
+(* Flow walker over one spawner's universe *)
+
+(** Dataflow value: one liveness per universe spawn site, or [None] for
+    unreachable flow (after [exit], or joined from nothing). *)
+type st = liveness array option
+
+let st_join (a : st) (b : st) : st =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Array.map2 lub a b)
+
+let st_equal (a : st) (b : st) =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> Array.for_all2 ( = ) a b
+  | _ -> false
+
+(** Control-flow split of a block's outcome. *)
+type flow = { norm : st; brk : st; cont : st; ret : st }
+
+let dead_flow = { norm = None; brk = None; cont = None; ret = None }
+
+let flow_join a b =
+  {
+    norm = st_join a.norm b.norm;
+    brk = st_join a.brk b.brk;
+    cont = st_join a.cont b.cont;
+    ret = st_join a.ret b.ret;
+  }
+
+(** Record the pre-state of a statement, lub-merged across every context
+    the walk visits it in. *)
+let record (u : universe) (sid : int) (s : st) =
+  match s with
+  | None -> ()
+  | Some arr -> (
+      match Hashtbl.find_opt u.u_phase sid with
+      | None -> Hashtbl.replace u.u_phase sid (Array.copy arr)
+      | Some old -> Hashtbl.replace u.u_phase sid (Array.map2 lub old arr))
+
+(** Effect of executing a tracked spawn site. *)
+let spawn_effect cur =
+  match cur with Unspawned | Joined -> LiveOne | LiveOne | LiveMany -> LiveMany
+
+(** Effect of [join(arg)] evaluated in [fname]: retire the matching
+    handle group's site when the handle is exact, else no-op (joins can
+    only improve precision, never lose soundness by being ignored). *)
+let join_effect (u : universe) (pa : Pointer.Analysis.t) fname (arg : exp)
+    (arr : liveness array) =
+  let retire idx = if arr.(idx) = LiveOne then arr.(idx) <- Joined in
+  let lookup v = Pointer.Analysis.var_loc pa fname v in
+  match arg with
+  | Lval (Var v) ->
+      let loc = lookup v in
+      List.iter
+        (fun g ->
+          if A.equal g.gr_loc loc then
+            match g.gr_mode with Jscalar idx -> retire idx | _ -> ())
+        u.u_groups
+  | Lval (Index (Var v, Const k)) ->
+      let loc = lookup v in
+      List.iter
+        (fun g ->
+          if A.equal g.gr_loc loc then
+            match g.gr_mode with
+            | Jconst consts -> (
+                match List.assoc_opt k consts with
+                | Some idx -> retire idx
+                | None -> ())
+            | _ -> ())
+        u.u_groups
+  | _ -> ()
+
+(** Does [While (cond, body, li)] in [fname] match a spawn loop's handle
+    group as its retiring join loop? Pattern: a counted loop whose body is
+    exactly [join(t[i]); step] over the same constant index range as the
+    spawn loop. Every thread the spawn loop created is then joined, so the
+    site drops to [Joined] no matter how high its state. *)
+let join_loop_match (u : universe) (p : program) (pa : Pointer.Analysis.t)
+    fname (body : block) (li : loop_info) : int option =
+  match (li.l_induction, li.l_step) with
+  | Some ind, Some step when counted_loop p body li -> (
+      let non_step = List.filter (fun s -> s.sid <> step.sid) body in
+      match non_step with
+      | [ { skind = Builtin (None, Join, [ Lval (Index (Var v, Lval (Var i))) ]); _ } ]
+        when i = ind.iv_var -> (
+          let loc = Pointer.Analysis.var_loc pa fname v in
+          let found = ref None in
+          List.iter
+            (fun g ->
+              if A.equal g.gr_loc loc then
+                match g.gr_mode with
+                | Jloop (idx, sp_ind) when same_range sp_ind ind ->
+                    found := Some idx
+                | _ -> ())
+            u.u_groups;
+          !found)
+      | _ -> None)
+  | _ -> None
+
+exception Recursion of string
+
+(** Walk a block. [vstack] is the inlining stack (function names);
+    recursion raises {!Recursion} to the driver, which poisons the
+    universe. Calls to functions outside the universe are identity
+    transfers: a non-exclusive function cannot call an exclusive one
+    (exclusivity is closed under callers), so it can neither execute a
+    universe spawn site nor a join that retires one — and ignoring joins
+    is conservative. *)
+let rec walk_block (u : universe) (p : program) (pa : Pointer.Analysis.t)
+    (vstack : string list) fname (b : block) (s : st) : flow =
+  List.fold_left
+    (fun (fl : flow) (stmt : stmt) ->
+      match fl.norm with
+      | None -> fl
+      | Some _ ->
+          let after = walk_stmt u p pa vstack fname stmt fl.norm in
+          { after with
+            brk = st_join fl.brk after.brk;
+            cont = st_join fl.cont after.cont;
+            ret = st_join fl.ret after.ret;
+          })
+    { dead_flow with norm = s }
+    b
+
+and walk_stmt (u : universe) (p : program) (pa : Pointer.Analysis.t)
+    (vstack : string list) fname (stmt : stmt) (s : st) : flow =
+  record u stmt.sid s;
+  let id = { dead_flow with norm = s } in
+  match stmt.skind with
+  | Assign _ | WeakEnter _ | WeakExit _ -> id
+  | Break -> { dead_flow with brk = s }
+  | Continue -> { dead_flow with cont = s }
+  | Return _ -> { dead_flow with ret = s }
+  | Builtin (_, Exit, _) -> dead_flow
+  | Builtin (_, Spawn, _) -> (
+      match (Hashtbl.find_opt u.u_sid_idx stmt.sid, s) with
+      | Some idx, Some arr ->
+          let arr = Array.copy arr in
+          arr.(idx) <- spawn_effect arr.(idx);
+          { dead_flow with norm = Some arr }
+      | _ -> id)
+  | Builtin (_, Join, [ arg ]) -> (
+      match s with
+      | Some arr ->
+          let arr = Array.copy arr in
+          join_effect u pa fname arg arr;
+          { dead_flow with norm = Some arr }
+      | None -> id)
+  | Builtin _ -> id
+  | If (_, b1, b2) ->
+      let f1 = walk_block u p pa vstack fname b1 s in
+      let f2 = walk_block u p pa vstack fname b2 s in
+      flow_join f1 f2
+  | While (_, body, li) ->
+      let head = ref s in
+      let brks = ref None and rets = ref None in
+      let fixed = ref false in
+      while not !fixed do
+        let fl = walk_block u p pa vstack fname body !head in
+        brks := st_join !brks fl.brk;
+        rets := st_join !rets fl.ret;
+        let head' = st_join !head (st_join fl.norm fl.cont) in
+        if st_equal head' !head then fixed := true else head := head'
+      done;
+      (* the loop may run zero times, so the exit includes the head *)
+      let exit = st_join !head !brks in
+      let exit =
+        match (join_loop_match u p pa fname body li, exit) with
+        | Some idx, Some arr ->
+            let arr = Array.copy arr in
+            arr.(idx) <- Joined;
+            Some arr
+        | _ -> exit
+      in
+      { dead_flow with norm = exit; ret = !rets }
+  | Call (_, tgt, _) ->
+      let targets =
+        match tgt with
+        | Direct g -> [ g ]
+        | ViaPtr e -> Pointer.Analysis.resolve_funptr pa fname e
+      in
+      let transfer g =
+        if not (SS.mem g u.u_funs) then id
+        else if List.mem g vstack then raise (Recursion g)
+        else
+          match find_fun p g with
+          | None -> id
+          | Some fd ->
+              let fl =
+                walk_block u p pa (g :: vstack) g fd.f_body s
+              in
+              (* function exit = normal fall-through joined with returns;
+                 break/continue cannot escape a function body *)
+              { dead_flow with norm = st_join fl.norm fl.ret }
+      in
+      List.fold_left
+        (fun acc g -> flow_join acc (transfer g))
+        dead_flow targets
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let analyze_spawner (p : program) (pa : Pointer.Analysis.t)
+    (cg : Minic.Callgraph.t) fun_roots stmt_fun (r : string) :
+    universe option =
+  match find_fun p r with
+  | None -> None
+  | Some fd ->
+      let u_funs = exclusive_funs cg fun_roots r in
+      let sites =
+        List.filter
+          (fun (sp : Minic.Callgraph.spawn_site) -> SS.mem sp.sp_caller u_funs)
+          cg.cg_spawns
+        |> List.mapi (fun i (sp : Minic.Callgraph.spawn_site) ->
+               let handle =
+                 let ret =
+                   let found = ref None in
+                   iter_program_stmts
+                     (fun s ->
+                       if s.sid = sp.sp_sid then
+                         match s.skind with
+                         | Builtin (ret, Spawn, _) -> found := Some ret
+                         | _ -> ())
+                     p;
+                   Option.value !found ~default:None
+                 in
+                 handle_of_ret pa sp.sp_caller ret
+               in
+               { us_idx = i; us_site = sp; us_handle = handle })
+        |> Array.of_list
+      in
+      let u_sid_idx = Hashtbl.create 8 in
+      Array.iter
+        (fun us -> Hashtbl.replace u_sid_idx us.us_site.sp_sid us.us_idx)
+        sites;
+      let u =
+        {
+          u_root = r;
+          u_funs;
+          u_sites = sites;
+          u_sid_idx;
+          u_groups = build_groups p pa stmt_fun sites;
+          u_phase = Hashtbl.create 64;
+          u_poisoned = SS.empty;
+        }
+      in
+      let entry = Some (Array.make (Array.length sites) Unspawned) in
+      (try ignore (walk_block u p pa [ r ] r fd.f_body entry)
+       with Recursion g ->
+         (* everything the cycle can reach may execute in contexts the
+            walk did not record: poison it all *)
+         u.u_poisoned <-
+           SS.inter u_funs
+             (SS.of_list (Minic.Callgraph.reachable_from cg g)));
+      Some u
+
+let analyze (p : program) (pa : Pointer.Analysis.t) (cg : Minic.Callgraph.t) :
+    t =
+  let fun_roots = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun f ->
+          let cur = Option.value (Hashtbl.find_opt fun_roots f) ~default:[] in
+          if not (List.mem r cur) then Hashtbl.replace fun_roots f (r :: cur))
+        (Minic.Callgraph.reachable_from cg r))
+    cg.cg_roots;
+  let stmt_fun = stmt_fun_index p in
+  let universes =
+    List.filter_map
+      (analyze_spawner p pa cg fun_roots stmt_fun)
+      (single_instance_roots cg)
+  in
+  { prog = p; cg; universes; fun_roots; stmt_fun }
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let roots_of (t : t) f =
+  Option.value (Hashtbl.find_opt t.fun_roots f) ~default:[]
+
+(** The universe whose phases cover every execution of [fname]: [fname]
+    exclusive to the universe's root and not poisoned. *)
+let covering_universe (t : t) fname =
+  match roots_of t fname with
+  | [ r ] ->
+      List.find_opt
+        (fun u ->
+          u.u_root = r && SS.mem fname u.u_funs
+          && not (SS.mem fname u.u_poisoned))
+        t.universes
+  | _ -> None
+
+let sites_targeting (t : t) root =
+  List.filter
+    (fun (sp : Minic.Callgraph.spawn_site) -> List.mem root sp.sp_targets)
+    t.cg.Minic.Callgraph.cg_spawns
+
+let not_live_at (t : t) ~root ~fname ~sid =
+  root <> "main"
+  &&
+  match covering_universe t fname with
+  | None -> false
+  | Some u -> (
+      (* code of [fname] runs in [u.u_root]'s own thread *)
+      root <> u.u_root
+      &&
+      match Hashtbl.find_opt u.u_phase sid with
+      | None -> false
+      | Some arr ->
+          let sites = sites_targeting t root in
+          sites <> []
+          && List.for_all
+               (fun (sp : Minic.Callgraph.spawn_site) ->
+                 match Hashtbl.find_opt u.u_sid_idx sp.sp_sid with
+                 | Some idx ->
+                     (not (SS.mem sp.sp_caller u.u_poisoned))
+                     && not_live arr.(idx)
+                 | None -> false)
+               sites)
+
+(** Are roots [ra] and [rb] never simultaneously live? Both directions of
+    the phase check are required: each root's every spawn must occur at a
+    moment when no thread of the other root is live. If two live
+    intervals overlapped, one of the two births would land inside the
+    other root's live interval and fail its direction. *)
+let sibling_serialized (t : t) ra rb =
+  ra <> rb && ra <> "main" && rb <> "main"
+  && List.exists
+       (fun u ->
+         let ok_site (sp : Minic.Callgraph.spawn_site) =
+           Hashtbl.mem u.u_sid_idx sp.sp_sid
+           && not (SS.mem sp.sp_caller u.u_poisoned)
+         in
+         let sa = sites_targeting t ra and sb = sites_targeting t rb in
+         let others_dead_at (sp : Minic.Callgraph.spawn_site) others =
+           match Hashtbl.find_opt u.u_phase sp.sp_sid with
+           | None -> false
+           | Some arr ->
+               List.for_all
+                 (fun (o : Minic.Callgraph.spawn_site) ->
+                   match Hashtbl.find_opt u.u_sid_idx o.sp_sid with
+                   | Some idx -> not_live arr.(idx)
+                   | None -> false)
+                 others
+         in
+         sa <> [] && sb <> []
+         && List.for_all ok_site sa && List.for_all ok_site sb
+         && List.for_all (fun sp -> others_dead_at sp sb) sa
+         && List.for_all (fun sp -> others_dead_at sp sa) sb)
+       t.universes
+
+let multiply (t : t) r = Minic.Callgraph.root_multiply_spawned t.cg r
+
+let pair_serialized (t : t) ~f1 ~sid1 ~f2 ~sid2 =
+  let r1 = roots_of t f1 and r2 = roots_of t f2 in
+  List.for_all
+    (fun ra ->
+      List.for_all
+        (fun rb ->
+          (ra = rb && not (multiply t ra))
+          || not_live_at t ~root:rb ~fname:f1 ~sid:sid1
+          || not_live_at t ~root:ra ~fname:f2 ~sid:sid2
+          || sibling_serialized t ra rb)
+        r2)
+    r1
+
+let phase_at (t : t) ~fname ~sid =
+  match covering_universe t fname with
+  | None -> None
+  | Some u -> (
+      match Hashtbl.find_opt u.u_phase sid with
+      | None -> None
+      | Some arr ->
+          Some
+            (Array.to_list
+               (Array.mapi
+                  (fun i l -> (u.u_sites.(i).us_site.sp_sid, l))
+                  arr)))

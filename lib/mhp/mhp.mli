@@ -1,0 +1,71 @@
+(** May-happen-in-parallel (MHP) analysis over thread roots and program
+    points.
+
+    RELAY deliberately ignores fork/join ordering (paper Section 3), so
+    e.g. initialization code in [main] is reported as racing with every
+    spawned worker. This pass recovers the fork/join ordering that is
+    statically evident — a sound under-approximation of "cannot run
+    concurrently" — so {!Relay.Detect} can drop race pairs that program
+    structure already serializes before they cost a weak-lock.
+
+    The analysis runs one flow-sensitive {e phase} computation per
+    {e spawner root} (a thread root that provably has at most one live
+    instance: [main], plus roots spawned exactly once directly from
+    [main]'s body outside any loop). The abstract state maps each spawn
+    site in the spawner's {e universe} (the functions exclusive to that
+    root) to a liveness value:
+
+    {v Unspawned < LiveOne, Joined < LiveMany v}
+
+    - [Unspawned]: the site has not executed; no thread from it exists.
+    - [LiveOne]: at most one un-joined thread from the site exists, and
+      its id is the last value written to the site's handle.
+    - [LiveMany]: any number of un-joined threads may exist (top).
+    - [Joined]: the site has executed, and every thread it spawned has
+      been joined.
+
+    A [join] lowers [LiveOne] to [Joined] only when the joined handle is
+    {e single-writer} (no statement other than the spawn writes its
+    abstract location, per the points-to solution) and matches the spawn's
+    handle shape: a scalar [t], a constant index [t[k]], or a spawn
+    loop / join loop pair over syntactically identical constant induction
+    ranges. Everything else conservatively stays live.
+
+    Recursion through a universe poisons the involved functions (their
+    statements execute in contexts the walk did not record), and any
+    statement without a recorded phase answers "may be live". *)
+
+type liveness = Unspawned | LiveOne | LiveMany | Joined
+
+val pp_liveness : liveness Fmt.t
+
+type t
+
+(** Run the analysis. [cg] must be the pointer-resolved call graph of
+    [pa] (as built by {!Pointer.Analysis.callgraph}), so spawn targets
+    seen here agree with the ones race detection uses. *)
+val analyze : Minic.Ast.program -> Pointer.Analysis.t -> Minic.Callgraph.t -> t
+
+(** The spawner roots that were analyzed (each owns a phase universe). *)
+val spawner_roots : t -> string list
+
+(** [not_live_at t ~root ~fname ~sid]: is it guaranteed that {e no}
+    thread rooted at [root] is live whenever statement [sid] of function
+    [fname] executes? Requires [fname] to be exclusive to an analyzed
+    spawner whose universe contains every spawn site that can target
+    [root]; answers [false] whenever it cannot prove the claim. *)
+val not_live_at : t -> root:string -> fname:string -> sid:int -> bool
+
+(** [pair_serialized t ~f1 ~sid1 ~f2 ~sid2]: can the two statements never
+    execute concurrently? True only if {e every} pair of thread roots the
+    two functions can run under is serialized — by being the same
+    single-instance root, by one side executing only while the other root
+    is provably not live, or by the two roots' spawn sites never
+    overlapping in time (sibling serialization). *)
+val pair_serialized :
+  t -> f1:string -> sid1:int -> f2:string -> sid2:int -> bool
+
+(** Debug/report view: the phase state recorded at a statement of an
+    analyzed spawner's universe — each universe spawn site's sid with its
+    liveness — or [None] if the statement was never reached by the walk. *)
+val phase_at : t -> fname:string -> sid:int -> (int * liveness) list option

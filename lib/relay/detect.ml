@@ -42,9 +42,18 @@ let pp_race_pair ppf rp =
     Fmt.(list ~sep:comma A.pp)
     rp.rp_objs
 
+type provenance = Kept | Pruned_mhp | Pruned_escape
+
+let pp_provenance ppf = function
+  | Kept -> Fmt.string ppf "kept"
+  | Pruned_mhp -> Fmt.string ppf "pruned:mhp"
+  | Pruned_escape -> Fmt.string ppf "pruned:escape"
+
 type report = {
-  races : race_pair list;
-  racy_sids : (int, unit) Hashtbl.t;       (** sids appearing in any pair *)
+  races : race_pair list;                  (** kept after MHP pruning *)
+  pruned : (race_pair * provenance) list;  (** statically serialized *)
+  n_candidates : int;                      (** pairs before pruning *)
+  racy_sids : (int, unit) Hashtbl.t;       (** sids of kept pairs *)
   racy_fun_pairs : (string * string) list; (** deduped function pairs *)
   roots : string list;
 }
@@ -117,8 +126,40 @@ let concurrent_roots (cg : Minic.Callgraph.t) roots_a roots_b : bool =
         roots_b)
     roots_a
 
+(* ------------------------------------------------------------------ *)
+(* MHP pruning: classify each candidate pair *)
+
+(** An object is {e confined} when fork/join structure serializes every
+    one of its writes against every one of its accesses — the MHP
+    strengthening of the escape filter: an object written only while its
+    other accessors' threads are not yet spawned (or already joined)
+    cannot race, wherever its address flows. *)
+let object_confined (mhp : Mhp.t) (accs : Summary.gaccess list) : bool =
+  List.exists (fun (a : Summary.gaccess) -> a.Summary.ga_write) accs
+  && List.for_all
+       (fun (w : Summary.gaccess) ->
+         (not w.Summary.ga_write)
+         || List.for_all
+              (fun (a : Summary.gaccess) ->
+                Mhp.pair_serialized mhp ~f1:w.Summary.ga_fname
+                     ~sid1:w.Summary.ga_sid ~f2:a.Summary.ga_fname
+                     ~sid2:a.Summary.ga_sid)
+              accs)
+       accs
+
+(** Classify a candidate pair. The escape refinement is checked first:
+    it is the stronger (object-level) fact, and subsumes the site-level
+    MHP check for the pairs it covers. *)
+let classify_pair mhp confined_c (rp : race_pair) : provenance =
+  if List.for_all confined_c rp.rp_objs then Pruned_escape
+  else if
+    Mhp.pair_serialized mhp ~f1:rp.rp_s1.st_fname ~sid1:rp.rp_s1.st_sid
+      ~f2:rp.rp_s2.st_fname ~sid2:rp.rp_s2.st_sid
+  then Pruned_mhp
+  else Kept
+
 (** Run race detection over computed summaries. *)
-let detect (sm : Summary.t) : report =
+let detect ?(mhp = true) (sm : Summary.t) : report =
   let cg = sm.Summary.cg in
   let roots = cg.Minic.Callgraph.cg_roots in
   let fun_roots = roots_of_fun cg roots in
@@ -195,12 +236,37 @@ let detect (sm : Summary.t) : report =
           done
         done)
     by_obj;
-  let races =
+  let candidates =
     Hashtbl.fold
       (fun _ (s1, s2, objs) acc -> { rp_s1 = s1; rp_s2 = s2; rp_objs = objs } :: acc)
       pairs []
     |> List.sort (fun a b ->
            compare (a.rp_s1.st_sid, a.rp_s2.st_sid) (b.rp_s1.st_sid, b.rp_s2.st_sid))
+  in
+  let races, pruned =
+    if not mhp then (candidates, [])
+    else begin
+      let m = Mhp.analyze sm.Summary.prog sm.Summary.pa cg in
+      let conf_cache : (A.t, bool) Hashtbl.t = Hashtbl.create 16 in
+      let confined_c obj =
+        match Hashtbl.find_opt conf_cache obj with
+        | Some b -> b
+        | None ->
+            let accs =
+              Option.value (Hashtbl.find_opt by_obj obj) ~default:[]
+            in
+            let b = object_confined m accs in
+            Hashtbl.replace conf_cache obj b;
+            b
+      in
+      List.fold_left
+        (fun (kept, pruned) rp ->
+          match classify_pair m confined_c rp with
+          | Kept -> (rp :: kept, pruned)
+          | p -> (kept, (rp, p) :: pruned))
+        ([], []) candidates
+      |> fun (k, p) -> (List.rev k, List.rev p)
+    end
   in
   let racy_sids = Hashtbl.create 64 in
   List.iter
@@ -216,16 +282,40 @@ let detect (sm : Summary.t) : report =
       races
     |> List.sort_uniq compare
   in
-  { races; racy_sids; racy_fun_pairs; roots }
+  {
+    races;
+    pruned;
+    n_candidates = List.length candidates;
+    racy_sids;
+    racy_fun_pairs;
+    roots;
+  }
 
 (** Convenience: full static analysis pipeline from a program. *)
-let analyze (p : program) : Summary.t * report =
+let analyze ?mhp (p : program) : Summary.t * report =
   let pa = Pointer.Analysis.run p in
   let sm = Summary.compute p pa in
-  (sm, detect sm)
+  (sm, detect ?mhp sm)
 
 let pp_report ppf (r : report) =
-  Fmt.pf ppf "roots: %a@\n%d race pairs:@\n%a" Fmt.(list ~sep:comma string)
-    r.roots (List.length r.races)
+  Fmt.pf ppf "roots: %a@\n%d race pairs (%d candidates, %d pruned):@\n%a"
+    Fmt.(list ~sep:comma string)
+    r.roots (List.length r.races) r.n_candidates (List.length r.pruned)
     Fmt.(list ~sep:(any "@\n") pp_race_pair)
     r.races
+
+let pp_report_explain ppf (r : report) =
+  let all =
+    List.map (fun rp -> (rp, Kept)) r.races @ r.pruned
+    |> List.sort (fun (a, _) (b, _) ->
+           compare
+             (a.rp_s1.st_sid, a.rp_s2.st_sid)
+             (b.rp_s1.st_sid, b.rp_s2.st_sid))
+  in
+  Fmt.pf ppf "roots: %a@\n%d candidate pairs, %d kept, %d pruned:@\n%a"
+    Fmt.(list ~sep:comma string)
+    r.roots r.n_candidates (List.length r.races) (List.length r.pruned)
+    Fmt.(
+      list ~sep:(any "@\n") (fun ppf (rp, p) ->
+          pf ppf "[%a] %a" pp_provenance p pp_race_pair rp))
+    all

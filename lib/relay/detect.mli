@@ -25,9 +25,22 @@ type race_pair = {
 
 val pp_race_pair : race_pair Fmt.t
 
+(** Why a candidate pair survived or was dropped. [Pruned_escape] marks
+    pairs whose every raced-on object is {e confined} — all its writes are
+    serialized against all its accesses by fork/join structure (the
+    object-level strengthening of {!escapes}); [Pruned_mhp] marks pairs
+    whose two sites the MHP phase analysis proves can never run
+    concurrently. *)
+type provenance = Kept | Pruned_mhp | Pruned_escape
+
+val pp_provenance : provenance Fmt.t
+
 type report = {
-  races : race_pair list;
-  racy_sids : (int, unit) Hashtbl.t;
+  races : race_pair list;  (** pairs kept after MHP pruning *)
+  pruned : (race_pair * provenance) list;
+      (** candidate pairs statically serialized by fork/join ordering *)
+  n_candidates : int;  (** RELAY pairs before pruning *)
+  racy_sids : (int, unit) Hashtbl.t;  (** sids of kept pairs *)
   racy_fun_pairs : (string * string) list;  (** deduped, ordered pairs *)
   roots : string list;  (** thread entry points considered *)
 }
@@ -37,10 +50,17 @@ type report = {
     locations trivially "escape". *)
 val escapes : Pointer.Analysis.t -> Pointer.Absloc.t -> bool
 
-(** Race detection over computed summaries. *)
-val detect : Summary.t -> report
+(** Race detection over computed summaries. [mhp] (default [true]) runs
+    the {!Mhp} pass and moves statically serialized pairs from [races] to
+    [pruned]; [~mhp:false] reproduces raw RELAY output. *)
+val detect : ?mhp:bool -> Summary.t -> report
 
 (** Full static pipeline: pointer analysis, summaries, detection. *)
-val analyze : Minic.Ast.program -> Summary.t * report
+val analyze : ?mhp:bool -> Minic.Ast.program -> Summary.t * report
 
 val pp_report : report Fmt.t
+
+(** Like {!pp_report} but listing every candidate pair with its
+    provenance ([kept] / [pruned:mhp] / [pruned:escape]) — the
+    [--explain-races] view. *)
+val pp_report_explain : report Fmt.t

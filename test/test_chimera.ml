@@ -6,6 +6,7 @@ let () =
       ("minic", Test_minic.suite);
       ("pointer", Test_pointer.suite);
       ("relay", Test_relay.suite);
+      ("mhp", Test_mhp.suite);
       ("symbolic", Test_symbolic.suite);
       ("runtime", Test_runtime.suite);
       ("replay-log", Test_replay_log.suite);

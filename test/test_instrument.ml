@@ -65,14 +65,17 @@ let test_clique_self_pair () =
 (* ------------------------------------------------------------------ *)
 (* Planning *)
 
-let analyze ?(opts = Instrument.Plan.all_opts) ?(profile_runs = 6) src =
-  Chimera.Pipeline.analyze ~opts ~profile_runs (Minic.Parser.parse src)
+let analyze ?(opts = Instrument.Plan.all_opts) ?(profile_runs = 6) ?mhp src =
+  Chimera.Pipeline.analyze ~opts ~profile_runs ?mhp (Minic.Parser.parse src)
 
 let test_plan_radix_loop_ranges () =
   (* Figure 4: the rank-zeroing loop gets a loop-lock with precise
-     per-thread ranges *)
+     per-thread ranges. MHP pruning is off: it statically removes the
+     main-vs-worker pair that exercises the cross-thread range machinery
+     in this reduced kernel (the worker self-pair remains and takes the
+     profile-guided clique path instead). *)
   let an =
-    analyze
+    analyze ~mhp:false
       {|int rank[32];
         int ids[4];
         void w(int *idp) {
@@ -97,9 +100,9 @@ let test_plan_radix_loop_ranges () =
 
 let test_plan_function_lock_for_fork_ordered () =
   (* init-vs-reader: never concurrent (fork-ordered); reader runs in a
-     single thread -> function lock *)
-  let an =
-    analyze
+     single thread -> function lock. MHP pruning off: it proves the pair
+     serialized before planning even sees it (checked below). *)
+  let src =
       {|int table[16];
         int sum = 0;
         void reader(int *u) {
@@ -116,8 +119,18 @@ let test_plan_function_lock_for_fork_ordered () =
           join(t);
           return sum; }|}
   in
+  let an = analyze ~mhp:false src in
   Alcotest.(check bool) "function regions exist" true
-    (Hashtbl.length an.an_plan.Instrument.Plan.pl_func > 0)
+    (Hashtbl.length an.an_plan.Instrument.Plan.pl_func > 0);
+  (* with MHP on, the fork-ordered pairs are pruned statically: no race
+     pairs survive, so the plan needs no locks at all *)
+  let an' = analyze src in
+  Alcotest.(check int) "MHP leaves nothing to lock" 0
+    (List.length an'.an_report.Relay.Detect.races);
+  Alcotest.(check bool) "pruning recorded in the plan" true
+    (an'.an_plan.Instrument.Plan.pl_pruned_pairs
+    = an'.an_plan.Instrument.Plan.pl_static_pairs
+    && an'.an_plan.Instrument.Plan.pl_static_pairs > 0)
 
 let test_plan_no_func_lock_for_self_concurrent () =
   (* a worker spawned twice is concurrent with itself: no function lock

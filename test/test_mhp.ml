@@ -1,0 +1,317 @@
+(** Tests for the may-happen-in-parallel pass: the liveness lattice's
+    directed edge cases (spawn-in-loop, join-in-branch, nested spawners,
+    function-pointer targets, handle overwrites), the pruning provenance
+    it feeds {!Relay.Detect}, and a proggen-based soundness property:
+    a pruned pair is never observed racing by the dynamic detector. *)
+
+let parse src = Minic.Typecheck.parse_and_check ~file:"mhp.mc" src
+
+let report src = snd (Relay.Detect.analyze (parse src))
+
+let kept_between (r : Relay.Detect.report) f g =
+  List.exists
+    (fun (rp : Relay.Detect.race_pair) ->
+      (rp.rp_s1.st_fname = f && rp.rp_s2.st_fname = g)
+      || (rp.rp_s1.st_fname = g && rp.rp_s2.st_fname = f))
+    r.races
+
+let pruned_between ?prov (r : Relay.Detect.report) f g =
+  List.exists
+    (fun ((rp : Relay.Detect.race_pair), pv) ->
+      ((rp.rp_s1.st_fname = f && rp.rp_s2.st_fname = g)
+      || (rp.rp_s1.st_fname = g && rp.rp_s2.st_fname = f))
+      && match prov with None -> true | Some p -> p = pv)
+    r.pruned
+
+(* ------------------------------------------------------------------ *)
+(* Directed lattice tests *)
+
+let test_spawn_loop_matched_join_loop () =
+  (* the benchmark idiom: spawn loop + identically-ranged join loop.
+     Code after the join loop cannot overlap any worker, despite the
+     site's LiveMany state inside the loop. *)
+  let r =
+    report
+      {|int acc[4]; int total;
+        void w(int *slot) { *slot = *slot + 1; }
+        void finish() { int i;
+          for (i = 0; i < 4; i++) { total = total + acc[i]; } }
+        int main() { int t[4]; int i;
+          for (i = 0; i < 4; i++) { t[i] = spawn(w, &acc[i]); }
+          for (i = 0; i < 4; i++) { join(t[i]); }
+          finish();
+          return total; }|}
+  in
+  Alcotest.(check bool) "post-join reader pruned against workers" false
+    (kept_between r "finish" "w");
+  Alcotest.(check bool) "recorded as pruned" true (pruned_between r "finish" "w")
+
+let test_spawn_loop_unmatched_join_loop () =
+  (* join loop over a DIFFERENT range must not retire the site *)
+  let r =
+    report
+      {|int acc[4]; int total;
+        void w(int *slot) { *slot = *slot + 1; }
+        void finish() { int i;
+          for (i = 0; i < 4; i++) { total = total + acc[i]; } }
+        int main() { int t[4]; int i;
+          for (i = 0; i < 4; i++) { t[i] = spawn(w, &acc[i]); }
+          for (i = 0; i < 3; i++) { join(t[i]); }
+          finish();
+          return total; }|}
+  in
+  Alcotest.(check bool) "partial join loop keeps the pair" true
+    (kept_between r "finish" "w")
+
+let test_join_in_branch () =
+  (* a conditional join cannot prove the thread dead afterwards *)
+  let r =
+    report
+      {|int g;
+        void w(int *u) { g = g + 1; }
+        void after() { g = g * 2; }
+        int main() { int t; int c;
+          c = input();
+          t = spawn(w, &g);
+          if (c) { join(t); }
+          after();
+          return g; }|}
+  in
+  Alcotest.(check bool) "join under a branch keeps the pair" true
+    (kept_between r "after" "w")
+
+let test_spawn_in_branch_join_outside () =
+  (* spawn under a branch: the site state merges Unspawned with LiveOne
+     (-> LiveMany), so the unconditional join cannot retire it *)
+  let r =
+    report
+      {|int g;
+        void w(int *u) { g = g + 1; }
+        void after() { g = g * 2; }
+        int main() { int t; int c;
+          c = input();
+          t = 0;
+          if (c) { t = spawn(w, &g); }
+          join(t);
+          after();
+          return g; }|}
+  in
+  Alcotest.(check bool) "conditional spawn keeps the pair" true
+    (kept_between r "after" "w")
+
+let test_nested_spawner () =
+  (* a single-instance secondary spawner gets its own phase universe:
+     its post-join code is serialized against its child, but code in
+     main concurrent with the whole sub-lifetime is not *)
+  let r =
+    report
+      {|int g; int h;
+        void leaf(int *u) { g = g + 1; }
+        void coordpost() { g = g * 2; }
+        void coord(int *u) { int s;
+          s = spawn(leaf, &g);
+          join(s);
+          coordpost(); }
+        void mainwork() { h = g; }
+        int main() { int t;
+          t = spawn(coord, &g);
+          mainwork();
+          join(t);
+          return g + h; }|}
+  in
+  Alcotest.(check bool) "nested spawner's post-join pruned vs leaf" false
+    (kept_between r "coordpost" "leaf");
+  Alcotest.(check bool) "main's mid-lifetime code kept vs leaf" true
+    (kept_between r "mainwork" "leaf")
+
+let test_funptr_spawn_target () =
+  (* the spawn target flows through a function pointer; the pointer
+     analysis still resolves the root and the scalar join retires it *)
+  let r =
+    report
+      {|int g;
+        void w(int *u) { g = g + 1; }
+        int main() { int t; void (*fp)(int*);
+          g = 5;
+          fp = &w;
+          t = spawn(fp, &g);
+          join(t);
+          return g; }|}
+  in
+  Alcotest.(check bool) "funptr-spawned pair pruned" false
+    (kept_between r "main" "w");
+  Alcotest.(check bool) "funptr-spawned pair recorded pruned" true
+    (pruned_between r "main" "w")
+
+let test_handle_overwrite () =
+  (* two spawns into one scalar handle: joining it retires only the
+     second thread, so the first stays live past the join *)
+  let r =
+    report
+      {|int g;
+        void w1(int *u) { g = g + 1; }
+        void w2(int *u) { g = g + 2; }
+        void after() { g = g * 2; }
+        int main() { int t;
+          t = spawn(w1, &g);
+          t = spawn(w2, &g);
+          join(t);
+          after();
+          return g; }|}
+  in
+  Alcotest.(check bool) "overwritten handle keeps w1 live" true
+    (kept_between r "after" "w1")
+
+let test_const_indexed_handles () =
+  (* proggen's idiom: distinct constant indices, joined one by one *)
+  let r =
+    report
+      {|int g;
+        void w(int *u) { g = g + 1; }
+        void after() { g = g * 2; }
+        int main() { int t[2];
+          t[0] = spawn(w, &g);
+          t[1] = spawn(w, &g);
+          join(t[0]);
+          join(t[1]);
+          after();
+          return g; }|}
+  in
+  Alcotest.(check bool) "const-indexed joins retire both sites" false
+    (kept_between r "after" "w");
+  (* the two workers still race with each other *)
+  Alcotest.(check bool) "worker self-pairs kept" true (kept_between r "w" "w")
+
+let test_escape_provenance () =
+  (* init-before-spawn: every access to the object is serialized, so the
+     pair carries the stronger object-level provenance *)
+  let r =
+    report
+      {|int data;
+        void w(int *u) { data = data + 1; }
+        int main() { int t;
+          data = 5;
+          t = spawn(w, &data);
+          join(t);
+          return data; }|}
+  in
+  Alcotest.(check bool) "confined object pruned as escape" true
+    (pruned_between ~prov:Relay.Detect.Pruned_escape r "main" "w")
+
+let test_mhp_queries () =
+  (* direct phase queries: before the spawn the worker is not live, in
+     between it is (unprovable), after the join it is not *)
+  let p =
+    parse
+      {|int g;
+        void w(int *u) { g = g + 1; }
+        int main() { int t;
+          g = 1;
+          t = spawn(w, &g);
+          g = 2;
+          join(t);
+          g = 3;
+          return g; }|}
+  in
+  let pa = Pointer.Analysis.run p in
+  let cg = Pointer.Analysis.callgraph pa in
+  let m = Mhp.analyze p pa cg in
+  Alcotest.(check bool) "main is a spawner root" true
+    (List.mem "main" (Mhp.spawner_roots m));
+  (* fish out the sids of main's three assignments to g *)
+  let sids = ref [] in
+  Minic.Ast.iter_program_stmts
+    (fun s ->
+      match s.skind with
+      | Minic.Ast.Assign (Minic.Ast.Var "g", Minic.Ast.Const k) ->
+          sids := (k, s.sid) :: !sids
+      | _ -> ())
+    p;
+  let sid_of k = List.assoc k !sids in
+  let q sid = Mhp.not_live_at m ~root:"w" ~fname:"main" ~sid in
+  Alcotest.(check bool) "not live before spawn" true (q (sid_of 1));
+  Alcotest.(check bool) "maybe live between spawn and join" false
+    (q (sid_of 2));
+  Alcotest.(check bool) "not live after join" true (q (sid_of 3));
+  Alcotest.(check bool) "main itself is always live" false
+    (Mhp.not_live_at m ~root:"main" ~fname:"main" ~sid:(sid_of 1))
+
+let test_recursion_poisons () =
+  (* a recursive helper in the spawner's universe must disable claims
+     about its statements (they run in unrecorded contexts) *)
+  let r =
+    report
+      {|int g;
+        void w(int *u) { g = g + 1; }
+        void rec_touch(int n) { g = g * 2; if (n) { rec_touch(n - 1); } }
+        int main() { int t;
+          t = spawn(w, &g);
+          join(t);
+          rec_touch(3);
+          return g; }|}
+  in
+  Alcotest.(check bool) "recursive function's accesses stay kept" true
+    (kept_between r "rec_touch" "w")
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz property: a pruned pair is never observed racing dynamically *)
+
+let prop_pruned_never_races =
+  QCheck.Test.make
+    ~name:"fuzz: pruned pair => dynrace never observes it racing" ~count:25
+    Proggen.arbitrary_program (fun src ->
+      let p = Minic.Typecheck.parse_and_check ~file:"fuzz.mc" src in
+      let _, r = Relay.Detect.analyze p in
+      let pruned_pairs = Hashtbl.create 16 in
+      List.iter
+        (fun ((rp : Relay.Detect.race_pair), _) ->
+          Hashtbl.replace pruned_pairs
+            (rp.rp_s1.Relay.Detect.st_sid, rp.rp_s2.Relay.Detect.st_sid)
+            ())
+        r.pruned;
+      List.for_all
+        (fun seed ->
+          let dr = Dynrace.create ~track_weak:false () in
+          let hooks = Dynrace.attach dr (Interp.Engine.no_hooks ()) in
+          let config = { Interp.Engine.default_config with seed; cores = 4 } in
+          let io = Interp.Iomodel.random ~seed:(700 + seed) in
+          let _ = Interp.Engine.run ~config ~hooks ~mode:Native ~io p in
+          List.for_all
+            (fun (race : Dynrace.race) ->
+              let key =
+                if race.dr_sid1 <= race.dr_sid2 then
+                  (race.dr_sid1, race.dr_sid2)
+                else (race.dr_sid2, race.dr_sid1)
+              in
+              if Hashtbl.mem pruned_pairs key then
+                QCheck.Test.fail_reportf
+                  "pruned pair (sid %d, sid %d) raced dynamically on %a"
+                  race.dr_sid1 race.dr_sid2 Runtime.Key.pp_addr race.dr_addr
+              else true)
+            (Dynrace.races dr))
+        [ 3; 11 ])
+
+let rand () =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> Random.State.make [| int_of_string s |]
+  | None -> Random.State.make [| 0xC41A3A5 |]
+
+let suite =
+  [
+    Alcotest.test_case "spawn loop + matched join loop" `Quick
+      test_spawn_loop_matched_join_loop;
+    Alcotest.test_case "spawn loop + unmatched join loop" `Quick
+      test_spawn_loop_unmatched_join_loop;
+    Alcotest.test_case "join in branch" `Quick test_join_in_branch;
+    Alcotest.test_case "spawn in branch" `Quick
+      test_spawn_in_branch_join_outside;
+    Alcotest.test_case "nested spawner" `Quick test_nested_spawner;
+    Alcotest.test_case "funptr spawn target" `Quick test_funptr_spawn_target;
+    Alcotest.test_case "handle overwrite" `Quick test_handle_overwrite;
+    Alcotest.test_case "const-indexed handles" `Quick
+      test_const_indexed_handles;
+    Alcotest.test_case "escape provenance" `Quick test_escape_provenance;
+    Alcotest.test_case "phase queries" `Quick test_mhp_queries;
+    Alcotest.test_case "recursion poisons" `Quick test_recursion_poisons;
+    QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_pruned_never_races;
+  ]

@@ -80,20 +80,34 @@ let test_lock_acquired_in_callee () =
     (race_between r "w" "w")
 
 let test_fork_join_false_positive () =
-  (* RELAY ignores fork/join: init-vs-worker is reported even though it is
-     ordered — the deliberate imprecision profiling later recovers *)
-  let r =
-    report
-      {|int data;
-        void w(int *u) { data = data + 1; }
-        int main() { int t;
-          data = 5;
-          t = spawn(w, &data);
-          join(t);
-          return data; }|}
+  (* RELAY itself ignores fork/join: init-vs-worker is reported even
+     though it is ordered — the deliberate imprecision. The MHP pass
+     (on by default) recovers exactly this pattern, so the pair must be
+     reported raw and pruned-with-provenance otherwise. *)
+  let src =
+    {|int data;
+      void w(int *u) { data = data + 1; }
+      int main() { int t;
+        data = 5;
+        t = spawn(w, &data);
+        join(t);
+        return data; }|}
   in
-  Alcotest.(check bool) "fork-ordered write still reported" true
-    (race_between r "main" "w")
+  let raw = snd (Relay.Detect.analyze ~mhp:false (parse src)) in
+  Alcotest.(check bool) "fork-ordered write reported by raw RELAY" true
+    (race_between raw "main" "w");
+  let r = report src in
+  Alcotest.(check bool) "MHP prunes the fork-ordered pair" false
+    (race_between r "main" "w");
+  Alcotest.(check int) "candidate count preserved" raw.n_candidates
+    r.n_candidates;
+  Alcotest.(check bool) "pruned with a recorded reason" true
+    (List.exists
+       (fun ((rp : Relay.Detect.race_pair), pv) ->
+         pv <> Relay.Detect.Kept
+         && ((rp.rp_s1.st_fname = "main" && rp.rp_s2.st_fname = "w")
+            || (rp.rp_s1.st_fname = "w" && rp.rp_s2.st_fname = "main")))
+       r.pruned)
 
 let test_barrier_false_positive () =
   (* the water pattern of Figure 2: barrier-separated phases still race
@@ -229,6 +243,71 @@ let test_netread_buffer_write_detected () =
   in
   Alcotest.(check bool) "syscall buffer write races" true buf_race
 
+(* ------------------------------------------------------------------ *)
+(* escapes audit: the doc promises a local escapes iff its address is
+   reachable from a global, the heap, or another function's frame in the
+   points-to solution. Exercise each holder class directly. *)
+
+let escapes_of src fname vname =
+  let p = parse src in
+  let pa = Pointer.Analysis.run p in
+  Relay.Detect.escapes pa (Pointer.Absloc.ALocal (fname, vname))
+
+let test_escapes_via_global_holder () =
+  let src =
+    {|int *gp;
+      void f() { int x; gp = &x; }
+      int main() { f(); return 0; }|}
+  in
+  Alcotest.(check bool) "address stored in a global escapes" true
+    (escapes_of src "f" "x")
+
+let test_escapes_via_other_frame () =
+  (* the address only ever lives in ANOTHER function's frame (a callee
+     parameter): still an escape — that frame may be a different thread *)
+  let src =
+    {|void sink(int *p) { *p = 1; }
+      void f() { int x; sink(&x); }
+      int main() { f(); return 0; }|}
+  in
+  Alcotest.(check bool) "address passed to another frame escapes" true
+    (escapes_of src "f" "x")
+
+let test_escapes_via_heap_holder () =
+  (* heapified: the address is stored into a malloc'd cell *)
+  let src =
+    {|void f() { int x; int **c; c = malloc(1); *c = &x; }
+      int main() { f(); return 0; }|}
+  in
+  Alcotest.(check bool) "address stored in the heap escapes" true
+    (escapes_of src "f" "x")
+
+let test_escapes_transitive_heap () =
+  (* two hops: heap cell -> struct-ish heap cell -> &x; the filter must
+     chase the points-to solution transitively *)
+  let src =
+    {|int **gp;
+      void f() { int x; int **inner; inner = malloc(1); *inner = &x; gp = inner; }
+      int main() { f(); return 0; }|}
+  in
+  Alcotest.(check bool) "transitively held address escapes" true
+    (escapes_of src "f" "x")
+
+let test_no_escape_same_frame_only () =
+  (* the address never leaves f's own frame: pointer juggling inside one
+     function is not an escape *)
+  let src =
+    {|void f() { int x; int *p; int *q; p = &x; q = p; *q = 3; }
+      int main() { f(); return 0; }|}
+  in
+  Alcotest.(check bool) "frame-local pointer does not escape" false
+    (escapes_of src "f" "x");
+  (* and non-local locations trivially "escape" (shareable) *)
+  let p = parse src in
+  let pa = Pointer.Analysis.run p in
+  Alcotest.(check bool) "globals trivially escape" true
+    (Relay.Detect.escapes pa (Pointer.Absloc.AGlobal "whatever"))
+
 let suite =
   [
     Alcotest.test_case "unprotected counter" `Quick test_unprotected_counter_races;
@@ -245,4 +324,9 @@ let suite =
     Alcotest.test_case "read-read" `Quick test_read_read_no_race;
     Alcotest.test_case "racy sids cover pairs" `Quick test_racy_sids_cover_pairs;
     Alcotest.test_case "syscall buffer write" `Quick test_netread_buffer_write_detected;
+    Alcotest.test_case "escapes: global holder" `Quick test_escapes_via_global_holder;
+    Alcotest.test_case "escapes: other frame" `Quick test_escapes_via_other_frame;
+    Alcotest.test_case "escapes: heap holder" `Quick test_escapes_via_heap_holder;
+    Alcotest.test_case "escapes: transitive heap" `Quick test_escapes_transitive_heap;
+    Alcotest.test_case "escapes: same frame only" `Quick test_no_escape_same_frame_only;
   ]
