@@ -2,7 +2,15 @@
 # is part of the test suite: the fuzz/e2e properties run dynrace over
 # instrumented programs (zero races allowed) and assert that statically
 # pruned pairs are never observed racing dynamically.
-.PHONY: all build test check bench-json clean
+#
+# J controls the domain count of the parallel targets (bench -j flag /
+# the sharded test runner); it defaults to all cores.
+.PHONY: all build test test-par check bench-json par-check clean
+
+J ?= 0
+
+# expands to "-j $(J)" only when J was overridden
+JFLAG = $(if $(filter-out 0,$(J)),-j $(J),)
 
 all: build
 
@@ -12,13 +20,26 @@ build:
 test:
 	dune runtest
 
+# just the domain-sharded runner (dune runtest already includes it)
+test-par:
+	dune exec test/par_runner.exe -- $(JFLAG)
+
 check:
 	dune build && dune runtest
 
 # machine-readable pruning counters (static_pairs / pruned_pairs /
-# runtime_acquisitions per benchmark)
+# runtime_acquisitions per benchmark); J=4 fans it across 4 domains
 bench-json:
-	dune exec bench/main.exe -- json
+	dune exec bench/main.exe -- json $(JFLAG)
+
+# parallel == serial smoke check: the bench JSON must be byte-identical
+# at -j 1 and -j $(J) (defaults to -j 2 when J is unset)
+par-check:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe json -j 1 > /tmp/chimera-json-j1.out
+	./_build/default/bench/main.exe json $(if $(filter-out 0,$(J)),-j $(J),-j 2) > /tmp/chimera-json-jN.out
+	cmp /tmp/chimera-json-j1.out /tmp/chimera-json-jN.out
+	@echo "parallel output is byte-identical to serial"
 
 clean:
 	dune clean

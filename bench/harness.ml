@@ -41,60 +41,106 @@ let weak_total (m : measurement) = Array.fold_left ( +. ) 0. m.m_weak
 (** Alias for the bench JSON: the runtime cost the pruning saves. *)
 let runtime_acquisitions = weak_total
 
-(* analysis cache: (bench, workers, scale, opts-tag) *)
-let analysis_cache : (string, Chimera.Pipeline.analysis) Hashtbl.t =
-  Hashtbl.create 32
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel execution: the harness fans per-benchmark (and
+   per-config) pipeline runs out across a shared Par.Pool (bench main's
+   -j flag). Experiments compute their measurements through par_map and
+   print afterwards, so -j N output is byte-identical to -j 1. *)
+
+let jobs_pool : Par.Pool.t option ref = ref None
+
+(** Install the pool the experiments fan out on (none = serial). *)
+let set_pool (p : Par.Pool.t) =
+  jobs_pool := if Par.Pool.size p > 1 then Some p else None
+
+let pool () = !jobs_pool
+
+(** Parallel [List.map] on the harness pool; plain [List.map] at -j 1.
+    Result order (and any exception) depends only on the input list. *)
+let par_map f xs =
+  match !jobs_pool with
+  | Some p -> Par.Pool.map_list p f xs
+  | None -> List.map f xs
+
+(* Analysis memo: (bench, workers, scale, opts-tag) -> analysis, computed
+   once. Concurrent trials that want the same key neither duplicate the
+   analysis nor see a half-built one: the first caller installs
+   [Computing] and runs the pipeline; the rest wait on the condition
+   variable until the cell is [Ready]. A computation never blocks on the
+   pool (its profile runs are serial), so every [Computing] cell has an
+   owner making progress and waiters cannot deadlock. *)
+type cache_cell = Computing | Ready of Chimera.Pipeline.analysis
+
+let cache_lock = Mutex.create ()
+let cache_cond = Condition.create ()
+
+let analysis_cache : (string, cache_cell) Hashtbl.t = Hashtbl.create 32
 
 let opts_tag (o : Instrument.Plan.options) =
   Fmt.str "%b%b%b%b" o.opt_funcs o.opt_loops o.opt_bb o.opt_masks
 
 let analyze (b : Bench_progs.Registry.bench) ~opts ~workers ~scale =
   let key = Fmt.str "%s/%d/%d/%s" b.b_name workers scale (opts_tag opts) in
-  match Hashtbl.find_opt analysis_cache key with
-  | Some an -> an
-  | None ->
-      let src = b.b_source ~workers ~scale in
-      let an =
-        Chimera.Pipeline.analyze ~opts ~profile_runs:12
-          ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
-          (Minic.Parser.parse ~file:b.b_name src)
-      in
-      Hashtbl.replace analysis_cache key an;
-      an
+  let compute () =
+    let src = b.b_source ~workers ~scale in
+    Chimera.Pipeline.analyze ~opts ~profile_runs:12
+      ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+      (Minic.Parser.parse ~file:b.b_name src)
+  in
+  Mutex.lock cache_lock;
+  let rec get () =
+    match Hashtbl.find_opt analysis_cache key with
+    | Some (Ready an) ->
+        Mutex.unlock cache_lock;
+        an
+    | Some Computing ->
+        Condition.wait cache_cond cache_lock;
+        get ()
+    | None ->
+        Hashtbl.replace analysis_cache key Computing;
+        Mutex.unlock cache_lock;
+        let finish cell =
+          Mutex.lock cache_lock;
+          (match cell with
+          | Some an -> Hashtbl.replace analysis_cache key (Ready an)
+          | None -> Hashtbl.remove analysis_cache key);
+          Condition.broadcast cache_cond;
+          Mutex.unlock cache_lock
+        in
+        let an =
+          try compute ()
+          with e ->
+            finish None;
+            raise e
+        in
+        finish (Some an);
+        an
+  in
+  get ()
 
 (** Measure one benchmark: [trials] seeds, averaged (the paper reports the
-    mean of five trials, Section 7.1). *)
+    mean of five trials, Section 7.1). Trials run concurrently on the
+    harness pool; each is a pure function of its trial index, so the
+    averages are bit-identical to the serial ones. *)
 let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
     ?(scale = -1) ?(trials = 3) (b : Bench_progs.Registry.bench) : measurement
     =
   let scale = if scale < 0 then b.b_eval_scale else scale in
   let an = analyze b ~opts ~workers ~scale in
   let io = b.b_io ~seed:42 ~scale in
-  let acc = ref [] in
-  for t = 1 to trials do
-    let config =
-      { Interp.Engine.default_config with seed = 1 + (t * 13); cores }
-    in
-    let native = Chimera.Runner.native ~config ~io an.an_prog in
-    let r = Chimera.Runner.record ~config ~io an.an_instrumented in
-    let replay =
-      Chimera.Runner.replay
-        ~config:{ config with seed = config.seed + 7919 }
-        ~io an.an_instrumented r.rc_log
-    in
-    (match Chimera.Runner.same_execution r.rc_outcome replay with
-    | Ok () -> ()
-    | Error d ->
-        Fmt.failwith "%s: replay diverged during benchmarking: %a" b.b_name
-          Chimera.Runner.pp_divergence d);
-    acc := (native, r, replay) :: !acc
-  done;
+  let acc =
+    try
+      Chimera.Runner.run_trials ?pool:(pool ()) ~trials
+        ~config_of:(fun t ->
+          { Interp.Engine.default_config with seed = 1 + (t * 13); cores })
+        ~io_of:(fun _ -> io)
+        ~original:an.an_prog ~instrumented:an.an_instrumented ()
+    with Failure msg ->
+      Fmt.failwith "%s: replay diverged during benchmarking: %s" b.b_name msg
+  in
   let n = float_of_int trials in
-  let avg f = List.fold_left (fun a x -> a +. f x) 0. !acc /. n in
-  let s_of (_, (r : Chimera.Runner.recorded), _) = r.rc_outcome.o_stats in
-  let rc = List.hd !acc in
-  let rec_stats (_, (r : Chimera.Runner.recorded), _) = r in
-  ignore (rec_stats rc);
+  let avg f = List.fold_left (fun a x -> a +. f x) 0. acc /. n in
+  let s_of (tr : Chimera.Runner.trial) = tr.tr_recorded.rc_outcome.o_stats in
   {
     m_name = b.b_name;
     m_kind = b.b_kind;
@@ -107,12 +153,14 @@ let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
     m_syncops = avg (fun x -> float_of_int (s_of x).n_sync_ops);
     m_weak =
       Array.init 4 (fun i -> avg (fun x -> float_of_int (s_of x).n_weak_acq.(i)));
-    m_native = avg (fun (nat, _, _) -> float_of_int nat.Interp.Engine.o_ticks);
+    m_native = avg (fun tr -> float_of_int tr.Chimera.Runner.tr_native.o_ticks);
     m_record =
-      avg (fun (_, r, _) -> float_of_int r.Chimera.Runner.rc_outcome.o_ticks);
-    m_replay = avg (fun (_, _, rp) -> float_of_int rp.Interp.Engine.o_ticks);
-    m_input_log = avg (fun (_, r, _) -> float_of_int r.Chimera.Runner.rc_input_log_z);
-    m_order_log = avg (fun (_, r, _) -> float_of_int r.Chimera.Runner.rc_order_log_z);
+      avg (fun tr -> float_of_int tr.Chimera.Runner.tr_recorded.rc_outcome.o_ticks);
+    m_replay = avg (fun tr -> float_of_int tr.Chimera.Runner.tr_replay.o_ticks);
+    m_input_log =
+      avg (fun tr -> float_of_int tr.Chimera.Runner.tr_recorded.rc_input_log_z);
+    m_order_log =
+      avg (fun tr -> float_of_int tr.Chimera.Runner.tr_recorded.rc_order_log_z);
     m_memops = avg (fun x -> float_of_int (s_of x).n_mem_ops);
     m_weak_op_ticks = avg (fun x -> float_of_int (s_of x).weak_op_ticks);
     m_log_ticks =
@@ -124,7 +172,7 @@ let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
       Array.init 4 (fun i ->
           avg (fun x -> float_of_int (s_of x).weak_block_ticks.(i)));
     m_forced =
-      List.fold_left (fun a x -> a + (s_of x).n_forced) 0 !acc;
+      List.fold_left (fun a x -> a + (s_of x).n_forced) 0 acc;
   }
 
 (* ------------------------------------------------------------------ *)

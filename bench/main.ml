@@ -1,13 +1,21 @@
 (** The experiment harness: regenerates every table and figure of the
     paper's evaluation (Section 7).
 
-      dune exec bench/main.exe            — everything
-      dune exec bench/main.exe -- table2  — a single experiment
+      dune exec bench/main.exe                 — everything
+      dune exec bench/main.exe -- table2       — a single experiment
+      dune exec bench/main.exe -- json -j 4    — 4 domains
 
     Experiments: table1 table2 fig5 fig6 fig7 fig8 sensitivity ablation
     micro. Numbers are simulated-makespan ratios (see DESIGN.md): absolute
     values differ from the authors' Xeon; the shapes are the reproduction
-    target and EXPERIMENTS.md records paper-vs-measured for each. *)
+    target and EXPERIMENTS.md records paper-vs-measured for each.
+
+    [-j N] fans the per-benchmark / per-config measurements out across N
+    domains (default [Domain.recommended_domain_count ()]). Every
+    experiment computes its rows first and prints afterwards, and each
+    row is a pure function of its benchmark and configuration, so the
+    output is byte-identical for every N (the parallel≡serial tier-1
+    test pins this). *)
 
 open Harness
 
@@ -35,6 +43,7 @@ let table1 () =
           libc included)@."
 
 let table2 () =
+  let rows = par_map (fun b -> measure b) benches in
   section
     "Table 2: record and replay performance (4 workers, mean of 3 trials)";
   Fmt.pr "%-10s | %9s %9s | %6s %6s %6s %6s | %7s %7s | %8s %8s@." "app"
@@ -42,14 +51,13 @@ let table2 () =
     "in-log B" "ord-logB";
   hr 112;
   List.iter
-    (fun b ->
-      let m = measure b in
+    (fun m ->
       Fmt.pr
         "%-10s | %9.0f %9.0f | %6.0f %6.0f %6.0f %6.0f | %6.2fx %6.2fx | %8.0f %8.0f@."
         m.m_name m.m_syscalls m.m_syncops m.m_weak.(3) m.m_weak.(2)
         m.m_weak.(1) m.m_weak.(0) (record_ov m) (replay_ov m) m.m_input_log
         m.m_order_log)
-    benches;
+    rows;
   Fmt.pr "@.(paper: desktop/server 1.01-1.04x record; apache 2.40x on the \
           paper's heavier request mix; scientific 1.21-2.40x; average \
           1.40x)@."
@@ -67,6 +75,16 @@ let fig_configs =
   ]
 
 let fig5 () =
+  let rows =
+    par_map
+      (fun (b : Bench_progs.Registry.bench) ->
+        ( b.b_name,
+          List.map
+            (fun (_, opts) ->
+              record_ov (measure b ~opts ~scale:b.b_profile_scale ~trials:1))
+            fig_configs ))
+      benches
+  in
   section "Figure 5: normalized recording overhead per optimization set";
   Fmt.pr "%-10s" "app";
   List.iter (fun (n, _) -> Fmt.pr " %18s" n) fig_configs;
@@ -74,17 +92,15 @@ let fig5 () =
   hr 90;
   let sums = Array.make (List.length fig_configs) 0. in
   List.iter
-    (fun (b : Bench_progs.Registry.bench) ->
-      Fmt.pr "%-10s" b.b_name;
+    (fun (name, ovs) ->
+      Fmt.pr "%-10s" name;
       List.iteri
-        (fun i (_, opts) ->
-          let m = measure b ~opts ~scale:b.b_profile_scale ~trials:1 in
-          let ov = record_ov m in
+        (fun i ov ->
           sums.(i) <- sums.(i) +. ov;
           Fmt.pr " %17.2fx" ov)
-        fig_configs;
+        ovs;
       Fmt.pr "@.")
-    benches;
+    rows;
   hr 90;
   Fmt.pr "%-10s" "mean";
   Array.iter
@@ -94,32 +110,39 @@ let fig5 () =
           1.39x)@."
 
 let fig6 () =
+  let rows =
+    par_map
+      (fun (b : Bench_progs.Registry.bench) ->
+        ( b.b_name,
+          List.map
+            (fun (_, opts) ->
+              let m = measure b ~opts ~scale:b.b_profile_scale ~trials:1 in
+              100. *. weak_total m /. m.m_memops)
+            fig_configs ))
+      benches
+  in
   section "Figure 6: weak-lock operations as % of dynamic memory operations";
   Fmt.pr "%-10s %10s" "app" "dyn-detect";
   List.iter (fun (n, _) -> Fmt.pr " %18s" n) fig_configs;
   Fmt.pr "@.";
   hr 100;
   List.iter
-    (fun (b : Bench_progs.Registry.bench) ->
-      Fmt.pr "%-10s %9.0f%%" b.b_name 100.;
-      List.iter
-        (fun (_, opts) ->
-          let m = measure b ~opts ~scale:b.b_profile_scale ~trials:1 in
-          Fmt.pr " %17.3f%%" (100. *. weak_total m /. m.m_memops))
-        fig_configs;
+    (fun (name, pcts) ->
+      Fmt.pr "%-10s %9.0f%%" name 100.;
+      List.iter (fun pct -> Fmt.pr " %17.3f%%" pct) pcts;
       Fmt.pr "@.")
-    benches;
+    rows;
   Fmt.pr "(paper: naive ~14%% of memory ops; all optimizations ~0.02%%; a \
           dynamic detector instruments 100%%)@."
 
 let fig7 () =
+  let rows = par_map (fun b -> measure b) benches in
   section "Figure 7: sources of recording overhead (fraction of native time)";
   Fmt.pr "%-10s %8s %9s %9s %11s %11s %8s@." "app" "base" "weak-ops"
     "logging" "loop-cont." "other-cont." "total";
   hr 76;
   List.iter
-    (fun b ->
-      let m = measure b in
+    (fun m ->
       let per_thread v = v /. float_of_int m.m_workers /. m.m_native in
       Fmt.pr "%-10s %7.2fx %8.2fx %8.2fx %10.2fx %10.2fx %7.2fx@." m.m_name
         1.0
@@ -129,54 +152,67 @@ let fig7 () =
         (per_thread
            (m.m_contention.(0) +. m.m_contention.(2) +. m.m_contention.(3)))
         (record_ov m))
-    benches;
+    rows;
   Fmt.pr
     "(weak-op / logging / contention ticks are per-thread sums divided by \
      worker count; as in the paper's Fig. 7, loop-lock contention dominates \
      the scientific applications)@."
 
 let fig8 () =
+  let rows =
+    par_map
+      (fun (b : Bench_progs.Registry.bench) ->
+        ( b.b_name,
+          List.map
+            (fun w -> record_ov (measure b ~workers:w ~cores:w ~trials:1))
+            [ 2; 4; 8 ] ))
+      benches
+  in
   section "Figure 8: scalability — recording overhead at 2, 4, 8 threads";
   Fmt.pr "%-10s %12s %12s %12s@." "app" "2 threads" "4 threads" "8 threads";
   hr 52;
   List.iter
-    (fun b ->
-      Fmt.pr "%-10s" b.Bench_progs.Registry.b_name;
-      List.iter
-        (fun w ->
-          let m = measure b ~workers:w ~cores:w ~trials:1 in
-          Fmt.pr " %11.2fx" (record_ov m))
-        [ 2; 4; 8 ];
+    (fun (name, ovs) ->
+      Fmt.pr "%-10s" name;
+      List.iter (fun ov -> Fmt.pr " %11.2fx" ov) ovs;
       Fmt.pr "@.")
-    benches;
+    rows;
   Fmt.pr "(paper: overhead grows with threads for loop-lock-contended \
           scientific apps)@."
 
 let sensitivity () =
+  let apps = [ "pfscan"; "water" ] in
+  let rows =
+    par_map
+      (fun runs ->
+        ( runs,
+          List.map
+            (fun name ->
+              let b = Bench_progs.Registry.by_name name in
+              let prof =
+                Profiling.Profile.profile_many
+                  ~io_of:(fun i ->
+                    b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+                  ~runs
+                  (Minic.Typecheck.parse_and_check
+                     (b.b_source ~workers:4 ~scale:b.b_profile_scale))
+              in
+              Profiling.Profile.n_concurrent_pairs prof)
+            apps ))
+      [ 1; 2; 3; 5; 8; 12; 16; 20 ]
+  in
   section
     "Profile sensitivity (Sec 7.3): concurrent pairs vs number of profile runs";
-  let apps = [ "pfscan"; "water" ] in
   Fmt.pr "%-10s" "runs";
   List.iter (fun a -> Fmt.pr " %8s" a) apps;
   Fmt.pr "@.";
   hr 30;
   List.iter
-    (fun runs ->
+    (fun (runs, pairs) ->
       Fmt.pr "%-10d" runs;
-      List.iter
-        (fun name ->
-          let b = Bench_progs.Registry.by_name name in
-          let prof =
-            Profiling.Profile.profile_many
-              ~io_of:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
-              ~runs
-              (Minic.Typecheck.parse_and_check
-                 (b.b_source ~workers:4 ~scale:b.b_profile_scale))
-          in
-          Fmt.pr " %8d" (Profiling.Profile.n_concurrent_pairs prof))
-        apps;
+      List.iter (fun n -> Fmt.pr " %8d" n) pairs;
       Fmt.pr "@.")
-    [ 1; 2; 3; 5; 8; 12; 16; 20 ];
+    rows;
   Fmt.pr "(paper: saturates after ~5 runs for pfscan, ~3 for water)@."
 
 let ablation () =
@@ -190,12 +226,14 @@ let ablation () =
   Fmt.pr "%-10s %14s %14s@." "app" "paper rules" "with masks";
   hr 42;
   List.iter
-    (fun name ->
-      let b = Bench_progs.Registry.by_name name in
-      let m1 = measure b ~trials:1 in
-      let m2 = measure b ~opts:Instrument.Plan.with_masks ~trials:1 in
-      Fmt.pr "%-10s %13.2fx %13.2fx@." name (record_ov m1) (record_ov m2))
-    [ "radix"; "fft"; "ocean"; "water" ];
+    (fun (name, ov1, ov2) -> Fmt.pr "%-10s %13.2fx %13.2fx@." name ov1 ov2)
+    (par_map
+       (fun name ->
+         let b = Bench_progs.Registry.by_name name in
+         let m1 = measure b ~trials:1 in
+         let m2 = measure b ~opts:Instrument.Plan.with_masks ~trials:1 in
+         (name, record_ov m1, record_ov m2))
+       [ "radix"; "fft"; "ocean"; "water" ]);
   Fmt.pr "@."
 
 let timeout_ablation () =
@@ -236,41 +274,44 @@ int main() { int t[2]; int i0; int t0;
   Fmt.pr "%-12s %10s %12s %14s@." "timeout" "rec-ov" "forced/run" "ord-log B";
   hr 52;
   List.iter
-    (fun wt ->
-      let trials = 3 in
-      let tot_native = ref 0 and tot_rec = ref 0 in
-      let tot_forced = ref 0 and tot_log = ref 0 in
-      for t = 1 to trials do
-        let config =
-          {
-            Interp.Engine.default_config with
-            seed = 1 + (t * 13);
-            cores = 4;
-            weak_timeout = wt;
-          }
-        in
-        let native = Chimera.Runner.native ~config ~io an.an_prog in
-        let r = Chimera.Runner.record ~config ~io an.an_instrumented in
-        let replay =
-          Chimera.Runner.replay
-            ~config:{ config with seed = config.seed + 7919 }
-            ~io an.an_instrumented r.rc_log
-        in
-        (match Chimera.Runner.same_execution r.rc_outcome replay with
-        | Ok () -> ()
-        | Error d ->
-            Fmt.failwith "timeout ablation: replay diverged (wt=%d): %a" wt
-              Chimera.Runner.pp_divergence d);
-        tot_native := !tot_native + native.o_ticks;
-        tot_rec := !tot_rec + r.rc_outcome.o_ticks;
-        tot_forced := !tot_forced + r.rc_outcome.o_stats.n_forced;
-        tot_log := !tot_log + r.rc_order_log_z
-      done;
-      Fmt.pr "%-12d %9.2fx %12.1f %14d@." wt
-        (float_of_int !tot_rec /. float_of_int !tot_native)
-        (float_of_int !tot_forced /. float_of_int trials)
-        (!tot_log / trials))
-    [ 500; 2_000; 10_000; 50_000; 100_000 ];
+    (fun (wt, rec_ov, forced_per_run, log_per_run) ->
+      Fmt.pr "%-12d %9.2fx %12.1f %14d@." wt rec_ov forced_per_run log_per_run)
+    (par_map
+       (fun wt ->
+         let trials = 3 in
+         let acc =
+           try
+             Chimera.Runner.run_trials ?pool:(Harness.pool ()) ~trials
+               ~config_of:(fun t ->
+                 {
+                   Interp.Engine.default_config with
+                   seed = 1 + (t * 13);
+                   cores = 4;
+                   weak_timeout = wt;
+                 })
+               ~io_of:(fun _ -> io)
+               ~original:an.an_prog ~instrumented:an.an_instrumented ()
+           with Failure msg ->
+             Fmt.failwith "timeout ablation: replay diverged (wt=%d): %s" wt
+               msg
+         in
+         let sum f = List.fold_left (fun a tr -> a + f tr) 0 acc in
+         let tot_native = sum (fun tr -> tr.Chimera.Runner.tr_native.o_ticks) in
+         let tot_rec =
+           sum (fun tr -> tr.Chimera.Runner.tr_recorded.rc_outcome.o_ticks)
+         in
+         let tot_forced =
+           sum (fun tr ->
+               tr.Chimera.Runner.tr_recorded.rc_outcome.o_stats.n_forced)
+         in
+         let tot_log =
+           sum (fun tr -> tr.Chimera.Runner.tr_recorded.rc_order_log_z)
+         in
+         ( wt,
+           float_of_int tot_rec /. float_of_int tot_native,
+           float_of_int tot_forced /. float_of_int trials,
+           tot_log / trials ))
+       [ 500; 2_000; 10_000; 50_000; 100_000 ]);
   Fmt.pr
     "(every row replays deterministically; the paper picks a fixed timeout \
      and reports zero timeouts on its benchmarks — the trade-off only \
@@ -287,30 +328,34 @@ let detexec () =
   Fmt.pr "%-10s %22s %22s@." "app" "original (native)" "transformed (det)";
   hr 58;
   List.iter
-    (fun (b : Bench_progs.Registry.bench) ->
-      let an =
-        analyze b ~opts:Instrument.Plan.all_opts ~workers:4
-          ~scale:b.b_profile_scale
-      in
-      let io = b.b_io ~seed:42 ~scale:b.b_profile_scale in
-      let outcomes mode prog =
-        List.map
-          (fun seed ->
-            let o =
-              Interp.Engine.run
-                ~config:{ Interp.Engine.default_config with seed; cores = 4 }
-                ~mode ~io prog
-            in
-            (o.Interp.Engine.o_timed_out, List.map snd o.o_outputs,
-             o.o_final_hash))
-          [ 1; 7; 19; 42 ]
-        |> List.sort_uniq compare |> List.length
-      in
-      let orig = outcomes Interp.Engine.Native an.Chimera.Pipeline.an_prog in
-      let det = outcomes Interp.Engine.Deterministic an.an_instrumented in
-      Fmt.pr "%-10s %15d outcomes %15d outcome%s@." b.b_name orig det
+    (fun (name, orig, det) ->
+      Fmt.pr "%-10s %15d outcomes %15d outcome%s@." name orig det
         (if det = 1 then "" else "s"))
-    benches;
+    (par_map
+       (fun (b : Bench_progs.Registry.bench) ->
+         let an =
+           analyze b ~opts:Instrument.Plan.all_opts ~workers:4
+             ~scale:b.b_profile_scale
+         in
+         let io = b.b_io ~seed:42 ~scale:b.b_profile_scale in
+         let outcomes mode prog =
+           List.map
+             (fun seed ->
+               let o =
+                 Interp.Engine.run
+                   ~config:{ Interp.Engine.default_config with seed; cores = 4 }
+                   ~mode ~io prog
+               in
+               ( o.Interp.Engine.o_timed_out,
+                 List.map snd o.o_outputs,
+                 o.o_final_hash ))
+             [ 1; 7; 19; 42 ]
+           |> List.sort_uniq compare |> List.length
+         in
+         let orig = outcomes Interp.Engine.Native an.Chimera.Pipeline.an_prog in
+         let det = outcomes Interp.Engine.Deterministic an.an_instrumented in
+         (b.b_name, orig, det))
+       benches);
   Fmt.pr "(1 outcome = deterministic; the racy originals may vary)@."
 
 (* ------------------------------------------------------------------ *)
@@ -390,7 +435,7 @@ let json () =
   in
   Fmt.pr {|{"benches": [@.%s@.]}@.|}
     (String.concat ",
-" (List.map one benches))
+" (par_map one benches))
 
 let all () =
   table1 ();
@@ -414,15 +459,39 @@ let () =
       ("all", all);
     ]
   in
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as args) ->
-      List.iter
-        (fun a ->
-          match List.assoc_opt a experiments with
-          | Some f -> f ()
-          | None ->
-              Fmt.epr "unknown experiment %s (have: %s)@." a
-                (String.concat " " (List.map fst experiments));
-              exit 1)
-        args
-  | _ -> all ()
+  (* split off -j N / -jN; remaining args name experiments *)
+  let rec split names jobs = function
+    | [] -> (List.rev names, jobs)
+    | "-j" :: n :: rest -> split names (Some n) rest
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
+        split names (Some (String.sub a 2 (String.length a - 2))) rest
+    | a :: rest -> split (a :: names) jobs rest
+  in
+  let names, jobs = split [] None (List.tl (Array.to_list Sys.argv)) in
+  let jobs =
+    match jobs with
+    | None -> Par.Pool.default_jobs ()
+    | Some n -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> j
+        | _ ->
+            Fmt.epr "bad -j value %S (want a positive integer)@." n;
+            exit 1)
+  in
+  let pool = Par.Pool.create ~domains:jobs () in
+  Harness.set_pool pool;
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      match names with
+      | [] -> all ()
+      | names ->
+          List.iter
+            (fun a ->
+              match List.assoc_opt a experiments with
+              | Some f -> f ()
+              | None ->
+                  Fmt.epr "unknown experiment %s (have: %s)@." a
+                    (String.concat " " (List.map fst experiments));
+                  exit 1)
+            names)

@@ -26,15 +26,17 @@ let default_profile_io i = Interp.Iomodel.random ~seed:(1000 + (i * 37))
     [profile_runs] defaults to 20 (as in the paper, Section 7.1);
     [profile_io] supplies per-run input models (profiling inputs should
     differ from evaluation inputs); [opts] selects the optimization set
-    (Figure 5's configurations live in {!Instrument.Plan}). *)
+    (Figure 5's configurations live in {!Instrument.Plan}); [pool] runs
+    the profile runs concurrently on its domains — the aggregate profile,
+    and hence the whole analysis, is identical to the serial one. *)
 let analyze ?(opts = Instrument.Plan.all_opts) ?(profile_runs = 20)
     ?(profile_io = default_profile_io)
-    ?(profile_config = Interp.Engine.default_config) ?mhp (prog : program) :
-    analysis =
+    ?(profile_config = Interp.Engine.default_config) ?mhp ?pool
+    (prog : program) : analysis =
   let prog = Minic.Typecheck.check prog in
   let summaries, report = Relay.Detect.analyze ?mhp prog in
   let profile =
-    Profiling.Profile.profile_many ~config:profile_config
+    Profiling.Profile.profile_many ~config:profile_config ?pool
       ~io_of:profile_io ~runs:profile_runs prog
   in
   let plan = Instrument.Plan.compute ~opts prog report profile in
@@ -49,7 +51,7 @@ let analyze ?(opts = Instrument.Plan.all_opts) ?(profile_runs = 20)
   }
 
 (** Convenience: parse, check, analyze. *)
-let analyze_source ?opts ?profile_runs ?profile_io ?profile_config ?mhp ?file
-    src =
-  analyze ?opts ?profile_runs ?profile_io ?profile_config ?mhp
+let analyze_source ?opts ?profile_runs ?profile_io ?profile_config ?mhp ?pool
+    ?file src =
+  analyze ?opts ?profile_runs ?profile_io ?profile_config ?mhp ?pool
     (Minic.Parser.parse ?file src)

@@ -17,13 +17,16 @@ type analysis = {
     (profiling inputs should differ from evaluation inputs); [opts]
     selects the optimization set (Figure 5's configurations live in
     {!Instrument.Plan}); [mhp] (default on) statically prunes race pairs
-    that fork/join ordering serializes (see {!Mhp}). *)
+    that fork/join ordering serializes (see {!Mhp}); [pool] fans the
+    profile runs out across domains (observationally identical to
+    serial). *)
 val analyze :
   ?opts:Instrument.Plan.options ->
   ?profile_runs:int ->
   ?profile_io:(int -> Interp.Iomodel.t) ->
   ?profile_config:Interp.Engine.config ->
   ?mhp:bool ->
+  ?pool:Par.Pool.t ->
   Minic.Ast.program ->
   analysis
 
@@ -33,6 +36,7 @@ val analyze_source :
   ?profile_io:(int -> Interp.Iomodel.t) ->
   ?profile_config:Interp.Engine.config ->
   ?mhp:bool ->
+  ?pool:Par.Pool.t ->
   ?file:string ->
   string ->
   analysis

@@ -112,6 +112,48 @@ type overhead = {
   ov_replay : float;
 }
 
+(** One full trial — native run of [original], record + replay of
+    [instrumented] (replay under a shifted scheduler seed) — plus the
+    divergence check. Each trial builds its own engines, io models come in
+    per-trial, and nothing is shared, so trials are safe to run on
+    separate domains. *)
+type trial = {
+  tr_native : Engine.outcome;
+  tr_recorded : recorded;
+  tr_replay : Engine.outcome;
+}
+
+(** Run [trials] independent trials, concurrently when [pool] is given.
+    [config_of t] and [io_of t] (t = 1..trials) fix each trial's scheduler
+    seed and inputs, so every trial's result is a function of its index
+    alone: the returned list (in trial order) is identical however the
+    trials are scheduled. Raises [Failure] if any trial's replay diverges
+    from its recording. *)
+let run_trials ?(pool : Par.Pool.t option) ?(replay_seed_delta = 7919)
+    ~trials ~(config_of : int -> Engine.config) ~(io_of : int -> Iomodel.t)
+    ~(original : Minic.Ast.program) ~(instrumented : Minic.Ast.program) () :
+    trial list =
+  let one t =
+    let config = config_of t in
+    let io = io_of t in
+    let nat = native ~config ~io original in
+    let r = record ~config ~io instrumented in
+    let rp =
+      replay
+        ~config:{ config with Engine.seed = config.Engine.seed + replay_seed_delta }
+        ~io instrumented r.rc_log
+    in
+    (match same_execution r.rc_outcome rp with
+    | Ok () -> ()
+    | Error d ->
+        Fmt.failwith "trial %d: replay diverged: %a" t pp_divergence d);
+    { tr_native = nat; tr_recorded = r; tr_replay = rp }
+  in
+  let indices = List.init trials (fun t -> t + 1) in
+  match pool with
+  | Some p when Par.Pool.size p > 1 -> Par.Pool.map_list p one indices
+  | _ -> List.map one indices
+
 (** Measure recording and replay overhead of [instrumented] against the
     native run of [original], with identical inputs and configuration. *)
 let measure ?(config = Engine.default_config) ~io

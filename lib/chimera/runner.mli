@@ -66,6 +66,31 @@ val record_replay_check :
   Minic.Ast.program ->
   (recorded * Engine.outcome, divergence) result
 
+(** One native + record + replay trial (replay already checked against
+    the recording). *)
+type trial = {
+  tr_native : Engine.outcome;
+  tr_recorded : recorded;
+  tr_replay : Engine.outcome;
+}
+
+(** [run_trials ~trials ~config_of ~io_of ~original ~instrumented ()]
+    runs [trials] independent native/record/replay trials — concurrently
+    across [pool]'s domains when given — returning them in trial order
+    (1..trials). Each trial is a pure function of its index, so the
+    result list is schedule-independent. Raises [Failure] on replay
+    divergence. *)
+val run_trials :
+  ?pool:Par.Pool.t ->
+  ?replay_seed_delta:int ->
+  trials:int ->
+  config_of:(int -> Engine.config) ->
+  io_of:(int -> Iomodel.t) ->
+  original:Minic.Ast.program ->
+  instrumented:Minic.Ast.program ->
+  unit ->
+  trial list
+
 type overhead = {
   ov_native_ticks : int;
   ov_record_ticks : int;

@@ -252,6 +252,9 @@ type t = {
   mutable exit_code : int option;
   mutable rng : int;
   mutable main_done : bool;
+  fenvs : (string, Minic.Typecheck.env) Hashtbl.t;
+      (** per-engine function-env cache; engines must not share mutable
+          state so that runs on different domains stay independent *)
 }
 
 let trace_enabled =
@@ -270,9 +273,6 @@ let rng_next (eng : t) =
   let x = x land max_int in
   eng.rng <- (if x = 0 then 0x2545F491 else x);
   eng.rng
-
-let frame_env_cache : (string, Minic.Typecheck.env) Hashtbl.t =
-  Hashtbl.create 64
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation *)
@@ -1135,11 +1135,11 @@ let layout_of (eng : t) (fd : fundec) :
   (offsets, !off)
 
 let fun_env_of eng (fd : fundec) =
-  match Hashtbl.find_opt frame_env_cache fd.f_name with
+  match Hashtbl.find_opt eng.fenvs fd.f_name with
   | Some e -> e
   | None ->
       let e = Minic.Typecheck.fun_env eng.tenv fd in
-      Hashtbl.replace frame_env_cache fd.f_name e;
+      Hashtbl.replace eng.fenvs fd.f_name e;
       e
 
 let rec exec_fun eng th (fname : string) (args : Value.t list) : Value.t =
@@ -1743,7 +1743,6 @@ type outcome = {
 
 let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ~mode ~io
     (prog : program) : t =
-  Hashtbl.reset frame_env_cache;
   let recorder =
     match mode with Record -> Some (Replay.Recorder.create ()) | _ -> None
   in
@@ -1779,6 +1778,7 @@ let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ~mode ~io
       exit_code = None;
       rng = (config.seed * 2) + 1;
       main_done = false;
+      fenvs = Hashtbl.create 64;
     }
   in
   (* allocate and initialize globals *)

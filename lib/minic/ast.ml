@@ -312,14 +312,23 @@ and lval_vars = function
 
 (** Statement-id and loop-id generators used by the parser and the
     instrumenter. A fresh program starts its counters after the highest id
-    present, via {!Fresh.reset_from}. *)
-module Fresh = struct
-  let sid = ref 0
-  let lid = ref 0
-  let next_sid () = incr sid; !sid
-  let next_lid () = incr lid; !lid
+    present, via {!Fresh.reset_from}.
 
-  let reset () = sid := 0; lid := 0
+    The counters are {e domain-local}: a parse or instrumentation pass runs
+    entirely within one domain, and per-domain counters make the ids it
+    assigns a function of the source alone — concurrent pipelines on other
+    domains (see [Par.Pool]) cannot perturb them. With a single domain the
+    behavior is identical to the former global counters. *)
+module Fresh = struct
+  let counters : (int ref * int ref) Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> (ref 0, ref 0))
+
+  let sid () = fst (Domain.DLS.get counters)
+  let lid () = snd (Domain.DLS.get counters)
+  let next_sid () = let r = sid () in incr r; !r
+  let next_lid () = let r = lid () in incr r; !r
+
+  let reset () = sid () := 0; lid () := 0
 
   let reset_from (p : program) =
     let max_sid = ref 0 and max_lid = ref 0 in
@@ -330,8 +339,8 @@ module Fresh = struct
         | While (_, _, li) -> if li.lid > !max_lid then max_lid := li.lid
         | _ -> ())
       p;
-    sid := !max_sid;
-    lid := !max_lid
+    sid () := !max_sid;
+    lid () := !max_lid
 
   let stmt ?(loc = dummy_loc) skind = { sid = next_sid (); skind; sloc = loc }
 end

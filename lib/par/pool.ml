@@ -1,0 +1,186 @@
+(** Work-stealing domain pool. See pool.mli for the contract.
+
+    Layout: one FIFO [Queue.t] per worker domain, all guarded by a single
+    pool mutex — tasks here are coarse (a whole pipeline stage or
+    benchmark run), so queue operations are never the bottleneck and one
+    lock keeps the steal path free of lost-wakeup subtleties. Workers pop
+    the front of their own queue first and steal the front of a sibling's
+    queue otherwise. Submissions from a worker land on that worker's own
+    queue (preserving FIFO order of its spawned sub-tasks); submissions
+    from outside are spread round-robin. *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable f_state : 'a state;
+}
+
+type task = unit -> unit
+
+type t = {
+  total : int;  (** total parallelism: workers + the submitting domain *)
+  lk : Mutex.t;
+  nonempty : Condition.t;
+  queues : task Queue.t array;  (** one FIFO per worker; empty if inline *)
+  mutable closed : bool;
+  rr : int Atomic.t;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Which worker queue the current domain owns, if any. Guarded by a
+   range check at use sites so a worker of pool A submitting into an
+   unrelated pool B cannot index out of bounds. *)
+let my_index : int option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let size t = t.total
+
+(* Pop the front of queue [me], else steal the front of the first
+   non-empty sibling queue. Caller holds [t.lk]. *)
+let take_locked t ~me : task option =
+  let n = Array.length t.queues in
+  let rec scan i =
+    if i = n then None
+    else
+      let q = t.queues.((me + i) mod n) in
+      if Queue.is_empty q then scan (i + 1) else Some (Queue.pop q)
+  in
+  if n = 0 then None else scan 0
+
+let resolve fut st =
+  Mutex.lock fut.fm;
+  fut.f_state <- st;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let make_task f fut : task =
+ fun () ->
+  match f () with
+  | v -> resolve fut (Done v)
+  | exception e -> resolve fut (Failed (e, Printexc.get_raw_backtrace ()))
+
+let submit t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); f_state = Pending } in
+  let task = make_task f fut in
+  let workers = Array.length t.queues in
+  if workers = 0 then task ()
+  else begin
+    let ix =
+      match Domain.DLS.get my_index with
+      | Some i when i < workers -> i
+      | _ -> Atomic.fetch_and_add t.rr 1 mod workers
+    in
+    Mutex.lock t.lk;
+    if t.closed then begin
+      Mutex.unlock t.lk;
+      invalid_arg "Par.Pool.submit: pool is shut down"
+    end;
+    Queue.push task t.queues.(ix);
+    Condition.signal t.nonempty;
+    Mutex.unlock t.lk
+  end;
+  fut
+
+(* Run one queued task if there is one; used by awaiting domains to help. *)
+let try_run_one t : bool =
+  let workers = Array.length t.queues in
+  if workers = 0 then false
+  else begin
+    let me =
+      match Domain.DLS.get my_index with
+      | Some i when i < workers -> i
+      | _ -> 0
+    in
+    Mutex.lock t.lk;
+    let task = take_locked t ~me in
+    Mutex.unlock t.lk;
+    match task with
+    | Some task -> task (); true
+    | None -> false
+  end
+
+let rec await t fut =
+  Mutex.lock fut.fm;
+  let st = fut.f_state in
+  Mutex.unlock fut.fm;
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending ->
+      if not (try_run_one t) then begin
+        (* nothing to help with: every in-flight task is running on some
+           domain, so this future is making progress — block on it (and
+           re-check under the lock to close the completion race) *)
+        Mutex.lock fut.fm;
+        (match fut.f_state with
+        | Pending -> Condition.wait fut.fc fut.fm
+        | _ -> ());
+        Mutex.unlock fut.fm
+      end;
+      await t fut
+
+let run t f = await t (submit t f)
+
+let mapi_list t f xs =
+  let futs = List.mapi (fun i x -> submit t (fun () -> f i x)) xs in
+  List.map (await t) futs
+
+let map_list t f xs = mapi_list t (fun _ x -> f x) xs
+
+let worker_body t ix () =
+  Domain.DLS.set my_index (Some ix);
+  Mutex.lock t.lk;
+  let rec loop () =
+    match take_locked t ~me:ix with
+    | Some task ->
+        Mutex.unlock t.lk;
+        task ();
+        Mutex.lock t.lk;
+        loop ()
+    | None ->
+        if t.closed then Mutex.unlock t.lk
+        else begin
+          Condition.wait t.nonempty t.lk;
+          loop ()
+        end
+  in
+  loop ()
+
+let create ?domains () =
+  let total = max 1 (Option.value domains ~default:(default_jobs ())) in
+  let workers = total - 1 in
+  let t =
+    {
+      total;
+      lk = Mutex.create ();
+      nonempty = Condition.create ();
+      queues = Array.init workers (fun _ -> Queue.create ());
+      closed = false;
+      rr = Atomic.make 0;
+      domains = [];
+    }
+  in
+  t.domains <- List.init workers (fun ix -> Domain.spawn (worker_body t ix));
+  t
+
+let shutdown t =
+  Mutex.lock t.lk;
+  let already = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lk;
+  if not already then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

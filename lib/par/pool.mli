@@ -1,0 +1,59 @@
+(** A small work-stealing domain pool for the bench/analysis pipeline.
+
+    A pool owns a fixed set of worker domains, each with a FIFO task
+    queue; idle workers steal from their siblings. {!submit} returns a
+    future; {!await} blocks until the task finished, {e helping} — running
+    other queued tasks while it waits — so tasks may freely submit and
+    await sub-tasks without deadlocking the pool.
+
+    Determinism contract: results are delivered by {!await} in whatever
+    order the caller awaits, and {!map_list} awaits in submission order —
+    the output list order (and the first exception raised, if any) depends
+    only on the input list, never on the interleaving of the workers.
+    Exceptions raised by a task are captured with their backtrace and
+    re-raised at {!await}.
+
+    A pool of total size 1 (or 0) runs every task inline at {!submit}:
+    [-j 1] is {e literally} the serial execution. *)
+
+type t
+type 'a future
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [-j] default. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains:j] builds a pool of total parallelism [j]: [j - 1]
+    worker domains plus the calling domain, which participates by helping
+    during {!await}. [j <= 1] creates an inline (serial) pool. [domains]
+    defaults to {!default_jobs}. *)
+
+val size : t -> int
+(** Total parallelism of the pool ([j] as passed to {!create}, min 1). *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task. On an inline pool the task runs immediately. *)
+
+val await : t -> 'a future -> 'a
+(** Wait for a task's result, running other queued tasks meanwhile.
+    Re-raises the task's exception (with its original backtrace) if it
+    failed. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run p f] = [await p (submit p f)]. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] with deterministic output ordering: element [i] of
+    the result is [f] applied to element [i] of the input, and the first
+    exception (in input order) is the one re-raised. *)
+
+val mapi_list : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Indexed {!map_list}. *)
+
+val shutdown : t -> unit
+(** Finish all queued tasks, then join the worker domains. The pool
+    cannot be used afterwards. Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, runs [f], and shuts the pool down
+    (also on exception). *)

@@ -123,16 +123,43 @@ let profile_run ?(config = Interp.Engine.default_config) ~io (t : t)
   t.runs <- t.runs + 1;
   Interp.Engine.run ~config ~hooks ~mode:Interp.Engine.Native ~io prog
 
+(** Merge [src] into [dst]: union of concurrent pairs, summed loop
+    counters, summed run counts. Merging per-run profiles in any order
+    yields the same profile as accumulating the runs serially into one
+    [t] — unions and sums are commutative — which is what makes parallel
+    profiling observationally identical to serial. *)
+let merge ~(into : t) (src : t) : unit =
+  into.concurrent_pairs <- Pairset.union into.concurrent_pairs src.concurrent_pairs;
+  let add_into tbl k v =
+    Hashtbl.replace tbl k (v + Option.value (Hashtbl.find_opt tbl k) ~default:0)
+  in
+  Hashtbl.iter (add_into into.loop_iters) src.loop_iters;
+  Hashtbl.iter (add_into into.loop_insns) src.loop_insns;
+  into.runs <- into.runs + src.runs
+
 (** Profile over [runs] seeds (the paper uses 20 runs with varied inputs;
-    inputs vary through the io-model seed here). *)
-let profile_many ?(config = Interp.Engine.default_config) ~(io_of : int -> Interp.Iomodel.t)
-    ?(runs = 20) (prog : Minic.Ast.program) : t =
-  let t = create () in
-  for i = 1 to runs do
-    let config = { config with Interp.Engine.seed = config.Interp.Engine.seed + (i * 7919) } in
-    ignore (profile_run ~config ~io:(io_of i) t prog)
-  done;
-  t
+    inputs vary through the io-model seed here). With [pool], the runs
+    execute concurrently — each into its own fresh profile, merged in run
+    order — and produce the identical aggregate profile. *)
+let profile_many ?(config = Interp.Engine.default_config) ?(pool : Par.Pool.t option)
+    ~(io_of : int -> Interp.Iomodel.t) ?(runs = 20) (prog : Minic.Ast.program) : t =
+  let run_one i =
+    let t = create () in
+    let config =
+      { config with Interp.Engine.seed = config.Interp.Engine.seed + (i * 7919) }
+    in
+    ignore (profile_run ~config ~io:(io_of i) t prog);
+    t
+  in
+  let indices = List.init runs (fun i -> i + 1) in
+  let per_run =
+    match pool with
+    | Some p when Par.Pool.size p > 1 -> Par.Pool.map_list p run_one indices
+    | _ -> List.map run_one indices
+  in
+  let acc = create () in
+  List.iter (fun t -> merge ~into:acc t) per_run;
+  acc
 
 let n_concurrent_pairs t = Pairset.cardinal t.concurrent_pairs
 

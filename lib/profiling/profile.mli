@@ -34,10 +34,17 @@ val profile_run :
   Minic.Ast.program ->
   Interp.Engine.outcome
 
+(** Merge [src] into [into] (pair union, counter sums) — order-independent,
+    so parallel per-run profiles aggregate to the serial result. *)
+val merge : into:t -> t -> unit
+
 (** [runs] profiled runs with per-run input models (the paper uses 20
-    runs with varied inputs). *)
+    runs with varied inputs). With [pool], runs execute on the pool's
+    domains and merge in run order; the aggregate profile is identical to
+    the serial one. *)
 val profile_many :
   ?config:Interp.Engine.config ->
+  ?pool:Par.Pool.t ->
   io_of:(int -> Interp.Iomodel.t) ->
   ?runs:int ->
   Minic.Ast.program ->

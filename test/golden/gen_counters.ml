@@ -1,0 +1,17 @@
+(** Golden-counter generator: the static race-analysis counters for all
+    nine benchmarks — RELAY candidate pairs, MHP-pruned pairs, and kept
+    pairs — printed as a stable table. [dune runtest] diffs the output
+    against [golden_counters.expected]; after an intentional analysis
+    change, refresh the snapshot with [dune promote]. *)
+
+let () =
+  Fmt.pr "%-8s %8s %8s %8s@." "bench" "static" "pruned" "kept";
+  List.iter
+    (fun (b : Bench_progs.Registry.bench) ->
+      let src = b.b_source ~workers:4 ~scale:b.b_eval_scale in
+      let prog = Minic.Typecheck.parse_and_check ~file:b.b_name src in
+      let _, report = Relay.Detect.analyze prog in
+      Fmt.pr "%-8s %8d %8d %8d@." b.b_name report.n_candidates
+        (List.length report.pruned)
+        (List.length report.races))
+    Bench_progs.Registry.all

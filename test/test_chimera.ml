@@ -1,21 +1,4 @@
-(** Test runner: aggregates all suites. *)
+(** Serial test runner: aggregates all suites (see {!Suites}). The
+    domain-sharded runner over the same suites is [par_runner.ml]. *)
 
-let () =
-  Alcotest.run "chimera"
-    [
-      ("minic", Test_minic.suite);
-      ("pointer", Test_pointer.suite);
-      ("relay", Test_relay.suite);
-      ("mhp", Test_mhp.suite);
-      ("symbolic", Test_symbolic.suite);
-      ("runtime", Test_runtime.suite);
-      ("replay-log", Test_replay_log.suite);
-      ("zcompress", Test_zcompress.suite);
-      ("interp", Test_interp.suite);
-      ("dynrace", Test_dynrace.suite);
-      ("profiling", Test_profiling.suite);
-      ("instrument", Test_instrument.suite);
-      ("fuzz", Test_fuzz.suite);
-      ("detexec", Test_detexec.suite);
-      ("e2e", Test_e2e.suite);
-    ]
+let () = Alcotest.run "chimera" Test_suites.Suites.all

@@ -1,0 +1,166 @@
+(** Smoke tests for [bin/chimera_cli]: every subcommand runs end-to-end
+    on a small racy program, with exit codes and the key output lines
+    checked. The tests shell out to the built executable (dune injects
+    it as a dependency; [CHIMERA_CLI] overrides the path), write all
+    artifacts under [Filename.temp_file] names, and so are safe to run
+    concurrently with other suites. *)
+
+let exe_path () =
+  match Sys.getenv_opt "CHIMERA_CLI" with
+  | Some p -> Some p
+  | None ->
+      List.find_opt Sys.file_exists
+        [
+          (* cwd under dune runtest is _build/default/test *)
+          Filename.concat Filename.parent_dir_name "bin/chimera_cli.exe";
+          (* cwd under `dune exec test/par_runner.exe` is the project root *)
+          "_build/default/bin/chimera_cli.exe";
+        ]
+
+let with_exe f =
+  match exe_path () with
+  | Some exe -> f exe
+  | None -> Alcotest.skip () (* not built: e.g. ran outside dune *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(** Run [exe args], returning (exit code, stdout, stderr). *)
+let run_cli exe args =
+  let out = Filename.temp_file "chimera_cli" ".out" in
+  let err = Filename.temp_file "chimera_cli" ".err" in
+  let cmd =
+    Fmt.str "%s %s > %s 2> %s" (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let o = read_file out and e = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, o, e)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_contains what hay needle =
+  Alcotest.(check bool)
+    (Fmt.str "%s contains %S" what needle)
+    true (contains hay needle)
+
+(* the canonical racy program: two threads increment a shared counter
+   through a read-modify-write, under no lock *)
+let racy_src =
+  "int counter = 0;\n\
+   void w(int *u) {\n\
+  \  int i; int tmp;\n\
+  \  for (i = 0; i < 40; i++) { tmp = counter; counter = tmp + 1; }\n\
+   }\n\
+   int main() { int t1; int t2;\n\
+  \  t1 = spawn(w, &counter); t2 = spawn(w, &counter);\n\
+  \  join(t1); join(t2);\n\
+  \  output(counter);\n\
+  \  return 0; }\n"
+
+let with_src f =
+  let mc = Filename.temp_file "chimera_cli" ".mc" in
+  Out_channel.with_open_bin mc (fun oc -> output_string oc racy_src);
+  Fun.protect ~finally:(fun () -> Sys.remove mc) (fun () -> f mc)
+
+(* ------------------------------------------------------------------ *)
+
+let test_races () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let code, out, _ = run_cli exe [ "races"; mc ] in
+  Alcotest.(check int) "races exit code" 0 code;
+  check_contains "races stdout" out "race pairs";
+  check_contains "races stdout" out "roots:";
+  (* with MHP off the candidate count must still be reported *)
+  let code, out_raw, _ = run_cli exe [ "races"; mc; "--no-mhp" ] in
+  Alcotest.(check int) "races --no-mhp exit code" 0 code;
+  check_contains "races --no-mhp stdout" out_raw "race pairs";
+  (* explain mode lists provenance per candidate *)
+  let code, out_ex, _ = run_cli exe [ "races"; mc; "--explain-races" ] in
+  Alcotest.(check int) "races --explain-races exit code" 0 code;
+  check_contains "explain stdout" out_ex "candidate pairs";
+  check_contains "explain stdout" out_ex "[kept]"
+
+let test_plan_instrument () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let code, out, _ = run_cli exe [ "plan"; mc; "--profile-runs"; "4" ] in
+  Alcotest.(check int) "plan exit code" 0 code;
+  check_contains "plan stdout" out "lock";
+  let code, out, _ = run_cli exe [ "instrument"; mc; "--profile-runs"; "4" ] in
+  Alcotest.(check int) "instrument exit code" 0 code;
+  check_contains "instrument stdout" out "__weak_enter";
+  check_contains "instrument stdout" out "int main"
+
+let test_run () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let code, out, err = run_cli exe [ "run"; mc ] in
+  Alcotest.(check int) "run exit code" 0 code;
+  Alcotest.(check bool) "run printed the counter" true (String.trim out <> "");
+  check_contains "run stderr" err "simulated ticks"
+
+let test_record_replay () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let prefix = Filename.temp_file "chimera_cli" ".logs" in
+  let input_log = prefix ^ ".input.log" and order_log = prefix ^ ".order.log" in
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        [ prefix; input_log; order_log ])
+  @@ fun () ->
+  let code, rec_out, rec_err =
+    run_cli exe
+      [ "record"; mc; "--seed"; "5"; "--profile-runs"; "4"; "-o"; prefix ]
+  in
+  Alcotest.(check int) "record exit code" 0 code;
+  Alcotest.(check bool) "input log written" true (Sys.file_exists input_log);
+  Alcotest.(check bool) "order log written" true (Sys.file_exists order_log);
+  check_contains "record stderr" rec_err "logs:";
+  (* replay under a different scheduler seed must reproduce the
+     recorded outputs exactly *)
+  let code, rep_out, _ =
+    run_cli exe
+      [ "replay"; mc; "--seed"; "12"; "--profile-runs"; "4"; "--logs"; prefix ]
+  in
+  Alcotest.(check int) "replay exit code" 0 code;
+  Alcotest.(check string) "replay outputs == recorded outputs" rec_out rep_out
+
+let test_det () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let det seed =
+    let code, out, _ =
+      run_cli exe [ "det"; mc; "--profile-runs"; "4"; "--seed"; seed ]
+    in
+    Alcotest.(check int) (Fmt.str "det --seed %s exit code" seed) 0 code;
+    out
+  in
+  Alcotest.(check string)
+    "det output is seed-independent" (det "1") (det "23")
+
+let test_bad_file () =
+  with_exe @@ fun exe ->
+  let code, _, _ = run_cli exe [ "races"; "/nonexistent/no-such.mc" ] in
+  Alcotest.(check bool) "missing file is an error" true (code <> 0)
+
+let suite =
+  [
+    Alcotest.test_case "races / --no-mhp / --explain-races" `Quick test_races;
+    Alcotest.test_case "plan + instrument" `Quick test_plan_instrument;
+    Alcotest.test_case "run" `Quick test_run;
+    Alcotest.test_case "record + replay" `Quick test_record_replay;
+    Alcotest.test_case "det (seed-independent)" `Quick test_det;
+    Alcotest.test_case "bad input file" `Quick test_bad_file;
+  ]

@@ -32,6 +32,37 @@ let prop_roundtrip_binary =
     QCheck.(string_gen_of_size (Gen.int_range 0 500) (Gen.map Char.chr (Gen.int_range 0 255)))
     (fun s -> Zcompress.decompress (Zcompress.compress s) = s)
 
+(* mixed-structure inputs: runs of repetition, literal spans, and raw
+   binary — the shape of real replay logs (framed records with
+   compressible headers and incompressible payload bytes) *)
+let gen_mixed =
+  QCheck.Gen.(
+    let chunk =
+      oneof
+        [
+          (* repeated unit *)
+          map2
+            (fun u n -> String.concat "" (List.init n (fun _ -> u)))
+            (string_size ~gen:printable (int_range 1 8))
+            (int_range 1 40);
+          (* literal printable span *)
+          string_size ~gen:printable (int_range 0 60);
+          (* raw binary span *)
+          string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 60);
+        ]
+    in
+    map (String.concat "") (list_size (int_range 0 12) chunk))
+
+let prop_roundtrip_mixed =
+  QCheck.Test.make ~name:"zcompress roundtrip (mixed structure)" ~count:300
+    (QCheck.make ~print:String.escaped gen_mixed)
+    (fun s -> Zcompress.decompress (Zcompress.compress s) = s)
+
+let prop_compressed_size =
+  QCheck.Test.make ~name:"compressed_size = |compress s|" ~count:200
+    (QCheck.make ~print:String.escaped gen_mixed)
+    (fun s -> Zcompress.compressed_size s = String.length (Zcompress.compress s))
+
 let prop_repetitive_shrinks =
   QCheck.Test.make ~name:"zcompress shrinks repetitive input" ~count:50
     QCheck.(pair (string_gen_of_size (Gen.int_range 4 20) Gen.printable) (int_range 20 100))
@@ -47,5 +78,7 @@ let suite =
     Alcotest.test_case "bounded expansion" `Quick test_incompressible_bounded_expansion;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_roundtrip_binary;
+    QCheck_alcotest.to_alcotest prop_roundtrip_mixed;
+    QCheck_alcotest.to_alcotest prop_compressed_size;
     QCheck_alcotest.to_alcotest prop_repetitive_shrinks;
   ]
