@@ -5,7 +5,7 @@
 #
 # J controls the domain count of the parallel targets (bench -j flag /
 # the sharded test runner); it defaults to all cores.
-.PHONY: all build test test-par check bench-json par-check clean
+.PHONY: all build test test-par check bench-json par-check lockopt-check clean
 
 J ?= 0
 
@@ -40,6 +40,12 @@ par-check:
 	./_build/default/bench/main.exe json $(if $(filter-out 0,$(J)),-j $(J),-j 2) > /tmp/chimera-json-jN.out
 	cmp /tmp/chimera-json-j1.out /tmp/chimera-json-jN.out
 	@echo "parallel output is byte-identical to serial"
+
+# must-lockset elision gate: every benchmark records and replays
+# identically with the pass on and off, and elision strictly reduces
+# runtime weak-lock acquisitions wherever it removed a static one
+lockopt-check:
+	dune exec bench/main.exe -- lockopt $(JFLAG)
 
 clean:
 	dune clean

@@ -10,6 +10,8 @@ type measurement = {
   m_races : int;          (* pairs kept after MHP pruning *)
   m_static_pairs : int;   (* RELAY candidate pairs before pruning *)
   m_pruned_pairs : int;   (* pairs removed by the MHP pass *)
+  m_plan_acqs : int;      (* static acquisitions before lockopt elision *)
+  m_elided_acqs : int;    (* acquisitions the must-lockset pass removed *)
   m_loc : int;
   (* DRF logs (Table 2 left) *)
   m_syscalls : float;
@@ -79,11 +81,15 @@ let analysis_cache : (string, cache_cell) Hashtbl.t = Hashtbl.create 32
 let opts_tag (o : Instrument.Plan.options) =
   Fmt.str "%b%b%b%b" o.opt_funcs o.opt_loops o.opt_bb o.opt_masks
 
-let analyze (b : Bench_progs.Registry.bench) ~opts ~workers ~scale =
-  let key = Fmt.str "%s/%d/%d/%s" b.b_name workers scale (opts_tag opts) in
+let analyze ?(lockopt = true) (b : Bench_progs.Registry.bench) ~opts ~workers
+    ~scale =
+  let key =
+    Fmt.str "%s/%d/%d/%s%s" b.b_name workers scale (opts_tag opts)
+      (if lockopt then "" else "/nolockopt")
+  in
   let compute () =
     let src = b.b_source ~workers ~scale in
-    Chimera.Pipeline.analyze ~opts ~profile_runs:12
+    Chimera.Pipeline.analyze ~opts ~profile_runs:12 ~lockopt
       ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
       (Minic.Parser.parse ~file:b.b_name src)
   in
@@ -123,10 +129,10 @@ let analyze (b : Bench_progs.Registry.bench) ~opts ~workers ~scale =
     harness pool; each is a pure function of its trial index, so the
     averages are bit-identical to the serial ones. *)
 let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
-    ?(scale = -1) ?(trials = 3) (b : Bench_progs.Registry.bench) : measurement
-    =
+    ?(scale = -1) ?(trials = 3) ?lockopt (b : Bench_progs.Registry.bench) :
+    measurement =
   let scale = if scale < 0 then b.b_eval_scale else scale in
-  let an = analyze b ~opts ~workers ~scale in
+  let an = analyze ?lockopt b ~opts ~workers ~scale in
   let io = b.b_io ~seed:42 ~scale in
   let acc =
     try
@@ -148,6 +154,8 @@ let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
     m_races = List.length an.an_report.races;
     m_static_pairs = an.an_report.n_candidates;
     m_pruned_pairs = List.length an.an_report.pruned;
+    m_plan_acqs = an.an_lockopt.Lockopt.lo_plan_acqs;
+    m_elided_acqs = an.an_lockopt.Lockopt.lo_elided_acqs;
     m_loc = Bench_progs.Registry.loc b ~workers;
     m_syscalls = avg (fun x -> float_of_int (s_of x).n_syscalls);
     m_syncops = avg (fun x -> float_of_int (s_of x).n_sync_ops);

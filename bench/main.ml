@@ -429,13 +429,77 @@ let json () =
   let one (b : Bench_progs.Registry.bench) =
     let m = measure ~trials:1 b in
     Fmt.str
-      {|    {"name": "%s", "workers": %d, "static_pairs": %d, "pruned_pairs": %d, "kept_pairs": %d, "runtime_acquisitions": %.1f, "record_overhead": %.3f}|}
+      {|    {"name": "%s", "workers": %d, "static_pairs": %d, "pruned_pairs": %d, "kept_pairs": %d, "plan_acquisitions": %d, "elided_acquisitions": %d, "runtime_acquisitions": %.1f, "record_overhead": %.3f}|}
       m.m_name m.m_workers m.m_static_pairs m.m_pruned_pairs m.m_races
-      (runtime_acquisitions m) (record_ov m)
+      m.m_plan_acqs m.m_elided_acqs (runtime_acquisitions m) (record_ov m)
   in
   Fmt.pr {|{"benches": [@.%s@.]}@.|}
     (String.concat ",
 " (par_map one benches))
+
+(** The lockopt gate (make lockopt-check): run every benchmark with the
+    must-lockset elision on and off, diffing each configuration's replay
+    digest against its own recording — the elided plan must record and
+    replay as faithfully as the raw one — and requiring that elision
+    strictly reduces runtime weak-lock acquisitions wherever it removed a
+    static acquisition. Exits nonzero on any violation. *)
+let lockopt_check () =
+  section "Lockopt: must-lockset elision vs the raw plan";
+  let rows =
+    par_map
+      (fun (b : Bench_progs.Registry.bench) ->
+        let scale = b.b_eval_scale in
+        let an_on = analyze b ~opts:Instrument.Plan.all_opts ~workers:4 ~scale in
+        let an_off =
+          analyze ~lockopt:false b ~opts:Instrument.Plan.all_opts ~workers:4
+            ~scale
+        in
+        let io = b.b_io ~seed:42 ~scale in
+        let config = { Interp.Engine.default_config with seed = 1; cores = 4 } in
+        let run_one prog =
+          let r = Chimera.Runner.record ~config ~io prog in
+          let rep = Chimera.Runner.replay ~config ~io prog r.Chimera.Runner.rc_log in
+          (r.Chimera.Runner.rc_outcome, Chimera.Runner.same_execution r.rc_outcome rep)
+        in
+        let o_on, det_on = run_one an_on.an_instrumented in
+        let o_off, det_off = run_one an_off.an_instrumented in
+        let weak (o : Interp.Engine.outcome) =
+          Array.fold_left ( + ) 0 o.o_stats.n_weak_acq
+        in
+        let lo = an_on.an_lockopt in
+        ( b.b_name,
+          lo.Lockopt.lo_plan_acqs,
+          lo.Lockopt.lo_elided_acqs,
+          weak o_off,
+          weak o_on,
+          det_off,
+          det_on ))
+      benches
+  in
+  Fmt.pr "%-10s %10s %8s | %12s %12s | %10s %10s@." "app" "plan-acqs"
+    "elided" "rt-acq off" "rt-acq on" "replay off" "replay on";
+  hr 88;
+  let failed = ref false in
+  List.iter
+    (fun (name, plan_acqs, elided, w_off, w_on, det_off, det_on) ->
+      let det_str = function Ok () -> "ok" | Error _ -> "DIVERGED" in
+      let shrink_ok = elided = 0 || w_on < w_off in
+      if det_off <> Ok () || det_on <> Ok () || not shrink_ok then
+        failed := true;
+      Fmt.pr "%-10s %10d %8d | %12d %12d | %10s %10s%s@." name plan_acqs
+        elided w_off w_on (det_str det_off) (det_str det_on)
+        (if shrink_ok then "" else "  ACQUISITIONS DID NOT DROP");
+      (match det_off with
+      | Error d -> Fmt.pr "  off: %a@." Chimera.Runner.pp_divergence d
+      | Ok () -> ());
+      match det_on with
+      | Error d -> Fmt.pr "  on: %a@." Chimera.Runner.pp_divergence d
+      | Ok () -> ())
+    rows;
+  Fmt.pr
+    "(each column's replay is diffed against its own recording; elision \
+     must never change what a recording replays to)@.";
+  if !failed then exit 1
 
 let all () =
   table1 ();
@@ -456,7 +520,7 @@ let () =
       ("fig7", fig7); ("fig8", fig8); ("sensitivity", sensitivity);
       ("ablation", ablation); ("timeout", timeout_ablation);
       ("detexec", detexec); ("micro", micro); ("json", json);
-      ("all", all);
+      ("lockopt", lockopt_check); ("all", all);
     ]
   in
   (* split off -j N / -jN; remaining args name experiments *)

@@ -56,8 +56,17 @@ let opts_arg =
   Arg.(value & opt opts_conv Instrument.Plan.all_opts
        & info [ "opts" ] ~doc:"Optimization set: all | naive | func | loop")
 
-let analyze_file ?opts ~profile_runs path =
-  Chimera.Pipeline.analyze ?opts ~profile_runs (Minic.Parser.parse ~file:path (read_file path))
+let no_lockopt_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lockopt" ]
+        ~doc:
+          "Disable the interprocedural must-lockset elision and \
+           instrument the raw plan")
+
+let analyze_file ?opts ~profile_runs ?(no_lockopt = false) path =
+  Chimera.Pipeline.analyze ?opts ~profile_runs ~lockopt:(not no_lockopt)
+    (Minic.Parser.parse ~file:path (read_file path))
 
 (* ------------------------------------------------------------------ *)
 
@@ -89,28 +98,44 @@ let races_cmd =
     Term.(const run $ file_arg $ explain_arg $ no_mhp_arg)
 
 let plan_cmd =
-  let run file profile_runs opts =
-    let an = analyze_file ~opts ~profile_runs file in
-    Fmt.pr "%a@.@." Instrument.Plan.pp_summary an.an_plan;
-    List.iter
-      (fun (pd : Instrument.Plan.pair_decision) ->
-        Fmt.pr "%a@.  lock %a@.  side1 %a (%s)@.  side2 %a (%s)@."
-          Relay.Detect.pp_race_pair pd.pd_pair Minic.Ast.pp_weak_lock pd.pd_lock
-          Instrument.Plan.pp_region pd.pd_s1.sd_region pd.pd_s1.sd_reason
-          Instrument.Plan.pp_region pd.pd_s2.sd_region pd.pd_s2.sd_reason)
-      an.an_plan.pl_decisions
+  let explain_plan_arg =
+    Arg.(
+      value & flag
+      & info [ "explain-plan" ]
+          ~doc:
+            "List every weak-lock acquisition with its region, claimed \
+             ranges, and lockopt provenance: kept, elided:dominated (a \
+             dominating enclosing region already holds the lock), or \
+             elided:callsite (every call site of the function holds it)")
+  in
+  let run file profile_runs opts no_lockopt explain_plan =
+    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
+    if explain_plan then Fmt.pr "%a@." Lockopt.pp_explain an.an_lockopt
+    else begin
+      Fmt.pr "%a@." Instrument.Plan.pp_summary an.an_plan;
+      Fmt.pr "%a@.@." Lockopt.pp_report an.an_lockopt;
+      List.iter
+        (fun (pd : Instrument.Plan.pair_decision) ->
+          Fmt.pr "%a@.  lock %a@.  side1 %a (%s)@.  side2 %a (%s)@."
+            Relay.Detect.pp_race_pair pd.pd_pair Minic.Ast.pp_weak_lock pd.pd_lock
+            Instrument.Plan.pp_region pd.pd_s1.sd_region pd.pd_s1.sd_reason
+            Instrument.Plan.pp_region pd.pd_s2.sd_region pd.pd_s2.sd_reason)
+        an.an_plan.pl_decisions
+    end
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Weak-lock granularity plan (profiling + bounds)")
-    Term.(const run $ file_arg $ profile_runs_arg $ opts_arg)
+    Term.(
+      const run $ file_arg $ profile_runs_arg $ opts_arg $ no_lockopt_arg
+      $ explain_plan_arg)
 
 let instrument_cmd =
-  let run file profile_runs opts =
-    let an = analyze_file ~opts ~profile_runs file in
+  let run file profile_runs opts no_lockopt =
+    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
     print_string (Minic.Pretty.program_to_string an.an_instrumented)
   in
   Cmd.v (Cmd.info "instrument" ~doc:"Print the weak-lock-instrumented program")
-    Term.(const run $ file_arg $ profile_runs_arg $ opts_arg)
+    Term.(const run $ file_arg $ profile_runs_arg $ opts_arg $ no_lockopt_arg)
 
 let print_outcome (o : Interp.Engine.outcome) =
   List.iter (fun (_, v) -> Fmt.pr "%d@." v) o.o_outputs;
@@ -133,8 +158,8 @@ let run_cmd =
     Term.(const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg)
 
 let det_cmd =
-  let run file seed cores io_seed profile_runs opts =
-    let an = analyze_file ~opts ~profile_runs file in
+  let run file seed cores io_seed profile_runs opts no_lockopt =
+    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
     let o =
       Chimera.Runner.deterministic ~config:(config_of seed cores)
         ~io:(Interp.Iomodel.random ~seed:io_seed) an.an_instrumented
@@ -148,11 +173,11 @@ let det_cmd =
           (same output for every --seed, no logs)")
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ profile_runs_arg $ opts_arg)
+      $ profile_runs_arg $ opts_arg $ no_lockopt_arg)
 
 let record_cmd =
-  let run file seed cores io_seed profile_runs opts out =
-    let an = analyze_file ~opts ~profile_runs file in
+  let run file seed cores io_seed profile_runs opts no_lockopt out =
+    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
     let r =
       Chimera.Runner.record ~config:(config_of seed cores)
         ~io:(Interp.Iomodel.random ~seed:io_seed) an.an_instrumented
@@ -174,11 +199,11 @@ let record_cmd =
   Cmd.v (Cmd.info "record" ~doc:"Instrument and record an execution")
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ profile_runs_arg $ opts_arg $ out_arg)
+      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ out_arg)
 
 let replay_cmd =
-  let run file seed cores io_seed profile_runs opts logs =
-    let an = analyze_file ~opts ~profile_runs file in
+  let run file seed cores io_seed profile_runs opts no_lockopt logs =
+    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
     let log =
       Replay.Log.decode
         (read_file (logs ^ ".input.log"))
@@ -196,14 +221,14 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc:"Replay a recorded execution")
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ profile_runs_arg $ opts_arg $ logs_arg)
+      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ logs_arg)
 
 let bench_cmd =
-  let run name seed cores workers =
+  let run name seed cores workers no_lockopt =
     let b = Bench_progs.Registry.by_name name in
     let src = b.b_source ~workers ~scale:b.b_eval_scale in
     let an =
-      Chimera.Pipeline.analyze ~profile_runs:8
+      Chimera.Pipeline.analyze ~profile_runs:8 ~lockopt:(not no_lockopt)
         ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
         (Minic.Parser.parse ~file:name src)
     in
@@ -214,6 +239,7 @@ let bench_cmd =
     Fmt.pr "%s: %d races, %a@." name
       (List.length an.an_report.races)
       Instrument.Plan.pp_summary an.an_plan;
+    Fmt.pr "%a@." Lockopt.pp_report an.an_lockopt;
     Fmt.pr "native %d ticks | record %d ticks (%.2fx) | replay %d ticks (%.2fx)@."
       ov.ov_native_ticks ov.ov_record_ticks ov.ov_record ov.ov_replay_ticks
       ov.ov_replay;
@@ -237,7 +263,9 @@ let bench_cmd =
     Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker threads")
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run the full pipeline on a built-in benchmark")
-    Term.(const run $ name_arg $ seed_arg $ cores_arg $ workers_arg)
+    Term.(
+      const run $ name_arg $ seed_arg $ cores_arg $ workers_arg
+      $ no_lockopt_arg)
 
 let () =
   let doc = "Chimera: hybrid program analysis for deterministic replay" in

@@ -3,8 +3,12 @@
     - {b knot}: a small thread-per-pool web server. [main] accepts
       requests ([net_read]) and hands them to workers through a bounded
       queue (mutex + condition variables); workers serve pages from an
-      in-memory cache and racily bump hit/miss statistics. Network wait
-      dominates, so recording overhead hides under I/O as in the paper.
+      in-memory cache and racily bump hit/miss statistics — partly
+      inline ([hits], the [freq] popularity check) and partly through
+      the [account] bookkeeping helper, so the statistics clique spans a
+      caller/callee pair the way apache's response clique does. Network
+      wait dominates, so recording overhead hides under I/O as in the
+      paper.
     - {b apache}: a larger worker-pool server. Each worker accepts under
       an accept mutex, parses the request, and builds the response in its
       own slice of a shared response arena by calling [memset_w] — the
@@ -28,6 +32,7 @@ let knot ~workers ~scale =
     ]
     {|
 int pages[128];
+int freq[${NPAGES}];
 int queue[16];
 int qhead = 0;
 int qtail = 0;
@@ -36,8 +41,13 @@ int qfill;
 int qspace;
 int accepting = 1;
 int hits = 0;
+int hot = 0;
 int served = 0;
 int servelock;
+
+void account(int page) {
+  freq[page] = freq[page] + 1;
+}
 
 void handle(int req) {
   int page; int k; int sum;
@@ -47,6 +57,10 @@ void handle(int req) {
     sum = sum + pages[page * ${PAGESZ} + k];
   }
   hits = hits + 1;
+  if (freq[page] > 2) {
+    hot = hot + 1;
+  }
+  account(page);
   lock(&servelock);
   served = served + 1;
   unlock(&servelock);
@@ -105,6 +119,7 @@ int main() {
     join(tids[i]);
   }
   output(hits);
+  output(hot);
   output(served);
   return 0;
 }

@@ -11,7 +11,14 @@
       and [bndry] never overlap thanks to barriers — this is exactly the
       Figure 2 example, so its races are recovered by function-locks —
       and the force-accumulation phase updates a per-thread slice plus a
-      global reduction under a real lock.
+      global reduction under a real lock. A final [binmols] phase bins
+      molecules into a shared occupancy table by position
+      (water-spatial's box assignment, done once as a closing density
+      statistic): the open-addressing probe reads [boxes] at
+      data-dependent indices inside an inner loop while the claiming
+      write sits in the outer loop body, so the planner nests a total
+      probe-loop lock inside a total insert-loop lock on the same pair —
+      the shape the must-lockset elision collapses.
     - {b fft}: barrier-separated butterfly stages over a partitioned
       array, plus a transpose whose strided accesses defeat the symbolic
       bounds analysis (the paper's loop-lock contention case).
@@ -120,12 +127,14 @@ let water ~workers ~scale =
       ("W", workers);
       ("MOLS", mols);
       ("MP", mols_per);
+      ("NBOX", 2 * mols);
       ("STEPS", 3);
     ]
     {|
 int pos[${MOLS}];
 int vel[${MOLS}];
 int forces[${MOLS}];
+int boxes[${NBOX}];
 int potential = 0;
 int plock;
 int phasebar;
@@ -169,6 +178,23 @@ void kineti(int id) {
   }
 }
 
+void binmols(int id) {
+  int m; int lo; int hi; int c; int occ;
+  lo = id * ${MP};
+  hi = lo + ${MP};
+  for (m = lo; m < hi; m++) {
+    c = pos[m] % ${NBOX};
+    if (c < 0) { c = c + ${NBOX}; }
+    occ = boxes[c];
+    while (occ != 0) {
+      c = c + 1;
+      if (c >= ${NBOX}) { c = 0; }
+      occ = boxes[c];
+    }
+    boxes[c] = m + 1;
+  }
+}
+
 void worker(int *idp) {
   int s; int id;
   id = *idp;
@@ -180,6 +206,7 @@ void worker(int *idp) {
     bndry(id);
     barrier_wait(&phasebar);
   }
+  binmols(id);
 }
 
 int main() {
@@ -202,6 +229,8 @@ int main() {
   cs = checksum_w(pos, ${MOLS});
   output(cs);
   cs = checksum_w(vel, ${MOLS});
+  output(cs);
+  cs = checksum_w(boxes, ${NBOX});
   output(cs);
   return 0;
 }

@@ -15,7 +15,9 @@ type analysis = {
   an_summaries : Relay.Summary.t;
   an_report : Relay.Detect.report;
   an_profile : Profiling.Profile.t;
-  an_plan : Instrument.Plan.t;
+  an_plan_raw : Instrument.Plan.t;  (** plan before lockopt elision *)
+  an_plan : Instrument.Plan.t;      (** plan actually instrumented *)
+  an_lockopt : Lockopt.report;
   an_instrumented : program;      (** the data-race-free transformed program *)
 }
 
@@ -26,32 +28,40 @@ let default_profile_io i = Interp.Iomodel.random ~seed:(1000 + (i * 37))
     [profile_runs] defaults to 20 (as in the paper, Section 7.1);
     [profile_io] supplies per-run input models (profiling inputs should
     differ from evaluation inputs); [opts] selects the optimization set
-    (Figure 5's configurations live in {!Instrument.Plan}); [pool] runs
-    the profile runs concurrently on its domains — the aggregate profile,
-    and hence the whole analysis, is identical to the serial one. *)
+    (Figure 5's configurations live in {!Instrument.Plan}); [lockopt]
+    (default on) elides acquisitions the must-lockset analysis proves
+    redundant (see {!Lockopt}); [pool] runs the profile runs concurrently
+    on its domains — the aggregate profile, and hence the whole analysis,
+    is identical to the serial one. *)
 let analyze ?(opts = Instrument.Plan.all_opts) ?(profile_runs = 20)
     ?(profile_io = default_profile_io)
-    ?(profile_config = Interp.Engine.default_config) ?mhp ?pool
-    (prog : program) : analysis =
+    ?(profile_config = Interp.Engine.default_config) ?mhp ?(lockopt = true)
+    ?pool (prog : program) : analysis =
   let prog = Minic.Typecheck.check prog in
   let summaries, report = Relay.Detect.analyze ?mhp prog in
   let profile =
     Profiling.Profile.profile_many ~config:profile_config ?pool
       ~io_of:profile_io ~runs:profile_runs prog
   in
-  let plan = Instrument.Plan.compute ~opts prog report profile in
+  let plan_raw = Instrument.Plan.compute ~opts prog report profile in
+  let plan, lockopt_report =
+    if lockopt then Lockopt.optimize prog plan_raw summaries.Relay.Summary.cg
+    else (plan_raw, Lockopt.disabled plan_raw)
+  in
   let instrumented = Instrument.Transform.apply prog plan in
   {
     an_prog = prog;
     an_summaries = summaries;
     an_report = report;
     an_profile = profile;
+    an_plan_raw = plan_raw;
     an_plan = plan;
+    an_lockopt = lockopt_report;
     an_instrumented = instrumented;
   }
 
 (** Convenience: parse, check, analyze. *)
-let analyze_source ?opts ?profile_runs ?profile_io ?profile_config ?mhp ?pool
-    ?file src =
-  analyze ?opts ?profile_runs ?profile_io ?profile_config ?mhp ?pool
+let analyze_source ?opts ?profile_runs ?profile_io ?profile_config ?mhp
+    ?lockopt ?pool ?file src =
+  analyze ?opts ?profile_runs ?profile_io ?profile_config ?mhp ?lockopt ?pool
     (Minic.Parser.parse ?file src)

@@ -7,7 +7,10 @@ type analysis = {
   an_summaries : Relay.Summary.t;
   an_report : Relay.Detect.report;
   an_profile : Profiling.Profile.t;
-  an_plan : Instrument.Plan.t;
+  an_plan_raw : Instrument.Plan.t;
+      (** plan as computed, before lockopt elision *)
+  an_plan : Instrument.Plan.t;  (** plan actually instrumented *)
+  an_lockopt : Lockopt.report;
   an_instrumented : Minic.Ast.program;
       (** the data-race-free transformed program *)
 }
@@ -17,15 +20,17 @@ type analysis = {
     (profiling inputs should differ from evaluation inputs); [opts]
     selects the optimization set (Figure 5's configurations live in
     {!Instrument.Plan}); [mhp] (default on) statically prunes race pairs
-    that fork/join ordering serializes (see {!Mhp}); [pool] fans the
-    profile runs out across domains (observationally identical to
-    serial). *)
+    that fork/join ordering serializes (see {!Mhp}); [lockopt] (default
+    on) elides acquisitions the interprocedural must-lockset analysis
+    proves redundant (see {!Lockopt}); [pool] fans the profile runs out
+    across domains (observationally identical to serial). *)
 val analyze :
   ?opts:Instrument.Plan.options ->
   ?profile_runs:int ->
   ?profile_io:(int -> Interp.Iomodel.t) ->
   ?profile_config:Interp.Engine.config ->
   ?mhp:bool ->
+  ?lockopt:bool ->
   ?pool:Par.Pool.t ->
   Minic.Ast.program ->
   analysis
@@ -36,6 +41,7 @@ val analyze_source :
   ?profile_io:(int -> Interp.Iomodel.t) ->
   ?profile_config:Interp.Engine.config ->
   ?mhp:bool ->
+  ?lockopt:bool ->
   ?pool:Par.Pool.t ->
   ?file:string ->
   string ->

@@ -453,6 +453,13 @@ let compute ?(opts = all_opts) (p : program) (report : Relay.Detect.report)
     pl_pruned_pairs = List.length report.Relay.Detect.pruned;
   }
 
+(** Total number of lock acquisitions the plan's regions perform (static
+    count over all region tables; the quantity the {!Lockopt} pass
+    shrinks). *)
+let n_acquisitions (t : t) : int =
+  let sum tbl = Hashtbl.fold (fun _ acqs acc -> acc + List.length acqs) tbl 0 in
+  sum t.pl_func + sum t.pl_loop + sum t.pl_run + sum t.pl_stmt
+
 let pp_summary ppf (t : t) =
   let count tbl = Hashtbl.length tbl in
   Fmt.pf ppf

@@ -74,4 +74,7 @@ val loops_only : options
 val compute :
   ?opts:options -> program -> Relay.Detect.report -> Profiling.Profile.t -> t
 
+(** Total lock acquisitions across all region tables (static count). *)
+val n_acquisitions : t -> int
+
 val pp_summary : t Fmt.t

@@ -75,10 +75,12 @@ let is_fun_ref env (e : exp) : bool =
   | _ -> false
 
 (** Rewrite a call/builtin statement guarded by [acqs] into hoisted form.
-    Returns the replacement statement list. *)
-let hoist_call (fx : fctx) (s : stmt) (acqs : weak_acq list) : stmt list =
+    Returns the replacement statement list. [tag] is applied to every
+    emitted [WeakEnter] (provenance recording for {!apply_mapped}). *)
+let hoist_call ?(tag = fun (s : stmt) -> s) (fx : fctx) (s : stmt)
+    (acqs : weak_acq list) : stmt list =
   let loc = s.sloc in
-  let enter () = Fresh.stmt ~loc (WeakEnter acqs) in
+  let enter () = tag (Fresh.stmt ~loc (WeakEnter acqs)) in
   let exit_ () = Fresh.stmt ~loc (WeakExit (locks_of acqs)) in
   let hoist_args args =
     let pre = ref [] in
@@ -156,12 +158,23 @@ let hoist_call (fx : fctx) (s : stmt) (acqs : weak_acq list) : stmt list =
       @ (if post = [] then [] else (enter () :: post) @ [ exit_ () ])
   | _ -> assert false
 
-(** Instrument [p] according to [plan]. Fresh statement ids continue after
-    the highest existing id. *)
-let apply (p : program) (plan : Plan.t) : program =
+(** Instrument [p] according to [plan], also returning a map from each
+    emitted [WeakEnter]'s sid to the plan region(s) whose acquisitions it
+    performs (two regions when a statement- and a run-level region share
+    one enter). Fresh statement ids continue after the highest existing
+    id. *)
+let apply_mapped (p : program) (plan : Plan.t) :
+    program * (int, Plan.region list) Hashtbl.t =
   Fresh.reset_from p;
+  let origin : (int, Plan.region list) Hashtbl.t = Hashtbl.create 64 in
+  let tag_with regions (s : stmt) =
+    if regions <> [] then Hashtbl.replace origin s.sid regions;
+    s
+  in
   let tenv = Minic.Typecheck.env_of_program p in
-  let enter ?(loc = dummy_loc) acqs = Fresh.stmt ~loc (WeakEnter acqs) in
+  let enter ?(loc = dummy_loc) ~regions acqs =
+    tag_with regions (Fresh.stmt ~loc (WeakEnter acqs))
+  in
   let exit_ ?(loc = dummy_loc) acqs =
     Fresh.stmt ~loc (WeakExit (locks_of acqs))
   in
@@ -192,14 +205,20 @@ let apply (p : program) (plan : Plan.t) : program =
                   (fun (s : stmt) ->
                     match Hashtbl.find_opt plan.Plan.pl_stmt s.sid with
                     | Some acqs when acqs <> [] ->
-                        [ enter ~loc:s.sloc acqs; s; exit_ ~loc:s.sloc acqs ]
+                        [
+                          enter ~loc:s.sloc ~regions:[ Plan.RStmt s.sid ] acqs;
+                          s;
+                          exit_ ~loc:s.sloc acqs;
+                        ]
                     | _ -> [ s ])
                   stmts
               in
               match Hashtbl.find_opt plan.Plan.pl_run head with
               | Some acqs when acqs <> [] ->
                   let loc = (List.hd stmts).sloc in
-                  (enter ~loc acqs :: inner) @ [ exit_ ~loc acqs ]
+                  (enter ~loc ~regions:[ Plan.RRun (fd.f_name, head) ] acqs
+                  :: inner)
+                  @ [ exit_ ~loc acqs ]
               | _ -> inner)
           | `Ctrl s -> (
               let s =
@@ -219,12 +238,24 @@ let apply (p : program) (plan : Plan.t) : program =
                   (Option.value (Hashtbl.find_opt plan.Plan.pl_run s.sid)
                      ~default:[])
               in
+              let own_regions =
+                (match Hashtbl.find_opt plan.Plan.pl_stmt s.sid with
+                | Some a when a <> [] -> [ Plan.RStmt s.sid ]
+                | _ -> [])
+                @
+                match Hashtbl.find_opt plan.Plan.pl_run s.sid with
+                | Some a when a <> [] -> [ Plan.RRun (fd.f_name, s.sid) ]
+                | _ -> []
+              in
               match s.skind with
               | While (cond, body, li) -> (
                   let wrap_loop inner =
                     match Hashtbl.find_opt plan.Plan.pl_loop li.lid with
                     | Some acqs when acqs <> [] ->
-                        (enter ~loc:s.sloc acqs :: inner)
+                        (enter ~loc:s.sloc
+                           ~regions:[ Plan.RLoop (fd.f_name, li.lid) ]
+                           acqs
+                        :: inner)
                         @ [ exit_ ~loc:s.sloc acqs ]
                     | _ -> inner
                   in
@@ -246,7 +277,7 @@ let apply (p : program) (plan : Plan.t) : program =
                       let t = fresh_tmp fx Tint in
                       let eval_cond =
                         [
-                          enter ~loc acqs;
+                          enter ~loc ~regions:own_regions acqs;
                           Fresh.stmt ~loc (Assign (Var t, cond));
                           exit_ ~loc acqs;
                           Fresh.stmt ~loc
@@ -264,7 +295,8 @@ let apply (p : program) (plan : Plan.t) : program =
                         { s with skind = While (Const 1, eval_cond @ body, li') }
                       in
                       wrap_loop [ s' ])
-              | Call _ | Builtin _ when own_acqs <> [] -> hoist_call fx s own_acqs
+              | Call _ | Builtin _ when own_acqs <> [] ->
+                  hoist_call ~tag:(tag_with own_regions) fx s own_acqs
               | If (c, b1, b2) when own_acqs <> [] ->
                   (* A racy branch condition: wrapping the whole [if] would
                      nest around any regions inside the branches (suspend /
@@ -272,13 +304,13 @@ let apply (p : program) (plan : Plan.t) : program =
                   let loc = s.sloc in
                   let t = fresh_tmp fx Tint in
                   [
-                    enter ~loc own_acqs;
+                    enter ~loc ~regions:own_regions own_acqs;
                     Fresh.stmt ~loc (Assign (Var t, c));
                     exit_ ~loc own_acqs;
                     { s with skind = If (Lval (Var t), b1, b2) };
                   ]
               | _ when own_acqs <> [] ->
-                  (enter ~loc:s.sloc own_acqs :: [ s ])
+                  (enter ~loc:s.sloc ~regions:own_regions own_acqs :: [ s ])
                   @ [ exit_ ~loc:s.sloc own_acqs ]
               | _ -> [ s ]))
         groups
@@ -287,12 +319,17 @@ let apply (p : program) (plan : Plan.t) : program =
     let body =
       match Hashtbl.find_opt plan.Plan.pl_func fd.f_name with
       | Some acqs when acqs <> [] ->
-          (enter ~loc:fd.f_loc acqs :: body) @ [ exit_ ~loc:fd.f_loc acqs ]
+          (enter ~loc:fd.f_loc ~regions:[ Plan.RFunc fd.f_name ] acqs :: body)
+          @ [ exit_ ~loc:fd.f_loc acqs ]
       | _ -> body
     in
     { fd with f_body = body; f_locals = fd.f_locals @ List.rev fx.new_locals }
   in
-  { p with p_funs = List.map rewrite_fun p.p_funs }
+  ({ p with p_funs = List.map rewrite_fun p.p_funs }, origin)
+
+(** Instrument [p] according to [plan]. Fresh statement ids continue after
+    the highest existing id. *)
+let apply (p : program) (plan : Plan.t) : program = fst (apply_mapped p plan)
 
 (** Count instrumentation sites by granularity (static, for reporting). *)
 let site_counts (plan : Plan.t) : int * int * int * int =

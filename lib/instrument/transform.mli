@@ -9,6 +9,17 @@
     highest existing id, fresh temporaries join the functions' locals. *)
 val apply : Minic.Ast.program -> Plan.t -> Minic.Ast.program
 
+(** Like {!apply}, also returning a map from each emitted [WeakEnter]'s
+    sid to the plan region(s) whose acquisitions that enter performs (two
+    regions when a statement- and a run-level region share one enter —
+    the [`Ctrl] merge). Consumed by the {!Lockopt} elision pass, which
+    needs to know which static region every region-entry instance in the
+    instrumented program came from. *)
+val apply_mapped :
+  Minic.Ast.program ->
+  Plan.t ->
+  Minic.Ast.program * (int, Plan.region list) Hashtbl.t
+
 (** Static instrumentation sites per granularity:
     (func, loop, bb, instr). *)
 val site_counts : Plan.t -> int * int * int * int

@@ -1,0 +1,506 @@
+(** Interprocedural must-held weak-lockset analysis and redundant-
+    acquisition elision (DESIGN.md §9).
+
+    The pass answers one question per plan region: is every lock
+    acquisition the region performs already guaranteed — with a subsuming
+    claim — at every point the region can be entered? If so the region is
+    deleted from the plan wholesale. Elision must be all-or-nothing per
+    region because the engine's region stack {e suspends} the enclosing
+    region's locks on entry: removing one acquisition from a region that
+    keeps others would drop the removed lock's protection exactly while
+    the region runs. Deleting the whole region instead means no
+    enter/exit is emitted, so the covering (outer or caller-side) locks
+    simply stay held across the region's extent, and every interleaving
+    the weak locks serialize is serialized identically — record/replay
+    digests are unchanged.
+
+    The dataflow fact mirrors the engine: a stack of region levels,
+    innermost on top, whose base level is the interprocedural context
+    (what every call site of the function must hold). Only the top level
+    is actually held at run time (outer levels are suspended), so
+    coverage is always judged against the stack top. The analysis runs on
+    the {e instrumented} program (via {!Instrument.Transform.apply_mapped},
+    which labels each [WeakEnter] with its originating plan regions), so
+    region entries are ordinary statements in the CFG. *)
+
+open Minic.Ast
+module Plan = Instrument.Plan
+module Cfg = Minic.Cfg
+module Cg = Minic.Callgraph
+module Linexp = Symbolic.Linexp
+
+type prov = Kept | Elided_dominated | Elided_callsite
+
+let pp_prov ppf = function
+  | Kept -> Fmt.string ppf "kept"
+  | Elided_dominated -> Fmt.string ppf "elided:dominated"
+  | Elided_callsite -> Fmt.string ppf "elided:callsite"
+
+type entry = { e_region : Plan.region; e_acq : weak_acq; e_prov : prov }
+
+type report = {
+  lo_enabled : bool;
+  lo_plan_acqs : int;
+  lo_elided_acqs : int;
+  lo_regions_elided : int;
+  lo_entries : entry list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Affine range comparison *)
+
+(* Address expressions as affine forms; [&v] becomes the pseudo-symbol
+   ["&v"] (a frame constant), so identical bases cancel in differences. *)
+let rec lin_of_exp (e : exp) : Linexp.t option =
+  match e with
+  | Const c -> Some (Linexp.const c)
+  | Lval (Var v) -> Some (Linexp.var v)
+  | AddrOf (Var v) -> Some (Linexp.var ("&" ^ v))
+  | Unop (Neg, e) -> Option.map Linexp.neg (lin_of_exp e)
+  | Binop (Add, a, b) -> (
+      match (lin_of_exp a, lin_of_exp b) with
+      | Some la, Some lb -> Some (Linexp.add la lb)
+      | _ -> None)
+  | Binop (Sub, a, b) -> (
+      match (lin_of_exp a, lin_of_exp b) with
+      | Some la, Some lb -> Some (Linexp.sub la lb)
+      | _ -> None)
+  | Binop (Mul, a, b) -> (
+      match (lin_of_exp a, lin_of_exp b) with
+      | Some la, Some lb -> Linexp.mul la lb
+      | _ -> None)
+  | _ -> None
+
+let const_exp (e : exp) : bool =
+  match lin_of_exp e with Some l -> Linexp.is_const l | None -> false
+
+(** Symbols whose value provably cannot change while the function runs:
+    address pseudo-symbols (frame constants), and parameters/locals that
+    are never (re)assigned and whose address is never taken. Only for
+    such symbols is a static range comparison meaningful — the covering
+    claim was evaluated at the covering region's entry, the covered claim
+    would have been evaluated later, and an unstable symbol could change
+    value in between. *)
+let stable_pred (fd : fundec) : string -> bool =
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun (v : var_decl) -> Hashtbl.replace names v.v_name ())
+    (fd.f_params @ fd.f_locals);
+  let bad = Hashtbl.create 16 in
+  let rec exp_scan (e : exp) =
+    match e with
+    | Const _ -> ()
+    | Lval lv -> lval_scan lv
+    | AddrOf (Var v) -> Hashtbl.replace bad v ()
+    | AddrOf lv -> lval_scan lv
+    | Unop (_, e) -> exp_scan e
+    | Binop (_, a, b) ->
+        exp_scan a;
+        exp_scan b
+  and lval_scan = function
+    | Var _ -> ()
+    | Deref e -> exp_scan e
+    | Index (lv, e) ->
+        lval_scan lv;
+        exp_scan e
+    | Field (lv, _) -> lval_scan lv
+    | Arrow (e, _) -> exp_scan e
+  in
+  let assign_target = function
+    | Var v -> Hashtbl.replace bad v ()
+    | lv -> lval_scan lv
+  in
+  iter_stmts
+    (fun s ->
+      match s.skind with
+      | Assign (lv, e) ->
+          assign_target lv;
+          exp_scan e
+      | Call (ret, tgt, args) ->
+          Option.iter assign_target ret;
+          (match tgt with ViaPtr e -> exp_scan e | Direct _ -> ());
+          List.iter exp_scan args
+      | Builtin (ret, _, args) ->
+          Option.iter assign_target ret;
+          List.iter exp_scan args
+      | If (c, _, _) | While (c, _, _) -> exp_scan c
+      | Return (Some e) -> exp_scan e
+      | Return None | Break | Continue | WeakEnter _ | WeakExit _ -> ())
+    fd.f_body;
+  fun v ->
+    (String.length v > 0 && v.[0] = '&')
+    || (Hashtbl.mem names v && not (Hashtbl.mem bad v))
+
+(* provable [a <= b], with every symbol stable *)
+let lin_le stable (a : exp) (b : exp) : bool =
+  match (lin_of_exp a, lin_of_exp b) with
+  | Some la, Some lb -> (
+      match Linexp.const_value (Linexp.sub lb la) with
+      | Some d ->
+          d >= 0
+          && List.for_all stable (Linexp.symbols la)
+          && List.for_all stable (Linexp.symbols lb)
+      | None -> false)
+  | _ -> false
+
+(* A held range protects a needed range when it includes it and its
+   access mode conflicts with at least everything the needed mode would
+   conflict with: a write claim excludes readers and writers, a read
+   claim only writers — so a held read range cannot stand in for a write
+   claim. *)
+let range_covers stable (h : warange) (r : warange) : bool =
+  (h.wr_write || not r.wr_write)
+  && lin_le stable h.wr_lo r.wr_lo
+  && lin_le stable r.wr_hi h.wr_hi
+
+(* held claim subsumes needed claim; [] = total (conflicts with every
+   other acquisition of the lock, so it covers anything — but a partial
+   held claim never covers a total need) *)
+let claim_covers stable (held : warange list) (need : warange list) : bool =
+  held = []
+  || need <> []
+     && List.for_all
+          (fun r -> List.exists (fun h -> range_covers stable h r) held)
+          need
+
+let acq_covered stable (held : weak_acq list) (a : weak_acq) : bool =
+  List.exists
+    (fun h ->
+      h.wa_lock = a.wa_lock && claim_covers stable h.wa_ranges a.wa_ranges)
+    held
+
+(* ------------------------------------------------------------------ *)
+(* The must-held dataflow *)
+
+(* One active-region level. [lv_node] identifies the pushing [WeakEnter]:
+   the CFG node containing it, [-1] for the interprocedural base context,
+   [-2] when a join merged distinct pushers (rejected for coverage — a
+   unique covering entry is what the dominator check certifies). *)
+type level = { lv_acqs : weak_acq list; lv_node : int }
+
+type state =
+  | Bot  (** unreachable *)
+  | Poison  (** unbalanced or unknown region stack *)
+  | Stack of level list  (** innermost first; last = base context *)
+
+let meet_acqs (a : weak_acq list) (b : weak_acq list) : weak_acq list =
+  List.filter (fun x -> List.mem x b) a
+
+let meet_level a b =
+  {
+    lv_acqs = meet_acqs a.lv_acqs b.lv_acqs;
+    lv_node = (if a.lv_node = b.lv_node then a.lv_node else -2);
+  }
+
+let meet s1 s2 =
+  match (s1, s2) with
+  | Bot, s | s, Bot -> s
+  | Poison, _ | _, Poison -> Poison
+  | Stack a, Stack b ->
+      if List.length a <> List.length b then Poison
+      else Stack (List.map2 meet_level a b)
+
+(* transfer of one statement: region entries push, exits pop; everything
+   else (including calls — the callee's own region churn is balanced by
+   its return) leaves the stack unchanged *)
+let step stmt_of node_id st sid =
+  match st with
+  | Bot | Poison -> st
+  | Stack levels -> (
+      match (Hashtbl.find stmt_of sid).skind with
+      | WeakEnter acqs -> Stack ({ lv_acqs = acqs; lv_node = node_id } :: levels)
+      | WeakExit _ -> (
+          match levels with
+          | _ :: (_ :: _ as rest) -> Stack rest
+          | _ -> Poison (* would pop the base context: unbalanced path *))
+      | _ -> st)
+
+(* Facts from different frames are only comparable when value-free:
+   keep total claims and claims with fully constant ranges. *)
+let ctx_sanitize (acqs : weak_acq list) : weak_acq list =
+  List.filter
+    (fun a ->
+      a.wa_ranges = []
+      || List.for_all
+           (fun r -> const_exp r.wr_lo && const_exp r.wr_hi)
+           a.wa_ranges)
+    acqs
+
+(** Run the dataflow over one instrumented function under entry context
+    [ctx]; report every region-entry instance to [record_enter] and the
+    must-held top at every direct call to [record_call]. *)
+let analyze_fun ~record_enter ~record_call (fd : fundec)
+    (ctx : weak_acq list) : unit =
+  let cfg = Cfg.build fd in
+  let idom = Cfg.idom cfg in
+  let stmt_of : (int, stmt) Hashtbl.t = Hashtbl.create 64 in
+  iter_stmts (fun s -> Hashtbl.replace stmt_of s.sid s) fd.f_body;
+  let n = Array.length cfg.Cfg.c_nodes in
+  let input = Array.make n Bot in
+  let output = Array.make n Bot in
+  let entry_st = Stack [ { lv_acqs = ctx; lv_node = -1 } ] in
+  let transfer i st =
+    List.fold_left (step stmt_of i) st cfg.Cfg.c_nodes.(i).n_stmts
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let node = cfg.Cfg.c_nodes.(i) in
+      let in_st =
+        if i = cfg.Cfg.c_entry then entry_st
+        else
+          List.fold_left (fun acc pr -> meet acc output.(pr)) Bot node.n_preds
+      in
+      if in_st <> input.(i) then begin
+        input.(i) <- in_st;
+        changed := true
+      end;
+      let out_st = transfer i in_st in
+      if out_st <> output.(i) then begin
+        output.(i) <- out_st;
+        changed := true
+      end
+    done
+  done;
+  (* stable states: walk each reachable node once, reporting the held
+     top (the only level actually held at run time) before each region
+     entry and at each direct call *)
+  for i = 0 to n - 1 do
+    match input.(i) with
+    | Bot -> ()
+    | st0 ->
+        ignore
+          (List.fold_left
+             (fun st sid ->
+               let top =
+                 match st with Stack (t :: _) -> Some t | _ -> None
+               in
+               (match (Hashtbl.find stmt_of sid).skind with
+               | WeakEnter acqs ->
+                   record_enter ~idom ~node:i ~sid ~top acqs
+               | Call (_, Direct g, _) -> record_call g top
+               | _ -> ());
+               step stmt_of i st sid)
+             st0 cfg.Cfg.c_nodes.(i).n_stmts)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The pass *)
+
+let region_key = function
+  | Plan.RFunc f -> `F f
+  | Plan.RLoop (_, lid) -> `L lid
+  | Plan.RRun (_, head) -> `R head
+  | Plan.RStmt sid -> `S sid
+
+let disabled (plan : Plan.t) : report =
+  {
+    lo_enabled = false;
+    lo_plan_acqs = Plan.n_acquisitions plan;
+    lo_elided_acqs = 0;
+    lo_regions_elided = 0;
+    lo_entries = [];
+  }
+
+(* every (region, acq) of [plan], provenance looked up in [elided] *)
+let entries_of (p : program) (plan : Plan.t)
+    (elided : (Plan.region, prov) Hashtbl.t) : entry list =
+  let fname_of_sid = Hashtbl.create 256 in
+  let fname_of_lid = Hashtbl.create 32 in
+  List.iter
+    (fun (fd : fundec) ->
+      iter_stmts
+        (fun s ->
+          Hashtbl.replace fname_of_sid s.sid fd.f_name;
+          match s.skind with
+          | While (_, _, li) -> Hashtbl.replace fname_of_lid li.lid fd.f_name
+          | _ -> ())
+        fd.f_body)
+    p.p_funs;
+  let fname tbl k = Option.value (Hashtbl.find_opt tbl k) ~default:"?" in
+  let collect tbl mk acc =
+    Hashtbl.fold
+      (fun k acqs acc ->
+        let r = mk k in
+        let prv =
+          Option.value (Hashtbl.find_opt elided r) ~default:Kept
+        in
+        List.fold_left
+          (fun acc a -> { e_region = r; e_acq = a; e_prov = prv } :: acc)
+          acc acqs)
+      tbl acc
+  in
+  []
+  |> collect plan.Plan.pl_func (fun f -> Plan.RFunc f)
+  |> collect plan.Plan.pl_loop (fun lid ->
+         Plan.RLoop (fname fname_of_lid lid, lid))
+  |> collect plan.Plan.pl_run (fun head ->
+         Plan.RRun (fname fname_of_sid head, head))
+  |> collect plan.Plan.pl_stmt (fun sid -> Plan.RStmt sid)
+  |> List.sort (fun a b ->
+         compare
+           (a.e_region, a.e_acq.wa_lock)
+           (b.e_region, b.e_acq.wa_lock))
+
+let optimize (p : program) (plan : Plan.t) (cg : Cg.t) : Plan.t * report =
+  let prog_i, origin = Instrument.Transform.apply_mapped p plan in
+  (* functions whose entry context is pinned to "nothing held": thread
+     roots (main + spawn targets), address-taken functions (indirect
+     call sites are not enumerable), and anything on a call-graph cycle *)
+  let poisoned = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace poisoned f ()) cg.Cg.cg_roots;
+  List.iter (fun f -> Hashtbl.replace poisoned f ()) (Cg.address_taken_funs p);
+  List.iter
+    (fun (fd : fundec) ->
+      if
+        List.exists
+          (fun g -> List.mem fd.f_name (Cg.reachable_from cg g))
+          (Cg.callees cg fd.f_name)
+      then Hashtbl.replace poisoned fd.f_name ())
+    p.p_funs;
+  (* per-region entry instances: (covered, provenance) per instance *)
+  let insts : (Plan.region, (bool * prov) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  (* per-callee sanitized must-held sets, one per live call site *)
+  let call_ctx : (string, weak_acq list list) Hashtbl.t = Hashtbl.create 32 in
+  let processed = Hashtbl.create 16 in
+  let order = List.rev (Cg.bottom_up_order cg p) in
+  List.iter
+    (fun f ->
+      match find_fun prog_i f with
+      | None -> ()
+      | Some fd_i ->
+          let ctx =
+            if Hashtbl.mem poisoned f then []
+            else
+              let callers =
+                Option.value
+                  (Hashtbl.find_opt cg.Cg.cg_callers f)
+                  ~default:[]
+              in
+              if
+                callers = []
+                || List.exists
+                     (fun c -> not (Hashtbl.mem processed c))
+                     callers
+              then []
+              else
+                match Hashtbl.find_opt call_ctx f with
+                | None | Some [] -> [] (* no live call site observed *)
+                | Some (first :: rest) ->
+                    List.fold_left meet_acqs first rest
+          in
+          let stable = stable_pred fd_i in
+          let record_enter ~idom ~node ~sid ~top acqs =
+            match Hashtbl.find_opt origin sid with
+            | None | Some [] -> ()
+            | Some regions ->
+                let covered, prv =
+                  match top with
+                  | None -> (false, Kept)
+                  | Some t ->
+                      let usable, prv =
+                        if t.lv_node = -1 then (true, Elided_callsite)
+                        else if
+                          t.lv_node >= 0 && Cfg.dominates idom t.lv_node node
+                        then (true, Elided_dominated)
+                        else (false, Kept)
+                      in
+                      if
+                        usable && acqs <> []
+                        && List.for_all (acq_covered stable t.lv_acqs) acqs
+                      then (true, prv)
+                      else (false, Kept)
+                in
+                List.iter
+                  (fun r ->
+                    let cur =
+                      Option.value (Hashtbl.find_opt insts r) ~default:[]
+                    in
+                    Hashtbl.replace insts r ((covered, prv) :: cur))
+                  regions
+          in
+          let record_call g top =
+            let acqs =
+              match top with
+              | Some (t : level) -> ctx_sanitize t.lv_acqs
+              | None -> []
+            in
+            let cur =
+              Option.value (Hashtbl.find_opt call_ctx g) ~default:[]
+            in
+            Hashtbl.replace call_ctx g (acqs :: cur)
+          in
+          analyze_fun ~record_enter ~record_call fd_i ctx;
+          Hashtbl.replace processed f ())
+    order;
+  (* a region is elided only when every one of its entry instances is
+     fully covered — including the acquisitions of any region sharing
+     the same [WeakEnter] (the enter's acq list is their merge, and all
+     merged regions share exactly the same instances) *)
+  let elided : (Plan.region, prov) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun r is ->
+      if is <> [] && List.for_all fst is then begin
+        let prv =
+          if List.for_all (fun (_, p) -> p = Elided_callsite) is then
+            Elided_callsite
+          else Elided_dominated
+        in
+        Hashtbl.replace elided r prv
+      end)
+    insts;
+  let plan' =
+    let func = Hashtbl.copy plan.Plan.pl_func in
+    let loop = Hashtbl.copy plan.Plan.pl_loop in
+    let run = Hashtbl.copy plan.Plan.pl_run in
+    let stmt = Hashtbl.copy plan.Plan.pl_stmt in
+    Hashtbl.iter
+      (fun r _ ->
+        match region_key r with
+        | `F f -> Hashtbl.remove func f
+        | `L lid -> Hashtbl.remove loop lid
+        | `R head -> Hashtbl.remove run head
+        | `S sid -> Hashtbl.remove stmt sid)
+      elided;
+    { plan with Plan.pl_func = func; pl_loop = loop; pl_run = run; pl_stmt = stmt }
+  in
+  let plan_acqs = Plan.n_acquisitions plan in
+  let report =
+    {
+      lo_enabled = true;
+      lo_plan_acqs = plan_acqs;
+      lo_elided_acqs = plan_acqs - Plan.n_acquisitions plan';
+      lo_regions_elided = Hashtbl.length elided;
+      lo_entries = entries_of p plan elided;
+    }
+  in
+  (plan', report)
+
+(* ------------------------------------------------------------------ *)
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "lockopt: %d/%d acquisitions elided (%d regions)%s"
+    r.lo_elided_acqs r.lo_plan_acqs r.lo_regions_elided
+    (if r.lo_enabled then "" else " [disabled]")
+
+let pp_range ppf (r : warange) =
+  Fmt.pf ppf "[%a..%a]%s" Minic.Pretty.pp_exp r.wr_lo Minic.Pretty.pp_exp
+    r.wr_hi
+    (if r.wr_write then "w" else "r")
+
+let pp_ranges ppf = function
+  | [] -> Fmt.string ppf "total"
+  | rs -> Fmt.(list ~sep:comma) pp_range ppf rs
+
+let pp_explain ppf (r : report) =
+  Fmt.pf ppf "@[<v>%a" pp_report r;
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "@,  %a: lock %a claim=%a -- %a" Plan.pp_region e.e_region
+        pp_weak_lock e.e_acq.wa_lock pp_ranges e.e_acq.wa_ranges pp_prov
+        e.e_prov)
+    r.lo_entries;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,67 @@
+(** Interprocedural must-held weak-lockset analysis and redundant-
+    acquisition elision (DESIGN.md §9).
+
+    A weak-lock acquisition is redundant when the same lock is already
+    held — with a claim subsuming the acquisition's address ranges — at
+    every point the acquiring region can be entered. The pass runs a
+    forward must-dataflow over each function's {!Minic.Cfg} (the fact is
+    the stack of active region levels, innermost on top, mirroring the
+    engine's region stack), propagates held-sets across calls by
+    intersecting the facts of all call sites bottom-up over
+    {!Minic.Callgraph} (recursion, thread roots and address-taken
+    functions poison to "nothing held"), and then deletes {e whole}
+    regions from the plan.
+
+    Elision is all-or-nothing per region: entering a region suspends the
+    enclosing region's locks, so removing one acquisition from a region
+    that keeps others would leave its statements unprotected by the
+    removed lock while the region runs. A region disappears only when
+    every acquisition it performs is covered at every one of its entry
+    instances (and likewise for any region sharing those entries), in
+    which case no enter/exit is emitted at all and the covering locks
+    simply stay held across its extent. *)
+
+(** Per-acquisition provenance, analogous to {!Relay.Detect.provenance}. *)
+type prov =
+  | Kept
+  | Elided_dominated
+      (** covered by a region entry that dominates this one in the same
+          function's CFG *)
+  | Elided_callsite
+      (** covered by the intersected must-held set of every call site of
+          the enclosing function *)
+
+val pp_prov : prov Fmt.t
+
+type entry = {
+  e_region : Instrument.Plan.region;
+  e_acq : Minic.Ast.weak_acq;
+  e_prov : prov;
+}
+
+type report = {
+  lo_enabled : bool;
+  lo_plan_acqs : int;  (** acquisitions in the incoming (raw) plan *)
+  lo_elided_acqs : int;  (** acquisitions removed by the pass *)
+  lo_regions_elided : int;
+  lo_entries : entry list;  (** one per raw-plan acquisition, sorted *)
+}
+
+(** The report of a disabled pass: everything kept, nothing elided. *)
+val disabled : Instrument.Plan.t -> report
+
+(** [optimize prog plan cg] returns the elided plan plus the report.
+    [cg] should be the pointer-resolved call graph (the pipeline passes
+    [Relay.Summary.t.cg]). [prog] is the {e uninstrumented} program the
+    plan was computed for. *)
+val optimize :
+  Minic.Ast.program ->
+  Instrument.Plan.t ->
+  Minic.Callgraph.t ->
+  Instrument.Plan.t * report
+
+val pp_report : report Fmt.t
+
+(** One line per raw-plan acquisition: region, lock, ranges, provenance
+    (the [--explain-plan] payload). *)
+val pp_explain : report Fmt.t

@@ -61,42 +61,56 @@ type report = {
 (* ------------------------------------------------------------------ *)
 (* Escape analysis for the heapified-local filter *)
 
-(** Does local [l = ALocal (f, v)] escape [f]? True iff its address
-    appears in the points-to set of some location outside [f]'s frame
-    (global, heap object, or another function's local/param). *)
-let escapes (pa : Pointer.Analysis.t) (l : A.t) : bool =
+(** Candidate holders: all globals, heap allocation sites, and every
+    function's locals and params. Enumerated once per program — the
+    per-local escape queries below all share one enumeration instead of
+    re-scanning the program each time. *)
+let all_holders (p : program) : A.t list =
+  let holders = ref [] in
+  List.iter
+    (fun (g : global) -> holders := A.AGlobal g.g_name :: !holders)
+    p.p_globals;
+  List.iter
+    (fun (fd : fundec) ->
+      List.iter
+        (fun (v : var_decl) ->
+          holders := A.ALocal (fd.f_name, v.v_name) :: !holders)
+        (fd.f_params @ fd.f_locals))
+    p.p_funs;
+  iter_program_stmts
+    (fun s ->
+      match s.skind with
+      | Builtin (_, Malloc, _) -> holders := A.AHeap s.sid :: !holders
+      | _ -> ())
+    p;
+  !holders
+
+(** Does local [l = ALocal (f, v)] escape [f] given the precomputed
+    holder set? True iff its address appears in the points-to set of some
+    location outside [f]'s frame (global, heap object, or another
+    function's local/param), directly or held transitively inside an
+    object that holder points to. *)
+let escapes_among (pa : Pointer.Analysis.t) (holders : A.t list) (l : A.t) :
+    bool =
   match l with
   | A.ALocal (f, _) ->
       let pts = Pointer.Analysis.points_to pa in
-      let holders = ref [] in
-      (* candidate holders: all globals, heap sites, and locals of other
-         functions in the program *)
-      let p = pa.Pointer.Analysis.prog in
-      List.iter (fun (g : global) -> holders := A.AGlobal g.g_name :: !holders) p.p_globals;
-      List.iter
-        (fun (fd : fundec) ->
-          List.iter
-            (fun (v : var_decl) ->
-              if fd.f_name <> f then
-                holders := A.ALocal (fd.f_name, v.v_name) :: !holders)
-            (fd.f_params @ fd.f_locals))
-        p.p_funs;
-      iter_program_stmts
-        (fun s ->
-          match s.skind with
-          | Builtin (_, Malloc, _) -> holders := A.AHeap s.sid :: !holders
-          | _ -> ())
-        p;
-      List.exists (fun h -> Aset.mem l (pts h)) !holders
-      (* transitively: address stored inside a heap/global object that
-         itself holds it *)
-      || List.exists
-           (fun h ->
-             Aset.exists
-               (fun o -> (not (A.equal o l)) && Aset.mem l (pts o))
-               (pts h))
-           !holders
+      let foreign = function A.ALocal (g, _) -> g <> f | _ -> true in
+      List.exists
+        (fun h ->
+          foreign h
+          && (Aset.mem l (pts h)
+             || Aset.exists
+                  (fun o -> (not (A.equal o l)) && Aset.mem l (pts o))
+                  (pts h)))
+        holders
   | _ -> true
+
+(** One-off query form (tests, external callers): enumerates holders for
+    this single query. {!detect} instead calls {!escapes_among} with one
+    shared enumeration. *)
+let escapes (pa : Pointer.Analysis.t) (l : A.t) : bool =
+  escapes_among pa (all_holders pa.Pointer.Analysis.prog) l
 
 (* ------------------------------------------------------------------ *)
 
@@ -180,13 +194,15 @@ let detect ?(mhp = true) (sm : Summary.t) : report =
       let cur = Option.value (Hashtbl.find_opt by_obj a.ga_obj) ~default:[] in
       Hashtbl.replace by_obj a.ga_obj (a :: cur))
     accesses;
-  (* escape cache *)
+  (* escape queries: one holder enumeration for the whole detection run,
+     plus a per-object cache *)
+  let holders = all_holders sm.Summary.pa.Pointer.Analysis.prog in
   let esc_cache : (A.t, bool) Hashtbl.t = Hashtbl.create 64 in
   let escapes_c l =
     match Hashtbl.find_opt esc_cache l with
     | Some b -> b
     | None ->
-        let b = escapes sm.Summary.pa l in
+        let b = escapes_among sm.Summary.pa holders l in
         Hashtbl.replace esc_cache l b;
         b
   in

@@ -1,17 +1,26 @@
-(** Golden-counter generator: the static race-analysis counters for all
-    nine benchmarks — RELAY candidate pairs, MHP-pruned pairs, and kept
-    pairs — printed as a stable table. [dune runtest] diffs the output
-    against [golden_counters.expected]; after an intentional analysis
-    change, refresh the snapshot with [dune promote]. *)
+(** Golden-counter generator: the static analysis counters for all nine
+    benchmarks — RELAY candidate pairs, MHP-pruned pairs, kept pairs,
+    plan acquisitions before lockopt, and acquisitions the must-lockset
+    pass elided — printed as a stable table. [dune runtest] diffs the
+    output against [golden_counters.expected]; after an intentional
+    analysis change, refresh the snapshot with [dune promote]. *)
 
 let () =
-  Fmt.pr "%-8s %8s %8s %8s@." "bench" "static" "pruned" "kept";
+  Fmt.pr "%-8s %8s %8s %8s %8s %8s@." "bench" "static" "pruned" "kept"
+    "plan" "elided";
   List.iter
     (fun (b : Bench_progs.Registry.bench) ->
       let src = b.b_source ~workers:4 ~scale:b.b_eval_scale in
-      let prog = Minic.Typecheck.parse_and_check ~file:b.b_name src in
-      let _, report = Relay.Detect.analyze prog in
-      Fmt.pr "%-8s %8d %8d %8d@." b.b_name report.n_candidates
-        (List.length report.pruned)
-        (List.length report.races))
+      let an =
+        Chimera.Pipeline.analyze ~profile_runs:6
+          ~profile_io:(fun i ->
+            b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+          (Minic.Parser.parse ~file:b.b_name src)
+      in
+      Fmt.pr "%-8s %8d %8d %8d %8d %8d@." b.b_name
+        an.an_report.n_candidates
+        (List.length an.an_report.pruned)
+        (List.length an.an_report.races)
+        an.an_lockopt.Lockopt.lo_plan_acqs
+        an.an_lockopt.Lockopt.lo_elided_acqs)
     Bench_progs.Registry.all

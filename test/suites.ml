@@ -20,6 +20,7 @@ let all : (string * unit Alcotest.test_case list) list =
     ("dynrace", Test_dynrace.suite);
     ("profiling", Test_profiling.suite);
     ("instrument", Test_instrument.suite);
+    ("lockopt", Test_lockopt.suite);
     ("par", Test_par.suite);
     ("cli", Test_cli.suite);
     ("fuzz", Test_fuzz.suite);

@@ -1,0 +1,304 @@
+(** The interprocedural must-lockset elision (lib/lockopt): directed
+    units on hand-built plans (dominated coverage, one-path-held joins,
+    recursive poisoning, call-site intersection), a fuzz property that
+    elision only ever {e removes} acquisitions, and the tier-1 replay
+    pin: every benchmark records and replays identically with the pass
+    on and off, and elision strictly reduces runtime acquisitions
+    wherever it removed a static one. *)
+
+open Minic.Ast
+module Plan = Instrument.Plan
+
+let parse src = Minic.Typecheck.parse_and_check ~file:"test.mc" src
+
+(* ------------------------------------------------------------------ *)
+(* hand-built plans *)
+
+let lock = { wl_id = 0; wl_gran = Gfunc }
+let total = { wa_lock = lock; wa_ranges = [] }
+
+(* a plan with exactly the given region -> acquisitions entries *)
+let plan_of ~funcs ~stmts : Plan.t =
+  let tbl kvs =
+    let h = Hashtbl.create 8 in
+    List.iter (fun (k, v) -> Hashtbl.replace h k v) kvs;
+    h
+  in
+  {
+    Plan.pl_func = tbl funcs;
+    pl_loop = tbl [];
+    pl_run = tbl [];
+    pl_stmt = tbl stmts;
+    pl_decisions = [];
+    pl_cliques = Instrument.Clique.compute ~non_concurrent:[] ~racy:[];
+    pl_n_locks = 1;
+    pl_static_pairs = 0;
+    pl_pruned_pairs = 0;
+  }
+
+let optimize p plan = Lockopt.optimize p plan (Minic.Callgraph.build p)
+
+(* sids of [Assign (Var v, _)] statements, in program order *)
+let assign_sids p v =
+  let acc = ref [] in
+  List.iter
+    (fun (fd : fundec) ->
+      iter_stmts
+        (fun s ->
+          match s.skind with
+          | Assign (Var w, _) when w = v -> acc := s.sid :: !acc
+          | _ -> ())
+        fd.f_body)
+    p.p_funs;
+  List.rev !acc
+
+let prov_of (r : Lockopt.report) (region : Plan.region) : Lockopt.prov =
+  match
+    List.find_opt
+      (fun (e : Lockopt.entry) -> e.e_region = region)
+      r.lo_entries
+  with
+  | Some e -> e.e_prov
+  | None -> Alcotest.failf "no report entry for %a" Plan.pp_region region
+
+let prov = Alcotest.testable Lockopt.pp_prov ( = )
+
+let test_dominated_elided () =
+  (* the statement region sits under the function region's lock: the
+     function's WeakEnter dominates every node of the body, so the inner
+     (same-lock, total-claim) acquisition is redundant *)
+  let p =
+    parse
+      {|int x = 0;
+        void f() { x = 1; }
+        int main() { f(); return x; }|}
+  in
+  let sid = List.hd (assign_sids p "x") in
+  let plan = plan_of ~funcs:[ ("f", [ total ]) ] ~stmts:[ (sid, [ total ]) ] in
+  let plan', r = optimize p plan in
+  Alcotest.(check int) "one acquisition elided" 1 r.lo_elided_acqs;
+  Alcotest.check prov "stmt region dominated" Lockopt.Elided_dominated
+    (prov_of r (Plan.RStmt sid));
+  Alcotest.check prov "func region kept" Lockopt.Kept
+    (prov_of r (Plan.RFunc "f"));
+  Alcotest.(check int) "stmt table emptied" 0
+    (Hashtbl.length plan'.Plan.pl_stmt);
+  Alcotest.(check int) "func table intact" 1
+    (Hashtbl.length plan'.Plan.pl_func)
+
+let test_one_path_not_elided () =
+  (* the lock is acquired on the then-path only; at the join the must-
+     analysis meets "held" with "not held", so the region after the If
+     keeps its acquisition *)
+  let p =
+    parse
+      {|int x = 0;
+        void f(int c) {
+          if (c > 0) { x = 1; } else { c = 0; }
+          x = 3;
+        }
+        int main() { f(1); return x; }|}
+  in
+  let sids = assign_sids p "x" in
+  let branch_sid = List.nth sids 0 and after_sid = List.nth sids 1 in
+  let plan =
+    plan_of ~funcs:[]
+      ~stmts:[ (branch_sid, [ total ]); (after_sid, [ total ]) ]
+  in
+  let _, r = optimize p plan in
+  Alcotest.(check int) "nothing elided" 0 r.lo_elided_acqs;
+  Alcotest.check prov "post-join region kept" Lockopt.Kept
+    (prov_of r (Plan.RStmt after_sid))
+
+let test_recursive_callee_poisoned () =
+  (* the only external call site of [r] runs under main's function lock,
+     but [r] sits on a call-graph cycle: its entry context is poisoned to
+     "nothing held" (the recursive call site cannot be trusted before [r]
+     itself is analyzed), so the body acquisition stays *)
+  let p =
+    parse
+      {|int x = 0;
+        void r(int n) {
+          x = n;
+          if (n > 0) { r(n - 1); }
+        }
+        int main() { r(3); return x; }|}
+  in
+  let body_sid = List.hd (assign_sids p "x") in
+  let plan =
+    plan_of
+      ~funcs:[ ("main", [ total ]) ]
+      ~stmts:[ (body_sid, [ total ]) ]
+  in
+  let _, r = optimize p plan in
+  Alcotest.(check int) "nothing elided" 0 r.lo_elided_acqs;
+  Alcotest.check prov "recursive callee's region kept" Lockopt.Kept
+    (prov_of r (Plan.RStmt body_sid))
+
+let test_callsite_elided () =
+  (* the only call site of [g] runs under main's function lock (a weak
+     lock stays held across a plain call — only a region entry suspends
+     it): g's base context must-holds it, so g's body acquisition is
+     elided *)
+  let p =
+    parse
+      {|int x = 0;
+        void g() { x = 1; }
+        int main() { g(); return x; }|}
+  in
+  let body_sid = List.hd (assign_sids p "x") in
+  let plan =
+    plan_of
+      ~funcs:[ ("main", [ total ]) ]
+      ~stmts:[ (body_sid, [ total ]) ]
+  in
+  let plan', r = optimize p plan in
+  Alcotest.(check int) "one acquisition elided" 1 r.lo_elided_acqs;
+  Alcotest.check prov "callee region covered by call sites"
+    Lockopt.Elided_callsite
+    (prov_of r (Plan.RStmt body_sid));
+  Alcotest.check prov "main's own region kept" Lockopt.Kept
+    (prov_of r (Plan.RFunc "main"));
+  Alcotest.(check bool) "callee's stmt gone from the plan" false
+    (Hashtbl.mem plan'.Plan.pl_stmt body_sid)
+
+let test_unlocked_caller_kept () =
+  (* same callee, but a second caller — a spawned thread root, whose
+     entry context is pinned to "nothing held" — calls [g] without the
+     lock: the call-site intersection is empty and the body acquisition
+     survives *)
+  let p =
+    parse
+      {|int x = 0;
+        void g() { x = 1; }
+        void h(int *u) { g(); }
+        int main() { int t;
+          t = spawn(h, &x);
+          join(t);
+          g();
+          return x; }|}
+  in
+  let body_sid = List.hd (assign_sids p "x") in
+  let plan =
+    plan_of
+      ~funcs:[ ("main", [ total ]) ]
+      ~stmts:[ (body_sid, [ total ]) ]
+  in
+  let _, r = optimize p plan in
+  Alcotest.(check int) "nothing elided" 0 r.lo_elided_acqs;
+  Alcotest.check prov "one unlocked call site keeps the region"
+    Lockopt.Kept
+    (prov_of r (Plan.RStmt body_sid))
+
+(* ------------------------------------------------------------------ *)
+(* fuzz: elision only removes acquisitions *)
+
+(* every (region, acquisition) of a plan, as a sorted multiset *)
+let acq_multiset (pl : Plan.t) =
+  let collect tbl mk acc =
+    Hashtbl.fold
+      (fun k acqs acc ->
+        List.fold_left (fun acc a -> (mk k, a) :: acc) acc acqs)
+      tbl acc
+  in
+  []
+  |> collect pl.Plan.pl_func (fun f -> `F f)
+  |> collect pl.Plan.pl_loop (fun l -> `L l)
+  |> collect pl.Plan.pl_run (fun h -> `R h)
+  |> collect pl.Plan.pl_stmt (fun s -> `S s)
+  |> List.sort compare
+
+let rec sub_multiset xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' ->
+      if x = y then sub_multiset xs' ys'
+      else if compare y x < 0 then sub_multiset xs ys'
+      else false
+
+let test_fuzz_subset () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:8 ~name:"elided plan is a sub-multiset"
+       (QCheck.make Proggen.gen_program) (fun src ->
+         let an =
+           Chimera.Pipeline.analyze ~profile_runs:4
+             ~profile_io:(fun i -> Interp.Iomodel.random ~seed:(700 + i))
+             (Minic.Parser.parse ~file:"fuzz.mc" src)
+         in
+         let raw = acq_multiset an.an_plan_raw in
+         let opt = acq_multiset an.an_plan in
+         sub_multiset opt raw
+         && an.an_lockopt.Lockopt.lo_plan_acqs = List.length raw
+         && an.an_lockopt.Lockopt.lo_elided_acqs
+            = List.length raw - List.length opt))
+
+(* ------------------------------------------------------------------ *)
+(* tier-1 replay pin: the nine benchmarks, pass on and off *)
+
+let weak_count (o : Interp.Engine.outcome) =
+  Array.fold_left ( + ) 0 o.o_stats.n_weak_acq
+
+let bench_case ?pool (b : Bench_progs.Registry.bench) =
+  let scale = b.b_eval_scale in
+  let analyze lockopt =
+    Chimera.Pipeline.analyze ?pool ~profile_runs:6 ~lockopt
+      ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+      (Minic.Parser.parse ~file:b.b_name (b.b_source ~workers:4 ~scale))
+  in
+  let io = b.b_io ~seed:42 ~scale in
+  let config = { Interp.Engine.default_config with seed = 1; cores = 4 } in
+  let run_one (an : Chimera.Pipeline.analysis) =
+    let r = Chimera.Runner.record ~config ~io an.an_instrumented in
+    let rep =
+      Chimera.Runner.replay ~config ~io an.an_instrumented
+        r.Chimera.Runner.rc_log
+    in
+    (match Chimera.Runner.same_execution r.rc_outcome rep with
+    | Ok () -> ()
+    | Error d ->
+        Alcotest.failf "%s: replay diverged: %a" b.b_name
+          Chimera.Runner.pp_divergence d);
+    r.rc_outcome
+  in
+  let an_on = analyze true and an_off = analyze false in
+  let o_on = run_one an_on and o_off = run_one an_off in
+  let elided = an_on.an_lockopt.Lockopt.lo_elided_acqs in
+  if elided > 0 then
+    Alcotest.(check bool)
+      (Fmt.str "%s: elision reduces runtime acquisitions (%d < %d)"
+         b.b_name (weak_count o_on) (weak_count o_off))
+      true
+      (weak_count o_on < weak_count o_off);
+  elided
+
+let test_bench_replay_pin () =
+  let benches =
+    List.map Bench_progs.Registry.by_name Bench_progs.Registry.names
+  in
+  let elided =
+    Par.Pool.with_pool ~domains:4 (fun p ->
+        Par.Pool.map_list p (fun b -> bench_case ~pool:p b) benches)
+  in
+  let n_eliding = List.length (List.filter (fun e -> e > 0) elided) in
+  Alcotest.(check bool)
+    (Fmt.str "at least 3 of 9 benchmarks elide (got %d)" n_eliding)
+    true (n_eliding >= 3)
+
+let suite =
+  [
+    Alcotest.test_case "dominated stmt under func lock elided" `Quick
+      test_dominated_elided;
+    Alcotest.test_case "lock held on one branch only: kept" `Quick
+      test_one_path_not_elided;
+    Alcotest.test_case "recursive callee poisons call-site context" `Quick
+      test_recursive_callee_poisoned;
+    Alcotest.test_case "all call sites locked: callee elided" `Quick
+      test_callsite_elided;
+    Alcotest.test_case "one unlocked call site: callee kept" `Quick
+      test_unlocked_caller_kept;
+    Alcotest.test_case "fuzz: elision only removes acquisitions" `Slow
+      test_fuzz_subset;
+    Alcotest.test_case "benchmarks replay identically, pass on/off" `Slow
+      test_bench_replay_pin;
+  ]
