@@ -5,7 +5,8 @@
 #
 # J controls the domain count of the parallel targets (bench -j flag /
 # the sharded test runner); it defaults to all cores.
-.PHONY: all build test test-par check bench-json par-check lockopt-check clean
+.PHONY: all build test test-par check bench-json par-check lockopt-check \
+	trace-check clean
 
 J ?= 0
 
@@ -46,6 +47,13 @@ par-check:
 # runtime weak-lock acquisitions wherever it removed a static one
 lockopt-check:
 	dune exec bench/main.exe -- lockopt $(JFLAG)
+
+# observability gate: traced record/replay stable event streams are
+# byte-identical, tracing never perturbs the run, the Chrome export is
+# well-formed JSON, corrupt logs fail typed, and the divergence
+# diagnostic pinpoints a first diverging event on a damaged log
+trace-check:
+	dune exec test/trace_check.exe
 
 clean:
 	dune clean

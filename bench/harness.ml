@@ -32,7 +32,31 @@ type measurement = {
   m_log_ticks : float;
   m_contention : float array;  (* blocked ticks per granularity *)
   m_forced : int;
+  (* handoff outcomes after timeout-preemptions, summed over trials *)
+  m_handoff_served : int;
+  m_handoff_expired : int;
+  (* contention metrics from a traced record run (only with ~traced) *)
+  m_trace : Trace.summary option;
 }
+
+(** Total block events across locks in the traced run (0 untraced). *)
+let block_events (m : measurement) =
+  match m.m_trace with
+  | None -> 0
+  | Some su ->
+      List.fold_left (fun a lm -> a + lm.Trace.lm_blocks) 0 su.Trace.su_locks
+
+(** Mean waiter-queue depth over all block events (0 if none). *)
+let mean_queue_depth (m : measurement) =
+  match m.m_trace with
+  | None -> 0.
+  | Some su ->
+      let blocks, qsum =
+        List.fold_left
+          (fun (b, q) lm -> (b + lm.Trace.lm_blocks, q + lm.Trace.lm_queue_sum))
+          (0, 0) su.Trace.su_locks
+      in
+      if blocks = 0 then 0. else float_of_int qsum /. float_of_int blocks
 
 let record_ov (m : measurement) = m.m_record /. m.m_native
 let replay_ov (m : measurement) = m.m_replay /. m.m_native
@@ -129,8 +153,8 @@ let analyze ?(lockopt = true) (b : Bench_progs.Registry.bench) ~opts ~workers
     harness pool; each is a pure function of its trial index, so the
     averages are bit-identical to the serial ones. *)
 let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
-    ?(scale = -1) ?(trials = 3) ?lockopt (b : Bench_progs.Registry.bench) :
-    measurement =
+    ?(scale = -1) ?(trials = 3) ?lockopt ?(traced = false)
+    (b : Bench_progs.Registry.bench) : measurement =
   let scale = if scale < 0 then b.b_eval_scale else scale in
   let an = analyze ?lockopt b ~opts ~workers ~scale in
   let io = b.b_io ~seed:42 ~scale in
@@ -147,6 +171,22 @@ let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
   let n = float_of_int trials in
   let avg f = List.fold_left (fun a x -> a +. f x) 0. acc /. n in
   let s_of (tr : Chimera.Runner.trial) = tr.tr_recorded.rc_outcome.o_stats in
+  (* contention metrics come from one extra record run with a sink
+     installed (trial-1 configuration), so the measured trials themselves
+     stay trace-free and their timings untouched *)
+  let m_trace =
+    if not traced then None
+    else begin
+      let sink = Trace.Sink.create () in
+      let config =
+        { Interp.Engine.default_config with seed = 1 + 13; cores }
+      in
+      ignore (Chimera.Runner.record ~config ~sink ~io an.an_instrumented);
+      Some
+        (Trace.summarize ~dropped:(Trace.Sink.dropped sink)
+           (Trace.Sink.events sink))
+    end
+  in
   {
     m_name = b.b_name;
     m_kind = b.b_kind;
@@ -181,6 +221,11 @@ let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
           avg (fun x -> float_of_int (s_of x).weak_block_ticks.(i)));
     m_forced =
       List.fold_left (fun a x -> a + (s_of x).n_forced) 0 acc;
+    m_handoff_served =
+      List.fold_left (fun a x -> a + (s_of x).n_handoff_served) 0 acc;
+    m_handoff_expired =
+      List.fold_left (fun a x -> a + (s_of x).n_handoff_expired) 0 acc;
+    m_trace;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -427,11 +427,16 @@ let micro () =
     JSON on stdout (one object per benchmark, newline-free values). *)
 let json () =
   let one (b : Bench_progs.Registry.bench) =
-    let m = measure ~trials:1 b in
+    let m = measure ~trials:1 ~traced:true b in
+    let trace_events =
+      match m.m_trace with Some su -> su.Trace.su_events | None -> 0
+    in
     Fmt.str
-      {|    {"name": "%s", "workers": %d, "static_pairs": %d, "pruned_pairs": %d, "kept_pairs": %d, "plan_acquisitions": %d, "elided_acquisitions": %d, "runtime_acquisitions": %.1f, "record_overhead": %.3f}|}
+      {|    {"name": "%s", "workers": %d, "static_pairs": %d, "pruned_pairs": %d, "kept_pairs": %d, "plan_acquisitions": %d, "elided_acquisitions": %d, "runtime_acquisitions": %.1f, "record_overhead": %.3f, "forced_releases": %d, "handoffs_served": %d, "handoffs_expired": %d, "block_events": %d, "mean_queue_depth": %.2f, "trace_events": %d}|}
       m.m_name m.m_workers m.m_static_pairs m.m_pruned_pairs m.m_races
       m.m_plan_acqs m.m_elided_acqs (runtime_acquisitions m) (record_ov m)
+      m.m_forced m.m_handoff_served m.m_handoff_expired (block_events m)
+      (mean_queue_depth m) trace_events
   in
   Fmt.pr {|{"benches": [@.%s@.]}@.|}
     (String.concat ",

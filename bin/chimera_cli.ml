@@ -8,6 +8,8 @@
     - [run FILE]        — execute natively (prints outputs)
     - [record FILE]     — analyze, instrument, record; write logs
     - [replay FILE]     — replay from recorded logs and verify determinism
+    - [trace FILE]      — record + replay with event tracing; contention
+                          report and stream-divergence diagnosis
     - [bench NAME]      — the same pipeline on a built-in benchmark
 
     MiniC sources are C-subset files (see README); built-in benchmark
@@ -24,8 +26,27 @@ let read_file path =
 
 let load path = Minic.Typecheck.parse_and_check ~file:path (read_file path)
 
+let write_file name s =
+  let oc = open_out_bin name in
+  output_string oc s;
+  close_out oc
+
 let config_of seed cores =
   { Interp.Engine.default_config with seed; cores }
+
+(* --trace-out support: a sink is created only when requested, so the
+   default path runs with tracing fully disabled *)
+let sink_for trace_out =
+  Option.map (fun _ -> Trace.Sink.create ()) trace_out
+
+let dump_trace trace_out sink =
+  match (trace_out, sink) with
+  | Some path, Some s ->
+      let evs = Trace.Sink.events s in
+      write_file path (Trace.to_chrome evs);
+      Fmt.epr "[trace: %d events (%d dropped) -> %s]@." (List.length evs)
+        (Trace.Sink.dropped s) path
+  | _ -> ()
 
 (* common args *)
 let file_arg =
@@ -55,6 +76,15 @@ let opts_arg =
   in
   Arg.(value & opt opts_conv Instrument.Plan.all_opts
        & info [ "opts" ] ~doc:"Optimization set: all | naive | func | loop")
+
+let trace_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Trace the run and write a Chrome-trace (chrome://tracing) \
+           JSON array of its events to $(docv). Timestamps are logical \
+           per-thread step counts, so traces are replay-stable.")
 
 let no_lockopt_arg =
   Arg.(
@@ -147,15 +177,19 @@ let print_outcome (o : Interp.Engine.outcome) =
     (List.length o.o_steps)
 
 let run_cmd =
-  let run file seed cores io_seed =
+  let run file seed cores io_seed trace_out =
+    let sink = sink_for trace_out in
     let o =
-      Chimera.Runner.native ~config:(config_of seed cores)
+      Chimera.Runner.native ~config:(config_of seed cores) ?sink
         ~io:(Interp.Iomodel.random ~seed:io_seed) (load file)
     in
-    print_outcome o
+    print_outcome o;
+    dump_trace trace_out sink
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a MiniC program natively")
-    Term.(const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg)
+    Term.(
+      const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
+      $ trace_out_arg)
 
 let det_cmd =
   let run file seed cores io_seed profile_runs opts no_lockopt =
@@ -176,22 +210,19 @@ let det_cmd =
       $ profile_runs_arg $ opts_arg $ no_lockopt_arg)
 
 let record_cmd =
-  let run file seed cores io_seed profile_runs opts no_lockopt out =
+  let run file seed cores io_seed profile_runs opts no_lockopt out trace_out =
     let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
+    let sink = sink_for trace_out in
     let r =
-      Chimera.Runner.record ~config:(config_of seed cores)
+      Chimera.Runner.record ~config:(config_of seed cores) ?sink
         ~io:(Interp.Iomodel.random ~seed:io_seed) an.an_instrumented
     in
     print_outcome r.rc_outcome;
-    let write name s =
-      let oc = open_out_bin name in
-      output_string oc s;
-      close_out oc
-    in
-    write (out ^ ".input.log") (Replay.Log.encode_input_log r.rc_log);
-    write (out ^ ".order.log") (Replay.Log.encode_order_log r.rc_log);
+    write_file (out ^ ".input.log") (Replay.Log.encode_input_log r.rc_log);
+    write_file (out ^ ".order.log") (Replay.Log.encode_order_log r.rc_log);
     Fmt.epr "[logs: input %dB (%dB gz), order %dB (%dB gz)]@."
-      r.rc_input_log_raw r.rc_input_log_z r.rc_order_log_raw r.rc_order_log_z
+      r.rc_input_log_raw r.rc_input_log_z r.rc_order_log_raw r.rc_order_log_z;
+    dump_trace trace_out sink
   in
   let out_arg =
     Arg.(value & opt string "chimera" & info [ "o" ] ~doc:"Log file prefix")
@@ -199,29 +230,111 @@ let record_cmd =
   Cmd.v (Cmd.info "record" ~doc:"Instrument and record an execution")
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ out_arg)
+      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ out_arg
+      $ trace_out_arg)
+
+(* exit code for a log that fails to decode (distinct from cmdliner's
+   reserved 123-125 range and from program exit codes) *)
+let corrupt_log_exit = 3
 
 let replay_cmd =
-  let run file seed cores io_seed profile_runs opts no_lockopt logs =
+  let run file seed cores io_seed profile_runs opts no_lockopt logs trace_out =
     let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
     let log =
-      Replay.Log.decode
-        (read_file (logs ^ ".input.log"))
-        (read_file (logs ^ ".order.log"))
+      try
+        Replay.Log.decode
+          (read_file (logs ^ ".input.log"))
+          (read_file (logs ^ ".order.log"))
+      with Replay.Log.Corrupt msg ->
+        Fmt.epr "chimera: corrupt replay log: %s@." msg;
+        exit corrupt_log_exit
     in
+    let sink = sink_for trace_out in
     let o =
-      Chimera.Runner.replay ~config:(config_of seed cores)
+      Chimera.Runner.replay ~config:(config_of seed cores) ?sink
         ~io:(Interp.Iomodel.random ~seed:io_seed) an.an_instrumented log
     in
-    print_outcome o
+    print_outcome o;
+    dump_trace trace_out sink
   in
   let logs_arg =
     Arg.(value & opt string "chimera" & info [ "logs" ] ~doc:"Log file prefix")
   in
-  Cmd.v (Cmd.info "replay" ~doc:"Replay a recorded execution")
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a recorded execution"
+       ~exits:
+         (Cmd.Exit.info corrupt_log_exit
+            ~doc:"the recorded logs are truncated or corrupt"
+         :: Cmd.Exit.defaults))
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ logs_arg)
+      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ logs_arg
+      $ trace_out_arg)
+
+let trace_cmd =
+  let run file seed cores io_seed profile_runs opts no_lockopt top trace_out =
+    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
+    let config = config_of seed cores in
+    let io = Interp.Iomodel.random ~seed:io_seed in
+    let rec_sink = Trace.Sink.create () in
+    let r =
+      Chimera.Runner.record ~config ~sink:rec_sink ~io an.an_instrumented
+    in
+    let rep_sink = Trace.Sink.create () in
+    let o =
+      Chimera.Runner.replay
+        ~config:{ config with seed = config.seed + 7919 }
+        ~sink:rep_sink ~io an.an_instrumented r.rc_log
+    in
+    let rec_events = Trace.Sink.events rec_sink in
+    Fmt.pr "@[<v>%a@]@."
+      (Trace.pp_report ~top)
+      (Trace.summarize ~dropped:(Trace.Sink.dropped rec_sink) rec_events);
+    let st = r.rc_outcome.o_stats in
+    Fmt.pr "timeout preemptions: %d | handoffs served: %d, expired: %d@."
+      st.n_forced st.n_handoff_served st.n_handoff_expired;
+    (match trace_out with
+    | Some path ->
+        write_file path (Trace.to_chrome rec_events);
+        Fmt.epr "[trace: %d events -> %s]@." (List.length rec_events) path
+    | None -> ());
+    let stream_div () =
+      Trace.first_divergence ~recorded:rec_events
+        ~replayed:(Trace.Sink.events rep_sink)
+    in
+    match Chimera.Runner.same_execution r.rc_outcome o with
+    | Ok () -> (
+        match stream_div () with
+        | None ->
+            Fmt.pr "record and replay stable event streams: IDENTICAL@."
+        | Some d ->
+            Fmt.pr "event streams diverge: %a@." Trace.pp_divergence d;
+            exit 1)
+    | Error d -> (
+        Fmt.pr "replay DIVERGED: %a@." Chimera.Runner.pp_divergence d;
+        (match stream_div () with
+        | Some dv -> Fmt.pr "first diverging event: %a@." Trace.pp_divergence dv
+        | None ->
+            Fmt.pr
+              "no diverging trace event (data-only divergence: same \
+               control flow and synchronization, different values)@.");
+        exit 1)
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~doc:"Locks to list in the contention report")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record with event tracing, replay under a shifted scheduler \
+          seed, print per-lock/per-granularity contention metrics, and \
+          verify the stable event streams match")
+    Term.(
+      const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
+      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ top_arg
+      $ trace_out_arg)
 
 let bench_cmd =
   let run name seed cores workers no_lockopt =
@@ -251,7 +364,16 @@ let bench_cmd =
            ~io an.an_instrumented r.rc_log)
     with
     | Ok () -> Fmt.pr "replay (different scheduler seed): DETERMINISTIC@."
-    | Error d -> Fmt.pr "replay DIVERGED: %a@." Chimera.Runner.pp_divergence d
+    | Error d -> (
+        Fmt.pr "replay DIVERGED: %a@." Chimera.Runner.pp_divergence d;
+        (* localize it: diff the recorded vs replayed event streams *)
+        match
+          Chimera.Runner.first_trace_divergence ~config ~io
+            an.an_instrumented r.rc_log
+        with
+        | Some dv ->
+            Fmt.pr "first diverging event: %a@." Trace.pp_divergence dv
+        | None -> Fmt.pr "no diverging trace event (data-only)@.")
   in
   let name_arg =
     Arg.(
@@ -273,4 +395,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "chimera" ~version:"1.0.0" ~doc)
           [ races_cmd; plan_cmd; instrument_cmd; run_cmd; det_cmd;
-            record_cmd; replay_cmd; bench_cmd ]))
+            record_cmd; replay_cmd; trace_cmd; bench_cmd ]))

@@ -17,14 +17,15 @@ type recorded = {
   rc_order_log_z : int;
 }
 
-let native ?(config = Engine.default_config) ~io prog : Engine.outcome =
-  Engine.run ~config ~mode:Engine.Native ~io prog
+let native ?(config = Engine.default_config) ?sink ~io prog : Engine.outcome =
+  Engine.run ~config ?sink ~mode:Engine.Native ~io prog
 
-let deterministic ?(config = Engine.default_config) ~io prog : Engine.outcome =
-  Engine.run ~config ~mode:Engine.Deterministic ~io prog
+let deterministic ?(config = Engine.default_config) ?sink ~io prog :
+    Engine.outcome =
+  Engine.run ~config ?sink ~mode:Engine.Deterministic ~io prog
 
-let record ?(config = Engine.default_config) ?hooks ~io prog : recorded =
-  let outcome = Engine.run ~config ?hooks ~mode:Engine.Record ~io prog in
+let record ?(config = Engine.default_config) ?hooks ?sink ~io prog : recorded =
+  let outcome = Engine.run ~config ?hooks ?sink ~mode:Engine.Record ~io prog in
   let rc =
     match outcome.Engine.o_recorder with
     | Some rc -> rc
@@ -42,9 +43,9 @@ let record ?(config = Engine.default_config) ?hooks ~io prog : recorded =
     rc_order_log_z = Zcompress.compressed_size order_raw;
   }
 
-let replay ?(config = Engine.default_config) ?hooks ~io prog
+let replay ?(config = Engine.default_config) ?hooks ?sink ~io prog
     (log : Replay.Log.t) : Engine.outcome =
-  Engine.run ~config ?hooks ~mode:(Engine.Replay log) ~io prog
+  Engine.run ~config ?hooks ?sink ~mode:(Engine.Replay log) ~io prog
 
 (* ------------------------------------------------------------------ *)
 (* Determinism comparison *)
@@ -100,6 +101,29 @@ let record_replay_check ?(config = Engine.default_config) ~io
   match same_execution r.rc_outcome o with
   | Ok () -> Ok (r, o)
   | Error d -> Error d
+
+(* ------------------------------------------------------------------ *)
+(* Replay-divergence diagnosis *)
+
+(** When a replay of [log] diverges from what [config] records, locate
+    the first diverging trace event: re-record with tracing on (the
+    ground truth this configuration produces), replay [log] traced, and
+    diff the stable per-thread streams. [None] means the streams agree —
+    the divergence, if any, is data-only (same control flow and
+    synchronization, different values). *)
+let first_trace_divergence ?(config = Engine.default_config)
+    ?(replay_seed_delta = 7919) ~io (instrumented : Minic.Ast.program)
+    (log : Replay.Log.t) : Trace.divergence option =
+  let rec_sink = Trace.Sink.create () in
+  ignore (record ~config ~sink:rec_sink ~io instrumented);
+  let rep_sink = Trace.Sink.create () in
+  let replay_config =
+    { config with Engine.seed = config.Engine.seed + replay_seed_delta }
+  in
+  ignore (replay ~config:replay_config ~sink:rep_sink ~io instrumented log);
+  Trace.first_divergence
+    ~recorded:(Trace.Sink.events rec_sink)
+    ~replayed:(Trace.Sink.events rep_sink)
 
 (* ------------------------------------------------------------------ *)
 (* Overhead measurement *)

@@ -14,8 +14,16 @@ type recorded = {
   rc_order_log_z : int;
 }
 
+(** All drivers accept an optional trace [sink] (see {!Trace}); events
+    are emitted into it as the run executes, with zero effect on the
+    simulated execution. *)
+
 val native :
-  ?config:Engine.config -> io:Iomodel.t -> Minic.Ast.program -> Engine.outcome
+  ?config:Engine.config ->
+  ?sink:Trace.Sink.t ->
+  io:Iomodel.t ->
+  Minic.Ast.program ->
+  Engine.outcome
 
 (** Run under deterministic (Kendo-style logical-time) arbitration: on a
     Chimera-transformed (hence data-race-free) program the outcome —
@@ -23,11 +31,16 @@ val native :
     for every scheduler seed, with no recording (the paper's future-work
     direction; see DESIGN.md). *)
 val deterministic :
-  ?config:Engine.config -> io:Iomodel.t -> Minic.Ast.program -> Engine.outcome
+  ?config:Engine.config ->
+  ?sink:Trace.Sink.t ->
+  io:Iomodel.t ->
+  Minic.Ast.program ->
+  Engine.outcome
 
 val record :
   ?config:Engine.config ->
   ?hooks:Engine.hooks ->
+  ?sink:Trace.Sink.t ->
   io:Iomodel.t ->
   Minic.Ast.program ->
   recorded
@@ -35,6 +48,7 @@ val record :
 val replay :
   ?config:Engine.config ->
   ?hooks:Engine.hooks ->
+  ?sink:Trace.Sink.t ->
   io:Iomodel.t ->
   Minic.Ast.program ->
   Replay.Log.t ->
@@ -65,6 +79,19 @@ val record_replay_check :
   ?replay_seed_delta:int ->
   Minic.Ast.program ->
   (recorded * Engine.outcome, divergence) result
+
+(** Replay-divergence diagnostic: re-record [instrumented] with tracing
+    on, replay [log] traced under a shifted seed, and diff the stable
+    per-thread event streams. [Some d] names the first diverging event
+    with thread/step/lock context; [None] means the streams agree (no
+    divergence, or a data-only one). *)
+val first_trace_divergence :
+  ?config:Engine.config ->
+  ?replay_seed_delta:int ->
+  io:Iomodel.t ->
+  Minic.Ast.program ->
+  Replay.Log.t ->
+  Trace.divergence option
 
 (** One native + record + replay trial (replay already checked against
     the recording). *)

@@ -161,6 +161,8 @@ type stats = {
   n_weak_acq : int array;          (** by granularity rank *)
   weak_block_ticks : int array;    (** contention, by granularity rank *)
   mutable n_forced : int;
+  mutable n_handoff_served : int;
+  mutable n_handoff_expired : int;
   mutable log_ticks_sync : int;
   mutable log_ticks_weak : int;
   mutable log_ticks_input : int;
@@ -176,6 +178,8 @@ let new_stats () =
     n_weak_acq = Array.make 4 0;
     weak_block_ticks = Array.make 4 0;
     n_forced = 0;
+    n_handoff_served = 0;
+    n_handoff_expired = 0;
     log_ticks_sync = 0;
     log_ticks_weak = 0;
     log_ticks_input = 0;
@@ -245,6 +249,7 @@ type t = {
   globals : (string, int) Hashtbl.t;  (** global name -> block id *)
   recorder : Replay.Recorder.t option;
   replayer : Replay.Replayer.t option;
+  sink : Trace.Sink.t option;
   stats : stats;
   mutable ticks : int;
   mutable outputs : (K.tid_path * int) list;  (** reversed *)
@@ -264,6 +269,15 @@ let trace eng fmt =
   if trace_enabled then
     Fmt.kstr (fun m -> Fmt.epr "[%d] %s@." eng.ticks m) fmt
   else Fmt.kstr (fun _ -> ()) fmt
+
+(* Trace emission: timestamped with the thread's per-thread step count
+   (the logical clock of DESIGN.md §10), and charging no simulated ticks
+   — with no sink, and for every simulated timing with one, the engine
+   behaves identically. *)
+let emit_ev eng (th : thread) kind =
+  match eng.sink with
+  | Some s -> Trace.Sink.emit s th.path ~step:th.steps kind
+  | None -> ()
 
 let rng_next (eng : t) =
   let x = eng.rng in
@@ -521,6 +535,7 @@ let gate_sync eng th (obj : K.addr) (op : Replay.Log.sync_op) =
 
 let record_sync eng th (obj : K.addr) (op : Replay.Log.sync_op) =
   eng.stats.n_sync_ops <- eng.stats.n_sync_ops + 1;
+  emit_ev eng th (Trace.Sync (op, obj));
   (match eng.recorder with
   | Some rc -> Replay.Recorder.rec_sync rc ~obj ~op ~tp:th.path
   | None -> ());
@@ -539,6 +554,7 @@ let gate_weak eng th (lock : weak_lock) =
 let record_weak eng th (lock : weak_lock) ~(claim : Replay.Log.sclaim) =
   let rank = granularity_rank lock.wl_gran in
   eng.stats.n_weak_acq.(rank) <- eng.stats.n_weak_acq.(rank) + 1;
+  emit_ev eng th (Trace.Weak_acquire lock);
   (match eng.recorder with
   | Some rc -> Replay.Recorder.rec_weak rc ~lock ~tp:th.path ~claim
   | None -> ());
@@ -578,6 +594,7 @@ let record_syscall eng th (values : int list) =
     Fmt.(list ~sep:comma int)
     (List.filteri (fun i _ -> i < 4) values);
   eng.stats.n_syscalls <- eng.stats.n_syscalls + 1;
+  emit_ev eng th Trace.Syscall;
   (match eng.recorder with
   | Some rc -> Replay.Recorder.rec_input rc ~tp:th.path values
   | None -> ());
@@ -609,7 +626,8 @@ let wake eng (th : thread) =
       | BWeak (l, _) ->
           let rank = granularity_rank l.wl_gran in
           eng.stats.weak_block_ticks.(rank) <-
-            eng.stats.weak_block_ticks.(rank) + (eng.ticks - th.blocked_since)
+            eng.stats.weak_block_ticks.(rank) + (eng.ticks - th.blocked_since);
+          emit_ev eng th (Trace.Weak_wake l)
       | _ -> ());
       if th.reacquire <> [] && not (det_mode eng) then
         (* a preempted owner resumes only after reacquiring its lock; in
@@ -833,6 +851,8 @@ let rec weak_acquire_one ?(det_retries = 0) eng th (lock : weak_lock)
       weak_acquire_one ~det_retries:(det_retries + 1) eng th lock claim
   | `Blocked _owners ->
       trace eng "%a blocked-on %a" K.pp_tid_path th.path pp_weak_lock lock;
+      emit_ev eng th
+        (Trace.Weak_block (lock, WL.waiter_count eng.weak lock));
       self_block eng th (BWeak (lock, claim));
       weak_acquire_one eng th lock claim
 
@@ -868,6 +888,7 @@ let weak_release_one eng th (lock : weak_lock) =
   trace eng "%a rel %a clk=%d" K.pp_tid_path th.path pp_weak_lock lock
     th.det_clock;
   th.det_immune <- List.filter (fun l -> l <> lock) th.det_immune;
+  emit_ev eng th (Trace.Weak_release lock);
   List.iter (wake_tid eng) (WL.release eng.weak lock ~tid:th.tid);
   fire_sync eng th (SyWeakRel lock)
 
@@ -928,6 +949,7 @@ let weak_enter eng th fr ~sid (acqs : weak_acq list) =
       step c;
       weak_acquire_one eng th l claim)
     resolved;
+  emit_ev eng th (Trace.Region_enter (List.length resolved));
   th.regions <- { rg_acqs = resolved } :: th.regions
 
 (* exit a region: release our locks, reacquire the suspended outer ones.
@@ -951,6 +973,11 @@ let weak_exit eng th (locks : weak_lock list) =
       th.reacquire <-
         List.filter (fun (l, _) -> not (List.mem l locks)) th.reacquire);
   det_ensure_reacquired eng th;
+  emit_ev eng th
+    (Trace.Region_exit
+       (match th.regions with
+       | { rg_acqs } :: _ -> List.length rg_acqs
+       | [] -> List.length locks));
   (match th.regions with
   | { rg_acqs } :: rest ->
       release_batch eng th (List.map fst rg_acqs);
@@ -981,6 +1008,7 @@ let apply_forced_release eng (owner : thread) (lock : weak_lock) =
     trace eng "forced-release %a from %a at steps=%d" pp_weak_lock lock
       K.pp_tid_path owner.path owner.steps;
     eng.stats.n_forced <- eng.stats.n_forced + 1;
+    emit_ev eng owner (Trace.Weak_forced lock);
     (match eng.recorder with
     | Some rc ->
         Replay.Recorder.rec_forced rc ~owner:owner.path ~steps:owner.steps ~lock
@@ -1063,7 +1091,9 @@ let sys_input eng th : Value.t =
     | Some r -> (
         match Replay.Replayer.take_input r th.path with
         | Some [ v ] -> v
-        | Some _ | None -> eng.io.io_input (next_io_req th ~max:0))
+        | Some _ | None ->
+            emit_ev eng th Trace.Replay_miss;
+            eng.io.io_input (next_io_req th ~max:0))
     | None -> eng.io.io_input (next_io_req th ~max:0)
   in
   record_syscall eng th [ v ];
@@ -1103,7 +1133,9 @@ let sys_read eng th fr ~sid ~(net : bool) (buf_e : exp) (max_e : exp) : Value.t
     | Some r -> (
         match Replay.Replayer.take_input r th.path with
         | Some vs -> vs
-        | None -> [])
+        | None ->
+            emit_ev eng th Trace.Replay_miss;
+            [])
     | None -> eng.io.io_read (next_io_req th ~max:maxn)
   in
   let bytes =
@@ -1636,6 +1668,13 @@ let check_weak_timeouts eng =
       | Blocked (BWeak (lock, _claim))
         when eng.ticks - th.blocked_since > eng.cfg.weak_timeout ->
           let owners = WL.holders eng.weak lock in
+          (* no holders at all: the waiter is fenced out purely by a
+             stale handoff reservation (e.g. its beneficiary was
+             cancelled or parked) — expire it and let the waiter retry *)
+          if owners = [] then begin
+            WL.clear_pending eng.weak lock;
+            wake eng th
+          end;
           List.iter
             (fun otid ->
               if otid <> th.tid then
@@ -1741,8 +1780,8 @@ type outcome = {
       (** per-thread status dump when the run timed out / deadlocked *)
 }
 
-let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ~mode ~io
-    (prog : program) : t =
+let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ?sink ~mode
+    ~io (prog : program) : t =
   let recorder =
     match mode with Record -> Some (Replay.Recorder.create ()) | _ -> None
   in
@@ -1771,6 +1810,7 @@ let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ~mode ~io
       globals = Hashtbl.create 64;
       recorder;
       replayer;
+      sink;
       stats = new_stats ();
       ticks = 0;
       outputs = [];
@@ -1930,6 +1970,8 @@ let run_engine (eng : t) : outcome =
                   th.reacquire)))
         eng.thread_order
   in
+  eng.stats.n_handoff_served <- eng.weak.WL.total_handoff_served;
+  eng.stats.n_handoff_expired <- eng.weak.WL.total_handoff_expired;
   {
     o_outputs = List.rev eng.outputs;
     o_final_hash = Mem.state_hash eng.mem;
@@ -1943,7 +1985,9 @@ let run_engine (eng : t) : outcome =
     o_stuck = stuck;
   }
 
-(** Run [prog] to completion under [mode]. *)
-let run ?config ?hooks ~mode ~io (prog : program) : outcome =
-  let eng = make_engine ?config ?hooks ~mode ~io prog in
+(** Run [prog] to completion under [mode]. [sink], when given, receives
+    the execution's trace events (see {!Trace}); it never affects the
+    simulated execution. *)
+let run ?config ?hooks ?sink ~mode ~io (prog : program) : outcome =
+  let eng = make_engine ?config ?hooks ?sink ~mode ~io prog in
   run_engine eng

@@ -19,6 +19,9 @@
 
 open Runtime
 
+exception Corrupt of string
+(** Raised by {!decode} on a truncated or corrupt log. *)
+
 type sync_op =
   | SMutexAcq
   | SMutexRel
@@ -151,8 +154,14 @@ end
 module Dec = struct
   type cursor = { s : string; mutable pos : int }
 
+  let corrupt c fmt =
+    Fmt.kstr (fun m -> raise (Corrupt (Fmt.str "%s (byte %d)" m c.pos))) fmt
+
   let varint c =
+    let len = String.length c.s in
     let rec go shift acc =
+      if c.pos >= len then corrupt c "truncated varint";
+      if shift > 62 then corrupt c "varint overflow";
       let byte = Char.code c.s.[c.pos] in
       c.pos <- c.pos + 1;
       let acc = acc lor ((byte land 0x7f) lsl shift) in
@@ -163,12 +172,19 @@ module Dec = struct
 
   let string c =
     let n = varint c in
+    if n < 0 || n > String.length c.s - c.pos then
+      corrupt c "truncated string (%d bytes expected)" n;
     let s = String.sub c.s c.pos n in
     c.pos <- c.pos + n;
     s
 
   let list c f =
     let n = varint c in
+    (* every element encodes to >= 1 byte, so a count beyond the
+       remaining bytes is corruption — reject it before List.init
+       tries to materialize a multi-gigabyte list *)
+    if n < 0 || n > String.length c.s - c.pos then
+      corrupt c "bad list length %d" n;
     List.init n (fun _ -> f c)
 
   let tid_path c : Key.tid_path = list c varint
@@ -184,7 +200,7 @@ module Dec = struct
         let p = tid_path c in
         let n = varint c in
         Key.OHeap (p, n)
-    | n -> Fmt.invalid_arg "Log.Dec.origin: tag %d" n
+    | n -> corrupt c "origin tag %d" n
 
   let addr c : Key.addr =
     let o = origin c in
@@ -195,7 +211,7 @@ module Dec = struct
     let g =
       match varint c with
       | 0 -> Minic.Ast.Gfunc | 1 -> Gloop | 2 -> Gbb | 3 -> Ginstr
-      | n -> Fmt.invalid_arg "weak_lock gran %d" n
+      | n -> corrupt c "weak_lock granularity tag %d" n
     in
     let id = varint c in
     { wl_gran = g; wl_id = id }
@@ -284,7 +300,12 @@ let decode (input_log : string) (order_log : string) : t =
     let a = Dec.addr c in
     let ops =
       Dec.list c (fun c ->
-          let op = sync_op_of_code (Dec.varint c) in
+          let code = Dec.varint c in
+          let op =
+            if code < 0 || code > 6 then
+              Dec.corrupt c "sync_op code %d" code
+            else sync_op_of_code code
+          in
           let p = Dec.tid_path c in
           (op, p))
     in

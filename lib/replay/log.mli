@@ -10,6 +10,11 @@
 
 open Runtime
 
+exception Corrupt of string
+(** Raised by {!decode} when a log is truncated or corrupt (varint or
+    string running past the end, impossible list length, unknown tag).
+    Decoding never escapes with a raw [Invalid_argument]. *)
+
 type sync_op =
   | SMutexAcq
   | SMutexRel
@@ -66,4 +71,6 @@ val create : unit -> t
 val encode_input_log : t -> string
 
 val encode_order_log : t -> string
+
 val decode : string -> string -> t
+(** @raise Corrupt on truncated or malformed input. *)

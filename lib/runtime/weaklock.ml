@@ -76,6 +76,10 @@ type t = {
   mutable total_acquires : int;
   mutable total_releases : int;
   mutable total_timeouts : int;
+  mutable total_handoff_served : int;
+      (* a preemption-time waiter consumed its reservation *)
+  mutable total_handoff_expired : int;
+      (* a reservation was cleared before the reserved thread came back *)
 }
 
 let create () =
@@ -84,6 +88,8 @@ let create () =
     total_acquires = 0;
     total_releases = 0;
     total_timeouts = 0;
+    total_handoff_served = 0;
+    total_handoff_expired = 0;
   }
 
 let get t (l : weak_lock) =
@@ -108,7 +114,11 @@ let acquire t (l : weak_lock) ~tid ~(claim : claim) :
     compatible s tid claim
     && (match s.pending with [] -> true | h :: _ -> h = tid)
   then begin
-    (match s.pending with h :: rest when h = tid -> s.pending <- rest | _ -> ());
+    (match s.pending with
+    | h :: rest when h = tid ->
+        s.pending <- rest;
+        t.total_handoff_served <- t.total_handoff_served + 1
+    | _ -> ());
     s.holders <- { h_tid = tid; h_claim = claim } :: s.holders;
     s.acq_count <- s.acq_count + 1;
     t.total_acquires <- t.total_acquires + 1;
@@ -129,16 +139,27 @@ let acquire t (l : weak_lock) ~tid ~(claim : claim) :
   end
 
 (** Release [tid]'s hold on [l]; returns waiting threads that may now be
-    able to acquire (the engine wakes them; they retry). *)
+    able to acquire (the engine wakes them; they retry).
+
+    Only waiters whose claims are compatible with the remaining holders
+    (and not locked out by a handoff reservation) are woken; the rest
+    keep their FIFO queue position. Waking everybody — the old behavior
+    — both stampeded threads that could not possibly acquire and, worse,
+    discarded their arrival order: a retrying loser re-enqueued at the
+    tail behind later arrivals, starving under contention. *)
 let release t (l : weak_lock) ~tid : tid list =
   let s = get t l in
   let before = List.length s.holders in
   s.holders <- List.filter (fun h -> h.h_tid <> tid) s.holders;
   if List.length s.holders < before then
     t.total_releases <- t.total_releases + 1;
-  let woken = List.map fst s.waiters in
-  s.waiters <- [];
-  woken
+  let may_acquire (w, c) =
+    compatible s w c
+    && (match s.pending with [] -> true | h :: _ -> h = w)
+  in
+  let woken, kept = List.partition may_acquire s.waiters in
+  s.waiters <- kept;
+  List.map fst woken
 
 (** Forcibly strip [owner]'s hold on [l] (timeout-preemption). Returns the
     waiters to wake. The caller must arrange for [owner] to reacquire
@@ -157,7 +178,12 @@ let force_release ?(handoff = true) t (l : weak_lock) ~owner : tid list =
 (** Expire a stale handoff reservation (the reserved thread cannot come
     back for the lock soon — e.g. it is parked at a barrier the
     reservation itself prevents from tripping). *)
-let clear_pending t (l : weak_lock) = (get t l).pending <- []
+let clear_pending t (l : weak_lock) =
+  let s = get t l in
+  if s.pending <> [] then begin
+    t.total_handoff_expired <- t.total_handoff_expired + 1;
+    s.pending <- []
+  end
 
 let holds t (l : weak_lock) ~tid =
   List.exists (fun h -> h.h_tid = tid) (get t l).holders
@@ -168,8 +194,16 @@ let holders t (l : weak_lock) = List.map (fun h -> h.h_tid) (get t l).holders
 let holder_claims t (l : weak_lock) : (tid * claim) list =
   List.map (fun h -> (h.h_tid, h.h_claim)) (get t l).holders
 
+(** Number of threads queued on [l]. *)
+let waiter_count t (l : weak_lock) = List.length (get t l).waiters
+
 (** Drop [tid] from the waiter queue of [l] (used when a waiter is
-    re-routed by the replayer or dies). *)
+    re-routed by the replayer or dies). Any handoff reservation [tid]
+    held must go with it: a cancelled waiter never comes back for the
+    lock, and a reservation for a thread that will never claim it blocks
+    every other acquirer forever. *)
 let cancel_wait t (l : weak_lock) ~tid =
   let s = get t l in
-  s.waiters <- List.filter (fun (w, _) -> w <> tid) s.waiters
+  s.waiters <- List.filter (fun (w, _) -> w <> tid) s.waiters;
+  if List.mem tid s.pending then
+    s.pending <- List.filter (fun w -> w <> tid) s.pending

@@ -41,6 +41,10 @@ type t = {
   mutable total_acquires : int;
   mutable total_releases : int;
   mutable total_timeouts : int;
+  mutable total_handoff_served : int;
+      (** preemption-time waiters that consumed their reservation *)
+  mutable total_handoff_expired : int;
+      (** reservations cleared before the reserved thread came back *)
 }
 
 val create : unit -> t
@@ -51,7 +55,10 @@ val acquire :
   t -> Minic.Ast.weak_lock -> tid:tid -> claim:claim ->
   [ `Acquired | `Blocked of tid list ]
 
-(** Returns waiting threads to wake (they retry). *)
+(** Returns waiting threads to wake (they retry). Only waiters whose
+    claims are compatible with the remaining holders (and not locked out
+    by a handoff reservation) are woken; the rest keep their FIFO
+    position. *)
 val release : t -> Minic.Ast.weak_lock -> tid:tid -> tid list
 
 (** Timeout-preemption: strip the owner's hold. With [handoff] (default,
@@ -66,4 +73,11 @@ val clear_pending : t -> Minic.Ast.weak_lock -> unit
 val holds : t -> Minic.Ast.weak_lock -> tid:tid -> bool
 val holders : t -> Minic.Ast.weak_lock -> tid list
 val holder_claims : t -> Minic.Ast.weak_lock -> (tid * claim) list
+
+val waiter_count : t -> Minic.Ast.weak_lock -> int
+(** Threads currently queued on the lock. *)
+
 val cancel_wait : t -> Minic.Ast.weak_lock -> tid:tid -> unit
+(** Drops [tid] from the waiter queue {e and} from any handoff
+    reservation — a reservation for a thread that never returns would
+    wedge the lock forever. *)

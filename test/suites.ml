@@ -15,6 +15,7 @@ let all : (string * unit Alcotest.test_case list) list =
     ("symbolic", Test_symbolic.suite);
     ("runtime", Test_runtime.suite);
     ("replay-log", Test_replay_log.suite);
+    ("trace", Test_trace.suite);
     ("zcompress", Test_zcompress.suite);
     ("interp", Test_interp.suite);
     ("dynrace", Test_dynrace.suite);

@@ -150,6 +150,50 @@ let test_det () =
   Alcotest.(check string)
     "det output is seed-independent" (det "1") (det "23")
 
+let test_trace () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let out_json = Filename.temp_file "chimera_cli" ".trace.json" in
+  Fun.protect ~finally:(fun () ->
+      if Sys.file_exists out_json then Sys.remove out_json)
+  @@ fun () ->
+  let code, out, _ =
+    run_cli exe
+      [ "trace"; mc; "--profile-runs"; "4"; "--trace-out"; out_json ]
+  in
+  Alcotest.(check int) "trace exit code" 0 code;
+  check_contains "trace stdout" out "events";
+  check_contains "trace stdout" out "handoffs served";
+  check_contains "trace stdout" out
+    "record and replay stable event streams: IDENTICAL";
+  let j = read_file out_json in
+  Alcotest.(check bool) "chrome JSON written" true
+    (String.length j > 0 && j.[0] = '[');
+  check_contains "chrome JSON" j "thread_name"
+
+let test_replay_corrupt_log () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let prefix = Filename.temp_file "chimera_cli" ".logs" in
+  let input_log = prefix ^ ".input.log" and order_log = prefix ^ ".order.log" in
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        [ prefix; input_log; order_log ])
+  @@ fun () ->
+  let code, _, _ =
+    run_cli exe [ "record"; mc; "--profile-runs"; "4"; "-o"; prefix ]
+  in
+  Alcotest.(check int) "record exit code" 0 code;
+  (* smash the order log: an unterminated over-long varint *)
+  Out_channel.with_open_bin order_log (fun oc ->
+      output_string oc (String.make 10 '\xff'));
+  let code, _, err =
+    run_cli exe [ "replay"; mc; "--profile-runs"; "4"; "--logs"; prefix ]
+  in
+  Alcotest.(check int) "corrupt log exit code" 3 code;
+  check_contains "replay stderr" err "corrupt"
+
 let test_bad_file () =
   with_exe @@ fun exe ->
   let code, _, _ = run_cli exe [ "races"; "/nonexistent/no-such.mc" ] in
@@ -162,5 +206,8 @@ let suite =
     Alcotest.test_case "run" `Quick test_run;
     Alcotest.test_case "record + replay" `Quick test_record_replay;
     Alcotest.test_case "det (seed-independent)" `Quick test_det;
+    Alcotest.test_case "trace + --trace-out" `Quick test_trace;
+    Alcotest.test_case "replay rejects corrupt log" `Quick
+      test_replay_corrupt_log;
     Alcotest.test_case "bad input file" `Quick test_bad_file;
   ]

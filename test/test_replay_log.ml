@@ -129,6 +129,54 @@ let test_forced_pop_requires_holding () =
     (Replay.Replayer.pending_forced r [ 1 ] ~steps:99 ~holds:(fun _ -> true)
     = None)
 
+(* ------------------------------------------------------------------ *)
+(* corrupt logs: decode must fail with the typed [Corrupt] exception,
+   never a raw [Invalid_argument] from a string primitive (and never an
+   attempt to allocate an impossible list) *)
+
+let decodes_cleanly i o =
+  match Replay.Log.decode i o with
+  | _ -> true (* a prefix can happen to be a complete, valid log *)
+  | exception Replay.Log.Corrupt _ -> true
+  | exception e ->
+      Alcotest.failf "decode escaped with %s" (Printexc.to_string e)
+
+let is_corrupt i o =
+  match Replay.Log.decode i o with
+  | _ -> false
+  | exception Replay.Log.Corrupt _ -> true
+
+let test_corrupt_truncated () =
+  let rc = build_sample () in
+  let log = rc.Replay.Recorder.log in
+  let i = Replay.Log.encode_input_log log in
+  let o = Replay.Log.encode_order_log log in
+  (* every proper prefix decodes cleanly: Ok or Corrupt, nothing else *)
+  for n = 0 to String.length i - 1 do
+    ignore (decodes_cleanly (String.sub i 0 n) o)
+  done;
+  for n = 0 to String.length o - 1 do
+    ignore (decodes_cleanly i (String.sub o 0 n))
+  done;
+  (* chopping the last byte leaves the trailing record half-written *)
+  Alcotest.(check bool) "truncated input log detected" true
+    (is_corrupt (String.sub i 0 (String.length i - 1)) o);
+  Alcotest.(check bool) "truncated order log detected" true
+    (is_corrupt i (String.sub o 0 (String.length o - 1)))
+
+let test_corrupt_garbage () =
+  (* ten 0xff bytes: an unterminated varint past the 62-bit limit *)
+  let overflow = String.make 10 '\xff' in
+  Alcotest.(check bool) "varint overflow detected" true
+    (is_corrupt overflow "");
+  Alcotest.(check bool) "garbage order log detected" true
+    (is_corrupt "" overflow);
+  (* a huge element count with no elements behind it must raise, not
+     try to build the list *)
+  let bogus_count = "\xff\xff\xff\xff\x07" in
+  Alcotest.(check bool) "impossible list length detected" true
+    (is_corrupt bogus_count "")
+
 (* qcheck: encode/decode roundtrip over random logs *)
 let prop_log_roundtrip =
   let open QCheck in
@@ -180,5 +228,7 @@ let suite =
       test_weak_turn_conflict_rules;
     Alcotest.test_case "forced pop discipline" `Quick
       test_forced_pop_requires_holding;
+    Alcotest.test_case "corrupt: truncated logs" `Quick test_corrupt_truncated;
+    Alcotest.test_case "corrupt: garbage logs" `Quick test_corrupt_garbage;
     QCheck_alcotest.to_alcotest prop_log_roundtrip;
   ]

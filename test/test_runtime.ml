@@ -140,6 +140,63 @@ let test_weak_clear_pending () =
   Alcotest.(check bool) "reservation expired" true
     (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[] = `Acquired)
 
+let test_weak_force_release_no_handoff () =
+  let t = Weaklock.create () in
+  ignore (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[]);
+  ignore (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[]);
+  let woken = Weaklock.force_release ~handoff:false t (wl 1) ~owner:1 in
+  Alcotest.(check (list int)) "waiter woken" [ 2 ] woken;
+  (* no reservation was left: the preempted owner may re-win the race *)
+  Alcotest.(check bool) "owner reacquires without a fence" true
+    (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[] = `Acquired)
+
+let test_weak_cancel_clears_reservation () =
+  (* regression: cancel_wait used to drop the tid from the waiter queue
+     but leave its handoff reservation, wedging the lock forever *)
+  let t = Weaklock.create () in
+  ignore (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[]);
+  ignore (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[]);
+  ignore (Weaklock.force_release t (wl 1) ~owner:1);
+  Weaklock.cancel_wait t (wl 1) ~tid:2;
+  Alcotest.(check int) "queue drained" 0 (Weaklock.waiter_count t (wl 1));
+  Alcotest.(check bool) "stale reservation does not wedge the lock" true
+    (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[] = `Acquired)
+
+let test_weak_selective_wake () =
+  (* regression: release used to wake the whole queue (thundering herd);
+     it must wake only waiters compatible with the remaining holders and
+     keep the rest in FIFO order *)
+  let t = Weaklock.create () in
+  ignore (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[ range 1 0 4 ]);
+  ignore (Weaklock.acquire t (wl 1) ~tid:5 ~claim:[ range 1 10 14 ]);
+  ignore (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[ range 1 0 4 ]);
+  ignore (Weaklock.acquire t (wl 1) ~tid:3 ~claim:[ range 1 10 14 ]);
+  ignore (Weaklock.acquire t (wl 1) ~tid:4 ~claim:[ range 1 2 3 ]);
+  let woken = Weaklock.release t (wl 1) ~tid:1 in
+  (* t3 still conflicts with holder t5: it must stay queued *)
+  Alcotest.(check (list int)) "only compatible waiters woken" [ 2; 4 ] woken;
+  Alcotest.(check int) "incompatible waiter kept" 1
+    (Weaklock.waiter_count t (wl 1));
+  Alcotest.(check bool) "woken waiter acquires" true
+    (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[ range 1 0 4 ] = `Acquired);
+  let woken = Weaklock.release t (wl 1) ~tid:5 in
+  Alcotest.(check (list int)) "kept waiter woken on its conflict" [ 3 ] woken
+
+let test_weak_handoff_counters () =
+  let t = Weaklock.create () in
+  ignore (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[]);
+  ignore (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[]);
+  ignore (Weaklock.force_release t (wl 1) ~owner:1);
+  ignore (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[]);
+  Alcotest.(check int) "reservation consumed" 1 t.Weaklock.total_handoff_served;
+  ignore (Weaklock.release t (wl 1) ~tid:2);
+  ignore (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[]);
+  ignore (Weaklock.acquire t (wl 1) ~tid:2 ~claim:[]);
+  ignore (Weaklock.force_release t (wl 1) ~owner:1);
+  Weaklock.clear_pending t (wl 1);
+  Alcotest.(check int) "reservation expired" 1 t.Weaklock.total_handoff_expired;
+  Alcotest.(check int) "served unchanged" 1 t.Weaklock.total_handoff_served
+
 let test_weak_stats () =
   let t = Weaklock.create () in
   ignore (Weaklock.acquire t (wl 1) ~tid:1 ~claim:[]);
@@ -184,6 +241,64 @@ let prop_weak_no_conflicting_holders =
             hs)
         hs)
 
+(* property: release/force_release only ever wake threads that were
+   actually queued as waiters (the thundering-herd fix must not start
+   inventing wake-ups), tracked as a multiset since a thread can block
+   again after being woken *)
+let prop_weak_woken_were_waiters =
+  let open QCheck in
+  let gen_op =
+    Gen.(
+      oneof
+        [
+          map3
+            (fun tid lo len -> `Acq (tid, [ range 1 lo (lo + len) ]))
+            (Gen.int_range 1 4) (Gen.int_range 0 20) (Gen.int_range 0 10);
+          map (fun tid -> `Acq (tid, [])) (Gen.int_range 1 4);
+          map (fun tid -> `Rel tid) (Gen.int_range 1 4);
+          map (fun tid -> `Force tid) (Gen.int_range 1 4);
+          map (fun tid -> `Cancel tid) (Gen.int_range 1 4);
+        ])
+  in
+  Test.make ~name:"weak locks: every woken tid was a queued waiter"
+    ~count:300
+    (make Gen.(list_size (int_range 1 60) gen_op))
+    (fun ops ->
+      let t = Weaklock.create () in
+      let l = wl 9 in
+      let blocked : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      let queued tid = match Hashtbl.find_opt blocked tid with
+        | Some n -> n > 0
+        | None -> false
+      in
+      let consume tid =
+        Hashtbl.replace blocked tid (Option.value ~default:1
+          (Hashtbl.find_opt blocked tid) - 1)
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Acq (tid, claim) -> (
+              match Weaklock.acquire t l ~tid ~claim with
+              | `Acquired -> true
+              | `Blocked _ ->
+                  Hashtbl.replace blocked tid
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt blocked tid));
+                  true)
+          | `Rel tid ->
+              List.for_all
+                (fun w -> let ok = queued w in consume w; ok)
+                (Weaklock.release t l ~tid)
+          | `Force tid ->
+              List.for_all
+                (fun w -> let ok = queued w in consume w; ok)
+                (Weaklock.force_release t l ~owner:tid)
+          | `Cancel tid ->
+              Weaklock.cancel_wait t l ~tid;
+              Hashtbl.remove blocked tid;
+              true)
+        ops)
+
 (* ------------------------------------------------------------------ *)
 (* Keys *)
 
@@ -207,7 +322,15 @@ let suite =
     Alcotest.test_case "weak: total vs range" `Quick test_weak_total_vs_range;
     Alcotest.test_case "weak: handoff" `Quick test_weak_force_release_handoff;
     Alcotest.test_case "weak: clear pending" `Quick test_weak_clear_pending;
+    Alcotest.test_case "weak: preempt without handoff" `Quick
+      test_weak_force_release_no_handoff;
+    Alcotest.test_case "weak: cancel_wait clears reservation" `Quick
+      test_weak_cancel_clears_reservation;
+    Alcotest.test_case "weak: selective wake" `Quick test_weak_selective_wake;
+    Alcotest.test_case "weak: handoff counters" `Quick
+      test_weak_handoff_counters;
     Alcotest.test_case "weak: stats" `Quick test_weak_stats;
     QCheck_alcotest.to_alcotest prop_weak_no_conflicting_holders;
+    QCheck_alcotest.to_alcotest prop_weak_woken_were_waiters;
     Alcotest.test_case "key: tid paths" `Quick test_key_paths;
   ]
