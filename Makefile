@@ -5,10 +5,13 @@
 #
 # J controls the domain count of the parallel targets (bench -j flag /
 # the sharded test runner); it defaults to all cores.
-.PHONY: all build test test-par check bench-json par-check lockopt-check \
-	trace-check clean
+.PHONY: all build test test-par check bench-json bench-wall bench-regress \
+	par-check lockopt-check trace-check clean
 
 J ?= 0
+# wall-clock harness knobs: repetitions per phase, regression tolerance
+REPS ?= 3
+TOL ?= 2.0
 
 # expands to "-j $(J)" only when J was overridden
 JFLAG = $(if $(filter-out 0,$(J)),-j $(J),)
@@ -41,6 +44,20 @@ par-check:
 	./_build/default/bench/main.exe json $(if $(filter-out 0,$(J)),-j $(J),-j 2) > /tmp/chimera-json-jN.out
 	cmp /tmp/chimera-json-j1.out /tmp/chimera-json-jN.out
 	@echo "parallel output is byte-identical to serial"
+
+# wall-clock phase timings of the pipeline (analyze / instrument /
+# record / replay) per benchmark, JSON on stdout
+# (schema chimera-wall-bench/1, methodology in EXPERIMENTS.md)
+bench-wall:
+	dune exec bench/main.exe -- wall --reps $(REPS)
+
+# wall-clock regression gate: re-measure and fail if any benchmark's
+# record+replay mean exceeds TOL x the committed baseline
+bench-regress:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe wall --reps $(REPS) > /tmp/chimera-wall-fresh.json
+	./_build/default/bench/main.exe wallcmp --max-ratio $(TOL) \
+		bench/wall_baseline.json /tmp/chimera-wall-fresh.json
 
 # must-lockset elision gate: every benchmark records and replays
 # identically with the pass on and off, and elision strictly reduces

@@ -518,6 +518,54 @@ let all () =
   timeout_ablation ();
   detexec ()
 
+(* ------------------------------------------------------------------ *)
+(* Wall-clock harness entry points (see Wall): `wall` emits the
+   chimera-wall-bench JSON, `wallcmp BASE FRESH` gates regressions. *)
+
+let wall_cmd args =
+  let reps = ref 3 in
+  let rec parse = function
+    | [] -> ()
+    | "--reps" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some r when r >= 1 ->
+            reps := r;
+            parse rest
+        | _ ->
+            Fmt.epr "wall: bad --reps value %S@." n;
+            exit 1)
+    | a :: _ ->
+        Fmt.epr "wall: unknown argument %s (usage: wall [--reps N])@." a;
+        exit 1
+  in
+  parse args;
+  Wall.run ~reps:!reps ()
+
+let wallcmp_cmd args =
+  let max_ratio = ref 2.0 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--max-ratio" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some f when f > 0. ->
+            max_ratio := f;
+            parse rest
+        | _ ->
+            Fmt.epr "wallcmp: bad --max-ratio value %S@." r;
+            exit 1)
+    | a :: rest ->
+        files := a :: !files;
+        parse rest
+  in
+  parse args;
+  match List.rev !files with
+  | [ baseline; fresh ] -> Wall.compare ~baseline ~fresh ~max_ratio:!max_ratio
+  | _ ->
+      Fmt.epr
+        "wallcmp: usage: wallcmp BASELINE.json FRESH.json [--max-ratio R]@.";
+      exit 1
+
 let () =
   let experiments =
     [
@@ -554,6 +602,10 @@ let () =
     (fun () ->
       match names with
       | [] -> all ()
+      (* wall / wallcmp take their own arguments, so they consume the
+         whole remaining command line *)
+      | "wall" :: rest -> wall_cmd rest
+      | "wallcmp" :: rest -> wallcmp_cmd rest
       | names ->
           List.iter
             (fun a ->
@@ -561,6 +613,7 @@ let () =
               | Some f -> f ()
               | None ->
                   Fmt.epr "unknown experiment %s (have: %s)@." a
-                    (String.concat " " (List.map fst experiments));
+                    (String.concat " "
+                       ("wall" :: "wallcmp" :: List.map fst experiments));
                   exit 1)
             names)

@@ -1,0 +1,371 @@
+(** Wall-clock benchmark harness: host-performance timings of the four
+    pipeline phases, per benchmark, on the monotonic clock.
+
+    The simulated-tick ratios elsewhere in the harness reproduce the
+    paper's *overhead* numbers; this module measures how fast the
+    analyzer/recorder/replayer themselves run on the host — the
+    regression surface for host-performance work (`make bench-regress`).
+
+    Phases, timed independently per repetition:
+
+    - [analyze]    — RELAY + profiling + planning + lockopt (the static
+                     pipeline on the type-checked program)
+    - [instrument] — applying the weak-lock plan to the AST
+    - [record]     — one recorded run of the instrumented program
+    - [replay]     — one replay of that recording under a shifted seed
+
+    Every repetition asserts record==replay digests, so the timings can
+    never come from a broken execution. Results are emitted as JSON
+    (schema [chimera-wall-bench/1], documented in EXPERIMENTS.md):
+
+    {v
+    { "schema": "chimera-wall-bench/1",
+      "reps": 3, "workers": 4, "cores": 4,
+      "benches": [
+        { "name": "aget", "scale": 256,
+          "record_ticks": 123456,
+          "phases": {
+            "analyze":    {"mean_s": 0.41, "min_s": 0.40},
+            "instrument": {"mean_s": 0.01, "min_s": 0.01},
+            "record":     {"mean_s": 0.52, "min_s": 0.50},
+            "replay":     {"mean_s": 0.48, "min_s": 0.46}},
+          "record_replay_mean_s": 1.00 }, ... ],
+      "total_wall_s": 12.3 }
+    v}
+
+    [compare] (the `wallcmp` experiment) reads two such files and fails
+    when any benchmark's record+replay mean regressed beyond a tolerance
+    ratio — the `make bench-regress` / CI `bench-smoke` gate. *)
+
+let now_s () =
+  Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+(** Time one thunk: result, seconds. *)
+let timed (f : unit -> 'a) : 'a * float =
+  let t0 = now_s () in
+  let v = f () in
+  (v, now_s () -. t0)
+
+type phase = { mean_s : float; min_s : float }
+
+let phase_of = function
+  | [] -> { mean_s = 0.; min_s = 0. }
+  | samples ->
+      let n = float_of_int (List.length samples) in
+      {
+        mean_s = List.fold_left ( +. ) 0. samples /. n;
+        min_s = List.fold_left min infinity samples;
+      }
+
+type row = {
+  w_name : string;
+  w_scale : int;
+  w_record_ticks : int;  (** simulated ticks of the recorded run (rep 1) *)
+  w_analyze : phase;
+  w_instrument : phase;
+  w_record : phase;
+  w_replay : phase;
+}
+
+(** record+replay mean — the primary regression metric. *)
+let rec_rep (r : row) = r.w_record.mean_s +. r.w_replay.mean_s
+
+(* ------------------------------------------------------------------ *)
+(* Measurement *)
+
+let profile_runs = 12 (* matches Harness.analyze *)
+
+(** Run the phases [reps] times for one benchmark. Each repetition is a
+    fresh end-to-end pipeline (no analysis cache), so the analyze phase
+    measures real work every time. *)
+let measure_wall ?(workers = 4) ?(cores = 4) ~reps
+    (b : Bench_progs.Registry.bench) : row =
+  let scale = b.b_eval_scale in
+  let src = b.b_source ~workers ~scale in
+  let io = b.b_io ~seed:42 ~scale in
+  let config = { Interp.Engine.default_config with seed = 1; cores } in
+  let analyze_s = ref [] and instr_s = ref [] in
+  let record_s = ref [] and replay_s = ref [] in
+  let record_ticks = ref 0 in
+  for rep = 1 to reps do
+    let parsed = Minic.Parser.parse ~file:b.b_name src in
+    let an, t_an =
+      timed (fun () ->
+          Chimera.Pipeline.analyze ~profile_runs
+            ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+            parsed)
+    in
+    (* the plan application is cheap and already included in [analyze];
+       time it on its own as the instrument phase *)
+    let _, t_instr =
+      timed (fun () ->
+          Instrument.Transform.apply an.Chimera.Pipeline.an_prog
+            an.Chimera.Pipeline.an_plan)
+    in
+    let r, t_rec =
+      timed (fun () -> Chimera.Runner.record ~config ~io an.an_instrumented)
+    in
+    let rp, t_rep =
+      timed (fun () ->
+          Chimera.Runner.replay
+            ~config:{ config with Interp.Engine.seed = config.seed + 7919 }
+            ~io an.an_instrumented r.Chimera.Runner.rc_log)
+    in
+    (match Chimera.Runner.same_execution r.Chimera.Runner.rc_outcome rp with
+    | Ok () -> ()
+    | Error d ->
+        Fmt.failwith "wall bench %s: replay diverged: %a" b.b_name
+          Chimera.Runner.pp_divergence d);
+    if rep = 1 then
+      record_ticks := r.Chimera.Runner.rc_outcome.Interp.Engine.o_ticks;
+    analyze_s := t_an :: !analyze_s;
+    instr_s := t_instr :: !instr_s;
+    record_s := t_rec :: !record_s;
+    replay_s := t_rep :: !replay_s
+  done;
+  {
+    w_name = b.b_name;
+    w_scale = scale;
+    w_record_ticks = !record_ticks;
+    w_analyze = phase_of !analyze_s;
+    w_instrument = phase_of !instr_s;
+    w_record = phase_of !record_s;
+    w_replay = phase_of !replay_s;
+  }
+
+let pp_phase name ppf (p : phase) =
+  Fmt.pf ppf {|"%s": {"mean_s": %.6f, "min_s": %.6f}|} name p.mean_s p.min_s
+
+let row_json (r : row) : string =
+  Fmt.str
+    {|    {"name": "%s", "scale": %d, "record_ticks": %d,
+     "phases": {%a, %a, %a, %a},
+     "record_replay_mean_s": %.6f}|}
+    r.w_name r.w_scale r.w_record_ticks (pp_phase "analyze") r.w_analyze
+    (pp_phase "instrument") r.w_instrument (pp_phase "record") r.w_record
+    (pp_phase "replay") r.w_replay (rec_rep r)
+
+(** Run the wall benchmark over [benches] and print the JSON document.
+    Fans out on the harness pool when one is installed: each benchmark
+    is timed within a single domain, so per-bench timings remain
+    meaningful (cross-bench contention can only slow them down, which
+    the mean/min split and the regression tolerance absorb). *)
+let run ?(benches = Bench_progs.Registry.all) ~reps () =
+  let t0 = now_s () in
+  let rows = Harness.par_map (fun b -> measure_wall ~reps b) benches in
+  let total = now_s () -. t0 in
+  Fmt.pr
+    {|{"schema": "chimera-wall-bench/1", "reps": %d, "workers": 4, "cores": 4,
+ "benches": [
+%s
+ ],
+ "total_wall_s": %.3f}
+|}
+    reps
+    (String.concat ",\n" (List.map row_json rows))
+    total
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader for the comparison gate (no JSON dep in-tree) *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail m = raise (Bad (Fmt.str "%s at byte %d" m !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Fmt.str "expected %c" c)
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "bad escape";
+            (match s.[!pos] with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | c -> Buffer.add_char b c);
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      while
+        !pos < n
+        && (match s.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let lit word v =
+      if
+        !pos + String.length word <= n
+        && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (string_lit ())
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin incr pos; Obj [] end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = string_lit () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected , or } in object"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin incr pos; List [] end
+          else begin
+            let rec elems acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  elems (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List.rev (v :: acc)
+              | _ -> fail "expected , or ] in array"
+            in
+            List (elems [])
+          end
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some 'n' -> lit "null" Null
+      | Some _ -> Num (number ())
+      | None -> fail "unexpected end of input"
+    in
+    let v = value () in
+    skip_ws ();
+    v
+
+  let mem k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+
+  let num_exn what = function
+    | Some (Num f) -> f
+    | _ -> raise (Bad ("missing number " ^ what))
+
+  let str_exn what = function
+    | Some (Str s) -> s
+    | _ -> raise (Bad ("missing string " ^ what))
+end
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+type cmp_row = { c_name : string; c_rec_rep : float }
+
+let rows_of_json (j : Json.t) : cmp_row list =
+  match Json.mem "benches" j with
+  | Some (Json.List bs) ->
+      List.map
+        (fun b ->
+          {
+            c_name = Json.str_exn "name" (Json.mem "name" b);
+            c_rec_rep =
+              Json.num_exn "record_replay_mean_s"
+                (Json.mem "record_replay_mean_s" b);
+          })
+        bs
+  | _ -> raise (Json.Bad "no benches array")
+
+(** Compare a fresh wall run against the committed baseline. Exits
+    nonzero when any benchmark's record+replay mean exceeds
+    [max_ratio] x its baseline (a wall-clock regression), or when a
+    baseline benchmark is missing from the new run. Improvements are
+    reported but never fail. *)
+let compare ~baseline ~fresh ~max_ratio =
+  let base = rows_of_json (Json.parse (read_file baseline)) in
+  let cur = rows_of_json (Json.parse (read_file fresh)) in
+  Fmt.pr "wall-clock regression gate: %s vs baseline %s (tolerance %.2fx)@."
+    fresh baseline max_ratio;
+  Fmt.pr "%-10s %14s %14s %9s@." "bench" "baseline-s" "current-s" "ratio";
+  Fmt.pr "%s@." (String.make 52 '-');
+  let failed = ref false in
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> c.c_name = b.c_name) cur with
+      | None ->
+          failed := true;
+          Fmt.pr "%-10s %14.4f %14s %9s  MISSING@." b.c_name b.c_rec_rep "-" "-"
+      | Some c ->
+          let ratio = c.c_rec_rep /. Float.max 1e-9 b.c_rec_rep in
+          let flag = if ratio > max_ratio then "  REGRESSED" else "" in
+          if ratio > max_ratio then failed := true;
+          Fmt.pr "%-10s %14.4f %14.4f %8.2fx%s@." b.c_name b.c_rec_rep
+            c.c_rec_rep ratio flag)
+    base;
+  let total xs = List.fold_left (fun a r -> a +. r.c_rec_rep) 0. xs in
+  Fmt.pr "%s@." (String.make 52 '-');
+  Fmt.pr "%-10s %14.4f %14.4f %8.2fx@." "total" (total base) (total cur)
+    (total cur /. Float.max 1e-9 (total base));
+  if !failed then begin
+    Fmt.pr "FAIL: wall-clock regression beyond %.2fx tolerance@." max_ratio;
+    exit 1
+  end
+  else Fmt.pr "OK: within tolerance@."

@@ -233,6 +233,7 @@ type frame = {
 type t = {
   prog : program;
   tenv : Minic.Typecheck.env;
+  layout : Layout.t;
   cfg : config;
   mode : mode;
   io : Iomodel.t;
@@ -244,7 +245,7 @@ type t = {
   weak : WL.t;
   threads : (int, thread) Hashtbl.t;
   mutable thread_order : int list;  (** creation order, reversed *)
-  queues : int list ref array;      (** per-core run queues *)
+  queues : thread list ref array;   (** per-core run queues *)
   quanta : int array;
   globals : (string, int) Hashtbl.t;  (** global name -> block id *)
   recorder : Replay.Recorder.t option;
@@ -260,6 +261,13 @@ type t = {
   fenvs : (string, Minic.Typecheck.env) Hashtbl.t;
       (** per-engine function-env cache; engines must not share mutable
           state so that runs on different domains stay independent *)
+  flayouts : (string, (string, int * ty) Hashtbl.t * int) Hashtbl.t;
+      (** per-function frame layout (offsets table, frame size): static
+          per function, shared read-only by all its frames *)
+  sid_sort_perm : (int, int array) Hashtbl.t;
+      (** per-[WeakEnter] canonical acquisition order, as a permutation
+          of the statement's acquisition list (the locks are static per
+          statement, so the sort need only happen once) *)
 }
 
 let trace_enabled =
@@ -291,33 +299,50 @@ let rng_next (eng : t) =
 (* ------------------------------------------------------------------ *)
 (* Evaluation *)
 
-let elem_size_of_lval eng fr (base : lval) : int =
-  match Minic.Typecheck.type_of_lval fr.fr_env base with
-  | Tarray (t, _) | Tptr t -> Minic.Ast.sizeof eng.prog.p_structs t
-  | _ -> 1
-
 let on_mem eng (th : thread) (p : Value.ptr) ~write ~sid =
   eng.stats.n_mem_ops <- eng.stats.n_mem_ops + 1;
   match eng.hooks.on_mem with
   | Some f -> f th.tid (Mem.addr_key eng.mem p) ~write ~sid
   | None -> ()
 
+(* The address computation also yields the lvalue's static type: the
+   callers need it for array decay and pointer-arithmetic scaling, and
+   computing it alongside the address avoids re-walking nested lvalues
+   once per query (address, decay check, element size) as separate
+   [type_of_lval] calls would. *)
 let rec eval eng th fr ~sid (e : exp) : Value.t =
   match e with
   | Const n -> VInt n
-  | Lval (Var v) when Minic.Ast.find_fun eng.prog v <> None
-                      && not (Hashtbl.mem fr.fr_offsets v) ->
-      VFun v
+  | Lval (Var v) -> (
+      match Hashtbl.find_opt fr.fr_offsets v with
+      | Some (off, ty) -> (
+          let p = { Value.p_block = fr.fr_block; p_off = off } in
+          match ty with
+          | Tarray _ -> VPtr p
+          | _ ->
+              on_mem eng th p ~write:false ~sid;
+              Mem.load eng.mem p)
+      | None ->
+          if Hashtbl.mem eng.tenv.funs v then VFun v
+          else (
+            match Hashtbl.find_opt eng.globals v with
+            | Some bid -> (
+                let p = { Value.p_block = bid; p_off = 0 } in
+                match Hashtbl.find_opt eng.tenv.globals v with
+                | Some (Tarray _) -> VPtr p
+                | _ ->
+                    on_mem eng th p ~write:false ~sid;
+                    Mem.load eng.mem p)
+            | None -> Value.fault "unbound variable %s" v))
   | Lval lv -> (
       (* arrays decay to their address in expression position *)
-      match Minic.Typecheck.type_of_lval fr.fr_env lv with
-      | Tarray _ -> VPtr (lval_addr eng th fr ~sid lv)
-      | _ ->
-          let p = lval_addr eng th fr ~sid lv in
+      match lval_addr_ty eng th fr ~sid lv with
+      | p, Tarray _ -> VPtr p
+      | p, _ ->
           on_mem eng th p ~write:false ~sid;
           Mem.load eng.mem p)
-  | AddrOf (Var v) when Minic.Ast.find_fun eng.prog v <> None
-                        && not (Hashtbl.mem fr.fr_offsets v) ->
+  | AddrOf (Var v) when (not (Hashtbl.mem fr.fr_offsets v))
+                        && Hashtbl.mem eng.tenv.funs v ->
       VFun v
   | AddrOf lv -> VPtr (lval_addr eng th fr ~sid lv)
   | Unop (op, e) -> (
@@ -373,42 +398,58 @@ and binop eng op (va : Value.t) (vb : Value.t) : Value.t =
   | _ -> Value.fault "ill-typed binary operation"
 
 and lval_addr eng th fr ~sid (lv : lval) : Value.ptr =
+  fst (lval_addr_ty eng th fr ~sid lv)
+
+and lval_addr_ty eng th fr ~sid (lv : lval) : Value.ptr * ty =
   match lv with
   | Var v -> (
       match Hashtbl.find_opt fr.fr_offsets v with
-      | Some (off, _) -> { p_block = fr.fr_block; p_off = off }
+      | Some (off, ty) -> ({ p_block = fr.fr_block; p_off = off }, ty)
       | None -> (
           match Hashtbl.find_opt eng.globals v with
-          | Some bid -> { p_block = bid; p_off = 0 }
+          | Some bid ->
+              let ty =
+                match Hashtbl.find_opt eng.tenv.globals v with
+                | Some t -> t
+                | None -> Tint
+              in
+              ({ p_block = bid; p_off = 0 }, ty)
           | None -> Value.fault "unbound variable %s" v))
   | Deref e -> (
       match eval eng th fr ~sid e with
-      | VPtr p -> p
+      | VPtr p ->
+          let ty =
+            match Minic.Typecheck.type_of_exp fr.fr_env e with
+            | Tptr t | Tarray (t, _) -> t
+            | _ -> Tint (* int treated as address of int cells; loose *)
+          in
+          (p, ty)
       | v -> Value.fault "dereference of non-pointer %a" Value.pp v)
   | Index (base, idx) ->
-      let p = lval_addr eng th fr ~sid base in
-      let p =
+      let p, bty = lval_addr_ty eng th fr ~sid base in
+      let p, ety =
         (* indexing through a pointer variable loads the pointer first *)
-        match Minic.Typecheck.type_of_lval fr.fr_env base with
-        | Tptr _ -> (
+        match bty with
+        | Tptr t -> (
             on_mem eng th p ~write:false ~sid;
             match Mem.load eng.mem p with
-            | VPtr q -> q
+            | VPtr q -> (q, t)
             | v -> Value.fault "indexing non-pointer %a" Value.pp v)
-        | _ -> p
+        | Tarray (t, _) -> (p, t)
+        | t -> (p, t)
       in
       let i = Value.to_int (eval eng th fr ~sid idx) in
-      let es = elem_size_of_lval eng fr base in
-      { p with p_off = p.p_off + (i * es) }
+      let es = Layout.sizeof eng.layout ety in
+      ({ p with p_off = p.p_off + (i * es) }, ety)
   | Field (base, f) ->
-      let p = lval_addr eng th fr ~sid base in
+      let p, bty = lval_addr_ty eng th fr ~sid base in
       let sname =
-        match Minic.Typecheck.type_of_lval fr.fr_env base with
+        match bty with
         | Tstruct s -> s
         | t -> Value.fault "field access on %a" Minic.Ast.pp_ty t
       in
-      let off, _ = Minic.Ast.field_offset eng.prog.p_structs sname f in
-      { p with p_off = p.p_off + off }
+      let off, fty = Layout.field_offset eng.layout sname f in
+      ({ p with p_off = p.p_off + off }, fty)
   | Arrow (e, f) -> (
       match eval eng th fr ~sid e with
       | VPtr p ->
@@ -417,8 +458,8 @@ and lval_addr eng th fr ~sid (lv : lval) : Value.ptr =
             | Tptr (Tstruct s) -> s
             | t -> Value.fault "-> on %a" Minic.Ast.pp_ty t
           in
-          let off, _ = Minic.Ast.field_offset eng.prog.p_structs sname f in
-          { p with p_off = p.p_off + off }
+          let off, fty = Layout.field_offset eng.layout sname f in
+          ({ p with p_off = p.p_off + off }, fty)
       | v -> Value.fault "-> on non-pointer %a" Value.pp v)
 
 (* ------------------------------------------------------------------ *)
@@ -592,7 +633,7 @@ let gate_syscall eng th =
 let record_syscall eng th (values : int list) =
   trace eng "%a syscall [%a]" K.pp_tid_path th.path
     Fmt.(list ~sep:comma int)
-    (List.filteri (fun i _ -> i < 4) values);
+    (Runtime.Listx.take 4 values);
   eng.stats.n_syscalls <- eng.stats.n_syscalls + 1;
   emit_ev eng th Trace.Syscall;
   (match eng.recorder with
@@ -616,7 +657,7 @@ let enqueue eng (th : thread) =
       best := c
   done;
   th.core <- !best;
-  eng.queues.(!best) := !(eng.queues.(!best)) @ [ th.tid ]
+  eng.queues.(!best) := !(eng.queues.(!best)) @ [ th ]
 
 let wake eng (th : thread) =
   match th.status with
@@ -778,26 +819,28 @@ let cond_signal eng th (key : K.addr) ~broadcast =
 (* Weak-lock regions (Section 2.3) *)
 
 let claim_of_ranges eng th fr ~sid (ranges : warange list) : WL.claim =
-  if ranges = [] then []
-  else
-    let rs =
-      List.filter_map
-        (fun (r : warange) ->
-          match (eval eng th fr ~sid r.wr_lo, eval eng th fr ~sid r.wr_hi) with
-          | Value.VPtr lo, Value.VPtr hi when lo.p_block = hi.p_block ->
-              Some
-                {
-                  WL.rg_block = lo.p_block;
-                  rg_lo = min lo.p_off hi.p_off;
-                  rg_hi = max lo.p_off hi.p_off;
-                  rg_write = r.wr_write;
-                }
-          | _ -> None)
-        ranges
-    in
-    (* if any range failed to evaluate to a same-block pair, fall back to
-       the total claim (sound) *)
-    if List.length rs = List.length ranges then rs else []
+  (* single left-to-right pass; if any range fails to evaluate to a
+     same-block pair, fall back to the total claim (sound). The
+     evaluation side effects (mem-op hooks) of the remaining ranges still
+     happen, exactly as in a full pass. *)
+  let failed = ref false in
+  let rs =
+    List.map
+      (fun (r : warange) ->
+        match (eval eng th fr ~sid r.wr_lo, eval eng th fr ~sid r.wr_hi) with
+        | Value.VPtr lo, Value.VPtr hi when lo.p_block = hi.p_block ->
+            {
+              WL.rg_block = lo.p_block;
+              rg_lo = min lo.p_off hi.p_off;
+              rg_hi = max lo.p_off hi.p_off;
+              rg_write = r.wr_write;
+            }
+        | _ ->
+            failed := true;
+            { WL.rg_block = 0; rg_lo = 0; rg_hi = 0; rg_write = false })
+      ranges
+  in
+  if !failed then [] else rs
 
 (* forward reference: [apply_forced_release] is defined below but the
    deterministic acquire path needs to preempt conflicting owners *)
@@ -898,6 +941,14 @@ let weak_release_one eng th (lock : weak_lock) =
    landed at an arbitrary physical point inside the contenders' retry
    window would hand the lock to whichever spinner's attempt physically
    follows it, a race on the host schedule. *)
+(* membership index over a batch of locks: the reacquire-list filters
+   below test each pending entry against the whole batch, so give the
+   batch O(1) lookups instead of rescanning the list per entry *)
+let lock_set_of (ls : weak_lock list) : (weak_lock, unit) Hashtbl.t =
+  let s = Hashtbl.create (2 * List.length ls) in
+  List.iter (fun l -> Hashtbl.replace s l ()) ls;
+  s
+
 let release_batch eng th (ls : weak_lock list) =
   let cost = eng.cfg.cost in
   List.iter
@@ -911,8 +962,12 @@ let release_batch eng th (ls : weak_lock list) =
        locks we are about to release; cancel its reacquisition — we were
        freeing it anyway, and a stale entry would be reacquired at a
        later gate, outside the region, and then never released *)
-    th.reacquire <-
-      List.filter (fun (l, _) -> not (List.mem l ls)) th.reacquire;
+    (if th.reacquire <> [] then
+       let in_batch = lock_set_of ls in
+       th.reacquire <-
+         List.filter
+           (fun (l, _) -> not (Hashtbl.mem in_batch l))
+           th.reacquire);
     List.iter (fun l -> weak_release_one eng th l) ls
   end
 
@@ -934,9 +989,36 @@ let weak_enter eng th fr ~sid (acqs : weak_acq list) =
   (match th.regions with
   | { rg_acqs } :: _ -> release_batch eng th (List.map fst rg_acqs)
   | [] -> ());
+  (* claims are evaluated in source order (the hook-visible side effects
+     must not move), then permuted into canonical lock order. The
+     permutation depends only on the statement's static lock list, so it
+     is computed once per sid. [List.sort] is stable, so the cached
+     stable permutation reproduces it exactly. *)
   let resolved =
     List.map (fun a -> (a.wa_lock, claim_of_ranges eng th fr ~sid a.wa_ranges)) acqs
-    |> List.sort (fun (a, _) (b, _) -> compare_weak_lock a b)
+  in
+  let resolved =
+    match resolved with
+    | [] | [ _ ] -> resolved
+    | _ ->
+        let arr = Array.of_list resolved in
+        let n = Array.length arr in
+        let perm =
+          match Hashtbl.find_opt eng.sid_sort_perm sid with
+          | Some p when Array.length p = n -> p
+          | _ ->
+              let idx = Array.init n Fun.id in
+              let locks = Array.map fst arr in
+              let sorted =
+                List.stable_sort
+                  (fun i j -> compare_weak_lock locks.(i) locks.(j))
+                  (Array.to_list idx)
+              in
+              let p = Array.of_list sorted in
+              Hashtbl.replace eng.sid_sort_perm sid p;
+              p
+        in
+        Array.to_list (Array.map (fun i -> arr.(i)) perm)
   in
   List.iter
     (fun ((l : weak_lock), claim) ->
@@ -963,15 +1045,16 @@ let weak_exit eng th (locks : weak_lock list) =
      exit would later be reacquired outside any region and never
      released (strips only ever target held, i.e. innermost-region,
      locks, so membership in the exiting region is the precise test) *)
-  (match th.regions with
-  | { rg_acqs } :: _ ->
-      th.reacquire <-
-        List.filter
-          (fun (l, _) -> not (List.mem_assoc l rg_acqs))
-          th.reacquire
-  | [] ->
-      th.reacquire <-
-        List.filter (fun (l, _) -> not (List.mem l locks)) th.reacquire);
+  (if th.reacquire <> [] then
+     let exiting =
+       match th.regions with
+       | { rg_acqs } :: _ -> lock_set_of (List.map fst rg_acqs)
+       | [] -> lock_set_of locks
+     in
+     th.reacquire <-
+       List.filter
+         (fun (l, _) -> not (Hashtbl.mem exiting l))
+         th.reacquire);
   det_ensure_reacquired eng th;
   emit_ev eng th
     (Trace.Region_exit
@@ -1138,10 +1221,7 @@ let sys_read eng th fr ~sid ~(net : bool) (buf_e : exp) (max_e : exp) : Value.t
             [])
     | None -> eng.io.io_read (next_io_req th ~max:maxn)
   in
-  let bytes =
-    if List.length bytes > maxn then List.filteri (fun i _ -> i < maxn) bytes
-    else bytes
-  in
+  let bytes = Runtime.Listx.take maxn bytes in
   record_syscall eng th bytes;
   step (eng.cfg.cost.c_syscall + charge_log_input eng (List.length bytes));
   List.iteri
@@ -1157,14 +1237,19 @@ let sys_read eng th fr ~sid ~(net : bool) (buf_e : exp) (max_e : exp) : Value.t
 
 let layout_of (eng : t) (fd : fundec) :
     (string, int * ty) Hashtbl.t * int =
-  let offsets = Hashtbl.create 8 in
-  let off = ref 0 in
-  List.iter
-    (fun (v : var_decl) ->
-      Hashtbl.replace offsets v.v_name (!off, v.v_ty);
-      off := !off + max 1 (Minic.Ast.sizeof eng.prog.p_structs v.v_ty))
-    (fd.f_params @ fd.f_locals);
-  (offsets, !off)
+  match Hashtbl.find_opt eng.flayouts fd.f_name with
+  | Some l -> l
+  | None ->
+      let offsets = Hashtbl.create 8 in
+      let off = ref 0 in
+      List.iter
+        (fun (v : var_decl) ->
+          Hashtbl.replace offsets v.v_name (!off, v.v_ty);
+          off := !off + max 1 (Layout.sizeof eng.layout v.v_ty))
+        (fd.f_params @ fd.f_locals);
+      let l = (offsets, !off) in
+      Hashtbl.replace eng.flayouts fd.f_name l;
+      l
 
 let fun_env_of eng (fd : fundec) =
   match Hashtbl.find_opt eng.fenvs fd.f_name with
@@ -1176,7 +1261,7 @@ let fun_env_of eng (fd : fundec) =
 
 let rec exec_fun eng th (fname : string) (args : Value.t list) : Value.t =
   let fd =
-    match Minic.Ast.find_fun eng.prog fname with
+    match Hashtbl.find_opt eng.tenv.funs fname with
     | Some fd -> fd
     | None -> Value.fault "call to undefined function %s" fname
   in
@@ -1480,7 +1565,10 @@ let finish_thread eng (th : thread) =
 
 (* Run (or resume) one micro-op of [th]. Returns after the thread performs
    its next effect, blocks, or terminates. *)
-let resume_thread eng (th : thread) =
+(* The handler is installed once per fiber ([match_with] on first start);
+   resuming via [continue] runs under that same installed handler, so it
+   is only built on the [body] path — not once per resume. *)
+let start_thread eng (th : thread) (body : unit -> unit) =
   let handler : (unit, unit) Effect.Deep.handler =
     {
       retc = (fun () -> finish_thread eng th);
@@ -1524,6 +1612,9 @@ let resume_thread eng (th : thread) =
           | _ -> None);
     }
   in
+  Effect.Deep.match_with body () handler
+
+let resume_thread eng (th : thread) =
   match th.resume with
   | Some k ->
       th.resume <- None;
@@ -1532,7 +1623,7 @@ let resume_thread eng (th : thread) =
       match th.body with
       | Some body ->
           th.body <- None;
-          Effect.Deep.match_with body () handler
+          start_thread eng th body
       | None -> ())
 
 (* Periodic maintenance: IO wakeups, replay-turn checks, replayed forced
@@ -1705,19 +1796,14 @@ let tick_core eng c =
   (* drop finished/blocked threads from the head *)
   let rec clean () =
     match !q with
-    | tid :: rest -> (
-        match Hashtbl.find_opt eng.threads tid with
-        | Some th when can_run th -> Some th
-        | Some th when th.status = Done ->
-            q := rest;
-            clean ()
-        | Some _ ->
-            (* blocked: remove; it will be re-enqueued on wake *)
-            q := rest;
-            clean ()
-        | None ->
-            q := rest;
-            clean ())
+    | th :: rest ->
+        if can_run th then Some th
+        else begin
+          (* done or blocked: remove; a blocked thread is re-enqueued on
+             wake *)
+          q := rest;
+          clean ()
+        end
     | [] -> None
   in
   match clean () with
@@ -1739,10 +1825,8 @@ let tick_core eng c =
             (* steal the tail element to keep the victim's head running *)
             let stolen = List.nth (x :: rest) (List.length rest) in
             eng.queues.(!best) <-
-              ref (List.filter (fun t -> t <> stolen) (x :: rest));
-            (match Hashtbl.find_opt eng.threads stolen with
-            | Some th -> th.core <- c
-            | None -> ());
+              ref (List.filter (fun t -> t != stolen) (x :: rest));
+            stolen.core <- c;
             q := [ stolen ]
         | [] -> ()
       end
@@ -1794,6 +1878,7 @@ let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ?sink ~mode
     {
       prog;
       tenv = Minic.Typecheck.env_of_program prog;
+      layout = Layout.create prog.p_structs;
       cfg = config;
       mode;
       io;
@@ -1819,12 +1904,14 @@ let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ?sink ~mode
       rng = (config.seed * 2) + 1;
       main_done = false;
       fenvs = Hashtbl.create 64;
+      flayouts = Hashtbl.create 64;
+      sid_sort_perm = Hashtbl.create 64;
     }
   in
   (* allocate and initialize globals *)
   List.iter
     (fun (g : global) ->
-      let size = max 1 (Minic.Ast.sizeof prog.p_structs g.g_ty) in
+      let size = max 1 (Layout.sizeof eng.layout g.g_ty) in
       let blk = Mem.alloc eng.mem (K.OGlobal g.g_name) size in
       (match g.g_init with
       | Some vals ->
@@ -1957,7 +2044,9 @@ let run_engine (eng : t) : outcome =
             | Blocked r -> Fmt.str "blocked on %a" pp_block_reason r
           in
           let queued =
-            Array.exists (fun q -> List.mem th.tid !q) eng.queues
+            Array.exists
+              (fun q -> List.exists (fun (t : thread) -> t.tid = th.tid) !q)
+              eng.queues
           in
           Fmt.str "%a: %s, steps=%d, stall=%d, regions=%d, queued=%b, \
                    has-cont=%b, reacquire=[%s]"

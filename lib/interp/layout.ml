@@ -1,0 +1,42 @@
+(** Memoized size/offset queries over a program's struct declarations.
+
+    [Minic.Ast.sizeof] and [Minic.Ast.field_offset] re-scan the struct
+    list (and re-sum field sizes) on every call; the interpreter asks
+    these questions on every array index and field access, so the engine
+    keeps one of these tables per program and answers from hash tables
+    after the first query. Struct declarations are immutable after
+    parsing, so the cache never invalidates. *)
+
+open Minic.Ast
+
+type t = {
+  structs : struct_decl list;
+  sizes : (string, int) Hashtbl.t;  (** struct name -> size in cells *)
+  offsets : (string * string, int * ty) Hashtbl.t;
+      (** (struct, field) -> cell offset, field type *)
+}
+
+let create (structs : struct_decl list) : t =
+  { structs; sizes = Hashtbl.create 16; offsets = Hashtbl.create 32 }
+
+let rec sizeof (l : t) (ty : ty) : int =
+  match ty with
+  | Tvoid -> 0
+  | Tint | Tptr _ | Tfun _ -> 1
+  | Tarray (t, n) -> n * sizeof l t
+  | Tstruct s -> (
+      match Hashtbl.find_opt l.sizes s with
+      | Some n -> n
+      | None ->
+          let n = Minic.Ast.sizeof l.structs ty in
+          Hashtbl.replace l.sizes s n;
+          n)
+
+let field_offset (l : t) (sname : string) (fname : string) : int * ty =
+  let key = (sname, fname) in
+  match Hashtbl.find_opt l.offsets key with
+  | Some r -> r
+  | None ->
+      let r = Minic.Ast.field_offset l.structs sname fname in
+      Hashtbl.replace l.offsets key r;
+      r

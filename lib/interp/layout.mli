@@ -1,0 +1,9 @@
+(** Memoized [sizeof] / [field_offset] over a fixed struct-declaration
+    list. Semantically identical to the [Minic.Ast] functions (including
+    raised errors on unknown structs/fields), amortized O(1). *)
+
+type t
+
+val create : Minic.Ast.struct_decl list -> t
+val sizeof : t -> Minic.Ast.ty -> int
+val field_offset : t -> string -> string -> int * Minic.Ast.ty

@@ -15,7 +15,11 @@
     under a different scheduler still matches events.
 
     Serialization uses a simple varint-based binary format; reported log
-    sizes (Table 2) are the compressed sizes of these encodings. *)
+    sizes (Table 2) are the compressed sizes of these encodings.
+
+    Event sequences are stored newest-first (the recorder appends with a
+    cons); encoding streams them oldest-first through a single buffer via
+    a flat reversed array — no intermediate per-event lists. *)
 
 open Runtime
 
@@ -84,18 +88,24 @@ type forced_event = {
   fe_lock : Minic.Ast.weak_lock;
 }
 
-type sched_segment = { sg_core : int; sg_tid : Key.tid_path; sg_ticks : int }
+type sched_segment = {
+  sg_core : int;
+  sg_tid : Key.tid_path;
+  mutable sg_ticks : int;
+      (** mutable so the recorder extends the open segment in place *)
+}
 
 type t = {
   (* input log *)
-  inputs : (Key.tid_path, int list list) Hashtbl.t;
+  inputs : (Key.tid_path, int list list ref) Hashtbl.t;
       (** per-thread recorded syscall result bursts, newest first (each
           burst is the word list one syscall returned, in order) *)
   mutable syscall_order : Key.tid_path list;  (** global order, reversed *)
   (* order log *)
-  sync_order : (Key.addr, (sync_op * Key.tid_path) list) Hashtbl.t;
+  sync_order : (Key.addr, (sync_op * Key.tid_path) list ref) Hashtbl.t;
       (** per-object op sequence, reversed *)
-  weak_order : (Minic.Ast.weak_lock, (Key.tid_path * sclaim) list) Hashtbl.t;
+  weak_order :
+    (Minic.Ast.weak_lock, (Key.tid_path * sclaim) list ref) Hashtbl.t;
       (** per-lock acquisition sequence with claimed ranges, reversed *)
   mutable forced : forced_event list;  (** reversed *)
   mutable sched : sched_segment list;  (** reversed *)
@@ -110,6 +120,31 @@ let create () =
     forced = [];
     sched = [];
   }
+
+(** The append cell for key [k] of table [tbl], created empty on first
+    use — the recorder's one-lookup append point. *)
+let cell tbl k : 'a list ref =
+  match Hashtbl.find_opt tbl k with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace tbl k r;
+      r
+
+(** Oldest-first array view of a newest-first event list: one flat
+    allocation, reversed in place. *)
+let oldest_first (xs : 'a list) : 'a array =
+  match xs with
+  | [] -> [||]
+  | _ ->
+      let a = Array.of_list xs in
+      let n = Array.length a in
+      for i = 0 to (n / 2) - 1 do
+        let t = a.(i) in
+        a.(i) <- a.(n - 1 - i);
+        a.(n - 1 - i) <- t
+      done;
+      a
 
 (* ------------------------------------------------------------------ *)
 (* Binary encoding *)
@@ -134,6 +169,12 @@ module Enc = struct
   let list b f xs =
     varint b (List.length xs);
     List.iter (f b) xs
+
+  (* count + elements of a newest-first list, streamed oldest-first *)
+  let rev_seq b f xs =
+    let a = oldest_first xs in
+    varint b (Array.length a);
+    Array.iter (f b) a
 
   let tid_path b (p : Key.tid_path) = list b varint p
 
@@ -178,14 +219,40 @@ module Dec = struct
     c.pos <- c.pos + n;
     s
 
+  let check_count c n =
+    (* every element encodes to >= 1 byte, so a count beyond the
+       remaining bytes is corruption — reject it before trying to
+       materialize a multi-gigabyte sequence *)
+    if n < 0 || n > String.length c.s - c.pos then
+      corrupt c "bad list length %d" n
+
+  (* Elements are read left to right by an explicit loop: the byte
+     stream dictates the order, so the reader must never rely on the
+     argument evaluation order of a constructor (List.init makes no
+     such guarantee). *)
   let list c f =
     let n = varint c in
-    (* every element encodes to >= 1 byte, so a count beyond the
-       remaining bytes is corruption — reject it before List.init
-       tries to materialize a multi-gigabyte list *)
-    if n < 0 || n > String.length c.s - c.pos then
-      corrupt c "bad list length %d" n;
-    List.init n (fun _ -> f c)
+    check_count c n;
+    if n = 0 then []
+    else begin
+      let first = f c in
+      let a = Array.make n first in
+      for i = 1 to n - 1 do
+        a.(i) <- f c
+      done;
+      Array.to_list a
+    end
+
+  (* newest-first (reversed) list of [n] elements read left to right —
+     the storage form of the log tables, built with no second pass *)
+  let rev_list c f =
+    let n = varint c in
+    check_count c n;
+    let r = ref [] in
+    for _ = 1 to n do
+      r := f c :: !r
+    done;
+    !r
 
   let tid_path c : Key.tid_path = list c varint
 
@@ -217,48 +284,55 @@ module Dec = struct
     { wl_gran = g; wl_id = id }
 end
 
+(* sorted oldest-first key array of a keyed table — canonical encode
+   order, via the typed comparator [cmp] *)
+let sorted_keys (tbl : ('k, 'v) Hashtbl.t) (cmp : 'k -> 'k -> int) : 'k array
+    =
+  let keys = Array.make (Hashtbl.length tbl) None in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k _ ->
+      keys.(!i) <- Some k;
+      incr i)
+    tbl;
+  let keys = Array.map (function Some k -> k | None -> assert false) keys in
+  Array.sort cmp keys;
+  keys
+
 (** Serialize the input log (syscall values + global syscall order). *)
 let encode_input_log (t : t) : string =
   let b = Buffer.create 1024 in
-  let bindings =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.inputs []
-    |> List.sort compare
-  in
-  Enc.varint b (List.length bindings);
-  List.iter
-    (fun (p, bursts) ->
+  let keys = sorted_keys t.inputs Key.compare_tid_path in
+  Enc.varint b (Array.length keys);
+  Array.iter
+    (fun p ->
       Enc.tid_path b p;
-      Enc.list b (fun b vs -> Enc.list b Enc.varint vs) (List.rev bursts))
-    bindings;
-  Enc.list b Enc.tid_path (List.rev t.syscall_order);
+      Enc.rev_seq b (fun b vs -> Enc.list b Enc.varint vs)
+        !(Hashtbl.find t.inputs p))
+    keys;
+  Enc.rev_seq b Enc.tid_path t.syscall_order;
   Buffer.contents b
 
 (** Serialize the order log (sync + weak + forced + schedule). *)
 let encode_order_log (t : t) : string =
   let b = Buffer.create 1024 in
-  let sync =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sync_order []
-    |> List.sort compare
-  in
-  Enc.varint b (List.length sync);
-  List.iter
-    (fun (a, ops) ->
+  let sync_keys = sorted_keys t.sync_order Key.compare_addr in
+  Enc.varint b (Array.length sync_keys);
+  Array.iter
+    (fun a ->
       Enc.addr b a;
-      Enc.list b
+      Enc.rev_seq b
         (fun b (op, p) ->
           Enc.varint b (sync_op_code op);
           Enc.tid_path b p)
-        (List.rev ops))
-    sync;
-  let weak =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.weak_order []
-    |> List.sort compare
-  in
-  Enc.varint b (List.length weak);
-  List.iter
-    (fun (w, ps) ->
+        !(Hashtbl.find t.sync_order a))
+    sync_keys;
+  let weak_keys = sorted_keys t.weak_order Minic.Ast.compare_weak_lock in
+  Enc.varint b (Array.length weak_keys);
+  Array.iter
+    (fun w ->
       Enc.weak_lock b w;
-      Enc.list b
+      Enc.rev_seq b
         (fun b (p, (claim : sclaim)) ->
           Enc.tid_path b p;
           Enc.list b
@@ -268,20 +342,20 @@ let encode_order_log (t : t) : string =
               Enc.varint b sr.sr_hi;
               Enc.varint b (if sr.sr_write then 1 else 0))
             claim)
-        (List.rev ps))
-    weak;
-  Enc.list b
+        !(Hashtbl.find t.weak_order w))
+    weak_keys;
+  Enc.rev_seq b
     (fun b fe ->
       Enc.tid_path b fe.fe_owner;
       Enc.varint b fe.fe_steps;
       Enc.weak_lock b fe.fe_lock)
-    (List.rev t.forced);
-  Enc.list b
+    t.forced;
+  Enc.rev_seq b
     (fun b sg ->
       Enc.varint b sg.sg_core;
       Enc.tid_path b sg.sg_tid;
       Enc.varint b sg.sg_ticks)
-    (List.rev t.sched);
+    t.sched;
   Buffer.contents b
 
 let decode (input_log : string) (order_log : string) : t =
@@ -290,16 +364,16 @@ let decode (input_log : string) (order_log : string) : t =
   let n = Dec.varint c in
   for _ = 1 to n do
     let p = Dec.tid_path c in
-    let bursts = Dec.list c (fun c -> Dec.list c Dec.varint) in
-    Hashtbl.replace t.inputs p (List.rev bursts)
+    let bursts = Dec.rev_list c (fun c -> Dec.list c Dec.varint) in
+    Hashtbl.replace t.inputs p (ref bursts)
   done;
-  t.syscall_order <- List.rev (Dec.list c Dec.tid_path);
+  t.syscall_order <- Dec.rev_list c Dec.tid_path;
   let c = { Dec.s = order_log; pos = 0 } in
   let nsync = Dec.varint c in
   for _ = 1 to nsync do
     let a = Dec.addr c in
     let ops =
-      Dec.list c (fun c ->
+      Dec.rev_list c (fun c ->
           let code = Dec.varint c in
           let op =
             if code < 0 || code > 6 then
@@ -309,13 +383,13 @@ let decode (input_log : string) (order_log : string) : t =
           let p = Dec.tid_path c in
           (op, p))
     in
-    Hashtbl.replace t.sync_order a (List.rev ops)
+    Hashtbl.replace t.sync_order a (ref ops)
   done;
   let nweak = Dec.varint c in
   for _ = 1 to nweak do
     let w = Dec.weak_lock c in
     let ps =
-      Dec.list c (fun c ->
+      Dec.rev_list c (fun c ->
           let p = Dec.tid_path c in
           let claim =
             Dec.list c (fun c ->
@@ -327,20 +401,18 @@ let decode (input_log : string) (order_log : string) : t =
           in
           (p, claim))
     in
-    Hashtbl.replace t.weak_order w (List.rev ps)
+    Hashtbl.replace t.weak_order w (ref ps)
   done;
   t.forced <-
-    List.rev
-      (Dec.list c (fun c ->
-           let owner = Dec.tid_path c in
-           let steps = Dec.varint c in
-           let lock = Dec.weak_lock c in
-           { fe_owner = owner; fe_steps = steps; fe_lock = lock }));
+    Dec.rev_list c (fun c ->
+        let owner = Dec.tid_path c in
+        let steps = Dec.varint c in
+        let lock = Dec.weak_lock c in
+        { fe_owner = owner; fe_steps = steps; fe_lock = lock });
   t.sched <-
-    List.rev
-      (Dec.list c (fun c ->
-           let core = Dec.varint c in
-           let tid = Dec.tid_path c in
-           let ticks = Dec.varint c in
-           { sg_core = core; sg_tid = tid; sg_ticks = ticks }));
+    Dec.rev_list c (fun c ->
+        let core = Dec.varint c in
+        let tid = Dec.tid_path c in
+        let ticks = Dec.varint c in
+        { sg_core = core; sg_tid = tid; sg_ticks = ticks });
   t

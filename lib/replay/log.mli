@@ -50,21 +50,35 @@ type forced_event = {
   fe_lock : Minic.Ast.weak_lock;
 }
 
-type sched_segment = { sg_core : int; sg_tid : Key.tid_path; sg_ticks : int }
+type sched_segment = {
+  sg_core : int;
+  sg_tid : Key.tid_path;
+  mutable sg_ticks : int;
+      (** mutable so the recorder extends the open segment in place *)
+}
 
 type t = {
-  inputs : (Key.tid_path, int list list) Hashtbl.t;
+  inputs : (Key.tid_path, int list list ref) Hashtbl.t;
       (** per-thread recorded syscall bursts, newest first *)
   mutable syscall_order : Key.tid_path list;  (** global order, reversed *)
-  sync_order : (Key.addr, (sync_op * Key.tid_path) list) Hashtbl.t;
+  sync_order : (Key.addr, (sync_op * Key.tid_path) list ref) Hashtbl.t;
       (** per-object op sequence, reversed *)
-  weak_order : (Minic.Ast.weak_lock, (Key.tid_path * sclaim) list) Hashtbl.t;
+  weak_order :
+    (Minic.Ast.weak_lock, (Key.tid_path * sclaim) list ref) Hashtbl.t;
       (** per-lock acquisition sequence with claims, reversed *)
   mutable forced : forced_event list;  (** reversed *)
   mutable sched : sched_segment list;  (** reversed *)
 }
+(** Keyed event sequences live behind [ref] cells so the recorder appends
+    with a single table lookup; sequences are stored newest-first. *)
 
 val create : unit -> t
+
+val cell : ('k, 'a list ref) Hashtbl.t -> 'k -> 'a list ref
+(** [cell tbl k] is the append cell for [k], created empty on first use. *)
+
+val oldest_first : 'a list -> 'a array
+(** Oldest-first array view of a newest-first event list. *)
 
 (** Varint-based binary encodings; reported log sizes are these strings,
     compressed. [decode input order] inverts both. *)

@@ -24,22 +24,22 @@ let create () =
 
 let rec_input (t : t) ~(tp : Key.tid_path) (values : int list) =
   t.n_syscalls <- t.n_syscalls + 1;
-  let cur = Option.value (Hashtbl.find_opt t.log.inputs tp) ~default:[] in
-  Hashtbl.replace t.log.inputs tp (values :: cur);
+  let cur = Log.cell t.log.inputs tp in
+  cur := values :: !cur;
   t.log.syscall_order <- tp :: t.log.syscall_order
 
 let rec_sync (t : t) ~(obj : Key.addr) ~(op : Log.sync_op) ~(tp : Key.tid_path)
     =
   t.n_sync_ops <- t.n_sync_ops + 1;
-  let cur = Option.value (Hashtbl.find_opt t.log.sync_order obj) ~default:[] in
-  Hashtbl.replace t.log.sync_order obj ((op, tp) :: cur)
+  let cur = Log.cell t.log.sync_order obj in
+  cur := (op, tp) :: !cur
 
 let rec_weak (t : t) ~(lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path)
     ~(claim : Log.sclaim) =
   let rank = Minic.Ast.granularity_rank lock.wl_gran in
   t.n_weak.(rank) <- t.n_weak.(rank) + 1;
-  let cur = Option.value (Hashtbl.find_opt t.log.weak_order lock) ~default:[] in
-  Hashtbl.replace t.log.weak_order lock ((tp, claim) :: cur)
+  let cur = Log.cell t.log.weak_order lock in
+  cur := (tp, claim) :: !cur
 
 let rec_forced (t : t) ~(owner : Key.tid_path) ~(steps : int)
     ~(lock : Minic.Ast.weak_lock) =
@@ -49,8 +49,8 @@ let rec_forced (t : t) ~(owner : Key.tid_path) ~(steps : int)
 let rec_sched (t : t) ~(core : int) ~(tp : Key.tid_path) ~(ticks : int) =
   (* merge with previous segment when the same thread stays on the core *)
   match t.log.sched with
-  | sg :: rest when sg.sg_core = core && sg.sg_tid = tp ->
-      t.log.sched <- { sg with sg_ticks = sg.sg_ticks + ticks } :: rest
+  | sg :: _ when sg.sg_core = core && sg.sg_tid = tp ->
+      sg.sg_ticks <- sg.sg_ticks + ticks
   | _ -> t.log.sched <- { sg_core = core; sg_tid = tp; sg_ticks = ticks } :: t.log.sched
 
 (** Number of weak-lock log entries per granularity:

@@ -9,50 +9,98 @@
     weak-lock releases are re-applied at the recorded owner step count.
     Data accesses are not gated: the instrumented program is data-race
     free under its (weak-)lock synchronization, so these orders determine
-    the execution. *)
+    the execution.
+
+    Cursors are position-indexed arrays over the decoded sequences, so
+    every peek/advance is O(1); the weak-lock cursor additionally keeps a
+    consumed bitmap and per-thread position queues so the out-of-order
+    consumption of disjoint-claim acquisitions stays cheap. *)
 
 open Runtime
 
+(* a sequence consumed strictly front to back *)
+type 'a seq_cursor = { sc_arr : 'a array; mutable sc_pos : int }
+
+let seq_of_list xs = { sc_arr = Log.oldest_first xs; sc_pos = 0 }
+let seq_peek c = if c.sc_pos < Array.length c.sc_arr then Some c.sc_arr.(c.sc_pos) else None
+let seq_left c = Array.length c.sc_arr - c.sc_pos
+
+(* a per-lock acquisition sequence, consumed per-thread and possibly out
+   of order (disjoint claims overtake) *)
+type weak_cursor = {
+  wc_entries : (Key.tid_path * Log.sclaim) array;  (** oldest first *)
+  wc_consumed : bool array;
+  mutable wc_head : int;  (** first unconsumed index *)
+  wc_next : (Key.tid_path, int Queue.t) Hashtbl.t;
+      (** each thread's remaining entry indices, ascending *)
+}
+
+let weak_cursor_of_list xs =
+  let entries = Log.oldest_first xs in
+  let n = Array.length entries in
+  let wc_next = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (p, _) ->
+      let q =
+        match Hashtbl.find_opt wc_next p with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.replace wc_next p q;
+            q
+      in
+      Queue.push i q)
+    entries;
+  { wc_entries = entries; wc_consumed = Array.make n false; wc_head = 0; wc_next }
+
 type t = {
   log : Log.t;
-  mutable syscall_cursor : Key.tid_path list;
-  sync_cursors : (Key.addr, (Log.sync_op * Key.tid_path) list ref) Hashtbl.t;
-  weak_cursors :
-    (Minic.Ast.weak_lock, (Key.tid_path * Log.sclaim) list ref) Hashtbl.t;
-  input_cursors : (Key.tid_path, int list list ref) Hashtbl.t;
+  syscall_cursor : Key.tid_path seq_cursor;
+  sync_cursors : (Key.addr, (Log.sync_op * Key.tid_path) seq_cursor) Hashtbl.t;
+  weak_cursors : (Minic.Ast.weak_lock, weak_cursor) Hashtbl.t;
+  input_cursors : (Key.tid_path, int list seq_cursor) Hashtbl.t;
       (** remaining bursts, oldest first *)
-  forced_by_owner : (Key.tid_path, (int * Minic.Ast.weak_lock) list ref) Hashtbl.t;
+  forced_by_owner :
+    (Key.tid_path, (int * Minic.Ast.weak_lock) seq_cursor) Hashtbl.t;
 }
 
 let of_log (log : Log.t) : t =
   let sync_cursors = Hashtbl.create 64 in
   Hashtbl.iter
-    (fun k v -> Hashtbl.replace sync_cursors k (ref (List.rev v)))
+    (fun k v -> Hashtbl.replace sync_cursors k (seq_of_list !v))
     log.sync_order;
   let weak_cursors = Hashtbl.create 64 in
   Hashtbl.iter
-    (fun k v -> Hashtbl.replace weak_cursors k (ref (List.rev v)))
+    (fun k v -> Hashtbl.replace weak_cursors k (weak_cursor_of_list !v))
     log.weak_order;
   let input_cursors = Hashtbl.create 16 in
   Hashtbl.iter
-    (fun k bursts -> Hashtbl.replace input_cursors k (ref (List.rev bursts)))
+    (fun k bursts -> Hashtbl.replace input_cursors k (seq_of_list !bursts))
     log.inputs;
   let forced_by_owner = Hashtbl.create 4 in
-  List.iter
+  let forced = Log.oldest_first log.forced in
+  let counts = Hashtbl.create 4 in
+  Array.iter
     (fun (fe : Log.forced_event) ->
-      let r =
-        match Hashtbl.find_opt forced_by_owner fe.fe_owner with
-        | Some r -> r
-        | None ->
-            let r = ref [] in
-            Hashtbl.replace forced_by_owner fe.fe_owner r;
-            r
-      in
-      r := !r @ [ (fe.fe_steps, fe.fe_lock) ])
-    (List.rev log.forced);
+      Hashtbl.replace counts fe.fe_owner
+        (1 + Option.value (Hashtbl.find_opt counts fe.fe_owner) ~default:0))
+    forced;
+  Hashtbl.iter
+    (fun owner n ->
+      Hashtbl.replace forced_by_owner owner
+        { sc_arr = Array.make n (0, { Minic.Ast.wl_id = 0; wl_gran = Gfunc }); sc_pos = 0 })
+    counts;
+  let fill = Hashtbl.create 4 in
+  Array.iter
+    (fun (fe : Log.forced_event) ->
+      let i = Option.value (Hashtbl.find_opt fill fe.fe_owner) ~default:0 in
+      (Hashtbl.find forced_by_owner fe.fe_owner).sc_arr.(i) <-
+        (fe.fe_steps, fe.fe_lock);
+      Hashtbl.replace fill fe.fe_owner (i + 1))
+    forced;
   {
     log;
-    syscall_cursor = List.rev log.syscall_order;
+    syscall_cursor = seq_of_list log.syscall_order;
     sync_cursors;
     weak_cursors;
     input_cursors;
@@ -62,21 +110,21 @@ let of_log (log : Log.t) : t =
 (* ------------------------------------------------------------------ *)
 (* Gating queries: [peek] tells whose turn it is; [advance] consumes. *)
 
-let peek_syscall (t : t) : Key.tid_path option =
-  match t.syscall_cursor with [] -> None | p :: _ -> Some p
+let peek_syscall (t : t) : Key.tid_path option = seq_peek t.syscall_cursor
 
 let advance_syscall (t : t) =
-  match t.syscall_cursor with [] -> () | _ :: rest -> t.syscall_cursor <- rest
+  let c = t.syscall_cursor in
+  if c.sc_pos < Array.length c.sc_arr then c.sc_pos <- c.sc_pos + 1
 
 let peek_sync (t : t) (obj : Key.addr) : (Log.sync_op * Key.tid_path) option =
   match Hashtbl.find_opt t.sync_cursors obj with
   | None -> None
-  | Some r -> ( match !r with [] -> None | x :: _ -> Some x)
+  | Some c -> seq_peek c
 
 let advance_sync (t : t) (obj : Key.addr) =
   match Hashtbl.find_opt t.sync_cursors obj with
   | None -> ()
-  | Some r -> ( match !r with [] -> () | _ :: rest -> r := rest)
+  | Some c -> if c.sc_pos < Array.length c.sc_arr then c.sc_pos <- c.sc_pos + 1
 
 (** May thread [tp] perform its next recorded acquisition of [lock]?
     True when no {e earlier} unconsumed acquisition of the same lock
@@ -89,40 +137,48 @@ let weak_turn (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path) : bool
     =
   match Hashtbl.find_opt t.weak_cursors lock with
   | None -> true
-  | Some r ->
-      let rec scan earlier = function
-        | [] -> true
-        | (p, claim) :: rest ->
-            if p = tp then
-              not
-                (List.exists
-                   (fun (_, c') -> Log.sclaims_conflict claim c')
-                   earlier)
-            else scan ((p, claim) :: earlier) rest
-      in
-      scan [] !r
+  | Some wc -> (
+      match Hashtbl.find_opt wc.wc_next tp with
+      | None -> true
+      | Some q when Queue.is_empty q -> true
+      | Some q ->
+          let mine = Queue.peek q in
+          let _, claim = wc.wc_entries.(mine) in
+          let ok = ref true in
+          let i = ref wc.wc_head in
+          while !ok && !i < mine do
+            (if not wc.wc_consumed.(!i) then
+               let _, c' = wc.wc_entries.(!i) in
+               if Log.sclaims_conflict claim c' then ok := false);
+            incr i
+          done;
+          !ok)
 
 (** Consume [tp]'s earliest remaining acquisition entry for [lock]. *)
 let consume_weak (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path) =
   match Hashtbl.find_opt t.weak_cursors lock with
   | None -> ()
-  | Some r ->
-      let rec remove acc = function
-        | [] -> List.rev acc
-        | (p, _) :: rest when p = tp -> List.rev_append acc rest
-        | e :: rest -> remove (e :: acc) rest
-      in
-      r := remove [] !r
+  | Some wc -> (
+      match Hashtbl.find_opt wc.wc_next tp with
+      | None -> ()
+      | Some q when Queue.is_empty q -> ()
+      | Some q ->
+          let i = Queue.pop q in
+          wc.wc_consumed.(i) <- true;
+          let n = Array.length wc.wc_entries in
+          while wc.wc_head < n && wc.wc_consumed.(wc.wc_head) do
+            wc.wc_head <- wc.wc_head + 1
+          done)
 
 (** Pop the next recorded input burst for thread [tp]. *)
 let take_input (t : t) (tp : Key.tid_path) : int list option =
   match Hashtbl.find_opt t.input_cursors tp with
   | None -> None
-  | Some r -> (
-      match !r with
-      | [] -> None
-      | burst :: rest ->
-          r := rest;
+  | Some c -> (
+      match seq_peek c with
+      | None -> None
+      | Some burst ->
+          c.sc_pos <- c.sc_pos + 1;
           Some burst)
 
 (** Forced release pending for [owner] at (or before) step count [steps].
@@ -134,10 +190,10 @@ let pending_forced (t : t) (owner : Key.tid_path) ~(steps : int)
     ~(holds : Minic.Ast.weak_lock -> bool) : Minic.Ast.weak_lock option =
   match Hashtbl.find_opt t.forced_by_owner owner with
   | None -> None
-  | Some r -> (
-      match !r with
-      | (s, lock) :: rest when steps >= s && holds lock ->
-          r := rest;
+  | Some c -> (
+      match seq_peek c with
+      | Some (s, lock) when steps >= s && holds lock ->
+          c.sc_pos <- c.sc_pos + 1;
           Some lock
       | _ -> None)
 
@@ -145,35 +201,42 @@ let pending_forced (t : t) (owner : Key.tid_path) ~(steps : int)
     cursor — the deadlock-diagnosis view. *)
 let dump_remaining (t : t) : string list =
   let acc = ref [] in
-  (match t.syscall_cursor with
-  | [] -> ()
-  | ps ->
+  (match seq_left t.syscall_cursor with
+  | 0 -> ()
+  | left ->
+      let rest =
+        Array.to_list
+          (Array.sub t.syscall_cursor.sc_arr t.syscall_cursor.sc_pos left)
+      in
       acc :=
         Fmt.str "syscall next: %a (%d left)"
           Fmt.(list ~sep:sp Key.pp_tid_path)
-          (List.filteri (fun i _ -> i < 4) ps)
-          (List.length ps)
+          (Listx.take 4 rest) left
         :: !acc);
   Hashtbl.iter
-    (fun obj r ->
-      match !r with
-      | [] -> ()
-      | (op, p) :: _ ->
+    (fun obj c ->
+      match seq_peek c with
+      | None -> ()
+      | Some (op, p) ->
           acc :=
             Fmt.str "sync %a next: %a by %a (%d left)" Key.pp_addr obj
-              Log.pp_sync_op op Key.pp_tid_path p (List.length !r)
+              Log.pp_sync_op op Key.pp_tid_path p (seq_left c)
             :: !acc)
     t.sync_cursors;
   Hashtbl.iter
-    (fun lock r ->
-      match !r with
+    (fun lock wc ->
+      let remaining = ref [] in
+      for i = Array.length wc.wc_entries - 1 downto wc.wc_head do
+        if not wc.wc_consumed.(i) then
+          remaining := fst wc.wc_entries.(i) :: !remaining
+      done;
+      match !remaining with
       | [] -> ()
-      | entries ->
+      | ps ->
           acc :=
             Fmt.str "weak %a next: %a (%d left)" Minic.Ast.pp_weak_lock lock
               Fmt.(list ~sep:sp Key.pp_tid_path)
-              (List.filteri (fun i _ -> i < 4) (List.map fst entries))
-              (List.length entries)
+              (Listx.take 4 ps) (List.length ps)
             :: !acc)
     t.weak_cursors;
   List.sort compare !acc
@@ -182,4 +245,4 @@ let dump_remaining (t : t) : string list =
 let peek_forced (t : t) (owner : Key.tid_path) : int option =
   match Hashtbl.find_opt t.forced_by_owner owner with
   | None -> None
-  | Some r -> ( match !r with (s, _) :: _ -> Some s | [] -> None)
+  | Some c -> ( match seq_peek c with Some (s, _) -> Some s | None -> None)

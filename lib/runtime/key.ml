@@ -35,7 +35,38 @@ type addr = { a_origin : origin; a_off : int }
 
 let pp_addr ppf a = Fmt.pf ppf "%a+%d" pp_origin a.a_origin a.a_off
 
-let compare_addr = Stdlib.compare
+(* The typed comparators below order exactly like [Stdlib.compare] on
+   these types (constructor declaration order, then fields left to
+   right), so switching a sort between them never reorders anything —
+   but they never fall into the polymorphic-compare runtime. *)
+
+let compare_tid_path (a : tid_path) (b : tid_path) : int =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs, y :: ys ->
+        if x < y then -1 else if x > y then 1 else go xs ys
+  in
+  go a b
+
+let compare_origin (a : origin) (b : origin) : int =
+  match (a, b) with
+  | OGlobal x, OGlobal y -> String.compare x y
+  | OGlobal _, _ -> -1
+  | _, OGlobal _ -> 1
+  | OFrame (p, n), OFrame (q, m) -> (
+      match compare_tid_path p q with 0 -> Int.compare n m | c -> c)
+  | OFrame _, _ -> -1
+  | _, OFrame _ -> 1
+  | OHeap (p, n), OHeap (q, m) -> (
+      match compare_tid_path p q with 0 -> Int.compare n m | c -> c)
+
+let compare_addr (a : addr) (b : addr) : int =
+  match compare_origin a.a_origin b.a_origin with
+  | 0 -> Int.compare a.a_off b.a_off
+  | c -> c
 
 module Addr_map = Map.Make (struct
   type t = addr

@@ -22,6 +22,8 @@ type addr = { a_origin : origin; a_off : int }
 (** A stable memory address: origin + cell offset. *)
 
 val pp_addr : addr Fmt.t
+val compare_tid_path : tid_path -> tid_path -> int
+val compare_origin : origin -> origin -> int
 val compare_addr : addr -> addr -> int
 
 module Addr_map : Map.S with type key = addr

@@ -1,0 +1,12 @@
+(** Small list helpers shared across the runtime, interpreter, and
+    replayer. *)
+
+(** [take n xs] is the first [n] elements of [xs], or [xs] itself (no
+    copy) when it is no longer than [n] — replaces the
+    [if List.length xs > n then List.filteri (fun i _ -> i < n) xs]
+    idiom scattered through truncation sites. *)
+let take n xs =
+  let rec go n xs =
+    match xs with [] -> [] | _ when n <= 0 -> [] | x :: rest -> x :: go (n - 1) rest
+  in
+  if n >= List.length xs then xs else go n xs

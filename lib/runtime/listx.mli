@@ -1,0 +1,6 @@
+(** Small list helpers shared across the runtime, interpreter, and
+    replayer. *)
+
+val take : int -> 'a list -> 'a list
+(** [take n xs] is the first [n] elements of [xs], or [xs] itself when it
+    is no longer than [n]. *)

@@ -39,6 +39,8 @@ let pp_range ppf r =
 (** Ranges of one acquisition: empty list = total. *)
 type claim = range list
 
+(** Reference pairwise disjointness — the specification the normalized
+    merge-scan below must agree with (a qcheck property pins this). *)
 let ranges_disjoint (a : claim) (b : claim) : bool =
   match (a, b) with
   | [], _ | _, [] -> false (* a total claim conflicts with everything *)
@@ -53,11 +55,111 @@ let ranges_disjoint (a : claim) (b : claim) : bool =
             b)
         a
 
-type holder = { h_tid : tid; h_claim : claim }
+(* ------------------------------------------------------------------ *)
+(* Normalized claims: the admission hot path compares claims through a
+   canonical interval form instead of the pairwise product above. A
+   claim becomes two sorted, coalesced, pairwise-disjoint interval
+   arrays — all covered cells and the written cells — so disjointness of
+   two claims is a merge scan: claims conflict iff one side's writes
+   intersect the other side's coverage (equivalent to "some range pair
+   overlaps with a writer", since any such pair yields a common cell
+   written by one side, and vice versa). *)
+
+type iv = { iv_block : int; iv_lo : int; iv_hi : int }
+
+type nclaim = {
+  nc_total : bool;          (* empty claim: conflicts with everything *)
+  nc_all : iv array;        (* coalesced coverage, sorted (block, lo) *)
+  nc_w : iv array;          (* coalesced written cells, sorted *)
+}
+
+(* sorted + coalesced union of [ivs]: adjacent or overlapping intervals
+   of one block merge (integer cells, so [0..2]+[3..5] = [0..5]) *)
+let coalesce (ivs : iv list) : iv array =
+  match
+    List.sort
+      (fun a b ->
+        match Int.compare a.iv_block b.iv_block with
+        | 0 -> Int.compare a.iv_lo b.iv_lo
+        | c -> c)
+      ivs
+  with
+  | [] -> [||]
+  | first :: rest ->
+      let out = ref [] and cur = ref first in
+      List.iter
+        (fun v ->
+          if
+            v.iv_block = !cur.iv_block
+            && v.iv_lo <= !cur.iv_hi + 1
+          then begin
+            if v.iv_hi > !cur.iv_hi then cur := { !cur with iv_hi = v.iv_hi }
+          end
+          else begin
+            out := !cur :: !out;
+            cur := v
+          end)
+        rest;
+      out := !cur :: !out;
+      let a = Array.of_list !out in
+      let n = Array.length a in
+      (* !out is newest-first: reverse back to ascending *)
+      for i = 0 to (n / 2) - 1 do
+        let t = a.(i) in
+        a.(i) <- a.(n - 1 - i);
+        a.(n - 1 - i) <- t
+      done;
+      a
+
+let normalize (c : claim) : nclaim =
+  match c with
+  | [] -> { nc_total = true; nc_all = [||]; nc_w = [||] }
+  | _ ->
+      let all =
+        List.map
+          (fun r -> { iv_block = r.rg_block; iv_lo = r.rg_lo; iv_hi = r.rg_hi })
+          c
+      in
+      let w =
+        List.filter_map
+          (fun r ->
+            if r.rg_write then
+              Some { iv_block = r.rg_block; iv_lo = r.rg_lo; iv_hi = r.rg_hi }
+            else None)
+          c
+      in
+      { nc_total = false; nc_all = coalesce all; nc_w = coalesce w }
+
+(* do two sorted disjoint interval arrays share a cell? merge scan *)
+let ivs_intersect (a : iv array) (b : iv array) : bool =
+  let na = Array.length a and nb = Array.length b in
+  let i = ref 0 and j = ref 0 and hit = ref false in
+  while (not !hit) && !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x.iv_block < y.iv_block then incr i
+    else if y.iv_block < x.iv_block then incr j
+    else if x.iv_hi < y.iv_lo then incr i
+    else if y.iv_hi < x.iv_lo then incr j
+    else hit := true
+  done;
+  !hit
+
+let nclaim_disjoint (a : nclaim) (b : nclaim) : bool =
+  if a.nc_total || b.nc_total then false
+  else
+    (not (ivs_intersect a.nc_w b.nc_all))
+    && not (ivs_intersect b.nc_w a.nc_all)
+
+type holder = { h_tid : tid; h_claim : claim; h_norm : nclaim }
+
+type waiter = { w_tid : tid; w_claim : claim; w_norm : nclaim }
 
 type lock_state = {
   mutable holders : holder list;
-  mutable waiters : (tid * claim) list;  (* FIFO *)
+  mutable waiters : waiter list;         (* FIFO *)
+  waiter_ids : (tid, unit) Hashtbl.t;
+      (* O(1) membership beside the FIFO queue: [acquire] re-enqueue
+         checks and [cancel_wait] stop scanning the list *)
   mutable acq_count : int;               (* total acquisitions, for stats *)
   mutable pending : tid list;
       (* handoff after a timeout-preemption: while non-empty, only these
@@ -96,13 +198,21 @@ let get t (l : weak_lock) =
   match Wl_tbl.find_opt t.locks l with
   | Some s -> s
   | None ->
-      let s = { holders = []; waiters = []; acq_count = 0; pending = [] } in
+      let s =
+        {
+          holders = [];
+          waiters = [];
+          waiter_ids = Hashtbl.create 8;
+          acq_count = 0;
+          pending = [];
+        }
+      in
       Wl_tbl.add t.locks l s;
       s
 
-let compatible (s : lock_state) (tid : tid) (c : claim) : bool =
+let compatible (s : lock_state) (tid : tid) (c : nclaim) : bool =
   List.for_all
-    (fun h -> h.h_tid = tid || ranges_disjoint h.h_claim c)
+    (fun h -> h.h_tid = tid || nclaim_disjoint h.h_norm c)
     s.holders
 
 (** Try to acquire [l] with [claim]. [`Blocked owners] reports the
@@ -110,8 +220,9 @@ let compatible (s : lock_state) (tid : tid) (c : claim) : bool =
 let acquire t (l : weak_lock) ~tid ~(claim : claim) :
     [ `Acquired | `Blocked of tid list ] =
   let s = get t l in
+  let norm = normalize claim in
   if
-    compatible s tid claim
+    compatible s tid norm
     && (match s.pending with [] -> true | h :: _ -> h = tid)
   then begin
     (match s.pending with
@@ -119,18 +230,21 @@ let acquire t (l : weak_lock) ~tid ~(claim : claim) :
         s.pending <- rest;
         t.total_handoff_served <- t.total_handoff_served + 1
     | _ -> ());
-    s.holders <- { h_tid = tid; h_claim = claim } :: s.holders;
+    s.holders <- { h_tid = tid; h_claim = claim; h_norm = norm } :: s.holders;
     s.acq_count <- s.acq_count + 1;
     t.total_acquires <- t.total_acquires + 1;
     `Acquired
   end
   else begin
-    if not (List.exists (fun (w, _) -> w = tid) s.waiters) then
-      s.waiters <- s.waiters @ [ (tid, claim) ];
+    if not (Hashtbl.mem s.waiter_ids tid) then begin
+      s.waiters <-
+        s.waiters @ [ { w_tid = tid; w_claim = claim; w_norm = norm } ];
+      Hashtbl.replace s.waiter_ids tid ()
+    end;
     let conflicting =
       List.filter_map
         (fun h ->
-          if h.h_tid <> tid && not (ranges_disjoint h.h_claim claim) then
+          if h.h_tid <> tid && not (nclaim_disjoint h.h_norm norm) then
             Some h.h_tid
           else None)
         s.holders
@@ -153,13 +267,14 @@ let release t (l : weak_lock) ~tid : tid list =
   s.holders <- List.filter (fun h -> h.h_tid <> tid) s.holders;
   if List.length s.holders < before then
     t.total_releases <- t.total_releases + 1;
-  let may_acquire (w, c) =
-    compatible s w c
-    && (match s.pending with [] -> true | h :: _ -> h = w)
+  let may_acquire w =
+    compatible s w.w_tid w.w_norm
+    && (match s.pending with [] -> true | h :: _ -> h = w.w_tid)
   in
   let woken, kept = List.partition may_acquire s.waiters in
   s.waiters <- kept;
-  List.map fst woken
+  List.iter (fun w -> Hashtbl.remove s.waiter_ids w.w_tid) woken;
+  List.map (fun w -> w.w_tid) woken
 
 (** Forcibly strip [owner]'s hold on [l] (timeout-preemption). Returns the
     waiters to wake. The caller must arrange for [owner] to reacquire
@@ -172,7 +287,9 @@ let force_release ?(handoff = true) t (l : weak_lock) ~owner : tid list =
   let s = get t l in
   if handoff then
     s.pending <-
-      List.filter (fun w -> w <> owner) (List.map fst s.waiters);
+      List.filter_map
+        (fun w -> if w.w_tid <> owner then Some w.w_tid else None)
+        s.waiters;
   release t l ~tid:owner
 
 (** Expire a stale handoff reservation (the reserved thread cannot come
@@ -204,6 +321,9 @@ let waiter_count t (l : weak_lock) = List.length (get t l).waiters
     every other acquirer forever. *)
 let cancel_wait t (l : weak_lock) ~tid =
   let s = get t l in
-  s.waiters <- List.filter (fun (w, _) -> w <> tid) s.waiters;
+  if Hashtbl.mem s.waiter_ids tid then begin
+    Hashtbl.remove s.waiter_ids tid;
+    s.waiters <- List.filter (fun w -> w.w_tid <> tid) s.waiters
+  end;
   if List.mem tid s.pending then
     s.pending <- List.filter (fun w -> w <> tid) s.pending

@@ -31,6 +31,18 @@ type claim = range list
     other acquisition of the lock. *)
 
 val ranges_disjoint : claim -> claim -> bool
+(** Reference pairwise disjointness (the specification). *)
+
+type nclaim
+(** A claim in canonical form: sorted, coalesced, pairwise-disjoint
+    interval arrays (full coverage + written cells). The admission path
+    compares claims through this form with a merge scan. *)
+
+val normalize : claim -> nclaim
+
+val nclaim_disjoint : nclaim -> nclaim -> bool
+(** Agrees with {!ranges_disjoint} on well-formed claims (every range
+    with [rg_lo <= rg_hi] — all the engine ever emits). *)
 
 module Wl_tbl : Hashtbl.S with type key = Minic.Ast.weak_lock
 

@@ -1,13 +1,17 @@
-(** Golden-counter generator: the static analysis counters for all nine
-    benchmarks — RELAY candidate pairs, MHP-pruned pairs, kept pairs,
-    plan acquisitions before lockopt, and acquisitions the must-lockset
-    pass elided — printed as a stable table. [dune runtest] diffs the
-    output against [golden_counters.expected]; after an intentional
-    analysis change, refresh the snapshot with [dune promote]. *)
+(** Golden-counter generator: per-benchmark counters that must not move
+    unintentionally — the static analysis side (RELAY candidate pairs,
+    MHP-pruned pairs, kept pairs, plan acquisitions before lockopt,
+    acquisitions the must-lockset pass elided) and the dynamic side (the
+    logical tick count of a seeded 4-core record run, which pins every
+    cost-model charge and scheduling decision: a host-performance change
+    that perturbs deterministic execution moves this column). [dune
+    runtest] diffs the output against [golden_counters.expected]; after
+    an intentional analysis or cost-model change, refresh the snapshot
+    with [dune promote]. *)
 
 let () =
-  Fmt.pr "%-8s %8s %8s %8s %8s %8s@." "bench" "static" "pruned" "kept"
-    "plan" "elided";
+  Fmt.pr "%-8s %8s %8s %8s %8s %8s %10s@." "bench" "static" "pruned" "kept"
+    "plan" "elided" "ticks";
   List.iter
     (fun (b : Bench_progs.Registry.bench) ->
       let src = b.b_source ~workers:4 ~scale:b.b_eval_scale in
@@ -17,10 +21,14 @@ let () =
             b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
           (Minic.Parser.parse ~file:b.b_name src)
       in
-      Fmt.pr "%-8s %8d %8d %8d %8d %8d@." b.b_name
+      let config = { Interp.Engine.default_config with seed = 1; cores = 4 } in
+      let io = b.b_io ~seed:42 ~scale:b.b_eval_scale in
+      let r = Chimera.Runner.record ~config ~io an.an_instrumented in
+      Fmt.pr "%-8s %8d %8d %8d %8d %8d %10d@." b.b_name
         an.an_report.n_candidates
         (List.length an.an_report.pruned)
         (List.length an.an_report.races)
         an.an_lockopt.Lockopt.lo_plan_acqs
-        an.an_lockopt.Lockopt.lo_elided_acqs)
+        an.an_lockopt.Lockopt.lo_elided_acqs
+        r.Chimera.Runner.rc_outcome.o_ticks)
     Bench_progs.Registry.all

@@ -177,6 +177,40 @@ let test_corrupt_garbage () =
   Alcotest.(check bool) "impossible list length detected" true
     (is_corrupt bogus_count "")
 
+(* a decoded sequence must come back in recorded order even when it is
+   far too long for any non-tail-recursive or evaluation-order-dependent
+   reader ([Dec.list] once relied on [List.init]'s argument evaluation
+   order, which the language does not specify) *)
+let test_decode_large_sequences () =
+  let n = 12_000 in
+  let rc = Replay.Recorder.create () in
+  (* one burst of n values, then n single-value bursts *)
+  Replay.Recorder.rec_input rc ~tp:[] (List.init n Fun.id);
+  for i = 0 to n - 1 do
+    Replay.Recorder.rec_input rc ~tp:[ 0 ] [ i ]
+  done;
+  let log = rc.Replay.Recorder.log in
+  let i = Replay.Log.encode_input_log log in
+  let o = Replay.Log.encode_order_log log in
+  let log' = Replay.Log.decode i o in
+  (match Hashtbl.find_opt log'.Replay.Log.inputs [] with
+  | Some bursts -> (
+      match !bursts with
+      | [ vs ] ->
+          Alcotest.(check int) "burst length" n (List.length vs);
+          Alcotest.(check bool) "burst in recorded order" true
+            (List.mapi (fun j v -> v = j) vs |> List.for_all Fun.id)
+      | _ -> Alcotest.fail "expected a single burst")
+  | None -> Alcotest.fail "thread missing");
+  let r = Replay.Replayer.of_log log' in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Replay.Replayer.take_input r [ 0 ] <> Some [ i ] then ok := false
+  done;
+  Alcotest.(check bool) "bursts replay in recorded order" true !ok;
+  Alcotest.(check string) "re-encode stable" i
+    (Replay.Log.encode_input_log log')
+
 (* qcheck: encode/decode roundtrip over random logs *)
 let prop_log_roundtrip =
   let open QCheck in
@@ -217,6 +251,47 @@ let prop_log_roundtrip =
       Replay.Log.encode_input_log log' = i
       && Replay.Log.encode_order_log log' = o)
 
+(* same property at streaming scale: thousands of events per log, so
+   the single-buffer encoder and the loop-based decoder are exercised
+   well past any small-list special case *)
+let prop_log_roundtrip_large =
+  let open QCheck in
+  let gen_path = Gen.(list_size (int_range 0 3) (int_range 0 4)) in
+  let gen_event =
+    Gen.(
+      oneof
+        [
+          map2
+            (fun p b -> `Input (p, b))
+            gen_path (list_size (int_range 0 8) (int_range (-1000) 1000));
+          map2 (fun p o -> `Sync (p, o)) gen_path (int_range 0 6);
+          map3
+            (fun p id lo -> `Weak (p, id, lo))
+            gen_path (int_range 0 9) (int_range 0 5000);
+        ])
+  in
+  let gen = Gen.(list_size (int_range 2_000 6_000) gen_event) in
+  Test.make ~name:"log roundtrip on large random logs" ~count:10 (make gen)
+    (fun events ->
+      let rc = Replay.Recorder.create () in
+      List.iter
+        (fun ev ->
+          match ev with
+          | `Input (p, b) -> Replay.Recorder.rec_input rc ~tp:p b
+          | `Sync (p, o) ->
+              Replay.Recorder.rec_sync rc ~obj:(addr "x" o)
+                ~op:(Replay.Log.sync_op_of_code o) ~tp:p
+          | `Weak (p, id, lo) ->
+              Replay.Recorder.rec_weak rc ~lock:(wl id Gbb) ~tp:p
+                ~claim:[ sr "y" lo (lo + 3) ])
+        events;
+      let log = rc.Replay.Recorder.log in
+      let i = Replay.Log.encode_input_log log in
+      let o = Replay.Log.encode_order_log log in
+      let log' = Replay.Log.decode i o in
+      Replay.Log.encode_input_log log' = i
+      && Replay.Log.encode_order_log log' = o)
+
 let suite =
   [
     Alcotest.test_case "log roundtrip" `Quick test_roundtrip;
@@ -230,5 +305,8 @@ let suite =
       test_forced_pop_requires_holding;
     Alcotest.test_case "corrupt: truncated logs" `Quick test_corrupt_truncated;
     Alcotest.test_case "corrupt: garbage logs" `Quick test_corrupt_garbage;
+    Alcotest.test_case "decode large sequences in order" `Quick
+      test_decode_large_sequences;
     QCheck_alcotest.to_alcotest prop_log_roundtrip;
+    QCheck_alcotest.to_alcotest prop_log_roundtrip_large;
   ]

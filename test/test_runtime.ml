@@ -302,6 +302,31 @@ let prop_weak_woken_were_waiters =
 (* ------------------------------------------------------------------ *)
 (* Keys *)
 
+(* property: the normalized merge-scan disjointness the admission path
+   uses agrees with the reference pairwise implementation on every pair
+   of well-formed claims — including claims whose own ranges overlap
+   each other, nest, mix read/write on the same cells, or are total *)
+let prop_nclaim_agrees_with_pairwise =
+  let open QCheck in
+  let gen_range =
+    Gen.(
+      map3
+        (fun b lo len -> fun write -> range ~write b lo (lo + len))
+        (int_range 1 3) (int_range 0 40) (int_range 0 15)
+      >>= fun mk -> map mk bool)
+  in
+  let gen_claim =
+    Gen.(
+      oneof
+        [ return []; list_size (int_range 1 6) gen_range ])
+  in
+  Test.make ~name:"weak locks: normalized disjointness = pairwise"
+    ~count:2000
+    (make Gen.(pair gen_claim gen_claim))
+    (fun (a, b) ->
+      Weaklock.nclaim_disjoint (Weaklock.normalize a) (Weaklock.normalize b)
+      = Weaklock.ranges_disjoint a b)
+
 let test_key_paths () =
   Alcotest.(check string) "root" "T0" (Fmt.str "%a" Key.pp_tid_path []);
   Alcotest.(check string) "child" "T0.0.2"
@@ -332,5 +357,6 @@ let suite =
     Alcotest.test_case "weak: stats" `Quick test_weak_stats;
     QCheck_alcotest.to_alcotest prop_weak_no_conflicting_holders;
     QCheck_alcotest.to_alcotest prop_weak_woken_were_waiters;
+    QCheck_alcotest.to_alcotest prop_nclaim_agrees_with_pairwise;
     Alcotest.test_case "key: tid paths" `Quick test_key_paths;
   ]

@@ -307,14 +307,9 @@ let test_diagnostic_on_corrupt_log () =
      runs the loop a different number of times, so its stable stream
      (syscall steps) parts ways with the recording *)
   let log = r.rc_log in
-  let damaged =
-    Hashtbl.fold (fun tp bursts acc -> (tp, bursts) :: acc) log.inputs []
-  in
-  List.iter
-    (fun (tp, bursts) ->
-      Hashtbl.replace log.inputs tp
-        (List.map (List.map (fun v -> v + 1)) bursts))
-    damaged;
+  Hashtbl.iter
+    (fun _ bursts -> bursts := List.map (List.map (fun v -> v + 1)) !bursts)
+    log.inputs;
   match
     Chimera.Runner.first_trace_divergence ~config:(eval_config 2) ~io
       an.Chimera.Pipeline.an_instrumented log

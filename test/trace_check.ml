@@ -273,14 +273,9 @@ let check_diagnostic () =
        an.an_instrumented r.rc_log
     = None);
   let log = r.rc_log in
-  let entries =
-    Hashtbl.fold (fun tp bursts acc -> (tp, bursts) :: acc) log.inputs []
-  in
-  List.iter
-    (fun (tp, bursts) ->
-      Hashtbl.replace log.inputs tp
-        (List.map (List.map (fun v -> v + 1)) bursts))
-    entries;
+  Hashtbl.iter
+    (fun _ bursts -> bursts := List.map (List.map (fun v -> v + 1)) !bursts)
+    log.inputs;
   match
     Chimera.Runner.first_trace_divergence ~config:(config 2) ~io
       an.an_instrumented log
