@@ -6,12 +6,17 @@
 # J controls the domain count of the parallel targets (bench -j flag /
 # the sharded test runner); it defaults to all cores.
 .PHONY: all build test test-par check bench-json bench-wall bench-regress \
-	par-check lockopt-check trace-check clean
+	par-check lockopt-check trace-check analyze-check clean
 
 J ?= 0
-# wall-clock harness knobs: repetitions per phase, regression tolerance
+# wall-clock harness knobs: repetitions per phase, regression tolerance,
+# domain count for the analyze phase (the committed baseline was measured
+# at -j 4, so the gate re-measures at the same parallelism), and minimum
+# aggregate warm-cache speedup over cold analysis
 REPS ?= 3
 TOL ?= 2.0
+WALLJ ?= 4
+WARMX ?= 10
 
 # expands to "-j $(J)" only when J was overridden
 JFLAG = $(if $(filter-out 0,$(J)),-j $(J),)
@@ -45,18 +50,20 @@ par-check:
 	cmp /tmp/chimera-json-j1.out /tmp/chimera-json-jN.out
 	@echo "parallel output is byte-identical to serial"
 
-# wall-clock phase timings of the pipeline (analyze / instrument /
-# record / replay) per benchmark, JSON on stdout
-# (schema chimera-wall-bench/1, methodology in EXPERIMENTS.md)
+# wall-clock phase timings of the pipeline (analyze cold + warm-cache /
+# instrument / record / replay) per benchmark, JSON on stdout
+# (schema chimera-wall-bench/2, methodology in EXPERIMENTS.md)
 bench-wall:
-	dune exec bench/main.exe -- wall --reps $(REPS)
+	dune exec bench/main.exe -- wall --reps $(REPS) -j $(WALLJ)
 
 # wall-clock regression gate: re-measure and fail if any benchmark's
-# record+replay mean exceeds TOL x the committed baseline
+# record+replay or analyze mean exceeds TOL x the committed baseline,
+# or the aggregate warm-cache analyze speedup drops below WARMX
 bench-regress:
 	dune build bench/main.exe
-	./_build/default/bench/main.exe wall --reps $(REPS) > /tmp/chimera-wall-fresh.json
+	./_build/default/bench/main.exe wall --reps $(REPS) -j $(WALLJ) > /tmp/chimera-wall-fresh.json
 	./_build/default/bench/main.exe wallcmp --max-ratio $(TOL) \
+		--min-warm-speedup $(WARMX) \
 		bench/wall_baseline.json /tmp/chimera-wall-fresh.json
 
 # must-lockset elision gate: every benchmark records and replays
@@ -71,6 +78,13 @@ lockopt-check:
 # diagnostic pinpoints a first diverging event on a damaged log
 trace-check:
 	dune exec test/trace_check.exe
+
+# analysis gate: a -j 4 analyze digest is byte-identical to serial, a
+# warm cache hit reproduces the cold analysis, every damaged-entry shape
+# falls back to recomputation with a diagnostic, and the per-stage
+# timing sink covers the whole pipeline
+analyze-check:
+	dune exec test/analyze_check.exe
 
 clean:
 	dune clean

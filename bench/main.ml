@@ -438,9 +438,12 @@ let json () =
       m.m_forced m.m_handoff_served m.m_handoff_expired (block_events m)
       (mean_queue_depth m) trace_events
   in
-  Fmt.pr {|{"benches": [@.%s@.]}@.|}
-    (String.concat ",
-" (par_map one benches))
+  emit_json
+    (Fmt.str {|{"benches": [
+%s
+]}
+|}
+       (String.concat ",\n" (par_map one benches)))
 
 (** The lockopt gate (make lockopt-check): run every benchmark with the
     must-lockset elision on and off, diffing each configuration's replay
@@ -543,6 +546,7 @@ let wall_cmd args =
 
 let wallcmp_cmd args =
   let max_ratio = ref 2.0 in
+  let min_warm = ref 10.0 in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -554,16 +558,27 @@ let wallcmp_cmd args =
         | _ ->
             Fmt.epr "wallcmp: bad --max-ratio value %S@." r;
             exit 1)
+    | "--min-warm-speedup" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some f when f >= 0. ->
+            min_warm := f;
+            parse rest
+        | _ ->
+            Fmt.epr "wallcmp: bad --min-warm-speedup value %S@." r;
+            exit 1)
     | a :: rest ->
         files := a :: !files;
         parse rest
   in
   parse args;
   match List.rev !files with
-  | [ baseline; fresh ] -> Wall.compare ~baseline ~fresh ~max_ratio:!max_ratio
+  | [ baseline; fresh ] ->
+      Wall.compare ~min_warm_speedup:!min_warm ~baseline ~fresh
+        ~max_ratio:!max_ratio ()
   | _ ->
       Fmt.epr
-        "wallcmp: usage: wallcmp BASELINE.json FRESH.json [--max-ratio R]@.";
+        "wallcmp: usage: wallcmp BASELINE.json FRESH.json [--max-ratio R] \
+         [--min-warm-speedup S]@.";
       exit 1
 
 let () =

@@ -1,4 +1,4 @@
-(** Wall-clock benchmark harness: host-performance timings of the four
+(** Wall-clock benchmark harness: host-performance timings of the
     pipeline phases, per benchmark, on the monotonic clock.
 
     The simulated-tick ratios elsewhere in the harness reproduce the
@@ -8,34 +8,49 @@
 
     Phases, timed independently per repetition:
 
-    - [analyze]    — RELAY + profiling + planning + lockopt (the static
-                     pipeline on the type-checked program)
-    - [instrument] — applying the weak-lock plan to the AST
-    - [record]     — one recorded run of the instrumented program
-    - [replay]     — one replay of that recording under a shifted seed
+    - [analyze]      — RELAY + profiling + planning + lockopt (the static
+                       pipeline on the type-checked program, cold: no
+                       cache, every stage recomputed). The harness pool
+                       is threaded {e inside} the pipeline, so this
+                       measures the parallel static pipeline at [-j N];
+                       benches are measured one after another so each
+                       analyze owns the whole pool.
+    - [analyze_warm] — the same call against a freshly populated
+                       analysis cache ({!Ancache}): one digest + read +
+                       unmarshal, the incremental-rebuild path.
+    - [instrument]   — applying the weak-lock plan to the AST
+    - [record]       — one recorded run of the instrumented program
+    - [replay]       — one replay of that recording under a shifted seed
 
     Every repetition asserts record==replay digests, so the timings can
     never come from a broken execution. Results are emitted as JSON
-    (schema [chimera-wall-bench/1], documented in EXPERIMENTS.md):
+    (schema [chimera-wall-bench/2], documented in EXPERIMENTS.md):
 
     {v
-    { "schema": "chimera-wall-bench/1",
-      "reps": 3, "workers": 4, "cores": 4,
+    { "schema": "chimera-wall-bench/2",
+      "reps": 3, "workers": 4, "cores": 4, "jobs": 4,
       "benches": [
         { "name": "aget", "scale": 256,
           "record_ticks": 123456,
           "phases": {
-            "analyze":    {"mean_s": 0.41, "min_s": 0.40},
-            "instrument": {"mean_s": 0.01, "min_s": 0.01},
-            "record":     {"mean_s": 0.52, "min_s": 0.50},
-            "replay":     {"mean_s": 0.48, "min_s": 0.46}},
+            "analyze":      {"mean_s": 0.41, "min_s": 0.40},
+            "analyze_warm": {"mean_s": 0.002, "min_s": 0.001},
+            "instrument":   {"mean_s": 0.01, "min_s": 0.01},
+            "record":       {"mean_s": 0.52, "min_s": 0.50},
+            "replay":       {"mean_s": 0.48, "min_s": 0.46}},
+          "analyze_stages": {
+            "pointer": 0.001, "relay": 0.002, "mhp": 0.001,
+            "profile": 0.39, "plan": 0.001, "lockopt": 0.002},
           "record_replay_mean_s": 1.00 }, ... ],
       "total_wall_s": 12.3 }
     v}
 
-    [compare] (the `wallcmp` experiment) reads two such files and fails
-    when any benchmark's record+replay mean regressed beyond a tolerance
-    ratio — the `make bench-regress` / CI `bench-smoke` gate. *)
+    [compare] (the `wallcmp` experiment) reads two such files (via the
+    shared {!Bjson} reader) and fails when any benchmark's
+    record+replay mean — or its cold analyze mean — regressed beyond a
+    tolerance ratio, or when the aggregate warm-cache analyze speedup
+    falls below its floor — the `make bench-regress` / CI `bench-smoke`
+    gate. *)
 
 let now_s () =
   Int64.to_float (Monotonic_clock.now ()) /. 1e9
@@ -57,11 +72,17 @@ let phase_of = function
         min_s = List.fold_left min infinity samples;
       }
 
+(** Stage order in the JSON breakdown (matches {!Chimera.Pipeline}'s
+    [stage_sink] names). *)
+let stage_names = [ "pointer"; "relay"; "mhp"; "profile"; "plan"; "lockopt" ]
+
 type row = {
   w_name : string;
   w_scale : int;
   w_record_ticks : int;  (** simulated ticks of the recorded run (rep 1) *)
-  w_analyze : phase;
+  w_analyze : phase;  (** cold: no cache *)
+  w_analyze_warm : phase;  (** cache hit on a populated store *)
+  w_stages : (string * float) list;  (** mean seconds per static stage *)
   w_instrument : phase;
   w_record : phase;
   w_replay : phase;
@@ -75,24 +96,30 @@ let rec_rep (r : row) = r.w_record.mean_s +. r.w_replay.mean_s
 
 let profile_runs = 12 (* matches Harness.analyze *)
 
-(** Run the phases [reps] times for one benchmark. Each repetition is a
-    fresh end-to-end pipeline (no analysis cache), so the analyze phase
-    measures real work every time. *)
-let measure_wall ?(workers = 4) ?(cores = 4) ~reps
+(** Run the phases [reps] times for one benchmark. Each cold repetition
+    is a fresh end-to-end pipeline (no analysis cache), so the analyze
+    phase measures real work every time; the warm repetitions then hit a
+    cache populated in a throwaway directory. *)
+let measure_wall ?(workers = 4) ?(cores = 4) ?pool ~reps
     (b : Bench_progs.Registry.bench) : row =
   let scale = b.b_eval_scale in
   let src = b.b_source ~workers ~scale in
   let io = b.b_io ~seed:42 ~scale in
   let config = { Interp.Engine.default_config with seed = 1; cores } in
+  let profile_io i = b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale in
   let analyze_s = ref [] and instr_s = ref [] in
   let record_s = ref [] and replay_s = ref [] in
   let record_ticks = ref 0 in
+  let stage_total : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let stage_sink name dt =
+    Hashtbl.replace stage_total name
+      (dt +. Option.value (Hashtbl.find_opt stage_total name) ~default:0.)
+  in
   for rep = 1 to reps do
     let parsed = Minic.Parser.parse ~file:b.b_name src in
     let an, t_an =
       timed (fun () ->
-          Chimera.Pipeline.analyze ~profile_runs
-            ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+          Chimera.Pipeline.analyze ~profile_runs ~profile_io ?pool ~stage_sink
             parsed)
     in
     (* the plan application is cheap and already included in [analyze];
@@ -123,11 +150,41 @@ let measure_wall ?(workers = 4) ?(cores = 4) ~reps
     record_s := t_rec :: !record_s;
     replay_s := t_rep :: !replay_s
   done;
+  (* warm-cache reps: populate a throwaway store once (untimed), then
+     time pure cache hits *)
+  let warm_s = ref [] in
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "chimera-wallcache-%d-%s" (Unix.getpid ()) b.b_name)
+  in
+  let cache = Ancache.create ~dir:cache_dir () in
+  let cache_tag = "wall:" ^ b.b_name in
+  let parsed = Minic.Parser.parse ~file:b.b_name src in
+  ignore
+    (Chimera.Pipeline.analyze ~profile_runs ~profile_io ?pool ~cache
+       ~cache_tag parsed);
+  for _ = 1 to reps do
+    let _, t_warm =
+      timed (fun () ->
+          Chimera.Pipeline.analyze ~profile_runs ~profile_io ?pool ~cache
+            ~cache_tag parsed)
+    in
+    warm_s := t_warm :: !warm_s
+  done;
+  ignore (Ancache.clear cache);
+  (try Sys.rmdir cache_dir with Sys_error _ -> ());
+  let stage_mean name =
+    Option.value (Hashtbl.find_opt stage_total name) ~default:0.
+    /. float_of_int reps
+  in
   {
     w_name = b.b_name;
     w_scale = scale;
     w_record_ticks = !record_ticks;
     w_analyze = phase_of !analyze_s;
+    w_analyze_warm = phase_of !warm_s;
+    w_stages = List.map (fun n -> (n, stage_mean n)) stage_names;
     w_instrument = phase_of !instr_s;
     w_record = phase_of !record_s;
     w_replay = phase_of !replay_s;
@@ -139,231 +196,132 @@ let pp_phase name ppf (p : phase) =
 let row_json (r : row) : string =
   Fmt.str
     {|    {"name": "%s", "scale": %d, "record_ticks": %d,
-     "phases": {%a, %a, %a, %a},
+     "phases": {%a, %a, %a, %a, %a},
+     "analyze_stages": {%s},
      "record_replay_mean_s": %.6f}|}
     r.w_name r.w_scale r.w_record_ticks (pp_phase "analyze") r.w_analyze
-    (pp_phase "instrument") r.w_instrument (pp_phase "record") r.w_record
-    (pp_phase "replay") r.w_replay (rec_rep r)
+    (pp_phase "analyze_warm") r.w_analyze_warm (pp_phase "instrument")
+    r.w_instrument (pp_phase "record") r.w_record (pp_phase "replay")
+    r.w_replay
+    (String.concat ", "
+       (List.map
+          (fun (n, s) -> Fmt.str {|"%s": %.6f|} n s)
+          r.w_stages))
+    (rec_rep r)
 
 (** Run the wall benchmark over [benches] and print the JSON document.
-    Fans out on the harness pool when one is installed: each benchmark
-    is timed within a single domain, so per-bench timings remain
-    meaningful (cross-bench contention can only slow them down, which
-    the mean/min split and the regression tolerance absorb). *)
+    Benches run one after another; the harness pool (when installed) is
+    threaded {e inside} each pipeline, so the analyze phase measures the
+    parallel static pipeline at full [-j N] width rather than one
+    serial analyze per domain. *)
 let run ?(benches = Bench_progs.Registry.all) ~reps () =
+  let pool = Harness.pool () in
+  let jobs = match pool with Some p -> Par.Pool.size p | None -> 1 in
   let t0 = now_s () in
-  let rows = Harness.par_map (fun b -> measure_wall ~reps b) benches in
+  let rows = List.map (fun b -> measure_wall ?pool ~reps b) benches in
   let total = now_s () -. t0 in
-  Fmt.pr
-    {|{"schema": "chimera-wall-bench/1", "reps": %d, "workers": 4, "cores": 4,
+  Harness.emit_json
+    (Fmt.str
+       {|{"schema": "chimera-wall-bench/2", "reps": %d, "workers": 4, "cores": 4, "jobs": %d,
  "benches": [
 %s
  ],
  "total_wall_s": %.3f}
 |}
-    reps
-    (String.concat ",\n" (List.map row_json rows))
-    total
+       reps jobs
+       (String.concat ",\n" (List.map row_json rows))
+       total)
 
 (* ------------------------------------------------------------------ *)
-(* Minimal JSON reader for the comparison gate (no JSON dep in-tree) *)
+(* The comparison gate (shared Bjson reader) *)
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
+type cmp_row = {
+  c_name : string;
+  c_rec_rep : float;
+  c_analyze : float;  (** cold analyze mean; 0 when absent *)
+  c_warm : float;  (** warm-cache analyze mean; 0 when absent *)
+}
 
-  exception Bad of string
-
-  let parse (s : string) : t =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail m = raise (Bad (Fmt.str "%s at byte %d" m !pos)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let skip_ws () =
-      while
-        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-      do
-        incr pos
-      done
-    in
-    let expect c =
-      if !pos < n && s.[!pos] = c then incr pos
-      else fail (Fmt.str "expected %c" c)
-    in
-    let string_lit () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then fail "unterminated string";
-        match s.[!pos] with
-        | '"' -> incr pos
-        | '\\' ->
-            incr pos;
-            if !pos >= n then fail "bad escape";
-            (match s.[!pos] with
-            | 'n' -> Buffer.add_char b '\n'
-            | 't' -> Buffer.add_char b '\t'
-            | c -> Buffer.add_char b c);
-            incr pos;
-            go ()
-        | c ->
-            Buffer.add_char b c;
-            incr pos;
-            go ()
-      in
-      go ();
-      Buffer.contents b
-    in
-    let number () =
-      let start = !pos in
-      while
-        !pos < n
-        && (match s.[!pos] with
-           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-           | _ -> false)
-      do
-        incr pos
-      done;
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> f
-      | None -> fail "bad number"
-    in
-    let lit word v =
-      if
-        !pos + String.length word <= n
-        && String.sub s !pos (String.length word) = word
-      then begin
-        pos := !pos + String.length word;
-        v
-      end
-      else fail ("expected " ^ word)
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | Some '"' -> Str (string_lit ())
-      | Some '{' ->
-          incr pos;
-          skip_ws ();
-          if peek () = Some '}' then begin incr pos; Obj [] end
-          else begin
-            let rec members acc =
-              skip_ws ();
-              let k = string_lit () in
-              skip_ws ();
-              expect ':';
-              let v = value () in
-              skip_ws ();
-              match peek () with
-              | Some ',' ->
-                  incr pos;
-                  members ((k, v) :: acc)
-              | Some '}' ->
-                  incr pos;
-                  List.rev ((k, v) :: acc)
-              | _ -> fail "expected , or } in object"
-            in
-            Obj (members [])
-          end
-      | Some '[' ->
-          incr pos;
-          skip_ws ();
-          if peek () = Some ']' then begin incr pos; List [] end
-          else begin
-            let rec elems acc =
-              let v = value () in
-              skip_ws ();
-              match peek () with
-              | Some ',' ->
-                  incr pos;
-                  elems (v :: acc)
-              | Some ']' ->
-                  incr pos;
-                  List.rev (v :: acc)
-              | _ -> fail "expected , or ] in array"
-            in
-            List (elems [])
-          end
-      | Some 't' -> lit "true" (Bool true)
-      | Some 'f' -> lit "false" (Bool false)
-      | Some 'n' -> lit "null" Null
-      | Some _ -> Num (number ())
-      | None -> fail "unexpected end of input"
-    in
-    let v = value () in
-    skip_ws ();
-    v
-
-  let mem k = function
-    | Obj kvs -> List.assoc_opt k kvs
-    | _ -> None
-
-  let num_exn what = function
-    | Some (Num f) -> f
-    | _ -> raise (Bad ("missing number " ^ what))
-
-  let str_exn what = function
-    | Some (Str s) -> s
-    | _ -> raise (Bad ("missing string " ^ what))
-end
-
-let read_file path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  s
-
-type cmp_row = { c_name : string; c_rec_rep : float }
-
-let rows_of_json (j : Json.t) : cmp_row list =
-  match Json.mem "benches" j with
-  | Some (Json.List bs) ->
+let rows_of_json (j : Bjson.t) : cmp_row list =
+  match Bjson.mem "benches" j with
+  | Some (Bjson.List bs) ->
       List.map
         (fun b ->
+          let phase name field =
+            match Bjson.mem "phases" b with
+            | Some ph -> Bjson.num_or 0. (Option.bind (Bjson.mem name ph) (Bjson.mem field))
+            | None -> 0.
+          in
           {
-            c_name = Json.str_exn "name" (Json.mem "name" b);
+            c_name = Bjson.str_exn "name" (Bjson.mem "name" b);
             c_rec_rep =
-              Json.num_exn "record_replay_mean_s"
-                (Json.mem "record_replay_mean_s" b);
+              Bjson.num_exn "record_replay_mean_s"
+                (Bjson.mem "record_replay_mean_s" b);
+            c_analyze = phase "analyze" "mean_s";
+            c_warm = phase "analyze_warm" "mean_s";
           })
         bs
-  | _ -> raise (Json.Bad "no benches array")
+  | _ -> raise (Bjson.Bad "no benches array")
 
 (** Compare a fresh wall run against the committed baseline. Exits
-    nonzero when any benchmark's record+replay mean exceeds
-    [max_ratio] x its baseline (a wall-clock regression), or when a
-    baseline benchmark is missing from the new run. Improvements are
-    reported but never fail. *)
-let compare ~baseline ~fresh ~max_ratio =
-  let base = rows_of_json (Json.parse (read_file baseline)) in
-  let cur = rows_of_json (Json.parse (read_file fresh)) in
+    nonzero when any benchmark's record+replay mean — or its cold
+    analyze mean — exceeds [max_ratio] x its baseline (a wall-clock
+    regression), when a baseline benchmark is missing from the new run,
+    or when the fresh run carries warm-cache numbers whose aggregate
+    speedup (sum of cold analyze means / sum of warm means) falls below
+    [min_warm_speedup] (default 10, the incremental-rebuild floor; the
+    aggregate is used because the smallest benches analyze in
+    milliseconds cold). Improvements are reported but never fail. *)
+let compare ?(min_warm_speedup = 10.) ~baseline ~fresh ~max_ratio () =
+  let base = rows_of_json (Bjson.load_file baseline) in
+  let cur = rows_of_json (Bjson.load_file fresh) in
   Fmt.pr "wall-clock regression gate: %s vs baseline %s (tolerance %.2fx)@."
     fresh baseline max_ratio;
-  Fmt.pr "%-10s %14s %14s %9s@." "bench" "baseline-s" "current-s" "ratio";
-  Fmt.pr "%s@." (String.make 52 '-');
+  Fmt.pr "%-10s %12s %12s %7s | %11s %11s %7s@." "bench" "base-recrep"
+    "cur-recrep" "ratio" "base-an" "cur-an" "ratio";
+  Fmt.pr "%s@." (String.make 80 '-');
   let failed = ref false in
+  let ratio cur base = cur /. Float.max 1e-9 base in
   List.iter
     (fun b ->
       match List.find_opt (fun c -> c.c_name = b.c_name) cur with
       | None ->
           failed := true;
-          Fmt.pr "%-10s %14.4f %14s %9s  MISSING@." b.c_name b.c_rec_rep "-" "-"
+          Fmt.pr "%-10s %12.4f %12s %7s | %11.4f %11s %7s  MISSING@." b.c_name
+            b.c_rec_rep "-" "-" b.c_analyze "-" "-"
       | Some c ->
-          let ratio = c.c_rec_rep /. Float.max 1e-9 b.c_rec_rep in
-          let flag = if ratio > max_ratio then "  REGRESSED" else "" in
-          if ratio > max_ratio then failed := true;
-          Fmt.pr "%-10s %14.4f %14.4f %8.2fx%s@." b.c_name b.c_rec_rep
-            c.c_rec_rep ratio flag)
+          let rr = ratio c.c_rec_rep b.c_rec_rep in
+          let ra =
+            (* analyze gate only when the baseline carries the phase *)
+            if b.c_analyze > 0. then ratio c.c_analyze b.c_analyze else 0.
+          in
+          let bad_rr = rr > max_ratio in
+          let bad_an = ra > max_ratio in
+          if bad_rr || bad_an then failed := true;
+          Fmt.pr "%-10s %12.4f %12.4f %6.2fx | %11.4f %11.4f %6.2fx%s%s@."
+            b.c_name b.c_rec_rep c.c_rec_rep rr b.c_analyze c.c_analyze ra
+            (if bad_rr then "  REC/REP REGRESSED" else "")
+            (if bad_an then "  ANALYZE REGRESSED" else ""))
     base;
-  let total xs = List.fold_left (fun a r -> a +. r.c_rec_rep) 0. xs in
-  Fmt.pr "%s@." (String.make 52 '-');
-  Fmt.pr "%-10s %14.4f %14.4f %8.2fx@." "total" (total base) (total cur)
-    (total cur /. Float.max 1e-9 (total base));
+  let total f xs = List.fold_left (fun a r -> a +. f r) 0. xs in
+  Fmt.pr "%s@." (String.make 80 '-');
+  Fmt.pr "%-10s %12.4f %12.4f %6.2fx | %11.4f %11.4f %6.2fx@." "total"
+    (total (fun r -> r.c_rec_rep) base)
+    (total (fun r -> r.c_rec_rep) cur)
+    (ratio (total (fun r -> r.c_rec_rep) cur) (total (fun r -> r.c_rec_rep) base))
+    (total (fun r -> r.c_analyze) base)
+    (total (fun r -> r.c_analyze) cur)
+    (ratio (total (fun r -> r.c_analyze) cur) (total (fun r -> r.c_analyze) base));
+  (* warm-cache floor: judged on the fresh run alone, in aggregate *)
+  let warm_total = total (fun r -> r.c_warm) cur in
+  if warm_total > 0. then begin
+    let speedup = total (fun r -> r.c_analyze) cur /. warm_total in
+    let bad = speedup < min_warm_speedup in
+    if bad then failed := true;
+    Fmt.pr "warm-cache analyze speedup (aggregate): %.1fx (floor %.1fx)%s@."
+      speedup min_warm_speedup
+      (if bad then "  TOO SLOW" else "")
+  end;
   if !failed then begin
     Fmt.pr "FAIL: wall-clock regression beyond %.2fx tolerance@." max_ratio;
     exit 1

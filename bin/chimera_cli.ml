@@ -94,9 +94,50 @@ let no_lockopt_arg =
           "Disable the interprocedural must-lockset elision and \
            instrument the raw plan")
 
-let analyze_file ?opts ~profile_runs ?(no_lockopt = false) path =
-  Chimera.Pipeline.analyze ?opts ~profile_runs ~lockopt:(not no_lockopt)
-    (Minic.Parser.parse ~file:path (read_file path))
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan the analysis out over $(docv) domains (SCC-scheduled \
+           summaries, race scans, profiling runs, lockopt dataflow). \
+           Output is byte-identical to $(b,-j 1).")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Bypass the persistent analysis cache (neither read nor write)")
+
+let cache_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Analysis cache directory. Defaults to \\$CHIMERA_CACHE_DIR, \
+           else \\$XDG_CACHE_HOME/chimera, else ~/.cache/chimera.")
+
+let cache_of ~no_cache ~cache_dir =
+  if no_cache then None else Some (Ancache.create ?dir:cache_dir ())
+
+(* damaged-entry diagnostics go to stderr in the same style as the
+   corrupt-replay-log message; routine hit/miss lines stay quiet *)
+let cli_cache_log msg =
+  if String.length msg >= 8 && String.sub msg 0 8 = "warning:" then
+    Fmt.epr "chimera: %s@." msg
+
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Par.Pool.with_pool ~domains:jobs (fun p -> f (Some p))
+
+let analyze_file ?opts ?mhp ?(profile_runs = 8) ?(no_lockopt = false)
+    ~jobs ~no_cache ~cache_dir path =
+  with_jobs jobs (fun pool ->
+      Chimera.Pipeline.analyze ?opts ?mhp ~profile_runs
+        ~lockopt:(not no_lockopt) ?pool
+        ?cache:(cache_of ~no_cache ~cache_dir)
+        ~cache_log:cli_cache_log
+        (Minic.Parser.parse ~file:path (read_file path)))
 
 (* ------------------------------------------------------------------ *)
 
@@ -117,15 +158,23 @@ let races_cmd =
       & info [ "no-mhp" ]
           ~doc:"Disable MHP pruning and print raw RELAY output")
   in
-  let run file explain no_mhp =
-    let _, report = Relay.Detect.analyze ~mhp:(not no_mhp) (load file) in
+  let run file explain no_mhp jobs no_cache cache_dir =
+    (* the report is profile-independent, so the cached pipeline entry is
+       keyed with zero profiling runs and shared across repeated calls *)
+    let an =
+      analyze_file ~mhp:(not no_mhp) ~profile_runs:0 ~jobs ~no_cache
+        ~cache_dir file
+    in
+    let report = an.Chimera.Pipeline.an_report in
     if explain then Fmt.pr "%a@." Relay.Detect.pp_report_explain report
     else Fmt.pr "%a@." Relay.Detect.pp_report report
   in
   Cmd.v
     (Cmd.info "races"
        ~doc:"Static data-race report (RELAY + MHP fork/join pruning)")
-    Term.(const run $ file_arg $ explain_arg $ no_mhp_arg)
+    Term.(
+      const run $ file_arg $ explain_arg $ no_mhp_arg $ jobs_arg
+      $ no_cache_arg $ cache_dir_arg)
 
 let plan_cmd =
   let explain_plan_arg =
@@ -138,8 +187,12 @@ let plan_cmd =
              dominating enclosing region already holds the lock), or \
              elided:callsite (every call site of the function holds it)")
   in
-  let run file profile_runs opts no_lockopt explain_plan =
-    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
+  let run file profile_runs opts no_lockopt jobs no_cache cache_dir
+      explain_plan =
+    let an =
+      analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
+        file
+    in
     if explain_plan then Fmt.pr "%a@." Lockopt.pp_explain an.an_lockopt
     else begin
       Fmt.pr "%a@." Instrument.Plan.pp_summary an.an_plan;
@@ -157,15 +210,20 @@ let plan_cmd =
     (Cmd.info "plan" ~doc:"Weak-lock granularity plan (profiling + bounds)")
     Term.(
       const run $ file_arg $ profile_runs_arg $ opts_arg $ no_lockopt_arg
-      $ explain_plan_arg)
+      $ jobs_arg $ no_cache_arg $ cache_dir_arg $ explain_plan_arg)
 
 let instrument_cmd =
-  let run file profile_runs opts no_lockopt =
-    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
+  let run file profile_runs opts no_lockopt jobs no_cache cache_dir =
+    let an =
+      analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
+        file
+    in
     print_string (Minic.Pretty.program_to_string an.an_instrumented)
   in
   Cmd.v (Cmd.info "instrument" ~doc:"Print the weak-lock-instrumented program")
-    Term.(const run $ file_arg $ profile_runs_arg $ opts_arg $ no_lockopt_arg)
+    Term.(
+      const run $ file_arg $ profile_runs_arg $ opts_arg $ no_lockopt_arg
+      $ jobs_arg $ no_cache_arg $ cache_dir_arg)
 
 let print_outcome (o : Interp.Engine.outcome) =
   List.iter (fun (_, v) -> Fmt.pr "%d@." v) o.o_outputs;
@@ -192,8 +250,12 @@ let run_cmd =
       $ trace_out_arg)
 
 let det_cmd =
-  let run file seed cores io_seed profile_runs opts no_lockopt =
-    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
+  let run file seed cores io_seed profile_runs opts no_lockopt jobs no_cache
+      cache_dir =
+    let an =
+      analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
+        file
+    in
     let o =
       Chimera.Runner.deterministic ~config:(config_of seed cores)
         ~io:(Interp.Iomodel.random ~seed:io_seed) an.an_instrumented
@@ -207,11 +269,16 @@ let det_cmd =
           (same output for every --seed, no logs)")
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ profile_runs_arg $ opts_arg $ no_lockopt_arg)
+      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ jobs_arg
+      $ no_cache_arg $ cache_dir_arg)
 
 let record_cmd =
-  let run file seed cores io_seed profile_runs opts no_lockopt out trace_out =
-    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
+  let run file seed cores io_seed profile_runs opts no_lockopt jobs no_cache
+      cache_dir out trace_out =
+    let an =
+      analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
+        file
+    in
     let sink = sink_for trace_out in
     let r =
       Chimera.Runner.record ~config:(config_of seed cores) ?sink
@@ -230,16 +297,20 @@ let record_cmd =
   Cmd.v (Cmd.info "record" ~doc:"Instrument and record an execution")
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ out_arg
-      $ trace_out_arg)
+      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ jobs_arg
+      $ no_cache_arg $ cache_dir_arg $ out_arg $ trace_out_arg)
 
 (* exit code for a log that fails to decode (distinct from cmdliner's
    reserved 123-125 range and from program exit codes) *)
 let corrupt_log_exit = 3
 
 let replay_cmd =
-  let run file seed cores io_seed profile_runs opts no_lockopt logs trace_out =
-    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
+  let run file seed cores io_seed profile_runs opts no_lockopt jobs no_cache
+      cache_dir logs trace_out =
+    let an =
+      analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
+        file
+    in
     let log =
       try
         Replay.Log.decode
@@ -268,12 +339,16 @@ let replay_cmd =
          :: Cmd.Exit.defaults))
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ logs_arg
-      $ trace_out_arg)
+      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ jobs_arg
+      $ no_cache_arg $ cache_dir_arg $ logs_arg $ trace_out_arg)
 
 let trace_cmd =
-  let run file seed cores io_seed profile_runs opts no_lockopt top trace_out =
-    let an = analyze_file ~opts ~profile_runs ~no_lockopt file in
+  let run file seed cores io_seed profile_runs opts no_lockopt jobs no_cache
+      cache_dir top trace_out =
+    let an =
+      analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
+        file
+    in
     let config = config_of seed cores in
     let io = Interp.Iomodel.random ~seed:io_seed in
     let rec_sink = Trace.Sink.create () in
@@ -333,17 +408,23 @@ let trace_cmd =
           verify the stable event streams match")
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ top_arg
-      $ trace_out_arg)
+      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ jobs_arg
+      $ no_cache_arg $ cache_dir_arg $ top_arg $ trace_out_arg)
 
 let bench_cmd =
-  let run name seed cores workers no_lockopt =
+  let run name seed cores workers no_lockopt jobs no_cache cache_dir =
     let b = Bench_progs.Registry.by_name name in
     let src = b.b_source ~workers ~scale:b.b_eval_scale in
     let an =
-      Chimera.Pipeline.analyze ~profile_runs:8 ~lockopt:(not no_lockopt)
-        ~profile_io:(fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
-        (Minic.Parser.parse ~file:name src)
+      with_jobs jobs (fun pool ->
+          Chimera.Pipeline.analyze ~profile_runs:8 ~lockopt:(not no_lockopt)
+            ~profile_io:(fun i ->
+              b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+            ?pool
+            ?cache:(cache_of ~no_cache ~cache_dir)
+            ~cache_tag:("bench:" ^ name)
+            ~cache_log:cli_cache_log
+            (Minic.Parser.parse ~file:name src))
     in
     let io = b.b_io ~seed:42 ~scale:b.b_eval_scale in
     let config = config_of seed cores in
@@ -387,7 +468,38 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Run the full pipeline on a built-in benchmark")
     Term.(
       const run $ name_arg $ seed_arg $ cores_arg $ workers_arg
-      $ no_lockopt_arg)
+      $ no_lockopt_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
+
+let cache_cmd =
+  let stats_cmd =
+    let run cache_dir =
+      let c = Ancache.create ?dir:cache_dir () in
+      let s = Ancache.stats c in
+      Fmt.pr "dir: %s@.entries: %d@.bytes: %d@." (Ancache.dir c)
+        s.Ancache.st_entries s.Ancache.st_bytes
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Print the cache directory, entry count and size")
+      Term.(const run $ cache_dir_arg)
+  in
+  let clear_cmd =
+    let run cache_dir =
+      let c = Ancache.create ?dir:cache_dir () in
+      let n = Ancache.clear c in
+      Fmt.pr "removed %d entr%s from %s@." n
+        (if n = 1 then "y" else "ies")
+        (Ancache.dir c)
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Delete every entry in the analysis cache")
+      Term.(const run $ cache_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clear the persistent analysis cache used by the \
+          analyze-consuming subcommands")
+    [ stats_cmd; clear_cmd ]
 
 let () =
   let doc = "Chimera: hybrid program analysis for deterministic replay" in
@@ -395,4 +507,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "chimera" ~version:"1.0.0" ~doc)
           [ races_cmd; plan_cmd; instrument_cmd; run_cmd; det_cmd;
-            record_cmd; replay_cmd; trace_cmd; bench_cmd ]))
+            record_cmd; replay_cmd; trace_cmd; bench_cmd; cache_cmd ]))

@@ -1,0 +1,48 @@
+(** Persistent on-disk analysis cache: one content-addressed entry per
+    file, with a per-entry checksum and typed miss reasons so damaged
+    stores degrade to recomputation, never to a crash (DESIGN.md §11). *)
+
+type t
+
+(** Entry-format magic, first line of every entry. *)
+val magic : string
+
+(** Analysis-semantics version; callers fold it into every key so a new
+    tool version misses (rather than misreads) old entries. *)
+val tool_version : string
+
+type miss =
+  | Absent
+  | Truncated
+  | Checksum_mismatch
+  | Version_mismatch
+  | Unreadable of string
+
+val pp_miss : miss Fmt.t
+
+(** [$CHIMERA_CACHE_DIR], else [$XDG_CACHE_HOME/chimera], else
+    [$HOME/.cache/chimera]. *)
+val default_dir : unit -> string
+
+(** [create ?dir ()] — nothing touches the filesystem until the first
+    {!find}/{!put}. [dir] defaults to {!default_dir}. *)
+val create : ?dir:string -> unit -> t
+
+val dir : t -> string
+
+(** Hex digest of the given strings — the canonical way to build a key. *)
+val key_of_parts : string list -> string
+
+(** Never raises on a damaged store: every failure mode is a {!miss}. *)
+val find : t -> key:string -> (string, miss) result
+
+(** Atomic (temp + rename) best-effort store; [false] on I/O failure —
+    a cache write must never fail the analysis. *)
+val put : t -> key:string -> string -> bool
+
+type stats = { st_entries : int; st_bytes : int }
+
+val stats : t -> stats
+
+(** Delete all entries; returns the number removed. *)
+val clear : t -> int

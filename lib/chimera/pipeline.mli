@@ -15,6 +15,19 @@ type analysis = {
       (** the data-race-free transformed program *)
 }
 
+(** The cache key {!analyze} uses for a program under the given options
+    (exposed for tests and cache tooling). [cache_tag] must cover any
+    non-default [profile_io]. *)
+val cache_key :
+  opts:Instrument.Plan.options ->
+  profile_runs:int ->
+  profile_config:Interp.Engine.config ->
+  mhp:bool ->
+  lockopt:bool ->
+  cache_tag:string ->
+  Minic.Ast.program ->
+  string
+
 (** Run the static + profiling pipeline. [profile_runs] defaults to 20
     (paper Section 7.1); [profile_io] supplies per-run input models
     (profiling inputs should differ from evaluation inputs); [opts]
@@ -22,8 +35,17 @@ type analysis = {
     {!Instrument.Plan}); [mhp] (default on) statically prunes race pairs
     that fork/join ordering serializes (see {!Mhp}); [lockopt] (default
     on) elides acquisitions the interprocedural must-lockset analysis
-    proves redundant (see {!Lockopt}); [pool] fans the profile runs out
-    across domains (observationally identical to serial). *)
+    proves redundant (see {!Lockopt}); [pool] fans out the profile runs,
+    the SCC-scheduled summaries, the per-object race scans and the
+    per-function lockopt dataflow (all observationally identical to
+    serial).
+
+    [cache] consults/updates a persistent {!Ancache} store: a hit skips
+    every stage; damaged entries fall back to recomputation and are
+    overwritten; [cache_tag] (default ["default"]) must distinguish any
+    custom [profile_io]. [stage_sink] receives [(stage, seconds)] per
+    timed stage (["pointer"], ["relay"], ["mhp"], ["profile"], ["plan"],
+    ["lockopt"]); [cache_log] receives one-line cache diagnostics. *)
 val analyze :
   ?opts:Instrument.Plan.options ->
   ?profile_runs:int ->
@@ -32,6 +54,10 @@ val analyze :
   ?mhp:bool ->
   ?lockopt:bool ->
   ?pool:Par.Pool.t ->
+  ?cache:Ancache.t ->
+  ?cache_tag:string ->
+  ?stage_sink:(string -> float -> unit) ->
+  ?cache_log:(string -> unit) ->
   Minic.Ast.program ->
   analysis
 
@@ -43,6 +69,10 @@ val analyze_source :
   ?mhp:bool ->
   ?lockopt:bool ->
   ?pool:Par.Pool.t ->
+  ?cache:Ancache.t ->
+  ?cache_tag:string ->
+  ?stage_sink:(string -> float -> unit) ->
+  ?cache_log:(string -> unit) ->
   ?file:string ->
   string ->
   analysis

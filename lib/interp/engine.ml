@@ -268,6 +268,10 @@ type t = {
       (** per-[WeakEnter] canonical acquisition order, as a permutation
           of the statement's acquisition list (the locks are static per
           statement, so the sort need only happen once) *)
+  cbodies : (string, thread -> frame -> unit) Hashtbl.t;
+      (** per-function staged bodies: each body is closure-compiled on
+          its first call, with variable offsets, field offsets, element
+          sizes, and static types resolved once instead of per access *)
 }
 
 let trace_enabled =
@@ -304,6 +308,12 @@ let on_mem eng (th : thread) (p : Value.ptr) ~write ~sid =
   match eng.hooks.on_mem with
   | Some f -> f th.tid (Mem.addr_key eng.mem p) ~write ~sid
   | None -> ()
+
+(* Pairs the operand values of a compiled binary operation through a
+   function application, so the operands evaluate in the same
+   (right-to-left) order as the interpreted [binop eng op (eval a)
+   (eval b)] call they replace. *)
+let binop_args (va : Value.t) (vb : Value.t) = (va, vb)
 
 (* The address computation also yields the lvalue's static type: the
    callers need it for array decay and pointer-arithmetic scaling, and
@@ -607,7 +617,7 @@ let record_weak eng th (lock : weak_lock) ~(claim : Replay.Log.sclaim) =
 let stable_claim eng (claim : WL.claim) : Replay.Log.sclaim =
   List.filter_map
     (fun (r : WL.range) ->
-      match Hashtbl.find_opt eng.mem.Mem.blocks r.WL.rg_block with
+      match Mem.find_opt eng.mem r.WL.rg_block with
       | Some b ->
           Some
             {
@@ -1285,7 +1295,7 @@ let rec exec_fun eng th (fname : string) (args : Value.t list) : Value.t =
   let region_depth = List.length th.regions in
   let ret =
     try
-      exec_block eng th fr fd.f_body;
+      compiled_body eng fd th fr;
       Value.zero
     with Return_value v -> v
   in
@@ -1505,6 +1515,359 @@ and exec_builtin eng th fr (s : stmt) ret (b : builtin) (args : exp list) :
       raise (Program_exit (Value.to_int (eval eng th fr ~sid e)))
   | _ ->
       Value.fault "builtin %s: bad arity" (builtin_name b)
+
+(* ------------------------------------------------------------------ *)
+(* Closure compilation.
+
+   Each function body is staged once, on its first call, into a tree of
+   closures with variable offsets, field offsets, element sizes, and
+   static lvalue types resolved at compile time. The compiled code
+   performs exactly the same [step] effects, memory-hook events, loads,
+   stores, and faults in exactly the same order as the interpreted
+   [exec_stmt]/[eval] above — it only skips the repeated AST dispatch
+   and the per-access string-keyed table lookups, which dominate the
+   per-statement cost of the tree walker. Any node the compiler cannot
+   resolve statically falls back to the interpreted evaluator for that
+   node, so compilation never changes observable behavior (the golden
+   tick pins and the record/replay determinism suites hold the two
+   implementations to the same trace). *)
+
+and compiled_body eng (fd : fundec) : thread -> frame -> unit =
+  match Hashtbl.find_opt eng.cbodies fd.f_name with
+  | Some cb -> cb
+  | None ->
+      let cb = compile_block eng fd fd.f_body in
+      Hashtbl.replace eng.cbodies fd.f_name cb;
+      cb
+
+and compile_block eng fd (b : block) : thread -> frame -> unit =
+  match List.map (compile_stmt eng fd) b with
+  | [] -> fun _ _ -> ()
+  | [ c ] -> c
+  | cs -> fun th fr -> List.iter (fun c -> c th fr) cs
+
+and compile_stmt eng fd (s : stmt) : thread -> frame -> unit =
+  match compile_stmt_unsafe eng fd s with
+  | c -> c
+  | exception _ -> fun th fr -> exec_stmt eng th fr s
+
+and compile_stmt_unsafe eng fd (s : stmt) : thread -> frame -> unit =
+  let offsets, _ = layout_of eng fd in
+  let env = fun_env_of eng fd in
+  let sid = s.sid in
+  let cost = eng.cfg.cost in
+  let on_stmt th =
+    match eng.hooks.on_stmt with Some f -> f th.tid sid | None -> ()
+  in
+  match s.skind with
+  | Assign (lv, e) ->
+      let ce = compile_exp eng ~offsets ~env ~sid e in
+      let caddr, _ = compile_lval eng ~offsets ~env ~sid lv in
+      fun th fr ->
+        on_stmt th;
+        eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+        step cost.c_stmt;
+        let v = ce th fr in
+        (* separate scheduling point between the read(s) and the write,
+           as in [exec_stmt] *)
+        step 1;
+        let p = caddr th fr in
+        on_mem eng th p ~write:true ~sid;
+        Mem.store eng.mem p v
+  | Call (ret, tgt, args) ->
+      let ctgt =
+        match tgt with
+        | Direct f -> Either.Left f
+        | ViaPtr e -> Either.Right (compile_exp eng ~offsets ~env ~sid e)
+      in
+      let cargs = List.map (compile_exp eng ~offsets ~env ~sid) args in
+      let cret =
+        Option.map
+          (fun lv -> fst (compile_lval eng ~offsets ~env ~sid lv))
+          ret
+      in
+      fun th fr ->
+        on_stmt th;
+        eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+        step cost.c_stmt;
+        let fname =
+          match ctgt with
+          | Either.Left f -> f
+          | Either.Right ce -> (
+              match ce th fr with
+              | Value.VFun f -> f
+              | Value.VPtr _ | Value.VInt _ ->
+                  Value.fault "indirect call through non-function value")
+        in
+        let argv = List.map (fun c -> c th fr) cargs in
+        let v = exec_fun eng th fname argv in
+        (match cret with
+        | Some caddr ->
+            let p = caddr th fr in
+            on_mem eng th p ~write:true ~sid;
+            Mem.store eng.mem p v
+        | None -> ())
+  | Builtin (ret, b, args) ->
+      fun th fr ->
+        on_stmt th;
+        eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+        exec_builtin eng th fr s ret b args
+  | If (c, b1, b2) ->
+      let cc = compile_exp eng ~offsets ~env ~sid c in
+      let cb1 = compile_block eng fd b1 in
+      let cb2 = compile_block eng fd b2 in
+      fun th fr ->
+        on_stmt th;
+        eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+        step cost.c_stmt;
+        if Value.truthy (cc th fr) then cb1 th fr else cb2 th fr
+  | While (c, body, li) ->
+      let cc = compile_exp eng ~offsets ~env ~sid c in
+      let cbody = compile_block eng fd body in
+      let cstep = Option.map (compile_stmt eng fd) li.l_step in
+      fun th fr ->
+        on_stmt th;
+        eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+        (match eng.hooks.on_loop_enter with
+        | Some f -> f th.tid li.lid
+        | None -> ());
+        (try
+           while
+             step cost.c_stmt;
+             Value.truthy (cc th fr)
+           do
+             (match eng.hooks.on_loop_iter with
+             | Some f -> f th.tid li.lid
+             | None -> ());
+             try cbody th fr
+             with Cnt ->
+               (* continue in a for-loop still executes the increment *)
+               Option.iter (fun c -> c th fr) cstep
+           done
+         with Brk -> ());
+        (match eng.hooks.on_loop_exit with
+        | Some f -> f th.tid li.lid
+        | None -> ())
+  | Return e ->
+      let ce = Option.map (compile_exp eng ~offsets ~env ~sid) e in
+      fun th fr ->
+        on_stmt th;
+        eng.stats.n_stmts <- eng.stats.n_stmts + 1;
+        step cost.c_stmt;
+        let v = match ce with Some c -> c th fr | None -> Value.zero in
+        raise (Return_value v)
+  | Break ->
+      fun th _fr ->
+        on_stmt th;
+        step 1;
+        raise Brk
+  | Continue ->
+      fun th _fr ->
+        on_stmt th;
+        step 1;
+        raise Cnt
+  | WeakEnter acqs ->
+      fun th fr ->
+        on_stmt th;
+        weak_enter eng th fr ~sid acqs
+  | WeakExit locks ->
+      fun th _fr ->
+        on_stmt th;
+        weak_exit eng th locks
+
+and compile_exp eng ~offsets ~env ~sid (e : exp) : thread -> frame -> Value.t
+    =
+  match compile_exp_unsafe eng ~offsets ~env ~sid e with
+  | c -> c
+  | exception _ -> fun th fr -> eval eng th fr ~sid e
+
+and compile_exp_unsafe eng ~offsets ~env ~sid (e : exp) :
+    thread -> frame -> Value.t =
+  match e with
+  | Const n ->
+      let v = Value.VInt n in
+      fun _ _ -> v
+  | Lval (Var v) -> (
+      match Hashtbl.find_opt offsets v with
+      | Some (off, Tarray _) ->
+          fun _ fr -> VPtr { Value.p_block = fr.fr_block; p_off = off }
+      | Some (off, _) ->
+          fun th fr ->
+            let p = { Value.p_block = fr.fr_block; p_off = off } in
+            on_mem eng th p ~write:false ~sid;
+            Mem.load eng.mem p
+      | None ->
+          if Hashtbl.mem eng.tenv.funs v then (
+            let r = Value.VFun v in
+            fun _ _ -> r)
+          else (
+            match Hashtbl.find_opt eng.globals v with
+            | Some bid -> (
+                match Hashtbl.find_opt eng.tenv.globals v with
+                | Some (Tarray _) ->
+                    let r = Value.VPtr { Value.p_block = bid; p_off = 0 } in
+                    fun _ _ -> r
+                | _ ->
+                    let p = { Value.p_block = bid; p_off = 0 } in
+                    fun th _ ->
+                      on_mem eng th p ~write:false ~sid;
+                      Mem.load eng.mem p)
+            | None -> fun _ _ -> Value.fault "unbound variable %s" v))
+  | Lval lv -> (
+      (* arrays decay to their address in expression position *)
+      let caddr, ty = compile_lval eng ~offsets ~env ~sid lv in
+      match ty with
+      | Tarray _ -> fun th fr -> VPtr (caddr th fr)
+      | _ ->
+          fun th fr ->
+            let p = caddr th fr in
+            on_mem eng th p ~write:false ~sid;
+            Mem.load eng.mem p)
+  | AddrOf (Var v)
+    when (not (Hashtbl.mem offsets v)) && Hashtbl.mem eng.tenv.funs v ->
+      let r = Value.VFun v in
+      fun _ _ -> r
+  | AddrOf lv ->
+      let caddr, _ = compile_lval eng ~offsets ~env ~sid lv in
+      fun th fr -> VPtr (caddr th fr)
+  | Unop (op, e) -> (
+      let ce = compile_exp eng ~offsets ~env ~sid e in
+      match op with
+      | Neg -> fun th fr -> VInt (-Value.to_int (ce th fr))
+      | LNot -> fun th fr -> VInt (if Value.truthy (ce th fr) then 0 else 1)
+      | BNot -> fun th fr -> VInt (lnot (Value.to_int (ce th fr))))
+  | Binop (LAnd, a, b) ->
+      let ca = compile_exp eng ~offsets ~env ~sid a in
+      let cb = compile_exp eng ~offsets ~env ~sid b in
+      fun th fr ->
+        if Value.truthy (ca th fr) then
+          VInt (if Value.truthy (cb th fr) then 1 else 0)
+        else VInt 0
+  | Binop (LOr, a, b) ->
+      let ca = compile_exp eng ~offsets ~env ~sid a in
+      let cb = compile_exp eng ~offsets ~env ~sid b in
+      fun th fr ->
+        if Value.truthy (ca th fr) then VInt 1
+        else VInt (if Value.truthy (cb th fr) then 1 else 0)
+  | Binop (op, a, b) -> (
+      let ca = compile_exp eng ~offsets ~env ~sid a in
+      let cb = compile_exp eng ~offsets ~env ~sid b in
+      (* the operator is matched once here; each specialized closure
+         keeps the interpreted [binop]'s value-shape dispatch (pointer
+         arithmetic / comparisons first, then the int case, then the
+         ill-typed fault) and its right-to-left argument order *)
+      let general op' = fun th fr -> binop eng op' (ca th fr) (cb th fr) in
+      let int_cmp cmp =
+        fun th fr ->
+          match binop_args (ca th fr) (cb th fr) with
+          | Value.VInt x, Value.VInt y ->
+              Value.VInt (if cmp x y then 1 else 0)
+          | va, vb -> binop eng op va vb
+      in
+      match op with
+      | Add ->
+          fun th fr -> (
+            match binop_args (ca th fr) (cb th fr) with
+            | Value.VInt x, Value.VInt y -> Value.VInt (x + y)
+            | va, vb -> binop eng Add va vb)
+      | Sub ->
+          fun th fr -> (
+            match binop_args (ca th fr) (cb th fr) with
+            | Value.VInt x, Value.VInt y -> Value.VInt (x - y)
+            | va, vb -> binop eng Sub va vb)
+      | Mul ->
+          fun th fr -> (
+            match binop_args (ca th fr) (cb th fr) with
+            | Value.VInt x, Value.VInt y -> Value.VInt (x * y)
+            | va, vb -> binop eng Mul va vb)
+      | Lt -> int_cmp ( < )
+      | Le -> int_cmp ( <= )
+      | Gt -> int_cmp ( > )
+      | Ge -> int_cmp ( >= )
+      | Eq -> int_cmp ( = )
+      | Ne -> int_cmp ( <> )
+      | op -> general op)
+
+and compile_lval eng ~offsets ~env ~sid (lv : lval) :
+    (thread -> frame -> Value.ptr) * ty =
+  match lv with
+  | Var v -> (
+      match Hashtbl.find_opt offsets v with
+      | Some (off, ty) ->
+          ((fun _ fr -> { Value.p_block = fr.fr_block; p_off = off }), ty)
+      | None -> (
+          match Hashtbl.find_opt eng.globals v with
+          | Some bid ->
+              let ty =
+                match Hashtbl.find_opt eng.tenv.globals v with
+                | Some t -> t
+                | None -> Tint
+              in
+              let p = { Value.p_block = bid; p_off = 0 } in
+              ((fun _ _ -> p), ty)
+          | None ->
+              ((fun _ _ -> Value.fault "unbound variable %s" v), Tint)))
+  | Deref e ->
+      let ce = compile_exp eng ~offsets ~env ~sid e in
+      let ty =
+        match Minic.Typecheck.type_of_exp env e with
+        | Tptr t | Tarray (t, _) -> t
+        | _ -> Tint (* int treated as address of int cells; loose *)
+      in
+      ( (fun th fr ->
+          match ce th fr with
+          | Value.VPtr p -> p
+          | v -> Value.fault "dereference of non-pointer %a" Value.pp v),
+        ty )
+  | Index (base, idx) ->
+      let cbase, bty = compile_lval eng ~offsets ~env ~sid base in
+      let cidx = compile_exp eng ~offsets ~env ~sid idx in
+      let ety =
+        match bty with Tptr t -> t | Tarray (t, _) -> t | t -> t
+      in
+      let es = Layout.sizeof eng.layout ety in
+      let celem =
+        (* indexing through a pointer variable loads the pointer first *)
+        match bty with
+        | Tptr _ ->
+            fun th fr ->
+              let p = cbase th fr in
+              on_mem eng th p ~write:false ~sid;
+              (match Mem.load eng.mem p with
+              | Value.VPtr q -> q
+              | v -> Value.fault "indexing non-pointer %a" Value.pp v)
+        | _ -> cbase
+      in
+      ( (fun th fr ->
+          let q = celem th fr in
+          let i = Value.to_int (cidx th fr) in
+          { q with p_off = q.p_off + (i * es) }),
+        ety )
+  | Field (base, f) ->
+      let cbase, bty = compile_lval eng ~offsets ~env ~sid base in
+      let sname =
+        match bty with
+        | Tstruct s -> s
+        | t -> Value.fault "field access on %a" Minic.Ast.pp_ty t
+      in
+      let off, fty = Layout.field_offset eng.layout sname f in
+      ( (fun th fr ->
+          let p = cbase th fr in
+          { p with p_off = p.p_off + off }),
+        fty )
+  | Arrow (e, f) ->
+      let ce = compile_exp eng ~offsets ~env ~sid e in
+      let sname =
+        match Minic.Typecheck.type_of_exp env e with
+        | Tptr (Tstruct s) -> s
+        | t -> Value.fault "-> on %a" Minic.Ast.pp_ty t
+      in
+      let off, fty = Layout.field_offset eng.layout sname f in
+      ( (fun th fr ->
+          match ce th fr with
+          | Value.VPtr p -> { p with p_off = p.p_off + off }
+          | v -> Value.fault "-> on non-pointer %a" Value.pp v),
+        fty )
 
 (* ------------------------------------------------------------------ *)
 (* Thread lifecycle *)
@@ -1906,6 +2269,7 @@ let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ?sink ~mode
       fenvs = Hashtbl.create 64;
       flayouts = Hashtbl.create 64;
       sid_sort_perm = Hashtbl.create 64;
+      cbodies = Hashtbl.create 64;
     }
   in
   (* allocate and initialize globals *)

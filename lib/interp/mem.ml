@@ -4,7 +4,13 @@
     Every block carries a schedule-independent {!Runtime.Key.origin} so
     that log events and the final-state hash are comparable between a
     recording and a replay that allocated blocks in a different global
-    order. *)
+    order.
+
+    Block ids are dense (allocated 1, 2, 3, ...), so the table is a
+    growable array indexed by id rather than a hash table: every load and
+    store resolves its block with a bounds check and an array read, which
+    matters — the interpreter goes through here for each memory access of
+    every simulated statement. *)
 
 open Runtime
 
@@ -16,11 +22,15 @@ type block = {
 }
 
 type t = {
-  blocks : (int, block) Hashtbl.t;
+  mutable blocks : block option array;  (** indexed by block id *)
   mutable next_id : int;
 }
 
-let create () = { blocks = Hashtbl.create 256; next_id = 1 }
+let create () = { blocks = Array.make 1024 None; next_id = 1 }
+
+let find_opt (m : t) (id : int) : block option =
+  if id >= 0 && id < Array.length m.blocks then Array.unsafe_get m.blocks id
+  else None
 
 let alloc (m : t) (origin : Key.origin) (size : int) : block =
   let b =
@@ -32,16 +42,20 @@ let alloc (m : t) (origin : Key.origin) (size : int) : block =
     }
   in
   m.next_id <- m.next_id + 1;
-  Hashtbl.replace m.blocks b.b_id b;
+  let n = Array.length m.blocks in
+  if b.b_id >= n then begin
+    let bigger = Array.make (max (2 * n) (b.b_id + 1)) None in
+    Array.blit m.blocks 0 bigger 0 n;
+    m.blocks <- bigger
+  end;
+  m.blocks.(b.b_id) <- Some b;
   b
 
 let free (m : t) (id : int) =
-  match Hashtbl.find_opt m.blocks id with
-  | Some b -> b.b_freed <- true
-  | None -> ()
+  match find_opt m id with Some b -> b.b_freed <- true | None -> ()
 
 let block (m : t) (id : int) : block =
-  match Hashtbl.find_opt m.blocks id with
+  match find_opt m id with
   | Some b when not b.b_freed -> b
   | Some _ -> Value.fault "use of freed block b%d" id
   | None -> Value.fault "invalid block b%d" id
@@ -51,14 +65,14 @@ let load (m : t) (p : Value.ptr) : Value.t =
   if p.p_off < 0 || p.p_off >= Array.length b.cells then
     Value.fault "out-of-bounds load at %a+%d (size %d)" Key.pp_origin
       b.b_origin p.p_off (Array.length b.cells)
-  else b.cells.(p.p_off)
+  else Array.unsafe_get b.cells p.p_off
 
 let store (m : t) (p : Value.ptr) (v : Value.t) : unit =
   let b = block m p.p_block in
   if p.p_off < 0 || p.p_off >= Array.length b.cells then
     Value.fault "out-of-bounds store at %a+%d (size %d)" Key.pp_origin
       b.b_origin p.p_off (Array.length b.cells)
-  else b.cells.(p.p_off) <- v
+  else Array.unsafe_set b.cells p.p_off v
 
 (** Stable address of a pointer, for log keys. *)
 let addr_key (m : t) (p : Value.ptr) : Key.addr =
@@ -73,21 +87,24 @@ let state_hash (m : t) : int =
   let canon_value (v : Value.t) =
     match v with
     | Value.VPtr p -> (
-        match Hashtbl.find_opt m.blocks p.p_block with
+        match find_opt m p.p_block with
         | Some b -> Fmt.str "ptr(%a+%d)" Key.pp_origin b.b_origin p.p_off
         | None -> "ptr(dead)")
     | Value.VInt n -> string_of_int n
     | Value.VFun f -> "&" ^ f
   in
   let entries = ref [] in
-  Hashtbl.iter
-    (fun _ b ->
-      match b.b_origin with
-      | Key.OGlobal _ | Key.OHeap _ when not b.b_freed ->
-          entries :=
-            Fmt.str "%a=%s" Key.pp_origin b.b_origin
-              (String.concat "," (Array.to_list (Array.map canon_value b.cells)))
-            :: !entries
-      | _ -> ())
+  Array.iter
+    (function
+      | Some b -> (
+          match b.b_origin with
+          | Key.OGlobal _ | Key.OHeap _ when not b.b_freed ->
+              entries :=
+                Fmt.str "%a=%s" Key.pp_origin b.b_origin
+                  (String.concat ","
+                     (Array.to_list (Array.map canon_value b.cells)))
+                :: !entries
+          | _ -> ())
+      | None -> ())
     m.blocks;
   Hashtbl.hash (List.sort compare !entries)

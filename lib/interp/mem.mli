@@ -11,13 +11,16 @@ type block = {
 }
 
 type t = {
-  blocks : (int, block) Hashtbl.t;
+  mutable blocks : block option array;  (** indexed by (dense) block id *)
   mutable next_id : int;
 }
 
 val create : unit -> t
 val alloc : t -> Runtime.Key.origin -> int -> block
 val free : t -> int -> unit
+
+(** [None] on an unknown id; freed blocks are still returned. *)
+val find_opt : t -> int -> block option
 
 (** Raises {!Value.Fault} on a freed or unknown block. *)
 val block : t -> int -> block

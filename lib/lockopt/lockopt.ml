@@ -343,7 +343,17 @@ let entries_of (p : program) (plan : Plan.t)
            (a.e_region, a.e_acq.wa_lock)
            (b.e_region, b.e_acq.wa_lock))
 
-let optimize (p : program) (plan : Plan.t) (cg : Cg.t) : Plan.t * report =
+(* what one function's dataflow reports back: region-entry coverage
+   verdicts and per-call-site must-held contexts, in CFG traversal
+   order. Pure data, so functions can be analyzed concurrently and
+   their events replayed serially. *)
+type fn_events = {
+  ev_enters : (Plan.region list * bool * prov) list;
+  ev_calls : (string * weak_acq list) list;
+}
+
+let optimize ?(pool : Par.Pool.t option) (p : program) (plan : Plan.t)
+    (cg : Cg.t) : Plan.t * report =
   let prog_i, origin = Instrument.Transform.apply_mapped p plan in
   (* functions whose entry context is pinned to "nothing held": thread
      roots (main + spawn targets), address-taken functions (indirect
@@ -366,76 +376,102 @@ let optimize (p : program) (plan : Plan.t) (cg : Cg.t) : Plan.t * report =
   (* per-callee sanitized must-held sets, one per live call site *)
   let call_ctx : (string, weak_acq list list) Hashtbl.t = Hashtbl.create 32 in
   let processed = Hashtbl.create 16 in
-  let order = List.rev (Cg.bottom_up_order cg p) in
-  List.iter
-    (fun f ->
-      match find_fun prog_i f with
-      | None -> ()
-      | Some fd_i ->
-          let ctx =
-            if Hashtbl.mem poisoned f then []
-            else
-              let callers =
-                Option.value
-                  (Hashtbl.find_opt cg.Cg.cg_callers f)
-                  ~default:[]
-              in
-              if
-                callers = []
-                || List.exists
-                     (fun c -> not (Hashtbl.mem processed c))
-                     callers
-              then []
-              else
-                match Hashtbl.find_opt call_ctx f with
-                | None | Some [] -> [] (* no live call site observed *)
-                | Some (first :: rest) ->
-                    List.fold_left meet_acqs first rest
-          in
-          let stable = stable_pred fd_i in
-          let record_enter ~idom ~node ~sid ~top acqs =
-            match Hashtbl.find_opt origin sid with
-            | None | Some [] -> ()
-            | Some regions ->
-                let covered, prv =
-                  match top with
-                  | None -> (false, Kept)
-                  | Some t ->
-                      let usable, prv =
-                        if t.lv_node = -1 then (true, Elided_callsite)
-                        else if
-                          t.lv_node >= 0 && Cfg.dominates idom t.lv_node node
-                        then (true, Elided_dominated)
-                        else (false, Kept)
-                      in
-                      if
-                        usable && acqs <> []
-                        && List.for_all (acq_covered stable t.lv_acqs) acqs
-                      then (true, prv)
-                      else (false, Kept)
+  (* the caller-context dataflow is scheduled over the top-down
+     condensation of the call graph: a function's callers all sit in
+     strictly earlier levels (cycle members are poisoned anyway), so
+     every entry context within a level is fixed at level start and the
+     level's functions can run concurrently. Their events replay into
+     [insts]/[call_ctx] serially, in level order; all downstream
+     consumers intersect or quantify over these lists, so the resulting
+     plan and report are identical to a serial run. *)
+  let run_fn (f, fd_i, ctx) =
+    let stable = stable_pred fd_i in
+    let enters = ref [] in
+    let calls = ref [] in
+    let record_enter ~idom ~node ~sid ~top acqs =
+      match Hashtbl.find_opt origin sid with
+      | None | Some [] -> ()
+      | Some regions ->
+          let covered, prv =
+            match top with
+            | None -> (false, Kept)
+            | Some t ->
+                let usable, prv =
+                  if t.lv_node = -1 then (true, Elided_callsite)
+                  else if t.lv_node >= 0 && Cfg.dominates idom t.lv_node node
+                  then (true, Elided_dominated)
+                  else (false, Kept)
                 in
-                List.iter
-                  (fun r ->
-                    let cur =
-                      Option.value (Hashtbl.find_opt insts r) ~default:[]
-                    in
-                    Hashtbl.replace insts r ((covered, prv) :: cur))
-                  regions
+                if
+                  usable && acqs <> []
+                  && List.for_all (acq_covered stable t.lv_acqs) acqs
+                then (true, prv)
+                else (false, Kept)
           in
-          let record_call g top =
-            let acqs =
-              match top with
-              | Some (t : level) -> ctx_sanitize t.lv_acqs
-              | None -> []
-            in
-            let cur =
-              Option.value (Hashtbl.find_opt call_ctx g) ~default:[]
-            in
-            Hashtbl.replace call_ctx g (acqs :: cur)
-          in
-          analyze_fun ~record_enter ~record_call fd_i ctx;
-          Hashtbl.replace processed f ())
-    order;
+          enters := (regions, covered, prv) :: !enters
+    in
+    let record_call g top =
+      let acqs =
+        match top with
+        | Some (t : level) -> ctx_sanitize t.lv_acqs
+        | None -> []
+      in
+      calls := (g, acqs) :: !calls
+    in
+    analyze_fun ~record_enter ~record_call fd_i ctx;
+    (f, { ev_enters = List.rev !enters; ev_calls = List.rev !calls })
+  in
+  List.iter
+    (fun level ->
+      let tasks =
+        List.concat level
+        |> List.filter_map (fun f ->
+               match find_fun prog_i f with
+               | None -> None
+               | Some fd_i ->
+                   let ctx =
+                     if Hashtbl.mem poisoned f then []
+                     else
+                       let callers =
+                         Option.value
+                           (Hashtbl.find_opt cg.Cg.cg_callers f)
+                           ~default:[]
+                       in
+                       if
+                         callers = []
+                         || List.exists
+                              (fun c -> not (Hashtbl.mem processed c))
+                              callers
+                       then []
+                       else
+                         match Hashtbl.find_opt call_ctx f with
+                         | None | Some [] -> [] (* no live call site *)
+                         | Some (first :: rest) ->
+                             List.fold_left meet_acqs first rest
+                   in
+                   Some (f, fd_i, ctx))
+      in
+      Par.Pool.map_opt pool run_fn tasks
+      |> List.iter (fun (f, ev) ->
+             List.iter
+               (fun (regions, covered, prv) ->
+                 List.iter
+                   (fun r ->
+                     let cur =
+                       Option.value (Hashtbl.find_opt insts r) ~default:[]
+                     in
+                     Hashtbl.replace insts r ((covered, prv) :: cur))
+                   regions)
+               ev.ev_enters;
+             List.iter
+               (fun (g, acqs) ->
+                 let cur =
+                   Option.value (Hashtbl.find_opt call_ctx g) ~default:[]
+                 in
+                 Hashtbl.replace call_ctx g (acqs :: cur))
+               ev.ev_calls;
+             Hashtbl.replace processed f ()))
+    (Cg.scc_levels ~down:true cg p);
   (* a region is elided only when every one of its entry instances is
      fully covered — including the acquisitions of any region sharing
      the same [WeakEnter] (the enter's acq list is their merge, and all

@@ -53,8 +53,11 @@ val disabled : Instrument.Plan.t -> report
 (** [optimize prog plan cg] returns the elided plan plus the report.
     [cg] should be the pointer-resolved call graph (the pipeline passes
     [Relay.Summary.t.cg]). [prog] is the {e uninstrumented} program the
-    plan was computed for. *)
+    plan was computed for. With [pool], functions at the same top-down
+    call-graph condensation depth are analyzed concurrently; the output
+    is identical to the serial run. *)
 val optimize :
+  ?pool:Par.Pool.t ->
   Minic.Ast.program ->
   Instrument.Plan.t ->
   Minic.Callgraph.t ->

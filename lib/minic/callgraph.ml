@@ -163,6 +163,103 @@ let bottom_up_order (cg : t) (p : program) : string list =
   List.iter (fun (f : fundec) -> visit f.f_name) p.p_funs;
   List.rev !order
 
+(** Strongly connected components of the call graph restricted to the
+    functions defined in [p], in bottom-up order: every SCC is listed
+    after all SCCs it calls into. Tarjan's algorithm, seeded from the
+    functions in program order, which makes both the SCC list and the
+    member order within each SCC deterministic for a given program. *)
+let sccs (cg : t) (p : Ast.program) : string list list =
+  let defined = Hashtbl.create 64 in
+  List.iter (fun (f : Ast.fundec) -> Hashtbl.replace defined f.f_name ()) p.p_funs;
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let out = ref [] in
+  let rec strongconnect f =
+    Hashtbl.replace index f !next;
+    Hashtbl.replace lowlink f !next;
+    incr next;
+    stack := f :: !stack;
+    Hashtbl.replace on_stack f ();
+    List.iter
+      (fun g ->
+        if Hashtbl.mem defined g then
+          if not (Hashtbl.mem index g) then begin
+            strongconnect g;
+            Hashtbl.replace lowlink f
+              (min (Hashtbl.find lowlink f) (Hashtbl.find lowlink g))
+          end
+          else if Hashtbl.mem on_stack g then
+            Hashtbl.replace lowlink f
+              (min (Hashtbl.find lowlink f) (Hashtbl.find index g)))
+      (callees cg f);
+    if Hashtbl.find lowlink f = Hashtbl.find index f then begin
+      (* pop the component; reverse the pop order so members appear in
+         visit order (deterministic) *)
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | g :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack g;
+            if g = f then g :: acc else pop (g :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter
+    (fun (fd : Ast.fundec) ->
+      if not (Hashtbl.mem index fd.f_name) then strongconnect fd.f_name)
+    p.p_funs;
+  (* Tarjan emits callee-side components first: [!out] is top-down, so
+     reverse for bottom-up *)
+  List.rev !out
+
+(** SCCs grouped into dependency levels. With [down = false] (the
+    default) levels are bottom-up: a component's callees outside itself
+    all sit in strictly earlier levels, so every component within one
+    level can be analyzed concurrently once the previous levels are
+    done. With [down = true] levels are top-down: a component's
+    {e callers} all sit in earlier levels (the schedule for
+    caller-context dataflow). Level contents and member order are
+    deterministic. *)
+let scc_levels ?(down = false) (cg : t) (p : Ast.program) :
+    string list list list =
+  let comps = sccs cg p in
+  let comps = if down then List.rev comps else comps in
+  let comp_of = Hashtbl.create 64 in
+  List.iteri
+    (fun i comp -> List.iter (fun f -> Hashtbl.replace comp_of f i) comp)
+    comps;
+  let n = List.length comps in
+  let depth = Array.make n 0 in
+  let arr = Array.of_list comps in
+  (* edges to satisfy: for bottom-up, callees must be deeper-first; for
+     top-down, callers must be. Walk comps in their (already
+     topological) order and take max over in-edges from earlier comps. *)
+  Array.iteri
+    (fun i comp ->
+      let preds =
+        List.concat_map
+          (fun f ->
+            let ns =
+              if down then
+                Option.value (Hashtbl.find_opt cg.cg_callers f) ~default:[]
+              else callees cg f
+            in
+            List.filter_map (Hashtbl.find_opt comp_of) ns)
+          comp
+      in
+      List.iter
+        (fun j -> if j <> i then depth.(i) <- max depth.(i) (depth.(j) + 1))
+        preds)
+    arr;
+  let max_d = Array.fold_left max 0 depth in
+  List.init (max_d + 1) (fun d ->
+      List.filteri (fun i _ -> depth.(i) = d) (Array.to_list arr))
+
 (** Can two dynamic instances of root [r] exist concurrently? True if some
     spawn site targeting [r] sits in a loop, appears more than once, or is
     in a function reachable from multiple spawn sites. Conservative. *)

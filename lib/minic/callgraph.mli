@@ -37,6 +37,17 @@ val reachable_from : t -> string -> string list
 (** Callees before callers; recursion broken arbitrarily. *)
 val bottom_up_order : t -> Ast.program -> string list
 
+(** Strongly connected components restricted to defined functions, in
+    bottom-up order (every SCC after the SCCs it calls). Deterministic
+    for a given program. *)
+val sccs : t -> Ast.program -> string list list
+
+(** SCCs grouped into dependency levels: components within one level
+    are mutually independent and may be analyzed concurrently.
+    [down = false] (default) orders levels bottom-up (callees first);
+    [down = true] orders them top-down (callers first). *)
+val scc_levels : ?down:bool -> t -> Ast.program -> string list list list
+
 (** Can two dynamic instances of this thread root exist concurrently
     (spawned in a loop / at several sites / from a spawned thread)? *)
 val root_multiply_spawned : t -> string -> bool

@@ -70,7 +70,13 @@ let submit t f =
   let fut = { fm = Mutex.create (); fc = Condition.create (); f_state = Pending } in
   let task = make_task f fut in
   let workers = Array.length t.queues in
-  if workers = 0 then task ()
+  if workers = 0 then begin
+    Mutex.lock t.lk;
+    let closed = t.closed in
+    Mutex.unlock t.lk;
+    if closed then invalid_arg "Par.Pool.submit: pool is shut down";
+    task ()
+  end
   else begin
     let ix =
       match Domain.DLS.get my_index with
@@ -134,6 +140,11 @@ let mapi_list t f xs =
 
 let map_list t f xs = mapi_list t (fun _ x -> f x) xs
 
+let map_opt pool f xs =
+  match pool with
+  | Some t when size t > 1 -> map_list t f xs
+  | _ -> List.map f xs
+
 let worker_body t ix () =
   Domain.DLS.set my_index (Some ix);
   Mutex.lock t.lk;
@@ -153,8 +164,15 @@ let worker_body t ix () =
   in
   loop ()
 
-let create ?domains () =
-  let total = max 1 (Option.value domains ~default:(default_jobs ())) in
+let create ?(clamp = true) ?domains () =
+  let requested = max 1 (Option.value domains ~default:(default_jobs ())) in
+  (* Oversubscribing CPU-bound deterministic work buys nothing and costs
+     real time: every extra domain joins the stop-the-world minor-GC
+     barrier, so on a machine with fewer cores than [-j] the surplus
+     domains only add synchronization overhead. Results are identical at
+     any pool size (see the determinism contract), so by default the pool
+     spawns no more domains than the hardware offers. *)
+  let total = if clamp then min requested (default_jobs ()) else requested in
   let workers = total - 1 in
   let t =
     {
@@ -181,6 +199,6 @@ let shutdown t =
     t.domains <- []
   end
 
-let with_pool ?domains f =
-  let t = create ?domains () in
+let with_pool ?clamp ?domains f =
+  let t = create ?clamp ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -22,14 +22,23 @@ type 'a future
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the [-j] default. *)
 
-val create : ?domains:int -> unit -> t
+val create : ?clamp:bool -> ?domains:int -> unit -> t
 (** [create ~domains:j] builds a pool of total parallelism [j]: [j - 1]
     worker domains plus the calling domain, which participates by helping
     during {!await}. [j <= 1] creates an inline (serial) pool. [domains]
-    defaults to {!default_jobs}. *)
+    defaults to {!default_jobs}.
+
+    By default the pool is {e clamped} to the hardware: it never spawns
+    more domains than {!default_jobs} reports, because oversubscribing
+    CPU-bound work only adds domain-GC synchronization overhead while the
+    results are identical at any pool size. Pass [~clamp:false] to force
+    the requested domain count — the cross-domain determinism tests do, so
+    that [-j 4] is exercised with four real domains even on small
+    machines. *)
 
 val size : t -> int
-(** Total parallelism of the pool ([j] as passed to {!create}, min 1). *)
+(** Total parallelism of the pool ([j] as passed to {!create}, min 1,
+    after clamping). *)
 
 val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a task. On an inline pool the task runs immediately. *)
@@ -50,10 +59,15 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 val mapi_list : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 (** Indexed {!map_list}. *)
 
+val map_opt : t option -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_list} when given a pool of size > 1; plain [List.map]
+    otherwise. The convenience form for [?pool] parameters threaded
+    through the analysis pipeline. *)
+
 val shutdown : t -> unit
 (** Finish all queued tasks, then join the worker domains. The pool
     cannot be used afterwards. Idempotent. *)
 
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+val with_pool : ?clamp:bool -> ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] creates a pool, runs [f], and shuts the pool down
-    (also on exception). *)
+    (also on exception). [clamp] as in {!create}. *)

@@ -22,8 +22,11 @@ end)
 
 type t = {
   mutable concurrent_pairs : Pairset.t;
-  loop_iters : (int, int) Hashtbl.t;   (** lid -> total iterations *)
-  loop_insns : (int, int) Hashtbl.t;   (** lid -> total statements executed *)
+  loop_iters : (int, int ref) Hashtbl.t;  (** lid -> total iterations *)
+  loop_insns : (int, int ref) Hashtbl.t;
+      (** lid -> total statements executed. Counters are refs so the
+          per-statement hot path increments in place instead of paying a
+          lookup + reinsert per event. *)
   mutable runs : int;
 }
 
@@ -35,16 +38,27 @@ let create () =
     runs = 0;
   }
 
+(* one entry of a thread's dynamic loop stack *)
+type loop_slot = { s_lid : int; mutable s_ctr : int ref option }
+
 let norm_pair f g = if f <= g then (f, g) else (g, f)
 
 let concurrent (t : t) f g = Pairset.mem (norm_pair f g) t.concurrent_pairs
+
+let counter (tbl : (int, int ref) Hashtbl.t) (k : int) : int ref =
+  match Hashtbl.find_opt tbl k with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace tbl k r;
+      r
 
 (** Average executed statements per iteration of loop [lid]; [None] if the
     loop never ran in any profile run. *)
 let avg_loop_body (t : t) (lid : int) : float option =
   match (Hashtbl.find_opt t.loop_insns lid, Hashtbl.find_opt t.loop_iters lid) with
-  | Some insns, Some iters when iters > 0 ->
-      Some (float_of_int insns /. float_of_int iters)
+  | Some insns, Some iters when !iters > 0 ->
+      Some (float_of_int !insns /. float_of_int !iters)
   | _ -> None
 
 (** Instrument [hooks] so that one engine run feeds this profile. Returns
@@ -60,15 +74,31 @@ let attach (t : t) (hooks : Interp.Engine.hooks) : Interp.Engine.hooks =
         Hashtbl.replace stacks tid r;
         r
   in
-  (* per-thread loop stacks for statement attribution *)
-  let loop_stacks : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  (* Per-thread loop stacks for statement attribution. A stack slot
+     caches its loop's statement counter once resolved — resolved
+     lazily, on the first statement of that loop entry, so a loop that
+     iterates without executing a statement still leaves no
+     [loop_insns] entry (exactly as before). The last-queried thread is
+     memoized: the scheduler runs one thread for a whole quantum, so
+     the per-statement path is usually a single int compare. *)
+  let loop_stacks : (int, loop_slot list ref) Hashtbl.t = Hashtbl.create 16 in
+  let last_tid = ref min_int in
+  let last_stack = ref (ref []) in
   let loop_stack tid =
-    match Hashtbl.find_opt loop_stacks tid with
-    | Some r -> r
-    | None ->
-        let r = ref [] in
-        Hashtbl.replace loop_stacks tid r;
-        r
+    if tid = !last_tid then !last_stack
+    else begin
+      let r =
+        match Hashtbl.find_opt loop_stacks tid with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.replace loop_stacks tid r;
+            r
+      in
+      last_tid := tid;
+      last_stack := r;
+      r
+    end
   in
   hooks.on_enter_fun <-
     Some
@@ -95,24 +125,25 @@ let attach (t : t) (hooks : Interp.Engine.hooks) : Interp.Engine.hooks =
     Some
       (fun tid lid ->
         let ls = loop_stack tid in
-        ls := lid :: !ls);
+        ls := { s_lid = lid; s_ctr = None } :: !ls);
   hooks.on_loop_exit <-
     Some
       (fun tid _lid ->
         let ls = loop_stack tid in
         match !ls with [] -> () | _ :: rest -> ls := rest);
   hooks.on_loop_iter <-
-    Some
-      (fun _tid lid ->
-        Hashtbl.replace t.loop_iters lid
-          (1 + Option.value (Hashtbl.find_opt t.loop_iters lid) ~default:0));
+    Some (fun _tid lid -> incr (counter t.loop_iters lid));
   hooks.on_stmt <-
     Some
       (fun tid _sid ->
         match !(loop_stack tid) with
-        | lid :: _ ->
-            Hashtbl.replace t.loop_insns lid
-              (1 + Option.value (Hashtbl.find_opt t.loop_insns lid) ~default:0)
+        | slot :: _ -> (
+            match slot.s_ctr with
+            | Some r -> incr r
+            | None ->
+                let r = counter t.loop_insns slot.s_lid in
+                slot.s_ctr <- Some r;
+                incr r)
         | [] -> ());
   hooks
 
@@ -131,7 +162,8 @@ let profile_run ?(config = Interp.Engine.default_config) ~io (t : t)
 let merge ~(into : t) (src : t) : unit =
   into.concurrent_pairs <- Pairset.union into.concurrent_pairs src.concurrent_pairs;
   let add_into tbl k v =
-    Hashtbl.replace tbl k (v + Option.value (Hashtbl.find_opt tbl k) ~default:0)
+    let r = counter tbl k in
+    r := !r + !v
   in
   Hashtbl.iter (add_into into.loop_iters) src.loop_iters;
   Hashtbl.iter (add_into into.loop_insns) src.loop_insns;

@@ -9,8 +9,8 @@ module Pairset : Set.S with type elt = string * string
 
 type t = {
   mutable concurrent_pairs : Pairset.t;
-  loop_iters : (int, int) Hashtbl.t;
-  loop_insns : (int, int) Hashtbl.t;
+  loop_iters : (int, int ref) Hashtbl.t;
+  loop_insns : (int, int ref) Hashtbl.t;
   mutable runs : int;
 }
 

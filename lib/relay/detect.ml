@@ -172,8 +172,18 @@ let classify_pair mhp confined_c (rp : race_pair) : provenance =
   then Pruned_mhp
   else Kept
 
-(** Run race detection over computed summaries. *)
-let detect ?(mhp = true) (sm : Summary.t) : report =
+(** Run race detection over computed summaries.
+
+    With [pool], the per-object escape filter + pair scans and the
+    per-candidate MHP classification run concurrently. Each object's
+    scan is independent and returns its pair contributions as an event
+    list; events are replayed into the shared pair table serially, in
+    the object order a serial run would have used, so the report —
+    including the [rp_objs] order inside each pair — is byte-identical
+    to the serial one. [precomputed_mhp] lets the caller run (and time)
+    {!Mhp.analyze} itself; ignored when [mhp] is [false]. *)
+let detect ?(mhp = true) ?(precomputed_mhp : Mhp.t option)
+    ?(pool : Par.Pool.t option) (sm : Summary.t) : report =
   let cg = sm.Summary.cg in
   let roots = cg.Minic.Callgraph.cg_roots in
   let fun_roots = roots_of_fun cg roots in
@@ -194,64 +204,68 @@ let detect ?(mhp = true) (sm : Summary.t) : report =
       let cur = Option.value (Hashtbl.find_opt by_obj a.ga_obj) ~default:[] in
       Hashtbl.replace by_obj a.ga_obj (a :: cur))
     accesses;
-  (* escape queries: one holder enumeration for the whole detection run,
-     plus a per-object cache *)
+  (* escape queries: one holder enumeration for the whole detection run *)
   let holders = all_holders sm.Summary.pa.Pointer.Analysis.prog in
-  let esc_cache : (A.t, bool) Hashtbl.t = Hashtbl.create 64 in
-  let escapes_c l =
-    match Hashtbl.find_opt esc_cache l with
-    | Some b -> b
-    | None ->
-        let b = escapes_among sm.Summary.pa holders l in
-        Hashtbl.replace esc_cache l b;
-        b
+  (* fix the object order once — Hashtbl.fold traverses like
+     Hashtbl.iter, so this is exactly the order a serial [Hashtbl.iter
+     by_obj] scan would visit — then scan each object independently
+     (parallel) and replay the contributions serially in that order *)
+  let obj_entries =
+    List.rev (Hashtbl.fold (fun o accs acc -> (o, accs) :: acc) by_obj [])
   in
+  let scan_obj (obj, accs) =
+    let shareable =
+      match obj with
+      | A.ALocal _ -> escapes_among sm.Summary.pa holders obj
+      | A.AGlobal _ | A.AHeap _ -> true
+      | _ -> false
+    in
+    if not shareable then []
+    else begin
+      let out = ref [] in
+      let arr = Array.of_list accs in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        for j = i to n - 1 do
+          let a : Summary.gaccess = arr.(i)
+          and b : Summary.gaccess = arr.(j) in
+          if
+            (a.ga_write || b.ga_write)
+            && (a.ga_sid <> b.ga_sid || a.ga_write = b.ga_write)
+            && Aset.is_empty (Aset.inter a.ga_held b.ga_held)
+            && concurrent_roots cg (roots_of a.ga_fname) (roots_of b.ga_fname)
+          then begin
+            let s1, s2 = if a.ga_sid <= b.ga_sid then (a, b) else (b, a) in
+            let site_of (x : Summary.gaccess) =
+              {
+                st_sid = x.ga_sid;
+                st_fname = x.ga_fname;
+                st_line = x.ga_line;
+                st_write = x.ga_write;
+              }
+            in
+            out := ((s1.ga_sid, s2.ga_sid), site_of s1, site_of s2) :: !out
+          end
+        done
+      done;
+      List.rev !out
+    end
+  in
+  let scans = Par.Pool.map_opt pool scan_obj obj_entries in
   let pairs : (int * int, site * site * A.t list) Hashtbl.t =
     Hashtbl.create 256
   in
-  Hashtbl.iter
-    (fun obj accs ->
-      let shareable =
-        match obj with
-        | A.ALocal _ -> escapes_c obj
-        | A.AGlobal _ | A.AHeap _ -> true
-        | _ -> false
-      in
-      if shareable then
-        let arr = Array.of_list accs in
-        let n = Array.length arr in
-        for i = 0 to n - 1 do
-          for j = i to n - 1 do
-            let a : Summary.gaccess = arr.(i)
-            and b : Summary.gaccess = arr.(j) in
-            if
-              (a.ga_write || b.ga_write)
-              && (a.ga_sid <> b.ga_sid || a.ga_write = b.ga_write)
-              && Aset.is_empty (Aset.inter a.ga_held b.ga_held)
-              && concurrent_roots cg (roots_of a.ga_fname) (roots_of b.ga_fname)
-            then begin
-              let s1, s2 =
-                if a.ga_sid <= b.ga_sid then (a, b) else (b, a)
-              in
-              let key = (s1.ga_sid, s2.ga_sid) in
-              let site_of (x : Summary.gaccess) =
-                {
-                  st_sid = x.ga_sid;
-                  st_fname = x.ga_fname;
-                  st_line = x.ga_line;
-                  st_write = x.ga_write;
-                }
-              in
-              match Hashtbl.find_opt pairs key with
-              | None ->
-                  Hashtbl.replace pairs key (site_of s1, site_of s2, [ obj ])
-              | Some (x, y, objs) ->
-                  if not (List.exists (A.equal obj) objs) then
-                    Hashtbl.replace pairs key (x, y, obj :: objs)
-            end
-          done
-        done)
-    by_obj;
+  List.iter2
+    (fun (obj, _) events ->
+      List.iter
+        (fun (key, x1, y1) ->
+          match Hashtbl.find_opt pairs key with
+          | None -> Hashtbl.replace pairs key (x1, y1, [ obj ])
+          | Some (x, y, objs) ->
+              if not (List.exists (A.equal obj) objs) then
+                Hashtbl.replace pairs key (x, y, obj :: objs))
+        events)
+    obj_entries scans;
   let candidates =
     Hashtbl.fold
       (fun _ (s1, s2, objs) acc -> { rp_s1 = s1; rp_s2 = s2; rp_objs = objs } :: acc)
@@ -262,25 +276,35 @@ let detect ?(mhp = true) (sm : Summary.t) : report =
   let races, pruned =
     if not mhp then (candidates, [])
     else begin
-      let m = Mhp.analyze sm.Summary.prog sm.Summary.pa cg in
-      let conf_cache : (A.t, bool) Hashtbl.t = Hashtbl.create 16 in
-      let confined_c obj =
-        match Hashtbl.find_opt conf_cache obj with
-        | Some b -> b
-        | None ->
-            let accs =
-              Option.value (Hashtbl.find_opt by_obj obj) ~default:[]
-            in
-            let b = object_confined m accs in
-            Hashtbl.replace conf_cache obj b;
-            b
+      let m =
+        match precomputed_mhp with
+        | Some m -> m
+        | None -> Mhp.analyze sm.Summary.prog sm.Summary.pa cg
       in
-      List.fold_left
-        (fun (kept, pruned) rp ->
-          match classify_pair m confined_c rp with
+      (* confinement is per-object: precompute it (concurrently) for the
+         objects candidates actually race on, then classification is a
+         pure read and can itself fan out per candidate *)
+      let cand_objs =
+        List.concat_map (fun rp -> rp.rp_objs) candidates
+        |> List.sort_uniq compare
+      in
+      let conf_tbl : (A.t, bool) Hashtbl.t = Hashtbl.create 16 in
+      Par.Pool.map_opt pool
+        (fun obj ->
+          let accs = Option.value (Hashtbl.find_opt by_obj obj) ~default:[] in
+          object_confined m accs)
+        cand_objs
+      |> List.iter2 (Hashtbl.replace conf_tbl) cand_objs;
+      let confined_c obj = Hashtbl.find conf_tbl obj in
+      let provs =
+        Par.Pool.map_opt pool (classify_pair m confined_c) candidates
+      in
+      List.fold_left2
+        (fun (kept, pruned) rp prov ->
+          match prov with
           | Kept -> (rp :: kept, pruned)
           | p -> (kept, (rp, p) :: pruned))
-        ([], []) candidates
+        ([], []) candidates provs
       |> fun (k, p) -> (List.rev k, List.rev p)
     end
   in
@@ -308,10 +332,10 @@ let detect ?(mhp = true) (sm : Summary.t) : report =
   }
 
 (** Convenience: full static analysis pipeline from a program. *)
-let analyze ?mhp (p : program) : Summary.t * report =
+let analyze ?mhp ?pool (p : program) : Summary.t * report =
   let pa = Pointer.Analysis.run p in
-  let sm = Summary.compute p pa in
-  (sm, detect ?mhp sm)
+  let sm = Summary.compute ?pool p pa in
+  (sm, detect ?mhp ?pool sm)
 
 let pp_report ppf (r : report) =
   Fmt.pf ppf "roots: %a@\n%d race pairs (%d candidates, %d pruned):@\n%a"

@@ -52,11 +52,17 @@ val escapes : Pointer.Analysis.t -> Pointer.Absloc.t -> bool
 
 (** Race detection over computed summaries. [mhp] (default [true]) runs
     the {!Mhp} pass and moves statically serialized pairs from [races] to
-    [pruned]; [~mhp:false] reproduces raw RELAY output. *)
-val detect : ?mhp:bool -> Summary.t -> report
+    [pruned]; [~mhp:false] reproduces raw RELAY output.
+    [precomputed_mhp] supplies an already-computed MHP analysis (so the
+    caller can time it separately); ignored when [mhp] is [false]. With
+    [pool], per-object scans and per-candidate classification run
+    concurrently with byte-identical output. *)
+val detect :
+  ?mhp:bool -> ?precomputed_mhp:Mhp.t -> ?pool:Par.Pool.t -> Summary.t -> report
 
 (** Full static pipeline: pointer analysis, summaries, detection. *)
-val analyze : ?mhp:bool -> Minic.Ast.program -> Summary.t * report
+val analyze :
+  ?mhp:bool -> ?pool:Par.Pool.t -> Minic.Ast.program -> Summary.t * report
 
 val pp_report : report Fmt.t
 

@@ -91,7 +91,7 @@ let merge_access m (a : gaccess) =
 type ctx = {
   prog : program;
   pa : Pointer.Analysis.t;
-  summaries : (string, summary) Hashtbl.t;
+  lookup : string -> summary option;
   fname : string;
   sid_index : (int, int) Hashtbl.t;  (* sid -> line *)
   mutable accs : gaccess AccMap.t;
@@ -162,8 +162,7 @@ let apply_summary ctx (st : state) (sm : summary) : state =
     released = Aset.union st.released (Aset.diff sm.sm_released st.held);
   }
 
-let summary_of ctx f =
-  Option.value (Hashtbl.find_opt ctx.summaries f) ~default:empty_summary
+let summary_of ctx f = Option.value (ctx.lookup f) ~default:empty_summary
 
 let rec walk_block ctx (st : state) (b : block) : state =
   List.fold_left (fun st s -> walk_stmt ctx st s) st b
@@ -255,9 +254,9 @@ and walk_stmt ctx (st : state) (s : stmt) : state =
   | Return None | Break | Continue -> st
   | WeakEnter _ | WeakExit _ -> st
 
-let analyze_fun prog pa summaries (fd : fundec) : summary =
+let analyze_fun prog pa lookup (fd : fundec) : summary =
   let ctx =
-    { prog; pa; summaries; fname = fd.f_name; sid_index = Hashtbl.create 1; accs = AccMap.empty }
+    { prog; pa; lookup; fname = fd.f_name; sid_index = Hashtbl.create 1; accs = AccMap.empty }
   in
   let final = walk_block ctx entry_state fd.f_body in
   {
@@ -278,34 +277,63 @@ let equal_summary (a : summary) (b : summary) =
          && Aset.equal x.ga_released y.ga_released)
        a.sm_accesses b.sm_accesses
 
-(** Compute summaries bottom-up over the call graph; recursion iterates to
-    a fixpoint (bounded: locksets shrink, access sets are bounded by
-    program size). *)
-let compute (p : program) (pa : Pointer.Analysis.t) : t =
+(** Compute summaries bottom-up over the call-graph condensation. SCCs
+    are scheduled level by level: all components in a level depend only
+    on strictly earlier levels, so with [pool] they are solved
+    concurrently, each against a read-only view of the completed
+    levels. Each component runs its own local fixpoint (recursion
+    iterates; bounded: locksets shrink, access sets are bounded by
+    program size). Results merge into the shared table serially in
+    level/component order, so the final table — and everything derived
+    from it — is identical with or without a pool. *)
+let compute ?(pool : Par.Pool.t option) (p : program) (pa : Pointer.Analysis.t)
+    : t =
   let cg = Pointer.Analysis.callgraph pa in
   let summaries = Hashtbl.create 64 in
-  let order = Minic.Callgraph.bottom_up_order cg p in
-  let changed = ref true in
-  let rounds = ref 0 in
-  while !changed && !rounds < 10 do
-    incr rounds;
-    changed := false;
-    List.iter
-      (fun fname ->
-        match Minic.Ast.find_fun p fname with
-        | None -> ()
-        | Some fd ->
-            let sm = analyze_fun p pa summaries fd in
-            let prev =
-              Option.value (Hashtbl.find_opt summaries fname)
-                ~default:empty_summary
-            in
-            if not (equal_summary prev sm) then begin
-              changed := true;
-              Hashtbl.replace summaries fname sm
-            end)
-      order
-  done;
+  let solve_scc comp =
+    (* overlay: this component's in-progress summaries shadow the shared
+       table, which holds only completed lower levels during a level *)
+    let local = Hashtbl.create (List.length comp) in
+    let lookup f =
+      match Hashtbl.find_opt local f with
+      | Some _ as sm -> sm
+      | None -> Hashtbl.find_opt summaries f
+    in
+    let members = List.filter_map (Minic.Ast.find_fun p) comp in
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed && !rounds < 10 do
+      incr rounds;
+      changed := false;
+      List.iter
+        (fun (fd : fundec) ->
+          let sm = analyze_fun p pa lookup fd in
+          let prev =
+            Option.value (Hashtbl.find_opt local fd.f_name)
+              ~default:empty_summary
+          in
+          if not (equal_summary prev sm) then begin
+            changed := true;
+            Hashtbl.replace local fd.f_name sm
+          end)
+        members;
+      (* non-recursive singleton: the one pass is exact, skip the
+         confirmation round *)
+      (match comp with
+      | [ f ] when not (List.mem f (Minic.Callgraph.callees cg f)) ->
+          changed := false
+      | _ -> ())
+    done;
+    List.filter_map
+      (fun (fd : fundec) ->
+        Option.map (fun sm -> (fd.f_name, sm)) (Hashtbl.find_opt local fd.f_name))
+      members
+  in
+  List.iter
+    (fun level ->
+      Par.Pool.map_opt pool solve_scc level
+      |> List.iter (List.iter (fun (f, sm) -> Hashtbl.replace summaries f sm)))
+    (Minic.Callgraph.scc_levels cg p);
   { summaries; prog = p; pa; cg }
 
 let summary (t : t) (f : string) : summary =

@@ -45,7 +45,10 @@ module AccMap : Map.S with type key = int * Pointer.Absloc.t * bool
 val merge_access : gaccess AccMap.t -> gaccess -> gaccess AccMap.t
 
 (** Compute all summaries bottom-up over the (pointer-resolved) call
-    graph; recursion iterates to a fixpoint. *)
-val compute : Minic.Ast.program -> Pointer.Analysis.t -> t
+    graph; recursion iterates to a fixpoint. With [pool], independent
+    call-graph SCCs at the same condensation depth are solved
+    concurrently; results merge in callgraph order, so the outcome is
+    identical to the serial run. *)
+val compute : ?pool:Par.Pool.t -> Minic.Ast.program -> Pointer.Analysis.t -> t
 
 val summary : t -> string -> summary

@@ -1,0 +1,184 @@
+(** Standalone gate for the analysis pipeline (`make analyze-check`),
+    mirroring `trace-check` for the static side.
+
+    Exercises, end-to-end on real benchmarks and without Alcotest:
+
+    - a -j 4 analyze (SCC-scheduled summaries, parallel race scans,
+      profile runs, lockopt dataflow) yields a report/plan/provenance
+      digest byte-identical to the serial one;
+    - a warm cache hit returns an analysis identical to the cold run,
+      and a cold+warm cycle leaves exactly one entry per benchmark;
+    - every damaged-entry shape (truncated, bit-flipped, version-bumped,
+      garbage payload) falls back to recomputation with a "warning:"
+      diagnostic — never an exception — and heals the entry;
+    - the stage sink reports every pipeline stage with a sane timing.
+
+    Exits 0 when every check passes, 1 otherwise. *)
+
+let failures = ref 0
+
+let check what ok =
+  if ok then Fmt.pr "  ok: %s@." what
+  else begin
+    incr failures;
+    Fmt.pr "  FAIL: %s@." what
+  end
+
+let gate_benches = [ "water"; "radix" ]
+
+let sample name =
+  let b = Bench_progs.Registry.by_name name in
+  ( Minic.Parser.parse ~file:name (b.b_source ~workers:4 ~scale:b.b_eval_scale),
+    fun i -> b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale )
+
+let digest (an : Chimera.Pipeline.analysis) =
+  ( Fmt.str "%a" Relay.Detect.pp_report_explain an.an_report,
+    Fmt.str "%a" Lockopt.pp_explain an.an_lockopt,
+    Minic.Pretty.program_to_string an.an_instrumented )
+
+let analyze ?pool ?cache ?cache_tag ?stage_sink ?cache_log name =
+  let prog, profile_io = sample name in
+  Chimera.Pipeline.analyze ?pool ?cache ?cache_tag ?stage_sink ?cache_log
+    ~profile_runs:6 ~profile_io prog
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+
+let check_par_eq_serial () =
+  Fmt.pr "[parallel == serial]@.";
+  let serial = List.map (fun n -> digest (analyze n)) gate_benches in
+  let par =
+    Par.Pool.with_pool ~clamp:false ~domains:4 (fun p ->
+        List.map (fun n -> digest (analyze ~pool:p n)) gate_benches)
+  in
+  List.iteri
+    (fun i n ->
+      check
+        (Fmt.str "%s: -j 4 digest identical to serial" n)
+        (List.nth serial i = List.nth par i))
+    gate_benches
+
+let with_store f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "chimera-analyze-check-%d" (Unix.getpid ()))
+  in
+  let c = Ancache.create ~dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f ->
+            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Sys.rmdir dir with Sys_error _ -> ()
+      end)
+    (fun () -> f c)
+
+let check_cache () =
+  Fmt.pr "[cache: cold / warm / damaged]@.";
+  with_store @@ fun c ->
+  List.iter
+    (fun name ->
+      let log = ref [] in
+      let cache_log m = log := m :: !log in
+      let cold = analyze ~cache:c ~cache_tag:name ~cache_log name in
+      check
+        (Fmt.str "%s: cold run logs a miss" name)
+        (List.exists (fun m -> contains m "miss") !log);
+      log := [];
+      let warm = analyze ~cache:c ~cache_tag:name ~cache_log name in
+      check
+        (Fmt.str "%s: warm run logs a hit" name)
+        (List.exists (fun m -> contains m "hit") !log);
+      check
+        (Fmt.str "%s: warm analysis identical to cold" name)
+        (digest cold = digest warm))
+    gate_benches;
+  check "one entry per benchmark"
+    ((Ancache.stats c).Ancache.st_entries = List.length gate_benches);
+  (* damage every entry a different way; each analyze must recompute with
+     a warning, reproduce the cold digest, and heal its entry *)
+  let entry_path name =
+    let prog, _ = sample name in
+    let key =
+      Chimera.Pipeline.cache_key ~opts:Instrument.Plan.all_opts
+        ~profile_runs:6 ~profile_config:Interp.Engine.default_config
+        ~mhp:true ~lockopt:true ~cache_tag:name (Minic.Typecheck.check prog)
+    in
+    Filename.concat (Ancache.dir c) (key ^ ".anc")
+  in
+  let mangle path f =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let oc = open_out_bin path in
+    output_string oc (f s);
+    close_out oc
+  in
+  let damages =
+    [
+      ("truncated", fun s -> String.sub s 0 (String.length s / 2));
+      ( "version-bumped",
+        fun s ->
+          "CHIMERA-ANCACHE/999"
+          ^ String.sub s (String.length Ancache.magic)
+              (String.length s - String.length Ancache.magic) );
+    ]
+  in
+  List.iteri
+    (fun i name ->
+      let what, f = List.nth damages (i mod List.length damages) in
+      let reference = digest (analyze name) in
+      let path = entry_path name in
+      if Sys.file_exists path then mangle path f
+      else check (Fmt.str "%s: entry file present" name) false;
+      let log = ref [] in
+      let again =
+        analyze ~cache:c ~cache_tag:name ~cache_log:(fun m -> log := m :: !log)
+          name
+      in
+      check
+        (Fmt.str "%s: %s entry warns and recomputes" name what)
+        (List.exists (fun m -> contains m "warning:") !log);
+      check
+        (Fmt.str "%s: recomputed digest matches" name)
+        (digest again = reference);
+      let log2 = ref [] in
+      ignore
+        (analyze ~cache:c ~cache_tag:name
+           ~cache_log:(fun m -> log2 := m :: !log2)
+           name);
+      check
+        (Fmt.str "%s: entry healed (next run hits)" name)
+        (List.exists (fun m -> contains m "hit") !log2))
+    gate_benches
+
+let check_stage_sink () =
+  Fmt.pr "[stage sink]@.";
+  let stages = ref [] in
+  ignore
+    (analyze ~stage_sink:(fun s dt -> stages := (s, dt) :: !stages) "radix");
+  List.iter
+    (fun s ->
+      check
+        (Fmt.str "stage %S reported with a sane time" s)
+        (match List.assoc_opt s !stages with
+        | Some dt -> dt >= 0.
+        | None -> false))
+    [ "pointer"; "relay"; "mhp"; "profile"; "plan"; "lockopt" ]
+
+let () =
+  check_par_eq_serial ();
+  check_cache ();
+  check_stage_sink ();
+  if !failures = 0 then Fmt.pr "analyze-check: all checks passed@."
+  else begin
+    Fmt.pr "analyze-check: %d check(s) FAILED@." !failures;
+    exit 1
+  end

@@ -66,7 +66,7 @@ let () =
   Printexc.record_backtrace true;
   let j = jobs () in
   let results =
-    Par.Pool.with_pool ~domains:j (fun p ->
+    Par.Pool.with_pool ~clamp:false ~domains:j (fun p ->
         Par.Pool.map_list p run_suite Test_suites.Suites.all)
   in
   let total = ref 0 and skipped = ref 0 and failed = ref 0 in

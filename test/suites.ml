@@ -23,6 +23,7 @@ let all : (string * unit Alcotest.test_case list) list =
     ("instrument", Test_instrument.suite);
     ("lockopt", Test_lockopt.suite);
     ("par", Test_par.suite);
+    ("ancache", Test_ancache.suite);
     ("cli", Test_cli.suite);
     ("fuzz", Test_fuzz.suite);
     ("detexec", Test_detexec.suite);

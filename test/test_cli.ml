@@ -28,12 +28,31 @@ let read_file path =
   close_in ic;
   s
 
+(* every invocation gets a private throwaway cache dir (analysis caching
+   defaults on), so the tests never read or pollute the user's real cache
+   and runs stay independent unless a test opts into sharing *)
+let fresh_cache_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "chimera-cli-test-cache-%d-%d" (Unix.getpid ()) !n)
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
 (** Run [exe args], returning (exit code, stdout, stderr). *)
-let run_cli exe args =
+let run_cli ?cache_dir exe args =
   let out = Filename.temp_file "chimera_cli" ".out" in
   let err = Filename.temp_file "chimera_cli" ".err" in
+  let cdir = match cache_dir with Some d -> d | None -> fresh_cache_dir () in
   let cmd =
-    Fmt.str "%s %s > %s 2> %s" (Filename.quote exe)
+    Fmt.str "CHIMERA_CACHE_DIR=%s %s %s > %s 2> %s" (Filename.quote cdir)
+      (Filename.quote exe)
       (String.concat " " (List.map Filename.quote args))
       (Filename.quote out) (Filename.quote err)
   in
@@ -41,6 +60,7 @@ let run_cli exe args =
   let o = read_file out and e = read_file err in
   Sys.remove out;
   Sys.remove err;
+  if cache_dir = None then rm_rf cdir;
   (code, o, e)
 
 let contains hay needle =
@@ -199,6 +219,69 @@ let test_bad_file () =
   let code, _, _ = run_cli exe [ "races"; "/nonexistent/no-such.mc" ] in
   Alcotest.(check bool) "missing file is an error" true (code <> 0)
 
+let test_cache_subcommand () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let cdir = fresh_cache_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf cdir) @@ fun () ->
+  (* cold run populates the cache; the warm run must print the same plan *)
+  let args = [ "plan"; mc; "--profile-runs"; "4"; "--cache-dir"; cdir ] in
+  let code, cold_out, _ = run_cli ~cache_dir:cdir exe args in
+  Alcotest.(check int) "cold plan exit code" 0 code;
+  let code, warm_out, warm_err = run_cli ~cache_dir:cdir exe args in
+  Alcotest.(check int) "warm plan exit code" 0 code;
+  Alcotest.(check string) "warm plan == cold plan" cold_out warm_out;
+  Alcotest.(check string) "warm run is quiet on stderr" "" warm_err;
+  let code, stats_out, _ =
+    run_cli ~cache_dir:cdir exe [ "cache"; "stats"; "--cache-dir"; cdir ]
+  in
+  Alcotest.(check int) "cache stats exit code" 0 code;
+  check_contains "cache stats stdout" stats_out "entries: 1";
+  (* a damaged entry degrades to recomputation: same stdout, a one-line
+     warning on stderr, exit 0 *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".anc" then
+        Out_channel.with_open_bin (Filename.concat cdir f) (fun oc ->
+            output_string oc "CHIMERA-ANCACHE/1\ntrunca"))
+    (Sys.readdir cdir);
+  let code, out, err = run_cli ~cache_dir:cdir exe args in
+  Alcotest.(check int) "damaged-entry exit code" 0 code;
+  Alcotest.(check string) "damaged entry recomputes the same plan"
+    cold_out out;
+  check_contains "damaged-entry stderr" err "warning:";
+  (* --no-cache bypasses the store entirely *)
+  let code, out, _ =
+    run_cli ~cache_dir:cdir exe
+      [ "plan"; mc; "--profile-runs"; "4"; "--no-cache" ]
+  in
+  Alcotest.(check int) "--no-cache exit code" 0 code;
+  Alcotest.(check string) "--no-cache plan matches" cold_out out;
+  let code, clear_out, _ =
+    run_cli ~cache_dir:cdir exe [ "cache"; "clear"; "--cache-dir"; cdir ]
+  in
+  Alcotest.(check int) "cache clear exit code" 0 code;
+  check_contains "cache clear stdout" clear_out "removed";
+  let code, stats_out, _ =
+    run_cli ~cache_dir:cdir exe [ "cache"; "stats"; "--cache-dir"; cdir ]
+  in
+  Alcotest.(check int) "cache stats after clear exit code" 0 code;
+  check_contains "cache stats after clear" stats_out "entries: 0"
+
+let test_jobs_identical () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let run j =
+    let code, out, _ =
+      run_cli exe
+        [ "plan"; mc; "--profile-runs"; "4"; "--no-cache"; "-j"; j ]
+    in
+    Alcotest.(check int) (Fmt.str "plan -j %s exit code" j) 0 code;
+    out
+  in
+  Alcotest.(check string) "-j 4 plan is byte-identical to -j 1" (run "1")
+    (run "4")
+
 let suite =
   [
     Alcotest.test_case "races / --no-mhp / --explain-races" `Quick test_races;
@@ -210,4 +293,8 @@ let suite =
     Alcotest.test_case "replay rejects corrupt log" `Quick
       test_replay_corrupt_log;
     Alcotest.test_case "bad input file" `Quick test_bad_file;
+    Alcotest.test_case "cache subcommand + damaged-entry fallback" `Quick
+      test_cache_subcommand;
+    Alcotest.test_case "-j N output identical to -j 1" `Quick
+      test_jobs_identical;
   ]

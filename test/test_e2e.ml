@@ -174,7 +174,7 @@ let test_range_claims_sound () =
                   (fun ((_ : Minic.Ast.weak_lock), claim) ->
                     List.iter
                       (fun (r : Runtime.Weaklock.range) ->
-                        match Hashtbl.find_opt eng.mem.blocks r.rg_block with
+                        match Interp.Mem.find_opt eng.mem r.rg_block with
                         | Some blk
                           when blk.Interp.Mem.b_origin = addr.Runtime.Key.a_origin
                           ->
@@ -184,7 +184,7 @@ let test_range_claims_sound () =
                               List.exists
                                 (fun (r' : Runtime.Weaklock.range) ->
                                   (match
-                                     Hashtbl.find_opt eng.mem.blocks
+                                     Interp.Mem.find_opt eng.mem
                                        r'.rg_block
                                    with
                                   | Some b' ->

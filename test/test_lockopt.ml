@@ -277,7 +277,7 @@ let test_bench_replay_pin () =
     List.map Bench_progs.Registry.by_name Bench_progs.Registry.names
   in
   let elided =
-    Par.Pool.with_pool ~domains:4 (fun p ->
+    Par.Pool.with_pool ~clamp:false ~domains:4 (fun p ->
         Par.Pool.map_list p (fun b -> bench_case ~pool:p b) benches)
   in
   let n_eliding = List.length (List.filter (fun e -> e > 0) elided) in

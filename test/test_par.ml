@@ -12,7 +12,7 @@ module P = Par.Pool
 (* pool unit tests *)
 
 let test_map_order () =
-  P.with_pool ~domains:4 (fun p ->
+  P.with_pool ~clamp:false ~domains:4 (fun p ->
       let xs = List.init 100 Fun.id in
       Alcotest.(check (list int))
         "map_list preserves input order"
@@ -39,7 +39,7 @@ let test_inline_pool () =
 let test_exception_order () =
   (* map_list must re-raise the first exception in *input* order even
      when a later element fails first on another domain *)
-  P.with_pool ~domains:4 (fun p ->
+  P.with_pool ~clamp:false ~domains:4 (fun p ->
       (* element 3 sleeps before failing; elements 4 and 5 fail
          immediately, likely first in wall-clock order *)
       let spin = ref 0 in
@@ -61,7 +61,7 @@ let test_nested_await () =
   (* tasks submitting and awaiting sub-tasks must not deadlock: await
      helps by running queued work.  Binary-tree sum, depth 8 => 255
      nested submits on a 2-domain pool. *)
-  P.with_pool ~domains:2 (fun p ->
+  P.with_pool ~clamp:false ~domains:2 (fun p ->
       let rec sum lo hi =
         if hi - lo <= 1 then lo
         else
@@ -171,6 +171,39 @@ let digest_of ?pool s =
   program_digest ?pool ~name:s.s_name ~profile_io:s.s_profile_io
     ~eval_io:s.s_eval_io s.s_prog
 
+(* analyze-only digest over report, plan provenance, and instrumented
+   source — everything `chimera races/plan/instrument` prints *)
+let analyze_digest ?pool s =
+  let an =
+    Chimera.Pipeline.analyze ?pool ~profile_runs:4
+      ~profile_io:s.s_profile_io s.s_prog
+  in
+  ( Fmt.str "%a" Relay.Detect.pp_report_explain an.an_report,
+    Fmt.str "%a" Lockopt.pp_explain an.an_lockopt,
+    Minic.Pretty.program_to_string an.an_instrumented )
+
+(* ISSUE 6 tier-1 pin: a -j 4 analyze (SCC-scheduled summaries, parallel
+   race scans, profile runs and lockopt dataflow) produces byte-identical
+   report/plan/provenance on *every* built-in benchmark plus fuzz
+   programs. The trial-level property below exercises fewer programs but
+   adds record/replay to the digest. *)
+let test_par_analyze_all_benches () =
+  let samples =
+    List.map bench_sample Bench_progs.Registry.names @ fuzz_samples ()
+  in
+  let serial = List.map (fun s -> analyze_digest s) samples in
+  let par =
+    P.with_pool ~clamp:false ~domains:4 (fun p ->
+        List.map (fun s -> analyze_digest ~pool:p s) samples)
+  in
+  List.iteri
+    (fun i s ->
+      Alcotest.(check bool)
+        (Fmt.str "%s: -j4 analyze digest is bit-identical to serial" s.s_name)
+        true
+        (List.nth serial i = List.nth par i))
+    samples
+
 let test_par_eq_serial () =
   let samples =
     List.map bench_sample [ "pfscan"; "fft"; "radix" ] @ fuzz_samples ()
@@ -181,7 +214,7 @@ let test_par_eq_serial () =
      threaded inside each pipeline (profile runs + trials), exercising
      nested submit/await on real work *)
   let par =
-    P.with_pool ~domains:4 (fun p ->
+    P.with_pool ~clamp:false ~domains:4 (fun p ->
         P.map_list p (fun s -> digest_of ~pool:p s) samples)
   in
   List.iteri
@@ -200,6 +233,8 @@ let suite =
       test_exception_order;
     Alcotest.test_case "pool: nested submit/await" `Quick test_nested_await;
     Alcotest.test_case "pool: shutdown semantics" `Quick test_shutdown;
+    Alcotest.test_case "parallel analyze == serial analyze (all benches)"
+      `Slow test_par_analyze_all_benches;
     Alcotest.test_case "parallel pipeline == serial pipeline" `Slow
       test_par_eq_serial;
   ]
