@@ -6,7 +6,7 @@
 # J controls the domain count of the parallel targets (bench -j flag /
 # the sharded test runner); it defaults to all cores.
 .PHONY: all build test test-par check bench-json bench-wall bench-regress \
-	par-check lockopt-check trace-check analyze-check clean
+	par-check lockopt-check trace-check analyze-check stress-check clean
 
 J ?= 0
 # wall-clock harness knobs: repetitions per phase, regression tolerance,
@@ -78,6 +78,21 @@ lockopt-check:
 # diagnostic pinpoints a first diverging event on a damaged log
 trace-check:
 	dune exec test/trace_check.exe
+
+# adversarial stress gate: batch-record the pfscan/fft/ocean x seeds
+# 1..8 x {default,pct,storm} matrix across domains, dedup the logs by
+# content address, replay every distinct recording (record == replay,
+# served claims == recorded claims), pin default-strategy seed-1 ticks
+# to the golden counters, and fault-inject the encoded logs (truncation
+# at every record boundary + byte corruption) asserting typed rejection
+# or a clean divergence report — never a crash. JSON report lands in
+# /tmp/chimera-stress.json.
+stress-check:
+	dune build bin/chimera_cli.exe
+	./_build/default/bin/chimera_cli.exe stress \
+		pfscan fft ocean --seeds 1..8 \
+		--golden test/golden/golden_counters.expected \
+		--json /tmp/chimera-stress.json $(JFLAG)
 
 # analysis gate: a -j 4 analyze digest is byte-identical to serial, a
 # warm cache hit reproduces the cold analysis, every damaged-entry shape

@@ -154,7 +154,8 @@ let analyze ?(lockopt = true) (b : Bench_progs.Registry.bench) ~opts ~workers
     averages are bit-identical to the serial ones. *)
 let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
     ?(scale = -1) ?(trials = 3) ?lockopt ?(traced = false)
-    (b : Bench_progs.Registry.bench) : measurement =
+    ?(strategy = Interp.Engine.Sdefault) (b : Bench_progs.Registry.bench) :
+    measurement =
   let scale = if scale < 0 then b.b_eval_scale else scale in
   let an = analyze ?lockopt b ~opts ~workers ~scale in
   let io = b.b_io ~seed:42 ~scale in
@@ -162,11 +163,17 @@ let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
     try
       Chimera.Runner.run_trials ?pool:(pool ()) ~trials
         ~config_of:(fun t ->
-          { Interp.Engine.default_config with seed = 1 + (t * 13); cores })
+          {
+            Interp.Engine.default_config with
+            seed = 1 + (t * 13);
+            cores;
+            strategy;
+          })
         ~io_of:(fun _ -> io)
         ~original:an.an_prog ~instrumented:an.an_instrumented ()
-    with Failure msg ->
-      Fmt.failwith "%s: replay diverged during benchmarking: %s" b.b_name msg
+    with Chimera.Runner.Trial_diverged tf ->
+      Fmt.failwith "%s: replay diverged during benchmarking: %a" b.b_name
+        Chimera.Runner.pp_trial_failure tf
   in
   let n = float_of_int trials in
   let avg f = List.fold_left (fun a x -> a +. f x) 0. acc /. n in

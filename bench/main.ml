@@ -291,9 +291,9 @@ int main() { int t[2]; int i0; int t0;
                  })
                ~io_of:(fun _ -> io)
                ~original:an.an_prog ~instrumented:an.an_instrumented ()
-           with Failure msg ->
-             Fmt.failwith "timeout ablation: replay diverged (wt=%d): %s" wt
-               msg
+           with Chimera.Runner.Trial_diverged tf ->
+             Fmt.failwith "timeout ablation: replay diverged (wt=%d): %a" wt
+               Chimera.Runner.pp_trial_failure tf
          in
          let sum f = List.fold_left (fun a tr -> a + f tr) 0 acc in
          let tot_native = sum (fun tr -> tr.Chimera.Runner.tr_native.o_ticks) in

@@ -31,8 +31,8 @@ let write_file name s =
   output_string oc s;
   close_out oc
 
-let config_of seed cores =
-  { Interp.Engine.default_config with seed; cores }
+let config_of ?(strategy = Interp.Engine.Sdefault) seed cores =
+  { Interp.Engine.default_config with seed; cores; strategy }
 
 (* --trace-out support: a sink is created only when requested, so the
    default path runs with tracing fully disabled *)
@@ -57,6 +57,54 @@ let seed_arg =
 
 let cores_arg =
   Arg.(value & opt int 4 & info [ "cores" ] ~doc:"Simulated cores")
+
+let strategy_conv =
+  Arg.enum
+    (List.map
+       (fun s -> (Interp.Engine.strategy_name s, s))
+       Interp.Engine.all_strategies)
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Interp.Engine.Sdefault
+    & info [ "strategy" ]
+        ~doc:
+          "Schedule strategy: $(b,default) (seeded round-robin with work \
+           stealing), $(b,pct) (PCT-style priority schedule with a \
+           change point at each quantum expiry), or $(b,storm) \
+           (weak-timeout storm: slashed timeouts, dense expiry sweeps, \
+           short quanta). Replay is gated by recorded per-object orders, \
+           so a log recorded under any strategy replays under any other.")
+
+(* a seed range for sweep modes: "A..B" inclusive, or a single seed "N" *)
+let seeds_conv : (int * int) Arg.conv =
+  let parse s =
+    let fail () =
+      Error (`Msg (Fmt.str "invalid seed range %S (expected A..B or N)" s))
+    in
+    match String.split_on_char '.' s with
+    | [ a; ""; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some a, Some b when a <= b -> Ok (a, b)
+        | _ -> fail ())
+    | [ n ] -> (
+        match int_of_string_opt n with Some v -> Ok (v, v) | None -> fail ())
+    | _ -> fail ()
+  in
+  let print ppf (a, b) = Fmt.pf ppf "%d..%d" a b in
+  Arg.conv (parse, print)
+
+let seeds_arg =
+  Arg.(
+    value
+    & opt (some seeds_conv) None
+    & info [ "seeds" ] ~docv:"A..B"
+        ~doc:
+          "Sweep scheduler seeds $(docv) (inclusive) instead of a single \
+           $(b,--seed)")
+
+let seeds_list (a, b) = List.init (b - a + 1) (fun i -> a + i)
 
 let io_seed_arg =
   Arg.(value & opt int 42 & info [ "io-seed" ] ~doc:"Input-model seed")
@@ -235,19 +283,32 @@ let print_outcome (o : Interp.Engine.outcome) =
     (List.length o.o_steps)
 
 let run_cmd =
-  let run file seed cores io_seed trace_out =
-    let sink = sink_for trace_out in
-    let o =
-      Chimera.Runner.native ~config:(config_of seed cores) ?sink
-        ~io:(Interp.Iomodel.random ~seed:io_seed) (load file)
-    in
-    print_outcome o;
-    dump_trace trace_out sink
+  let run file seed cores io_seed strategy seeds trace_out =
+    let prog = load file in
+    let io = Interp.Iomodel.random ~seed:io_seed in
+    match seeds with
+    | None ->
+        let sink = sink_for trace_out in
+        let o =
+          Chimera.Runner.native ~config:(config_of ~strategy seed cores) ?sink
+            ~io prog
+        in
+        print_outcome o;
+        dump_trace trace_out sink
+    | Some range ->
+        (* seed sweep: one native run per seed, no tracing *)
+        List.iter
+          (fun s ->
+            Fmt.pr "-- seed %d --@." s;
+            print_outcome
+              (Chimera.Runner.native ~config:(config_of ~strategy s cores) ~io
+                 prog))
+          (seeds_list range)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a MiniC program natively")
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ trace_out_arg)
+      $ strategy_arg $ seeds_arg $ trace_out_arg)
 
 let det_cmd =
   let run file seed cores io_seed profile_runs opts no_lockopt jobs no_cache
@@ -273,23 +334,43 @@ let det_cmd =
       $ no_cache_arg $ cache_dir_arg)
 
 let record_cmd =
-  let run file seed cores io_seed profile_runs opts no_lockopt jobs no_cache
-      cache_dir out trace_out =
+  let run file seed cores io_seed strategy seeds profile_runs opts no_lockopt
+      jobs no_cache cache_dir out trace_out =
     let an =
       analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
         file
     in
-    let sink = sink_for trace_out in
-    let r =
-      Chimera.Runner.record ~config:(config_of seed cores) ?sink
-        ~io:(Interp.Iomodel.random ~seed:io_seed) an.an_instrumented
+    let io = Interp.Iomodel.random ~seed:io_seed in
+    let record_one ?sink ~prefix s =
+      let r =
+        Chimera.Runner.record ~config:(config_of ~strategy s cores) ?sink ~io
+          an.an_instrumented
+      in
+      write_file (prefix ^ ".input.log") (Replay.Log.encode_input_log r.rc_log);
+      write_file (prefix ^ ".order.log") (Replay.Log.encode_order_log r.rc_log);
+      Fmt.epr "[logs: input %dB (%dB gz), order %dB (%dB gz) -> %s.*.log]@."
+        r.rc_input_log_raw r.rc_input_log_z r.rc_order_log_raw
+        r.rc_order_log_z prefix;
+      r
     in
-    print_outcome r.rc_outcome;
-    write_file (out ^ ".input.log") (Replay.Log.encode_input_log r.rc_log);
-    write_file (out ^ ".order.log") (Replay.Log.encode_order_log r.rc_log);
-    Fmt.epr "[logs: input %dB (%dB gz), order %dB (%dB gz)]@."
-      r.rc_input_log_raw r.rc_input_log_z r.rc_order_log_raw r.rc_order_log_z;
-    dump_trace trace_out sink
+    match seeds with
+    | None ->
+        let sink = sink_for trace_out in
+        let r = record_one ?sink ~prefix:out seed in
+        print_outcome r.rc_outcome;
+        dump_trace trace_out sink
+    | Some range ->
+        (* one recording per seed, logs under per-seed prefixes, with a
+           content-addressed dedup summary across the sweep *)
+        let digests =
+          List.map
+            (fun s ->
+              let r = record_one ~prefix:(Fmt.str "%s.%d" out s) s in
+              Chimera.Stress.log_digest r.rc_log)
+            (seeds_list range)
+        in
+        Fmt.pr "recorded %d seeds, %d distinct logs@." (List.length digests)
+          (List.length (List.sort_uniq compare digests))
   in
   let out_arg =
     Arg.(value & opt string "chimera" & info [ "o" ] ~doc:"Log file prefix")
@@ -297,16 +378,17 @@ let record_cmd =
   Cmd.v (Cmd.info "record" ~doc:"Instrument and record an execution")
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ jobs_arg
-      $ no_cache_arg $ cache_dir_arg $ out_arg $ trace_out_arg)
+      $ strategy_arg $ seeds_arg $ profile_runs_arg $ opts_arg
+      $ no_lockopt_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ out_arg
+      $ trace_out_arg)
 
 (* exit code for a log that fails to decode (distinct from cmdliner's
    reserved 123-125 range and from program exit codes) *)
 let corrupt_log_exit = 3
 
 let replay_cmd =
-  let run file seed cores io_seed profile_runs opts no_lockopt jobs no_cache
-      cache_dir logs trace_out =
+  let run file seed cores io_seed strategy seeds profile_runs opts no_lockopt
+      jobs no_cache cache_dir logs trace_out =
     let an =
       analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
         file
@@ -320,13 +402,47 @@ let replay_cmd =
         Fmt.epr "chimera: corrupt replay log: %s@." msg;
         exit corrupt_log_exit
     in
-    let sink = sink_for trace_out in
-    let o =
-      Chimera.Runner.replay ~config:(config_of seed cores) ?sink
-        ~io:(Interp.Iomodel.random ~seed:io_seed) an.an_instrumented log
-    in
-    print_outcome o;
-    dump_trace trace_out sink
+    let io = Interp.Iomodel.random ~seed:io_seed in
+    match seeds with
+    | None ->
+        let sink = sink_for trace_out in
+        let o =
+          Chimera.Runner.replay ~config:(config_of ~strategy seed cores) ?sink
+            ~io an.an_instrumented log
+        in
+        print_outcome o;
+        dump_trace trace_out sink
+    | Some range ->
+        (* replay determinism sweep: the same log replayed under every
+           seed in the range must yield one and the same execution *)
+        let outcomes =
+          List.map
+            (fun s ->
+              ( s,
+                Chimera.Runner.replay ~config:(config_of ~strategy s cores)
+                  ~io an.an_instrumented log ))
+            (seeds_list range)
+        in
+        let first = snd (List.hd outcomes) in
+        print_outcome first;
+        let bad =
+          List.filter
+            (fun (_, o) -> Chimera.Runner.same_execution first o <> Ok ())
+            outcomes
+        in
+        if bad = [] then
+          Fmt.pr "replay under %d seeds: IDENTICAL@." (List.length outcomes)
+        else begin
+          List.iter
+            (fun (s, o) ->
+              match Chimera.Runner.same_execution first o with
+              | Ok () -> ()
+              | Error d ->
+                  Fmt.pr "seed %d: DIVERGED: %a@." s
+                    Chimera.Runner.pp_divergence d)
+            bad;
+          exit 1
+        end
   in
   let logs_arg =
     Arg.(value & opt string "chimera" & info [ "logs" ] ~doc:"Log file prefix")
@@ -339,8 +455,9 @@ let replay_cmd =
          :: Cmd.Exit.defaults))
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
-      $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ jobs_arg
-      $ no_cache_arg $ cache_dir_arg $ logs_arg $ trace_out_arg)
+      $ strategy_arg $ seeds_arg $ profile_runs_arg $ opts_arg
+      $ no_lockopt_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ logs_arg
+      $ trace_out_arg)
 
 let trace_cmd =
   let run file seed cores io_seed profile_runs opts no_lockopt jobs no_cache
@@ -412,7 +529,8 @@ let trace_cmd =
       $ no_cache_arg $ cache_dir_arg $ top_arg $ trace_out_arg)
 
 let bench_cmd =
-  let run name seed cores workers no_lockopt jobs no_cache cache_dir =
+  let run name seed cores workers strategy seeds no_lockopt jobs no_cache
+      cache_dir =
     let b = Bench_progs.Registry.by_name name in
     let src = b.b_source ~workers ~scale:b.b_eval_scale in
     let an =
@@ -427,7 +545,7 @@ let bench_cmd =
             (Minic.Parser.parse ~file:name src))
     in
     let io = b.b_io ~seed:42 ~scale:b.b_eval_scale in
-    let config = config_of seed cores in
+    let config = config_of ~strategy seed cores in
     let ov, r = Chimera.Runner.measure ~config ~io ~original:an.an_prog
         ~instrumented:an.an_instrumented () in
     Fmt.pr "%s: %d races, %a@." name
@@ -438,12 +556,12 @@ let bench_cmd =
       ov.ov_native_ticks ov.ov_record_ticks ov.ov_record ov.ov_replay_ticks
       ov.ov_replay;
     Fmt.pr "logs: input %dB gz | order %dB gz@." r.rc_input_log_z r.rc_order_log_z;
-    match
-      Chimera.Runner.same_execution r.rc_outcome
-        (Chimera.Runner.replay
-           ~config:{ config with seed = config.seed + 7919 }
-           ~io an.an_instrumented r.rc_log)
-    with
+    (match
+       Chimera.Runner.same_execution r.rc_outcome
+         (Chimera.Runner.replay
+            ~config:{ config with seed = config.seed + 7919 }
+            ~io an.an_instrumented r.rc_log)
+     with
     | Ok () -> Fmt.pr "replay (different scheduler seed): DETERMINISTIC@."
     | Error d -> (
         Fmt.pr "replay DIVERGED: %a@." Chimera.Runner.pp_divergence d;
@@ -454,7 +572,28 @@ let bench_cmd =
         with
         | Some dv ->
             Fmt.pr "first diverging event: %a@." Trace.pp_divergence dv
-        | None -> Fmt.pr "no diverging trace event (data-only)@.")
+        | None -> Fmt.pr "no diverging trace event (data-only)@."));
+    match seeds with
+    | None -> ()
+    | Some range ->
+        (* record/replay determinism across a full seed sweep *)
+        let bad = ref 0 in
+        List.iter
+          (fun s ->
+            match
+              Chimera.Runner.record_replay_check
+                ~config:{ config with seed = s } ~io an.an_instrumented
+            with
+            | Ok _ -> ()
+            | Error d ->
+                incr bad;
+                Fmt.pr "seed %d: DIVERGED: %a@." s
+                  Chimera.Runner.pp_divergence d)
+          (seeds_list range);
+        let a, b = range in
+        Fmt.pr "seed sweep %d..%d: %s@." a b
+          (if !bad = 0 then "DETERMINISTIC" else Fmt.str "%d DIVERGED" !bad);
+        if !bad > 0 then exit 1
   in
   let name_arg =
     Arg.(
@@ -468,7 +607,310 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Run the full pipeline on a built-in benchmark")
     Term.(
       const run $ name_arg $ seed_arg $ cores_arg $ workers_arg
-      $ no_lockopt_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
+      $ strategy_arg $ seeds_arg $ no_lockopt_arg $ jobs_arg $ no_cache_arg
+      $ cache_dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stress: batch matrix recording + fault injection *)
+
+(* exit code for a matrix with divergences / claim drift / golden
+   mismatches / stuck recordings (exit 3, shared with corrupt-log, covers
+   fault-injection contract violations) *)
+let stress_issue_exit = 2
+
+(** Parse a golden-counters table (the [test/golden] snapshot format):
+    whitespace-separated columns, benchmark name first, tick count last;
+    lines whose last field is not an integer (the header) are skipped. *)
+let parse_golden path =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      match
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+      with
+      | name :: (_ :: _ as rest) -> (
+          match int_of_string_opt (List.nth rest (List.length rest - 1)) with
+          | Some ticks -> Hashtbl.replace tbl name ticks
+          | None -> ())
+      | _ -> ())
+    (String.split_on_char '\n' (read_file path));
+  tbl
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let stress_json (rp : Chimera.Stress.report)
+    (fault : Chimera.Stress.fault_report option) : string =
+  let b = Buffer.create 1024 in
+  let strings xs =
+    String.concat ", "
+      (List.map (fun s -> Fmt.str "\"%s\"" (json_escape s)) xs)
+  in
+  Buffer.add_string b
+    (Fmt.str
+       "{\n  \"jobs\": %d,\n  \"distinct\": %d,\n  \"replayed\": %d,\n  \
+        \"issues\": [%s]"
+       rp.rp_jobs rp.rp_distinct rp.rp_replayed
+       (strings
+          (List.map (Fmt.str "%a" Chimera.Stress.pp_issue) rp.rp_issues)));
+  (match fault with
+  | None -> ()
+  | Some f ->
+      Buffer.add_string b
+        (Fmt.str
+           ",\n  \"fault\": {\n    \"mutants\": %d,\n    \"truncations\": \
+            %d,\n    \"flips\": %d,\n    \"rejected\": %d,\n    \"benign\": \
+            %d,\n    \"divergent\": %d,\n    \"crashes\": [%s]\n  }"
+           (Chimera.Stress.fault_total f)
+           f.fi_truncations f.fi_flips f.fi_rejected f.fi_benign
+           f.fi_divergent
+           (strings
+              (List.map (fun (w, e) -> w ^ ": " ^ e) f.fi_crashes))));
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let stress_cmd =
+  let run benches srcs raw seeds strategies cores io_seed jobs no_cache
+      cache_dir golden json_out fault_logs no_fault_inject max_truncations
+      max_flips =
+    (* a corrupt on-disk log pair is rejected up front, before any
+       recording work *)
+    (match fault_logs with
+    | None -> ()
+    | Some prefix -> (
+        match
+          Replay.Log.decode
+            (read_file (prefix ^ ".input.log"))
+            (read_file (prefix ^ ".order.log"))
+        with
+        | exception Replay.Log.Corrupt msg ->
+            Fmt.epr "chimera: corrupt replay log: %s@." msg;
+            exit corrupt_log_exit
+        | _ -> Fmt.pr "logs %s.*.log: decode OK@." prefix));
+    let golden_tbl =
+      match golden with Some p -> parse_golden p | None -> Hashtbl.create 1
+    in
+    (* the built-in trio is a default, not an addition: naming benches or
+       sources explicitly replaces it *)
+    let benches =
+      if benches = [] && srcs = [] then [ "pfscan"; "fft"; "ocean" ]
+      else benches
+    in
+    let seeds = seeds_list seeds in
+    with_jobs jobs (fun pool ->
+        let cache = cache_of ~no_cache ~cache_dir in
+        (* benchmark analysis mirrors the golden-counters generator
+           (profile_runs 6, profile-io seeds 100+i, 4 workers, io seed 42
+           at eval scale) so --golden pins are directly comparable *)
+        let bench_spec name : Chimera.Stress.prog_spec =
+          let b = Bench_progs.Registry.by_name name in
+          let src = b.b_source ~workers:4 ~scale:b.b_eval_scale in
+          let an =
+            Chimera.Pipeline.analyze ~profile_runs:6
+              ~profile_io:(fun i ->
+                b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+              ?pool ?cache
+              ~cache_tag:("stress:" ^ name)
+              ~cache_log:cli_cache_log
+              (Minic.Parser.parse ~file:name src)
+          in
+          {
+            sp_name = name;
+            sp_instrumented = (if raw then an.an_prog else an.an_instrumented);
+            sp_io = b.b_io ~seed:42 ~scale:b.b_eval_scale;
+            sp_golden_ticks =
+              (if raw then None else Hashtbl.find_opt golden_tbl name);
+          }
+        in
+        let src_spec path : Chimera.Stress.prog_spec =
+          let an =
+            Chimera.Pipeline.analyze ~profile_runs:6 ?pool ?cache
+              ~cache_log:cli_cache_log
+              (Minic.Parser.parse ~file:path (read_file path))
+          in
+          {
+            sp_name = Filename.basename path;
+            sp_instrumented = (if raw then an.an_prog else an.an_instrumented);
+            sp_io = Interp.Iomodel.random ~seed:io_seed;
+            sp_golden_ticks = None;
+          }
+        in
+        let progs =
+          List.map bench_spec benches @ List.map src_spec srcs
+        in
+        if progs = [] then begin
+          Fmt.epr "chimera: stress: no programs given@.";
+          exit Cmd.Exit.cli_error
+        end;
+        Fmt.pr "stress matrix: %d program(s) x %d seed(s) x %d strateg%s@."
+          (List.length progs) (List.length seeds) (List.length strategies)
+          (if List.length strategies = 1 then "y" else "ies");
+        let rp =
+          Chimera.Stress.run_matrix ?pool ~cores ~seeds ~strategies ~progs ()
+        in
+        Fmt.pr
+          "recorded %d jobs, %d distinct logs (%d duplicates); replayed %d@."
+          rp.rp_jobs rp.rp_distinct (rp.rp_jobs - rp.rp_distinct)
+          rp.rp_replayed;
+        List.iter (fun i -> Fmt.pr "%a@." Chimera.Stress.pp_issue i) rp.rp_issues;
+        let fault =
+          if no_fault_inject then None
+          else begin
+            let sp = List.hd progs in
+            let f =
+              Chimera.Stress.fault_injection ?pool
+                ~max_truncations ~max_flips
+                ~config:{ Interp.Engine.default_config with cores }
+                ~io:sp.Chimera.Stress.sp_io
+                ~instrumented:sp.Chimera.Stress.sp_instrumented ()
+            in
+            Fmt.pr "fault injection on %s: %a@." sp.Chimera.Stress.sp_name
+              Chimera.Stress.pp_fault_report f;
+            List.iter
+              (fun (what, e) -> Fmt.pr "  CRASH: %s: %s@." what e)
+              f.fi_crashes;
+            Some f
+          end
+        in
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            let doc = stress_json rp fault in
+            (match Bjson.parse doc with
+            | exception Bjson.Bad m ->
+                Fmt.failwith "stress emitted invalid JSON: %s" m
+            | _ -> ());
+            write_file path doc;
+            Fmt.epr "[stress report -> %s]@." path);
+        let crashes =
+          match fault with Some f -> f.fi_crashes <> [] | None -> false
+        in
+        if crashes then begin
+          Fmt.pr "stress: FAULT-INJECTION CONTRACT VIOLATED@.";
+          exit corrupt_log_exit
+        end;
+        if rp.rp_issues <> [] then begin
+          Fmt.pr "stress: %d issue(s)@." (List.length rp.rp_issues);
+          exit stress_issue_exit
+        end;
+        Fmt.pr "stress: OK@.")
+  in
+  let benches_arg =
+    Arg.(
+      value
+      & pos_all
+          (Arg.enum
+             (List.map (fun n -> (n, n)) Bench_progs.Registry.names))
+          []
+      & info [] ~docv:"BENCH"
+          ~doc:
+            "Built-in benchmarks to stress (default, when no $(docv) or \
+             $(b,--src) is given: pfscan fft ocean)")
+  in
+  let srcs_arg =
+    Arg.(
+      value & opt_all file []
+      & info [ "src" ] ~docv:"FILE"
+          ~doc:"Also stress a MiniC source file (repeatable)")
+  in
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Record the $(b,uninstrumented) programs — a negative control: \
+             their data races are expected to make replay diverge, \
+             exercising the exit-2 path")
+  in
+  let stress_seeds_arg =
+    Arg.(
+      value
+      & opt seeds_conv (1, 8)
+      & info [ "seeds" ] ~docv:"A..B" ~doc:"Seed range (default 1..8)")
+  in
+  let strategies_arg =
+    Arg.(
+      value
+      & opt (list strategy_conv) Interp.Engine.all_strategies
+      & info [ "strategies" ] ~docv:"S,..."
+          ~doc:"Strategies to sweep (default: default,pct,storm)")
+  in
+  let golden_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "golden" ] ~docv:"FILE"
+          ~doc:
+            "Pin default-strategy seed-1 record ticks to the golden \
+             counters table in $(docv) (requires --cores 4, the golden \
+             generator's configuration)")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write a JSON report to $(docv)")
+  in
+  let fault_logs_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-logs" ] ~docv:"PREFIX"
+          ~doc:
+            "Decode-validate the on-disk log pair $(docv).input.log / \
+             $(docv).order.log before stressing; a corrupt pair exits 3")
+  in
+  let no_fault_inject_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fault-inject" ] ~doc:"Skip the log fault-injection phase")
+  in
+  let max_truncations_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-truncations" ]
+          ~doc:"Truncation-point cap per log (evenly sampled beyond it)")
+  in
+  let max_flips_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-flips" ] ~doc:"Byte-corruption cap per log")
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Batch-record a (program x seed x strategy) matrix under \
+          adversarial schedules, dedup the logs by content address, \
+          replay every distinct recording, and fault-inject the encoded \
+          logs (truncation at every record boundary + byte corruption), \
+          asserting typed rejection or a clean divergence report"
+       ~exits:
+         (Cmd.Exit.info stress_issue_exit
+            ~doc:
+              "the matrix surfaced issues: replay divergence, served-claim \
+               drift, a stuck recording, or a golden-ticks mismatch"
+         :: Cmd.Exit.info corrupt_log_exit
+              ~doc:
+                "a $(b,--fault-logs) pair failed to decode, or fault \
+                 injection crashed the decoder/replayer (contract \
+                 violation)"
+         :: Cmd.Exit.defaults))
+    Term.(
+      const run $ benches_arg $ srcs_arg $ raw_arg $ stress_seeds_arg
+      $ strategies_arg $ cores_arg $ io_seed_arg $ jobs_arg $ no_cache_arg
+      $ cache_dir_arg $ golden_arg $ json_arg $ fault_logs_arg
+      $ no_fault_inject_arg $ max_truncations_arg $ max_flips_arg)
 
 let cache_cmd =
   let stats_cmd =
@@ -507,4 +949,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "chimera" ~version:"1.0.0" ~doc)
           [ races_cmd; plan_cmd; instrument_cmd; run_cmd; det_cmd;
-            record_cmd; replay_cmd; trace_cmd; bench_cmd; cache_cmd ]))
+            record_cmd; replay_cmd; trace_cmd; bench_cmd; stress_cmd;
+            cache_cmd ]))

@@ -147,12 +147,42 @@ type trial = {
   tr_replay : Engine.outcome;
 }
 
+(** A diverged trial, with everything needed to reproduce it from the
+    message alone: the trial index, the exact scheduler seed and
+    strategy it recorded under, the outcome-level divergence, and (when
+    the trace diff localizes one) the first diverging event. *)
+type trial_failure = {
+  tf_trial : int;
+  tf_seed : int;
+  tf_strategy : Engine.strategy;
+  tf_divergence : divergence;
+  tf_first_event : Trace.divergence option;
+}
+
+exception Trial_diverged of trial_failure
+
+let pp_trial_failure ppf (tf : trial_failure) =
+  Fmt.pf ppf
+    "trial %d (seed %d, strategy %s): replay diverged: %a; first diverging \
+     event: %a"
+    tf.tf_trial tf.tf_seed
+    (Engine.strategy_name tf.tf_strategy)
+    pp_divergence tf.tf_divergence
+    Fmt.(option ~none:(any "none (data-only)") Trace.pp_divergence)
+    tf.tf_first_event
+
+let () =
+  Printexc.register_printer (function
+    | Trial_diverged tf -> Some (Fmt.str "Trial_diverged: %a" pp_trial_failure tf)
+    | _ -> None)
+
 (** Run [trials] independent trials, concurrently when [pool] is given.
     [config_of t] and [io_of t] (t = 1..trials) fix each trial's scheduler
     seed and inputs, so every trial's result is a function of its index
     alone: the returned list (in trial order) is identical however the
-    trials are scheduled. Raises [Failure] if any trial's replay diverges
-    from its recording. *)
+    trials are scheduled. Raises [Trial_diverged] — carrying the trial
+    index, seed, strategy, and first diverging trace event — if any
+    trial's replay diverges from its recording. *)
 let run_trials ?(pool : Par.Pool.t option) ?(replay_seed_delta = 7919)
     ~trials ~(config_of : int -> Engine.config) ~(io_of : int -> Iomodel.t)
     ~(original : Minic.Ast.program) ~(instrumented : Minic.Ast.program) () :
@@ -170,7 +200,20 @@ let run_trials ?(pool : Par.Pool.t option) ?(replay_seed_delta = 7919)
     (match same_execution r.rc_outcome rp with
     | Ok () -> ()
     | Error d ->
-        Fmt.failwith "trial %d: replay diverged: %a" t pp_divergence d);
+        (* the trace diff re-records, so pay for it only on failure *)
+        let first =
+          first_trace_divergence ~config ~replay_seed_delta ~io instrumented
+            r.rc_log
+        in
+        raise
+          (Trial_diverged
+             {
+               tf_trial = t;
+               tf_seed = config.Engine.seed;
+               tf_strategy = config.Engine.strategy;
+               tf_divergence = d;
+               tf_first_event = first;
+             }));
     { tr_native = nat; tr_recorded = r; tr_replay = rp }
   in
   let indices = List.init trials (fun t -> t + 1) in

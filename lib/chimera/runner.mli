@@ -101,12 +101,27 @@ type trial = {
   tr_replay : Engine.outcome;
 }
 
+type trial_failure = {
+  tf_trial : int;
+  tf_seed : int;
+  tf_strategy : Engine.strategy;
+  tf_divergence : divergence;
+  tf_first_event : Trace.divergence option;
+}
+(** A diverged trial: index, scheduler seed, strategy, outcome-level
+    divergence, and the first diverging trace event when one exists —
+    enough to reproduce the failure from the message alone. *)
+
+exception Trial_diverged of trial_failure
+
+val pp_trial_failure : trial_failure Fmt.t
+
 (** [run_trials ~trials ~config_of ~io_of ~original ~instrumented ()]
     runs [trials] independent native/record/replay trials — concurrently
     across [pool]'s domains when given — returning them in trial order
     (1..trials). Each trial is a pure function of its index, so the
-    result list is schedule-independent. Raises [Failure] on replay
-    divergence. *)
+    result list is schedule-independent. Raises [Trial_diverged] on
+    replay divergence. *)
 val run_trials :
   ?pool:Par.Pool.t ->
   ?replay_seed_delta:int ->

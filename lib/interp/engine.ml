@@ -74,6 +74,10 @@ type thread = {
   mutable resume : (unit, unit) Effect.Deep.continuation option;
   mutable body : (unit -> unit) option;  (** before first scheduling *)
   mutable steps : int;
+  mutable weak_acqs : int;
+      (** weak-lock acquisitions performed so far (including
+          reacquisitions) — identical across record and replay, used to
+          order forced events against this thread's own reacquisitions *)
   mutable stall : int;
   mutable core : int;
   mutable spawn_seq : int;
@@ -201,6 +205,37 @@ type mode =
           of the program and its inputs, independent of the scheduler, with
           no logging at all. *)
 
+(** Schedule-exploration strategy of the tick scheduler. [Sdefault] is
+    the seeded round-robin scheduler and consumes the rng stream exactly
+    as it always has, so its tick counts stay pinned by the golden
+    counters. The adversarial strategies only shape {e recordings} —
+    replay is gated by the recorded per-object orders, so a log recorded
+    under any strategy replays under any other. *)
+type strategy =
+  | Sdefault
+      (** seeded quantum round-robin with work stealing (the pinned path) *)
+  | Spct
+      (** PCT-style: per-thread random priorities; the highest-priority
+          runnable thread on each core runs, and at quantum-expiry change
+          points the running thread's priority drops below every other *)
+  | Sstorm
+      (** weak-timeout storm: the forced-release timeout is slashed and
+          swept an order of magnitude more often, driving weak locks
+          toward forced expiry (the Section 2.3 escape hatch) *)
+
+let strategy_name = function
+  | Sdefault -> "default"
+  | Spct -> "pct"
+  | Sstorm -> "storm"
+
+let strategy_of_string = function
+  | "default" -> Some Sdefault
+  | "pct" -> Some Spct
+  | "storm" -> Some Sstorm
+  | _ -> None
+
+let all_strategies = [ Sdefault; Spct; Sstorm ]
+
 type config = {
   cores : int;
   seed : int;
@@ -208,6 +243,7 @@ type config = {
   weak_timeout : int;
   max_ticks : int;
   cost : Cost.t;
+  strategy : strategy;
 }
 
 let default_config =
@@ -218,6 +254,7 @@ let default_config =
     weak_timeout = 100_000;
     max_ticks = 400_000_000;
     cost = Cost.default;
+    strategy = Sdefault;
   }
 
 exception Program_exit of int
@@ -258,6 +295,12 @@ type t = {
   mutable exit_code : int option;
   mutable rng : int;
   mutable main_done : bool;
+  prio : (int, int) Hashtbl.t;
+      (** per-thread PCT priorities (tid -> priority); touched only under
+          [Spct], so the default path never pays for it *)
+  mutable pct_floor : int;
+      (** strictly decreasing change-point floor: each demotion lands
+          below every priority handed out so far *)
   fenvs : (string, Minic.Typecheck.env) Hashtbl.t;
       (** per-engine function-env cache; engines must not share mutable
           state so that runs on different domains stay independent *)
@@ -299,6 +342,43 @@ let rng_next (eng : t) =
   let x = x land max_int in
   eng.rng <- (if x = 0 then 0x2545F491 else x);
   eng.rng
+
+(* ------------------------------------------------------------------ *)
+(* Schedule strategies.
+
+   Everything here is a no-op under [Sdefault]: the default path must
+   neither consume extra rng draws nor reorder queues, because the
+   golden tick counts pin it byte-for-byte. *)
+
+(** Storm mode slashes the forced-release deadline; every other strategy
+    uses the configured timeout. Used by the sweep and by the idle
+    fast-forward deadline, so both agree on when a stall expires. *)
+let effective_weak_timeout eng =
+  match eng.cfg.strategy with
+  | Sstorm -> max 64 (eng.cfg.weak_timeout / 64)
+  | Sdefault | Spct -> eng.cfg.weak_timeout
+
+(** Tick mask between weak-timeout sweeps: storm sweeps 8x as often so a
+    slashed deadline is actually observed soon after it passes. *)
+let weak_sweep_mask eng =
+  match eng.cfg.strategy with Sstorm -> 31 | Sdefault | Spct -> 255
+
+(** PCT priority of a thread, assigned deterministically from (seed,
+    tid) on first sight — thread creation consumes no rng draw, so the
+    recorded thread structure is independent of later scheduling. *)
+let pct_prio eng (tid : int) =
+  match Hashtbl.find_opt eng.prio tid with
+  | Some p -> p
+  | None ->
+      let h = (tid + 1) * 0x9E3779B1 lxor (eng.cfg.seed * 0x85EBCA77) in
+      let p = 1 + (h land 0x3FFFFFFF) in
+      Hashtbl.replace eng.prio tid p;
+      p
+
+(** Change point: drop the thread below every priority seen so far. *)
+let pct_demote eng (tid : int) =
+  eng.pct_floor <- eng.pct_floor - 1;
+  Hashtbl.replace eng.prio tid eng.pct_floor
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation *)
@@ -603,6 +683,7 @@ let gate_weak eng th (lock : weak_lock) =
         (fun () -> Replay.Replayer.weak_turn r lock ~tp:th.path)
 
 let record_weak eng th (lock : weak_lock) ~(claim : Replay.Log.sclaim) =
+  th.weak_acqs <- th.weak_acqs + 1;
   let rank = granularity_rank lock.wl_gran in
   eng.stats.n_weak_acq.(rank) <- eng.stats.n_weak_acq.(rank) + 1;
   emit_ev eng th (Trace.Weak_acquire lock);
@@ -610,7 +691,11 @@ let record_weak eng th (lock : weak_lock) ~(claim : Replay.Log.sclaim) =
   | Some rc -> Replay.Recorder.rec_weak rc ~lock ~tp:th.path ~claim
   | None -> ());
   match eng.replayer with
-  | Some r -> Replay.Replayer.consume_weak r lock ~tp:th.path
+  | Some r ->
+      (* the served claim is validated against the recorded one: a
+         difference means the replaying binary instruments differently
+         than the recording one did (drift), reported in the outcome *)
+      Replay.Replayer.consume_weak r lock ~tp:th.path ~claim ()
   | None -> ()
 
 (** The schedule-independent (origin-space) view of a claim, for logs. *)
@@ -857,8 +942,37 @@ let claim_of_ranges eng th fr ~sid (ranges : warange list) : WL.claim =
 let forced_release_fwd : (t -> thread -> weak_lock -> unit) ref =
   ref (fun _ _ _ -> ())
 
+(* Replay: before this thread changes weak-lock state, re-apply its own
+   pending forced events that are already due (recorded at or before the
+   current step count, lock currently held). The step-boundary check
+   cannot cover these — a blocked acquisition retries without passing a
+   new boundary, so a forced release recorded between a reacquisition and
+   the next acquisition (same step count) would otherwise slide after the
+   acquisition and reorder conflicting accesses. Each application parks
+   the thread until maintenance has reacquired in recorded order. *)
+let drain_own_forced eng (th : thread) =
+  match eng.replayer with
+  | None -> ()
+  | Some r ->
+      let rec go () =
+        match
+          Replay.Replayer.pending_forced r th.path ~steps:th.steps
+            ~acqs:th.weak_acqs
+            ~holds:(fun l -> WL.holds eng.weak l ~tid:th.tid)
+        with
+        | Some lock ->
+            !forced_release_fwd eng th lock;
+            (* [apply_forced_release] parked us as [BReacq]; yield until
+               the maintenance pass has taken the lock back *)
+            if th.status <> Runnable then block_here ();
+            go ()
+        | None -> ()
+      in
+      go ()
+
 let rec weak_acquire_one ?(det_retries = 0) eng th (lock : weak_lock)
     (claim : WL.claim) =
+  drain_own_forced eng th;
   gate_weak eng th lock;
   det_gate eng th;
   match WL.acquire eng.weak lock ~tid:th.tid ~claim with
@@ -1104,7 +1218,8 @@ let apply_forced_release eng (owner : thread) (lock : weak_lock) =
     emit_ev eng owner (Trace.Weak_forced lock);
     (match eng.recorder with
     | Some rc ->
-        Replay.Recorder.rec_forced rc ~owner:owner.path ~steps:owner.steps ~lock
+        Replay.Recorder.rec_forced rc ~owner:owner.path ~steps:owner.steps
+          ~acqs:owner.weak_acqs ~lock
     | None -> ());
     (* the stripped owner's work so far happens-before the next
        acquisition: emit the release edge for dynamic analyses *)
@@ -1881,6 +1996,7 @@ and new_thread eng (path : K.tid_path) : thread =
       resume = None;
       body = None;
       steps = 0;
+      weak_acqs = 0;
       stall = 0;
       core = 0;
       spawn_seq = 0;
@@ -1962,7 +2078,7 @@ let start_thread eng (th : thread) (body : unit -> unit) =
                   | Some r -> (
                       match
                         Replay.Replayer.pending_forced r th.path
-                          ~steps:th.steps
+                          ~steps:th.steps ~acqs:th.weak_acqs
                           ~holds:(fun l -> WL.holds eng.weak l ~tid:th.tid)
                       with
                       | Some lock -> apply_forced_release eng th lock
@@ -2022,6 +2138,7 @@ let maintenance eng =
                  gate; either way it passes no step boundary of its own *)
               match
                 Replay.Replayer.pending_forced r th.path ~steps:th.steps
+                  ~acqs:th.weak_acqs
                   ~holds:(fun l -> WL.holds eng.weak l ~tid:th.tid)
               with
               | Some lock -> apply_forced_release eng th lock
@@ -2060,6 +2177,27 @@ let maintenance eng =
           | Some r -> Replay.Replayer.weak_turn r lock ~tp:th.path
         in
         let rec go () =
+          (* between two reacquisitions the recording may carry another
+             forced release (same step count, next acquisition count);
+             re-apply it first or this thread's acquisitions slide ahead
+             of it and conflicting accesses reorder. The thread is
+             parked, so the application cannot park it again — it only
+             extends [reacquire]. *)
+          (match eng.replayer with
+          | Some r ->
+              let rec drain () =
+                match
+                  Replay.Replayer.pending_forced r th.path ~steps:th.steps
+                    ~acqs:th.weak_acqs
+                    ~holds:(fun l -> WL.holds eng.weak l ~tid:th.tid)
+                with
+                | Some l ->
+                    apply_forced_release eng th l;
+                    drain ()
+                | None -> ()
+              in
+              drain ()
+          | None -> ());
           match th.reacquire with
           | [] -> ()
           | (lock, claim) :: rest ->
@@ -2097,65 +2235,143 @@ let check_weak_timeouts eng =
      preempts by retry-count dooming — a wall-tick timeout would make
      the preemption point a function of the host schedule *)
   if eng.replayer <> None || det_mode eng then ()
-  else
-  Hashtbl.iter
-    (fun _ (th : thread) ->
-      match th.status with
-      | Blocked BReacq
-        when eng.ticks - th.blocked_since > eng.cfg.weak_timeout ->
-          (* a reacquiring thread stalled this long means the handoff
-             reservation is stale (its beneficiary is parked elsewhere) or
-             the lock is held by another stuck owner: expire reservations
-             and preempt holders *)
-          List.iter
-            (fun ((lock : weak_lock), _) ->
+  else begin
+    (* one victim per pass: the longest-stalled expired waiter (lowest
+       tid on ties). Preempting on behalf of every expired waiter at
+       once is what the text of Section 2.3 forbids, and for good
+       reason: two threads contending for overlapping lock sets whose
+       deadlines fall in the same sweep would strip each other
+       symmetrically and swap their sets forever — a timeout-sustained
+       livelock. Serving only the longest-stalled waiter breaks the
+       symmetry; the loser's clock keeps running and it gets the next
+       pass. *)
+    let victim =
+      Hashtbl.fold
+        (fun _ (th : thread) acc ->
+          match th.status with
+          | Blocked (BWeak _ | BReacq)
+            when eng.ticks - th.blocked_since > effective_weak_timeout eng
+            -> (
+              match acc with
+              | Some (best : thread)
+                when (best.blocked_since, best.tid)
+                     <= (th.blocked_since, th.tid) ->
+                  acc
+              | _ -> Some th)
+          | _ -> acc)
+        eng.threads None
+    in
+    match victim with
+    | None -> ()
+    | Some th -> (
+        match th.status with
+        | Blocked BReacq ->
+            (* a reacquiring thread stalled this long means the handoff
+               reservation is stale (its beneficiary is parked elsewhere)
+               or the lock is held by another stuck owner: expire
+               reservations and preempt holders *)
+            List.iter
+              (fun ((lock : weak_lock), _) ->
+                WL.clear_pending eng.weak lock;
+                List.iter
+                  (fun otid ->
+                    if otid <> th.tid then
+                      match Hashtbl.find_opt eng.threads otid with
+                      | Some owner -> apply_forced_release eng owner lock
+                      | None -> ())
+                  (WL.holders eng.weak lock))
+              th.reacquire;
+            (* …and hand the freed locks to the victim right here, as one
+               unit. Leaving the reacquisition to the next maintenance
+               pass lets whichever stalled reacquirer iterates first (or
+               heads the waiter queue the strip just promoted to a
+               handoff reservation) grab single locks out of the set —
+               with several threads needing overlapping multi-lock sets,
+               that rotation reassembles a full set for no one and the
+               timeouts sustain a livelock. *)
+            th.reacquire <-
+              List.filter
+                (fun ((lock : weak_lock), claim) ->
+                  WL.clear_pending eng.weak lock;
+                  if WL.holds eng.weak lock ~tid:th.tid then false
+                  else
+                    match WL.acquire eng.weak lock ~tid:th.tid ~claim with
+                    | `Acquired ->
+                        trace eng "%a timeout-reacq %a" K.pp_tid_path th.path
+                          pp_weak_lock lock;
+                        record_weak eng th lock
+                          ~claim:(stable_claim eng claim);
+                        fire_sync eng th (SyWeakAcq lock);
+                        false
+                    | `Blocked _ -> true)
+                th.reacquire;
+            if th.reacquire = [] then begin
+              th.status <- Runnable;
+              enqueue eng th
+            end
+            else th.blocked_since <- eng.ticks
+        | Blocked (BWeak (lock, _claim)) ->
+            let owners = WL.holders eng.weak lock in
+            (* no holders at all: the waiter is fenced out purely by a
+               stale handoff reservation (e.g. its beneficiary was
+               cancelled or parked) — expire it and let the waiter retry *)
+            if owners = [] then begin
               WL.clear_pending eng.weak lock;
-              List.iter
-                (fun otid ->
-                  if otid <> th.tid then
-                    match Hashtbl.find_opt eng.threads otid with
-                    | Some owner -> apply_forced_release eng owner lock
-                    | None -> ())
-                (WL.holders eng.weak lock))
-            th.reacquire;
-          th.blocked_since <- eng.ticks
-      | Blocked (BWeak (lock, _claim))
-        when eng.ticks - th.blocked_since > eng.cfg.weak_timeout ->
-          let owners = WL.holders eng.weak lock in
-          (* no holders at all: the waiter is fenced out purely by a
-             stale handoff reservation (e.g. its beneficiary was
-             cancelled or parked) — expire it and let the waiter retry *)
-          if owners = [] then begin
-            WL.clear_pending eng.weak lock;
-            wake eng th
-          end;
-          List.iter
-            (fun otid ->
-              if otid <> th.tid then
-                match Hashtbl.find_opt eng.threads otid with
-                | Some owner -> (
-                    match owner.status with
-                    | Blocked (BMutex _ | BBarrier _ | BCond _ | BJoin _ | BIO _)
-                      ->
-                        (* owner is itself waiting on program synchronization:
-                           apply the forced release immediately *)
-                        apply_forced_release eng owner lock
-                    | Runnable | Blocked _ ->
-                        (* preempt at the owner's next step boundary *)
-                        if not (List.mem lock owner.force_now) then
-                          owner.force_now <- owner.force_now @ [ lock ]
-                    | Done -> ())
-                | None -> ())
-            owners;
-          th.blocked_since <- eng.ticks (* restart the clock *)
-      | _ -> ())
-    eng.threads
+              wake eng th
+            end;
+            List.iter
+              (fun otid ->
+                if otid <> th.tid then
+                  match Hashtbl.find_opt eng.threads otid with
+                  | Some owner -> (
+                      match owner.status with
+                      | Blocked _ ->
+                          (* owner is itself parked — on program
+                             synchronization, or on the weak layer (BWeak /
+                             BReacq, a hold-wait cycle through several weak
+                             locks): it passes no step boundary while
+                             blocked, so deferring the release would leave
+                             the cycle standing forever. Apply it now. *)
+                          apply_forced_release eng owner lock
+                      | Runnable ->
+                          (* preempt at the owner's next step boundary *)
+                          if not (List.mem lock owner.force_now) then
+                            owner.force_now <- owner.force_now @ [ lock ]
+                      | Done -> ())
+                  | None -> ())
+              owners;
+            th.blocked_since <- eng.ticks (* restart the clock *)
+        | _ -> ())
+  end
 
 let can_run (th : thread) = th.status = Runnable
 
 (* one scheduling tick for core [c] *)
 let tick_core eng c =
   let q = eng.queues.(c) in
+  (* PCT: bring the highest-priority runnable thread to the head before
+     the head is cleaned and run. Ties break to queue order, so the pass
+     is deterministic; [Sdefault]/[Sstorm] skip it entirely. *)
+  (if eng.cfg.strategy = Spct then
+     match !q with
+     | [] | [ _ ] -> ()
+     | ts -> (
+         let best =
+           List.fold_left
+             (fun acc (t : thread) ->
+               if not (can_run t) then acc
+               else
+                 match acc with
+                 | None -> Some t
+                 | Some (b : thread) ->
+                     if pct_prio eng t.tid > pct_prio eng b.tid then Some t
+                     else acc)
+             None ts
+         in
+         match best with
+         | Some b when List.hd ts != b ->
+             q := b :: List.filter (fun t -> t != b) ts
+         | _ -> ()));
   (* drop finished/blocked threads from the head *)
   let rec clean () =
     match !q with
@@ -2204,7 +2420,21 @@ let tick_core eng c =
       (* quantum accounting *)
       eng.quanta.(c) <- eng.quanta.(c) - 1;
       if eng.quanta.(c) <= 0 then begin
-        eng.quanta.(c) <- (eng.cfg.quantum / 2) + (rng_next eng mod eng.cfg.quantum);
+        (* storm shortens the quantum so preemption points (and thus
+           timeout-exposed interleavings) come much more often; the
+           refill consumes exactly one rng draw in every strategy *)
+        let quantum =
+          match eng.cfg.strategy with
+          | Sstorm -> max 4 (eng.cfg.quantum / 8)
+          | Sdefault | Spct -> eng.cfg.quantum
+        in
+        eng.quanta.(c) <- (quantum / 2) + (rng_next eng mod quantum);
+        (* PCT change point: the expiring thread drops below everyone,
+           so the next selection pass prefers any other runnable thread *)
+        (if eng.cfg.strategy = Spct then
+           match !q with
+           | head :: _ -> pct_demote eng head.tid
+           | [] -> ());
         match !q with
         | head :: rest when rest <> [] -> q := rest @ [ head ]
         | _ -> ()
@@ -2225,6 +2455,9 @@ type outcome = {
   o_timed_out : bool;
   o_stuck : string list;
       (** per-thread status dump when the run timed out / deadlocked *)
+  o_claim_mismatches : Replay.Replayer.claim_mismatch list;
+      (** replay only: served weak-lock claims that differ from the
+          recorded ones (instrumentation drift); always [] otherwise *)
 }
 
 let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ?sink ~mode
@@ -2266,6 +2499,8 @@ let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ?sink ~mode
       exit_code = None;
       rng = (config.seed * 2) + 1;
       main_done = false;
+      prio = Hashtbl.create 16;
+      pct_floor = 0;
       fenvs = Hashtbl.create 64;
       flayouts = Hashtbl.create 64;
       sid_sort_perm = Hashtbl.create 64;
@@ -2297,6 +2532,11 @@ let run_engine (eng : t) : outcome =
   main.body <- Some (fun () -> ignore (exec_fun eng main "main" []));
   enqueue eng main;
   let timed_out = ref false in
+  (* consecutive idle fast-forwards where the wake-up resolved nothing;
+     unwinding a hold-wait cycle through several weak locks takes one
+     forced release per timeout deadline, so a single fruitless round is
+     not yet a deadlock *)
+  let stuck_rounds = ref 0 in
   (try
      while eng.live > 0 && eng.exit_code = None && not eng.main_done do
        eng.ticks <- eng.ticks + 1;
@@ -2305,7 +2545,7 @@ let run_engine (eng : t) : outcome =
          raise Exit
        end;
        if eng.ticks land 15 = 0 then maintenance eng;
-       if eng.ticks land 255 = 0 then check_weak_timeouts eng;
+       if eng.ticks land weak_sweep_mask eng = 0 then check_weak_timeouts eng;
        (* rotate the starting core each tick to vary cross-core order *)
        let start = rng_next eng mod eng.cfg.cores in
        for i = 0 to eng.cfg.cores - 1 do
@@ -2329,7 +2569,7 @@ let run_engine (eng : t) : outcome =
                | Blocked (BWeak _ | BReacq) ->
                    (* both resolve through the weak-lock timeout *)
                    let deadline =
-                     th.blocked_since + eng.cfg.weak_timeout + 1
+                     th.blocked_since + effective_weak_timeout eng + 1
                    in
                    if deadline < !next_wake then next_wake := deadline
                | _ -> ())
@@ -2339,10 +2579,18 @@ let run_engine (eng : t) : outcome =
              check_weak_timeouts eng;
              maintenance eng;
              if Array.for_all (fun q -> !q = []) eng.queues then begin
-               (* the wake-up resolved nothing: genuinely stuck *)
-               timed_out := true;
-               raise Exit
+               (* nothing woke this round. Each round expires only the
+                  earliest deadline and restarts that thread's clock, so
+                  breaking an N-lock cycle needs up to N rounds of forced
+                  releases; only a sustained run of fruitless rounds means
+                  genuinely stuck. *)
+               incr stuck_rounds;
+               if !stuck_rounds > 8 * (eng.live + 1) then begin
+                 timed_out := true;
+                 raise Exit
+               end
              end
+             else stuck_rounds := 0
            end
            else if
              det_mode eng
@@ -2436,6 +2684,10 @@ let run_engine (eng : t) : outcome =
     o_recorder = eng.recorder;
     o_timed_out = !timed_out;
     o_stuck = stuck;
+    o_claim_mismatches =
+      (match eng.replayer with
+      | Some r -> Replay.Replayer.claim_mismatches r
+      | None -> []);
   }
 
 (** Run [prog] to completion under [mode]. [sink], when given, receives

@@ -85,6 +85,10 @@ let sclaims_conflict (a : sclaim) (b : sclaim) : bool =
 type forced_event = {
   fe_owner : Key.tid_path;
   fe_steps : int;          (** owner's per-thread step count at preemption *)
+  fe_acqs : int;
+      (** weak acquisitions the owner had performed when preempted — pins
+          where the forced release falls between the owner's own
+          reacquisitions at the same step count *)
   fe_lock : Minic.Ast.weak_lock;
 }
 
@@ -169,12 +173,6 @@ module Enc = struct
   let list b f xs =
     varint b (List.length xs);
     List.iter (f b) xs
-
-  (* count + elements of a newest-first list, streamed oldest-first *)
-  let rev_seq b f xs =
-    let a = oldest_first xs in
-    varint b (Array.length a);
-    Array.iter (f b) a
 
   let tid_path b (p : Key.tid_path) = list b varint p
 
@@ -299,29 +297,50 @@ let sorted_keys (tbl : ('k, 'v) Hashtbl.t) (cmp : 'k -> 'k -> int) : 'k array
   Array.sort cmp keys;
   keys
 
-(** Serialize the input log (syscall values + global syscall order). *)
-let encode_input_log (t : t) : string =
+(* [mark], when given, receives the byte offset after every encoded
+   record (section headers and individual events) — the record-boundary
+   map the fault-injection truncation sweep cuts at. [None] compiles to
+   a dead branch, keeping the plain encoders allocation-free. *)
+
+let mark_at (mark : (int -> unit) option) b =
+  match mark with Some f -> f (Buffer.length b) | None -> ()
+
+(* a rev_seq whose element boundaries are marked *)
+let rev_seq_marked mark b f xs =
+  let a = oldest_first xs in
+  Enc.varint b (Array.length a);
+  mark_at mark b;
+  Array.iter
+    (fun x ->
+      f b x;
+      mark_at mark b)
+    a
+
+let encode_input_log_gen ~mark (t : t) : string =
   let b = Buffer.create 1024 in
   let keys = sorted_keys t.inputs Key.compare_tid_path in
   Enc.varint b (Array.length keys);
+  mark_at mark b;
   Array.iter
     (fun p ->
       Enc.tid_path b p;
-      Enc.rev_seq b (fun b vs -> Enc.list b Enc.varint vs)
+      mark_at mark b;
+      rev_seq_marked mark b (fun b vs -> Enc.list b Enc.varint vs)
         !(Hashtbl.find t.inputs p))
     keys;
-  Enc.rev_seq b Enc.tid_path t.syscall_order;
+  rev_seq_marked mark b Enc.tid_path t.syscall_order;
   Buffer.contents b
 
-(** Serialize the order log (sync + weak + forced + schedule). *)
-let encode_order_log (t : t) : string =
+let encode_order_log_gen ~mark (t : t) : string =
   let b = Buffer.create 1024 in
   let sync_keys = sorted_keys t.sync_order Key.compare_addr in
   Enc.varint b (Array.length sync_keys);
+  mark_at mark b;
   Array.iter
     (fun a ->
       Enc.addr b a;
-      Enc.rev_seq b
+      mark_at mark b;
+      rev_seq_marked mark b
         (fun b (op, p) ->
           Enc.varint b (sync_op_code op);
           Enc.tid_path b p)
@@ -329,10 +348,12 @@ let encode_order_log (t : t) : string =
     sync_keys;
   let weak_keys = sorted_keys t.weak_order Minic.Ast.compare_weak_lock in
   Enc.varint b (Array.length weak_keys);
+  mark_at mark b;
   Array.iter
     (fun w ->
       Enc.weak_lock b w;
-      Enc.rev_seq b
+      mark_at mark b;
+      rev_seq_marked mark b
         (fun b (p, (claim : sclaim)) ->
           Enc.tid_path b p;
           Enc.list b
@@ -344,19 +365,47 @@ let encode_order_log (t : t) : string =
             claim)
         !(Hashtbl.find t.weak_order w))
     weak_keys;
-  Enc.rev_seq b
+  rev_seq_marked mark b
     (fun b fe ->
       Enc.tid_path b fe.fe_owner;
       Enc.varint b fe.fe_steps;
+      Enc.varint b fe.fe_acqs;
       Enc.weak_lock b fe.fe_lock)
     t.forced;
-  Enc.rev_seq b
+  rev_seq_marked mark b
     (fun b sg ->
       Enc.varint b sg.sg_core;
       Enc.tid_path b sg.sg_tid;
       Enc.varint b sg.sg_ticks)
     t.sched;
   Buffer.contents b
+
+(** Serialize the input log (syscall values + global syscall order). *)
+let encode_input_log (t : t) : string = encode_input_log_gen ~mark:None t
+
+(** Serialize the order log (sync + weak + forced + schedule). *)
+let encode_order_log (t : t) : string = encode_order_log_gen ~mark:None t
+
+(* the marked variants: encoding plus the sorted, deduplicated record
+   boundary offsets (0 and the full length excluded — truncating there
+   is the empty or the intact log, not a damaged one) *)
+let with_marks encode t =
+  let marks = ref [] in
+  let s = encode ~mark:(Some (fun off -> marks := off :: !marks)) t in
+  let n = String.length s in
+  let bounds =
+    List.sort_uniq compare
+      (List.filter (fun off -> off > 0 && off < n) !marks)
+  in
+  (s, Array.of_list bounds)
+
+(** [encode_input_log_marked t] is the exact {!encode_input_log} bytes
+    plus the strictly interior record-boundary offsets, ascending. *)
+let encode_input_log_marked (t : t) : string * int array =
+  with_marks encode_input_log_gen t
+
+let encode_order_log_marked (t : t) : string * int array =
+  with_marks encode_order_log_gen t
 
 let decode (input_log : string) (order_log : string) : t =
   let t = create () in
@@ -407,8 +456,9 @@ let decode (input_log : string) (order_log : string) : t =
     Dec.rev_list c (fun c ->
         let owner = Dec.tid_path c in
         let steps = Dec.varint c in
+        let acqs = Dec.varint c in
         let lock = Dec.weak_lock c in
-        { fe_owner = owner; fe_steps = steps; fe_lock = lock });
+        { fe_owner = owner; fe_steps = steps; fe_acqs = acqs; fe_lock = lock });
   t.sched <-
     Dec.rev_list c (fun c ->
         let core = Dec.varint c in

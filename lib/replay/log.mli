@@ -47,6 +47,9 @@ val sclaims_conflict : sclaim -> sclaim -> bool
 type forced_event = {
   fe_owner : Key.tid_path;
   fe_steps : int;  (** owner's step count at preemption *)
+  fe_acqs : int;
+      (** owner's weak-acquisition count at preemption — orders the event
+          against the owner's own reacquisitions at the same step count *)
   fe_lock : Minic.Ast.weak_lock;
 }
 
@@ -85,6 +88,13 @@ val oldest_first : 'a list -> 'a array
 val encode_input_log : t -> string
 
 val encode_order_log : t -> string
+
+(** Same bytes as the plain encoders, plus the strictly interior
+    record-boundary offsets (section headers and per-event boundaries),
+    ascending — the cut points of the fault-injection truncation sweep. *)
+val encode_input_log_marked : t -> string * int array
+
+val encode_order_log_marked : t -> string * int array
 
 val decode : string -> string -> t
 (** @raise Corrupt on truncated or malformed input. *)

@@ -41,10 +41,12 @@ let rec_weak (t : t) ~(lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path)
   let cur = Log.cell t.log.weak_order lock in
   cur := (tp, claim) :: !cur
 
-let rec_forced (t : t) ~(owner : Key.tid_path) ~(steps : int)
+let rec_forced (t : t) ~(owner : Key.tid_path) ~(steps : int) ~(acqs : int)
     ~(lock : Minic.Ast.weak_lock) =
   t.n_forced <- t.n_forced + 1;
-  t.log.forced <- { fe_owner = owner; fe_steps = steps; fe_lock = lock } :: t.log.forced
+  t.log.forced <-
+    { fe_owner = owner; fe_steps = steps; fe_acqs = acqs; fe_lock = lock }
+    :: t.log.forced
 
 let rec_sched (t : t) ~(core : int) ~(tp : Key.tid_path) ~(ticks : int) =
   (* merge with previous segment when the same thread stays on the core *)

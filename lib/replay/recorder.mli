@@ -23,7 +23,12 @@ val rec_weak :
   t -> lock:Minic.Ast.weak_lock -> tp:Key.tid_path -> claim:Log.sclaim -> unit
 
 val rec_forced :
-  t -> owner:Key.tid_path -> steps:int -> lock:Minic.Ast.weak_lock -> unit
+  t ->
+  owner:Key.tid_path ->
+  steps:int ->
+  acqs:int ->
+  lock:Minic.Ast.weak_lock ->
+  unit
 
 (** Adjacent segments of the same thread on the same core merge. *)
 val rec_sched : t -> core:int -> tp:Key.tid_path -> ticks:int -> unit

@@ -53,6 +53,18 @@ let weak_cursor_of_list xs =
     entries;
   { wc_entries = entries; wc_consumed = Array.make n false; wc_head = 0; wc_next }
 
+(** A served weak-lock acquisition whose claim differs from the recorded
+    one — instrumentation drift between the recording and replaying
+    binaries (different plan, lockopt decisions, or claim computation).
+    The replay itself may still complete; the mismatch is the signal. *)
+type claim_mismatch = {
+  cm_lock : Minic.Ast.weak_lock;
+  cm_tp : Key.tid_path;
+  cm_index : int;  (** position in the lock's recorded acquisition order *)
+  cm_recorded : Log.sclaim;
+  cm_served : Log.sclaim;
+}
+
 type t = {
   log : Log.t;
   syscall_cursor : Key.tid_path seq_cursor;
@@ -61,7 +73,8 @@ type t = {
   input_cursors : (Key.tid_path, int list seq_cursor) Hashtbl.t;
       (** remaining bursts, oldest first *)
   forced_by_owner :
-    (Key.tid_path, (int * Minic.Ast.weak_lock) seq_cursor) Hashtbl.t;
+    (Key.tid_path, (int * int * Minic.Ast.weak_lock) seq_cursor) Hashtbl.t;
+  mutable mismatches : claim_mismatch list;  (** newest first *)
 }
 
 let of_log (log : Log.t) : t =
@@ -88,14 +101,14 @@ let of_log (log : Log.t) : t =
   Hashtbl.iter
     (fun owner n ->
       Hashtbl.replace forced_by_owner owner
-        { sc_arr = Array.make n (0, { Minic.Ast.wl_id = 0; wl_gran = Gfunc }); sc_pos = 0 })
+        { sc_arr = Array.make n (0, 0, { Minic.Ast.wl_id = 0; wl_gran = Gfunc }); sc_pos = 0 })
     counts;
   let fill = Hashtbl.create 4 in
   Array.iter
     (fun (fe : Log.forced_event) ->
       let i = Option.value (Hashtbl.find_opt fill fe.fe_owner) ~default:0 in
       (Hashtbl.find forced_by_owner fe.fe_owner).sc_arr.(i) <-
-        (fe.fe_steps, fe.fe_lock);
+        (fe.fe_steps, fe.fe_acqs, fe.fe_lock);
       Hashtbl.replace fill fe.fe_owner (i + 1))
     forced;
   {
@@ -105,6 +118,7 @@ let of_log (log : Log.t) : t =
     weak_cursors;
     input_cursors;
     forced_by_owner;
+    mismatches = [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -154,8 +168,14 @@ let weak_turn (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path) : bool
           done;
           !ok)
 
-(** Consume [tp]'s earliest remaining acquisition entry for [lock]. *)
-let consume_weak (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path) =
+(** Consume [tp]'s earliest remaining acquisition entry for [lock].
+    When [claim] (the claim the engine is actually serving) is given, it
+    is validated against the recorded claim of the consumed entry; any
+    difference is accumulated as a {!claim_mismatch} — the recorded
+    order is still honored, so replay proceeds and the drift surfaces in
+    the outcome instead of wedging the run. *)
+let consume_weak (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path)
+    ?(claim : Log.sclaim option) () =
   match Hashtbl.find_opt t.weak_cursors lock with
   | None -> ()
   | Some wc -> (
@@ -164,11 +184,40 @@ let consume_weak (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path) =
       | Some q when Queue.is_empty q -> ()
       | Some q ->
           let i = Queue.pop q in
+          (match claim with
+          | Some served when served <> snd wc.wc_entries.(i) ->
+              t.mismatches <-
+                {
+                  cm_lock = lock;
+                  cm_tp = tp;
+                  cm_index = i;
+                  cm_recorded = snd wc.wc_entries.(i);
+                  cm_served = served;
+                }
+                :: t.mismatches
+          | _ -> ());
           wc.wc_consumed.(i) <- true;
           let n = Array.length wc.wc_entries in
           while wc.wc_head < n && wc.wc_consumed.(wc.wc_head) do
             wc.wc_head <- wc.wc_head + 1
           done)
+
+(** Claim mismatches accumulated so far, in consumption order. *)
+let claim_mismatches (t : t) : claim_mismatch list = List.rev t.mismatches
+
+let pp_sclaim ppf (c : Log.sclaim) =
+  match c with
+  | [] -> Fmt.string ppf "<total>"
+  | rs ->
+      Fmt.(list ~sep:comma) (fun ppf (r : Log.srange) ->
+          Fmt.pf ppf "%a[%d..%d]%s" Key.pp_origin r.sr_origin r.sr_lo r.sr_hi
+            (if r.sr_write then "w" else "r"))
+        ppf rs
+
+let pp_claim_mismatch ppf (m : claim_mismatch) =
+  Fmt.pf ppf "weak %a acq #%d by %a: recorded {%a} vs served {%a}"
+    Minic.Ast.pp_weak_lock m.cm_lock m.cm_index Key.pp_tid_path m.cm_tp
+    pp_sclaim m.cm_recorded pp_sclaim m.cm_served
 
 (** Pop the next recorded input burst for thread [tp]. *)
 let take_input (t : t) (tp : Key.tid_path) : int list option =
@@ -181,18 +230,22 @@ let take_input (t : t) (tp : Key.tid_path) : int list option =
           c.sc_pos <- c.sc_pos + 1;
           Some burst)
 
-(** Forced release pending for [owner] at (or before) step count [steps].
-    The entry is consumed only when [holds lock] — the owner may not have
-    (re)acquired the lock yet at the moment the step threshold is first
-    crossed (recordings can carry several forced events at the same owner
-    step count when the owner was parked). *)
-let pending_forced (t : t) (owner : Key.tid_path) ~(steps : int)
+(** Forced release pending for [owner] at (or before) step count [steps]
+    and weak-acquisition count [acqs]. The entry is consumed only when
+    [holds lock] — the owner may not have (re)acquired the lock yet at
+    the moment the step threshold is first crossed (recordings can carry
+    several forced events at the same owner step count when the owner was
+    parked). The acquisition-count threshold orders the event against the
+    owner's own reacquisitions at that step count: a forced release
+    recorded after the owner took two locks back must not fire until the
+    replaying owner has them back too. *)
+let pending_forced (t : t) (owner : Key.tid_path) ~(steps : int) ~(acqs : int)
     ~(holds : Minic.Ast.weak_lock -> bool) : Minic.Ast.weak_lock option =
   match Hashtbl.find_opt t.forced_by_owner owner with
   | None -> None
   | Some c -> (
       match seq_peek c with
-      | Some (s, lock) when steps >= s && holds lock ->
+      | Some (s, a, lock) when steps >= s && acqs >= a && holds lock ->
           c.sc_pos <- c.sc_pos + 1;
           Some lock
       | _ -> None)
@@ -245,4 +298,4 @@ let dump_remaining (t : t) : string list =
 let peek_forced (t : t) (owner : Key.tid_path) : int option =
   match Hashtbl.find_opt t.forced_by_owner owner with
   | None -> None
-  | Some c -> ( match seq_peek c with Some (s, _) -> Some s | None -> None)
+  | Some c -> ( match seq_peek c with Some (s, _, _) -> Some s | None -> None)

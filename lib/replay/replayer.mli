@@ -26,19 +26,40 @@ val advance_sync : t -> Key.addr -> unit
     left. *)
 val weak_turn : t -> Minic.Ast.weak_lock -> tp:Key.tid_path -> bool
 
-(** Consume the thread's earliest remaining acquisition entry. *)
-val consume_weak : t -> Minic.Ast.weak_lock -> tp:Key.tid_path -> unit
+type claim_mismatch = {
+  cm_lock : Minic.Ast.weak_lock;
+  cm_tp : Key.tid_path;
+  cm_index : int;  (** position in the lock's recorded acquisition order *)
+  cm_recorded : Log.sclaim;
+  cm_served : Log.sclaim;
+}
+(** A served acquisition whose claim differs from the recorded one —
+    instrumentation drift between the recording and replaying binaries. *)
+
+(** Consume the thread's earliest remaining acquisition entry. [claim],
+    when given, is the claim actually being served; it is validated
+    against the recorded claim and any difference accumulates as a
+    {!claim_mismatch} (replay proceeds regardless). *)
+val consume_weak :
+  t -> Minic.Ast.weak_lock -> tp:Key.tid_path -> ?claim:Log.sclaim -> unit ->
+  unit
+
+(** Mismatches accumulated so far, in consumption order. *)
+val claim_mismatches : t -> claim_mismatch list
+
+val pp_claim_mismatch : claim_mismatch Fmt.t
 
 (** Pop the next recorded input burst for the thread. *)
 val take_input : t -> Key.tid_path -> int list option
 
-(** Forced release due for the owner at (or before) the given step
-    count; consumed only when [holds lock] — the owner may not have
-    reacquired yet when the threshold is first crossed. *)
+(** Forced release due for the owner at (or before) the given step and
+    weak-acquisition counts; consumed only when [holds lock] — the owner
+    may not have reacquired yet when the threshold is first crossed. *)
 val pending_forced :
   t ->
   Key.tid_path ->
   steps:int ->
+  acqs:int ->
   holds:(Minic.Ast.weak_lock -> bool) ->
   Minic.Ast.weak_lock option
 

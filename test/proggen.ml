@@ -233,3 +233,124 @@ int main() {
 
 let arbitrary_program =
   QCheck.make ~print:(fun s -> s) gen_program
+
+(* ------------------------------------------------------------------ *)
+(* Contended shapes for the stress matrix: programs engineered to make
+   the instrumented run weak-lock-heavy — every thread hammers the same
+   shared scalars through read-modify-writes in tight loops (contended
+   claims on one object), sweeps overlapping array ranges (contended
+   range claims), and crosses extra barrier phases (cliques where every
+   thread re-synchronizes). Long hot loops make lock holders outlast
+   weak timeouts, exercising forced-release handoffs — the storm
+   strategy then squeezes the timeouts further. *)
+
+let gen_contended_cfg : cfg G.t =
+  let open G in
+  let* n_scalars = int_range 1 2 in
+  let* arrays = flatten_l [ oneofl [ 8; 16 ] ] in
+  let* n_workers = int_range 1 2 in
+  let* n_threads = int_range 3 4 in
+  let* n_phases = int_range 2 3 in
+  return { n_scalars; arrays; n_mutexes = 1; n_workers; n_threads; n_phases }
+
+(* one hot block: a tight RMW loop over a shared scalar interleaved with
+   an overlapping-range array sweep, from every thread at once *)
+let gen_hot_block cfg ~loop_var : string G.t =
+  let open G in
+  let* k = int_range 0 (cfg.n_scalars - 1) in
+  let size = List.hd cfg.arrays in
+  let* bound = int_range 6 12 in
+  let* stride = oneofl [ 1; 2; 3 ] in
+  return
+    (Fmt.str
+       "for (%s = 0; %s < %d; %s++) { g%d = g%d + a0[(%s * %d) & %d]; \
+        a0[(%s + id) & %d] = g%d; }"
+       loop_var loop_var bound loop_var k k loop_var stride (size - 1)
+       loop_var (size - 1) k)
+
+let gen_contended_worker cfg ~name : string G.t =
+  let open G in
+  let* phases =
+    flatten_l
+      (List.init cfg.n_phases (fun _ ->
+           let* hot = gen_hot_block cfg ~loop_var:"i1" in
+           let* n = int_range 1 2 in
+           let* filler = gen_stmts cfg ~loops:[] ~depth:1 ~n () in
+           return (String.concat "\n  " (hot :: filler))))
+  in
+  let body = String.concat "\n  barrier_wait(&bar);\n  " phases in
+  return
+    (Fmt.str
+       {|void %s(int *idp) {
+  int t0; int t1; int id; int i0; int i1; int i2;
+  id = *idp;
+  %s
+}|}
+       name body)
+
+(** A complete contended program: the stress-matrix input mix. *)
+let gen_contended_program : string G.t =
+  let open G in
+  let* cfg = gen_contended_cfg in
+  let* workers =
+    flatten_l
+      (List.init cfg.n_workers (fun k ->
+           gen_contended_worker cfg ~name:(Fmt.str "w%d" k)))
+  in
+  let globals =
+    String.concat "\n"
+      (List.init cfg.n_scalars (fun k -> Fmt.str "int g%d;" k)
+      @ List.mapi (fun k size -> Fmt.str "int a%d[%d];" k size) cfg.arrays
+      @ List.init cfg.n_mutexes (fun k -> Fmt.str "int m%d;" k)
+      @ [ "int bar;"; Fmt.str "int ids[%d];" cfg.n_threads ])
+  in
+  let init =
+    String.concat "\n  "
+      (List.mapi
+         (fun k size ->
+           Fmt.str "for (i0 = 0; i0 < %d; i0++) { a%d[i0] = i0 * %d; }" size k
+             (k + 3))
+         cfg.arrays)
+  in
+  let spawns =
+    String.concat "\n  "
+      (List.init cfg.n_threads (fun k ->
+           Fmt.str "ids[%d] = %d; t[%d] = spawn(w%d, &ids[%d]);" k (k + 1) k
+             (k mod cfg.n_workers) k))
+  in
+  let joins =
+    String.concat "\n  "
+      (List.init cfg.n_threads (fun k -> Fmt.str "join(t[%d]);" k))
+  in
+  let outputs =
+    String.concat "\n  "
+      (List.init cfg.n_scalars (fun k -> Fmt.str "output(g%d);" k)
+      @ List.mapi
+          (fun k size ->
+            Fmt.str
+              "t0 = 0; for (i0 = 0; i0 < %d; i0++) { t0 = t0 + a%d[i0]; } \
+               output(t0);"
+              size k)
+          cfg.arrays)
+  in
+  return
+    (Fmt.str
+       {|%s
+
+%s
+
+int main() {
+  int t[%d]; int i0; int t0;
+  %s
+  barrier_init(&bar, %d);
+  %s
+  %s
+  %s
+  return 0;
+}|}
+       globals
+       (String.concat "\n\n" workers)
+       cfg.n_threads init cfg.n_threads spawns joins outputs)
+
+let arbitrary_contended =
+  QCheck.make ~print:(fun s -> s) gen_contended_program

@@ -282,6 +282,122 @@ let test_jobs_identical () =
   Alcotest.(check string) "-j 4 plan is byte-identical to -j 1" (run "1")
     (run "4")
 
+let test_record_replay_sweep () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let prefix = Filename.temp_file "chimera_cli" ".logs" in
+  let seed_files =
+    List.concat_map
+      (fun s ->
+        [
+          Fmt.str "%s.%d.input.log" prefix s; Fmt.str "%s.%d.order.log" prefix s;
+        ])
+      [ 1; 2; 3 ]
+  in
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        (prefix :: seed_files))
+  @@ fun () ->
+  (* a --seeds sweep records one log pair per seed under per-seed
+     prefixes, with a content-addressed dedup summary *)
+  let code, out, _ =
+    run_cli exe
+      [
+        "record"; mc; "--profile-runs"; "4"; "--seeds"; "1..3"; "--strategy";
+        "storm"; "-o"; prefix;
+      ]
+  in
+  Alcotest.(check int) "record sweep exit code" 0 code;
+  check_contains "record sweep stdout" out "recorded 3 seeds";
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (Fmt.str "%s written" f) true (Sys.file_exists f))
+    seed_files;
+  (* the same log replayed under every seed in a range must be one and
+     the same execution, even across a record/replay strategy change *)
+  let code, out, _ =
+    run_cli exe
+      [
+        "replay"; mc; "--profile-runs"; "4"; "--logs"; prefix ^ ".2";
+        "--seeds"; "5..8";
+      ]
+  in
+  Alcotest.(check int) "replay sweep exit code" 0 code;
+  check_contains "replay sweep stdout" out "replay under 4 seeds: IDENTICAL"
+
+let test_stress_matrix () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let json = Filename.temp_file "chimera_cli" ".stress.json" in
+  Fun.protect ~finally:(fun () ->
+      if Sys.file_exists json then Sys.remove json)
+  @@ fun () ->
+  (* instrumented source: every distinct recording must replay clean,
+     and fault injection must never crash the decoder/replayer *)
+  let code, out, _ =
+    run_cli exe
+      [
+        "stress"; "--src"; mc; "--seeds"; "1..2"; "--max-truncations"; "8";
+        "--max-flips"; "4"; "--json"; json;
+      ]
+  in
+  Alcotest.(check int) "stress exit code" 0 code;
+  check_contains "stress stdout" out
+    "stress matrix: 1 program(s) x 2 seed(s) x 3 strategies";
+  check_contains "stress stdout" out "distinct logs";
+  check_contains "stress stdout" out "fault injection";
+  check_contains "stress stdout" out "stress: OK";
+  let j = read_file json in
+  check_contains "stress JSON" j "\"jobs\": 6";
+  check_contains "stress JSON" j "\"crashes\": []"
+
+let test_stress_raw_divergence () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  (* --raw records the uninstrumented racy program: the negative control
+     whose replays are expected to diverge, driving the exit-2 path *)
+  let code, out, _ =
+    run_cli exe
+      [ "stress"; "--src"; mc; "--raw"; "--seeds"; "1..4"; "--no-fault-inject" ]
+  in
+  Alcotest.(check int) "raw stress exit code" 2 code;
+  check_contains "raw stress stdout" out "replay diverged";
+  check_contains "raw stress stdout" out "issue(s)"
+
+let test_stress_fault_logs () =
+  with_exe @@ fun exe ->
+  with_src @@ fun mc ->
+  let prefix = Filename.temp_file "chimera_cli" ".logs" in
+  let input_log = prefix ^ ".input.log" and order_log = prefix ^ ".order.log" in
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        [ prefix; input_log; order_log ])
+  @@ fun () ->
+  let code, _, _ =
+    run_cli exe [ "record"; mc; "--profile-runs"; "4"; "-o"; prefix ]
+  in
+  Alcotest.(check int) "record exit code" 0 code;
+  (* a valid pair decode-validates up front, then the matrix runs *)
+  let code, out, _ =
+    run_cli exe
+      [
+        "stress"; "--fault-logs"; prefix; "--src"; mc; "--seeds"; "1..1";
+        "--strategies"; "storm"; "--no-fault-inject";
+      ]
+  in
+  Alcotest.(check int) "valid --fault-logs exit code" 0 code;
+  check_contains "stress stdout" out "decode OK";
+  check_contains "stress stdout" out "x 1 strategy";
+  check_contains "stress stdout" out "stress: OK";
+  (* a truncated pair is rejected before any recording work: exit 3 *)
+  Out_channel.with_open_bin order_log (fun oc ->
+      output_string oc (String.make 10 '\xff'));
+  let code, _, err = run_cli exe [ "stress"; "--fault-logs"; prefix ] in
+  Alcotest.(check int) "corrupt --fault-logs exit code" 3 code;
+  check_contains "stress stderr" err "corrupt replay log"
+
 let suite =
   [
     Alcotest.test_case "races / --no-mhp / --explain-races" `Quick test_races;
@@ -297,4 +413,12 @@ let suite =
       test_cache_subcommand;
     Alcotest.test_case "-j N output identical to -j 1" `Quick
       test_jobs_identical;
+    Alcotest.test_case "record --seeds sweep + replay-seed sweep" `Quick
+      test_record_replay_sweep;
+    Alcotest.test_case "stress matrix + fault injection + --json" `Quick
+      test_stress_matrix;
+    Alcotest.test_case "stress --raw negative control exits 2" `Quick
+      test_stress_raw_divergence;
+    Alcotest.test_case "stress --fault-logs valid / corrupt" `Quick
+      test_stress_fault_logs;
   ]

@@ -106,6 +106,35 @@ let prop_roundtrip =
           let p2 = Minic.Typecheck.parse_and_check ~file:"rt" printed in
           Minic.Pretty.program_to_string p2 = printed)
 
+(* 6. the stress matrix in miniature: on contended weak-lock-heavy
+   shapes (tight RMW loops, overlapping range claims, barrier cliques),
+   record==replay must hold across a seed sweep under every schedule
+   strategy — the adversarial ones (pct, storm) included *)
+let prop_stress_matrix =
+  QCheck.Test.make
+    ~name:"fuzz: contended shapes, record/replay across seeds x strategies"
+    ~count:10 Proggen.arbitrary_contended (fun src ->
+      let an = analyze src in
+      List.for_all
+        (fun strategy ->
+          List.for_all
+            (fun seed ->
+              match
+                Chimera.Runner.record_replay_check
+                  ~config:{ (config seed) with strategy }
+                  ~io an.an_instrumented
+              with
+              | Ok _ -> true
+              | Error d ->
+                  Out_channel.with_open_bin "/tmp/stress_fail.mc" (fun oc ->
+                      output_string oc src);
+                  QCheck.Test.fail_reportf "seed %d strategy %s diverged: %a"
+                    seed
+                    (Interp.Engine.strategy_name strategy)
+                    Chimera.Runner.pp_divergence d)
+            [ 2; 9 ])
+        Interp.Engine.all_strategies)
+
 (* a fixed generator state keeps the suite reproducible; set QCHECK_SEED
    (or use scratch stress loops) to explore other programs *)
 let rand () =
@@ -120,4 +149,5 @@ let suite =
     QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_determinism;
     QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_transformed_drf;
     QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_relay_sound;
+    QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_stress_matrix;
   ]

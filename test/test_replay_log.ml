@@ -27,7 +27,8 @@ let build_sample () =
   Replay.Recorder.rec_weak rc ~lock:(wl 3 Gloop) ~tp:[ 1 ]
     ~claim:[ sr "rank" 8 15 ];
   Replay.Recorder.rec_weak rc ~lock:(wl 0 Gfunc) ~tp:[] ~claim:[];
-  Replay.Recorder.rec_forced rc ~owner:[ 1 ] ~steps:777 ~lock:(wl 3 Gloop);
+  Replay.Recorder.rec_forced rc ~owner:[ 1 ] ~steps:777 ~acqs:3
+    ~lock:(wl 3 Gloop);
   Replay.Recorder.rec_sched rc ~core:0 ~tp:[] ~ticks:5;
   Replay.Recorder.rec_sched rc ~core:0 ~tp:[] ~ticks:3;
   Replay.Recorder.rec_sched rc ~core:1 ~tp:[ 0 ] ~ticks:2;
@@ -98,35 +99,50 @@ let test_weak_turn_conflict_rules () =
   Alcotest.(check bool) "C blocked" false (Replay.Replayer.weak_turn r l ~tp:[ 2 ]);
   Alcotest.(check bool) "A allowed" true (Replay.Replayer.weak_turn r l ~tp:[ 0 ]);
   (* consume A and B; C unblocks *)
-  Replay.Replayer.consume_weak r l ~tp:[ 0 ];
-  Replay.Replayer.consume_weak r l ~tp:[ 1 ];
+  Replay.Replayer.consume_weak r l ~tp:[ 0 ] ();
+  Replay.Replayer.consume_weak r l ~tp:[ 1 ] ();
   Alcotest.(check bool) "C allowed after A,B" true
     (Replay.Replayer.weak_turn r l ~tp:[ 2 ]);
   (* A's second acquisition is behind C: blocked until C consumed *)
   Alcotest.(check bool) "A2 blocked behind C" false
     (Replay.Replayer.weak_turn r l ~tp:[ 0 ]);
-  Replay.Replayer.consume_weak r l ~tp:[ 2 ];
+  Replay.Replayer.consume_weak r l ~tp:[ 2 ] ();
   Alcotest.(check bool) "A2 allowed" true (Replay.Replayer.weak_turn r l ~tp:[ 0 ])
 
 let test_forced_pop_requires_holding () =
   let rc = Replay.Recorder.create () in
-  Replay.Recorder.rec_forced rc ~owner:[ 1 ] ~steps:10 ~lock:(wl 7 Gbb);
-  Replay.Recorder.rec_forced rc ~owner:[ 1 ] ~steps:10 ~lock:(wl 7 Gbb);
+  Replay.Recorder.rec_forced rc ~owner:[ 1 ] ~steps:10 ~acqs:1
+    ~lock:(wl 7 Gbb);
+  Replay.Recorder.rec_forced rc ~owner:[ 1 ] ~steps:10 ~acqs:2
+    ~lock:(wl 7 Gbb);
   let r = Replay.Replayer.of_log rc.Replay.Recorder.log in
   Alcotest.(check bool) "not popped when not holding" true
-    (Replay.Replayer.pending_forced r [ 1 ] ~steps:50 ~holds:(fun _ -> false)
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:50 ~acqs:9
+       ~holds:(fun _ -> false)
     = None);
   Alcotest.(check bool) "not popped before steps" true
-    (Replay.Replayer.pending_forced r [ 1 ] ~steps:5 ~holds:(fun _ -> true)
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:5 ~acqs:9
+       ~holds:(fun _ -> true)
+    = None);
+  Alcotest.(check bool) "not popped before enough acquisitions" true
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:10 ~acqs:0
+       ~holds:(fun _ -> true)
     = None);
   Alcotest.(check bool) "popped when due and holding" true
-    (Replay.Replayer.pending_forced r [ 1 ] ~steps:10 ~holds:(fun _ -> true)
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:10 ~acqs:1
+       ~holds:(fun _ -> true)
     <> None);
+  Alcotest.(check bool) "second event gated on its own acq count" true
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:10 ~acqs:1
+       ~holds:(fun _ -> true)
+    = None);
   Alcotest.(check bool) "second event still there" true
-    (Replay.Replayer.pending_forced r [ 1 ] ~steps:10 ~holds:(fun _ -> true)
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:10 ~acqs:2
+       ~holds:(fun _ -> true)
     <> None);
   Alcotest.(check bool) "then drained" true
-    (Replay.Replayer.pending_forced r [ 1 ] ~steps:99 ~holds:(fun _ -> true)
+    (Replay.Replayer.pending_forced r [ 1 ] ~steps:99 ~acqs:9
+       ~holds:(fun _ -> true)
     = None)
 
 (* ------------------------------------------------------------------ *)
@@ -176,6 +192,117 @@ let test_corrupt_garbage () =
   let bogus_count = "\xff\xff\xff\xff\x07" in
   Alcotest.(check bool) "impossible list length detected" true
     (is_corrupt bogus_count "")
+
+(* exhaustive single-byte bit-flip sweep: every byte of both encodings,
+   every bit. Decode must return a log or raise typed [Corrupt] carrying
+   a byte offset — never any other exception. (A flipped log that still
+   decodes is fine at this layer; the stress harness then replays it and
+   demands a clean divergence report.) *)
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let corrupt_has_offset f =
+  match f () with
+  | _ -> true
+  | exception Replay.Log.Corrupt msg ->
+      if contains_sub msg "(byte " then true
+      else Alcotest.failf "Corrupt without byte offset: %s" msg
+  | exception e ->
+      Alcotest.failf "decode escaped with %s" (Printexc.to_string e)
+
+let flip s i bit =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+let test_bitflip_sweep () =
+  let rc = build_sample () in
+  let log = rc.Replay.Recorder.log in
+  let i = Replay.Log.encode_input_log log in
+  let o = Replay.Log.encode_order_log log in
+  for pos = 0 to String.length i - 1 do
+    for bit = 0 to 7 do
+      ignore (corrupt_has_offset (fun () -> Replay.Log.decode (flip i pos bit) o))
+    done
+  done;
+  for pos = 0 to String.length o - 1 do
+    for bit = 0 to 7 do
+      ignore (corrupt_has_offset (fun () -> Replay.Log.decode i (flip o pos bit)))
+    done
+  done
+
+(* every truncation rejection must carry its byte offset too *)
+let test_truncation_offsets () =
+  let rc = build_sample () in
+  let log = rc.Replay.Recorder.log in
+  let i = Replay.Log.encode_input_log log in
+  let o = Replay.Log.encode_order_log log in
+  for n = 0 to String.length i - 1 do
+    ignore (corrupt_has_offset (fun () -> Replay.Log.decode (String.sub i 0 n) o))
+  done;
+  for n = 0 to String.length o - 1 do
+    ignore (corrupt_has_offset (fun () -> Replay.Log.decode i (String.sub o 0 n)))
+  done
+
+(* the boundary-marked encoders must produce byte-identical encodings,
+   strictly interior ascending marks, and prefixes cut at a mark must
+   decode cleanly (Ok or typed Corrupt — a cut at a record boundary can
+   leave a shorter but self-consistent log) *)
+let test_marked_encoders () =
+  let rc = build_sample () in
+  let log = rc.Replay.Recorder.log in
+  let check_side name plain marked marks other ~decode =
+    Alcotest.(check string) (name ^ " marked bytes identical") plain marked;
+    let sorted = List.sort_uniq compare (Array.to_list marks) in
+    Alcotest.(check int)
+      (name ^ " marks unique and sorted")
+      (Array.length marks) (List.length sorted);
+    Array.iter
+      (fun off ->
+        if off <= 0 || off >= String.length plain then
+          Alcotest.failf "%s mark %d not strictly interior" name off)
+      marks;
+    Array.iter
+      (fun off ->
+        ignore
+          (corrupt_has_offset (fun () -> decode (String.sub marked 0 off) other)))
+      marks
+  in
+  let i = Replay.Log.encode_input_log log in
+  let o = Replay.Log.encode_order_log log in
+  let im, imarks = Replay.Log.encode_input_log_marked log in
+  let om, omarks = Replay.Log.encode_order_log_marked log in
+  check_side "input" i im imarks o ~decode:Replay.Log.decode;
+  check_side "order" o om omarks i ~decode:(fun trunc other ->
+      Replay.Log.decode other trunc)
+
+(* replay-side claim validation: a served claim differing from the
+   recorded one is accumulated as a typed mismatch — and replay
+   proceeds, it does not wedge *)
+let test_claim_validation () =
+  let rc = Replay.Recorder.create () in
+  let l = wl 4 Gloop in
+  Replay.Recorder.rec_weak rc ~lock:l ~tp:[ 0 ] ~claim:[ sr "a" 0 7 ];
+  Replay.Recorder.rec_weak rc ~lock:l ~tp:[ 1 ] ~claim:[ sr "a" 8 15 ];
+  let r = Replay.Replayer.of_log rc.Replay.Recorder.log in
+  (* matching claim: no mismatch *)
+  Replay.Replayer.consume_weak r l ~tp:[ 0 ] ~claim:[ sr "a" 0 7 ] ();
+  Alcotest.(check int) "matching claim accepted" 0
+    (List.length (Replay.Replayer.claim_mismatches r));
+  (* drifted claim: one typed mismatch, consumption still advances *)
+  Replay.Replayer.consume_weak r l ~tp:[ 1 ] ~claim:[ sr "a" 8 12 ] ();
+  match Replay.Replayer.claim_mismatches r with
+  | [ m ] ->
+      Alcotest.(check int) "mismatch index" 1 m.Replay.Replayer.cm_index;
+      Alcotest.(check bool) "recorded claim kept" true
+        (m.Replay.Replayer.cm_recorded = [ sr "a" 8 15 ]);
+      Alcotest.(check bool) "served claim kept" true
+        (m.Replay.Replayer.cm_served = [ sr "a" 8 12 ]);
+      Alcotest.(check bool) "printable" true
+        (String.length (Fmt.str "%a" Replay.Replayer.pp_claim_mismatch m) > 0)
+  | ms -> Alcotest.failf "expected one mismatch, got %d" (List.length ms)
 
 (* a decoded sequence must come back in recorded order even when it is
    far too long for any non-tail-recursive or evaluation-order-dependent
@@ -305,6 +432,12 @@ let suite =
       test_forced_pop_requires_holding;
     Alcotest.test_case "corrupt: truncated logs" `Quick test_corrupt_truncated;
     Alcotest.test_case "corrupt: garbage logs" `Quick test_corrupt_garbage;
+    Alcotest.test_case "corrupt: exhaustive bit-flip sweep" `Quick
+      test_bitflip_sweep;
+    Alcotest.test_case "corrupt: truncation offsets typed" `Quick
+      test_truncation_offsets;
+    Alcotest.test_case "marked encoders" `Quick test_marked_encoders;
+    Alcotest.test_case "claim validation" `Quick test_claim_validation;
     Alcotest.test_case "decode large sequences in order" `Quick
       test_decode_large_sequences;
     QCheck_alcotest.to_alcotest prop_log_roundtrip;
