@@ -6,7 +6,8 @@
 # J controls the domain count of the parallel targets (bench -j flag /
 # the sharded test runner); it defaults to all cores.
 .PHONY: all build test test-par check bench-json bench-wall bench-regress \
-	par-check lockopt-check trace-check analyze-check stress-check clean
+	par-check lockopt-check trace-check analyze-check stress-check \
+	refine-check clean
 
 J ?= 0
 # wall-clock harness knobs: repetitions per phase, regression tolerance,
@@ -93,6 +94,19 @@ stress-check:
 		pfscan fft ocean --seeds 1..8 \
 		--golden test/golden/golden_counters.expected \
 		--json /tmp/chimera-stress.json $(JFLAG)
+
+# refinement gate: stress-corpus the pfscan/fft/ocean trio, refine the
+# lockopt plan on its evidence, require the safety valve clean (every
+# cell re-recorded with the detector attached, zero violations), pin
+# record == replay under both the lockopt and refined plans with strict
+# runtime-acquisition drops on >= 2 apps, and drive the CLI loop end to
+# end: stress --corpus materialises a manifest, refine emits deployment
+# JSON, a hand-corrupted plan digest exits with the typed issue status.
+# JSON report lands in /tmp/chimera-refine.json.
+refine-check:
+	dune build bin/chimera_cli.exe test/refine_check.exe
+	CHIMERA_CLI=./_build/default/bin/chimera_cli.exe \
+		./_build/default/test/refine_check.exe
 
 # analysis gate: a -j 4 analyze digest is byte-identical to serial, a
 # warm cache hit reproduces the cold analysis, every damaged-entry shape

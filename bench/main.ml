@@ -509,6 +509,97 @@ let lockopt_check () =
      must never change what a recording replays to)@.";
   if !failed then exit 1
 
+(** The refinement experiment: build an in-memory stress corpus per
+    benchmark (seeds x all strategies), refine the lockopt plan on its
+    evidence, validate the refined plan over the same cells, and compare
+    runtime weak-lock acquisitions and replay determinism of the lockopt
+    vs refined instrumentation. Gates: zero safety-valve violations,
+    refined acquisitions never above lockopt with a strict drop on at
+    least two benchmarks, and record==replay under both plans. Exits
+    nonzero on any violation. *)
+let refine_check () =
+  section "Refine: corpus-driven lock dropping vs the lockopt plan";
+  let seeds = [ 1; 2; 3 ] in
+  let jobs =
+    List.concat_map
+      (fun strat -> List.map (fun s -> (s, strat)) seeds)
+      Interp.Engine.all_strategies
+  in
+  let rows =
+    par_map
+      (fun (b : Bench_progs.Registry.bench) ->
+        let scale = b.b_eval_scale in
+        let an = analyze b ~opts:Instrument.Plan.all_opts ~workers:4 ~scale in
+        let io = b.b_io ~seed:42 ~scale in
+        let obs =
+          Refine.corpus_observations ~cores:4 ~io
+            ~instrumented:an.Chimera.Pipeline.an_instrumented
+            ~racy_sids:an.an_report.racy_sids ~jobs ()
+        in
+        let rf = Refine.refine ~plan:an.an_plan obs in
+        let refined = Instrument.Transform.apply an.an_prog rf.rf_plan in
+        let va =
+          Refine.validate ~cores:4 ~io ~report:an.an_report ~refined ~jobs ()
+        in
+        let config =
+          { Interp.Engine.default_config with seed = 1; cores = 4 }
+        in
+        let run_one prog =
+          let r = Chimera.Runner.record ~config ~io prog in
+          let rep =
+            Chimera.Runner.replay ~config ~io prog r.Chimera.Runner.rc_log
+          in
+          ( r.Chimera.Runner.rc_outcome,
+            Chimera.Runner.same_execution r.rc_outcome rep )
+        in
+        let o_base, det_base = run_one an.an_instrumented in
+        let o_ref, det_ref = run_one refined in
+        ( b.b_name,
+          rf,
+          va,
+          Refine.runtime_weak_acqs o_base,
+          Refine.runtime_weak_acqs o_ref,
+          det_base,
+          det_ref ))
+      benches
+  in
+  Fmt.pr "%-10s %14s %7s %10s | %11s %11s | %9s %9s@." "app"
+    "static-acqs" "locks-" "violations" "rt-acq lock" "rt-acq ref"
+    "replay lk" "replay rf";
+  hr 96;
+  let failed = ref false in
+  let strict = ref 0 in
+  List.iter
+    (fun (name, (rf : Refine.t), (va : Refine.validation), w_base, w_ref,
+          det_base, det_ref) ->
+      let det_str = function Ok () -> "ok" | Error _ -> "DIVERGED" in
+      let nv = List.length va.va_violations in
+      if w_ref < w_base then incr strict;
+      let grew = w_ref > w_base in
+      if nv > 0 || grew || det_base <> Ok () || det_ref <> Ok () then
+        failed := true;
+      Fmt.pr "%-10s %6d -> %4d %7d %10d | %11d %11d | %9s %9s%s@." name
+        rf.rf_base_acqs rf.rf_refined_acqs
+        (List.length rf.rf_dropped)
+        nv w_base w_ref (det_str det_base) (det_str det_ref)
+        (if grew then "  ACQUISITIONS GREW" else "");
+      List.iter
+        (fun v -> Fmt.pr "  %a@." Refine.pp_violation v)
+        va.va_violations)
+    rows;
+  Fmt.pr
+    "(corpus: seeds %s x default,pct,storm; refined plans validated by \
+     re-recording every cell with the detector attached)@."
+    (String.concat "," (List.map string_of_int seeds));
+  if !strict < 2 then begin
+    Fmt.pr
+      "refine: runtime acquisitions dropped strictly on only %d \
+       benchmark(s) (need >= 2)@."
+      !strict;
+    failed := true
+  end;
+  if !failed then exit 1
+
 let all () =
   table1 ();
   table2 ();
@@ -588,7 +679,7 @@ let () =
       ("fig7", fig7); ("fig8", fig8); ("sensitivity", sensitivity);
       ("ablation", ablation); ("timeout", timeout_ablation);
       ("detexec", detexec); ("micro", micro); ("json", json);
-      ("lockopt", lockopt_check); ("all", all);
+      ("lockopt", lockopt_check); ("refine", refine_check); ("all", all);
     ]
   in
   (* split off -j N / -jN; remaining args name experiments *)

@@ -189,6 +189,55 @@ let analyze_file ?opts ?mhp ?(profile_runs = 8) ?(no_lockopt = false)
 
 (* ------------------------------------------------------------------ *)
 
+(* exit code for surfaced correctness issues: stress-matrix divergence,
+   a dynamic race outside the static report, a refined-plan digest
+   mismatch, or a safety-valve violation *)
+let issue_exit = 2
+
+let rec mkdir_p d =
+  if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let refine_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "refine" ] ~docv:"PLAN"
+        ~doc:
+          "Run under the corpus-refined deployment plan in $(docv) \
+           (written by $(b,chimera refine)). The plan embeds a digest of \
+           the base plan it refines; a mismatch with the plan computed \
+           here — or a dropped lock the base plan does not contain — \
+           exits 2, so a stale deployment can never silently drop the \
+           wrong locks.")
+
+(* Resolve the program to execute: the lockopt-instrumented one, or —
+   under --refine — the re-derived refined instrumentation *)
+let refined_program (an : Chimera.Pipeline.analysis) = function
+  | None -> an.Chimera.Pipeline.an_instrumented
+  | Some path -> (
+      let dp =
+        try Refine.load_deployment path
+        with Refine.Bad_plan msg ->
+          Fmt.epr "chimera: refined plan %s: %s@." path msg;
+          exit issue_exit
+      in
+      match Refine.apply_deployment ~plan:an.an_plan dp with
+      | Error e ->
+          Fmt.epr "chimera: refined plan %s: %a@." path
+            Refine.pp_deploy_error e;
+          exit issue_exit
+      | Ok plan' ->
+          Fmt.epr "[refined plan: %d lock(s) dropped, %d -> %d static \
+                   acquisitions]@."
+            (List.length dp.Refine.dp_dropped)
+            (Instrument.Plan.n_acquisitions an.an_plan)
+            (Instrument.Plan.n_acquisitions plan');
+          let an = Chimera.Pipeline.with_refined an plan' in
+          Option.get an.an_instr_refined)
+
 let races_cmd =
   let explain_arg =
     Arg.(
@@ -335,16 +384,17 @@ let det_cmd =
 
 let record_cmd =
   let run file seed cores io_seed strategy seeds profile_runs opts no_lockopt
-      jobs no_cache cache_dir out trace_out =
+      jobs no_cache cache_dir out trace_out refine =
     let an =
       analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
         file
     in
+    let prog = refined_program an refine in
     let io = Interp.Iomodel.random ~seed:io_seed in
     let record_one ?sink ~prefix s =
       let r =
         Chimera.Runner.record ~config:(config_of ~strategy s cores) ?sink ~io
-          an.an_instrumented
+          prog
       in
       write_file (prefix ^ ".input.log") (Replay.Log.encode_input_log r.rc_log);
       write_file (prefix ^ ".order.log") (Replay.Log.encode_order_log r.rc_log);
@@ -380,19 +430,21 @@ let record_cmd =
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
       $ strategy_arg $ seeds_arg $ profile_runs_arg $ opts_arg
       $ no_lockopt_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ out_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ refine_arg)
 
 (* exit code for a log that fails to decode (distinct from cmdliner's
    reserved 123-125 range and from program exit codes) *)
 let corrupt_log_exit = 3
 
+
 let replay_cmd =
   let run file seed cores io_seed strategy seeds profile_runs opts no_lockopt
-      jobs no_cache cache_dir logs trace_out =
+      jobs no_cache cache_dir logs trace_out refine =
     let an =
       analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
         file
     in
+    let prog = refined_program an refine in
     let log =
       try
         Replay.Log.decode
@@ -408,7 +460,7 @@ let replay_cmd =
         let sink = sink_for trace_out in
         let o =
           Chimera.Runner.replay ~config:(config_of ~strategy seed cores) ?sink
-            ~io an.an_instrumented log
+            ~io prog log
         in
         print_outcome o;
         dump_trace trace_out sink
@@ -420,7 +472,7 @@ let replay_cmd =
             (fun s ->
               ( s,
                 Chimera.Runner.replay ~config:(config_of ~strategy s cores)
-                  ~io an.an_instrumented log ))
+                  ~io prog log ))
             (seeds_list range)
         in
         let first = snd (List.hd outcomes) in
@@ -457,7 +509,7 @@ let replay_cmd =
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
       $ strategy_arg $ seeds_arg $ profile_runs_arg $ opts_arg
       $ no_lockopt_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ logs_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ refine_arg)
 
 let trace_cmd =
   let run file seed cores io_seed profile_runs opts no_lockopt jobs no_cache
@@ -530,24 +582,33 @@ let trace_cmd =
 
 let bench_cmd =
   let run name seed cores workers strategy seeds no_lockopt jobs no_cache
-      cache_dir =
+      cache_dir refine =
     let b = Bench_progs.Registry.by_name name in
     let src = b.b_source ~workers ~scale:b.b_eval_scale in
+    (* under --refine the analysis mirrors the stress/corpus pipeline
+       (profile_runs 6, stress cache tag) so the deployment's base-plan
+       digest can match the plan computed here *)
+    let profile_runs, tag =
+      match refine with
+      | None -> (8, "bench:" ^ name)
+      | Some _ -> (6, "stress:" ^ name)
+    in
     let an =
       with_jobs jobs (fun pool ->
-          Chimera.Pipeline.analyze ~profile_runs:8 ~lockopt:(not no_lockopt)
+          Chimera.Pipeline.analyze ~profile_runs ~lockopt:(not no_lockopt)
             ~profile_io:(fun i ->
               b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
             ?pool
             ?cache:(cache_of ~no_cache ~cache_dir)
-            ~cache_tag:("bench:" ^ name)
+            ~cache_tag:tag
             ~cache_log:cli_cache_log
             (Minic.Parser.parse ~file:name src))
     in
+    let instrumented = refined_program an refine in
     let io = b.b_io ~seed:42 ~scale:b.b_eval_scale in
     let config = config_of ~strategy seed cores in
     let ov, r = Chimera.Runner.measure ~config ~io ~original:an.an_prog
-        ~instrumented:an.an_instrumented () in
+        ~instrumented () in
     Fmt.pr "%s: %d races, %a@." name
       (List.length an.an_report.races)
       Instrument.Plan.pp_summary an.an_plan;
@@ -556,11 +617,13 @@ let bench_cmd =
       ov.ov_native_ticks ov.ov_record_ticks ov.ov_record ov.ov_replay_ticks
       ov.ov_replay;
     Fmt.pr "logs: input %dB gz | order %dB gz@." r.rc_input_log_z r.rc_order_log_z;
+    Fmt.pr "runtime weak acquisitions (record): %d@."
+      (Refine.runtime_weak_acqs r.rc_outcome);
     (match
        Chimera.Runner.same_execution r.rc_outcome
          (Chimera.Runner.replay
             ~config:{ config with seed = config.seed + 7919 }
-            ~io an.an_instrumented r.rc_log)
+            ~io instrumented r.rc_log)
      with
     | Ok () -> Fmt.pr "replay (different scheduler seed): DETERMINISTIC@."
     | Error d -> (
@@ -568,7 +631,7 @@ let bench_cmd =
         (* localize it: diff the recorded vs replayed event streams *)
         match
           Chimera.Runner.first_trace_divergence ~config ~io
-            an.an_instrumented r.rc_log
+            instrumented r.rc_log
         with
         | Some dv ->
             Fmt.pr "first diverging event: %a@." Trace.pp_divergence dv
@@ -582,7 +645,7 @@ let bench_cmd =
           (fun s ->
             match
               Chimera.Runner.record_replay_check
-                ~config:{ config with seed = s } ~io an.an_instrumented
+                ~config:{ config with seed = s } ~io instrumented
             with
             | Ok _ -> ()
             | Error d ->
@@ -608,7 +671,7 @@ let bench_cmd =
     Term.(
       const run $ name_arg $ seed_arg $ cores_arg $ workers_arg
       $ strategy_arg $ seeds_arg $ no_lockopt_arg $ jobs_arg $ no_cache_arg
-      $ cache_dir_arg)
+      $ cache_dir_arg $ refine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stress: batch matrix recording + fault injection *)
@@ -683,7 +746,13 @@ let stress_json (rp : Chimera.Stress.report)
 let stress_cmd =
   let run benches srcs raw seeds strategies cores io_seed jobs no_cache
       cache_dir golden json_out fault_logs no_fault_inject max_truncations
-      max_flips =
+      max_flips corpus =
+    (* a raw (uninstrumented) matrix is a negative control; its
+       recordings are useless as refinement evidence *)
+    if raw && corpus <> None then begin
+      Fmt.epr "chimera: stress: --corpus cannot be combined with --raw@.";
+      exit Cmd.Exit.cli_error
+    end;
     (* a corrupt on-disk log pair is rejected up front, before any
        recording work *)
     (match fault_logs with
@@ -713,7 +782,9 @@ let stress_cmd =
         (* benchmark analysis mirrors the golden-counters generator
            (profile_runs 6, profile-io seeds 100+i, 4 workers, io seed 42
            at eval scale) so --golden pins are directly comparable *)
-        let bench_spec name : Chimera.Stress.prog_spec =
+        let bench_spec name :
+            Chimera.Stress.prog_spec
+            * (string * (Refine.Corpus.kind * string option * int * string)) =
           let b = Bench_progs.Registry.by_name name in
           let src = b.b_source ~workers:4 ~scale:b.b_eval_scale in
           let an =
@@ -725,30 +796,43 @@ let stress_cmd =
               ~cache_log:cli_cache_log
               (Minic.Parser.parse ~file:name src)
           in
-          {
-            sp_name = name;
-            sp_instrumented = (if raw then an.an_prog else an.an_instrumented);
-            sp_io = b.b_io ~seed:42 ~scale:b.b_eval_scale;
-            sp_golden_ticks =
-              (if raw then None else Hashtbl.find_opt golden_tbl name);
-          }
+          ( {
+              sp_name = name;
+              sp_instrumented =
+                (if raw then an.an_prog else an.an_instrumented);
+              sp_io = b.b_io ~seed:42 ~scale:b.b_eval_scale;
+              sp_golden_ticks =
+                (if raw then None else Hashtbl.find_opt golden_tbl name);
+            },
+            ( name,
+              (Refine.Corpus.Kbench, None, 42, Refine.plan_digest an.an_plan)
+            ) )
         in
-        let src_spec path : Chimera.Stress.prog_spec =
+        let src_spec path :
+            Chimera.Stress.prog_spec
+            * (string * (Refine.Corpus.kind * string option * int * string)) =
           let an =
             Chimera.Pipeline.analyze ~profile_runs:6 ?pool ?cache
               ~cache_log:cli_cache_log
               (Minic.Parser.parse ~file:path (read_file path))
           in
-          {
-            sp_name = Filename.basename path;
-            sp_instrumented = (if raw then an.an_prog else an.an_instrumented);
-            sp_io = Interp.Iomodel.random ~seed:io_seed;
-            sp_golden_ticks = None;
-          }
+          ( {
+              sp_name = Filename.basename path;
+              sp_instrumented =
+                (if raw then an.an_prog else an.an_instrumented);
+              sp_io = Interp.Iomodel.random ~seed:io_seed;
+              sp_golden_ticks = None;
+            },
+            ( Filename.basename path,
+              ( Refine.Corpus.Ksrc,
+                Some path,
+                io_seed,
+                Refine.plan_digest an.an_plan ) ) )
         in
-        let progs =
+        let specs =
           List.map bench_spec benches @ List.map src_spec srcs
         in
+        let progs = List.map fst specs and meta = List.map snd specs in
         if progs = [] then begin
           Fmt.epr "chimera: stress: no programs given@.";
           exit Cmd.Exit.cli_error
@@ -764,6 +848,18 @@ let stress_cmd =
           rp.rp_jobs rp.rp_distinct (rp.rp_jobs - rp.rp_distinct)
           rp.rp_replayed;
         List.iter (fun i -> Fmt.pr "%a@." Chimera.Stress.pp_issue i) rp.rp_issues;
+        (match corpus with
+        | None -> ()
+        | Some dir ->
+            let c = Refine.Corpus.of_stress ~dir ~cores ~meta rp in
+            Refine.Corpus.save c;
+            Fmt.epr "[corpus: %d program(s), %d distinct recording(s) -> %s]@."
+              (List.length c.co_entries)
+              (List.fold_left
+                 (fun acc (e : Refine.Corpus.entry) ->
+                   acc + List.length e.ce_recordings)
+                 0 c.co_entries)
+              dir);
         let fault =
           if no_fault_inject then None
           else begin
@@ -887,6 +983,16 @@ let stress_cmd =
       value & opt int 64
       & info [ "max-flips" ] ~doc:"Byte-corruption cap per log")
   in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Save the matrix's distinct recordings and a $(b,corpus.json) \
+             manifest (with per-program base-plan digests) under $(docv), \
+             for later $(b,chimera refine) runs")
+  in
   Cmd.v
     (Cmd.info "stress"
        ~doc:
@@ -910,7 +1016,260 @@ let stress_cmd =
       const run $ benches_arg $ srcs_arg $ raw_arg $ stress_seeds_arg
       $ strategies_arg $ cores_arg $ io_seed_arg $ jobs_arg $ no_cache_arg
       $ cache_dir_arg $ golden_arg $ json_arg $ fault_logs_arg
-      $ no_fault_inject_arg $ max_truncations_arg $ max_flips_arg)
+      $ no_fault_inject_arg $ max_truncations_arg $ max_flips_arg
+      $ corpus_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dynrace: dynamic detector runs with static cross-checking *)
+
+let dynrace_cmd =
+  let track_weak_arg =
+    Arg.(
+      value & flag
+      & info [ "track-weak" ]
+          ~doc:
+            "Run the $(b,instrumented) program with weak locks counted \
+             as synchronization — the transformed-program race-freedom \
+             check (any race exits 2). Without this flag the \
+             $(b,original) program runs with weak locks ignored and \
+             every dynamic race is cross-checked against the static \
+             report (an uncovered race exits 2).")
+  in
+  let run file seed cores io_seed strategy seeds track_weak profile_runs
+      opts no_lockopt jobs no_cache cache_dir =
+    let an =
+      analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
+        file
+    in
+    let io = Interp.Iomodel.random ~seed:io_seed in
+    let seeds = match seeds with None -> [ seed ] | Some r -> seeds_list r in
+    let prog = if track_weak then an.an_instrumented else an.an_prog in
+    let races = ref 0 and uncovered = ref 0 and checks = ref 0 in
+    List.iter
+      (fun s ->
+        let det = Dynrace.create ~track_weak () in
+        let hooks = Dynrace.attach det (Interp.Engine.no_hooks ()) in
+        let (_ : Interp.Engine.outcome) =
+          Interp.Engine.run
+            ~config:(config_of ~strategy s cores)
+            ~hooks ~mode:Interp.Engine.Native ~io prog
+        in
+        checks := !checks + Dynrace.n_checks det;
+        List.iter
+          (fun (r : Dynrace.race) ->
+            incr races;
+            let covered =
+              Hashtbl.mem an.an_report.racy_sids r.dr_sid1
+              && Hashtbl.mem an.an_report.racy_sids r.dr_sid2
+            in
+            if not covered then incr uncovered;
+            Fmt.pr "seed %d: %a [%s]@." s Dynrace.pp_race r
+              (if covered then "covered" else "UNCOVERED"))
+          (Dynrace.races det))
+      seeds;
+    Fmt.pr "%d run(s): %d dynamic race(s), %d uncovered, %d memory \
+            operation(s) checked@."
+      (List.length seeds) !races !uncovered !checks;
+    if track_weak && !races > 0 then begin
+      Fmt.pr "dynrace: instrumented program races with weak locks counted \
+              as synchronization@.";
+      exit issue_exit
+    end;
+    if !uncovered > 0 then begin
+      Fmt.pr "dynrace: a dynamic race escapes the static report@.";
+      exit issue_exit
+    end;
+    Fmt.pr "dynrace: OK@."
+  in
+  Cmd.v
+    (Cmd.info "dynrace"
+       ~doc:
+         "Run the vector-clock dynamic race detector and cross-check \
+          every dynamic race against RELAY's static report (the paper's \
+          coverage oracle); with $(b,--track-weak), check the \
+          instrumented program race-free under weak-lock synchronization"
+       ~exits:
+         (Cmd.Exit.info issue_exit
+            ~doc:
+              "a dynamic race is not statically covered, or (with \
+               $(b,--track-weak)) the instrumented program raced"
+         :: Cmd.Exit.defaults))
+    Term.(
+      const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
+      $ strategy_arg $ seeds_arg $ track_weak_arg $ profile_runs_arg
+      $ opts_arg $ no_lockopt_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* refine: corpus-driven plan refinement *)
+
+let refine_cmd =
+  let corpus_arg =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Corpus directory written by $(b,chimera stress --corpus)")
+  in
+  let min_coverage_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "min-coverage" ] ~docv:"N"
+          ~doc:
+            "Distinct recordings that must exercise both sides of a pair \
+             before its never-racy evidence licenses a drop")
+  in
+  let out_dir_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "o"; "out-dir" ] ~docv:"DIR"
+          ~doc:"Directory for the $(i,NAME).refined.json deployment plans")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "List every static pair with its evidence and provenance: \
+             dropped:never-racy, kept:witnessed, kept:unexercised, or \
+             kept (shared lock)")
+  in
+  let no_validate_arg =
+    Arg.(
+      value & flag
+      & info [ "no-validate" ]
+          ~doc:
+            "Skip the safety valve (re-recording every corpus cell under \
+             the refined plan with the detector attached)")
+  in
+  let run corpus_dir min_coverage out_dir explain no_validate jobs no_cache
+      cache_dir =
+    let corpus =
+      try Refine.Corpus.load ~dir:corpus_dir
+      with Refine.Corpus.Bad msg ->
+        Fmt.epr "chimera: corpus %s: %s@." corpus_dir msg;
+        exit issue_exit
+    in
+    with_jobs jobs (fun pool ->
+        let cache = cache_of ~no_cache ~cache_dir in
+        let issues = ref 0 in
+        List.iter
+          (fun (e : Refine.Corpus.entry) ->
+            (* reconstruct the analysis exactly as `stress` built it, so
+               the plan digest recorded in the manifest can match *)
+            let an, io =
+              match e.ce_kind with
+              | Refine.Corpus.Kbench ->
+                  let b = Bench_progs.Registry.by_name e.ce_name in
+                  let src = b.b_source ~workers:4 ~scale:b.b_eval_scale in
+                  ( Chimera.Pipeline.analyze ~profile_runs:6
+                      ~profile_io:(fun i ->
+                        b.b_io ~seed:(100 + i) ~scale:b.b_profile_scale)
+                      ?pool ?cache
+                      ~cache_tag:("stress:" ^ e.ce_name)
+                      ~cache_log:cli_cache_log
+                      (Minic.Parser.parse ~file:e.ce_name src),
+                    b.b_io ~seed:42 ~scale:b.b_eval_scale )
+              | Refine.Corpus.Ksrc ->
+                  let path =
+                    match e.ce_source with
+                    | Some p -> p
+                    | None ->
+                        Fmt.epr
+                          "chimera: corpus entry %s: source entry without \
+                           a source path@."
+                          e.ce_name;
+                        exit issue_exit
+                  in
+                  ( Chimera.Pipeline.analyze ~profile_runs:6 ?pool ?cache
+                      ~cache_log:cli_cache_log
+                      (Minic.Parser.parse ~file:path (read_file path)),
+                    Interp.Iomodel.random ~seed:e.ce_io_seed )
+            in
+            let digest = Refine.plan_digest an.an_plan in
+            if digest <> e.ce_plan_digest then begin
+              Fmt.epr
+                "chimera: %s: corpus plan digest mismatch (recorded under \
+                 %s, computed %s) — re-record the corpus@."
+                e.ce_name e.ce_plan_digest digest;
+              incr issues
+            end
+            else begin
+              let obs =
+                try
+                  Refine.observe_corpus ?pool ~io
+                    ~instrumented:an.an_instrumented
+                    ~racy_sids:an.an_report.racy_sids corpus e
+                with Refine.Corpus.Bad msg ->
+                  Fmt.epr "chimera: corpus %s: %s@." e.ce_name msg;
+                  exit issue_exit
+              in
+              let rf = Refine.refine ~min_coverage ~plan:an.an_plan obs in
+              Fmt.pr "%s: %a@." e.ce_name Refine.pp_summary rf;
+              if explain then
+                List.iter
+                  (fun pr -> Fmt.pr "  %a@." Refine.pp_pair_result pr)
+                  rf.rf_pairs;
+              mkdir_p out_dir;
+              let path =
+                Filename.concat out_dir (e.ce_name ^ ".refined.json")
+              in
+              write_file path
+                (Refine.deployment_json
+                   (Refine.deployment_of ~program:e.ce_name ~base:an.an_plan
+                      rf));
+              Fmt.epr "[refined plan -> %s]@." path;
+              if not no_validate then begin
+                let refined =
+                  Instrument.Transform.apply an.an_prog rf.rf_plan
+                in
+                let jobs =
+                  List.map
+                    (fun (r : Refine.Corpus.recording) ->
+                      (r.cr_seed, r.cr_strategy))
+                    e.ce_recordings
+                in
+                let va =
+                  Refine.validate ?pool ~cores:e.ce_cores ~io
+                    ~report:an.an_report ~refined ~jobs ()
+                in
+                if va.va_violations <> [] then begin
+                  List.iter
+                    (fun v -> Fmt.pr "  %a@." Refine.pp_violation v)
+                    va.va_violations;
+                  incr issues
+                end
+                else
+                  Fmt.pr
+                    "  validate: %d cell(s) re-recorded, %d race(s) \
+                     checked, clean@."
+                    va.va_jobs va.va_races_checked
+              end
+            end)
+          corpus.co_entries;
+        if !issues > 0 then begin
+          Fmt.pr "refine: %d issue(s)@." !issues;
+          exit issue_exit
+        end;
+        Fmt.pr "refine: OK@.")
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Close the static/dynamic loop: replay a stress corpus with the \
+          race detector attached, aggregate per-pair evidence, drop the \
+          weak locks proven never-racy at the coverage threshold, write \
+          deployment plans, and validate the refined plans by \
+          re-recording every corpus cell (any violation exits 2)"
+       ~exits:
+         (Cmd.Exit.info issue_exit
+            ~doc:
+              "a plan digest mismatch, damaged corpus, or safety-valve \
+               violation (an uncovered or reintroduced race, or replay \
+               divergence under the refined plan)"
+         :: Cmd.Exit.defaults))
+    Term.(
+      const run $ corpus_arg $ min_coverage_arg $ out_dir_arg $ explain_arg
+      $ no_validate_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
 
 let cache_cmd =
   let stats_cmd =
@@ -949,5 +1308,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "chimera" ~version:"1.0.0" ~doc)
           [ races_cmd; plan_cmd; instrument_cmd; run_cmd; det_cmd;
-            record_cmd; replay_cmd; trace_cmd; bench_cmd; stress_cmd;
-            cache_cmd ]))
+            record_cmd; replay_cmd; trace_cmd; bench_cmd; dynrace_cmd;
+            stress_cmd; refine_cmd; cache_cmd ]))

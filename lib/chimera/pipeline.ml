@@ -19,6 +19,11 @@ type analysis = {
   an_plan : Instrument.Plan.t;      (** plan actually instrumented *)
   an_lockopt : Lockopt.report;
   an_instrumented : program;      (** the data-race-free transformed program *)
+  an_plan_refined : Instrument.Plan.t option;
+      (** corpus-refined plan (third plan stage); [None] until a
+          refinement is installed with {!with_refined} *)
+  an_instr_refined : program option;
+      (** program instrumented under [an_plan_refined] *)
 }
 
 let default_profile_io i = Interp.Iomodel.random ~seed:(1000 + (i * 37))
@@ -148,6 +153,8 @@ let analyze ?(opts = Instrument.Plan.all_opts) ?(profile_runs = 20)
           an_plan = plan;
           an_lockopt = lockopt_report;
           an_instrumented = instrumented;
+          an_plan_refined = None;
+          an_instr_refined = None;
         }
       in
       (match cache with
@@ -156,6 +163,16 @@ let analyze ?(opts = Instrument.Plan.all_opts) ?(profile_runs = 20)
           if not (Ancache.put c ~key (Marshal.to_string an [])) then
             log "warning: could not write analysis cache entry %s" key);
       an
+
+(** Install a corpus-refined plan as the analysis's third plan stage and
+    instrument the program under it. Refinement only ever narrows the
+    lockopt plan, so the static report and profile stay untouched. *)
+let with_refined (an : analysis) (plan : Instrument.Plan.t) : analysis =
+  {
+    an with
+    an_plan_refined = Some plan;
+    an_instr_refined = Some (Instrument.Transform.apply an.an_prog plan);
+  }
 
 (** Convenience: parse, check, analyze. *)
 let analyze_source ?opts ?profile_runs ?profile_io ?profile_config ?mhp

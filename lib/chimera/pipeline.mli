@@ -13,7 +13,16 @@ type analysis = {
   an_lockopt : Lockopt.report;
   an_instrumented : Minic.Ast.program;
       (** the data-race-free transformed program *)
+  an_plan_refined : Instrument.Plan.t option;
+      (** corpus-refined plan (third plan stage beside [an_plan_raw] /
+          [an_plan]); [None] until installed with {!with_refined} *)
+  an_instr_refined : Minic.Ast.program option;
+      (** program instrumented under [an_plan_refined] *)
 }
+
+(** Install a corpus-refined plan (see {!Refine} in [chimera.refine])
+    as the third plan stage and instrument the program under it. *)
+val with_refined : analysis -> Instrument.Plan.t -> analysis
 
 (** The cache key {!analyze} uses for a program under the given options
     (exposed for tests and cache tooling). [cache_tag] must cover any

@@ -4,14 +4,18 @@
     acquisitions the must-lockset pass elided) and the dynamic side (the
     logical tick count of a seeded 4-core record run, which pins every
     cost-model charge and scheduling decision: a host-performance change
-    that perturbs deterministic execution moves this column). [dune
+    that perturbs deterministic execution moves this column). The
+    [refined]/[dropped] columns pin the corpus-driven refinement pass:
+    the seed-1 recording doubles as a one-cell corpus
+    ([observe_recordings], [min_coverage:1]), so these columns move when
+    the detector's evidence or the lock-dropping rule changes. [dune
     runtest] diffs the output against [golden_counters.expected]; after
     an intentional analysis or cost-model change, refresh the snapshot
     with [dune promote]. *)
 
 let () =
-  Fmt.pr "%-8s %8s %8s %8s %8s %8s %10s@." "bench" "static" "pruned" "kept"
-    "plan" "elided" "ticks";
+  Fmt.pr "%-8s %8s %8s %8s %8s %8s %8s %8s %10s@." "bench" "static" "pruned"
+    "kept" "plan" "elided" "refined" "dropped" "ticks";
   List.iter
     (fun (b : Bench_progs.Registry.bench) ->
       let src = b.b_source ~workers:4 ~scale:b.b_eval_scale in
@@ -24,11 +28,18 @@ let () =
       let config = { Interp.Engine.default_config with seed = 1; cores = 4 } in
       let io = b.b_io ~seed:42 ~scale:b.b_eval_scale in
       let r = Chimera.Runner.record ~config ~io an.an_instrumented in
-      Fmt.pr "%-8s %8d %8d %8d %8d %8d %10d@." b.b_name
+      let obs =
+        Refine.observe_recordings ~cores:4 ~io
+          ~instrumented:an.an_instrumented ~racy_sids:an.an_report.racy_sids
+          [ ((1, Interp.Engine.Sdefault), r.Chimera.Runner.rc_log) ]
+      in
+      let rf = Refine.refine ~min_coverage:1 ~plan:an.an_plan obs in
+      Fmt.pr "%-8s %8d %8d %8d %8d %8d %8d %8d %10d@." b.b_name
         an.an_report.n_candidates
         (List.length an.an_report.pruned)
         (List.length an.an_report.races)
         an.an_lockopt.Lockopt.lo_plan_acqs
-        an.an_lockopt.Lockopt.lo_elided_acqs
+        an.an_lockopt.Lockopt.lo_elided_acqs rf.Refine.rf_refined_acqs
+        (List.length rf.Refine.rf_dropped)
         r.Chimera.Runner.rc_outcome.o_ticks)
     Bench_progs.Registry.all

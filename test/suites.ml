@@ -28,4 +28,5 @@ let all : (string * unit Alcotest.test_case list) list =
     ("fuzz", Test_fuzz.suite);
     ("detexec", Test_detexec.suite);
     ("e2e", Test_e2e.suite);
+    ("refine", Test_refine.suite);
   ]
