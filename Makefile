@@ -7,7 +7,7 @@
 # the sharded test runner); it defaults to all cores.
 .PHONY: all build test test-par check bench-json bench-wall bench-regress \
 	par-check lockopt-check trace-check analyze-check stress-check \
-	refine-check clean
+	refine-check log-check bench-sustained clean
 
 J ?= 0
 # wall-clock harness knobs: repetitions per phase, regression tolerance,
@@ -107,6 +107,26 @@ refine-check:
 	dune build bin/chimera_cli.exe test/refine_check.exe
 	CHIMERA_CLI=./_build/default/bin/chimera_cli.exe \
 		./_build/default/test/refine_check.exe
+
+# segmented-log gate: record knot's sustained load (20k requests)
+# through the spilling recorder with a small segment threshold, measure
+# that the peak resident segment stays a fraction of the raw log total,
+# stream the segments back (full replay == recording, windowed replay
+# halts on the digest the full replay computed), roundtrip every pinned
+# checkpoint, and drive the CLI --segment-dir loop end to end — a
+# hand-corrupted segment checksum must exit with the typed status 3.
+# JSON report lands in /tmp/chimera-log.json.
+log-check:
+	dune build bin/chimera_cli.exe test/log_check.exe
+	CHIMERA_CLI=./_build/default/bin/chimera_cli.exe \
+		./_build/default/test/log_check.exe
+
+# sustained-load segmented recording experiment: serve 20k requests
+# through each server benchmark under the spilling recorder, verify
+# streamed + windowed replay, and emit the chimera-sustained-log JSON
+# (residency ratios) on stdout
+bench-sustained:
+	dune exec bench/main.exe -- sustained
 
 # analysis gate: a -j 4 analyze digest is byte-identical to serial, a
 # warm cache hit reproduces the cold analysis, every damaged-entry shape

@@ -191,6 +191,7 @@ let measure ?(opts = Instrument.Plan.all_opts) ?(workers = 4) ?(cores = 4)
       ignore (Chimera.Runner.record ~config ~sink ~io an.an_instrumented);
       Some
         (Trace.summarize ~dropped:(Trace.Sink.dropped sink)
+           ~dropped_by_thread:(Trace.Sink.dropped_by_thread sink)
            (Trace.Sink.events sink))
     end
   in

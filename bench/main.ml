@@ -431,12 +431,30 @@ let json () =
     let trace_events =
       match m.m_trace with Some su -> su.Trace.su_events | None -> 0
     in
+    let trace_dropped =
+      match m.m_trace with Some su -> su.Trace.su_dropped | None -> 0
+    in
+    (* per-thread ring-overflow losses, keyed by the stable tid_path; an
+       empty object certifies the trace aggregates above are complete *)
+    let dropped_by_thread =
+      let pairs =
+        match m.m_trace with
+        | Some su -> su.Trace.su_dropped_by_thread
+        | None -> []
+      in
+      Fmt.str "{%s}"
+        (String.concat ", "
+           (List.map
+              (fun (tp, d) ->
+                Fmt.str {|"%a": %d|} Runtime.Key.pp_tid_path tp d)
+              pairs))
+    in
     Fmt.str
-      {|    {"name": "%s", "workers": %d, "static_pairs": %d, "pruned_pairs": %d, "kept_pairs": %d, "plan_acquisitions": %d, "elided_acquisitions": %d, "runtime_acquisitions": %.1f, "record_overhead": %.3f, "forced_releases": %d, "handoffs_served": %d, "handoffs_expired": %d, "block_events": %d, "mean_queue_depth": %.2f, "trace_events": %d}|}
+      {|    {"name": "%s", "workers": %d, "static_pairs": %d, "pruned_pairs": %d, "kept_pairs": %d, "plan_acquisitions": %d, "elided_acquisitions": %d, "runtime_acquisitions": %.1f, "record_overhead": %.3f, "forced_releases": %d, "handoffs_served": %d, "handoffs_expired": %d, "block_events": %d, "mean_queue_depth": %.2f, "trace_events": %d, "trace_dropped": %d, "trace_dropped_by_thread": %s}|}
       m.m_name m.m_workers m.m_static_pairs m.m_pruned_pairs m.m_races
       m.m_plan_acqs m.m_elided_acqs (runtime_acquisitions m) (record_ov m)
       m.m_forced m.m_handoff_served m.m_handoff_expired (block_events m)
-      (mean_queue_depth m) trace_events
+      (mean_queue_depth m) trace_events trace_dropped dropped_by_thread
   in
   emit_json
     (Fmt.str {|{"benches": [
@@ -679,7 +697,8 @@ let () =
       ("fig7", fig7); ("fig8", fig8); ("sensitivity", sensitivity);
       ("ablation", ablation); ("timeout", timeout_ablation);
       ("detexec", detexec); ("micro", micro); ("json", json);
-      ("lockopt", lockopt_check); ("refine", refine_check); ("all", all);
+      ("lockopt", lockopt_check); ("refine", refine_check);
+      ("sustained", (fun () -> Wall.sustained ())); ("all", all);
     ]
   in
   (* split off -j N / -jN; remaining args name experiments *)

@@ -233,6 +233,175 @@ let run ?(benches = Bench_progs.Registry.all) ~reps () =
        total)
 
 (* ------------------------------------------------------------------ *)
+(* Sustained-load segmented recording (the `sustained` experiment):
+   bounded log residency measured, not asserted *)
+
+type sus_row = {
+  s_name : string;
+  s_scale : int;
+  s_requests : int;  (** syscalls served by the recorded run *)
+  s_ticks : int;
+  s_segments : int;
+  s_events : int;  (** gated events spilled across the segments *)
+  s_peak_raw : int;  (** resident-log bound: largest in-memory segment *)
+  s_total_raw : int;  (** what a monolithic recording keeps resident *)
+  s_total_z : int;  (** compressed on-disk footprint *)
+  s_record_s : float;
+  s_replay_s : float;
+  s_window_s : float;  (** windowed replay to the mid-run checkpoint *)
+  s_window_segments : int;  (** segments the window actually read *)
+}
+
+let residency_ratio (r : sus_row) =
+  float_of_int r.s_total_raw /. float_of_int (max 1 r.s_peak_raw)
+
+(** Record one benchmark at its sustained scale through the spilling
+    recorder, then verify the recording three ways — full streamed
+    replay matches the recording, a mid-run windowed replay halts early
+    on a digest the full replay also computed, and the later segment
+    files stay unread by the window — while timing each leg. *)
+let measure_sustained ?(workers = 4) ?(cores = 4)
+    (b : Bench_progs.Registry.bench) : sus_row =
+  let scale = b.b_sustained_scale in
+  let an = Harness.analyze b ~opts:Instrument.Plan.all_opts ~workers ~scale in
+  let io = b.b_io ~seed:42 ~scale in
+  let config = { Interp.Engine.default_config with seed = 1; cores } in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "chimera-sustained-%d-%s" (Unix.getpid ()) b.b_name)
+  in
+  let sr, t_rec =
+    timed (fun () ->
+        Chimera.Runner.record_segmented ~config ~io ~dir
+          ~events_per_segment:8192 an.an_instrumented)
+  in
+  let st = sr.Chimera.Runner.sr_stats in
+  let full, t_rep =
+    timed (fun () ->
+        Chimera.Runner.replay_streamed ~config ~io ~dir an.an_instrumented)
+  in
+  (match
+     Chimera.Runner.same_execution sr.Chimera.Runner.sr_outcome
+       full.Chimera.Runner.st_outcome
+   with
+  | Ok () -> ()
+  | Error d ->
+      Fmt.failwith "sustained %s: streamed replay diverged: %a" b.b_name
+        Chimera.Runner.pp_divergence d);
+  (* windowed leg: replay to the middle of the run and stop *)
+  let mf = sr.Chimera.Runner.sr_manifest in
+  let nseg = Array.length mf.Replay.Seglog.mf_segments in
+  let mid = mf.Replay.Seglog.mf_segments.(nseg / 2).Replay.Seglog.sg_last_tick in
+  let cover = Replay.Seglog.covering_segment mf ~upto:mid in
+  let win, t_win =
+    timed (fun () ->
+        Chimera.Runner.replay_streamed ~config ~io ~upto_tick:mid ~dir
+          an.an_instrumented)
+  in
+  if not win.Chimera.Runner.st_halted then
+    Fmt.failwith "sustained %s: windowed replay ran to completion" b.b_name;
+  let digest_at digests idx = List.assoc_opt idx digests in
+  (match
+     ( digest_at full.Chimera.Runner.st_digests cover,
+       digest_at win.Chimera.Runner.st_digests cover )
+   with
+  | Some df, Some dw when df = dw -> ()
+  | df, dw ->
+      Fmt.failwith
+        "sustained %s: windowed digest mismatch at segment %d (full %a, \
+         window %a)"
+        b.b_name cover
+        Fmt.(option ~none:(any "absent") string)
+        df
+        Fmt.(option ~none:(any "absent") string)
+        dw);
+  ignore (Sys.command ("rm -rf " ^ Filename.quote dir));
+  {
+    s_name = b.b_name;
+    s_scale = scale;
+    s_requests = sr.Chimera.Runner.sr_outcome.o_stats.n_syscalls;
+    s_ticks = sr.Chimera.Runner.sr_outcome.o_ticks;
+    s_segments = st.Replay.Seglog.ws_segments;
+    s_events = st.Replay.Seglog.ws_events;
+    s_peak_raw = st.Replay.Seglog.ws_peak_raw;
+    s_total_raw = st.Replay.Seglog.ws_total_raw;
+    s_total_z = st.Replay.Seglog.ws_total_z;
+    s_record_s = t_rec;
+    s_replay_s = t_rep;
+    s_window_s = t_win;
+    s_window_segments = win.Chimera.Runner.st_segments_loaded;
+  }
+
+let sus_row_json (r : sus_row) : string =
+  Fmt.str
+    {|    {"name": "%s", "scale": %d, "requests": %d, "ticks": %d,
+     "segments": %d, "events": %d,
+     "peak_raw_bytes": %d, "total_raw_bytes": %d, "total_z_bytes": %d,
+     "residency_ratio": %.2f,
+     "record_s": %.3f, "replay_s": %.3f, "window_s": %.3f,
+     "window_segments": %d}|}
+    r.s_name r.s_scale r.s_requests r.s_ticks r.s_segments r.s_events
+    r.s_peak_raw r.s_total_raw r.s_total_z (residency_ratio r) r.s_record_s
+    r.s_replay_s r.s_window_s r.s_window_segments
+
+(** The sustained-load experiment (`bench sustained`, and the heart of
+    `make log-check`): serve tens of thousands of requests through each
+    server benchmark under the spilling recorder and emit a
+    [chimera-sustained-log/1] JSON report. Fails — beyond the replay
+    checks in {!measure_sustained} — when a server's sustained run
+    serves fewer than [min_requests] syscalls (the load wasn't
+    sustained) or when its peak resident segment is not at least
+    [min_ratio] times smaller than the raw log total (spilling didn't
+    actually bound memory). *)
+let sustained ?(benches = Bench_progs.Registry.all) ?(min_requests = 20_000)
+    ?(min_ratio = 4.) () =
+  let servers, rest =
+    List.partition
+      (fun (b : Bench_progs.Registry.bench) ->
+        b.b_kind = Bench_progs.Registry.Server)
+      benches
+  in
+  ignore rest;
+  if servers = [] then failwith "sustained: no server benchmarks selected";
+  let t0 = now_s () in
+  let rows = List.map (fun b -> measure_sustained b) servers in
+  let total = now_s () -. t0 in
+  let failed = ref false in
+  List.iter
+    (fun r ->
+      let ratio = residency_ratio r in
+      let low_load = r.s_requests < min_requests in
+      let unbounded = ratio < min_ratio in
+      if low_load || unbounded then failed := true;
+      Fmt.epr
+        "sustained %-8s %6d requests, %3d segments: peak %6dB of %8dB raw \
+         (%5.1fx residency reduction)%s%s@."
+        r.s_name r.s_requests r.s_segments r.s_peak_raw r.s_total_raw ratio
+        (if low_load then
+           Fmt.str "  LOAD TOO LOW (< %d requests)" min_requests
+         else "")
+        (if unbounded then Fmt.str "  RESIDENCY UNBOUNDED (< %.1fx)" min_ratio
+         else ""))
+    rows;
+  Harness.emit_json
+    (Fmt.str
+       {|{"schema": "chimera-sustained-log/1", "workers": 4, "cores": 4,
+ "min_requests": %d, "min_residency_ratio": %.1f,
+ "benches": [
+%s
+ ],
+ "total_wall_s": %.3f}
+|}
+       min_requests min_ratio
+       (String.concat ",\n" (List.map sus_row_json rows))
+       total);
+  if !failed then begin
+    Fmt.epr "FAIL: sustained-load segmented recording gate@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* The comparison gate (shared Bjson reader) *)
 
 type cmp_row = {

@@ -382,9 +382,13 @@ let det_cmd =
       $ profile_runs_arg $ opts_arg $ no_lockopt_arg $ jobs_arg
       $ no_cache_arg $ cache_dir_arg)
 
+let segment_dir_arg ~doc =
+  Arg.(value & opt (some string) None & info [ "segment-dir" ] ~doc)
+
 let record_cmd =
   let run file seed cores io_seed strategy seeds profile_runs opts no_lockopt
-      jobs no_cache cache_dir out trace_out refine =
+      jobs no_cache cache_dir out trace_out refine segment_dir segment_events
+      checkpoint_every =
     let an =
       analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
         file
@@ -403,13 +407,32 @@ let record_cmd =
         r.rc_order_log_z prefix;
       r
     in
-    match seeds with
-    | None ->
+    let record_seg_one ?sink ~dir s =
+      let sr =
+        Chimera.Runner.record_segmented ~config:(config_of ~strategy s cores)
+          ?sink ~io ~dir ~events_per_segment:segment_events ~checkpoint_every
+          prog
+      in
+      let st = sr.Chimera.Runner.sr_stats in
+      Fmt.epr
+        "[segments: %d sealed, %d events, peak raw %dB (resident bound), \
+         total raw %dB, %dB gz -> %s]@."
+        st.Replay.Seglog.ws_segments st.ws_events st.ws_peak_raw
+        st.ws_total_raw st.ws_total_z dir;
+      sr
+    in
+    match (seeds, segment_dir) with
+    | None, None ->
         let sink = sink_for trace_out in
         let r = record_one ?sink ~prefix:out seed in
         print_outcome r.rc_outcome;
         dump_trace trace_out sink
-    | Some range ->
+    | None, Some dir ->
+        let sink = sink_for trace_out in
+        let sr = record_seg_one ?sink ~dir seed in
+        print_outcome sr.sr_outcome;
+        dump_trace trace_out sink
+    | Some range, None ->
         (* one recording per seed, logs under per-seed prefixes, with a
            content-addressed dedup summary across the sweep *)
         let digests =
@@ -421,16 +444,53 @@ let record_cmd =
         in
         Fmt.pr "recorded %d seeds, %d distinct logs@." (List.length digests)
           (List.length (List.sort_uniq compare digests))
+    | Some range, Some dir ->
+        (* per-seed segment directories; dedup on the segment checksums *)
+        let digests =
+          List.map
+            (fun s ->
+              let sr = record_seg_one ~dir:(Fmt.str "%s.%d" dir s) s in
+              Array.to_list sr.sr_manifest.Replay.Seglog.mf_segments
+              |> List.concat_map (fun (sg : Replay.Seglog.segment) ->
+                     [ sg.sg_md5_input; sg.sg_md5_order ])
+              |> String.concat ","
+              |> fun m -> Digest.to_hex (Digest.string m))
+            (seeds_list range)
+        in
+        Fmt.pr "recorded %d seeds, %d distinct logs@." (List.length digests)
+          (List.length (List.sort_uniq compare digests))
   in
   let out_arg =
     Arg.(value & opt string "chimera" & info [ "o" ] ~doc:"Log file prefix")
+  in
+  let segment_events_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "segment-events" ]
+          ~doc:
+            "With --segment-dir: gated events per sealed segment (the \
+             resident-log-memory bound)")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ]
+          ~doc:
+            "With --segment-dir: pin an engine checkpoint every K-th seal \
+             (0 disables checkpoints)")
   in
   Cmd.v (Cmd.info "record" ~doc:"Instrument and record an execution")
     Term.(
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
       $ strategy_arg $ seeds_arg $ profile_runs_arg $ opts_arg
       $ no_lockopt_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ out_arg
-      $ trace_out_arg $ refine_arg)
+      $ trace_out_arg $ refine_arg
+      $ segment_dir_arg
+          ~doc:
+            "Record with a segmented, spilling log: seal, compress, \
+             checksum and spill bounded segments to this directory instead \
+             of one monolithic log pair"
+      $ segment_events_arg $ checkpoint_every_arg)
 
 (* exit code for a log that fails to decode (distinct from cmdliner's
    reserved 123-125 range and from program exit codes) *)
@@ -439,65 +499,127 @@ let corrupt_log_exit = 3
 
 let replay_cmd =
   let run file seed cores io_seed strategy seeds profile_runs opts no_lockopt
-      jobs no_cache cache_dir logs trace_out refine =
+      jobs no_cache cache_dir logs trace_out refine segment_dir from_tick
+      window =
     let an =
       analyze_file ~opts ~profile_runs ~no_lockopt ~jobs ~no_cache ~cache_dir
         file
     in
     let prog = refined_program an refine in
-    let log =
-      try
-        Replay.Log.decode
-          (read_file (logs ^ ".input.log"))
-          (read_file (logs ^ ".order.log"))
-      with Replay.Log.Corrupt msg ->
-        Fmt.epr "chimera: corrupt replay log: %s@." msg;
-        exit corrupt_log_exit
-    in
     let io = Interp.Iomodel.random ~seed:io_seed in
-    match seeds with
-    | None ->
-        let sink = sink_for trace_out in
-        let o =
-          Chimera.Runner.replay ~config:(config_of ~strategy seed cores) ?sink
-            ~io prog log
+    (* the determinism sweep: one and the same execution under every seed *)
+    let sweep_check outcomes =
+      let first = snd (List.hd outcomes) in
+      print_outcome first;
+      let bad =
+        List.filter
+          (fun (_, o) -> Chimera.Runner.same_execution first o <> Ok ())
+          outcomes
+      in
+      if bad = [] then
+        Fmt.pr "replay under %d seeds: IDENTICAL@." (List.length outcomes)
+      else begin
+        List.iter
+          (fun (s, o) ->
+            match Chimera.Runner.same_execution first o with
+            | Ok () -> ()
+            | Error d ->
+                Fmt.pr "seed %d: DIVERGED: %a@." s
+                  Chimera.Runner.pp_divergence d)
+          bad;
+        exit 1
+      end
+    in
+    match segment_dir with
+    | Some dir ->
+        (* streamed (and possibly windowed) replay of a segment directory *)
+        let upto_tick = Option.map (fun w -> from_tick + w) window in
+        let stream_one ?sink s =
+          try
+            Chimera.Runner.replay_streamed
+              ~config:(config_of ~strategy s cores)
+              ?sink ~io ?upto_tick ~dir prog
+          with Replay.Log.Corrupt msg ->
+            Fmt.epr "chimera: corrupt replay log: %s@." msg;
+            exit corrupt_log_exit
         in
-        print_outcome o;
-        dump_trace trace_out sink
-    | Some range ->
-        (* replay determinism sweep: the same log replayed under every
-           seed in the range must yield one and the same execution *)
-        let outcomes =
-          List.map
-            (fun s ->
-              ( s,
-                Chimera.Runner.replay ~config:(config_of ~strategy s cores)
-                  ~io prog log ))
-            (seeds_list range)
+        let report (sr : Chimera.Runner.streamed_replay) =
+          Fmt.epr "[stream: %d segment(s) loaded%s]@." sr.st_segments_loaded
+            (if sr.st_halted then
+               Fmt.str ", halted at window bound [%d,+%d] (digest %s)"
+                 from_tick
+                 (Option.value window ~default:0)
+                 (match List.rev sr.st_digests with
+                 | (_, d) :: _ -> d
+                 | [] -> "-")
+             else "")
         in
-        let first = snd (List.hd outcomes) in
-        print_outcome first;
-        let bad =
-          List.filter
-            (fun (_, o) -> Chimera.Runner.same_execution first o <> Ok ())
-            outcomes
+        (match seeds with
+        | None ->
+            let sink = sink_for trace_out in
+            let sr = stream_one ?sink seed in
+            print_outcome sr.st_outcome;
+            report sr;
+            dump_trace trace_out sink
+        | Some range ->
+            let outcomes =
+              List.map
+                (fun s ->
+                  let sr = stream_one s in
+                  report sr;
+                  (s, sr.Chimera.Runner.st_outcome))
+                (seeds_list range)
+            in
+            sweep_check outcomes)
+    | None -> (
+        let log =
+          try
+            Replay.Log.decode
+              (read_file (logs ^ ".input.log"))
+              (read_file (logs ^ ".order.log"))
+          with Replay.Log.Corrupt msg ->
+            Fmt.epr "chimera: corrupt replay log: %s@." msg;
+            exit corrupt_log_exit
         in
-        if bad = [] then
-          Fmt.pr "replay under %d seeds: IDENTICAL@." (List.length outcomes)
-        else begin
-          List.iter
-            (fun (s, o) ->
-              match Chimera.Runner.same_execution first o with
-              | Ok () -> ()
-              | Error d ->
-                  Fmt.pr "seed %d: DIVERGED: %a@." s
-                    Chimera.Runner.pp_divergence d)
-            bad;
-          exit 1
-        end
+        match seeds with
+        | None ->
+            let sink = sink_for trace_out in
+            let o =
+              Chimera.Runner.replay ~config:(config_of ~strategy seed cores)
+                ?sink ~io prog log
+            in
+            print_outcome o;
+            dump_trace trace_out sink
+        | Some range ->
+            let outcomes =
+              List.map
+                (fun s ->
+                  ( s,
+                    Chimera.Runner.replay
+                      ~config:(config_of ~strategy s cores)
+                      ~io prog log ))
+                (seeds_list range)
+            in
+            sweep_check outcomes)
   in
   let logs_arg =
     Arg.(value & opt string "chimera" & info [ "logs" ] ~doc:"Log file prefix")
+  in
+  let from_tick_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "from-tick" ]
+          ~doc:"With --segment-dir and --window: start of the replay window")
+  in
+  let window_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "window" ]
+          ~doc:
+            "With --segment-dir: replay only the window of $(b,--from-tick) \
+             to $(b,--from-tick)+$(i,W) ticks — streaming halts cleanly \
+             after the last segment covering the window drains, never \
+             reading the later segment files")
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a recorded execution"
@@ -509,7 +631,12 @@ let replay_cmd =
       const run $ file_arg $ seed_arg $ cores_arg $ io_seed_arg
       $ strategy_arg $ seeds_arg $ profile_runs_arg $ opts_arg
       $ no_lockopt_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ logs_arg
-      $ trace_out_arg $ refine_arg)
+      $ trace_out_arg $ refine_arg
+      $ segment_dir_arg
+          ~doc:
+            "Stream the replay out of this segment directory (written by \
+             $(b,record --segment-dir)) instead of monolithic log files"
+      $ from_tick_arg $ window_arg)
 
 let trace_cmd =
   let run file seed cores io_seed profile_runs opts no_lockopt jobs no_cache
@@ -733,10 +860,11 @@ let stress_json (rp : Chimera.Stress.report)
       Buffer.add_string b
         (Fmt.str
            ",\n  \"fault\": {\n    \"mutants\": %d,\n    \"truncations\": \
-            %d,\n    \"flips\": %d,\n    \"rejected\": %d,\n    \"benign\": \
-            %d,\n    \"divergent\": %d,\n    \"crashes\": [%s]\n  }"
+            %d,\n    \"flips\": %d,\n    \"appends\": %d,\n    \
+            \"rejected\": %d,\n    \"benign\": %d,\n    \"divergent\": \
+            %d,\n    \"crashes\": [%s]\n  }"
            (Chimera.Stress.fault_total f)
-           f.fi_truncations f.fi_flips f.fi_rejected f.fi_benign
+           f.fi_truncations f.fi_flips f.fi_appends f.fi_rejected f.fi_benign
            f.fi_divergent
            (strings
               (List.map (fun (w, e) -> w ^ ": " ^ e) f.fi_crashes))));
@@ -1276,23 +1404,32 @@ let cache_cmd =
     let run cache_dir =
       let c = Ancache.create ?dir:cache_dir () in
       let s = Ancache.stats c in
-      Fmt.pr "dir: %s@.entries: %d@.bytes: %d@." (Ancache.dir c)
-        s.Ancache.st_entries s.Ancache.st_bytes
+      Fmt.pr "dir: %s@.entries: %d@.bytes: %d@.stray tmp files: %d@."
+        (Ancache.dir c) s.Ancache.st_entries s.Ancache.st_bytes
+        s.Ancache.st_tmp
     in
     Cmd.v
-      (Cmd.info "stats" ~doc:"Print the cache directory, entry count and size")
+      (Cmd.info "stats"
+         ~doc:
+           "Print the cache directory, entry count, size, and the number \
+            of stray writer temp files (crashed atomic writes)")
       Term.(const run $ cache_dir_arg)
   in
   let clear_cmd =
     let run cache_dir =
       let c = Ancache.create ?dir:cache_dir () in
+      let tmp = List.length (Ancache.stray_tmp_files c) in
       let n = Ancache.clear c in
-      Fmt.pr "removed %d entr%s from %s@." n
+      Fmt.pr "removed %d entr%s%s from %s@." n
         (if n = 1 then "y" else "ies")
+        (if tmp > 0 then Fmt.str " and %d stray tmp file(s)" tmp else "")
         (Ancache.dir c)
     in
     Cmd.v
-      (Cmd.info "clear" ~doc:"Delete every entry in the analysis cache")
+      (Cmd.info "clear"
+         ~doc:
+           "Delete every entry in the analysis cache and sweep stray \
+            writer temp files")
       Term.(const run $ cache_dir_arg)
   in
   Cmd.group

@@ -165,22 +165,43 @@ let entries (t : t) : string list =
       |> List.filter (fun f -> Filename.check_suffix f ".anc")
       |> List.sort compare
 
-type stats = { st_entries : int; st_bytes : int }
+(* a writer that crashed between [Filename.temp_file] and the rename in
+   {!put} leaves a dot-prefixed [.<key><rand>.tmp] behind; they are
+   invisible to {!entries} but accumulate forever unless swept *)
+let stray_tmp_files (t : t) : string list =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter (fun f ->
+             String.length f > 0
+             && f.[0] = '.'
+             && Filename.check_suffix f ".tmp")
+      |> List.sort compare
+
+type stats = { st_entries : int; st_bytes : int; st_tmp : int }
 
 let stats (t : t) : stats =
-  List.fold_left
-    (fun acc f ->
-      let sz =
-        try (Unix.stat (Filename.concat t.dir f)).Unix.st_size
-        with Unix.Unix_error _ | Sys_error _ -> 0
-      in
-      { st_entries = acc.st_entries + 1; st_bytes = acc.st_bytes + sz })
-    { st_entries = 0; st_bytes = 0 }
-    (entries t)
+  let base =
+    List.fold_left
+      (fun acc f ->
+        let sz =
+          try (Unix.stat (Filename.concat t.dir f)).Unix.st_size
+          with Unix.Unix_error _ | Sys_error _ -> 0
+        in
+        { acc with st_entries = acc.st_entries + 1; st_bytes = acc.st_bytes + sz })
+      { st_entries = 0; st_bytes = 0; st_tmp = 0 }
+      (entries t)
+  in
+  { base with st_tmp = List.length (stray_tmp_files t) }
 
-(** Delete every cache entry; returns how many were removed. Leaves
-    non-entry files (and the directory) alone. *)
+(** Delete every cache entry and stray writer temp file; returns how
+    many entries were removed (temp files don't count — they were never
+    entries). Leaves other files (and the directory) alone. *)
 let clear (t : t) : int =
+  List.iter
+    (fun f -> try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ())
+    (stray_tmp_files t);
   List.fold_left
     (fun n f ->
       match Sys.remove (Filename.concat t.dir f) with

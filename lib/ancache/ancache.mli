@@ -40,9 +40,14 @@ val find : t -> key:string -> (string, miss) result
     a cache write must never fail the analysis. *)
 val put : t -> key:string -> string -> bool
 
-type stats = { st_entries : int; st_bytes : int }
+(** Stray writer temp files ([.<key>…tmp], left by a {!put} that crashed
+    before its atomic rename), sorted. Invisible to {!entries}. *)
+val stray_tmp_files : t -> string list
+
+type stats = { st_entries : int; st_bytes : int; st_tmp : int }
 
 val stats : t -> stats
 
-(** Delete all entries; returns the number removed. *)
+(** Delete all entries and sweep stray writer temp files; returns the
+    number of entries removed. *)
 val clear : t -> int

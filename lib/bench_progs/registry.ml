@@ -25,6 +25,7 @@ type bench = {
   b_io : seed:int -> scale:int -> Interp.Iomodel.t;
   b_profile_scale : int;
   b_eval_scale : int;
+  b_sustained_scale : int;
 }
 
 let all : bench list =
@@ -36,6 +37,7 @@ let all : bench list =
       b_io = Desktop.aget_io;
       b_profile_scale = 64;
       b_eval_scale = 256;
+      b_sustained_scale = 1024;
     };
     {
       b_name = "pfscan";
@@ -44,6 +46,7 @@ let all : bench list =
       b_io = Desktop.pfscan_io;
       b_profile_scale = 4;
       b_eval_scale = 28;
+      b_sustained_scale = 112;
     };
     {
       b_name = "pbzip2";
@@ -52,6 +55,7 @@ let all : bench list =
       b_io = Desktop.pbzip2_io;
       b_profile_scale = 2;
       b_eval_scale = 6;
+      b_sustained_scale = 24;
     };
     {
       b_name = "knot";
@@ -60,6 +64,7 @@ let all : bench list =
       b_io = Server.knot_io;
       b_profile_scale = 2;
       b_eval_scale = 10;
+      b_sustained_scale = Server.knot_sustained_scale;
     };
     {
       b_name = "apache";
@@ -68,6 +73,7 @@ let all : bench list =
       b_io = Server.apache_io;
       b_profile_scale = 2;
       b_eval_scale = 8;
+      b_sustained_scale = Server.apache_sustained_scale;
     };
     {
       b_name = "ocean";
@@ -76,6 +82,7 @@ let all : bench list =
       b_io = Splash.scientific_io;
       b_profile_scale = 2;
       b_eval_scale = 6;
+      b_sustained_scale = 12;
     };
     {
       b_name = "water";
@@ -84,6 +91,7 @@ let all : bench list =
       b_io = Splash.scientific_io;
       b_profile_scale = 2;
       b_eval_scale = 6;
+      b_sustained_scale = 12;
     };
     {
       b_name = "fft";
@@ -92,6 +100,7 @@ let all : bench list =
       b_io = Splash.scientific_io;
       b_profile_scale = 3;
       b_eval_scale = 10;
+      b_sustained_scale = 20;
     };
     {
       b_name = "radix";
@@ -100,6 +109,7 @@ let all : bench list =
       b_io = Splash.scientific_io;
       b_profile_scale = 2;
       b_eval_scale = 8;
+      b_sustained_scale = 16;
     };
   ]
 

@@ -23,6 +23,10 @@ type bench = {
           download bytes — as a pure function of [seed] *)
   b_profile_scale : int;  (** input scale used for the profile runs *)
   b_eval_scale : int;     (** input scale used for the evaluation runs *)
+  b_sustained_scale : int;
+      (** input scale for the sustained-load segmented-log experiments:
+          servers serve 20k requests ({!Server.knot_sustained_scale}),
+          the rest get ~4x their evaluation inputs *)
 }
 
 (** All nine, in Table 1 order:

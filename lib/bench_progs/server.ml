@@ -21,6 +21,17 @@
 
 let sub = Template.subst
 
+(* Sustained-load scales: the request volumes used by the segmented-log
+   experiments (`bench sustained`, `make log-check`). The regular
+   evaluation scales serve tens of requests — enough for overhead
+   ratios, far too few to stress log growth. These serve 20k requests
+   per server (knot: 4*scale accepts; apache: 2*scale per worker, 4
+   workers), which pushes the recorder's raw log past a megabyte so a
+   spilling recorder's bounded residency is measurable against the
+   monolithic log's, rather than asserted. Both record in seconds. *)
+let knot_sustained_scale = 5000
+let apache_sustained_scale = 2500
+
 let knot ~workers ~scale =
   let nreq = max 4 (4 * scale) in
   sub

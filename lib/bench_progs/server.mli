@@ -6,6 +6,13 @@
     [~scale] is the number of requests served. Sources include the
     {!Libc} routines. *)
 
+val knot_sustained_scale : int
+(** Scale at which knot serves 20k requests — the sustained-load input
+    of the segmented-log experiments ({!Registry.bench.b_sustained_scale}). *)
+
+val apache_sustained_scale : int
+(** Scale at which apache's four workers serve 20k requests total. *)
+
 val knot : workers:int -> scale:int -> string
 val knot_io : seed:int -> scale:int -> Interp.Iomodel.t
 

@@ -48,6 +48,78 @@ let replay ?(config = Engine.default_config) ?hooks ?sink ~io prog
   Engine.run ~config ?hooks ?sink ~mode:(Engine.Replay log) ~io prog
 
 (* ------------------------------------------------------------------ *)
+(* Segmented (spilling) recording and streamed / windowed replay *)
+
+type seg_recorded = {
+  sr_outcome : Engine.outcome;
+  sr_manifest : Replay.Seglog.manifest;
+  sr_stats : Replay.Seglog.writer_stats;
+  sr_dir : string;
+}
+
+let record_segmented ?(config = Engine.default_config) ?hooks ?sink ~io ~dir
+    ?(events_per_segment = 4096) ?(checkpoint_every = 1) prog : seg_recorded =
+  let w = Replay.Seglog.create_writer ~dir in
+  let eng = Engine.make_engine ~config ?hooks ?sink ~mode:Engine.Record ~io prog in
+  let rc =
+    match eng.Engine.recorder with
+    | Some rc -> rc
+    | None -> invalid_arg "record_segmented: engine has no recorder"
+  in
+  let seals = ref 0 in
+  let flush ~log ~first_tick ~last_tick ~events =
+    (* the snapshot is taken at the seal instant, so the pinned digest is
+       exactly the engine state every replay must pass through when it
+       drains this segment *)
+    let snapshot =
+      if checkpoint_every > 0 && !seals mod checkpoint_every = 0 then
+        Some (Engine.state_digest eng, Engine.snapshot_bytes eng)
+      else None
+    in
+    incr seals;
+    Replay.Seglog.append w ?snapshot ~first_tick ~last_tick ~events log
+  in
+  Replay.Recorder.set_spill rc ~events_per_segment ~flush;
+  let outcome = Engine.run_engine eng in
+  Replay.Recorder.finish rc ~now:eng.Engine.ticks;
+  let stats = Replay.Seglog.writer_stats w in
+  let manifest = Replay.Seglog.close_writer w in
+  { sr_outcome = outcome; sr_manifest = manifest; sr_stats = stats; sr_dir = dir }
+
+type streamed_replay = {
+  st_outcome : Engine.outcome;
+  st_segments_loaded : int;
+  st_halted : bool;
+  st_digests : (int * string) list;
+      (* (segment index, replay-side state digest at its drain),
+         oldest first *)
+}
+
+let replay_streamed ?(config = Engine.default_config) ?hooks ?sink ~io
+    ?upto_tick ~dir prog : streamed_replay =
+  let manifest, pull = Replay.Seglog.stream ~dir in
+  let r = Replay.Replayer.of_stream pull in
+  (match upto_tick with
+  | Some upto ->
+      Replay.Replayer.set_window r
+        ~last_segment:(Replay.Seglog.covering_segment manifest ~upto)
+  | None -> ());
+  let eng =
+    Engine.make_engine ~config ?hooks ?sink ~replayer:r
+      ~mode:(Engine.Replay (Replay.Log.create ())) ~io prog
+  in
+  let digests = ref [] in
+  Replay.Replayer.set_on_advance r (fun idx ->
+      digests := (idx, Engine.state_digest eng) :: !digests);
+  let outcome = Engine.run_engine eng in
+  {
+    st_outcome = outcome;
+    st_segments_loaded = Replay.Replayer.segments_loaded r;
+    st_halted = Replay.Replayer.halted r;
+    st_digests = List.rev !digests;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Determinism comparison *)
 
 type divergence =

@@ -54,6 +54,63 @@ val replay :
   Replay.Log.t ->
   Engine.outcome
 
+type seg_recorded = {
+  sr_outcome : Engine.outcome;
+  sr_manifest : Replay.Seglog.manifest;
+  sr_stats : Replay.Seglog.writer_stats;
+  sr_dir : string;
+}
+
+(** Record with a segmented, spilling log: the recorder seals the open
+    segment every [events_per_segment] gated events and spills it —
+    compressed and checksummed — to [dir] (see {!Replay.Seglog}), so the
+    resident log never exceeds one segment
+    ({!Replay.Seglog.writer_stats.ws_peak_raw}). Every
+    [checkpoint_every]-th seal also pins an engine checkpoint (state
+    digest + marshalled snapshot); [checkpoint_every = 0] disables
+    checkpoints. Spilling charges no simulated ticks and seal points
+    depend only on the recorded event counts, so the execution — ticks,
+    outputs, golden counters — is identical to a monolithic recording. *)
+val record_segmented :
+  ?config:Engine.config ->
+  ?hooks:Engine.hooks ->
+  ?sink:Trace.Sink.t ->
+  io:Iomodel.t ->
+  dir:string ->
+  ?events_per_segment:int ->
+  ?checkpoint_every:int ->
+  Minic.Ast.program ->
+  seg_recorded
+
+type streamed_replay = {
+  st_outcome : Engine.outcome;
+  st_segments_loaded : int;
+  st_halted : bool;  (** window bound reached (windowed replays only) *)
+  st_digests : (int * string) list;
+      (** (segment index, engine state digest at that segment's drain),
+          oldest first — the replay-side pins a windowed replay's halt
+          digest is compared against *)
+}
+
+(** Stream a segmented recording out of [dir] and replay it. Without
+    [upto_tick] the whole log is replayed (equivalent to a monolithic
+    replay of the concatenated segments). With [upto_tick] the replay is
+    windowed: it streams from tick 0 but halts cleanly once the last
+    segment covering that tick has drained, never reading the later
+    segment files. A windowed replay's halt digest equals the full
+    replay's digest at the same segment drain, and equals the recorder's
+    pinned checkpoint digest for that seal.
+    @raise Replay.Log.Corrupt on any manifest / segment corruption. *)
+val replay_streamed :
+  ?config:Engine.config ->
+  ?hooks:Engine.hooks ->
+  ?sink:Trace.Sink.t ->
+  io:Iomodel.t ->
+  ?upto_tick:int ->
+  dir:string ->
+  Minic.Ast.program ->
+  streamed_replay
+
 type divergence =
   | Outputs of
       (Runtime.Key.tid_path * int) list * (Runtime.Key.tid_path * int) list

@@ -224,6 +224,7 @@ type fault_outcome =
 type fault_report = {
   fi_truncations : int;
   fi_flips : int;
+  fi_appends : int;
   fi_rejected : int;
   fi_benign : int;
   fi_divergent : int;
@@ -231,7 +232,8 @@ type fault_report = {
       (** (mutant description, exception) — empty iff the contract holds *)
 }
 
-let fault_total (f : fault_report) = f.fi_truncations + f.fi_flips
+let fault_total (f : fault_report) =
+  f.fi_truncations + f.fi_flips + f.fi_appends
 
 (** Evenly sample at most [cap] of [n] candidate indices (all of them
     when [n <= cap]), preserving order. *)
@@ -299,15 +301,30 @@ let fault_injection ?(pool : Par.Pool.t option) ?(max_truncations = 512)
             `Flip (off, mask) ))
         (sample_indices ~cap:(min max_flips n) n)
   in
+  (* trailing-garbage mutants: a decoder that stops at the last record it
+     understands would accept every one of these — the end-of-input check
+     in [Log.decode] must reject them typed *)
+  let appends side =
+    List.map
+      (fun suffix ->
+        ( Fmt.str "%s + %d trailing byte(s) (0x%02x..)" side
+            (String.length suffix)
+            (Char.code suffix.[0]),
+          side,
+          `Append suffix ))
+      [ "\x00"; "\x01"; "\xff"; String.make 64 '\x00' ]
+  in
   let mutants =
     truncs "input-log" input_marks
     @ truncs "order-log" order_marks
     @ flips "input-log" input_s
     @ flips "order-log" order_s
+    @ appends "input-log"
+    @ appends "order-log"
   in
-  let n_truncs =
-    List.length (List.filter (fun (_, _, m) -> match m with `Trunc _ -> true | _ -> false) mutants)
-  in
+  let n_of p = List.length (List.filter (fun (_, _, m) -> p m) mutants) in
+  let n_truncs = n_of (function `Trunc _ -> true | _ -> false) in
+  let n_appends = n_of (function `Append _ -> true | _ -> false) in
   let apply side damage =
     let base = if side = "input-log" then input_s else order_s in
     let m =
@@ -317,6 +334,7 @@ let fault_injection ?(pool : Par.Pool.t option) ?(max_truncations = 512)
           let b = Bytes.of_string base in
           Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor mask));
           Bytes.to_string b
+      | `Append suffix -> base ^ suffix
     in
     if side = "input-log" then (m, order_s) else (input_s, m)
   in
@@ -330,7 +348,8 @@ let fault_injection ?(pool : Par.Pool.t option) ?(max_truncations = 512)
   let count p = List.length (List.filter (fun (_, o) -> p o) outcomes) in
   {
     fi_truncations = n_truncs;
-    fi_flips = List.length mutants - n_truncs;
+    fi_flips = List.length mutants - n_truncs - n_appends;
+    fi_appends = n_appends;
     fi_rejected = count (function Rejected -> true | _ -> false);
     fi_benign = count (function Benign -> true | _ -> false);
     fi_divergent = count (function Divergent -> true | _ -> false);
@@ -343,8 +362,8 @@ let fault_injection ?(pool : Par.Pool.t option) ?(max_truncations = 512)
 
 let pp_fault_report ppf (f : fault_report) =
   Fmt.pf ppf
-    "%d mutants (%d truncations, %d byte flips): %d rejected typed, %d \
-     benign, %d divergent (reported), %d crashes"
-    (fault_total f) f.fi_truncations f.fi_flips f.fi_rejected f.fi_benign
-    f.fi_divergent
+    "%d mutants (%d truncations, %d byte flips, %d appends): %d rejected \
+     typed, %d benign, %d divergent (reported), %d crashes"
+    (fault_total f) f.fi_truncations f.fi_flips f.fi_appends f.fi_rejected
+    f.fi_benign f.fi_divergent
     (List.length f.fi_crashes)

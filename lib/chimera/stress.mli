@@ -91,6 +91,7 @@ type fault_outcome =
 type fault_report = {
   fi_truncations : int;
   fi_flips : int;
+  fi_appends : int;  (** trailing-garbage mutants *)
   fi_rejected : int;
   fi_benign : int;
   fi_divergent : int;
@@ -112,9 +113,12 @@ val fault_injection :
   fault_report
 (** Record [instrumented] once, then damage the encoded logs
     systematically: truncate at every record boundary (evenly sampled
-    down to [max_truncations] per log) and xor single bytes at
-    [max_flips] evenly spaced offsets per log (masks 0x01/0x80/0xFF).
-    Each mutant is decoded and, when accepted, replayed under a tick
-    budget derived from the baseline run, then classified. *)
+    down to [max_truncations] per log), xor single bytes at [max_flips]
+    evenly spaced offsets per log (masks 0x01/0x80/0xFF), and append
+    trailing garbage (1 and 64 bytes, several leading values) to each
+    log — the mutants a decoder without an end-of-input check would
+    silently accept. Each mutant is decoded and, when accepted, replayed
+    under a tick budget derived from the baseline run, then
+    classified. *)
 
 val pp_fault_report : fault_report Fmt.t

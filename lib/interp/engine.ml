@@ -662,13 +662,19 @@ let gate_sync eng th (obj : K.addr) (op : Replay.Log.sync_op) =
         (fun () ->
           match Replay.Replayer.peek_sync r obj with
           | Some (op', p) -> op' = op && p = th.path
-          | None -> true (* beyond the log: unconstrained *))
+          | None ->
+              (* beyond the log: unconstrained — but only on the final
+                 segment of a streamed recording; mid-stream the op is
+                 recorded in a later segment and must wait for it *)
+              Replay.Replayer.unconstrained r)
 
 let record_sync eng th (obj : K.addr) (op : Replay.Log.sync_op) =
   eng.stats.n_sync_ops <- eng.stats.n_sync_ops + 1;
   emit_ev eng th (Trace.Sync (op, obj));
   (match eng.recorder with
-  | Some rc -> Replay.Recorder.rec_sync rc ~obj ~op ~tp:th.path
+  | Some rc ->
+      Replay.Recorder.rec_sync rc ~obj ~op ~tp:th.path;
+      Replay.Recorder.maybe_seal rc ~now:eng.ticks
   | None -> ());
   match eng.replayer with
   | Some r -> Replay.Replayer.advance_sync r obj
@@ -688,7 +694,9 @@ let record_weak eng th (lock : weak_lock) ~(claim : Replay.Log.sclaim) =
   eng.stats.n_weak_acq.(rank) <- eng.stats.n_weak_acq.(rank) + 1;
   emit_ev eng th (Trace.Weak_acquire lock);
   (match eng.recorder with
-  | Some rc -> Replay.Recorder.rec_weak rc ~lock ~tp:th.path ~claim
+  | Some rc ->
+      Replay.Recorder.rec_weak rc ~lock ~tp:th.path ~claim;
+      Replay.Recorder.maybe_seal rc ~now:eng.ticks
   | None -> ());
   match eng.replayer with
   | Some r ->
@@ -723,7 +731,7 @@ let gate_syscall eng th =
       wait_turn th ~what:"syscall" (fun () ->
           match Replay.Replayer.peek_syscall r with
           | Some p -> p = th.path
-          | None -> true)
+          | None -> Replay.Replayer.unconstrained r)
 
 let record_syscall eng th (values : int list) =
   trace eng "%a syscall [%a]" K.pp_tid_path th.path
@@ -732,7 +740,9 @@ let record_syscall eng th (values : int list) =
   eng.stats.n_syscalls <- eng.stats.n_syscalls + 1;
   emit_ev eng th Trace.Syscall;
   (match eng.recorder with
-  | Some rc -> Replay.Recorder.rec_input rc ~tp:th.path values
+  | Some rc ->
+      Replay.Recorder.rec_input rc ~tp:th.path values;
+      Replay.Recorder.maybe_seal rc ~now:eng.ticks
   | None -> ());
   match eng.replayer with
   | Some r -> Replay.Replayer.advance_syscall r
@@ -1051,10 +1061,14 @@ let det_ensure_reacquired eng th =
 
 let () = det_ensure_reacquired_ref := det_ensure_reacquired
 
-let weak_release_one eng th (lock : weak_lock) =
+(* [drop_immune:false] when the caller already swept the whole batch out
+   of [det_immune] in one pass — the per-lock filter here would rescan
+   the list once per released lock *)
+let weak_release_one ?(drop_immune = true) eng th (lock : weak_lock) =
   trace eng "%a rel %a clk=%d" K.pp_tid_path th.path pp_weak_lock lock
     th.det_clock;
-  th.det_immune <- List.filter (fun l -> l <> lock) th.det_immune;
+  if drop_immune && th.det_immune <> [] then
+    th.det_immune <- List.filter (fun l -> l <> lock) th.det_immune;
   emit_ev eng th (Trace.Weak_release lock);
   List.iter (wake_tid eng) (WL.release eng.weak lock ~tid:th.tid);
   fire_sync eng th (SyWeakRel lock)
@@ -1082,17 +1096,24 @@ let release_batch eng th (ls : weak_lock list) =
     ls;
   if ls <> [] then begin
     det_gate ~reacquire:false eng th;
+    let in_batch = lazy (lock_set_of ls) in
     (* a doom processed at this very gate may have stripped one of the
        locks we are about to release; cancel its reacquisition — we were
        freeing it anyway, and a stale entry would be reacquired at a
        later gate, outside the region, and then never released *)
-    (if th.reacquire <> [] then
-       let in_batch = lock_set_of ls in
-       th.reacquire <-
-         List.filter
-           (fun (l, _) -> not (Hashtbl.mem in_batch l))
-           th.reacquire);
-    List.iter (fun l -> weak_release_one eng th l) ls
+    if th.reacquire <> [] then
+      th.reacquire <-
+        List.filter
+          (fun (l, _) -> not (Hashtbl.mem (Lazy.force in_batch) l))
+          th.reacquire;
+    (* sweep the whole batch out of the immunity list in one pass rather
+       than one rescan per released lock *)
+    if th.det_immune <> [] then
+      th.det_immune <-
+        List.filter
+          (fun l -> not (Hashtbl.mem (Lazy.force in_batch) l))
+          th.det_immune;
+    List.iter (fun l -> weak_release_one ~drop_immune:false eng th l) ls
   end
 
 (* enter an instrumented region: suspend the enclosing region's locks,
@@ -1205,7 +1226,13 @@ let weak_exit eng th (locks : weak_lock list) =
          the instrumenter missed a path; release defensively) *)
       if locks <> [] then begin
         det_gate ~reacquire:false eng th;
-        List.iter (fun l -> weak_release_one eng th l) locks
+        (if th.det_immune <> [] then
+           let in_batch = lock_set_of locks in
+           th.det_immune <-
+             List.filter
+               (fun l -> not (Hashtbl.mem in_batch l))
+               th.det_immune);
+        List.iter (fun l -> weak_release_one ~drop_immune:false eng th l) locks
       end)
 
 (* Forced release (timeout-preemption or replayed forced event), applied
@@ -1219,7 +1246,8 @@ let apply_forced_release eng (owner : thread) (lock : weak_lock) =
     (match eng.recorder with
     | Some rc ->
         Replay.Recorder.rec_forced rc ~owner:owner.path ~steps:owner.steps
-          ~acqs:owner.weak_acqs ~lock
+          ~acqs:owner.weak_acqs ~lock;
+        Replay.Recorder.maybe_seal rc ~now:eng.ticks
     | None -> ());
     (* the stripped owner's work so far happens-before the next
        acquisition: emit the release edge for dynamic analyses *)
@@ -2057,6 +2085,10 @@ let start_thread eng (th : thread) (body : unit -> unit) =
           | Program_exit code -> eng.exit_code <- Some code
           | Value.Fault msg -> th.fault <- Some msg
           | Stuck msg -> th.fault <- Some msg
+          (* a corrupt log pulled mid-replay (a streamed segment failing
+             its checksum) is the caller's typed error, not a thread
+             fault: re-raise out of the scheduler *)
+          | Replay.Log.Corrupt _ -> raise e
           | e -> th.fault <- Some (Printexc.to_string e));
           finish_thread eng th);
       effc =
@@ -2441,6 +2473,85 @@ let tick_core eng c =
       end
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoints: the marshallable slice of engine state.
+
+   Effect continuations ([thread.resume]) cannot be marshalled, so a
+   checkpoint is not a resumable image — it is a {e pin}: the digest of
+   everything deterministic about the execution at a seal point
+   (memory, outputs, per-thread progress, scheduler rng). Two runs that
+   agree on every pinned digest took the same execution through those
+   points; re-recording determinism and windowed-vs-full replay
+   equivalence are both checked against these digests. The snapshot
+   bytes additionally carry the full memory image for offline
+   inspection. *)
+
+type snapshot = {
+  sn_ticks : int;
+  sn_rng : int;
+  sn_live : int;
+  sn_outputs : (K.tid_path * int) list;  (** oldest first *)
+  sn_mem_hash : int;
+  sn_blocks : (int * K.origin * Value.t array * bool) list;
+      (** (id, origin, cells, freed), live blocks in id order *)
+  sn_threads : (K.tid_path * int * int * int) list;
+      (** (path, steps, weak_acqs, status code 0=runnable 1=done
+          2=blocked), spawn order *)
+}
+
+let status_code = function Runnable -> 0 | Done -> 1 | Blocked _ -> 2
+
+let make_snapshot (eng : t) : snapshot =
+  let blocks = ref [] in
+  for i = Array.length eng.mem.Mem.blocks - 1 downto 0 do
+    match eng.mem.Mem.blocks.(i) with
+    | Some b ->
+        blocks :=
+          (b.Mem.b_id, b.Mem.b_origin, Array.copy b.Mem.cells, b.Mem.b_freed)
+          :: !blocks
+    | None -> ()
+  done;
+  let threads =
+    List.rev_map
+      (fun tid ->
+        let th = Hashtbl.find eng.threads tid in
+        (th.path, th.steps, th.weak_acqs, status_code th.status))
+      eng.thread_order
+  in
+  {
+    sn_ticks = eng.ticks;
+    sn_rng = eng.rng;
+    sn_live = eng.live;
+    sn_outputs = List.rev eng.outputs;
+    sn_mem_hash = Mem.state_hash eng.mem;
+    sn_blocks = !blocks;
+    sn_threads = threads;
+  }
+
+let snapshot_bytes (eng : t) : string =
+  Marshal.to_string (make_snapshot eng) []
+
+(** Deterministic hex digest of the engine's pinned state. Comparable
+    only between runs at the same logical point: seal-time digests pin
+    re-recording determinism; replay-side digests captured at a segment
+    drain pin windowed replay against full streamed replay. *)
+let state_digest (eng : t) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Fmt.str "mem=%d ticks=%d rng=%d live=%d" (Mem.state_hash eng.mem)
+       eng.ticks eng.rng eng.live);
+  List.iter
+    (fun (p, v) -> Buffer.add_string b (Fmt.str " o:%a=%d" K.pp_tid_path p v))
+    (List.rev eng.outputs);
+  List.iter
+    (fun tid ->
+      let th = Hashtbl.find eng.threads tid in
+      Buffer.add_string b
+        (Fmt.str " t:%a=%d,%d,%d" K.pp_tid_path th.path th.steps th.weak_acqs
+           (status_code th.status)))
+    (List.rev eng.thread_order);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
 (* Entry point *)
 
 type outcome = {
@@ -2460,15 +2571,18 @@ type outcome = {
           recorded ones (instrumentation drift); always [] otherwise *)
 }
 
-let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ?sink ~mode
-    ~io (prog : program) : t =
+let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ?sink
+    ?replayer ~mode ~io (prog : program) : t =
   let recorder =
     match mode with Record -> Some (Replay.Recorder.create ()) | _ -> None
   in
+  (* an explicit [replayer] (a segment stream, possibly windowed)
+     overrides the one a [Replay log] mode would build *)
   let replayer =
-    match mode with
-    | Replay log -> Some (Replay.Replayer.of_log log)
-    | _ -> None
+    match (replayer, mode) with
+    | (Some _ as r), _ -> r
+    | None, Replay log -> Some (Replay.Replayer.of_log log)
+    | None, _ -> None
   in
   let eng =
     {
@@ -2526,6 +2640,12 @@ let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ?sink ~mode
     prog.p_globals;
   eng
 
+(* a windowed replayer that reached its bound: the run stops cleanly *)
+let replay_halted eng =
+  match eng.replayer with
+  | Some r -> Replay.Replayer.halted r
+  | None -> false
+
 let run_engine (eng : t) : outcome =
   (* main thread *)
   let main = new_thread eng [] in
@@ -2538,7 +2658,10 @@ let run_engine (eng : t) : outcome =
      not yet a deadlock *)
   let stuck_rounds = ref 0 in
   (try
-     while eng.live > 0 && eng.exit_code = None && not eng.main_done do
+     while
+       eng.live > 0 && eng.exit_code = None && not eng.main_done
+       && not (replay_halted eng)
+     do
        eng.ticks <- eng.ticks + 1;
        if eng.ticks >= eng.cfg.max_ticks then begin
          timed_out := true;
@@ -2611,11 +2734,13 @@ let run_engine (eng : t) : outcome =
              maintenance eng
            end
            else begin
-             (* deadlock or replay stall *)
+             (* deadlock or replay stall — unless a windowed replay just
+                reached its bound, which parks every gated thread by
+                design and is a clean halt, not a timeout *)
              check_weak_timeouts eng;
              maintenance eng;
              if Array.for_all (fun q -> !q = []) eng.queues then begin
-               timed_out := true;
+               if not (replay_halted eng) then timed_out := true;
                raise Exit
              end
            end
@@ -2693,6 +2818,6 @@ let run_engine (eng : t) : outcome =
 (** Run [prog] to completion under [mode]. [sink], when given, receives
     the execution's trace events (see {!Trace}); it never affects the
     simulated execution. *)
-let run ?config ?hooks ?sink ~mode ~io (prog : program) : outcome =
-  let eng = make_engine ?config ?hooks ?sink ~mode ~io prog in
+let run ?config ?hooks ?sink ?replayer ~mode ~io (prog : program) : outcome =
+  let eng = make_engine ?config ?hooks ?sink ?replayer ~mode ~io prog in
   run_engine eng

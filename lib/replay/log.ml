@@ -407,6 +407,15 @@ let encode_input_log_marked (t : t) : string * int array =
 let encode_order_log_marked (t : t) : string * int array =
   with_marks encode_order_log_gen t
 
+(* a decode that stops early is as corrupt as one that runs past the
+   end: bytes appended after a well-formed log would otherwise vanish
+   silently, so an intact-looking recording could carry (and mask) any
+   amount of trailing garbage *)
+let check_consumed (c : Dec.cursor) what =
+  if c.pos <> String.length c.s then
+    Dec.corrupt c "trailing garbage after %s (%d bytes)" what
+      (String.length c.s - c.pos)
+
 let decode (input_log : string) (order_log : string) : t =
   let t = create () in
   let c = { Dec.s = input_log; pos = 0 } in
@@ -417,6 +426,7 @@ let decode (input_log : string) (order_log : string) : t =
     Hashtbl.replace t.inputs p (ref bursts)
   done;
   t.syscall_order <- Dec.rev_list c Dec.tid_path;
+  check_consumed c "input log";
   let c = { Dec.s = order_log; pos = 0 } in
   let nsync = Dec.varint c in
   for _ = 1 to nsync do
@@ -465,4 +475,5 @@ let decode (input_log : string) (order_log : string) : t =
         let tid = Dec.tid_path c in
         let ticks = Dec.varint c in
         { sg_core = core; sg_tid = tid; sg_ticks = ticks });
+  check_consumed c "order log";
   t

@@ -97,4 +97,6 @@ val encode_input_log_marked : t -> string * int array
 val encode_order_log_marked : t -> string * int array
 
 val decode : string -> string -> t
-(** @raise Corrupt on truncated or malformed input. *)
+(** @raise Corrupt on truncated or malformed input, and on trailing
+    bytes left after either log's structure is complete — a recording
+    must consume both buffers exactly. *)

@@ -14,7 +14,20 @@
     Cursors are position-indexed arrays over the decoded sequences, so
     every peek/advance is O(1); the weak-lock cursor additionally keeps a
     consumed bitmap and per-thread position queues so the out-of-order
-    consumption of disjoint-claim acquisitions stays cheap. *)
+    consumption of disjoint-claim acquisitions stays cheap.
+
+    {b Streaming.} A replayer consumes a {e sequence} of logs — the
+    sealed segments of a spilling recording ({!Seglog}) — pulled one at
+    a time through {!of_stream}. Only the current segment's cursors are
+    resident. Every event of segment [k] was recorded before every event
+    of segment [k+1] (a seal is a point in recorded time), so replay
+    drains segments in order: a thread whose next event is not in the
+    current segment blocks until the segment drains, and the
+    "beyond-the-log: unconstrained" escape applies only on the {e last}
+    segment. Draining segment [k] first is always feasible for the same
+    reason — nothing recorded in [k] can depend on an event recorded
+    after the seal. {!of_log} is the one-segment special case and
+    behaves exactly as the historical monolithic replayer. *)
 
 open Runtime
 
@@ -65,8 +78,8 @@ type claim_mismatch = {
   cm_served : Log.sclaim;
 }
 
-type t = {
-  log : Log.t;
+(* the per-segment cursor set; rebuilt whenever the stream advances *)
+type cursors = {
   syscall_cursor : Key.tid_path seq_cursor;
   sync_cursors : (Key.addr, (Log.sync_op * Key.tid_path) seq_cursor) Hashtbl.t;
   weak_cursors : (Minic.Ast.weak_lock, weak_cursor) Hashtbl.t;
@@ -74,10 +87,35 @@ type t = {
       (** remaining bursts, oldest first *)
   forced_by_owner :
     (Key.tid_path, (int * int * Minic.Ast.weak_lock) seq_cursor) Hashtbl.t;
-  mutable mismatches : claim_mismatch list;  (** newest first *)
 }
 
-let of_log (log : Log.t) : t =
+type t = {
+  mutable cur : cursors;
+  mutable remaining : int;
+      (** gated consumables left in the current segment: syscall-order
+          entries, input bursts, sync ops, weak acquisitions, forced
+          events (sched segments are informational, never consumed) *)
+  mutable pending : Log.t option;  (** prefetched next segment *)
+  mutable pull : unit -> Log.t option;
+  mutable seg_index : int;  (** current segment, 0-based *)
+  mutable segments_loaded : int;
+  mutable halt_after : int option;
+      (** windowed replay: stop (and never load further segments) once
+          this segment index drains *)
+  mutable halted : bool;
+  mutable last_drained : bool;
+  mutable on_advance : int -> unit;
+      (** fired with the index of each segment the moment it drains —
+          before the next one loads, so a caller-side state digest taken
+          here is comparable across full and windowed replays of the
+          same recording *)
+  mutable mismatches : claim_mismatch list;  (** newest first *)
+  weak_base : (Minic.Ast.weak_lock, int) Hashtbl.t;
+      (** acquisitions of each lock in already-drained segments, so
+          [cm_index] stays a position in the whole recording *)
+}
+
+let cursors_of_log (log : Log.t) : cursors =
   let sync_cursors = Hashtbl.create 64 in
   Hashtbl.iter
     (fun k v -> Hashtbl.replace sync_cursors k (seq_of_list !v))
@@ -112,49 +150,143 @@ let of_log (log : Log.t) : t =
       Hashtbl.replace fill fe.fe_owner (i + 1))
     forced;
   {
-    log;
     syscall_cursor = seq_of_list log.syscall_order;
     sync_cursors;
     weak_cursors;
     input_cursors;
     forced_by_owner;
-    mismatches = [];
   }
+
+(** Gated consumables in [log] — the drain counter of one segment. *)
+let gated_events (log : Log.t) : int =
+  let n = ref (List.length log.syscall_order + List.length log.forced) in
+  Hashtbl.iter (fun _ bursts -> n := !n + List.length !bursts) log.inputs;
+  Hashtbl.iter (fun _ ops -> n := !n + List.length !ops) log.sync_order;
+  Hashtbl.iter (fun _ ps -> n := !n + List.length !ps) log.weak_order;
+  !n
+
+(* advance the stream when the current segment has drained: fire
+   [on_advance], then either halt (windowed replay), finish (last
+   segment), or rebuild the cursors from the prefetched next segment.
+   Loops over gated-event-free segments (e.g. a sched-only tail). *)
+let rec drain_check (t : t) =
+  if t.remaining = 0 && not t.halted && not t.last_drained then begin
+    t.on_advance t.seg_index;
+    match t.halt_after with
+    | Some m when t.seg_index >= m -> t.halted <- true
+    | _ -> (
+        match t.pending with
+        | None -> t.last_drained <- true
+        | Some log ->
+            Hashtbl.iter
+              (fun lock (wc : weak_cursor) ->
+                let base =
+                  Option.value (Hashtbl.find_opt t.weak_base lock) ~default:0
+                in
+                Hashtbl.replace t.weak_base lock
+                  (base + Array.length wc.wc_entries))
+              t.cur.weak_cursors;
+            t.cur <- cursors_of_log log;
+            t.remaining <- gated_events log;
+            t.pending <- t.pull ();
+            t.seg_index <- t.seg_index + 1;
+            t.segments_loaded <- t.segments_loaded + 1;
+            drain_check t)
+  end
+
+let consumed (t : t) =
+  t.remaining <- t.remaining - 1;
+  if t.remaining = 0 then drain_check t
+
+let of_stream (pull : unit -> Log.t option) : t =
+  let first = match pull () with Some l -> l | None -> Log.create () in
+  let t =
+    {
+      cur = cursors_of_log first;
+      remaining = gated_events first;
+      pending = pull ();
+      pull;
+      seg_index = 0;
+      segments_loaded = 1;
+      halt_after = None;
+      halted = false;
+      last_drained = false;
+      on_advance = (fun _ -> ());
+      mismatches = [];
+      weak_base = Hashtbl.create 8;
+    }
+  in
+  drain_check t;
+  t
+
+let of_log (log : Log.t) : t =
+  let served = ref false in
+  of_stream (fun () ->
+      if !served then None
+      else begin
+        served := true;
+        Some log
+      end)
+
+(** Execution past the end of the recording is unconstrained — but only
+    once the stream is on its final segment (and not halted): an event
+    missing from a {e mid-stream} segment lives in a later one and must
+    wait for it. *)
+let unconstrained (t : t) = t.pending = None && not t.halted
+
+let halted (t : t) = t.halted
+let segment_index (t : t) = t.seg_index
+let segments_loaded (t : t) = t.segments_loaded
+
+let set_window (t : t) ~(last_segment : int) =
+  t.halt_after <- Some last_segment;
+  (* the window may close on a segment that already drained *)
+  if t.remaining = 0 && t.seg_index >= last_segment then t.halted <- true
+
+let set_on_advance (t : t) (f : int -> unit) = t.on_advance <- f
 
 (* ------------------------------------------------------------------ *)
 (* Gating queries: [peek] tells whose turn it is; [advance] consumes. *)
 
-let peek_syscall (t : t) : Key.tid_path option = seq_peek t.syscall_cursor
+let peek_syscall (t : t) : Key.tid_path option = seq_peek t.cur.syscall_cursor
 
 let advance_syscall (t : t) =
-  let c = t.syscall_cursor in
-  if c.sc_pos < Array.length c.sc_arr then c.sc_pos <- c.sc_pos + 1
+  let c = t.cur.syscall_cursor in
+  if c.sc_pos < Array.length c.sc_arr then begin
+    c.sc_pos <- c.sc_pos + 1;
+    consumed t
+  end
 
 let peek_sync (t : t) (obj : Key.addr) : (Log.sync_op * Key.tid_path) option =
-  match Hashtbl.find_opt t.sync_cursors obj with
+  match Hashtbl.find_opt t.cur.sync_cursors obj with
   | None -> None
   | Some c -> seq_peek c
 
 let advance_sync (t : t) (obj : Key.addr) =
-  match Hashtbl.find_opt t.sync_cursors obj with
+  match Hashtbl.find_opt t.cur.sync_cursors obj with
   | None -> ()
-  | Some c -> if c.sc_pos < Array.length c.sc_arr then c.sc_pos <- c.sc_pos + 1
+  | Some c ->
+      if c.sc_pos < Array.length c.sc_arr then begin
+        c.sc_pos <- c.sc_pos + 1;
+        consumed t
+      end
 
 (** May thread [tp] perform its next recorded acquisition of [lock]?
     True when no {e earlier} unconsumed acquisition of the same lock
     conflicts (range-overlaps) with [tp]'s next recorded claim —
     disjoint-range loop-lock acquisitions legitimately overlap in the
     recording, so only the order of conflicting pairs is enforced.
-    Also true when [tp] has no remaining entry (execution ran beyond the
-    log). *)
+    A thread with no remaining entry in the current segment is
+    unconstrained only past the end of the stream; mid-stream its next
+    acquisition is recorded in a later segment and must wait for it. *)
 let weak_turn (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path) : bool
     =
-  match Hashtbl.find_opt t.weak_cursors lock with
-  | None -> true
+  match Hashtbl.find_opt t.cur.weak_cursors lock with
+  | None -> unconstrained t
   | Some wc -> (
       match Hashtbl.find_opt wc.wc_next tp with
-      | None -> true
-      | Some q when Queue.is_empty q -> true
+      | None -> unconstrained t
+      | Some q when Queue.is_empty q -> unconstrained t
       | Some q ->
           let mine = Queue.peek q in
           let _, claim = wc.wc_entries.(mine) in
@@ -176,7 +308,7 @@ let weak_turn (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path) : bool
     the outcome instead of wedging the run. *)
 let consume_weak (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path)
     ?(claim : Log.sclaim option) () =
-  match Hashtbl.find_opt t.weak_cursors lock with
+  match Hashtbl.find_opt t.cur.weak_cursors lock with
   | None -> ()
   | Some wc -> (
       match Hashtbl.find_opt wc.wc_next tp with
@@ -186,11 +318,14 @@ let consume_weak (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path)
           let i = Queue.pop q in
           (match claim with
           | Some served when served <> snd wc.wc_entries.(i) ->
+              let base =
+                Option.value (Hashtbl.find_opt t.weak_base lock) ~default:0
+              in
               t.mismatches <-
                 {
                   cm_lock = lock;
                   cm_tp = tp;
-                  cm_index = i;
+                  cm_index = base + i;
                   cm_recorded = snd wc.wc_entries.(i);
                   cm_served = served;
                 }
@@ -200,7 +335,8 @@ let consume_weak (t : t) (lock : Minic.Ast.weak_lock) ~(tp : Key.tid_path)
           let n = Array.length wc.wc_entries in
           while wc.wc_head < n && wc.wc_consumed.(wc.wc_head) do
             wc.wc_head <- wc.wc_head + 1
-          done)
+          done;
+          consumed t)
 
 (** Claim mismatches accumulated so far, in consumption order. *)
 let claim_mismatches (t : t) : claim_mismatch list = List.rev t.mismatches
@@ -221,13 +357,14 @@ let pp_claim_mismatch ppf (m : claim_mismatch) =
 
 (** Pop the next recorded input burst for thread [tp]. *)
 let take_input (t : t) (tp : Key.tid_path) : int list option =
-  match Hashtbl.find_opt t.input_cursors tp with
+  match Hashtbl.find_opt t.cur.input_cursors tp with
   | None -> None
   | Some c -> (
       match seq_peek c with
       | None -> None
       | Some burst ->
           c.sc_pos <- c.sc_pos + 1;
+          consumed t;
           Some burst)
 
 (** Forced release pending for [owner] at (or before) step count [steps]
@@ -241,12 +378,13 @@ let take_input (t : t) (tp : Key.tid_path) : int list option =
     replaying owner has them back too. *)
 let pending_forced (t : t) (owner : Key.tid_path) ~(steps : int) ~(acqs : int)
     ~(holds : Minic.Ast.weak_lock -> bool) : Minic.Ast.weak_lock option =
-  match Hashtbl.find_opt t.forced_by_owner owner with
+  match Hashtbl.find_opt t.cur.forced_by_owner owner with
   | None -> None
   | Some c -> (
       match seq_peek c with
       | Some (s, a, lock) when steps >= s && acqs >= a && holds lock ->
           c.sc_pos <- c.sc_pos + 1;
+          consumed t;
           Some lock
       | _ -> None)
 
@@ -254,12 +392,19 @@ let pending_forced (t : t) (owner : Key.tid_path) ~(steps : int) ~(acqs : int)
     cursor — the deadlock-diagnosis view. *)
 let dump_remaining (t : t) : string list =
   let acc = ref [] in
-  (match seq_left t.syscall_cursor with
+  if t.segments_loaded > 1 || t.pending <> None then
+    acc :=
+      Fmt.str "stream: segment %d, %d gated events left%s" t.seg_index
+        t.remaining
+        (if t.pending = None then " (last)" else "")
+      :: !acc;
+  (match seq_left t.cur.syscall_cursor with
   | 0 -> ()
   | left ->
       let rest =
         Array.to_list
-          (Array.sub t.syscall_cursor.sc_arr t.syscall_cursor.sc_pos left)
+          (Array.sub t.cur.syscall_cursor.sc_arr t.cur.syscall_cursor.sc_pos
+             left)
       in
       acc :=
         Fmt.str "syscall next: %a (%d left)"
@@ -275,7 +420,7 @@ let dump_remaining (t : t) : string list =
             Fmt.str "sync %a next: %a by %a (%d left)" Key.pp_addr obj
               Log.pp_sync_op op Key.pp_tid_path p (seq_left c)
             :: !acc)
-    t.sync_cursors;
+    t.cur.sync_cursors;
   Hashtbl.iter
     (fun lock wc ->
       let remaining = ref [] in
@@ -291,11 +436,11 @@ let dump_remaining (t : t) : string list =
               Fmt.(list ~sep:sp Key.pp_tid_path)
               (Listx.take 4 ps) (List.length ps)
             :: !acc)
-    t.weak_cursors;
+    t.cur.weak_cursors;
   List.sort compare !acc
 
 (** Is the next forced event for [owner] exactly at [steps]? (peek) *)
 let peek_forced (t : t) (owner : Key.tid_path) : int option =
-  match Hashtbl.find_opt t.forced_by_owner owner with
+  match Hashtbl.find_opt t.cur.forced_by_owner owner with
   | None -> None
   | Some c -> ( match seq_peek c with Some (s, _, _) -> Some s | None -> None)

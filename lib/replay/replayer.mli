@@ -10,6 +10,39 @@ type t
 
 val of_log : Log.t -> t
 
+(** Streaming replay over a sequence of segment logs (see {!Seglog}):
+    [pull] yields the next segment, oldest first, [None] at the end.
+    Only the current segment's cursors are resident; threads whose next
+    event is missing from the current segment block until it drains, and
+    the "beyond the log: unconstrained" escape applies only on the last
+    segment. [of_log] is the one-segment special case. *)
+val of_stream : (unit -> Log.t option) -> t
+
+(** Is execution past the recording unconstrained — on the final
+    segment and not halted? The engine's gates consult this instead of
+    treating every missing entry as end-of-log. *)
+val unconstrained : t -> bool
+
+(** Windowed replay: stop once [last_segment] (0-based) drains. Once
+    halted, no further segment loads, every gate blocks, and the engine
+    exits its run loop cleanly. *)
+val set_window : t -> last_segment:int -> unit
+
+(** Has a {!set_window} bound been reached? *)
+val halted : t -> bool
+
+(** [f idx] fires the moment segment [idx] drains, before the next
+    segment loads — an engine state digest captured here is comparable
+    across full and windowed replays of the same recording. *)
+val set_on_advance : t -> (int -> unit) -> unit
+
+val segment_index : t -> int
+(** Current (0-based) segment position of the stream. *)
+
+val segments_loaded : t -> int
+(** Segments pulled so far — a windowed replay of segments [0..m] loads
+    exactly [m+1]. *)
+
 (** Whose syscall comes next, globally? [None] past the end of the log
     (unconstrained). *)
 val peek_syscall : t -> Key.tid_path option

@@ -1,0 +1,93 @@
+(** Segmented on-disk recording ([chimera-log-segments/1]): sealed,
+    {!Zcompress}ed, MD5-checksummed log segments in a directory with a
+    manifest, written incrementally by the spilling recorder and
+    streamed back by {!Replayer.of_stream}. Optional per-seal engine
+    checkpoints (state digest + marshalled snapshot) are pinned in the
+    manifest. All corruption — bad magic, size or checksum mismatches,
+    truncation — raises the typed {!Log.Corrupt}, never a crash. *)
+
+val magic : string
+(** Manifest header: ["chimera-log-segments/1"]. *)
+
+val segment_magic : string
+(** Per-segment-file header: ["chimera-log-segment/1"]. *)
+
+type checkpoint = {
+  ck_digest : string;  (** engine state digest at the seal (hex) *)
+  ck_md5 : string;     (** MD5 of the snapshot bytes (hex) *)
+}
+
+type segment = {
+  sg_index : int;
+  sg_first_tick : int;
+  sg_last_tick : int;
+  sg_events : int;  (** gated events sealed into this segment *)
+  sg_raw_input : int;
+  sg_raw_order : int;
+  sg_z_input : int;
+  sg_z_order : int;
+  sg_md5_input : string;
+  sg_md5_order : string;
+  sg_checkpoint : checkpoint option;
+}
+
+type manifest = { mf_segments : segment array }
+
+val segment_file : int -> string
+val checkpoint_file : int -> string
+val manifest_file : string
+
+(* Writer *)
+
+type writer_stats = {
+  ws_segments : int;
+  ws_events : int;
+  ws_peak_raw : int;
+      (** largest single-segment encoding — the resident-log-memory
+          bound a spilling recording keeps *)
+  ws_total_raw : int;
+  ws_total_z : int;
+}
+
+type writer
+
+(** Own [dir] for a fresh recording: create it, drop stale segment /
+    checkpoint / manifest files. *)
+val create_writer : dir:string -> writer
+
+(** Seal one segment: encode, compress, checksum, write
+    [seg-NNNN.seg], and rewrite the manifest (so a crashed recording
+    leaves a readable prefix). [snapshot], when given, is the engine's
+    [(state_digest, marshalled bytes)] checkpoint, written to
+    [ckpt-NNNN.bin] and pinned in the manifest entry. *)
+val append :
+  writer ->
+  ?snapshot:string * string ->
+  first_tick:int ->
+  last_tick:int ->
+  events:int ->
+  Log.t ->
+  unit
+
+val writer_stats : writer -> writer_stats
+val close_writer : writer -> manifest
+
+(* Reader *)
+
+val read_manifest : dir:string -> manifest
+(** @raise Log.Corrupt on a missing, truncated, or malformed manifest. *)
+
+val load_segment : dir:string -> segment -> Log.t
+(** Verify magic, sizes and checksums, decompress, decode.
+    @raise Log.Corrupt on any mismatch. *)
+
+val load_snapshot : dir:string -> segment -> string option
+(** The checksum-verified snapshot bytes pinned at this seal, if any. *)
+
+val stream : dir:string -> manifest * (unit -> Log.t option)
+(** Lazy sequential pull for {!Replayer.of_stream}; a windowed replay
+    that halts early never reads the later segment files. *)
+
+val covering_segment : manifest -> upto:int -> int
+(** Index of the last segment needed to cover a replay window ending at
+    tick [upto] (clamped to the final segment). *)

@@ -120,6 +120,15 @@ module Sink = struct
     List.concat_map (fun tp -> thread_events t tp) (threads t)
 
   let dropped t = Hashtbl.fold (fun _ b acc -> acc + b.dropped) t.bufs 0
+
+  (* threads that actually overflowed, in stable thread order — the
+     summary surfaces these so a sustained-load run can't pass off a
+     truncated per-thread stream as complete *)
+  let dropped_by_thread t =
+    Hashtbl.fold
+      (fun tp b acc -> if b.dropped > 0 then (tp, b.dropped) :: acc else acc)
+      t.bufs []
+    |> List.sort compare
 end
 
 (* ------------------------------------------------------------------ *)
@@ -149,6 +158,10 @@ type summary = {
   su_regions : int;
   su_events : int;
   su_dropped : int;
+  su_dropped_by_thread : (Key.tid_path * int) list;
+      (** threads whose ring overflowed (their oldest events are gone),
+          stable thread order; [] iff [su_dropped = 0] when wired from
+          {!Sink.dropped_by_thread} *)
 }
 
 type lock_acc = {
@@ -159,7 +172,7 @@ type lock_acc = {
   mutable a_wakes : int;
 }
 
-let summarize ?(dropped = 0) events =
+let summarize ?(dropped = 0) ?(dropped_by_thread = []) events =
   let locks = Hashtbl.create 16 in
   let acc l =
     match Hashtbl.find_opt locks l with
@@ -222,11 +235,17 @@ let summarize ?(dropped = 0) events =
     su_locks;
   { su_locks; su_gran; su_sync = !sync; su_syscalls = !syscalls;
     su_replay_miss = !miss; su_regions = !regions; su_events = !n;
-    su_dropped = dropped }
+    su_dropped = dropped; su_dropped_by_thread = dropped_by_thread }
 
 let pp_report ?(top = 10) ppf su =
   Fmt.pf ppf "trace: %d events (%d dropped), %d regions, %d sync ops, %d syscalls"
     su.su_events su.su_dropped su.su_regions su.su_sync su.su_syscalls;
+  if su.su_dropped_by_thread <> [] then begin
+    Fmt.pf ppf "@,ring overflow (oldest events lost):";
+    List.iter
+      (fun (tp, d) -> Fmt.pf ppf " %a:%d" Key.pp_tid_path tp d)
+      su.su_dropped_by_thread
+  end;
   if su.su_replay_miss > 0 then
     Fmt.pf ppf ", %d syscalls beyond input log" su.su_replay_miss;
   Fmt.pf ppf "@,granularity mix:";

@@ -69,6 +69,11 @@ module Sink : sig
 
   val dropped : t -> int
   (** Total events lost to ring overflow. *)
+
+  val dropped_by_thread : t -> (Key.tid_path * int) list
+  (** Per-thread overflow losses, threads that lost events only, sorted
+      by [tid_path] — the breakdown {!summarize} surfaces so truncated
+      per-thread streams are visible in reports. *)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -98,9 +103,16 @@ type summary = {
   su_regions : int;  (** region entries *)
   su_events : int;  (** events aggregated *)
   su_dropped : int;  (** ring-overflow losses (from the sink) *)
+  su_dropped_by_thread : (Key.tid_path * int) list;
+      (** which threads lost events (from {!Sink.dropped_by_thread});
+          a non-empty list marks every aggregate above as a lower bound *)
 }
 
-val summarize : ?dropped:int -> event list -> summary
+val summarize :
+  ?dropped:int ->
+  ?dropped_by_thread:(Key.tid_path * int) list ->
+  event list ->
+  summary
 
 val pp_report : ?top:int -> summary Fmt.t
 (** Compact text report: totals, per-granularity mix, top-N locks by

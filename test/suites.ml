@@ -27,6 +27,7 @@ let all : (string * unit Alcotest.test_case list) list =
     ("cli", Test_cli.suite);
     ("fuzz", Test_fuzz.suite);
     ("detexec", Test_detexec.suite);
+    ("seglog", Test_seglog.suite);
     ("e2e", Test_e2e.suite);
     ("refine", Test_refine.suite);
   ]

@@ -98,6 +98,31 @@ let test_clear () =
   Alcotest.(check int) "store is empty" 0 (A.stats c).A.st_entries;
   Alcotest.(check int) "clear on empty store" 0 (A.clear c)
 
+(* a [put] that crashes between temp-file creation and the atomic rename
+   leaves a [.<key>...tmp] stray; it must be counted by [stats], swept
+   by [clear], and never shadow or become an entry *)
+let test_stray_tmp_swept () =
+  with_store @@ fun c ->
+  let key = A.key_of_parts [ "survivor" ] in
+  ignore (A.put c ~key "payload");
+  (* plant the stray a crashed writer would leave *)
+  let stray = Filename.concat (A.dir c) ("." ^ key ^ "abc123.tmp") in
+  let oc = open_out_bin stray in
+  output_string oc "half-written";
+  close_out oc;
+  Alcotest.(check (list string))
+    "stray is visible" [ Filename.basename stray ] (A.stray_tmp_files c);
+  let s = A.stats c in
+  Alcotest.(check int) "stats count the stray" 1 s.A.st_tmp;
+  Alcotest.(check int) "stray is not an entry" 1 s.A.st_entries;
+  Alcotest.check find_t "the real entry still hits" (Ok "payload")
+    (A.find c ~key);
+  Alcotest.(check int) "clear counts entries only" 1 (A.clear c);
+  Alcotest.(check bool) "stray swept" false (Sys.file_exists stray);
+  let s = A.stats c in
+  Alcotest.(check int) "no entries left" 0 s.A.st_entries;
+  Alcotest.(check int) "no strays left" 0 s.A.st_tmp
+
 let damaged_cases =
   [
     ( "truncated payload",
@@ -272,6 +297,8 @@ let suite =
       test_roundtrip;
     Alcotest.test_case "key part boundaries" `Quick test_keys_independent;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "stray writer tmp files swept" `Quick
+      test_stray_tmp_swept;
     Alcotest.test_case "damaged entries miss, typed" `Quick
       test_damaged_entries;
     Alcotest.test_case "absent directory" `Quick test_missing_dir;

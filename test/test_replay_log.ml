@@ -217,6 +217,32 @@ let flip s i bit =
   Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
   Bytes.to_string b
 
+(* trailing garbage: bytes appended after a complete, well-formed log
+   must be rejected typed, not silently ignored — an "intact" recording
+   could otherwise carry arbitrary unparsed bytes *)
+let test_corrupt_trailing_garbage () =
+  let rc = build_sample () in
+  let log = rc.Replay.Recorder.log in
+  let i = Replay.Log.encode_input_log log in
+  let o = Replay.Log.encode_order_log log in
+  List.iter
+    (fun garbage ->
+      Alcotest.(check bool)
+        (Fmt.str "input log + %d trailing bytes rejected"
+           (String.length garbage))
+        true
+        (is_corrupt (i ^ garbage) o);
+      Alcotest.(check bool)
+        (Fmt.str "order log + %d trailing bytes rejected"
+           (String.length garbage))
+        true
+        (is_corrupt i (o ^ garbage));
+      ignore
+        (corrupt_has_offset (fun () -> Replay.Log.decode (i ^ garbage) o));
+      ignore
+        (corrupt_has_offset (fun () -> Replay.Log.decode i (o ^ garbage))))
+    [ "\x00"; "\x01"; "\xff"; String.make 64 '\x00'; i; o ]
+
 let test_bitflip_sweep () =
   let rc = build_sample () in
   let log = rc.Replay.Recorder.log in
@@ -432,6 +458,8 @@ let suite =
       test_forced_pop_requires_holding;
     Alcotest.test_case "corrupt: truncated logs" `Quick test_corrupt_truncated;
     Alcotest.test_case "corrupt: garbage logs" `Quick test_corrupt_garbage;
+    Alcotest.test_case "corrupt: trailing garbage" `Quick
+      test_corrupt_trailing_garbage;
     Alcotest.test_case "corrupt: exhaustive bit-flip sweep" `Quick
       test_bitflip_sweep;
     Alcotest.test_case "corrupt: truncation offsets typed" `Quick

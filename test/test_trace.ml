@@ -47,6 +47,42 @@ let test_sink_overflow () =
   Alcotest.(check (list int)) "oldest dropped, newest kept" [ 7; 8; 9; 10 ] steps;
   Alcotest.(check int) "drop count" 6 (Trace.Sink.dropped s)
 
+(* A sink losing events must say which threads lost them, and a summary
+   built from it must carry the breakdown into reports: a sustained-load
+   run with overflowing rings can never pass as a complete trace. *)
+let test_sink_overflow_by_thread () =
+  let s = Trace.Sink.create ~capacity:4 () in
+  (* thread [0] overflows by 6, thread [1] stays within capacity *)
+  for i = 1 to 10 do
+    Trace.Sink.emit s [ 0 ] ~step:i Trace.Syscall
+  done;
+  for i = 1 to 3 do
+    Trace.Sink.emit s [ 1 ] ~step:i Trace.Syscall
+  done;
+  Alcotest.(check (list (pair (list int) int)))
+    "only the overflowing thread listed"
+    [ ([ 0 ], 6) ]
+    (Trace.Sink.dropped_by_thread s);
+  let su =
+    Trace.summarize ~dropped:(Trace.Sink.dropped s)
+      ~dropped_by_thread:(Trace.Sink.dropped_by_thread s)
+      (Trace.Sink.events s)
+  in
+  Alcotest.(check int) "summary total" 6 su.Trace.su_dropped;
+  Alcotest.(check (list (pair (list int) int)))
+    "summary breakdown" [ ([ 0 ], 6) ] su.Trace.su_dropped_by_thread;
+  let report = Fmt.str "@[<v>%a@]" (Trace.pp_report ~top:10) su in
+  check_contains "report" report "ring overflow";
+  check_contains "report" report "T0.0:6";
+  (* a sink that kept everything stays silent: no overflow line *)
+  let quiet = Trace.summarize [ ev 1 Trace.Syscall ] in
+  Alcotest.(check (list (pair (list int) int)))
+    "no losses, no breakdown" [] quiet.Trace.su_dropped_by_thread;
+  Alcotest.(check bool) "no overflow line" false
+    (contains
+       (Fmt.str "@[<v>%a@]" (Trace.pp_report ~top:10) quiet)
+       "ring overflow")
+
 (* ------------------------------------------------------------------ *)
 (* Aggregation *)
 
@@ -328,6 +364,8 @@ let suite =
       test_sink_order;
     Alcotest.test_case "sink: ring overflow drops oldest" `Quick
       test_sink_overflow;
+    Alcotest.test_case "sink: per-thread drops surface in summaries" `Quick
+      test_sink_overflow_by_thread;
     Alcotest.test_case "summarize: lock + granularity metrics" `Quick
       test_summarize;
     Alcotest.test_case "report: totals + top-N" `Quick test_report;
