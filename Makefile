@@ -7,7 +7,7 @@
 # the sharded test runner); it defaults to all cores.
 .PHONY: all build test test-par check bench-json bench-wall bench-regress \
 	par-check lockopt-check trace-check analyze-check stress-check \
-	refine-check log-check bench-sustained clean
+	refine-check log-check sched-check bench-sustained clean
 
 J ?= 0
 # wall-clock harness knobs: repetitions per phase, regression tolerance,
@@ -18,6 +18,7 @@ REPS ?= 3
 TOL ?= 2.0
 WALLJ ?= 4
 WARMX ?= 10
+SCHEDSHARE ?= 0.35
 
 # expands to "-j $(J)" only when J was overridden
 JFLAG = $(if $(filter-out 0,$(J)),-j $(J),)
@@ -59,13 +60,26 @@ bench-wall:
 
 # wall-clock regression gate: re-measure and fail if any benchmark's
 # record+replay or analyze mean exceeds TOL x the committed baseline,
-# or the aggregate warm-cache analyze speedup drops below WARMX
+# the aggregate warm-cache analyze speedup drops below WARMX, or the
+# scheduler+weak-lock share of attributed record time exceeds SCHEDSHARE
 bench-regress:
 	dune build bench/main.exe
 	./_build/default/bench/main.exe wall --reps $(REPS) -j $(WALLJ) > /tmp/chimera-wall-fresh.json
 	./_build/default/bench/main.exe wallcmp --max-ratio $(TOL) \
-		--min-warm-speedup $(WARMX) \
+		--min-warm-speedup $(WARMX) --max-sched-share $(SCHEDSHARE) \
 		bench/wall_baseline.json /tmp/chimera-wall-fresh.json
+
+# scheduler gate: record every benchmark with the wheel-vs-sweep
+# cross-check oracle enabled (each sweep and fast-forward recomputes the
+# retired full-table scans and fails on any disagreement), pin the
+# default-strategy ticks to the golden counters, and require record ==
+# replay under all three schedule strategies. JSON report lands in
+# /tmp/chimera-sched.json.
+sched-check:
+	dune build test/sched_check.exe
+	./_build/default/test/sched_check.exe \
+		--golden test/golden/golden_counters.expected \
+		--json /tmp/chimera-sched.json
 
 # must-lockset elision gate: every benchmark records and replays
 # identically with the pass on and off, and elision strictly reduces

@@ -636,6 +636,7 @@ let all () =
 
 let wall_cmd args =
   let reps = ref 3 in
+  let flame = ref None in
   let rec parse = function
     | [] -> ()
     | "--reps" :: n :: rest -> (
@@ -646,16 +647,23 @@ let wall_cmd args =
         | _ ->
             Fmt.epr "wall: bad --reps value %S@." n;
             exit 1)
+    | "--flame" :: file :: rest ->
+        flame := Some file;
+        parse rest
     | a :: _ ->
-        Fmt.epr "wall: unknown argument %s (usage: wall [--reps N])@." a;
+        Fmt.epr
+          "wall: unknown argument %s (usage: wall [--reps N] [--flame \
+           FILE.json])@."
+          a;
         exit 1
   in
   parse args;
-  Wall.run ~reps:!reps ()
+  Wall.run ?flame:!flame ~reps:!reps ()
 
 let wallcmp_cmd args =
   let max_ratio = ref 2.0 in
   let min_warm = ref 10.0 in
+  let max_sched = ref 0.35 in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -675,6 +683,14 @@ let wallcmp_cmd args =
         | _ ->
             Fmt.epr "wallcmp: bad --min-warm-speedup value %S@." r;
             exit 1)
+    | "--max-sched-share" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some f when f > 0. && f <= 1. ->
+            max_sched := f;
+            parse rest
+        | _ ->
+            Fmt.epr "wallcmp: bad --max-sched-share value %S@." r;
+            exit 1)
     | a :: rest ->
         files := a :: !files;
         parse rest
@@ -682,12 +698,12 @@ let wallcmp_cmd args =
   parse args;
   match List.rev !files with
   | [ baseline; fresh ] ->
-      Wall.compare ~min_warm_speedup:!min_warm ~baseline ~fresh
-        ~max_ratio:!max_ratio ()
+      Wall.compare ~min_warm_speedup:!min_warm ~max_sched_share:!max_sched
+        ~baseline ~fresh ~max_ratio:!max_ratio ()
   | _ ->
       Fmt.epr
         "wallcmp: usage: wallcmp BASELINE.json FRESH.json [--max-ratio R] \
-         [--min-warm-speedup S]@.";
+         [--min-warm-speedup S] [--max-sched-share F]@.";
       exit 1
 
 let () =

@@ -23,11 +23,15 @@
     - [replay]       — one replay of that recording under a shifted seed
 
     Every repetition asserts record==replay digests, so the timings can
-    never come from a broken execution. Results are emitted as JSON
-    (schema [chimera-wall-bench/2], documented in EXPERIMENTS.md):
+    never come from a broken execution. One extra record run per bench
+    carries a {!Interp.Phases} attribution (which never perturbs the
+    simulated execution — its tick count is asserted against the
+    untimed runs) and lands in the JSON as [record_phases]. Results are
+    emitted as JSON (schema [chimera-wall-bench/3], documented in
+    EXPERIMENTS.md):
 
     {v
-    { "schema": "chimera-wall-bench/2",
+    { "schema": "chimera-wall-bench/3",
       "reps": 3, "workers": 4, "cores": 4, "jobs": 4,
       "benches": [
         { "name": "aget", "scale": 256,
@@ -41,16 +45,24 @@
           "analyze_stages": {
             "pointer": 0.001, "relay": 0.002, "mhp": 0.001,
             "profile": 0.39, "plan": 0.001, "lockopt": 0.002},
+          "record_phases": {
+            "total_s": 0.52, "interp_s": 0.40, "recorder_s": 0.08,
+            "scheduler_s": 0.02, "weaklock_s": 0.02},
           "record_replay_mean_s": 1.00 }, ... ],
       "total_wall_s": 12.3 }
     v}
 
+    [flame_json] renders the per-bench record-phase breakdown as a
+    Chrome-trace flamegraph (one row per benchmark, one complete event
+    per phase) loadable in [chrome://tracing] / Perfetto.
+
     [compare] (the `wallcmp` experiment) reads two such files (via the
     shared {!Bjson} reader) and fails when any benchmark's
     record+replay mean — or its cold analyze mean — regressed beyond a
-    tolerance ratio, or when the aggregate warm-cache analyze speedup
-    falls below its floor — the `make bench-regress` / CI `bench-smoke`
-    gate. *)
+    tolerance ratio, when the aggregate warm-cache analyze speedup
+    falls below its floor, or when the fresh run's aggregate scheduler
+    share of record time exceeds its ceiling — the `make bench-regress`
+    / CI `bench-smoke` + `sched-check` gates. *)
 
 let now_s () =
   Int64.to_float (Monotonic_clock.now ()) /. 1e9
@@ -76,6 +88,16 @@ let phase_of = function
     [stage_sink] names). *)
 let stage_names = [ "pointer"; "relay"; "mhp"; "profile"; "plan"; "lockopt" ]
 
+(** Record-run wall-clock attribution, seconds (one instrumented run;
+    see {!Interp.Phases}). *)
+type rec_phases = {
+  rp_total : float;
+  rp_interp : float;
+  rp_recorder : float;
+  rp_scheduler : float;
+  rp_weaklock : float;
+}
+
 type row = {
   w_name : string;
   w_scale : int;
@@ -86,6 +108,7 @@ type row = {
   w_instrument : phase;
   w_record : phase;
   w_replay : phase;
+  w_rec_phases : rec_phases;
 }
 
 (** record+replay mean — the primary regression metric. *)
@@ -161,9 +184,10 @@ let measure_wall ?(workers = 4) ?(cores = 4) ?pool ~reps
   let cache = Ancache.create ~dir:cache_dir () in
   let cache_tag = "wall:" ^ b.b_name in
   let parsed = Minic.Parser.parse ~file:b.b_name src in
-  ignore
-    (Chimera.Pipeline.analyze ~profile_runs ~profile_io ?pool ~cache
-       ~cache_tag parsed);
+  let an_w =
+    Chimera.Pipeline.analyze ~profile_runs ~profile_io ?pool ~cache ~cache_tag
+      parsed
+  in
   for _ = 1 to reps do
     let _, t_warm =
       timed (fun () ->
@@ -174,6 +198,19 @@ let measure_wall ?(workers = 4) ?(cores = 4) ?pool ~reps
   done;
   ignore (Ancache.clear cache);
   (try Sys.rmdir cache_dir with Sys_error _ -> ());
+  (* one attributed record run: where does record-phase wall time go? The
+     attribution must be a pure observer, so its tick count is pinned to
+     the untimed repetitions' *)
+  let ph = Interp.Phases.create ~now:now_s () in
+  let r_ph =
+    Chimera.Runner.record ~config ~io ~phases:ph
+      an_w.Chimera.Pipeline.an_instrumented
+  in
+  if r_ph.Chimera.Runner.rc_outcome.Interp.Engine.o_ticks <> !record_ticks then
+    Fmt.failwith
+      "wall bench %s: phase attribution perturbed the run (%d ticks vs %d)"
+      b.b_name r_ph.Chimera.Runner.rc_outcome.Interp.Engine.o_ticks
+      !record_ticks;
   let stage_mean name =
     Option.value (Hashtbl.find_opt stage_total name) ~default:0.
     /. float_of_int reps
@@ -188,16 +225,26 @@ let measure_wall ?(workers = 4) ?(cores = 4) ?pool ~reps
     w_instrument = phase_of !instr_s;
     w_record = phase_of !record_s;
     w_replay = phase_of !replay_s;
+    w_rec_phases =
+      {
+        rp_total = Interp.Phases.total_s ph;
+        rp_interp = Interp.Phases.interp_s ph;
+        rp_recorder = Interp.Phases.recorder_s ph;
+        rp_scheduler = Interp.Phases.scheduler_s ph;
+        rp_weaklock = Interp.Phases.weaklock_s ph;
+      };
   }
 
 let pp_phase name ppf (p : phase) =
   Fmt.pf ppf {|"%s": {"mean_s": %.6f, "min_s": %.6f}|} name p.mean_s p.min_s
 
 let row_json (r : row) : string =
+  let p = r.w_rec_phases in
   Fmt.str
     {|    {"name": "%s", "scale": %d, "record_ticks": %d,
      "phases": {%a, %a, %a, %a, %a},
      "analyze_stages": {%s},
+     "record_phases": {"total_s": %.6f, "interp_s": %.6f, "recorder_s": %.6f, "scheduler_s": %.6f, "weaklock_s": %.6f},
      "record_replay_mean_s": %.6f}|}
     r.w_name r.w_scale r.w_record_ticks (pp_phase "analyze") r.w_analyze
     (pp_phase "analyze_warm") r.w_analyze_warm (pp_phase "instrument")
@@ -207,22 +254,80 @@ let row_json (r : row) : string =
        (List.map
           (fun (n, s) -> Fmt.str {|"%s": %.6f|} n s)
           r.w_stages))
+    p.rp_total p.rp_interp p.rp_recorder p.rp_scheduler p.rp_weaklock
     (rec_rep r)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace flamegraph of the record-phase breakdown *)
+
+(** One trace row (chrome tid) per benchmark; within it, one complete
+    ("ph":"X") event per phase bucket laid end to end, microsecond
+    timestamps. Load in chrome://tracing or Perfetto. *)
+let flame_json (rows : row list) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  let first = ref true in
+  let event fields =
+    if not !first then Buffer.add_string b ",\n";
+    first := false;
+    Buffer.add_string b "{";
+    Buffer.add_string b (String.concat "," fields);
+    Buffer.add_string b "}"
+  in
+  List.iteri
+    (fun i r ->
+      event
+        [
+          {|"name":"thread_name"|}; {|"ph":"M"|}; {|"pid":0|};
+          Fmt.str {|"tid":%d|} i;
+          Fmt.str {|"args":{"name":"%s record"}|} r.w_name;
+        ];
+      let us s = int_of_float (1e6 *. s) in
+      let p = r.w_rec_phases in
+      let cursor = ref 0 in
+      List.iter
+        (fun (name, dur_s) ->
+          let dur = us dur_s in
+          if dur > 0 then begin
+            event
+              [
+                Fmt.str {|"name":"%s"|} name; {|"cat":"record"|};
+                {|"ph":"X"|}; {|"pid":0|};
+                Fmt.str {|"tid":%d|} i;
+                Fmt.str {|"ts":%d|} !cursor;
+                Fmt.str {|"dur":%d|} dur;
+              ];
+            cursor := !cursor + dur
+          end)
+        [
+          ("interp", p.rp_interp); ("recorder", p.rp_recorder);
+          ("scheduler", p.rp_scheduler); ("weaklock", p.rp_weaklock);
+        ])
+    rows;
+  Buffer.add_string b "]\n";
+  Buffer.contents b
 
 (** Run the wall benchmark over [benches] and print the JSON document.
     Benches run one after another; the harness pool (when installed) is
     threaded {e inside} each pipeline, so the analyze phase measures the
     parallel static pipeline at full [-j N] width rather than one
     serial analyze per domain. *)
-let run ?(benches = Bench_progs.Registry.all) ~reps () =
+let run ?(benches = Bench_progs.Registry.all) ?flame ~reps () =
   let pool = Harness.pool () in
   let jobs = match pool with Some p -> Par.Pool.size p | None -> 1 in
   let t0 = now_s () in
   let rows = List.map (fun b -> measure_wall ?pool ~reps b) benches in
   let total = now_s () -. t0 in
+  (match flame with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (flame_json rows);
+      close_out oc;
+      Fmt.epr "flamegraph: wrote %s (load in chrome://tracing)@." file
+  | None -> ());
   Harness.emit_json
     (Fmt.str
-       {|{"schema": "chimera-wall-bench/2", "reps": %d, "workers": 4, "cores": 4, "jobs": %d,
+       {|{"schema": "chimera-wall-bench/3", "reps": %d, "workers": 4, "cores": 4, "jobs": %d,
  "benches": [
 %s
  ],
@@ -409,6 +514,8 @@ type cmp_row = {
   c_rec_rep : float;
   c_analyze : float;  (** cold analyze mean; 0 when absent *)
   c_warm : float;  (** warm-cache analyze mean; 0 when absent *)
+  c_rec_total : float;  (** attributed record total; 0 when absent (pre-/3) *)
+  c_rec_sched : float;  (** scheduler + weak-lock admission share of it *)
 }
 
 let rows_of_json (j : Bjson.t) : cmp_row list =
@@ -421,6 +528,11 @@ let rows_of_json (j : Bjson.t) : cmp_row list =
             | Some ph -> Bjson.num_or 0. (Option.bind (Bjson.mem name ph) (Bjson.mem field))
             | None -> 0.
           in
+          let rec_phase field =
+            match Bjson.mem "record_phases" b with
+            | Some rp -> Bjson.num_or 0. (Bjson.mem field rp)
+            | None -> 0.
+          in
           {
             c_name = Bjson.str_exn "name" (Bjson.mem "name" b);
             c_rec_rep =
@@ -428,6 +540,8 @@ let rows_of_json (j : Bjson.t) : cmp_row list =
                 (Bjson.mem "record_replay_mean_s" b);
             c_analyze = phase "analyze" "mean_s";
             c_warm = phase "analyze_warm" "mean_s";
+            c_rec_total = rec_phase "total_s";
+            c_rec_sched = rec_phase "scheduler_s" +. rec_phase "weaklock_s";
           })
         bs
   | _ -> raise (Bjson.Bad "no benches array")
@@ -440,8 +554,15 @@ let rows_of_json (j : Bjson.t) : cmp_row list =
     speedup (sum of cold analyze means / sum of warm means) falls below
     [min_warm_speedup] (default 10, the incremental-rebuild floor; the
     aggregate is used because the smallest benches analyze in
-    milliseconds cold). Improvements are reported but never fail. *)
-let compare ?(min_warm_speedup = 10.) ~baseline ~fresh ~max_ratio () =
+    milliseconds cold), or when the fresh run carries record-phase
+    attribution whose aggregate scheduler share — scheduler bookkeeping
+    plus weak-lock admission over attributed record total — exceeds
+    [max_sched_share] (default 0.35: the event-wheel keeps scheduler
+    bookkeeping a minority of record time; judged in aggregate because
+    the smallest benches record in milliseconds). Improvements are
+    reported but never fail. *)
+let compare ?(min_warm_speedup = 10.) ?(max_sched_share = 0.35) ~baseline
+    ~fresh ~max_ratio () =
   let base = rows_of_json (Bjson.load_file baseline) in
   let cur = rows_of_json (Bjson.load_file fresh) in
   Fmt.pr "wall-clock regression gate: %s vs baseline %s (tolerance %.2fx)@."
@@ -490,6 +611,19 @@ let compare ?(min_warm_speedup = 10.) ~baseline ~fresh ~max_ratio () =
     Fmt.pr "warm-cache analyze speedup (aggregate): %.1fx (floor %.1fx)%s@."
       speedup min_warm_speedup
       (if bad then "  TOO SLOW" else "")
+  end;
+  (* scheduler-share ceiling: also fresh-run-only, in aggregate; absent
+     record_phases (a pre-/3 file) leaves the gate off *)
+  let rec_total = total (fun r -> r.c_rec_total) cur in
+  if rec_total > 0. then begin
+    let share = total (fun r -> r.c_rec_sched) cur /. rec_total in
+    let bad = share > max_sched_share in
+    if bad then failed := true;
+    Fmt.pr
+      "scheduler share of attributed record time (aggregate): %.3f (ceiling \
+       %.2f)%s@."
+      share max_sched_share
+      (if bad then "  SCHEDULER-HEAVY" else "")
   end;
   if !failed then begin
     Fmt.pr "FAIL: wall-clock regression beyond %.2fx tolerance@." max_ratio;

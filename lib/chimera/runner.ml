@@ -24,8 +24,11 @@ let deterministic ?(config = Engine.default_config) ?sink ~io prog :
     Engine.outcome =
   Engine.run ~config ?sink ~mode:Engine.Deterministic ~io prog
 
-let record ?(config = Engine.default_config) ?hooks ?sink ~io prog : recorded =
-  let outcome = Engine.run ~config ?hooks ?sink ~mode:Engine.Record ~io prog in
+let record ?(config = Engine.default_config) ?hooks ?sink ?phases ~io prog :
+    recorded =
+  let outcome =
+    Engine.run ~config ?hooks ?sink ?phases ~mode:Engine.Record ~io prog
+  in
   let rc =
     match outcome.Engine.o_recorder with
     | Some rc -> rc

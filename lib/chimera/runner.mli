@@ -37,10 +37,15 @@ val deterministic :
   Minic.Ast.program ->
   Engine.outcome
 
+(** [phases], when given, receives the record run's per-phase wall-clock
+    attribution (interpreter / recorder / scheduler / weak-lock
+    admission); see {!Interp.Phases}. Attribution never affects the
+    simulated execution. *)
 val record :
   ?config:Engine.config ->
   ?hooks:Engine.hooks ->
   ?sink:Trace.Sink.t ->
+  ?phases:Phases.t ->
   io:Iomodel.t ->
   Minic.Ast.program ->
   recorded

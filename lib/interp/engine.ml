@@ -315,6 +315,19 @@ type t = {
       (** per-function staged bodies: each body is closure-compiled on
           its first call, with variable offsets, field offsets, element
           sizes, and static types resolved once instead of per access *)
+  w_weak : Wheel.t;
+      (** deadline wheel over [Blocked (BWeak _ | BReacq)] threads:
+          each entry expires at [blocked_since + timeout + 1] (see
+          [weak_deadline]); slot width = the strategy's sweep quantum *)
+  w_io : Wheel.t;
+      (** deadline wheel over [Blocked (BIO t)] threads (wake tick [t]);
+          slot width = the 16-tick maintenance period *)
+  mutable n_bturn : int;  (** threads currently [Blocked (BTurn _)] *)
+  mutable n_breacq : int;  (** threads currently [Blocked BReacq] *)
+  mutable n_reacq : int;  (** threads with a nonempty [reacquire] list *)
+  mutable phases : Phases.t option;
+      (** per-phase wall-clock attribution; [None] (the default) reads
+          no clocks at all *)
 }
 
 let trace_enabled =
@@ -362,6 +375,84 @@ let effective_weak_timeout eng =
     slashed deadline is actually observed soon after it passes. *)
 let weak_sweep_mask eng =
   match eng.cfg.strategy with Sstorm -> 31 | Sdefault | Spct -> 255
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler wake index.
+
+   Every status change goes through [set_status] so the deadline wheels
+   and the blocked-population counters stay an exact mirror of the
+   thread table: [w_weak] holds precisely the [BWeak]/[BReacq] threads
+   (keyed by their timeout deadline), [w_io] precisely the [BIO]
+   threads. The wheels replace only order-INSENSITIVE scans — minimum
+   searches (timeout victim, idle fast-forward next-wake) and emptiness
+   gates. Every pass whose [Hashtbl.iter] order feeds wake order (and
+   through [enqueue] the golden tick counts) is kept textually intact
+   and merely skipped when the index proves it a no-op. *)
+
+(* cross-check mode (CHIMERA_SCHED_CHECK=1): recompute every wheel
+   answer with the retired full-table scan and fail on any mismatch.
+   Lazy so a harness can putenv before the first engine runs. *)
+let sched_check_enabled =
+  lazy
+    (match Sys.getenv_opt "CHIMERA_SCHED_CHECK" with
+    | Some ("1" | "true") -> true
+    | _ -> false)
+
+(** The tick at which a [BWeak]/[BReacq] stall becomes preemptible:
+    [blocked_since + timeout] is the last tick of grace ([due] is a
+    strict [>] comparison), so the deadline proper is one past it. *)
+let weak_deadline eng (th : thread) =
+  th.blocked_since + effective_weak_timeout eng + 1
+
+let sched_deindex eng (th : thread) =
+  match th.status with
+  | Blocked BReacq ->
+      Wheel.cancel eng.w_weak ~tid:th.tid;
+      eng.n_breacq <- eng.n_breacq - 1
+  | Blocked (BWeak _) -> Wheel.cancel eng.w_weak ~tid:th.tid
+  | Blocked (BIO _) -> Wheel.cancel eng.w_io ~tid:th.tid
+  | Blocked (BTurn _) -> eng.n_bturn <- eng.n_bturn - 1
+  | Runnable | Done | Blocked (BMutex _ | BBarrier _ | BCond _ | BJoin _) -> ()
+
+let sched_index eng (th : thread) =
+  match th.status with
+  | Blocked BReacq ->
+      Wheel.add eng.w_weak ~tid:th.tid ~deadline:(weak_deadline eng th);
+      eng.n_breacq <- eng.n_breacq + 1
+  | Blocked (BWeak _) ->
+      Wheel.add eng.w_weak ~tid:th.tid ~deadline:(weak_deadline eng th)
+  | Blocked (BIO t) -> Wheel.add eng.w_io ~tid:th.tid ~deadline:t
+  | Blocked (BTurn _) -> eng.n_bturn <- eng.n_bturn + 1
+  | Runnable | Done | Blocked (BMutex _ | BBarrier _ | BCond _ | BJoin _) -> ()
+
+let set_status eng (th : thread) (st : status) =
+  sched_deindex eng th;
+  th.status <- st;
+  sched_index eng th
+
+(** [blocked_since] moved while the thread stayed blocked (a timeout
+    sweep restarting its clock): recompute the wheel deadline. *)
+let resched eng (th : thread) =
+  sched_deindex eng th;
+  sched_index eng th
+
+let set_reacquire eng (th : thread) v =
+  (match (th.reacquire, v) with
+  | [], _ :: _ -> eng.n_reacq <- eng.n_reacq + 1
+  | _ :: _, [] -> eng.n_reacq <- eng.n_reacq - 1
+  | _ -> ());
+  th.reacquire <- v
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase attribution (zero-cost when [eng.phases] is [None]) *)
+
+let[@inline] ph_now eng =
+  match eng.phases with Some p -> Phases.now p | None -> 0.
+
+let[@inline] ph_add eng bucket t0 =
+  match eng.phases with
+  | Some p -> Phases.add p bucket (Phases.now p -. t0)
+  | None -> ()
 
 (** PCT priority of a thread, assigned deterministically from (seed,
     tid) on first sight — thread creation consumes no rng draw, so the
@@ -579,9 +670,9 @@ let charge_log_input eng words =
   | None -> 0
 
 (* Block this thread until [check] holds (replay-turn gating). *)
-let wait_turn ~what (th : thread) (check : unit -> bool) =
+let wait_turn eng ~what (th : thread) (check : unit -> bool) =
   while not (check ()) do
-    th.status <- Blocked (BTurn what);
+    set_status eng th (Blocked (BTurn what));
     th.turn_check <- Some check;
     block_here ();
     th.turn_check <- None
@@ -616,7 +707,7 @@ let det_process_dooms_fwd eng th = !det_process_dooms_ref eng th
 let det_gate ?(reacquire = true) eng (th : thread) =
   if det_mode eng then begin
     while not (det_min eng th) do
-      th.status <- Blocked (BTurn "det");
+      set_status eng th (Blocked (BTurn "det"));
       th.turn_check <- Some (fun () -> det_min eng th);
       block_here ();
       th.turn_check <- None
@@ -657,7 +748,7 @@ let gate_sync eng th (obj : K.addr) (op : Replay.Log.sync_op) =
   match eng.replayer with
   | None -> ()
   | Some r ->
-      wait_turn th
+      wait_turn eng th
         ~what:(Fmt.str "sync %a %a" K.pp_addr obj Replay.Log.pp_sync_op op)
         (fun () ->
           match Replay.Replayer.peek_sync r obj with
@@ -673,8 +764,10 @@ let record_sync eng th (obj : K.addr) (op : Replay.Log.sync_op) =
   emit_ev eng th (Trace.Sync (op, obj));
   (match eng.recorder with
   | Some rc ->
+      let t0 = ph_now eng in
       Replay.Recorder.rec_sync rc ~obj ~op ~tp:th.path;
-      Replay.Recorder.maybe_seal rc ~now:eng.ticks
+      Replay.Recorder.maybe_seal rc ~now:eng.ticks;
+      ph_add eng Phases.Recorder t0
   | None -> ());
   match eng.replayer with
   | Some r -> Replay.Replayer.advance_sync r obj
@@ -684,7 +777,7 @@ let gate_weak eng th (lock : weak_lock) =
   match eng.replayer with
   | None -> ()
   | Some r ->
-      wait_turn th
+      wait_turn eng th
         ~what:(Fmt.str "weak %a" pp_weak_lock lock)
         (fun () -> Replay.Replayer.weak_turn r lock ~tp:th.path)
 
@@ -695,8 +788,10 @@ let record_weak eng th (lock : weak_lock) ~(claim : Replay.Log.sclaim) =
   emit_ev eng th (Trace.Weak_acquire lock);
   (match eng.recorder with
   | Some rc ->
+      let t0 = ph_now eng in
       Replay.Recorder.rec_weak rc ~lock ~tp:th.path ~claim;
-      Replay.Recorder.maybe_seal rc ~now:eng.ticks
+      Replay.Recorder.maybe_seal rc ~now:eng.ticks;
+      ph_add eng Phases.Recorder t0
   | None -> ());
   match eng.replayer with
   | Some r ->
@@ -728,7 +823,7 @@ let gate_syscall eng th =
   match eng.replayer with
   | None -> ()
   | Some r ->
-      wait_turn th ~what:"syscall" (fun () ->
+      wait_turn eng th ~what:"syscall" (fun () ->
           match Replay.Replayer.peek_syscall r with
           | Some p -> p = th.path
           | None -> Replay.Replayer.unconstrained r)
@@ -741,8 +836,10 @@ let record_syscall eng th (values : int list) =
   emit_ev eng th Trace.Syscall;
   (match eng.recorder with
   | Some rc ->
+      let t0 = ph_now eng in
       Replay.Recorder.rec_input rc ~tp:th.path values;
-      Replay.Recorder.maybe_seal rc ~now:eng.ticks
+      Replay.Recorder.maybe_seal rc ~now:eng.ticks;
+      ph_add eng Phases.Recorder t0
   | None -> ());
   match eng.replayer with
   | Some r -> Replay.Replayer.advance_syscall r
@@ -779,9 +876,9 @@ let wake eng (th : thread) =
         (* a preempted owner resumes only after reacquiring its lock; in
            deterministic mode the owner reacquires in its own execution
            stream (det_ensure_reacquired) so it wakes normally *)
-        th.status <- Blocked BReacq
+        set_status eng th (Blocked BReacq)
       else begin
-        th.status <- Runnable;
+        set_status eng th Runnable;
         enqueue eng th
       end
   | _ -> ()
@@ -792,8 +889,10 @@ let wake_tid eng tid =
   | None -> ()
 
 let self_block eng (th : thread) (reason : block_reason) =
-  th.status <- Blocked reason;
+  (* [blocked_since] lands before the status so [sched_index] reads the
+     final deadline *)
   th.blocked_since <- eng.ticks;
+  set_status eng th (Blocked reason);
   block_here ()
 
 
@@ -1055,7 +1154,7 @@ let det_ensure_reacquired eng th =
               if not (WL.holds eng.weak lock ~tid:th.tid) then
                 weak_acquire_one eng th lock claim;
               th.det_immune <- lock :: th.det_immune;
-              th.reacquire <- rest
+              set_reacquire eng th rest
         done)
   end
 
@@ -1102,10 +1201,10 @@ let release_batch eng th (ls : weak_lock list) =
        freeing it anyway, and a stale entry would be reacquired at a
        later gate, outside the region, and then never released *)
     if th.reacquire <> [] then
-      th.reacquire <-
-        List.filter
-          (fun (l, _) -> not (Hashtbl.mem (Lazy.force in_batch) l))
-          th.reacquire;
+      set_reacquire eng th
+        (List.filter
+           (fun (l, _) -> not (Hashtbl.mem (Lazy.force in_batch) l))
+           th.reacquire);
     (* sweep the whole batch out of the immunity list in one pass rather
        than one rescan per released lock *)
     if th.det_immune <> [] then
@@ -1196,10 +1295,10 @@ let weak_exit eng th (locks : weak_lock list) =
        | { rg_acqs } :: _ -> lock_set_of (List.map fst rg_acqs)
        | [] -> lock_set_of locks
      in
-     th.reacquire <-
-       List.filter
-         (fun (l, _) -> not (Hashtbl.mem exiting l))
-         th.reacquire);
+     set_reacquire eng th
+       (List.filter
+          (fun (l, _) -> not (Hashtbl.mem exiting l))
+          th.reacquire));
   det_ensure_reacquired eng th;
   emit_ev eng th
     (Trace.Region_exit
@@ -1245,9 +1344,11 @@ let apply_forced_release eng (owner : thread) (lock : weak_lock) =
     emit_ev eng owner (Trace.Weak_forced lock);
     (match eng.recorder with
     | Some rc ->
+        let t0 = ph_now eng in
         Replay.Recorder.rec_forced rc ~owner:owner.path ~steps:owner.steps
           ~acqs:owner.weak_acqs ~lock;
-        Replay.Recorder.maybe_seal rc ~now:eng.ticks
+        Replay.Recorder.maybe_seal rc ~now:eng.ticks;
+        ph_add eng Phases.Recorder t0
     | None -> ());
     (* the stripped owner's work so far happens-before the next
        acquisition: emit the release edge for dynamic analyses *)
@@ -1272,7 +1373,7 @@ let apply_forced_release eng (owner : thread) (lock : weak_lock) =
       |> Option.value ~default:[]
     in
     if not (List.exists (fun (l, _) -> l = lock) owner.reacquire) then
-      owner.reacquire <- owner.reacquire @ [ (lock, claim) ];
+      set_reacquire eng owner (owner.reacquire @ [ (lock, claim) ]);
     (* a running owner parks until it has the lock back; one blocked on
        program synchronization keeps waiting there and reacquires when
        woken (see [wake]). In deterministic mode the owner stripped
@@ -1280,8 +1381,8 @@ let apply_forced_release eng (owner : thread) (lock : weak_lock) =
        — parking it here would orphan it (no maintenance path wakes a
        det-mode BReacq). *)
     if owner.status = Runnable && not (det_mode eng) then begin
-      owner.status <- Blocked BReacq;
-      owner.blocked_since <- eng.ticks
+      owner.blocked_since <- eng.ticks;
+      set_status eng owner (Blocked BReacq)
     end;
     List.iter (wake_tid eng) woken
   end
@@ -1360,7 +1461,9 @@ let sys_read eng th fr ~sid ~(net : bool) (buf_e : exp) (max_e : exp) : Value.t
      influence gate ordering (a thread parked in I/O leaves the
      global-minimum rule, so its return must not race the clock). *)
   (if eng.replayer = None && not (det_mode eng) then begin
-     th.status <- Blocked (BIO (eng.ticks + latency));
+     (* [blocked_since] deliberately untouched: IO parks never fed the
+        weak-timeout clock, and the wheel must mirror that *)
+     set_status eng th (Blocked (BIO (eng.ticks + latency)));
      block_here ()
    end);
   gate_syscall eng th;
@@ -2059,7 +2162,7 @@ let finish_thread eng (th : thread) =
     (fun r -> List.iter (fun (l, _) -> weak_release_one eng th l) r.rg_acqs)
     th.regions;
   th.regions <- [];
-  th.status <- Done;
+  set_status eng th Done;
   eng.live <- eng.live - 1;
   if th.path = [] then eng.main_done <- true;
   (* wake joiners *)
@@ -2138,30 +2241,43 @@ let resume_thread eng (th : thread) =
       | None -> ())
 
 (* Periodic maintenance: IO wakeups, replay-turn checks, replayed forced
-   releases for blocked owners, forced reacquisitions. *)
+   releases for blocked owners, forced reacquisitions.
+
+   Each pass iterates the thread table in [Hashtbl.iter] order, and that
+   order is load-bearing: wake order feeds [enqueue]'s shortest-queue
+   choice and hence the golden tick counts. The wake index therefore
+   only GATES the passes — a pass is skipped exactly when it can be
+   proved a no-op (no due IO deadline on the wheel, no parked turn
+   waiter, no pending reacquisition, no forced event left in the log) —
+   and never reorders them. *)
 let maintenance eng =
-  Hashtbl.iter
-    (fun _ (th : thread) ->
-      match th.status with
-      | Blocked (BIO t) when eng.ticks >= t -> wake eng th
-      | Blocked (BTurn _) -> (
-          (* a recording-mode thread with a pending reacquisition stays
-             parked (maintenance reacquires on its behalf); in
-             deterministic mode the gate-exit path reacquires, so it must
-             be woken normally *)
-          match th.turn_check with
-          | Some check when (th.reacquire = [] || det_mode eng) && check () ->
-              wake eng th
-          | _ -> ())
-      | Blocked BReacq when th.reacquire = [] ->
-          th.status <- Runnable;
-          enqueue eng th
-      | _ -> ())
-    eng.threads;
+  if
+    Wheel.next_deadline eng.w_io <= eng.ticks
+    || eng.n_bturn > 0 || eng.n_breacq > 0
+  then
+    Hashtbl.iter
+      (fun _ (th : thread) ->
+        match th.status with
+        | Blocked (BIO t) when eng.ticks >= t -> wake eng th
+        | Blocked (BTurn _) -> (
+            (* a recording-mode thread with a pending reacquisition stays
+               parked (maintenance reacquires on its behalf); in
+               deterministic mode the gate-exit path reacquires, so it must
+               be woken normally *)
+            match th.turn_check with
+            | Some check when (th.reacquire = [] || det_mode eng) && check ()
+              ->
+                wake eng th
+            | _ -> ())
+        | Blocked BReacq when th.reacquire = [] ->
+            set_status eng th Runnable;
+            enqueue eng th
+        | _ -> ())
+      eng.threads;
   (* replayed forced events can target an owner that is blocked on
      program synchronization (and therefore passes no step boundary) *)
   (match eng.replayer with
-  | Some r ->
+  | Some r when Replay.Replayer.has_forced r ->
       Hashtbl.iter
         (fun _ (th : thread) ->
           match th.status with
@@ -2177,11 +2293,12 @@ let maintenance eng =
               | None -> ())
           | _ -> ())
         eng.threads
-  | None -> ());
+  | Some _ | None -> ());
   (* forced-reacquire: threads whose lock was stripped must get it back
      before doing anything else; try on their behalf. Under replay the
      reacquisition is an acquisition like any other and must wait for its
      recorded turn. *)
+  if eng.n_reacq > 0 && not (det_mode eng) then
   Hashtbl.iter
     (fun _ (th : thread) ->
       (* During recording, reacquire only for threads parked in BReacq: a
@@ -2242,7 +2359,7 @@ let maintenance eng =
                     fire_sync eng th (SyWeakAcq lock);
                     if det_mode eng then
                       th.det_immune <- lock :: th.det_immune;
-                    th.reacquire <- rest;
+                    set_reacquire eng th rest;
                     go ()
                 | `Blocked owners ->
                     trace eng "%a reacq-blocked %a holders=%a claim=%a"
@@ -2253,11 +2370,28 @@ let maintenance eng =
         in
         go ();
         if th.reacquire = [] then begin
-          th.status <- Runnable;
+          set_status eng th Runnable;
           enqueue eng th
         end
       end)
     eng.threads
+
+(* The retired full-table victim scan, kept as the cross-check oracle
+   (CHIMERA_SCHED_CHECK=1) for the wheel-driven selection below. *)
+let sweep_victim eng : thread option =
+  Hashtbl.fold
+    (fun _ (th : thread) acc ->
+      match th.status with
+      | Blocked (BWeak _ | BReacq)
+        when eng.ticks - th.blocked_since > effective_weak_timeout eng -> (
+          match acc with
+          | Some (best : thread)
+            when (best.blocked_since, best.tid) <= (th.blocked_since, th.tid)
+            ->
+              acc
+          | _ -> Some th)
+      | _ -> acc)
+    eng.threads None
 
 (* Weak-lock timeout: preempt the conflicting owner of the longest-stalled
    waiter (Section 2.3). During replay, timeouts never initiate
@@ -2276,23 +2410,30 @@ let check_weak_timeouts eng =
        symmetrically and swap their sets forever — a timeout-sustained
        livelock. Serving only the longest-stalled waiter breaks the
        symmetry; the loser's clock keeps running and it gets the next
-       pass. *)
+       pass.
+
+       The wheel orders its entries by (deadline, tid) with deadline =
+       blocked_since + timeout + 1 — a constant offset per run — so its
+       due minimum IS the fold's (blocked_since, tid) minimum, and
+       "due" (deadline <= ticks) is exactly the fold's strict
+       ticks - blocked_since > timeout. *)
     let victim =
-      Hashtbl.fold
-        (fun _ (th : thread) acc ->
-          match th.status with
-          | Blocked (BWeak _ | BReacq)
-            when eng.ticks - th.blocked_since > effective_weak_timeout eng
-            -> (
-              match acc with
-              | Some (best : thread)
-                when (best.blocked_since, best.tid)
-                     <= (th.blocked_since, th.tid) ->
-                  acc
-              | _ -> Some th)
-          | _ -> acc)
-        eng.threads None
+      match Wheel.min_due eng.w_weak ~now:eng.ticks with
+      | Some (tid, _) -> Hashtbl.find_opt eng.threads tid
+      | None -> None
     in
+    (if Lazy.force sched_check_enabled then
+       match (sweep_victim eng, victim) with
+       | Some a, Some b when a == b -> ()
+       | None, None -> ()
+       | a, b ->
+           Fmt.failwith
+             "sched-check: wheel victim %a <> sweep victim %a at tick %d"
+             Fmt.(option ~none:(any "none") int)
+             (Option.map (fun (th : thread) -> th.tid) b)
+             Fmt.(option ~none:(any "none") int)
+             (Option.map (fun (th : thread) -> th.tid) a)
+             eng.ticks);
     match victim with
     | None -> ()
     | Some th -> (
@@ -2321,27 +2462,30 @@ let check_weak_timeouts eng =
                with several threads needing overlapping multi-lock sets,
                that rotation reassembles a full set for no one and the
                timeouts sustain a livelock. *)
-            th.reacquire <-
-              List.filter
-                (fun ((lock : weak_lock), claim) ->
-                  WL.clear_pending eng.weak lock;
-                  if WL.holds eng.weak lock ~tid:th.tid then false
-                  else
-                    match WL.acquire eng.weak lock ~tid:th.tid ~claim with
-                    | `Acquired ->
-                        trace eng "%a timeout-reacq %a" K.pp_tid_path th.path
-                          pp_weak_lock lock;
-                        record_weak eng th lock
-                          ~claim:(stable_claim eng claim);
-                        fire_sync eng th (SyWeakAcq lock);
-                        false
-                    | `Blocked _ -> true)
-                th.reacquire;
+            set_reacquire eng th
+              (List.filter
+                 (fun ((lock : weak_lock), claim) ->
+                   WL.clear_pending eng.weak lock;
+                   if WL.holds eng.weak lock ~tid:th.tid then false
+                   else
+                     match WL.acquire eng.weak lock ~tid:th.tid ~claim with
+                     | `Acquired ->
+                         trace eng "%a timeout-reacq %a" K.pp_tid_path th.path
+                           pp_weak_lock lock;
+                         record_weak eng th lock
+                           ~claim:(stable_claim eng claim);
+                         fire_sync eng th (SyWeakAcq lock);
+                         false
+                     | `Blocked _ -> true)
+                 th.reacquire);
             if th.reacquire = [] then begin
-              th.status <- Runnable;
+              set_status eng th Runnable;
               enqueue eng th
             end
-            else th.blocked_since <- eng.ticks
+            else begin
+              th.blocked_since <- eng.ticks;
+              resched eng th
+            end
         | Blocked (BWeak (lock, _claim)) ->
             let owners = WL.holders eng.weak lock in
             (* no holders at all: the waiter is fenced out purely by a
@@ -2372,7 +2516,8 @@ let check_weak_timeouts eng =
                       | Done -> ())
                   | None -> ())
               owners;
-            th.blocked_since <- eng.ticks (* restart the clock *)
+            th.blocked_since <- eng.ticks (* restart the clock *);
+            resched eng th
         | _ -> ())
   end
 
@@ -2445,7 +2590,10 @@ let tick_core eng c =
       if th.stall > 0 then th.stall <- th.stall - 1
       else begin
         (match eng.recorder with
-        | Some rc -> Replay.Recorder.rec_sched rc ~core:c ~tp:th.path ~ticks:1
+        | Some rc ->
+            let t0 = ph_now eng in
+            Replay.Recorder.rec_sched rc ~core:c ~tp:th.path ~ticks:1;
+            ph_add eng Phases.Recorder t0
         | None -> ());
         resume_thread eng th
       end;
@@ -2572,7 +2720,7 @@ type outcome = {
 }
 
 let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ?sink
-    ?replayer ~mode ~io (prog : program) : t =
+    ?replayer ?phases ~mode ~io (prog : program) : t =
   let recorder =
     match mode with Record -> Some (Replay.Recorder.create ()) | _ -> None
   in
@@ -2619,6 +2767,19 @@ let make_engine ?(config = default_config) ?(hooks = no_hooks ()) ?sink
       flayouts = Hashtbl.create 64;
       sid_sort_perm = Hashtbl.create 64;
       cbodies = Hashtbl.create 64;
+      (* wheel slot width = the strategy's sweep quantum (storm sweeps at
+         a 32-tick mask, default/pct at 256), so one slot covers exactly
+         one sweep window *)
+      w_weak =
+        Wheel.create
+          ~gran_bits:(match config.strategy with Sstorm -> 5 | _ -> 8)
+          ();
+      (* IO wakes are polled by the 16-tick maintenance pass *)
+      w_io = Wheel.create ~gran_bits:4 ();
+      n_bturn = 0;
+      n_breacq = 0;
+      n_reacq = 0;
+      phases;
     }
   in
   (* allocate and initialize globals *)
@@ -2647,6 +2808,7 @@ let replay_halted eng =
   | None -> false
 
 let run_engine (eng : t) : outcome =
+  (match eng.phases with Some p -> Phases.start p | None -> ());
   (* main thread *)
   let main = new_thread eng [] in
   main.body <- Some (fun () -> ignore (exec_fun eng main "main" []));
@@ -2667,8 +2829,33 @@ let run_engine (eng : t) : outcome =
          timed_out := true;
          raise Exit
        end;
-       if eng.ticks land 15 = 0 then maintenance eng;
-       if eng.ticks land weak_sweep_mask eng = 0 then check_weak_timeouts eng;
+       if eng.ticks land 15 = 0 then begin
+         let t0 = ph_now eng in
+         maintenance eng;
+         ph_add eng Phases.Scheduler t0
+       end;
+       (* The sweep stays gated to the masked tick — it serves one victim
+          per window, and firing off-boundary would move every later
+          preemption — but the per-window poll is now O(1): the wheel's
+          quantized next-fire tick instead of a full-table scan. At a
+          masked tick, next_fire <= ticks iff the earliest deadline is
+          due, i.e. iff the retired scan would have found a victim. *)
+       let wsm = weak_sweep_mask eng in
+       if eng.ticks land wsm = 0 then
+         if Wheel.next_fire eng.w_weak ~mask:wsm <= eng.ticks then begin
+           let t0 = ph_now eng in
+           check_weak_timeouts eng;
+           ph_add eng Phases.Weaklock t0
+         end
+         else if
+           Lazy.force sched_check_enabled
+           && eng.replayer = None
+           && not (det_mode eng)
+           && sweep_victim eng <> None
+         then
+           Fmt.failwith
+             "sched-check: wheel skipped a sweep with a due victim at tick %d"
+             eng.ticks;
        (* rotate the starting core each tick to vary cross-core order *)
        let start = rng_next eng mod eng.cfg.cores in
        for i = 0 to eng.cfg.cores - 1 do
@@ -2679,27 +2866,45 @@ let run_engine (eng : t) : outcome =
          Array.for_all (fun q -> !q = []) eng.queues
          && eng.live > 0
        then begin
+         let t0 = ph_now eng in
          maintenance eng;
          if Array.for_all (fun q -> !q = []) eng.queues then begin
            (* all blocked: jump to the next wake-up — an IO completion or
               a weak-lock timeout deadline (the escape hatch that resolves
-              weak-lock-vs-program-sync deadlocks, Section 2.3) *)
-           let next_wake = ref max_int in
-           Hashtbl.iter
-             (fun _ (th : thread) ->
-               match th.status with
-               | Blocked (BIO t) -> if t < !next_wake then next_wake := t
-               | Blocked (BWeak _ | BReacq) ->
-                   (* both resolve through the weak-lock timeout *)
-                   let deadline =
-                     th.blocked_since + effective_weak_timeout eng + 1
-                   in
-                   if deadline < !next_wake then next_wake := deadline
-               | _ -> ())
-             eng.threads;
-           if !next_wake < max_int then begin
-             if !next_wake > eng.ticks then eng.ticks <- !next_wake;
+              weak-lock-vs-program-sync deadlocks, Section 2.3). The two
+              wheels index exactly the BIO and BWeak/BReacq populations
+              with those unquantized deadlines, so their min replaces the
+              whole-table scan. *)
+           let next_wake =
+             min (Wheel.next_deadline eng.w_io) (Wheel.next_deadline eng.w_weak)
+           in
+           if Lazy.force sched_check_enabled then begin
+             (* oracle: the retired scan, kept verbatim *)
+             let scan_wake = ref max_int in
+             Hashtbl.iter
+               (fun _ (th : thread) ->
+                 match th.status with
+                 | Blocked (BIO t) -> if t < !scan_wake then scan_wake := t
+                 | Blocked (BWeak _ | BReacq) ->
+                     (* both resolve through the weak-lock timeout *)
+                     let deadline =
+                       th.blocked_since + effective_weak_timeout eng + 1
+                     in
+                     if deadline < !scan_wake then scan_wake := deadline
+                 | _ -> ())
+               eng.threads;
+             if !scan_wake <> next_wake then
+               Fmt.failwith
+                 "sched-check: wheel next-wake %d <> scan next-wake %d at \
+                  tick %d"
+                 next_wake !scan_wake eng.ticks
+           end;
+           ph_add eng Phases.Scheduler t0;
+           if next_wake < max_int then begin
+             if next_wake > eng.ticks then eng.ticks <- next_wake;
+             let t0 = ph_now eng in
              check_weak_timeouts eng;
+             ph_add eng Phases.Weaklock t0;
              maintenance eng;
              if Array.for_all (fun q -> !q = []) eng.queues then begin
                (* nothing woke this round. Each round expires only the
@@ -2716,15 +2921,10 @@ let run_engine (eng : t) : outcome =
              else stuck_rounds := 0
            end
            else if
+             (* counters stand in for the retired per-thread fold: any
+                pending reacquisition list or turn-gated thread *)
              det_mode eng
-             && Hashtbl.fold
-                  (fun _ (th : thread) acc ->
-                    acc
-                    || th.reacquire <> []
-                    || match th.status with
-                       | Blocked (BTurn _) -> true
-                       | _ -> false)
-                  eng.threads false
+             && (eng.n_reacq > 0 || eng.n_bturn > 0)
            then begin
              (* deterministic arbitration progresses through repeated
                 maintenance passes (cede bumps, gated reacquisitions);
@@ -2737,7 +2937,9 @@ let run_engine (eng : t) : outcome =
              (* deadlock or replay stall — unless a windowed replay just
                 reached its bound, which parks every gated thread by
                 design and is a clean halt, not a timeout *)
+             let t0 = ph_now eng in
              check_weak_timeouts eng;
+             ph_add eng Phases.Weaklock t0;
              maintenance eng;
              if Array.for_all (fun q -> !q = []) eng.queues then begin
                if not (replay_halted eng) then timed_out := true;
@@ -2798,6 +3000,7 @@ let run_engine (eng : t) : outcome =
   in
   eng.stats.n_handoff_served <- eng.weak.WL.total_handoff_served;
   eng.stats.n_handoff_expired <- eng.weak.WL.total_handoff_expired;
+  (match eng.phases with Some p -> Phases.finish p | None -> ());
   {
     o_outputs = List.rev eng.outputs;
     o_final_hash = Mem.state_hash eng.mem;
@@ -2818,6 +3021,7 @@ let run_engine (eng : t) : outcome =
 (** Run [prog] to completion under [mode]. [sink], when given, receives
     the execution's trace events (see {!Trace}); it never affects the
     simulated execution. *)
-let run ?config ?hooks ?sink ?replayer ~mode ~io (prog : program) : outcome =
-  let eng = make_engine ?config ?hooks ?sink ?replayer ~mode ~io prog in
+let run ?config ?hooks ?sink ?replayer ?phases ~mode ~io (prog : program) :
+    outcome =
+  let eng = make_engine ?config ?hooks ?sink ?replayer ?phases ~mode ~io prog in
   run_engine eng

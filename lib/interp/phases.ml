@@ -1,0 +1,36 @@
+type bucket = Recorder | Scheduler | Weaklock
+
+type t = {
+  clock : unit -> float;
+  mutable t0 : float;
+  mutable total : float;
+  mutable recorder : float;
+  mutable scheduler : float;
+  mutable weaklock : float;
+}
+
+let create ~now () =
+  { clock = now; t0 = 0.; total = 0.; recorder = 0.; scheduler = 0.; weaklock = 0. }
+
+let now t = t.clock ()
+
+let add t bucket dt =
+  match bucket with
+  | Recorder -> t.recorder <- t.recorder +. dt
+  | Scheduler -> t.scheduler <- t.scheduler +. dt
+  | Weaklock -> t.weaklock <- t.weaklock +. dt
+
+let start t = t.t0 <- t.clock ()
+
+let finish t = t.total <- t.total +. (t.clock () -. t.t0)
+
+let total_s t = t.total
+
+let recorder_s t = t.recorder
+
+let scheduler_s t = t.scheduler
+
+let weaklock_s t = t.weaklock
+
+let interp_s t =
+  Float.max 0. (t.total -. t.recorder -. t.scheduler -. t.weaklock)

@@ -1,0 +1,40 @@
+(** Per-phase wall-clock attribution for a record run.
+
+    A [Phases.t] handed to {!Engine.run} makes the engine bucket its
+    host time into interpreter work, recorder (log-append) work,
+    scheduler bookkeeping (maintenance + idle fast-forward), and
+    weak-lock admission (timeout sweeps). Buckets are swap-free
+    monotonic-clock spans around non-suspending sections only, so they
+    never straddle a coroutine switch; interpreter time is what remains
+    of the run total after the explicit buckets. With no [Phases.t]
+    attached (the default) the engine reads no clocks at all.
+
+    The clock is injected ([now], seconds) so this library needs no
+    timer dependency; callers pass e.g. bechamel's monotonic clock. *)
+
+type bucket = Recorder | Scheduler | Weaklock
+
+type t
+
+val create : now:(unit -> float) -> unit -> t
+
+val now : t -> float
+
+val add : t -> bucket -> float -> unit
+
+(** Mark the start / end of the measured run (sets the total). *)
+val start : t -> unit
+
+val finish : t -> unit
+
+(** Bucket totals, seconds. [interp_s] = total - recorder - scheduler -
+    weaklock, clamped at 0. *)
+val total_s : t -> float
+
+val recorder_s : t -> float
+
+val scheduler_s : t -> float
+
+val weaklock_s : t -> float
+
+val interp_s : t -> float

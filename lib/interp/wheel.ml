@@ -1,0 +1,183 @@
+(* Bucketed deadline wheel: level 0 groups deadlines into slots of
+   2^gran_bits ticks; a binary min-heap of slot indices orders occupied
+   slots. Cancellation marks entries dead by dropping them from the
+   [by_tid] map — slot lists keep the stale pair until a minimum
+   recomputation skims it off, so cancel stays O(1). The exact current
+   minimum (deadline, tid) is cached and invalidated only when the
+   cached entry itself dies. *)
+
+type slot = {
+  mutable entries : (int * int) list;  (* (deadline, tid); may hold stale pairs *)
+  mutable live : int;
+}
+
+type t = {
+  gran_bits : int;
+  by_tid : (int, int) Hashtbl.t;  (* tid -> live deadline *)
+  slots : (int, slot) Hashtbl.t;  (* slot index -> bucket *)
+  mutable heap : int array;       (* min-heap of occupied slot indices *)
+  mutable heap_len : int;
+  mutable size : int;
+  mutable cached_min : (int * int) option;
+      (* (deadline, tid): exact global minimum when [Some]; [None] means
+         stale — recompute on demand (also [None] when empty) *)
+}
+
+let create ?(gran_bits = 8) () =
+  {
+    gran_bits;
+    by_tid = Hashtbl.create 16;
+    slots = Hashtbl.create 16;
+    heap = Array.make 16 0;
+    heap_len = 0;
+    size = 0;
+    cached_min = None;
+  }
+
+let size t = t.size
+
+let deadline_of t ~tid = Hashtbl.find_opt t.by_tid tid
+
+(* ---- slot-index heap ---- *)
+
+let heap_push t s =
+  if t.heap_len = Array.length t.heap then begin
+    let bigger = Array.make (2 * Array.length t.heap) 0 in
+    Array.blit t.heap 0 bigger 0 t.heap_len;
+    t.heap <- bigger
+  end;
+  t.heap.(t.heap_len) <- s;
+  t.heap_len <- t.heap_len + 1;
+  let i = ref (t.heap_len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    t.heap.(p) > t.heap.(!i)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = t.heap.(p) in
+    t.heap.(p) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := p
+  done
+
+let heap_pop t =
+  t.heap_len <- t.heap_len - 1;
+  t.heap.(0) <- t.heap.(t.heap_len);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.heap_len && t.heap.(l) < t.heap.(!smallest) then smallest := l;
+    if r < t.heap_len && t.heap.(r) < t.heap.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = t.heap.(!i) in
+      t.heap.(!i) <- t.heap.(!smallest);
+      t.heap.(!smallest) <- tmp;
+      i := !smallest
+    end
+  done
+
+(* ---- core ops ---- *)
+
+let cancel t ~tid =
+  match Hashtbl.find_opt t.by_tid tid with
+  | None -> ()
+  | Some d ->
+      Hashtbl.remove t.by_tid tid;
+      t.size <- t.size - 1;
+      (match Hashtbl.find_opt t.slots (d lsr t.gran_bits) with
+      | Some slot -> slot.live <- slot.live - 1
+      | None -> ());
+      (match t.cached_min with
+      | Some (dm, tm) when dm = d && tm = tid -> t.cached_min <- None
+      | _ -> ())
+
+let add t ~tid ~deadline =
+  cancel t ~tid;
+  Hashtbl.replace t.by_tid tid deadline;
+  t.size <- t.size + 1;
+  let s = deadline lsr t.gran_bits in
+  (match Hashtbl.find_opt t.slots s with
+  | Some slot ->
+      slot.entries <- (deadline, tid) :: slot.entries;
+      slot.live <- slot.live + 1
+  | None ->
+      Hashtbl.replace t.slots s { entries = [ (deadline, tid) ]; live = 1 };
+      heap_push t s);
+  match t.cached_min with
+  | Some m when m <= (deadline, tid) -> ()
+  | Some _ -> t.cached_min <- Some (deadline, tid)
+  | None -> ()
+  (* None = stale: a fresh entry cannot restore exactness, leave it for
+     the next recomputation *)
+
+(* Walk the heap to the first slot with live entries, skim the stale
+   pairs out of its bucket, and return its minimum — the global minimum:
+   the earliest deadline lives in the earliest occupied slot, and all
+   deadlines tied for earliest share that slot. *)
+let recompute_min t : (int * int) option =
+  if t.size = 0 then None
+  else begin
+    let result = ref None in
+    while !result = None do
+      let s = t.heap.(0) in
+      match Hashtbl.find_opt t.slots s with
+      | None -> heap_pop t
+      | Some slot when slot.live <= 0 ->
+          Hashtbl.remove t.slots s;
+          heap_pop t
+      | Some slot ->
+          (* skim: keep each tid's current registration only (a re-add
+             at the same deadline can leave an identical stale twin) *)
+          let seen = Hashtbl.create (2 * slot.live) in
+          let alive =
+            List.filter
+              (fun (d, tid) ->
+                (not (Hashtbl.mem seen tid))
+                && Hashtbl.find_opt t.by_tid tid = Some d
+                &&
+                (Hashtbl.add seen tid ();
+                 true))
+              slot.entries
+          in
+          slot.entries <- alive;
+          slot.live <- List.length alive;
+          if slot.live = 0 then begin
+            Hashtbl.remove t.slots s;
+            heap_pop t
+          end
+          else
+            result :=
+              Some
+                (List.fold_left
+                   (fun acc e -> if e < acc then e else acc)
+                   (List.hd alive) (List.tl alive))
+    done;
+    !result
+  end
+
+let min_entry t =
+  match t.cached_min with
+  | Some _ as m -> m
+  | None ->
+      let m = recompute_min t in
+      t.cached_min <- m;
+      m
+
+let next_deadline t =
+  match min_entry t with Some (d, _) -> d | None -> max_int
+
+let min_due t ~now =
+  match min_entry t with
+  | Some (d, tid) when d <= now -> Some (tid, d)
+  | _ -> None
+
+let next_fire t ~mask =
+  let d = next_deadline t in
+  if d >= max_int - mask then max_int else (d + mask) land lnot mask
+
+let entries t = Hashtbl.fold (fun tid d acc -> (tid, d) :: acc) t.by_tid []

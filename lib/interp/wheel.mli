@@ -1,0 +1,54 @@
+(** Hierarchical deadline event-wheel for the tick scheduler.
+
+    Threads parked with a known wake deadline (weak-lock timeout
+    expiries, IO completions) register here so the scheduler can answer
+    "who expires next?" in O(1) instead of scanning the whole thread
+    table. Level 0 buckets deadlines into slots of the wheel's
+    granularity (the sweep quantum: one slot per [mask + 1] ticks);
+    above it a lazy min-heap of slot indices orders the occupied slots.
+    Each tid holds at most one registration — re-adding replaces, and
+    cancellation is O(1) (entries die in place and are skimmed off
+    lazily when a minimum is recomputed).
+
+    The wheel orders entries by [(deadline, tid)]: for weak-lock
+    timeouts the deadline is [blocked_since + timeout + 1] — a constant
+    offset per run — so this is exactly the old sweep's
+    longest-stalled-then-lowest-tid victim order. *)
+
+type t
+
+(** [create ~gran_bits ()] makes an empty wheel whose level-0 slots span
+    [2^gran_bits] ticks (default 8: the 256-tick default sweep quantum). *)
+val create : ?gran_bits:int -> unit -> t
+
+(** Register [tid] to expire at [deadline], replacing any previous
+    registration for the same tid. *)
+val add : t -> tid:int -> deadline:int -> unit
+
+(** Drop [tid]'s registration, if any. O(1). *)
+val cancel : t -> tid:int -> unit
+
+(** Number of live registrations. *)
+val size : t -> int
+
+(** [deadline] of [tid]'s live registration, if any. *)
+val deadline_of : t -> tid:int -> int option
+
+(** Earliest live deadline; [max_int] when the wheel is empty (the
+    sentinel compares greater than every reachable tick). *)
+val next_deadline : t -> int
+
+(** The minimum live [(tid, deadline)] by [(deadline, tid)] order,
+    provided its deadline is due ([<= now]); [None] when nothing is due.
+    The lexicographic global minimum is the due minimum whenever any
+    entry is due, so this is the old sweep's victim. *)
+val min_due : t -> now:int -> (int * int) option
+
+(** First tick at which a sweep gated to [ticks land mask = 0] would
+    observe the earliest deadline: the next multiple of [mask + 1] at or
+    after it. [max_int] when the wheel is empty or the quantization
+    would overflow (the sentinel never fires). *)
+val next_fire : t -> mask:int -> int
+
+(** Live [(tid, deadline)] pairs, unordered — for tests and debugging. *)
+val entries : t -> (int * int) list

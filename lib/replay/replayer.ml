@@ -388,6 +388,13 @@ let pending_forced (t : t) (owner : Key.tid_path) ~(steps : int) ~(acqs : int)
           Some lock
       | _ -> None)
 
+(** Any forced-release event still pending in the current segment, for
+    any owner. Pure: unlike {!pending_forced} this never consumes. *)
+let has_forced (t : t) : bool =
+  Hashtbl.fold
+    (fun _ c acc -> acc || seq_left c > 0)
+    t.cur.forced_by_owner false
+
 (** Human-readable dump of the first few remaining entries of every
     cursor — the deadlock-diagnosis view. *)
 let dump_remaining (t : t) : string list =

@@ -96,6 +96,11 @@ val pending_forced :
   holds:(Minic.Ast.weak_lock -> bool) ->
   Minic.Ast.weak_lock option
 
+(** Whether any forced-release event is still pending in the current
+    segment, for any owner. Never consumes — an emptiness probe for
+    gating the scheduler's forced-release maintenance pass. *)
+val has_forced : t -> bool
+
 (** Step count of the owner's next forced event, if any. *)
 val peek_forced : t -> Key.tid_path -> int option
 

@@ -323,13 +323,12 @@ let to_chrome events =
            Fmt.str "{\"name\":%s}" (str (Fmt.str "%a" Key.pp_tid_path tp)))
         ])
     tps;
+  (* index once: every event pays a lookup, and big traces have many
+     events per thread *)
+  let tid_index = Hashtbl.create 16 in
+  List.iteri (fun i tp -> Hashtbl.replace tid_index tp i) tps;
   let tid_of tp =
-    let rec idx i = function
-      | [] -> 0
-      | t :: _ when t = tp -> i
-      | _ :: r -> idx (i + 1) r
-    in
-    idx 0 tps
+    match Hashtbl.find_opt tid_index tp with Some i -> i | None -> 0
   in
   let cat = function
     | Weak_acquire _ | Weak_block _ | Weak_wake _ | Weak_release _
@@ -382,8 +381,16 @@ let stable_streams events =
 let first_divergence ~recorded ~replayed =
   let rec_streams = stable_streams recorded in
   let rep_streams = stable_streams replayed in
-  let stream ss tp =
-    match List.assoc_opt tp ss with Some l -> l | None -> []
+  (* key the streams by trace point once; the per-thread probe below
+     would otherwise rescan the assoc list for every thread *)
+  let keyed ss =
+    let tbl = Hashtbl.create (2 * List.length ss) in
+    List.iter (fun (tp, l) -> Hashtbl.replace tbl tp l) ss;
+    tbl
+  in
+  let rec_tbl = keyed rec_streams and rep_tbl = keyed rep_streams in
+  let stream tbl tp =
+    match Hashtbl.find_opt tbl tp with Some l -> l | None -> []
   in
   let tps =
     List.sort_uniq compare (List.map fst rec_streams @ List.map fst rep_streams)
@@ -410,7 +417,7 @@ let first_divergence ~recorded ~replayed =
             { dv_tp = tp; dv_index = i; dv_recorded = None;
               dv_replayed = Some y }
     in
-    go 0 (stream rec_streams tp) (stream rep_streams tp)
+    go 0 (stream rec_tbl tp) (stream rep_tbl tp)
   in
   let step_of d =
     match (d.dv_recorded, d.dv_replayed) with

@@ -18,6 +18,7 @@ let all : (string * unit Alcotest.test_case list) list =
     ("trace", Test_trace.suite);
     ("zcompress", Test_zcompress.suite);
     ("interp", Test_interp.suite);
+    ("sched", Test_sched.suite);
     ("dynrace", Test_dynrace.suite);
     ("profiling", Test_profiling.suite);
     ("instrument", Test_instrument.suite);
